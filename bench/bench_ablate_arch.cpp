@@ -1,0 +1,76 @@
+// Ablation: Kepler vs Maxwell — the same four kernels run on K40, K1200
+// and Titan X. Per-iteration latency scales with each architecture's
+// instruction latencies (Fig. 3), and the shuffle advantage persists
+// across generations even though the variant latencies invert.
+
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/rng.hpp"
+#include "wsim/util/table.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::util::format_fixed;
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  wsim::bench::banner("Ablation", "architecture sweep (Kepler vs Maxwell)");
+  wsim::util::Rng rng(7);
+
+  const std::string target = random_dna(rng, 256);
+  std::string query = target.substr(16, 192);
+  const wsim::workload::SwBatch sw_batch = {{query, target}};
+  const auto sw_iters =
+      wsim::kernels::sw_iterations(query.size(), target.size());
+
+  wsim::align::PairHmmTask ph_task;
+  ph_task.hap = random_dna(rng, 200);
+  ph_task.read = ph_task.hap.substr(8, 120);
+  ph_task.base_quals.assign(120, 30);
+  ph_task.ins_quals.assign(120, 45);
+  ph_task.del_quals.assign(120, 45);
+  const wsim::workload::PhBatch ph_batch = {ph_task};
+  const auto ph_iters = wsim::kernels::ph_iterations(120, 200);
+
+  wsim::util::Table table({"kernel", "K40 (Kepler)", "K1200 (Maxwell)",
+                           "Titan X (Maxwell)"});
+  for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::SwRunner runner(mode);
+    std::vector<std::string> row = {mode == CommMode::kSharedMemory ? "SW1" : "SW2"};
+    for (const auto& dev : wsim::simt::all_devices()) {
+      const auto r = runner.run_batch(dev, sw_batch);
+      row.push_back(format_fixed(r.run.cycles_per_iteration(sw_iters), 0) + " cy/iter");
+    }
+    table.add_row(row);
+  }
+  for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::PhRunner runner(mode);
+    std::vector<std::string> row = {mode == CommMode::kSharedMemory ? "PH1" : "PH2"};
+    for (const auto& dev : wsim::simt::all_devices()) {
+      const auto r = runner.run_batch(dev, ph_batch);
+      row.push_back(format_fixed(r.run.cycles_per_iteration(ph_iters), 0) + " cy/iter");
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape: Kepler iterations are uniformly slower\n"
+               "(larger shuffle/smem/sync latencies); both Maxwell devices\n"
+               "agree per iteration (same latency table — their throughput\n"
+               "difference comes from SM count and clock, not the core).\n";
+  return 0;
+}

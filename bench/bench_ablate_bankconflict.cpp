@@ -1,0 +1,58 @@
+// Ablation: shared-memory bank-conflict serialization in the interpreter —
+// a strided-access kernel sweeps the conflict degree from 1 (conflict-free)
+// to 32 (fully serialized), the effect that makes the paper's line-buffer
+// layout (one word per lane) the right choice.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/util/table.hpp"
+
+namespace {
+
+long long run_stride(const wsim::simt::DeviceSpec& dev, int stride, int iterations) {
+  using namespace wsim::simt;
+  KernelBuilder kb("stride" + std::to_string(stride), 32);
+  const int buf = kb.alloc_smem(32 * 32 * 4);
+  const VReg tid = kb.tid();
+  const VReg addr = kb.iadd(imm_i64(buf), kb.imul(tid, imm_i64(4L * stride)));
+  const VReg acc = kb.mov(imm_i64(0));
+  kb.loop(imm_i64(iterations));
+  kb.assign(acc, kb.iadd(kb.lds(addr), acc));
+  kb.endloop();
+  kb.stg(kb.imul(tid, imm_i64(4)), acc);
+  const Kernel kernel = kb.build();
+  GlobalMemory gmem;
+  gmem.alloc(32 * 4);
+  return run_block(kernel, dev, gmem, {}).cycles;
+}
+
+}  // namespace
+
+int main() {
+  using wsim::util::format_fixed;
+  wsim::bench::banner("Ablation", "shared-memory bank-conflict serialization");
+  constexpr int kIterations = 256;
+
+  for (const auto& dev : wsim::bench::evaluation_devices()) {
+    std::cout << "--- " << dev.name << " ---\n";
+    wsim::util::Table table({"stride (words)", "conflict degree", "cycles",
+                             "cycles/iteration", "slowdown"});
+    const long long base = run_stride(dev, 1, kIterations);
+    for (const int stride : {1, 2, 4, 8, 16, 32}) {
+      const long long cycles = run_stride(dev, stride, kIterations);
+      table.add_row({std::to_string(stride), std::to_string(stride),
+                     std::to_string(cycles),
+                     format_fixed(static_cast<double>(cycles) / kIterations, 1),
+                     format_fixed(static_cast<double>(cycles) / base, 2)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  std::cout << "Stride-1 access (the paper's anti-diagonal line buffers) is\n"
+               "conflict-free; each doubling of the stride doubles the\n"
+               "transaction count until all 32 lanes hit one bank.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Ablation: hypothetical-hardware sensitivity, a what-if only a simulator
+// can run. The paper's whole argument rests on shuffle being cheaper than
+// shared memory (9 vs 21 cycles on Maxwell). How fast does the advantage
+// erode if future architectures made shuffle slower? We sweep the shuffle
+// latency past the shared-memory latency and watch the SW2/SW1 and
+// PH2/PH1 speedups: even at parity the shuffle designs keep an edge from
+// eliminated synchronization and freed shared memory — the paper's
+// "benefits beyond latency" decomposition, quantified.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/rng.hpp"
+#include "wsim/util/table.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::util::format_fixed;
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  wsim::bench::banner("Ablation", "speedup sensitivity to the shuffle latency");
+  wsim::util::Rng rng(3);
+
+  // Saturated batches of identical tasks on a K1200 variant whose shuffle
+  // latency we dial.
+  const std::string target = random_dna(rng, 256);
+  const wsim::workload::SwBatch sw_batch(128, {target.substr(16, 192), target});
+  const wsim::workload::SwBatch sw_small(4, {target.substr(16, 192), target});
+  wsim::align::PairHmmTask ph_task;
+  ph_task.hap = random_dna(rng, 200);
+  ph_task.read = ph_task.hap.substr(0, 120);
+  ph_task.base_quals.assign(120, 30);
+  ph_task.ins_quals.assign(120, 45);
+  ph_task.del_quals.assign(120, 45);
+  const wsim::workload::PhBatch ph_batch(192, ph_task);
+  const wsim::workload::PhBatch ph_small(4, ph_task);
+
+  wsim::util::Table table({"shfl latency (cy)", "vs smem (21 cy)",
+                           "SW2/SW1 latency-bound", "SW2/SW1 saturated",
+                           "PH2/PH1 latency-bound", "PH2/PH1 saturated"});
+  for (const int shfl : {5, 9, 14, 21, 30, 42}) {
+    auto dev = wsim::simt::make_k1200();
+    dev.lat.shfl = shfl;
+    dev.lat.shfl_up = shfl;
+    dev.lat.shfl_down = shfl;
+    dev.lat.shfl_xor = shfl + 3;
+
+    wsim::kernels::SwRunOptions sw_opt;
+    sw_opt.mode = wsim::simt::ExecMode::kCachedByShape;
+    const wsim::kernels::SwRunner sw_shared(CommMode::kSharedMemory);
+    const wsim::kernels::SwRunner sw_shuffle(CommMode::kShuffle);
+    const double sw_sat = sw_shuffle.run_batch(dev, sw_batch, sw_opt).run.gcups_kernel() /
+                          sw_shared.run_batch(dev, sw_batch, sw_opt).run.gcups_kernel();
+    const double sw_lat = sw_shuffle.run_batch(dev, sw_small, sw_opt).run.gcups_kernel() /
+                          sw_shared.run_batch(dev, sw_small, sw_opt).run.gcups_kernel();
+
+    wsim::kernels::PhRunOptions ph_opt;
+    ph_opt.mode = wsim::simt::ExecMode::kCachedByShape;
+    const wsim::kernels::PhRunner ph_shared(CommMode::kSharedMemory);
+    const wsim::kernels::PhRunner ph_shuffle(CommMode::kShuffle);
+    const double ph_sat = ph_shuffle.run_batch(dev, ph_batch, ph_opt).run.gcups_kernel() /
+                          ph_shared.run_batch(dev, ph_batch, ph_opt).run.gcups_kernel();
+    const double ph_lat = ph_shuffle.run_batch(dev, ph_small, ph_opt).run.gcups_kernel() /
+                          ph_shared.run_batch(dev, ph_small, ph_opt).run.gcups_kernel();
+
+    std::string relation = shfl < 21 ? "cheaper" : (shfl == 21 ? "equal" : "dearer");
+    table.add_row({std::to_string(shfl), relation, format_fixed(sw_lat, 2) + "x",
+                   format_fixed(sw_sat, 2) + "x", format_fixed(ph_lat, 2) + "x",
+                   format_fixed(ph_sat, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  std::cout <<
+      "\nReading: in the latency-bound regime (few blocks, each block's\n"
+      "critical path exposed) the advantage shrinks as shuffle approaches\n"
+      "and passes the shared-memory latency — Eq. 7's latency term at\n"
+      "work. In the saturated regime the SMs are issue/port bound, so the\n"
+      "shuffle designs' structural advantages (no barriers, no smem port\n"
+      "pressure, fewer instructions per cell, occupancy) persist no matter\n"
+      "the latency. This is the trade-off surface the paper's model lets\n"
+      "programmers explore before writing a kernel.\n";
+  return 0;
+}

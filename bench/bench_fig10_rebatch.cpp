@@ -1,0 +1,76 @@
+// Regenerates Figure 10: the impact of re-batching on the SW kernels —
+// tasks from different HaplotypeCaller regions are merged into batches of
+// 25..3200 tasks and launched together, recovering the device utilization
+// the tiny original batches forfeit. GCUPS include transfer time.
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/stats.hpp"
+#include "wsim/util/table.hpp"
+#include "wsim/workload/batching.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::util::format_fixed;
+
+}  // namespace
+
+int main() {
+  wsim::bench::banner("Figure 10", "re-batching impact on SW kernels");
+
+  // A deep SW task pool (the paper re-batches up to 3200 tasks).
+  auto cfg = wsim::bench::standard_dataset_config();
+  cfg.regions = 840;
+  cfg.ph_tasks_per_region_mean = 1.0;  // PairHMM unused here
+  const auto dataset = wsim::workload::generate_dataset(cfg);
+  const auto pool = wsim::workload::sw_all_tasks(dataset);
+  std::cout << "SW task pool: " << pool.size() << " tasks\n\n";
+
+  const std::vector<std::size_t> batch_sizes = {25, 50, 100, 200, 400, 800, 1600, 3200};
+
+  for (const auto& dev : wsim::bench::evaluation_devices()) {
+    std::cout << "--- " << dev.name << " ---\n";
+    wsim::util::Table table({"batch size", "SW1 avg", "SW1 peak", "SW2 avg",
+                             "SW2 peak", "SW2/SW1"});
+    // One persistent cost cache per kernel: identical task shapes repeat
+    // across the sweep.
+    const wsim::kernels::SwRunner sw1(CommMode::kSharedMemory);
+    const wsim::kernels::SwRunner sw2(CommMode::kShuffle);
+    wsim::simt::BlockCostCache cache1;
+    wsim::simt::BlockCostCache cache2;
+    for (const std::size_t size : batch_sizes) {
+      const auto batches = wsim::workload::sw_rebatch(dataset, size);
+      std::vector<double> g1;
+      std::vector<double> g2;
+      for (const auto& batch : batches) {
+        wsim::kernels::SwRunOptions opt;
+        opt.mode = wsim::simt::ExecMode::kCachedByShape;
+        opt.cost_cache = &cache1;
+        g1.push_back(sw1.run_batch(dev, batch, opt).run.gcups_total());
+        opt.cost_cache = &cache2;
+        g2.push_back(sw2.run_batch(dev, batch, opt).run.gcups_total());
+      }
+      const auto s1 = wsim::util::summarize(g1);
+      const auto s2 = wsim::util::summarize(g2);
+      table.add_row({std::to_string(size), format_fixed(s1.mean, 2),
+                     format_fixed(s1.max, 2), format_fixed(s2.mean, 2),
+                     format_fixed(s2.max, 2), format_fixed(s2.mean / s1.mean, 2)});
+    }
+    table.print(std::cout);
+    wsim::bench::maybe_write_csv(std::string("fig10_rebatch_") + (dev.sm_count == 4 ? "k1200" : "titanx"), table);
+    std::cout << '\n';
+  }
+
+  std::cout <<
+      "Expected shape (paper Fig. 10):\n"
+      "  * GCUPS grow with batch size and saturate once the device is full;\n"
+      "  * Titan X needs far larger batches than K1200 to saturate (24 vs 4\n"
+      "    SMs) and reaches a much higher plateau (paper: 19.6 GCUPS peak,\n"
+      "    18.5 average at 3200 tasks for SW2);\n"
+      "  * SW2 stays ahead of SW1 (~1.2x at saturation).\n";
+  return 0;
+}

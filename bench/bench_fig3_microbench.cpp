@@ -1,0 +1,55 @@
+// Regenerates Figure 3: microbenchmark-measured latencies of the four
+// shuffle variants, shared-memory access, and __syncthreads on K40
+// (Kepler), K1200 and Titan X (Maxwell), using the paper's
+// linear-regression methodology (Listing 1 / Eqs. 1-4).
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "wsim/micro/microbench.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/table.hpp"
+
+int main() {
+  using wsim::util::format_fixed;
+  wsim::bench::banner("Figure 3", "instruction-latency microbenchmarks");
+
+  wsim::util::Table table(
+      {"device", "arch", "shfl", "shfl_up", "shfl_down", "shfl_xor",
+       "sharedmem", "sync"});
+  for (const auto& dev : wsim::simt::all_devices()) {
+    const auto r = wsim::micro::measure_latencies(dev);
+    table.add_row({dev.name, std::string(wsim::simt::to_string(dev.arch)),
+                   format_fixed(r.shfl.latency, 1), format_fixed(r.shfl_up.latency, 1),
+                   format_fixed(r.shfl_down.latency, 1),
+                   format_fixed(r.shfl_xor.latency, 1),
+                   format_fixed(r.sharedmem.latency, 1),
+                   format_fixed(r.sync.latency, 1)});
+  }
+  table.print(std::cout);
+  wsim::bench::maybe_write_csv("fig3_latencies", table);
+
+  std::cout << "\nExpected shape (paper Section II-B):\n"
+               "  * register access (1 cy) < every shuffle < shared memory;\n"
+               "  * shfl_xor is the slowest variant on Maxwell but the fastest\n"
+               "    on Kepler (the underlying mechanism changed across\n"
+               "    generations);\n"
+               "  * both Maxwell devices agree; Kepler is uniformly slower.\n"
+               "\nRegression quality and raw slopes (K1200):\n";
+  const auto k1200 = wsim::simt::make_k1200();
+  const auto r = wsim::micro::measure_latencies(k1200);
+  wsim::util::Table fits({"kernel", "slope (cy/iter)", "intercept", "r^2"});
+  const auto row = [&fits](const char* name, const wsim::micro::LatencyEstimate& est) {
+    fits.add_row({name, format_fixed(est.slope, 2), format_fixed(est.intercept, 1),
+                  format_fixed(est.r_squared, 6)});
+  };
+  row("reg", r.reg);
+  row("shfl", r.shfl);
+  row("shfl_up", r.shfl_up);
+  row("shfl_down", r.shfl_down);
+  row("shfl_xor", r.shfl_xor);
+  row("sharedmem", r.sharedmem);
+  row("sharedmem_sync", r.sync);
+  fits.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Host-side performance of the simulation infrastructure itself
+// (google-benchmark): interpreter throughput, kernel compilation
+// (builder + scheduler + register allocator), occupancy calculation, and
+// the host reference algorithms. These numbers bound how large a
+// reproduction sweep can run interactively.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/micro/microbench.hpp"
+#include "wsim/simt/occupancy.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+void BM_InterpreterShuffleChain(benchmark::State& state) {
+  const auto kernel = wsim::micro::build_micro_kernel(wsim::micro::MicroKernel::kShflDown);
+  const auto dev = wsim::simt::make_k1200();
+  const auto iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsim::micro::run_micro(kernel, dev, iters));
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+}
+BENCHMARK(BM_InterpreterShuffleChain)->Arg(256)->Arg(1024);
+
+void BM_BuildSwKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wsim::kernels::build_sw_kernel(wsim::kernels::CommMode::kShuffle, {}));
+  }
+}
+BENCHMARK(BM_BuildSwKernel);
+
+void BM_BuildPhShuffleKernel(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wsim::kernels::build_ph_shuffle_kernel(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_BuildPhShuffleKernel)->Arg(1)->Arg(4);
+
+void BM_OccupancyCalculator(benchmark::State& state) {
+  const auto dev = wsim::simt::make_titan_x();
+  int regs = 16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsim::simt::compute_occupancy(dev, 128, regs, 4096));
+    regs = regs == 16 ? 96 : 16;
+  }
+}
+BENCHMARK(BM_OccupancyCalculator);
+
+void BM_HostSmithWaterman(benchmark::State& state) {
+  wsim::util::Rng rng(3);
+  const std::string target = random_dna(rng, static_cast<int>(state.range(0)));
+  const std::string query = random_dna(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsim::align::sw_align(query, target, {}));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
+}
+BENCHMARK(BM_HostSmithWaterman)->Arg(128)->Arg(256);
+
+void BM_HostPairHmm(benchmark::State& state) {
+  wsim::util::Rng rng(5);
+  wsim::align::PairHmmTask task;
+  task.hap = random_dna(rng, static_cast<int>(state.range(0)));
+  task.read = task.hap.substr(0, task.hap.size() / 2);
+  task.base_quals.assign(task.read.size(), 30);
+  task.ins_quals.assign(task.read.size(), 45);
+  task.del_quals.assign(task.read.size(), 45);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wsim::align::pairhmm_log10(task));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(task.read.size() * task.hap.size()));
+}
+BENCHMARK(BM_HostPairHmm)->Arg(128)->Arg(224);
+
+void BM_SimulateSwBlock(benchmark::State& state) {
+  wsim::util::Rng rng(9);
+  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
+  const auto dev = wsim::simt::make_k1200();
+  const wsim::workload::SwBatch batch = {{random_dna(rng, 96), random_dna(rng, 128)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.run_batch(dev, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * 96 * 128);
+}
+BENCHMARK(BM_SimulateSwBlock);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,33 @@
+// Regenerates Table I: the gap between computation throughput and the
+// shared-/global-memory bandwidth on the paper's evaluation GPUs, from the
+// simulator's device models.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/table.hpp"
+
+int main() {
+  using wsim::util::format_fixed;
+  wsim::bench::banner("Table I", "computation vs. memory-system gap");
+
+  wsim::util::Table table({"metric", "Nvidia K1200", "Nvidia Titan X", "paper K1200",
+                           "paper Titan X"});
+  const auto k1200 = wsim::simt::make_k1200();
+  const auto titan = wsim::simt::make_titan_x();
+  table.add_row({"GFLOPs", format_fixed(k1200.peak_gflops(), 0),
+                 format_fixed(titan.peak_gflops(), 0), "1057", "6611"});
+  table.add_row({"shared memory BW (GB/s)", format_fixed(k1200.shared_mem_bw_gbps(), 0),
+                 format_fixed(titan.shared_mem_bw_gbps(), 0), "550", "3302"});
+  table.add_row({"global memory BW (GB/s)", format_fixed(k1200.global_mem_bw_gbps, 1),
+                 format_fixed(titan.global_mem_bw_gbps, 1), "80", "336.5"});
+  table.print(std::cout);
+
+  std::cout << "\nGap ratios (shared : global BW): K1200 "
+            << format_fixed(k1200.shared_mem_bw_gbps() / k1200.global_mem_bw_gbps, 1)
+            << "x, Titan X "
+            << format_fixed(titan.shared_mem_bw_gbps() / titan.global_mem_bw_gbps, 1)
+            << "x — the imbalance motivating communication optimization.\n";
+  return 0;
+}

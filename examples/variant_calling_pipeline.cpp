@@ -1,0 +1,97 @@
+// A miniature HaplotypeCaller-style pipeline over a synthetic genome
+// sample: per active region, candidate haplotypes are aligned to the
+// reference window with the SW kernel (stage 1) and every read is scored
+// against every haplotype with the PairHMM kernel (stage 2) — the two
+// GPU-offloaded stages the paper extracts from GATK. Both stages run the
+// shuffle designs and report throughput.
+
+#include <algorithm>
+#include <iostream>
+
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/pipeline/pipeline.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/table.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+
+int main() {
+  using wsim::kernels::CommMode;
+  using wsim::util::format_fixed;
+
+  const auto device = wsim::simt::make_titan_x();
+  wsim::workload::GeneratorConfig cfg;
+  cfg.seed = 1234;
+  cfg.regions = 6;
+  cfg.ph_tasks_per_region_mean = 24.0;  // keep the demo interactive
+  const auto dataset = wsim::workload::generate_dataset(cfg);
+
+  const wsim::kernels::SwRunner sw(CommMode::kShuffle);
+  const wsim::kernels::PhRunner ph(CommMode::kShuffle);
+
+  double sw_seconds = 0.0;
+  double ph_seconds = 0.0;
+  std::size_t sw_cells = 0;
+  std::size_t ph_cells = 0;
+
+  wsim::util::Table table({"region", "haplotypes", "best SW score", "best CIGAR",
+                           "reads", "best read log10"});
+  for (std::size_t r = 0; r < dataset.regions.size(); ++r) {
+    const auto& region = dataset.regions[r];
+
+    // Stage 1: align candidate haplotypes against the reference window.
+    wsim::kernels::SwRunOptions sw_opt;
+    sw_opt.collect_outputs = true;
+    const auto sw_result = sw.run_batch(device, region.sw_tasks, sw_opt);
+    sw_seconds += sw_result.run.launch.total_seconds();
+    sw_cells += sw_result.run.cells;
+    const auto best_hap = std::max_element(
+        sw_result.outputs.begin(), sw_result.outputs.end(),
+        [](const auto& x, const auto& y) { return x.best_score < y.best_score; });
+
+    // Stage 2: score reads against haplotypes.
+    wsim::kernels::PhRunOptions ph_opt;
+    ph_opt.collect_outputs = true;
+    const auto ph_result = ph.run_batch(device, region.ph_tasks, ph_opt);
+    ph_seconds += ph_result.run.launch.total_seconds();
+    ph_cells += ph_result.run.cells;
+    const double best_log10 =
+        *std::max_element(ph_result.log10.begin(), ph_result.log10.end());
+
+    table.add_row({std::to_string(r), std::to_string(region.sw_tasks.size()),
+                   std::to_string(best_hap->best_score), best_hap->alignment.cigar,
+                   std::to_string(region.ph_tasks.size()),
+                   format_fixed(best_log10, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nThroughput on the simulated " << device.name << " (shuffle designs):\n"
+            << "  Smith-Waterman: " << format_fixed(static_cast<double>(sw_cells) /
+                                                    sw_seconds / 1e9, 2)
+            << " GCUPS over " << sw_cells << " cells\n"
+            << "  PairHMM:        " << format_fixed(static_cast<double>(ph_cells) /
+                                                    ph_seconds / 1e9, 2)
+            << " GCUPS over " << ph_cells << " cells\n"
+            << "\nSmall per-region batches leave the GPU underutilized — the\n"
+            << "effect the paper's Fig. 10 fixes by re-batching across regions.\n";
+
+  // The same flow through the library's pipeline orchestrator, with the
+  // optimizations turned on and a built-in sample validator.
+  wsim::pipeline::PipelineConfig pipeline_cfg;
+  pipeline_cfg.device = device;
+  pipeline_cfg.rebatch_size = 64;
+  pipeline_cfg.overlap_transfers = true;
+  pipeline_cfg.lpt_order = true;
+  pipeline_cfg.validate_sample = true;
+  pipeline_cfg.validate_every = 11;
+  const auto optimized = wsim::pipeline::run_pipeline(dataset, pipeline_cfg);
+  std::cout << "\nwsim::pipeline with re-batching(64) + streams + LPT:\n"
+            << "  Smith-Waterman: " << format_fixed(optimized.sw.gcups, 2)
+            << " GCUPS across " << optimized.sw.batches << " batches\n"
+            << "  PairHMM:        " << format_fixed(optimized.ph.gcups, 2)
+            << " GCUPS across " << optimized.ph.batches << " batches\n"
+            << "  validation:     " << optimized.validated << " sampled tasks, "
+            << optimized.mismatches << " mismatches vs host references\n";
+  return 0;
+}

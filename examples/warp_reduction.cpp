@@ -1,0 +1,118 @@
+// Warp-shuffle showcase (paper Figures 1 and 2): the four shuffle
+// variants' data movement, and the classic butterfly reduction — first
+// with shared memory + barriers, then with shfl_down — timed on the
+// simulated K1200 to show why shuffle wins.
+
+#include <iostream>
+#include <vector>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/util/table.hpp"
+
+namespace {
+
+using namespace wsim::simt;
+
+/// Runs a one-warp kernel writing one value per lane and returns lanes.
+template <typename Body>
+std::vector<std::int32_t> run_lanes(const DeviceSpec& dev, const char* name,
+                                    Body body, long long* cycles = nullptr) {
+  KernelBuilder kb(name, 32);
+  const SReg out = kb.param();
+  const VReg tid = kb.tid();
+  const VReg v = body(kb, tid);
+  kb.stg(kb.iadd(out, kb.imul(tid, imm_i64(4))), v);
+  const Kernel kernel = kb.build();
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  const std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  const BlockResult res = run_block(kernel, dev, gmem, args);
+  if (cycles != nullptr) {
+    *cycles = res.cycles;
+  }
+  return gmem.read_i32(buf, 32);
+}
+
+void print_lanes(const char* label, const std::vector<std::int32_t>& lanes) {
+  std::cout << label << ":";
+  for (int i = 0; i < 8; ++i) {
+    std::cout << ' ' << lanes[static_cast<std::size_t>(i)];
+  }
+  std::cout << " ... (lanes 0-7 of 32)\n";
+}
+
+}  // namespace
+
+int main() {
+  const DeviceSpec dev = wsim::simt::make_k1200();
+  std::cout << "Shuffle variants (paper Fig. 1), input = lane id:\n";
+
+  print_lanes("shfl(v, 5)      ", run_lanes(dev, "bcast", [](KernelBuilder& kb, VReg t) {
+                return kb.shfl(t, imm_i64(5));
+              }));
+  print_lanes("shfl_up(v, 1)   ", run_lanes(dev, "up", [](KernelBuilder& kb, VReg t) {
+                return kb.shfl_up(t, imm_i64(1));
+              }));
+  print_lanes("shfl_down(v, 2) ", run_lanes(dev, "down", [](KernelBuilder& kb, VReg t) {
+                return kb.shfl_down(t, imm_i64(2));
+              }));
+  print_lanes("shfl_xor(v, 1)  ", run_lanes(dev, "xor", [](KernelBuilder& kb, VReg t) {
+                return kb.shfl_xor(t, imm_i64(1));
+              }));
+
+  std::cout << "\nWarp sum reduction of 0..31 (paper Fig. 2):\n";
+
+  long long smem_cycles = 0;
+  const auto smem_result = run_lanes(
+      dev, "reduce_smem",
+      [](KernelBuilder& kb, VReg t) {
+        const int buf = kb.alloc_smem(32 * 4);
+        const VReg addr = kb.iadd(imm_i64(buf), kb.imul(t, imm_i64(4)));
+        const VReg v = kb.mov(t);
+        for (int delta = 16; delta >= 1; delta /= 2) {
+          // Stage in shared memory, synchronize, read the partner lane.
+          kb.sts(addr, v);
+          kb.bar();
+          const VReg paddr =
+              kb.iadd(imm_i64(buf),
+                      kb.imul(kb.iadd(t, imm_i64(delta)), imm_i64(4)));
+          const VReg p = kb.setp(Cmp::kLt, DType::kI64, kb.iadd(t, imm_i64(delta)),
+                                 imm_i64(32));
+          const VReg other = kb.mov(imm_i64(0));
+          kb.begin_pred(p);
+          kb.lds_to(other, paddr);
+          kb.end_pred();
+          kb.assign(v, kb.iadd(v, other));
+          kb.bar();
+        }
+        return v;
+      },
+      &smem_cycles);
+
+  long long shfl_cycles = 0;
+  const auto shfl_result = run_lanes(
+      dev, "reduce_shfl",
+      [](KernelBuilder& kb, VReg t) {
+        const VReg v = kb.mov(t);
+        for (int delta = 16; delta >= 1; delta /= 2) {
+          kb.assign(v, kb.iadd(v, kb.shfl_down(v, imm_i64(delta))));
+        }
+        return v;
+      },
+      &shfl_cycles);
+
+  wsim::util::Table table({"method", "lane 0 result", "device cycles"});
+  table.add_row({"shared memory + 2x__syncthreads per stage",
+                 std::to_string(smem_result[0]), std::to_string(smem_cycles)});
+  table.add_row({"shfl_down (one instruction per stage)",
+                 std::to_string(shfl_result[0]), std::to_string(shfl_cycles)});
+  table.print(std::cout);
+  std::cout << "(expected sum: " << 31 * 32 / 2 << ")\n\n"
+            << "The shuffle version needs no shared memory, no barriers and\n"
+            << "one instruction where the staged version needs three — the\n"
+            << "benefits the paper quantifies in Section II.\n";
+  return 0;
+}

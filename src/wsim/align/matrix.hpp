@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::align {
+
+/// Dense row-major matrix used for DP score/backtrace tables.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    util::require(r < rows_ && c < cols_, "Matrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    util::require(r < rows_ && c < cols_, "Matrix: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  const std::vector<T>& data() const noexcept { return data_; }
+  std::vector<T>& data() noexcept { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace wsim::align

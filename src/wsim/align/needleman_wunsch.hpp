@@ -1,0 +1,30 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "wsim/align/scoring.hpp"
+
+namespace wsim::align {
+
+/// A completed global alignment (Needleman-Wunsch with affine gaps,
+/// Gotoh's formulation). The paper lists NW alongside SW and PairHMM as
+/// an algorithm with the same anti-diagonal dependence graph (Fig. 4); we
+/// implement it as the library's extension case study. CIGAR conventions
+/// match SwAlignment.
+struct NwAlignment {
+  std::int32_t score = 0;
+  std::string cigar;
+};
+
+/// Global alignment of the full sequences. Either sequence may be empty
+/// (the result is then a pure gap).
+NwAlignment nw_align(std::string_view query, std::string_view target,
+                     const SwParams& params);
+
+/// Score only (linear memory); equals nw_align().score.
+std::int32_t nw_score(std::string_view query, std::string_view target,
+                      const SwParams& params);
+
+}  // namespace wsim::align

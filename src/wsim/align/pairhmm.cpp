@@ -1,0 +1,129 @@
+#include "wsim/align/pairhmm.hpp"
+
+#include <cmath>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::align {
+
+void validate(const PairHmmTask& task) {
+  util::require(!task.read.empty(), "PairHmmTask: read must be non-empty");
+  util::require(!task.hap.empty(), "PairHmmTask: haplotype must be non-empty");
+  util::require(task.base_quals.size() == task.read.size(),
+                "PairHmmTask: base_quals length must match the read");
+  util::require(task.ins_quals.size() == task.read.size(),
+                "PairHmmTask: ins_quals length must match the read");
+  util::require(task.del_quals.size() == task.read.size(),
+                "PairHmmTask: del_quals length must match the read");
+}
+
+PairHmmFill pairhmm_fill(const PairHmmTask& task) {
+  validate(task);
+  const std::size_t rows = task.read.size();
+  const std::size_t cols = task.hap.size();
+  PairHmmFill fill;
+  fill.m = Matrix<float>(rows + 1, cols + 1, 0.0F);
+  fill.i = Matrix<float>(rows + 1, cols + 1, 0.0F);
+  fill.d = Matrix<float>(rows + 1, cols + 1, 0.0F);
+
+  // Row 0: the read can start its alignment anywhere along the haplotype,
+  // expressed by seeding the deletion state with IC / |hap|.
+  const float initial = pairhmm_initial_condition() / static_cast<float>(cols);
+  for (std::size_t j = 0; j <= cols; ++j) {
+    fill.d(0, j) = initial;
+  }
+
+  for (std::size_t i = 1; i <= rows; ++i) {
+    const Transitions t = transitions_for(task.ins_quals[i - 1], task.del_quals[i - 1],
+                                          task.gcp);
+    const char read_base = task.read[i - 1];
+    const float err = qual_to_error_prob(task.base_quals[i - 1]);
+    const float prior_match = 1.0F - err;
+    const float prior_mismatch = err / 3.0F;
+    for (std::size_t j = 1; j <= cols; ++j) {
+      const char hap_base = task.hap[j - 1];
+      const bool match = read_base == hap_base || read_base == 'N' || hap_base == 'N';
+      const float prior = match ? prior_match : prior_mismatch;
+      fill.m(i, j) = prior * (fill.m(i - 1, j - 1) * t.mm +
+                              (fill.i(i - 1, j - 1) + fill.d(i - 1, j - 1)) * t.im);
+      fill.i(i, j) = fill.m(i - 1, j) * t.mi + fill.i(i - 1, j) * t.ii;
+      fill.d(i, j) = fill.m(i, j - 1) * t.md + fill.d(i, j - 1) * t.dd;
+    }
+  }
+  return fill;
+}
+
+double pairhmm_log10_from_fill(const PairHmmFill& fill) {
+  const std::size_t rows = fill.m.rows() - 1;
+  const std::size_t cols = fill.m.cols() - 1;
+  float sum = 0.0F;
+  for (std::size_t j = 1; j <= cols; ++j) {
+    sum += fill.m(rows, j) + fill.i(rows, j);
+  }
+  util::ensure(sum > 0.0F, "pairhmm: likelihood underflowed to zero");
+  return std::log10(static_cast<double>(sum)) -
+         std::log10(static_cast<double>(pairhmm_initial_condition()));
+}
+
+double pairhmm_log10(const PairHmmTask& task) {
+  return pairhmm_log10_from_fill(pairhmm_fill(task));
+}
+
+double pairhmm_log10_double(const PairHmmTask& task) {
+  validate(task);
+  const std::size_t rows = task.read.size();
+  const std::size_t cols = task.hap.size();
+  // Double has enough range that no scaling constant is needed; GATK's
+  // double path seeds the deletion row with 1 / |hap| directly.
+  const double initial = 1.0 / static_cast<double>(cols);
+  std::vector<double> m_prev(cols + 1, 0.0);
+  std::vector<double> i_prev(cols + 1, 0.0);
+  std::vector<double> d_prev(cols + 1, initial);
+  std::vector<double> m_cur(cols + 1, 0.0);
+  std::vector<double> i_cur(cols + 1, 0.0);
+  std::vector<double> d_cur(cols + 1, 0.0);
+
+  for (std::size_t i = 1; i <= rows; ++i) {
+    const Transitions t = transitions_for(task.ins_quals[i - 1], task.del_quals[i - 1],
+                                          task.gcp);
+    const char read_base = task.read[i - 1];
+    const double err = qual_to_error_prob(task.base_quals[i - 1]);
+    m_cur[0] = 0.0;
+    i_cur[0] = 0.0;
+    d_cur[0] = 0.0;
+    for (std::size_t j = 1; j <= cols; ++j) {
+      const char hap_base = task.hap[j - 1];
+      const bool match = read_base == hap_base || read_base == 'N' || hap_base == 'N';
+      const double prior = match ? 1.0 - err : err / 3.0;
+      m_cur[j] = prior * (m_prev[j - 1] * t.mm + (i_prev[j - 1] + d_prev[j - 1]) * t.im);
+      i_cur[j] = m_prev[j] * t.mi + i_prev[j] * t.ii;
+      d_cur[j] = m_cur[j - 1] * t.md + d_cur[j - 1] * t.dd;
+    }
+    std::swap(m_prev, m_cur);
+    std::swap(i_prev, i_cur);
+    std::swap(d_prev, d_cur);
+  }
+  double sum = 0.0;
+  for (std::size_t j = 1; j <= cols; ++j) {
+    sum += m_prev[j] + i_prev[j];
+  }
+  util::ensure(sum > 0.0, "pairhmm_log10_double: likelihood underflowed");
+  return std::log10(sum);
+}
+
+double pairhmm_log10_safe(const PairHmmTask& task) {
+  const PairHmmFill fill = pairhmm_fill(task);
+  const std::size_t rows = fill.m.rows() - 1;
+  const std::size_t cols = fill.m.cols() - 1;
+  float sum = 0.0F;
+  for (std::size_t j = 1; j <= cols; ++j) {
+    sum += fill.m(rows, j) + fill.i(rows, j);
+  }
+  if (sum > 0.0F) {
+    return std::log10(static_cast<double>(sum)) -
+           std::log10(static_cast<double>(pairhmm_initial_condition()));
+  }
+  return pairhmm_log10_double(task);
+}
+
+}  // namespace wsim::align

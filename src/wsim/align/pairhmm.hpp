@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsim/align/matrix.hpp"
+#include "wsim/align/scoring.hpp"
+
+namespace wsim::align {
+
+/// One PairHMM alignment task as HaplotypeCaller produces it: a read with
+/// its three quality tracks, and a candidate haplotype. The result is the
+/// log10 likelihood that the read was sampled from the haplotype.
+struct PairHmmTask {
+  std::string read;
+  std::vector<std::uint8_t> base_quals;
+  std::vector<std::uint8_t> ins_quals;
+  std::vector<std::uint8_t> del_quals;
+  std::uint8_t gcp = 10;  ///< gap-continuation penalty (GATK default)
+  std::string hap;
+};
+
+/// Structural validation of a task (matching track lengths, non-empty
+/// sequences). Throws util::CheckError on violations.
+void validate(const PairHmmTask& task);
+
+/// Filled match/insertion/deletion matrices of Eq. 6,
+/// (|read|+1) x (|hap|+1), computed in f32 exactly as the GPU kernels do
+/// so cells can be compared one-to-one.
+struct PairHmmFill {
+  Matrix<float> m;
+  Matrix<float> i;
+  Matrix<float> d;
+};
+
+PairHmmFill pairhmm_fill(const PairHmmTask& task);
+
+/// Likelihood from a filled DP: log10(sum over the last row of M + I)
+/// minus the scaling constant's log10. (GATK convention; the paper's
+/// prose says I + D, see EXPERIMENTS.md.)
+double pairhmm_log10_from_fill(const PairHmmFill& fill);
+
+/// Forward algorithm: fill + reduce. Throws util::CheckError when the f32
+/// forward sum underflows to zero (see pairhmm_log10_safe).
+double pairhmm_log10(const PairHmmTask& task);
+
+/// Double-precision forward algorithm: the fallback path GATK's PairHMM
+/// takes when the float computation underflows (very long or very
+/// mismatched reads).
+double pairhmm_log10_double(const PairHmmTask& task);
+
+/// GATK semantics: compute in f32 and fall back to double on underflow.
+/// Never throws for valid tasks.
+double pairhmm_log10_safe(const PairHmmTask& task);
+
+}  // namespace wsim::align

@@ -1,0 +1,42 @@
+#include "wsim/align/scoring.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wsim::align {
+
+std::int32_t substitution_score(const SwParams& params, char a, char b) noexcept {
+  if (a == 'N' || b == 'N') {
+    return params.mismatch;
+  }
+  return a == b ? params.match : params.mismatch;
+}
+
+float qual_to_error_prob(std::uint8_t qual) noexcept {
+  return std::pow(10.0F, -static_cast<float>(qual) / 10.0F);
+}
+
+float qual_to_prob(std::uint8_t qual) noexcept {
+  return 1.0F - qual_to_error_prob(qual);
+}
+
+Transitions transitions_for(std::uint8_t ins_qual, std::uint8_t del_qual,
+                            std::uint8_t gap_continuation_penalty) noexcept {
+  Transitions t;
+  const float ins_prob = qual_to_error_prob(ins_qual);
+  const float del_prob = qual_to_error_prob(del_qual);
+  const float gcp_prob = qual_to_error_prob(gap_continuation_penalty);
+  t.mm = 1.0F - std::min(ins_prob + del_prob, 1.0F);
+  t.im = 1.0F - gcp_prob;
+  t.mi = ins_prob;
+  t.ii = gcp_prob;
+  t.md = del_prob;
+  t.dd = gcp_prob;
+  return t;
+}
+
+float pairhmm_initial_condition() noexcept {
+  return std::ldexp(1.0F, 120);
+}
+
+}  // namespace wsim::align

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+
+namespace wsim::align {
+
+/// Affine-gap Smith-Waterman scoring scheme. Defaults are GATK
+/// HaplotypeCaller's NEW_SW_PARAMETERS (used when aligning haplotypes to
+/// the reference), matching the application the paper extracts its SW
+/// kernel from. The gap-scoring arrays of the paper's Eq. 5 are
+/// W_k = gap_open + (k - 1) * gap_extend with both penalties negative.
+struct SwParams {
+  std::int32_t match = 200;
+  std::int32_t mismatch = -150;
+  std::int32_t gap_open = -260;
+  std::int32_t gap_extend = -11;
+};
+
+/// Substitution score s(a, b) of Eq. 5; 'N' bases never match.
+std::int32_t substitution_score(const SwParams& params, char a, char b) noexcept;
+
+/// Phred quality -> error probability 10^(-q/10).
+float qual_to_error_prob(std::uint8_t qual) noexcept;
+
+/// Phred quality -> 1 - error probability.
+float qual_to_prob(std::uint8_t qual) noexcept;
+
+/// PairHMM state-transition probabilities for one read position, derived
+/// from the insertion quality, deletion quality, and gap-continuation
+/// penalty as in GATK's PairHMMModel. In the paper's Eq. 6 notation:
+/// mm = alpha, im = beta = gamma, mi = delta, ii = epsilon, md = zeta,
+/// dd = mu.
+struct Transitions {
+  float mm = 0.0F;  ///< match -> match
+  float im = 0.0F;  ///< insertion/deletion -> match (gap continuation complement)
+  float mi = 0.0F;  ///< match -> insertion
+  float ii = 0.0F;  ///< insertion -> insertion
+  float md = 0.0F;  ///< match -> deletion
+  float dd = 0.0F;  ///< deletion -> deletion
+};
+
+Transitions transitions_for(std::uint8_t ins_qual, std::uint8_t del_qual,
+                            std::uint8_t gap_continuation_penalty) noexcept;
+
+/// PairHMM scaling constant (GATK FloatPairHMM): 2^120, used as the
+/// initial condition of the deletion row so f32 stays in range.
+float pairhmm_initial_condition() noexcept;
+
+}  // namespace wsim::align

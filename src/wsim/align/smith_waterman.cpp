@@ -1,0 +1,182 @@
+#include "wsim/align/smith_waterman.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::align {
+
+namespace {
+
+/// Large negative sentinel that survives additions without wrapping.
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+}  // namespace
+
+SwFill sw_fill(std::string_view query, std::string_view target, const SwParams& params) {
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  SwFill fill;
+  fill.h = Matrix<std::int32_t>(m + 1, n + 1, 0);
+  fill.btrack = Matrix<std::int32_t>(m + 1, n + 1, kBtrackStop);
+
+  // Per-column vertical-gap state (F of Gotoh's affine recurrence and the
+  // running gap length), carried across rows.
+  std::vector<std::int32_t> f(n + 1, kNegInf);
+  std::vector<std::int32_t> kv(n + 1, 0);
+
+  for (std::size_t i = 1; i <= m; ++i) {
+    // Per-row horizontal-gap state.
+    std::int32_t e = kNegInf;
+    std::int32_t lh = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      // Horizontal gap: open from H(i, j-1) or extend E(i, j-1); prefer the
+      // shorter gap (open) on ties.
+      const std::int32_t open_h = fill.h(i, j - 1) + params.gap_open;
+      const std::int32_t extend_h = e + params.gap_extend;
+      if (extend_h > open_h) {
+        e = extend_h;
+        ++lh;
+      } else {
+        e = open_h;
+        lh = 1;
+      }
+      // Vertical gap: open from H(i-1, j) or extend F(i-1, j).
+      const std::int32_t open_v = fill.h(i - 1, j) + params.gap_open;
+      const std::int32_t extend_v = f[j] + params.gap_extend;
+      if (extend_v > open_v) {
+        f[j] = extend_v;
+        ++kv[j];
+      } else {
+        f[j] = open_v;
+        kv[j] = 1;
+      }
+
+      const std::int32_t diag =
+          fill.h(i - 1, j - 1) + substitution_score(params, query[i - 1], target[j - 1]);
+
+      // Precedence on ties: diagonal > vertical > horizontal, then the
+      // zero floor of Eq. 5.
+      std::int32_t best = diag;
+      std::int32_t bt = 0;
+      if (f[j] > best) {
+        best = f[j];
+        bt = kv[j];
+      }
+      if (e > best) {
+        best = e;
+        bt = -lh;
+      }
+      if (best <= 0) {
+        best = 0;
+        bt = kBtrackStop;
+      }
+      fill.h(i, j) = best;
+      fill.btrack(i, j) = bt;
+    }
+  }
+
+  // HaplotypeCaller variant: best cell over the last column (top to
+  // bottom) then the last row (left to right); strictly greater wins.
+  fill.best_score = 0;
+  fill.best_i = m;
+  fill.best_j = n;
+  if (m > 0 && n > 0) {
+    for (std::size_t i = 1; i <= m; ++i) {
+      if (fill.h(i, n) > fill.best_score) {
+        fill.best_score = fill.h(i, n);
+        fill.best_i = i;
+        fill.best_j = n;
+      }
+    }
+    for (std::size_t j = 1; j <= n; ++j) {
+      if (fill.h(m, j) > fill.best_score) {
+        fill.best_score = fill.h(m, j);
+        fill.best_i = m;
+        fill.best_j = j;
+      }
+    }
+  }
+  return fill;
+}
+
+SwAlignment sw_backtrace(const Matrix<std::int32_t>& btrack, std::size_t best_i,
+                         std::size_t best_j, std::int32_t best_score) {
+  util::require(best_i < btrack.rows() && best_j < btrack.cols(),
+                "sw_backtrace: start cell out of range");
+  SwAlignment result;
+  result.score = best_score;
+  result.query_end = best_i;
+  result.target_end = best_j;
+
+  // Collect (op, run) pairs walking backwards, then render forwards.
+  std::vector<std::pair<char, std::size_t>> ops;
+  auto push = [&ops](char op, std::size_t run) {
+    if (run == 0) {
+      return;
+    }
+    if (!ops.empty() && ops.back().first == op) {
+      ops.back().second += run;
+    } else {
+      ops.emplace_back(op, run);
+    }
+  };
+
+  std::size_t i = best_i;
+  std::size_t j = best_j;
+  while (i > 0 && j > 0) {
+    const std::int32_t bt = btrack(i, j);
+    if (bt == kBtrackStop) {
+      break;
+    }
+    if (bt == 0) {
+      push('M', 1);
+      --i;
+      --j;
+    } else if (bt > 0) {
+      const auto run = std::min<std::size_t>(static_cast<std::size_t>(bt), i);
+      push('I', run);
+      i -= run;
+    } else {
+      const auto run = std::min<std::size_t>(static_cast<std::size_t>(-bt), j);
+      push('D', run);
+      j -= run;
+    }
+  }
+  result.query_begin = i;
+  result.target_begin = j;
+
+  std::string cigar;
+  for (auto it = ops.rbegin(); it != ops.rend(); ++it) {
+    cigar += std::to_string(it->second);
+    cigar += it->first;
+  }
+  result.cigar = std::move(cigar);
+  return result;
+}
+
+SwAlignment sw_align(std::string_view query, std::string_view target,
+                     const SwParams& params) {
+  const SwFill fill = sw_fill(query, target, params);
+  return sw_backtrace(fill.btrack, fill.best_i, fill.best_j, fill.best_score);
+}
+
+std::string cigar_with_softclips(const SwAlignment& alignment,
+                                 std::size_t query_length) {
+  util::require(alignment.query_end <= query_length,
+                "cigar_with_softclips: alignment exceeds the query");
+  std::string out;
+  if (alignment.query_begin > 0) {
+    out += std::to_string(alignment.query_begin);
+    out += 'S';
+  }
+  out += alignment.cigar;
+  if (alignment.query_end < query_length) {
+    out += std::to_string(query_length - alignment.query_end);
+    out += 'S';
+  }
+  return out;
+}
+
+}  // namespace wsim::align

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+
+#include "wsim/align/matrix.hpp"
+#include "wsim/align/scoring.hpp"
+
+namespace wsim::align {
+
+/// Backtrace marker for cells where the zero floor of Eq. 5 was taken:
+/// a local alignment ends when the trace reaches such a cell.
+inline constexpr std::int32_t kBtrackStop = std::numeric_limits<std::int32_t>::min();
+
+/// Filled DP state of GATK-style Smith-Waterman: the score matrix H of
+/// Eq. 5 and the backtrace matrix using GATK's run-length encoding —
+/// 0 = diagonal, +k = vertical gap of length k (consumes the query),
+/// -l = horizontal gap of length l (consumes the target), kBtrackStop =
+/// zero floor. Matrices are (|query|+1) x (|target|+1); row and column 0
+/// are DP boundaries. As in the paper's HaplotypeCaller variant, the best
+/// cell is searched over the last row and last column only.
+struct SwFill {
+  Matrix<std::int32_t> h;
+  Matrix<std::int32_t> btrack;
+  std::int32_t best_score = 0;
+  std::size_t best_i = 0;  ///< row of the best cell (1-based DP index)
+  std::size_t best_j = 0;  ///< column of the best cell
+};
+
+/// Runs the forward DP (no backtrace).
+SwFill sw_fill(std::string_view query, std::string_view target, const SwParams& params);
+
+/// A completed local alignment. CIGAR operations are relative to the
+/// query: M = match/mismatch, I = query-only base (vertical move),
+/// D = target-only base (horizontal move). *_begin/*_end are 0-based
+/// half-open coordinates of the aligned span.
+struct SwAlignment {
+  std::int32_t score = 0;
+  std::string cigar;
+  std::size_t query_begin = 0;
+  std::size_t query_end = 0;
+  std::size_t target_begin = 0;
+  std::size_t target_end = 0;
+};
+
+/// Walks the backtrace matrix from (best_i, best_j). Exposed separately so
+/// the GPU kernels' device-produced btrack matrices can be traced with the
+/// same code path.
+SwAlignment sw_backtrace(const Matrix<std::int32_t>& btrack, std::size_t best_i,
+                         std::size_t best_j, std::int32_t best_score);
+
+/// Fill + backtrace in one call (the host reference implementation).
+SwAlignment sw_align(std::string_view query, std::string_view target,
+                     const SwParams& params);
+
+/// GATK-style CIGAR with soft clips: query bases outside the aligned span
+/// are reported as 'S' operations (SWOverhangStrategy::SOFTCLIP), e.g.
+/// "2S5M1S" for a 8-base query aligned over [2, 7).
+std::string cigar_with_softclips(const SwAlignment& alignment,
+                                 std::size_t query_length);
+
+}  // namespace wsim::align

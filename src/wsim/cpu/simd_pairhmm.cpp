@@ -1,0 +1,143 @@
+#include "wsim/cpu/simd_pairhmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::cpu {
+
+namespace {
+
+using VecF = float __attribute__((vector_size(16)));
+using VecI = std::int32_t __attribute__((vector_size(16)));
+constexpr std::size_t kLanes = 4;
+
+VecF load(const float* p) noexcept {
+  VecF v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void store(float* p, VecF v) noexcept { std::memcpy(p, &v, sizeof(v)); }
+
+VecI splat_int(std::int32_t x) noexcept { return VecI{x, x, x, x}; }
+
+}  // namespace
+
+double simd_pairhmm_log10(const align::PairHmmTask& task) {
+  align::validate(task);
+  const std::size_t rows = task.read.size();
+  const std::size_t cols = task.hap.size();
+
+  // Per-row constants (the data reuse the paper highlights).
+  std::vector<float> prior_match(rows + 1, 0.0F);
+  std::vector<float> prior_mismatch(rows + 1, 0.0F);
+  std::vector<float> t_mm(rows + 1, 0.0F);
+  std::vector<float> t_im(rows + 1, 0.0F);
+  std::vector<float> t_mi(rows + 1, 0.0F);
+  std::vector<float> t_ii(rows + 1, 0.0F);
+  std::vector<float> t_md(rows + 1, 0.0F);
+  std::vector<float> t_dd(rows + 1, 0.0F);
+  std::vector<std::int32_t> read_char(rows + 1, 0);
+  for (std::size_t i = 1; i <= rows; ++i) {
+    const float err = align::qual_to_error_prob(task.base_quals[i - 1]);
+    const align::Transitions tr = align::transitions_for(
+        task.ins_quals[i - 1], task.del_quals[i - 1], task.gcp);
+    prior_match[i] = 1.0F - err;
+    prior_mismatch[i] = err / 3.0F;
+    t_mm[i] = tr.mm;
+    t_im[i] = tr.im;
+    t_mi[i] = tr.mi;
+    t_ii[i] = tr.ii;
+    t_md[i] = tr.md;
+    t_dd[i] = tr.dd;
+    read_char[i] = task.read[i - 1];
+  }
+
+  // Rolling anti-diagonal state indexed by row: values at s-1 and s-2.
+  // Row 0 is the DP boundary (M = I = 0, D = IC / |hap|) on every
+  // diagonal and is never overwritten.
+  const float initial =
+      align::pairhmm_initial_condition() / static_cast<float>(cols);
+  std::vector<float> m_p(rows + 1, 0.0F), m_pp(rows + 1, 0.0F), m_cur(rows + 1, 0.0F);
+  std::vector<float> i_p(rows + 1, 0.0F), i_pp(rows + 1, 0.0F), i_cur(rows + 1, 0.0F);
+  std::vector<float> d_p(rows + 1, 0.0F), d_pp(rows + 1, 0.0F), d_cur(rows + 1, 0.0F);
+  d_p[0] = initial;
+  d_pp[0] = initial;
+  d_cur[0] = initial;
+
+  double last_row_sum = 0.0;  // accumulated in f32 like the reference
+  float last_row_acc = 0.0F;
+
+  const std::size_t diagonals = rows + cols;  // s = i + j, s in [2, rows+cols]
+  for (std::size_t s = 2; s <= diagonals; ++s) {
+    const std::size_t i_lo = s > cols ? s - cols : 1;
+    const std::size_t i_hi = std::min(rows, s - 1);
+    std::size_t i = i_lo;
+
+    // Vector body: four rows at a time.
+    for (; i + kLanes <= i_hi + 1; i += kLanes) {
+      // Emission prior: lane-wise read-vs-hap comparison.
+      VecI rc;
+      VecI hc;
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        rc[l] = read_char[i + l];
+        hc[l] = task.hap[s - (i + l) - 1];
+      }
+      const VecI is_match =
+          (rc == hc) | (rc == splat_int('N')) | (hc == splat_int('N'));
+      const VecF prior =
+          is_match ? load(&prior_match[i]) : load(&prior_mismatch[i]);
+
+      const VecF m_diag = load(&m_pp[i - 1]);
+      const VecF i_diag = load(&i_pp[i - 1]);
+      const VecF d_diag = load(&d_pp[i - 1]);
+      const VecF m_up = load(&m_p[i - 1]);
+      const VecF i_up = load(&i_p[i - 1]);
+      const VecF m_left = load(&m_p[i]);
+      const VecF d_left = load(&d_p[i]);
+
+      const VecF m_new =
+          prior * (m_diag * load(&t_mm[i]) + (i_diag + d_diag) * load(&t_im[i]));
+      const VecF i_new = m_up * load(&t_mi[i]) + i_up * load(&t_ii[i]);
+      const VecF d_new = m_left * load(&t_md[i]) + d_left * load(&t_dd[i]);
+      store(&m_cur[i], m_new);
+      store(&i_cur[i], i_new);
+      store(&d_cur[i], d_new);
+    }
+
+    // Scalar tail.
+    for (; i <= i_hi; ++i) {
+      const char hap_base = task.hap[s - i - 1];
+      const bool match = read_char[i] == hap_base || read_char[i] == 'N' ||
+                         hap_base == 'N';
+      const float prior = match ? prior_match[i] : prior_mismatch[i];
+      m_cur[i] = prior * (m_pp[i - 1] * t_mm[i] + (i_pp[i - 1] + d_pp[i - 1]) * t_im[i]);
+      i_cur[i] = m_p[i - 1] * t_mi[i] + i_p[i - 1] * t_ii[i];
+      d_cur[i] = m_p[i] * t_md[i] + d_p[i] * t_dd[i];
+    }
+
+    if (i_hi == rows && i_lo <= rows) {
+      last_row_acc += m_cur[rows] + i_cur[rows];
+    }
+
+    std::swap(m_pp, m_p);
+    std::swap(m_p, m_cur);
+    std::swap(i_pp, i_p);
+    std::swap(i_p, i_cur);
+    std::swap(d_pp, d_p);
+    std::swap(d_p, d_cur);
+    // Row-0 boundary survives the rotation by construction (index 0 is
+    // never written by the body loops).
+  }
+
+  last_row_sum = static_cast<double>(last_row_acc);
+  util::ensure(last_row_sum > 0.0, "simd_pairhmm: likelihood underflowed to zero");
+  return std::log10(last_row_sum) -
+         std::log10(static_cast<double>(align::pairhmm_initial_condition()));
+}
+
+}  // namespace wsim::cpu

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "wsim/align/pairhmm.hpp"
+
+namespace wsim::cpu {
+
+/// CPU baseline: anti-diagonal SIMD PairHMM forward algorithm in the
+/// style of Intel's Genomics Kernel Library (the paper's CPU comparator):
+/// cells on one anti-diagonal are independent, so four read rows are
+/// updated per vector step with 4 x f32 lanes. Per-cell arithmetic uses
+/// the exact operation order of align::pairhmm_fill, so results are
+/// bit-identical to the scalar reference.
+double simd_pairhmm_log10(const align::PairHmmTask& task);
+
+}  // namespace wsim::cpu

@@ -1,0 +1,153 @@
+#include "wsim/cpu/striped_sw.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::cpu {
+
+namespace {
+
+/// Four 32-bit lanes via compiler vector extensions (SSE/NEON codegen
+/// without intrinsics headers).
+using Vec = std::int32_t __attribute__((vector_size(16)));
+constexpr int kLanes = 4;
+constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+
+Vec splat(std::int32_t value) noexcept { return Vec{value, value, value, value}; }
+
+Vec vmax(Vec a, Vec b) noexcept { return (a > b) ? a : b; }
+
+std::int32_t hmax(Vec v) noexcept {
+  return std::max(std::max(v[0], v[1]), std::max(v[2], v[3]));
+}
+
+bool any_gt(Vec a, Vec b) noexcept {
+  const Vec cmp = a > b;
+  return (cmp[0] | cmp[1] | cmp[2] | cmp[3]) != 0;
+}
+
+/// {a0,a1,a2,a3} -> {fill,a0,a1,a2}: moves values to the next lane, i.e.
+/// from one query stripe to the following one.
+Vec shift_in(Vec v, std::int32_t fill) noexcept {
+  return Vec{fill, v[0], v[1], v[2]};
+}
+
+}  // namespace
+
+std::int32_t scalar_sw_score(std::string_view query, std::string_view target,
+                             const align::SwParams& params) {
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  std::vector<std::int32_t> h(m + 1, 0);       // H(*, j-1), updated in place
+  std::vector<std::int32_t> e(m + 1, kNegInf); // per-row horizontal gap
+  std::int32_t best = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    std::int32_t diag = 0;        // H(i-1, j-1)
+    std::int32_t f = kNegInf;     // vertical-gap chain down the column
+    for (std::size_t i = 1; i <= m; ++i) {
+      e[i] = std::max(h[i] + params.gap_open, e[i] + params.gap_extend);
+      // h[i-1] already holds H(i-1, j) (updated this column).
+      f = std::max(h[i - 1] + params.gap_open, f + params.gap_extend);
+      const std::int32_t sub =
+          align::substitution_score(params, query[i - 1], target[j - 1]);
+      const std::int32_t cell = std::max({0, diag + sub, e[i], f});
+      diag = h[i];
+      h[i] = cell;
+      best = std::max(best, cell);
+    }
+  }
+  return best;
+}
+
+std::int32_t striped_sw_score(std::string_view query, std::string_view target,
+                              const align::SwParams& params) {
+  util::require(!query.empty() && !target.empty(),
+                "striped_sw_score: sequences must be non-empty");
+  const auto m = query.size();
+  const std::size_t seg_len = (m + kLanes - 1) / kLanes;
+
+  // Striped query profile: lane l, segment s covers query row l*seg_len+s.
+  // Padding rows get a prohibitive mismatch so they clamp to the zero
+  // floor and never contaminate real cells.
+  std::array<std::vector<Vec>, 256> profile;
+  std::vector<bool> profiled(256, false);
+  auto profile_for = [&](unsigned char c) -> const std::vector<Vec>& {
+    if (!profiled[c]) {
+      auto& rows = profile[c];
+      rows.resize(seg_len);
+      for (std::size_t s = 0; s < seg_len; ++s) {
+        Vec v = splat(kNegInf / 2);
+        for (int l = 0; l < kLanes; ++l) {
+          const std::size_t i = static_cast<std::size_t>(l) * seg_len + s;
+          if (i < m) {
+            v[l] = align::substitution_score(params, query[i],
+                                             static_cast<char>(c));
+          }
+        }
+        rows[s] = v;
+      }
+      profiled[c] = true;
+    }
+    return profile[c];
+  };
+
+  const Vec zero = splat(0);
+  const Vec open = splat(params.gap_open);
+  const Vec extend = splat(params.gap_extend);
+  std::vector<Vec> h_store(seg_len, zero);
+  std::vector<Vec> h_load(seg_len, zero);
+  std::vector<Vec> e(seg_len, splat(kNegInf));
+  Vec v_max = zero;
+
+  for (const char tc : target) {
+    const auto& prof = profile_for(static_cast<unsigned char>(tc));
+    std::swap(h_store, h_load);
+
+    // Diagonal entering stripe row 0: the previous column's last stripe,
+    // shifted one lane (row -1 contributes the zero boundary).
+    Vec h = shift_in(h_load[seg_len - 1], 0);
+    Vec f = splat(kNegInf);
+    for (std::size_t s = 0; s < seg_len; ++s) {
+      h += prof[s];          // diag + s(a, b)
+      h = vmax(h, e[s]);     // horizontal gap
+      h = vmax(h, f);        // lane-local vertical gap
+      h = vmax(h, zero);     // Eq. 5 floor
+      h_store[s] = h;
+      f = vmax(h + open, f + extend);
+      h = h_load[s];
+    }
+
+    // Lazy-F fixpoint: propagate the vertical gap across stripe (lane)
+    // boundaries until a full sweep changes nothing. Each sweep crosses
+    // one lane boundary, so it terminates within kLanes sweeps.
+    for (int sweep = 0; sweep < kLanes; ++sweep) {
+      f = shift_in(f, kNegInf);
+      bool changed = false;
+      for (std::size_t s = 0; s < seg_len; ++s) {
+        const Vec improved = vmax(h_store[s], f);
+        if (any_gt(improved, h_store[s])) {
+          changed = true;
+          h_store[s] = improved;
+        }
+        f = vmax(h_store[s] + open, f + extend);
+      }
+      if (!changed) {
+        break;
+      }
+    }
+
+    // E for the next column uses the corrected H of this column.
+    for (std::size_t s = 0; s < seg_len; ++s) {
+      e[s] = vmax(h_store[s] + open, e[s] + extend);
+      v_max = vmax(v_max, h_store[s]);
+    }
+  }
+  return hmax(v_max);
+}
+
+}  // namespace wsim::cpu

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "wsim/align/scoring.hpp"
+
+namespace wsim::cpu {
+
+/// CPU baseline: Farrar's striped SIMD Smith-Waterman (the algorithm
+/// behind SSW and the CPU comparators in the paper's related work),
+/// implemented with 4 x i32 vector lanes via compiler vector extensions.
+/// Computes the classic local-alignment score: the maximum of Eq. 5's H
+/// over the whole matrix (unlike the HaplotypeCaller variant, which
+/// restricts the search to the last row/column — see sw_fill).
+std::int32_t striped_sw_score(std::string_view query, std::string_view target,
+                              const align::SwParams& params);
+
+/// Scalar reference for the same definition (max over the full matrix),
+/// used to validate the striped kernel and as the no-SIMD baseline.
+std::int32_t scalar_sw_score(std::string_view query, std::string_view target,
+                             const align::SwParams& params);
+
+}  // namespace wsim::cpu

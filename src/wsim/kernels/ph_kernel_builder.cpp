@@ -1,0 +1,565 @@
+#include <string>
+#include <vector>
+
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::kernels {
+
+using simt::Cmp;
+using simt::DType;
+using simt::imm_f32;
+using simt::imm_i64;
+using simt::KernelBuilder;
+using simt::MemWidth;
+using simt::Op;
+using simt::SReg;
+using simt::VReg;
+
+namespace {
+
+/// Per-row transition/prior values derived in the kernel prologue.
+enum RowField {
+  kPriorMatch = 0,
+  kPriorMismatch,
+  kTransMM,
+  kTransIM,
+  kTransMI,
+  kTransII,
+  kTransMD,
+  kTransDD,
+  kRowFields,
+};
+
+struct PhParams {
+  SReg quals;      ///< per-row quality triples [base, ins, del, pad], 4 B/row
+  SReg reads;
+  SReg haps;
+  SReg r;
+  SReg h;
+  SReg steps;
+  SReg result;
+  SReg ic_over_h;  ///< f32 bits: IC / |hap|
+  SReg err_lut;    ///< f32[kQualLutSize]: qual -> 10^(-q/10)
+  SReg err3_lut;   ///< f32[kQualLutSize]: qual -> 10^(-q/10) / 3
+  SReg gcp_prob;   ///< f32 bits: gap-continuation probability
+  SReg gcp_comp;   ///< f32 bits: 1 - gap-continuation probability
+};
+
+PhParams declare_params(KernelBuilder& kb) {
+  PhParams p;
+  p.quals = kb.param();
+  p.reads = kb.param();
+  p.haps = kb.param();
+  p.r = kb.param();
+  p.h = kb.param();
+  p.steps = kb.param();
+  p.result = kb.param();
+  p.ic_over_h = kb.param();
+  p.err_lut = kb.param();
+  p.err3_lut = kb.param();
+  p.gcp_prob = kb.param();
+  p.gcp_comp = kb.param();
+  return p;
+}
+
+/// Per-row constants: read character plus priors and Eq. 6 transition
+/// probabilities, derived from the row's quality bytes through the
+/// device-resident lookup tables (as production PairHMM kernels do — only
+/// raw quality bytes cross PCIe).
+struct RowState {
+  VReg row_valid;
+  VReg is_lastrow;
+  VReg read_is_n;
+  VReg rchar;
+  std::array<VReg, kRowFields> fields;
+};
+
+RowState load_row(KernelBuilder& kb, const PhParams& p, VReg row_index, SReg r_minus1) {
+  RowState row;
+  row.row_valid = kb.setp(Cmp::kLt, DType::kI64, row_index, p.r);
+  row.is_lastrow = kb.setp(Cmp::kEq, DType::kI64, row_index, r_minus1);
+  row.rchar = kb.mov(imm_i64(0));
+  const VReg base_q = kb.mov(imm_i64(0));
+  const VReg ins_q = kb.mov(imm_i64(0));
+  const VReg del_q = kb.mov(imm_i64(0));
+  const VReg qbase = kb.iadd(p.quals, kb.imul(row_index, imm_i64(4)));
+  kb.begin_pred(row.row_valid);
+  kb.ldg_to(row.rchar, kb.iadd(p.reads, row_index), 0, MemWidth::kB1);
+  kb.ldg_to(base_q, qbase, 0, MemWidth::kB1);
+  kb.ldg_to(ins_q, qbase, 1, MemWidth::kB1);
+  kb.ldg_to(del_q, qbase, 2, MemWidth::kB1);
+  kb.end_pred();
+  row.read_is_n = kb.setp(Cmp::kEq, DType::kI64, row.rchar, imm_i64('N'));
+
+  // LUT lookups (predicated on the row existing).
+  const VReg err = kb.mov(imm_f32(0.0F));
+  const VReg err3 = kb.mov(imm_f32(0.0F));
+  const VReg ins_p = kb.mov(imm_f32(0.0F));
+  const VReg del_p = kb.mov(imm_f32(0.0F));
+  kb.begin_pred(row.row_valid);
+  kb.ldg_to(err, kb.iadd(p.err_lut, kb.imul(base_q, imm_i64(4))));
+  kb.ldg_to(err3, kb.iadd(p.err3_lut, kb.imul(base_q, imm_i64(4))));
+  kb.ldg_to(ins_p, kb.iadd(p.err_lut, kb.imul(ins_q, imm_i64(4))));
+  kb.ldg_to(del_p, kb.iadd(p.err_lut, kb.imul(del_q, imm_i64(4))));
+  kb.end_pred();
+
+  // Same f32 operations as align::transitions_for so cells match the
+  // host reference exactly.
+  row.fields[kPriorMatch] = kb.fsub(imm_f32(1.0F), err);
+  row.fields[kPriorMismatch] = err3;
+  row.fields[kTransMM] = kb.fsub(
+      imm_f32(1.0F), kb.fmin(kb.fadd(ins_p, del_p), imm_f32(1.0F)));
+  row.fields[kTransIM] = kb.mov(p.gcp_comp);
+  row.fields[kTransMI] = ins_p;
+  row.fields[kTransII] = kb.mov(p.gcp_prob);
+  row.fields[kTransMD] = del_p;
+  row.fields[kTransDD] = kb.mov(p.gcp_prob);
+  return row;
+}
+
+/// Loads one haplotype character under `valid` (pre-initialized for
+/// inactive lanes).
+VReg emit_hap_load(KernelBuilder& kb, const PhParams& p, VReg j, VReg valid) {
+  const VReg hchar = kb.mov(imm_i64(0));
+  kb.begin_pred(valid);
+  kb.ldg_to(hchar, kb.iadd(p.haps, j), 0, MemWidth::kB1);
+  kb.end_pred();
+  return hchar;
+}
+
+/// Emission prior for one cell given its already-loaded hap character.
+VReg emit_prior(KernelBuilder& kb, const RowState& row, VReg hchar) {
+  const VReg h_is_n = kb.setp(Cmp::kEq, DType::kI64, hchar, imm_i64('N'));
+  const VReg eq = kb.setp(Cmp::kEq, DType::kI64, row.rchar, hchar);
+  const VReg match = kb.ior(eq, kb.ior(row.read_is_n, h_is_n));
+  return kb.selp(match, row.fields[kPriorMatch], row.fields[kPriorMismatch]);
+}
+
+/// Emits the Eq. 6 cell update given resolved neighbour values; returns
+/// (m_cur, i_cur, d_cur). Multiplications and additions are kept separate
+/// (no FMA contraction) to track the host reference's f32 rounding.
+struct CellValues {
+  VReg m;
+  VReg i;
+  VReg d;
+};
+
+CellValues emit_cell(KernelBuilder& kb, const RowState& row, VReg prior, VReg m_diag,
+                     VReg i_diag, VReg d_diag, VReg m_up, VReg i_up, VReg m_left,
+                     VReg d_left) {
+  CellValues out;
+  const VReg id_sum = kb.fadd(i_diag, d_diag);
+  const VReg m_term = kb.fadd(kb.fmul(m_diag, row.fields[kTransMM]),
+                              kb.fmul(id_sum, row.fields[kTransIM]));
+  out.m = kb.fmul(prior, m_term);
+  out.i = kb.fadd(kb.fmul(m_up, row.fields[kTransMI]),
+                  kb.fmul(i_up, row.fields[kTransII]));
+  out.d = kb.fadd(kb.fmul(m_left, row.fields[kTransMD]),
+                  kb.fmul(d_left, row.fields[kTransDD]));
+  return out;
+}
+
+}  // namespace
+
+simt::Kernel build_ph_shared_kernel(int threads_per_block) {
+  util::require(threads_per_block > 0 && threads_per_block % 32 == 0 &&
+                    threads_per_block <= kPhMaxReadLen,
+                "build_ph_shared_kernel: threads must be a multiple of 32 in [32, 128]");
+  KernelBuilder kb("ph1_shared_t" + std::to_string(threads_per_block),
+                   threads_per_block);
+  const PhParams p = declare_params(kb);
+
+  // Nine rotating line buffers: {current, -1, -2} per DP matrix.
+  std::array<int, 9> buf_off{};
+  for (auto& off : buf_off) {
+    off = kb.alloc_smem(threads_per_block * 4);
+  }
+  std::array<SReg, 3> smb{};  // M buffers: [0]=current, [1]=s-1, [2]=s-2
+  std::array<SReg, 3> sib{};
+  std::array<SReg, 3> sdb{};
+  for (int r = 0; r < 3; ++r) {
+    smb[static_cast<std::size_t>(r)] = kb.smov(imm_i64(buf_off[static_cast<std::size_t>(r)]));
+    sib[static_cast<std::size_t>(r)] = kb.smov(imm_i64(buf_off[static_cast<std::size_t>(3 + r)]));
+    sdb[static_cast<std::size_t>(r)] = kb.smov(imm_i64(buf_off[static_cast<std::size_t>(6 + r)]));
+  }
+
+  const VReg tid = kb.tid();
+  const VReg own_off = kb.imul(tid, imm_i64(4));
+  const VReg nb_off = kb.imul(kb.isub(tid, imm_i64(1)), imm_i64(4));
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const VReg not_t0 = kb.setp(Cmp::kGt, DType::kI64, tid, imm_i64(0));
+  const SReg r1 = kb.ssub(p.r, imm_i64(1));
+  const VReg ic_over_h = kb.mov(p.ic_over_h);
+
+  const RowState row = load_row(kb, p, tid, r1);
+
+  // Lane-local left-neighbour state (M(i, j-1), D(i, j-1)) and the
+  // last-row accumulator.
+  const VReg m_left = kb.mov(imm_f32(0.0F));
+  const VReg d_left = kb.mov(imm_f32(0.0F));
+  const VReg acc = kb.mov(imm_f32(0.0F));
+
+  const SReg step = kb.smov(imm_i64(0));
+  kb.loop(p.steps);
+  {
+    const VReg j = kb.isub(step, tid);
+    const VReg valid = kb.iand(
+        kb.iand(kb.setp(Cmp::kGe, DType::kI64, j, imm_i64(0)),
+                kb.setp(Cmp::kLt, DType::kI64, j, p.h)),
+        row.row_valid);
+    const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, j, imm_i64(0));
+
+    const VReg prior = emit_prior(kb, row, emit_hap_load(kb, p, j, valid));
+
+    // LOAD phase: neighbour values from the s-1 / s-2 line buffers.
+    const VReg m_diag_raw = kb.mov(imm_f32(0.0F));
+    const VReg i_diag_raw = kb.mov(imm_f32(0.0F));
+    const VReg d_diag_raw = kb.mov(imm_f32(0.0F));
+    const VReg m_up_raw = kb.mov(imm_f32(0.0F));
+    const VReg i_up_raw = kb.mov(imm_f32(0.0F));
+    const VReg valid_nb = kb.iand(valid, not_t0);
+    kb.begin_pred(valid_nb);
+    kb.lds_to(m_diag_raw, kb.iadd(smb[2], nb_off));
+    kb.lds_to(i_diag_raw, kb.iadd(sib[2], nb_off));
+    kb.lds_to(d_diag_raw, kb.iadd(sdb[2], nb_off));
+    kb.lds_to(m_up_raw, kb.iadd(smb[1], nb_off));
+    kb.lds_to(i_up_raw, kb.iadd(sib[1], nb_off));
+    kb.end_pred();
+
+    // DP boundaries: row 0 has M = I = 0 and D = IC/|hap|; column 0 is
+    // all zeros.
+    const VReg zero_mi = kb.ior(is_t0, is_c0);
+    const VReg m_diag = kb.selp(zero_mi, imm_f32(0.0F), m_diag_raw);
+    const VReg i_diag = kb.selp(zero_mi, imm_f32(0.0F), i_diag_raw);
+    const VReg d_diag =
+        kb.selp(is_t0, ic_over_h, kb.selp(is_c0, imm_f32(0.0F), d_diag_raw));
+    const VReg m_up = kb.selp(is_t0, imm_f32(0.0F), m_up_raw);
+    const VReg i_up = kb.selp(is_t0, imm_f32(0.0F), i_up_raw);
+    const VReg m_left_v = kb.selp(is_c0, imm_f32(0.0F), m_left);
+    const VReg d_left_v = kb.selp(is_c0, imm_f32(0.0F), d_left);
+
+    const CellValues cur = emit_cell(kb, row, prior, m_diag, i_diag, d_diag, m_up,
+                                     i_up, m_left_v, d_left_v);
+
+    // Last-row accumulation of M + I (the likelihood numerator).
+    const VReg at_lastrow = kb.iand(valid, row.is_lastrow);
+    kb.begin_pred(at_lastrow);
+    kb.emit_to(acc, Op::kFAdd, acc, kb.fadd(cur.m, cur.i));
+    kb.end_pred();
+
+    // WRITE phase: current anti-diagonal into the `current` buffers.
+    kb.begin_pred(valid);
+    kb.sts(kb.iadd(smb[0], own_off), cur.m);
+    kb.sts(kb.iadd(sib[0], own_off), cur.i);
+    kb.sts(kb.iadd(sdb[0], own_off), cur.d);
+    kb.end_pred();
+
+    kb.assign(m_left, cur.m);
+    kb.assign(d_left, cur.d);
+
+    // ROTATE: cur -> s-1 -> s-2 for all three matrices, then SYNC.
+    for (auto* bufs : {&smb, &sib, &sdb}) {
+      const SReg tmp = kb.smov((*bufs)[2]);
+      kb.sassign((*bufs)[2], (*bufs)[1]);
+      kb.sassign((*bufs)[1], (*bufs)[0]);
+      kb.sassign((*bufs)[0], tmp);
+    }
+    kb.bar();
+
+    kb.sassign(step, kb.sadd(step, imm_i64(1)));
+  }
+  kb.endloop();
+
+  kb.begin_pred(row.is_lastrow);
+  kb.stg(p.result, acc);
+  kb.end_pred();
+
+  return kb.build();
+}
+
+simt::Kernel build_ph_hybrid_kernel(int threads_per_block) {
+  util::require(threads_per_block > 0 && threads_per_block % 32 == 0 &&
+                    threads_per_block <= kPhMaxReadLen,
+                "build_ph_hybrid_kernel: threads must be a multiple of 32 in [32, 128]");
+  KernelBuilder kb("ph_hybrid_t" + std::to_string(threads_per_block),
+                   threads_per_block);
+  const PhParams p = declare_params(kb);
+  const int warps = threads_per_block / 32;
+
+  // Warp-boundary exchange buffers: lane 31 of each warp publishes its
+  // M/I/D so the next warp's lane 0 can read them. Three-deep rotation
+  // (current, s-1, s-2) per matrix.
+  std::array<SReg, 3> smb{};
+  std::array<SReg, 3> sib{};
+  std::array<SReg, 3> sdb{};
+  for (int r = 0; r < 3; ++r) {
+    smb[static_cast<std::size_t>(r)] = kb.smov(imm_i64(kb.alloc_smem(warps * 4)));
+    sib[static_cast<std::size_t>(r)] = kb.smov(imm_i64(kb.alloc_smem(warps * 4)));
+    sdb[static_cast<std::size_t>(r)] = kb.smov(imm_i64(kb.alloc_smem(warps * 4)));
+  }
+
+  const VReg tid = kb.tid();
+  const VReg lane = kb.laneid();
+  const VReg wid = kb.warpid();
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const VReg is_lane0 = kb.setp(Cmp::kEq, DType::kI64, lane, imm_i64(0));
+  const VReg is_lane31 = kb.setp(Cmp::kEq, DType::kI64, lane, imm_i64(31));
+  const VReg lane0_interior = kb.iand(is_lane0, kb.setp(Cmp::kGt, DType::kI64, tid,
+                                                        imm_i64(0)));
+  const VReg own_slot = kb.imul(wid, imm_i64(4));
+  const VReg nb_slot = kb.imul(kb.isub(wid, imm_i64(1)), imm_i64(4));
+  const SReg r1 = kb.ssub(p.r, imm_i64(1));
+  const VReg ic_over_h = kb.mov(p.ic_over_h);
+  const VReg acc = kb.mov(imm_f32(0.0F));
+
+  const RowState row = load_row(kb, p, tid, r1);
+
+  const VReg m_prev = kb.mov(imm_f32(0.0F));
+  const VReg m_pprev = kb.mov(imm_f32(0.0F));
+  const VReg i_prev = kb.mov(imm_f32(0.0F));
+  const VReg i_pprev = kb.mov(imm_f32(0.0F));
+  const VReg d_prev = kb.mov(imm_f32(0.0F));
+  const VReg d_pprev = kb.mov(imm_f32(0.0F));
+
+  const SReg step = kb.smov(imm_i64(0));
+  kb.loop(p.steps);
+  {
+    const VReg j = kb.isub(step, tid);
+    const VReg valid = kb.iand(
+        kb.iand(kb.setp(Cmp::kGe, DType::kI64, j, imm_i64(0)),
+                kb.setp(Cmp::kLt, DType::kI64, j, p.h)),
+        row.row_valid);
+    const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, j, imm_i64(0));
+
+    const VReg prior = emit_prior(kb, row, emit_hap_load(kb, p, j, valid));
+
+    // Intra-warp communication: shuffles, exactly as in PH2.
+    const VReg m_diag_raw = kb.shfl_up(m_pprev, imm_i64(1));
+    const VReg i_diag_raw = kb.shfl_up(i_pprev, imm_i64(1));
+    const VReg d_diag_raw = kb.shfl_up(d_pprev, imm_i64(1));
+    const VReg m_up_raw = kb.shfl_up(m_prev, imm_i64(1));
+    const VReg i_up_raw = kb.shfl_up(i_prev, imm_i64(1));
+
+    // Cross-warp communication: lane 0 of interior warps reads the
+    // previous warp's published boundary values — the extra shared-memory
+    // traffic the paper warns about.
+    const VReg m_diag_s = kb.mov(imm_f32(0.0F));
+    const VReg i_diag_s = kb.mov(imm_f32(0.0F));
+    const VReg d_diag_s = kb.mov(imm_f32(0.0F));
+    const VReg m_up_s = kb.mov(imm_f32(0.0F));
+    const VReg i_up_s = kb.mov(imm_f32(0.0F));
+    const VReg cross = kb.iand(valid, lane0_interior);
+    kb.begin_pred(cross);
+    kb.lds_to(m_diag_s, kb.iadd(smb[2], nb_slot));
+    kb.lds_to(i_diag_s, kb.iadd(sib[2], nb_slot));
+    kb.lds_to(d_diag_s, kb.iadd(sdb[2], nb_slot));
+    kb.lds_to(m_up_s, kb.iadd(smb[1], nb_slot));
+    kb.lds_to(i_up_s, kb.iadd(sib[1], nb_slot));
+    kb.end_pred();
+
+    const VReg m_diag_m = kb.selp(is_lane0, m_diag_s, m_diag_raw);
+    const VReg i_diag_m = kb.selp(is_lane0, i_diag_s, i_diag_raw);
+    const VReg d_diag_m = kb.selp(is_lane0, d_diag_s, d_diag_raw);
+    const VReg m_up_m = kb.selp(is_lane0, m_up_s, m_up_raw);
+    const VReg i_up_m = kb.selp(is_lane0, i_up_s, i_up_raw);
+
+    // Row-0 / column-0 DP boundaries (as in PH1/PH2).
+    const VReg zero_mi = kb.ior(is_t0, is_c0);
+    const VReg m_diag = kb.selp(zero_mi, imm_f32(0.0F), m_diag_m);
+    const VReg i_diag = kb.selp(zero_mi, imm_f32(0.0F), i_diag_m);
+    const VReg d_diag =
+        kb.selp(is_t0, ic_over_h, kb.selp(is_c0, imm_f32(0.0F), d_diag_m));
+    const VReg m_up = kb.selp(is_t0, imm_f32(0.0F), m_up_m);
+    const VReg i_up = kb.selp(is_t0, imm_f32(0.0F), i_up_m);
+    const VReg m_left_v = kb.selp(is_c0, imm_f32(0.0F), m_prev);
+    const VReg d_left_v = kb.selp(is_c0, imm_f32(0.0F), d_prev);
+
+    const CellValues cur = emit_cell(kb, row, prior, m_diag, i_diag, d_diag, m_up,
+                                     i_up, m_left_v, d_left_v);
+
+    const VReg at_lastrow = kb.iand(valid, row.is_lastrow);
+    kb.begin_pred(at_lastrow);
+    kb.emit_to(acc, Op::kFAdd, acc, kb.fadd(cur.m, cur.i));
+    kb.end_pred();
+
+    // Publish this warp's boundary row (lane 31) for the next warp.
+    const VReg publish = kb.iand(valid, is_lane31);
+    kb.begin_pred(publish);
+    kb.sts(kb.iadd(smb[0], own_slot), cur.m);
+    kb.sts(kb.iadd(sib[0], own_slot), cur.i);
+    kb.sts(kb.iadd(sdb[0], own_slot), cur.d);
+    kb.end_pred();
+
+    // Register rotation (PH2-style) ...
+    kb.assign(m_pprev, m_prev);
+    kb.assign(m_prev, cur.m);
+    kb.assign(i_pprev, i_prev);
+    kb.assign(i_prev, cur.i);
+    kb.assign(d_pprev, d_prev);
+    kb.assign(d_prev, cur.d);
+
+    // ... plus the buffer rotation AND a barrier every step — the costs
+    // that make this design lose to the one-warp compromise.
+    for (auto* bufs : {&smb, &sib, &sdb}) {
+      const SReg tmp = kb.smov((*bufs)[2]);
+      kb.sassign((*bufs)[2], (*bufs)[1]);
+      kb.sassign((*bufs)[1], (*bufs)[0]);
+      kb.sassign((*bufs)[0], tmp);
+    }
+    kb.bar();
+
+    kb.sassign(step, kb.sadd(step, imm_i64(1)));
+  }
+  kb.endloop();
+
+  kb.begin_pred(row.is_lastrow);
+  kb.stg(p.result, acc);
+  kb.end_pred();
+
+  return kb.build();
+}
+
+simt::Kernel build_ph_shuffle_kernel(int cells_per_thread) {
+  util::require(cells_per_thread >= 1 && cells_per_thread <= kPhVariants,
+                "build_ph_shuffle_kernel: cells_per_thread must be in [1, 4]");
+  const int cells = cells_per_thread;
+  KernelBuilder kb("ph2_shuffle_c" + std::to_string(cells), 32);
+  const PhParams p = declare_params(kb);
+
+  const VReg tid = kb.tid();
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const SReg r1 = kb.ssub(p.r, imm_i64(1));
+  const VReg ic_over_h = kb.mov(p.ic_over_h);
+  const VReg acc = kb.mov(imm_f32(0.0F));
+
+  // Per-cell row state and DP registers: the register blocking of Fig. 8.
+  std::vector<RowState> rows;
+  std::vector<VReg> m_prev(static_cast<std::size_t>(cells));
+  std::vector<VReg> m_pprev(static_cast<std::size_t>(cells));
+  std::vector<VReg> i_prev(static_cast<std::size_t>(cells));
+  std::vector<VReg> i_pprev(static_cast<std::size_t>(cells));
+  std::vector<VReg> d_prev(static_cast<std::size_t>(cells));
+  std::vector<VReg> d_pprev(static_cast<std::size_t>(cells));
+  const VReg first_row = kb.imul(tid, imm_i64(cells));
+  for (int k = 0; k < cells; ++k) {
+    const VReg row_index = kb.iadd(first_row, imm_i64(k));
+    rows.push_back(load_row(kb, p, row_index, r1));
+    const auto ks = static_cast<std::size_t>(k);
+    m_prev[ks] = kb.mov(imm_f32(0.0F));
+    m_pprev[ks] = kb.mov(imm_f32(0.0F));
+    i_prev[ks] = kb.mov(imm_f32(0.0F));
+    i_pprev[ks] = kb.mov(imm_f32(0.0F));
+    d_prev[ks] = kb.mov(imm_f32(0.0F));
+    d_pprev[ks] = kb.mov(imm_f32(0.0F));
+  }
+
+  const SReg step = kb.smov(imm_i64(0));
+  kb.loop(p.steps);
+  {
+    std::vector<CellValues> cur(static_cast<std::size_t>(cells));
+
+    // LOAD phase first: issue every cell's haplotype load before any
+    // dependent compute so the loads pipeline instead of serializing.
+    std::vector<VReg> js(static_cast<std::size_t>(cells));
+    std::vector<VReg> valids(static_cast<std::size_t>(cells));
+    std::vector<VReg> hchars(static_cast<std::size_t>(cells));
+    for (int k = 0; k < cells; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const VReg row_index = kb.iadd(first_row, imm_i64(k));
+      js[ks] = kb.isub(step, row_index);
+      valids[ks] = kb.iand(
+          kb.iand(kb.setp(Cmp::kGe, DType::kI64, js[ks], imm_i64(0)),
+                  kb.setp(Cmp::kLt, DType::kI64, js[ks], p.h)),
+          rows[ks].row_valid);
+      hchars[ks] = emit_hap_load(kb, p, js[ks], valids[ks]);
+    }
+
+    // COMPUTE phase: all cells read old state (including the shuffled
+    // boundary values) before any state is rotated.
+    for (int k = 0; k < cells; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      const RowState& row = rows[ks];
+      const VReg row_index = kb.iadd(first_row, imm_i64(k));
+      const VReg j = js[ks];
+      const VReg valid = valids[ks];
+      const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, j, imm_i64(0));
+
+      const VReg prior = emit_prior(kb, row, hchars[ks]);
+
+      VReg m_diag_raw{};
+      VReg i_diag_raw{};
+      VReg d_diag_raw{};
+      VReg m_up_raw{};
+      VReg i_up_raw{};
+      VReg boundary_pred{};  // lanes whose upper row is outside this thread
+      if (k == 0) {
+        // Inter-thread communication between boundary cells only: the
+        // upper row lives in lane-1's last cell.
+        const auto last = static_cast<std::size_t>(cells - 1);
+        m_diag_raw = kb.shfl_up(m_pprev[last], imm_i64(1));
+        i_diag_raw = kb.shfl_up(i_pprev[last], imm_i64(1));
+        d_diag_raw = kb.shfl_up(d_pprev[last], imm_i64(1));
+        m_up_raw = kb.shfl_up(m_prev[last], imm_i64(1));
+        i_up_raw = kb.shfl_up(i_prev[last], imm_i64(1));
+        boundary_pred = is_t0;
+      } else {
+        // Direct register access: the upper row is this thread's cell k-1.
+        const auto up = static_cast<std::size_t>(k - 1);
+        m_diag_raw = m_pprev[up];
+        i_diag_raw = i_pprev[up];
+        d_diag_raw = d_pprev[up];
+        m_up_raw = m_prev[up];
+        i_up_raw = i_prev[up];
+        boundary_pred = kb.setp(Cmp::kEq, DType::kI64, row_index, imm_i64(0));
+      }
+
+      // Row-0 / column-0 boundaries (row 0 exists only above lane 0's
+      // first cell; for k > 0 boundary_pred is never true since
+      // row_index > 0, but the select keeps the IR uniform).
+      const VReg zero_mi = kb.ior(boundary_pred, is_c0);
+      const VReg m_diag = kb.selp(zero_mi, imm_f32(0.0F), m_diag_raw);
+      const VReg i_diag = kb.selp(zero_mi, imm_f32(0.0F), i_diag_raw);
+      const VReg d_diag = kb.selp(boundary_pred, ic_over_h,
+                                  kb.selp(is_c0, imm_f32(0.0F), d_diag_raw));
+      const VReg m_up = kb.selp(boundary_pred, imm_f32(0.0F), m_up_raw);
+      const VReg i_up = kb.selp(boundary_pred, imm_f32(0.0F), i_up_raw);
+      const VReg m_left_v = kb.selp(is_c0, imm_f32(0.0F), m_prev[ks]);
+      const VReg d_left_v = kb.selp(is_c0, imm_f32(0.0F), d_prev[ks]);
+
+      cur[ks] = emit_cell(kb, row, prior, m_diag, i_diag, d_diag, m_up, i_up,
+                          m_left_v, d_left_v);
+
+      const VReg at_lastrow = kb.iand(valid, row.is_lastrow);
+      kb.begin_pred(at_lastrow);
+      kb.emit_to(acc, Op::kFAdd, acc, kb.fadd(cur[ks].m, cur[ks].i));
+      kb.end_pred();
+    }
+
+    // ROTATE phase: registers only — the paper's design B state update.
+    for (int k = 0; k < cells; ++k) {
+      const auto ks = static_cast<std::size_t>(k);
+      kb.assign(m_pprev[ks], m_prev[ks]);
+      kb.assign(m_prev[ks], cur[ks].m);
+      kb.assign(i_pprev[ks], i_prev[ks]);
+      kb.assign(i_prev[ks], cur[ks].i);
+      kb.assign(d_pprev[ks], d_prev[ks]);
+      kb.assign(d_prev[ks], cur[ks].d);
+    }
+
+    kb.sassign(step, kb.sadd(step, imm_i64(1)));
+  }
+  kb.endloop();
+
+  // Exactly one (lane, cell) pair owns the last row; it writes the result.
+  for (int k = 0; k < cells; ++k) {
+    kb.begin_pred(rows[static_cast<std::size_t>(k)].is_lastrow);
+    kb.stg(p.result, acc);
+    kb.end_pred();
+  }
+
+  return kb.build();
+}
+
+}  // namespace wsim::kernels

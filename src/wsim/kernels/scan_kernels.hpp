@@ -1,0 +1,38 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "wsim/kernels/common.hpp"
+#include "wsim/simt/isa.hpp"
+#include "wsim/simt/runtime.hpp"
+
+namespace wsim::kernels {
+
+/// Generality case study (the paper's closing claim: the shuffle insights
+/// apply to "a wider class of applications"): block-level inclusive
+/// prefix scan, the canonical inter-thread-communication kernel.
+///
+/// * design A (kSharedMemory): Hillis-Steele in shared memory — log2(T)
+///   stages, each a load + store + __syncthreads.
+/// * design B (kShuffle): intra-warp scan with shfl_up; for multi-warp
+///   blocks, one warp total per warp crosses through shared memory ONCE
+///   (the CUB pattern). Unlike PairHMM's rejected hybrid, the cross-warp
+///   traffic here is O(1) per element rather than per iteration, which is
+///   why this mix wins — the boundary the paper's trade-off analysis
+///   predicts.
+///
+/// Scalar parameters: input base (i32[n]), output base (i32[n]), n.
+/// One block scans up to threads_per_block elements (grid-level scans
+/// would chain block sums; out of scope here).
+simt::Kernel build_scan_kernel(CommMode mode, int threads_per_block);
+
+/// Host-side helper: runs one block over `values` (size <= threads) and
+/// returns the inclusive scan read back from device memory, plus the
+/// block's cycle cost via `cycles`.
+std::vector<std::int32_t> run_scan(const simt::Kernel& kernel,
+                                   const simt::DeviceSpec& device,
+                                   const std::vector<std::int32_t>& values,
+                                   long long* cycles = nullptr);
+
+}  // namespace wsim::kernels

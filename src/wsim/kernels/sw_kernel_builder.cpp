@@ -1,0 +1,358 @@
+#include <string>
+
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/simt/builder.hpp"
+
+namespace wsim::kernels {
+
+using simt::Cmp;
+using simt::DType;
+using simt::imm_i64;
+using simt::KernelBuilder;
+using simt::MemWidth;
+using simt::Op;
+using simt::Operand;
+using simt::SReg;
+using simt::VReg;
+
+namespace {
+
+/// Backtrace sentinel as a 64-bit immediate whose low 32 bits equal
+/// align::kBtrackStop.
+constexpr std::int64_t kStop = align::kBtrackStop;
+
+}  // namespace
+
+simt::Kernel build_sw_kernel(CommMode mode, const align::SwParams& params,
+                             int bsize) {
+  const bool shared = mode == CommMode::kSharedMemory;
+  util::require(bsize >= 32 && bsize % 32 == 0 && bsize <= 96,
+                "build_sw_kernel: BSIZE must be a multiple of 32 in [32, 96] "
+                "(the btrack tile exceeds shared memory beyond 96)");
+  util::require(shared || bsize == 32,
+                "build_sw_kernel: the shuffle design is limited to one warp "
+                "(shuffle cannot cross warp boundaries — the paper's core "
+                "limitation)");
+  KernelBuilder kb(shared ? "sw1_shared_b" + std::to_string(bsize) : "sw2_shuffle",
+                   bsize);
+
+  // --- scalar launch parameters (one task per block) ----------------------
+  const SReg p_query = kb.param();    // s0: query chars (u8)
+  const SReg p_target = kb.param();   // s1: target chars (u8)
+  const SReg p_m = kb.param();        // s2: M = |query|
+  const SReg p_n = kb.param();        // s3: N = |target|
+  const SReg p_btrack = kb.param();   // s4: btrack out, M*N i32 row-major
+  const SReg p_bound_h = kb.param();  // s5: band-boundary H, N i32
+  const SReg p_bound_f = kb.param();  // s6: band-boundary F, N i32
+  const SReg p_bound_kv = kb.param(); // s7: band-boundary kv, N i32
+  const SReg p_lastcol = kb.param();  // s8: H of last column, M i32
+  const SReg p_lastrow = kb.param();  // s9: H of last row, N i32
+  const SReg p_bands = kb.param();    // s10: ceil(M / BSIZE)
+  const SReg p_tiles = kb.param();    // s11: ceil((N + BSIZE - 1) / BSIZE)
+
+  // --- shared memory (design A only) --------------------------------------
+  // Three rotating H line buffers, double-buffered F and kv, and the
+  // BSIZE x BSIZE btrack staging tile of the paper's fine-grained tiling.
+  int h1_off = 0;
+  int h2_off = 0;
+  int h3_off = 0;
+  int f1_off = 0;
+  int f2_off = 0;
+  int k1_off = 0;
+  int k2_off = 0;
+  int tile_off = 0;
+  if (shared) {
+    h1_off = kb.alloc_smem(bsize * 4);
+    h2_off = kb.alloc_smem(bsize * 4);
+    h3_off = kb.alloc_smem(bsize * 4);
+    f1_off = kb.alloc_smem(bsize * 4);
+    f2_off = kb.alloc_smem(bsize * 4);
+    k1_off = kb.alloc_smem(bsize * 4);
+    k2_off = kb.alloc_smem(bsize * 4);
+    // Tile rows are padded by one word so that lanes writing the same
+    // step slot hit distinct banks — the classic anti-conflict padding.
+    tile_off = kb.alloc_smem(bsize * (bsize + 1) * 4);
+  }
+
+  // --- block-invariant values ---------------------------------------------
+  const VReg tid = kb.tid();
+  const VReg own_off = kb.imul(tid, imm_i64(4));            // this lane's line-buffer slot
+  const VReg nb_off = kb.imul(kb.isub(tid, imm_i64(1)), imm_i64(4));  // neighbour's slot
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const VReg not_t0 = kb.setp(Cmp::kGt, DType::kI64, tid, imm_i64(0));
+  const VReg is_t31 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(bsize - 1));
+  const SReg m1 = kb.ssub(p_m, imm_i64(1));
+  const SReg n1 = kb.ssub(p_n, imm_i64(1));
+  VReg tile_row{};  // base address of this lane's padded tile row (design A)
+  if (shared) {
+    tile_row =
+        kb.iadd(imm_i64(tile_off), kb.imul(tid, imm_i64((bsize + 1) * 4)));
+  }
+
+  // Rotating line-buffer base offsets (design A): scalar registers swapped
+  // once per anti-diagonal ("rotate" of Listing 2a).
+  SReg sh1{};
+  SReg sh2{};
+  SReg sh3{};
+  SReg sf1{};
+  SReg sf2{};
+  SReg sk1{};
+  SReg sk2{};
+  if (shared) {
+    sh1 = kb.smov(imm_i64(h1_off));
+    sh2 = kb.smov(imm_i64(h2_off));
+    sh3 = kb.smov(imm_i64(h3_off));
+    sf1 = kb.smov(imm_i64(f1_off));
+    sf2 = kb.smov(imm_i64(f2_off));
+    sk1 = kb.smov(imm_i64(k1_off));
+    sk2 = kb.smov(imm_i64(k2_off));
+  }
+
+  const SReg band_base = kb.smov(imm_i64(0));
+
+  // =========================== band loop ===================================
+  kb.loop(p_bands);
+  {
+    const VReg i = kb.iadd(band_base, tid);  // this lane's row for the band
+    const VReg row_valid = kb.setp(Cmp::kLt, DType::kI64, i, p_m);
+    const VReg is_lastrow = kb.setp(Cmp::kEq, DType::kI64, i, m1);
+    const VReg nb0 = kb.setp(Cmp::kGt, DType::kI64, band_base, imm_i64(0));
+
+    // Query character for the whole band: data reuse along the row.
+    const VReg qchar = kb.mov(imm_i64(0));
+    kb.begin_pred(row_valid);
+    kb.ldg_to(qchar, kb.iadd(p_query, i), 0, MemWidth::kB1);
+    kb.end_pred();
+    const VReg q_is_n = kb.setp(Cmp::kEq, DType::kI64, qchar, imm_i64('N'));
+
+    // Per-row horizontal-gap state (registers in both designs).
+    const VReg e = kb.mov(imm_i64(kNegInf));
+    const VReg lh = kb.mov(imm_i64(0));
+
+    // Design B per-lane anti-diagonal state: reg2/reg3 of Fig. 6b plus the
+    // vertical-gap pair.
+    VReg h_prev{};
+    VReg h_pprev{};
+    VReg f_prev{};
+    VReg kv_prev{};
+    if (!shared) {
+      h_prev = kb.mov(imm_i64(0));
+      h_pprev = kb.mov(imm_i64(0));
+      f_prev = kb.mov(imm_i64(kNegInf));
+      kv_prev = kb.mov(imm_i64(0));
+    }
+
+    const SReg step = kb.smov(imm_i64(0));
+    const SReg tile_base = kb.smov(imm_i64(0));
+
+    // ========================= tile loop ===================================
+    kb.loop(p_tiles);
+    {
+      // ---------------- anti-diagonal steps (fine tiling) ------------------
+      kb.loop(imm_i64(bsize));
+      {
+        const VReg c = kb.isub(step, tid);
+        const VReg c4 = kb.imul(c, imm_i64(4));
+        const VReg c_ge0 = kb.setp(Cmp::kGe, DType::kI64, c, imm_i64(0));
+        const VReg c_lt_n = kb.setp(Cmp::kLt, DType::kI64, c, p_n);
+        const VReg valid = kb.iand(kb.iand(c_ge0, c_lt_n), row_valid);
+        const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, c, imm_i64(0));
+        const VReg not_c0 = kb.setp(Cmp::kNe, DType::kI64, c, imm_i64(0));
+
+        // Target character and substitution score s(a, b).
+        const VReg tchar = kb.mov(imm_i64(0));
+        kb.begin_pred(valid);
+        kb.ldg_to(tchar, kb.iadd(p_target, c), 0, MemWidth::kB1);
+        kb.end_pred();
+        const VReg t_is_n = kb.setp(Cmp::kEq, DType::kI64, tchar, imm_i64('N'));
+        const VReg no_n = kb.setp(Cmp::kEq, DType::kI64, kb.ior(q_is_n, t_is_n),
+                                  imm_i64(0));
+        const VReg chars_eq = kb.setp(Cmp::kEq, DType::kI64, qchar, tchar);
+        const VReg sub = kb.selp(kb.iand(chars_eq, no_n), imm_i64(params.match),
+                                 imm_i64(params.mismatch));
+
+        // ------- neighbour values: LOAD phase of Listing 2 -----------------
+        VReg left_raw{};
+        VReg up_raw{};
+        VReg diag_raw{};
+        VReg f_raw{};
+        VReg kv_raw{};
+        if (shared) {
+          // Design A: everything comes from the shared-memory line buffers.
+          left_raw = kb.mov(imm_i64(0));
+          up_raw = kb.mov(imm_i64(0));
+          diag_raw = kb.mov(imm_i64(0));
+          f_raw = kb.mov(imm_i64(kNegInf));
+          kv_raw = kb.mov(imm_i64(0));
+          kb.begin_pred(valid);
+          kb.lds_to(left_raw, kb.iadd(sh2, own_off));
+          kb.end_pred();
+          const VReg valid_nb = kb.iand(valid, not_t0);
+          kb.begin_pred(valid_nb);
+          kb.lds_to(up_raw, kb.iadd(sh2, nb_off));
+          kb.lds_to(diag_raw, kb.iadd(sh3, nb_off));
+          kb.lds_to(f_raw, kb.iadd(sf2, nb_off));
+          kb.lds_to(kv_raw, kb.iadd(sk2, nb_off));
+          kb.end_pred();
+        } else {
+          // Design B: own registers + warp shuffles from lane-1.
+          left_raw = h_prev;
+          up_raw = kb.shfl_up(h_prev, imm_i64(1));
+          diag_raw = kb.shfl_up(h_pprev, imm_i64(1));
+          f_raw = kb.shfl_up(f_prev, imm_i64(1));
+          kv_raw = kb.shfl_up(kv_prev, imm_i64(1));
+        }
+
+        // ------- DP boundaries ---------------------------------------------
+        // Lane 0's upper row lives in the previous band, carried through
+        // global memory (coarse tiling); band 0 uses the DP init values.
+        const VReg vt0 = kb.iand(valid, kb.iand(is_t0, nb0));
+        const VReg up_b = kb.mov(imm_i64(0));
+        const VReg diag_b = kb.mov(imm_i64(0));
+        const VReg f_b = kb.mov(imm_i64(kNegInf));
+        const VReg kv_b = kb.mov(imm_i64(0));
+        kb.begin_pred(vt0);
+        kb.ldg_to(up_b, kb.iadd(p_bound_h, c4));
+        kb.ldg_to(f_b, kb.iadd(p_bound_f, c4));
+        kb.ldg_to(kv_b, kb.iadd(p_bound_kv, c4));
+        kb.end_pred();
+        const VReg vt0_nc0 = kb.iand(vt0, not_c0);
+        kb.begin_pred(vt0_nc0);
+        kb.ldg_to(diag_b, kb.iadd(p_bound_h, kb.imul(kb.isub(c, imm_i64(1)),
+                                                     imm_i64(4))));
+        kb.end_pred();
+
+        const VReg left = kb.selp(is_c0, imm_i64(0), left_raw);
+        const VReg up = kb.selp(is_t0, up_b, up_raw);
+        const VReg diag =
+            kb.selp(is_t0, diag_b, kb.selp(is_c0, imm_i64(0), diag_raw));
+        const VReg f_up = kb.selp(is_t0, f_b, f_raw);
+        const VReg kv_up = kb.selp(is_t0, kv_b, kv_raw);
+
+        // ------- COMPUTE phase: affine-gap Eq. 5 cell update ----------------
+        // Horizontal gap (E) stays lane-local; forced to the open case at
+        // column 0 where no prior column exists.
+        const VReg open_h = kb.iadd(left, imm_i64(params.gap_open));
+        const VReg ext_h = kb.iadd(e, imm_i64(params.gap_extend));
+        const VReg pe = kb.setp(Cmp::kGt, DType::kI64, ext_h, open_h);
+        const VReg e_cand = kb.selp(pe, ext_h, open_h);
+        kb.emit_to(e, Op::kSelp, open_h, e_cand, is_c0);
+        const VReg lh_cand = kb.selp(pe, kb.iadd(lh, imm_i64(1)), imm_i64(1));
+        kb.emit_to(lh, Op::kSelp, imm_i64(1), lh_cand, is_c0);
+
+        // Vertical gap (F) from the upper neighbour.
+        const VReg open_v = kb.iadd(up, imm_i64(params.gap_open));
+        const VReg ext_v = kb.iadd(f_up, imm_i64(params.gap_extend));
+        const VReg pv = kb.setp(Cmp::kGt, DType::kI64, ext_v, open_v);
+        const VReg f_cur = kb.selp(pv, ext_v, open_v);
+        const VReg kv_cur = kb.selp(pv, kb.iadd(kv_up, imm_i64(1)), imm_i64(1));
+
+        // H = max(0, diag + s, E, F); ties prefer diag > vertical >
+        // horizontal, matching the host reference exactly.
+        const VReg diag_score = kb.iadd(diag, sub);
+        const VReg p1 = kb.setp(Cmp::kGt, DType::kI64, f_cur, diag_score);
+        const VReg best1 = kb.selp(p1, f_cur, diag_score);
+        const VReg bt1 = kb.selp(p1, kv_cur, imm_i64(0));
+        const VReg p2 = kb.setp(Cmp::kGt, DType::kI64, e, best1);
+        const VReg best2 = kb.selp(p2, e, best1);
+        const VReg bt2 = kb.selp(p2, kb.isub(imm_i64(0), lh), bt1);
+        const VReg p3 = kb.setp(Cmp::kLe, DType::kI64, best2, imm_i64(0));
+        const VReg h_cur = kb.selp(p3, imm_i64(0), best2);
+        const VReg bt = kb.selp(p3, imm_i64(kStop), bt2);
+
+        // ------- WRITE phase -------------------------------------------------
+        if (shared) {
+          // Stage btrack in the BSIZE x BSIZE tile (flushed coalesced below).
+          const SReg slot4 = kb.smul(kb.ssub(step, tile_base), imm_i64(4));
+          kb.begin_pred(valid);
+          kb.sts(kb.iadd(tile_row, slot4), bt);
+          kb.end_pred();
+        } else {
+          const VReg baddr =
+              kb.iadd(p_btrack, kb.imul(kb.iadd(kb.imul(i, p_n), c), imm_i64(4)));
+          kb.begin_pred(valid);
+          kb.stg(baddr, bt);
+          kb.end_pred();
+        }
+
+        // Last column / last row H values for the HaplotypeCaller max search.
+        const VReg at_lastcol = kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, c, n1));
+        kb.begin_pred(at_lastcol);
+        kb.stg(kb.iadd(p_lastcol, kb.imul(i, imm_i64(4))), h_cur);
+        kb.end_pred();
+        const VReg at_lastrow = kb.iand(valid, is_lastrow);
+        kb.begin_pred(at_lastrow);
+        kb.stg(kb.iadd(p_lastrow, c4), h_cur);
+        kb.end_pred();
+
+        // Band boundary for the next band (coarse tiling of Fig. 7a).
+        const VReg at_boundary = kb.iand(valid, is_t31);
+        kb.begin_pred(at_boundary);
+        kb.stg(kb.iadd(p_bound_h, c4), h_cur);
+        kb.stg(kb.iadd(p_bound_f, c4), f_cur);
+        kb.stg(kb.iadd(p_bound_kv, c4), kv_cur);
+        kb.end_pred();
+
+        // ------- state update / ROTATE / SYNC --------------------------------
+        if (shared) {
+          kb.begin_pred(valid);
+          kb.sts(kb.iadd(sh1, own_off), h_cur);
+          kb.sts(kb.iadd(sf1, own_off), f_cur);
+          kb.sts(kb.iadd(sk1, own_off), kv_cur);
+          kb.end_pred();
+          // rotate(buf1, buf2, buf3) — base-offset swap in scalar registers.
+          const SReg tmp_h = kb.smov(sh3);
+          kb.sassign(sh3, sh2);
+          kb.sassign(sh2, sh1);
+          kb.sassign(sh1, tmp_h);
+          const SReg tmp_f = kb.smov(sf2);
+          kb.sassign(sf2, sf1);
+          kb.sassign(sf1, tmp_f);
+          const SReg tmp_k = kb.smov(sk2);
+          kb.sassign(sk2, sk1);
+          kb.sassign(sk1, tmp_k);
+          kb.bar();
+        } else {
+          kb.assign(h_pprev, h_prev);
+          kb.assign(h_prev, h_cur);
+          kb.assign(f_prev, f_cur);
+          kb.assign(kv_prev, kv_cur);
+        }
+        kb.sassign(step, kb.sadd(step, imm_i64(1)));
+      }
+      kb.endloop();
+
+      // ------- tile flush: btrack tile to global memory (design A) ---------
+      if (shared) {
+        const SReg k = kb.smov(imm_i64(0));
+        kb.loop(imm_i64(bsize));
+        {
+          const VReg c_f = kb.isub(kb.sadd(tile_base, k), tid);
+          const VReg vf = kb.iand(
+              kb.iand(kb.setp(Cmp::kGe, DType::kI64, c_f, imm_i64(0)),
+                      kb.setp(Cmp::kLt, DType::kI64, c_f, p_n)),
+              row_valid);
+          const VReg val = kb.mov(imm_i64(0));
+          kb.begin_pred(vf);
+          kb.lds_to(val, kb.iadd(tile_row, kb.smul(k, imm_i64(4))));
+          kb.stg(kb.iadd(p_btrack,
+                         kb.imul(kb.iadd(kb.imul(i, p_n), c_f), imm_i64(4))),
+                 val);
+          kb.end_pred();
+          kb.sassign(k, kb.sadd(k, imm_i64(1)));
+        }
+        kb.endloop();
+        kb.sassign(tile_base, kb.sadd(tile_base, imm_i64(bsize)));
+      }
+    }
+    kb.endloop();
+
+    kb.sassign(band_base, kb.sadd(band_base, imm_i64(bsize)));
+  }
+  kb.endloop();
+
+  return kb.build();
+}
+
+}  // namespace wsim::kernels

@@ -1,0 +1,182 @@
+#include <algorithm>
+#include <cstring>
+
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::kernels {
+
+namespace {
+
+/// Device result record transferred back per task (score + compact
+/// alignment): what a production integration would copy instead of the
+/// full btrack matrix, which stays on the device.
+constexpr std::size_t kSwResultBytesPerTask = 64;
+
+std::size_t bands_for(std::size_t m, int bsize) noexcept {
+  const auto b = static_cast<std::size_t>(bsize);
+  return (m + b - 1) / b;
+}
+
+std::size_t tiles_for(std::size_t n, int bsize) noexcept {
+  const auto b = static_cast<std::size_t>(bsize);
+  return (n + 2 * (b - 1)) / b;  // ceil((N + BSIZE - 1) / BSIZE)
+}
+
+}  // namespace
+
+std::size_t sw_iterations(std::size_t m, std::size_t n, int bsize) noexcept {
+  return bands_for(m, bsize) * tiles_for(n, bsize) * static_cast<std::size_t>(bsize);
+}
+
+SwRunner::SwRunner(CommMode mode, const align::SwParams& params, int bsize)
+    : mode_(mode),
+      params_(params),
+      bsize_(bsize),
+      kernel_(build_sw_kernel(mode, params, bsize)) {}
+
+SwBatchResult SwRunner::run_batch(const simt::DeviceSpec& device,
+                                  const workload::SwBatch& batch,
+                                  const SwRunOptions& options) const {
+  util::require(!batch.empty(), "SwRunner: batch must be non-empty");
+  util::require(!options.collect_outputs || options.mode == simt::ExecMode::kFull,
+                "SwRunner: collect_outputs requires ExecMode::kFull");
+  for (const workload::SwTask& task : batch) {
+    util::require(!task.query.empty() && !task.target.empty(),
+                  "SwRunner: sequences must be non-empty");
+  }
+
+  simt::GlobalMemory gmem;
+  std::size_t max_m = 0;
+  std::size_t max_n = 0;
+  for (const workload::SwTask& task : batch) {
+    max_m = std::max(max_m, task.query.size());
+    max_n = std::max(max_n, task.target.size());
+  }
+
+  // Band-boundary carry buffers are block-internal temporaries; blocks
+  // execute sequentially in the simulator, so one scratch set serves all.
+  const auto bound_h = gmem.alloc(max_n * 4);
+  const auto bound_f = gmem.alloc(max_n * 4);
+  const auto bound_kv = gmem.alloc(max_n * 4);
+
+  std::int64_t scratch_btrack = 0;
+  std::int64_t scratch_lastcol = 0;
+  std::int64_t scratch_lastrow = 0;
+  if (!options.collect_outputs) {
+    scratch_btrack = gmem.alloc(max_m * max_n * 4);
+    scratch_lastcol = gmem.alloc(max_m * 4);
+    scratch_lastrow = gmem.alloc(max_n * 4);
+  }
+
+  struct TaskBuffers {
+    std::int64_t btrack = 0;
+    std::int64_t lastcol = 0;
+    std::int64_t lastrow = 0;
+  };
+  std::vector<TaskBuffers> buffers(batch.size());
+  std::vector<simt::BlockLaunch> blocks(batch.size());
+  std::size_t h2d_bytes = 0;
+  std::size_t cells = 0;
+
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const workload::SwTask& task = batch[t];
+    const std::size_t m = task.query.size();
+    const std::size_t n = task.target.size();
+    cells += m * n;
+    h2d_bytes += m + n;
+
+    const auto query = gmem.alloc(m);
+    const auto target = gmem.alloc(n);
+    gmem.write_u8(query, {reinterpret_cast<const std::uint8_t*>(task.query.data()), m});
+    gmem.write_u8(target,
+                  {reinterpret_cast<const std::uint8_t*>(task.target.data()), n});
+
+    TaskBuffers& buf = buffers[t];
+    if (options.collect_outputs) {
+      buf.btrack = gmem.alloc(m * n * 4);
+      buf.lastcol = gmem.alloc(m * 4);
+      buf.lastrow = gmem.alloc(n * 4);
+    } else {
+      buf.btrack = scratch_btrack;
+      buf.lastcol = scratch_lastcol;
+      buf.lastrow = scratch_lastrow;
+    }
+
+    simt::BlockLaunch& block = blocks[t];
+    block.args = {
+        static_cast<std::uint64_t>(query),
+        static_cast<std::uint64_t>(target),
+        static_cast<std::uint64_t>(m),
+        static_cast<std::uint64_t>(n),
+        static_cast<std::uint64_t>(buf.btrack),
+        static_cast<std::uint64_t>(bound_h),
+        static_cast<std::uint64_t>(bound_f),
+        static_cast<std::uint64_t>(bound_kv),
+        static_cast<std::uint64_t>(buf.lastcol),
+        static_cast<std::uint64_t>(buf.lastrow),
+        static_cast<std::uint64_t>(bands_for(m, bsize_)),
+        static_cast<std::uint64_t>(tiles_for(n, bsize_)),
+    };
+    block.shape_key = shape_key(m, n, options.shape_granularity);
+  }
+
+  simt::LaunchOptions launch_options;
+  launch_options.mode = options.mode;
+  launch_options.cost_cache = options.cost_cache;
+  launch_options.overlap_transfers = options.overlap_transfers;
+  launch_options.trace_representative = options.trace_representative;
+  launch_options.transfer.h2d_bytes = h2d_bytes;
+  launch_options.transfer.d2h_bytes = batch.size() * kSwResultBytesPerTask;
+
+  SwBatchResult result;
+  result.run.launch = simt::launch(kernel_, device, gmem, blocks, launch_options);
+  result.run.cells = cells;
+
+  if (options.collect_outputs) {
+    result.outputs.reserve(batch.size());
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const workload::SwTask& task = batch[t];
+      const std::size_t m = task.query.size();
+      const std::size_t n = task.target.size();
+      const TaskBuffers& buf = buffers[t];
+
+      SwTaskOutput out;
+      // HaplotypeCaller max search: last column (top to bottom) then last
+      // row (left to right), strictly greater wins — as in the reference.
+      const auto lastcol = gmem.read_i32(buf.lastcol, m);
+      const auto lastrow = gmem.read_i32(buf.lastrow, n);
+      out.best_score = 0;
+      out.best_i = m;
+      out.best_j = n;
+      for (std::size_t i = 1; i <= m; ++i) {
+        if (lastcol[i - 1] > out.best_score) {
+          out.best_score = lastcol[i - 1];
+          out.best_i = i;
+          out.best_j = n;
+        }
+      }
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (lastrow[j - 1] > out.best_score) {
+          out.best_score = lastrow[j - 1];
+          out.best_i = m;
+          out.best_j = j;
+        }
+      }
+
+      const auto device_btrack = gmem.read_i32(buf.btrack, m * n);
+      out.btrack = align::Matrix<std::int32_t>(m + 1, n + 1, align::kBtrackStop);
+      for (std::size_t i = 0; i < m; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          out.btrack(i + 1, j + 1) = device_btrack[i * n + j];
+        }
+      }
+      out.alignment =
+          align::sw_backtrace(out.btrack, out.best_i, out.best_j, out.best_score);
+      result.outputs.push_back(std::move(out));
+    }
+  }
+  return result;
+}
+
+}  // namespace wsim::kernels

@@ -1,0 +1,228 @@
+#include "wsim/micro/microbench.hpp"
+
+#include <vector>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/stats.hpp"
+
+namespace wsim::micro {
+
+using simt::Cmp;
+using simt::DType;
+using simt::imm_f32;
+using simt::imm_i64;
+using simt::KernelBuilder;
+using simt::Op;
+using simt::SReg;
+using simt::VReg;
+
+std::string_view to_string(MicroKernel which) noexcept {
+  switch (which) {
+    case MicroKernel::kRegister:
+      return "reg";
+    case MicroKernel::kShfl:
+      return "shfl";
+    case MicroKernel::kShflUp:
+      return "shfl_up";
+    case MicroKernel::kShflDown:
+      return "shfl_down";
+    case MicroKernel::kShflXor:
+      return "shfl_xor";
+    case MicroKernel::kSharedMem:
+      return "sharedmem";
+    case MicroKernel::kSharedMemSync:
+      return "sharedmem_sync";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Listing 1, kernels reg() and shuffle(): a loop-carried f32 multiply
+/// chain, with a shuffle inserted into the chain for the shuffle
+/// variants.
+simt::Kernel build_chain_kernel(MicroKernel which) {
+  KernelBuilder kb(std::string(to_string(which)), 32);
+  const SReg buf = kb.param();
+  const SReg iterations = kb.param();
+  const VReg tid = kb.tid();
+  const VReg addr = kb.iadd(buf, kb.imul(tid, imm_i64(4)));
+  const VReg a = kb.ldg(addr);
+
+  // shfl uses "randomly generated lane IDs" (paper): a per-lane source
+  // computed once outside the loop.
+  const VReg src_lane = kb.iand(kb.iadd(kb.imul(tid, imm_i64(7)), imm_i64(3)),
+                                imm_i64(31));
+
+  kb.loop(iterations);
+  switch (which) {
+    case MicroKernel::kRegister:
+      kb.assign(a, kb.fmul(a, a));
+      break;
+    case MicroKernel::kShfl:
+      kb.assign(a, kb.fmul(a, kb.shfl(a, src_lane)));
+      break;
+    case MicroKernel::kShflUp:
+      kb.assign(a, kb.fmul(a, kb.shfl_up(a, imm_i64(1))));
+      break;
+    case MicroKernel::kShflDown:
+      kb.assign(a, kb.fmul(a, kb.shfl_down(a, imm_i64(1))));
+      break;
+    case MicroKernel::kShflXor:
+      kb.assign(a, kb.fmul(a, kb.shfl_xor(a, imm_i64(1))));
+      break;
+    default:
+      throw util::CheckError("build_chain_kernel: not a chain kernel");
+  }
+  kb.endloop();
+  kb.stg(addr, a);
+  return kb.build();
+}
+
+/// Listing 1, kernels sharedmem() and sharedmemsync(): a single active
+/// thread chases precomputed byte offsets through a shared-memory table,
+/// so each iteration's load address depends on the previous load.
+simt::Kernel build_chase_kernel(bool with_sync) {
+  KernelBuilder kb(with_sync ? "sharedmem_sync" : "sharedmem", 32);
+  const SReg buf = kb.param();
+  const SReg iterations = kb.param();
+  const SReg table = kb.param();
+  const int smem = kb.alloc_smem(32 * 4);
+  const VReg tid = kb.tid();
+
+  // All 32 lanes cooperatively copy the chase table into shared memory
+  // (the "buf[i] = in[i]" loop of Listing 1).
+  const VReg slot = kb.imul(tid, imm_i64(4));
+  kb.sts(kb.iadd(imm_i64(smem), slot), kb.ldg(kb.iadd(table, slot)));
+  kb.bar();
+
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const VReg ind = kb.mov(imm_i64(0));
+  const VReg a = kb.mov(imm_f32(1.0F));
+  kb.loop(iterations);
+  {
+    // ind = buf[ind]; the table stores byte offsets so the loop-carried
+    // chain is exactly one add plus one shared-memory load.
+    kb.begin_pred(is_t0);
+    kb.lds_to(ind, kb.iadd(imm_i64(smem), ind));
+    kb.end_pred();
+    kb.assign(a, kb.fmul(a, a));  // off-chain work, as in Listing 1
+    if (with_sync) {
+      kb.bar();
+    }
+  }
+  kb.endloop();
+  kb.begin_pred(is_t0);
+  kb.stg(buf, a);
+  kb.stg(buf, ind, 4);
+  kb.end_pred();
+  return kb.build();
+}
+
+}  // namespace
+
+simt::Kernel build_micro_kernel(MicroKernel which) {
+  switch (which) {
+    case MicroKernel::kSharedMem:
+      return build_chase_kernel(false);
+    case MicroKernel::kSharedMemSync:
+      return build_chase_kernel(true);
+    default:
+      return build_chain_kernel(which);
+  }
+}
+
+long long run_micro(const simt::Kernel& kernel, const simt::DeviceSpec& device,
+                    int iterations) {
+  util::require(iterations > 0, "run_micro: iterations must be positive");
+  simt::GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<float> init(32, 1.0F);
+  gmem.write_f32(buf, init);
+
+  // Chase table: a full-cycle permutation stored as byte offsets.
+  const auto table = gmem.alloc(32 * 4);
+  std::vector<std::int32_t> chase(32);
+  for (int i = 0; i < 32; ++i) {
+    chase[static_cast<std::size_t>(i)] = ((i * 5 + 7) % 32) * 4;
+  }
+  gmem.write_i32(table, chase);
+
+  const std::vector<std::uint64_t> args = {
+      static_cast<std::uint64_t>(buf),
+      static_cast<std::uint64_t>(iterations),
+      static_cast<std::uint64_t>(table),
+  };
+  return run_block(kernel, device, gmem, args).cycles;
+}
+
+std::vector<int> default_iteration_sweep() {
+  return {64, 128, 192, 256, 384, 512, 640, 768, 896, 1024};
+}
+
+namespace {
+
+LatencyEstimate fit_kernel(const simt::Kernel& kernel, const simt::DeviceSpec& device,
+                           std::span<const int> iteration_counts) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(iteration_counts.size());
+  ys.reserve(iteration_counts.size());
+  for (const int iters : iteration_counts) {
+    xs.push_back(static_cast<double>(iters));
+    ys.push_back(static_cast<double>(run_micro(kernel, device, iters)));
+  }
+  const util::LinearFit fit = util::linear_fit(xs, ys);
+  LatencyEstimate est;
+  est.slope = fit.slope;
+  est.intercept = fit.intercept;
+  est.r_squared = fit.r_squared;
+  return est;
+}
+
+}  // namespace
+
+MicroResults measure_latencies(const simt::DeviceSpec& device,
+                               std::span<const int> iteration_counts) {
+  util::require(iteration_counts.size() >= 2,
+                "measure_latencies: need at least two iteration counts");
+  MicroResults results;
+  results.reg = fit_kernel(build_micro_kernel(MicroKernel::kRegister), device,
+                           iteration_counts);
+  results.shfl = fit_kernel(build_micro_kernel(MicroKernel::kShfl), device,
+                            iteration_counts);
+  results.shfl_up = fit_kernel(build_micro_kernel(MicroKernel::kShflUp), device,
+                               iteration_counts);
+  results.shfl_down = fit_kernel(build_micro_kernel(MicroKernel::kShflDown), device,
+                                 iteration_counts);
+  results.shfl_xor = fit_kernel(build_micro_kernel(MicroKernel::kShflXor), device,
+                                iteration_counts);
+  results.sharedmem = fit_kernel(build_micro_kernel(MicroKernel::kSharedMem), device,
+                                 iteration_counts);
+  results.sync = fit_kernel(build_micro_kernel(MicroKernel::kSharedMemSync), device,
+                            iteration_counts);
+
+  // Paper Eqs. 1-4: latency_reg = 1 by convention; other latencies derive
+  // from slope differences against the register kernel.
+  const double k_reg = results.reg.slope;
+  const double reg_latency = device.lat.reg_access;
+  results.reg.latency = reg_latency;
+  results.shfl.latency = reg_latency + results.shfl.slope - k_reg;
+  results.shfl_up.latency = reg_latency + results.shfl_up.slope - k_reg;
+  results.shfl_down.latency = reg_latency + results.shfl_down.slope - k_reg;
+  results.shfl_xor.latency = reg_latency + results.shfl_xor.slope - k_reg;
+  results.sharedmem.latency = reg_latency + results.sharedmem.slope - k_reg;
+  results.sync.latency =
+      reg_latency + results.sync.slope - k_reg - results.sharedmem.latency;
+  return results;
+}
+
+MicroResults measure_latencies(const simt::DeviceSpec& device) {
+  const auto sweep = default_iteration_sweep();
+  return measure_latencies(device, sweep);
+}
+
+}  // namespace wsim::micro

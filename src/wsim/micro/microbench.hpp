@@ -1,0 +1,69 @@
+#pragma once
+
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/isa.hpp"
+
+namespace wsim::micro {
+
+/// The paper's Listing-1 microbenchmark kernels: a register-only
+/// dependence chain, one chain per shuffle variant, a single-thread
+/// shared-memory pointer chase, and the same chase with a __syncthreads
+/// per iteration.
+enum class MicroKernel {
+  kRegister,
+  kShfl,
+  kShflUp,
+  kShflDown,
+  kShflXor,
+  kSharedMem,
+  kSharedMemSync,
+};
+
+std::string_view to_string(MicroKernel which) noexcept;
+
+/// Builds one microbenchmark kernel. The iteration count is the kernel's
+/// second scalar parameter so one build serves the whole sweep.
+/// Parameters: s0 = in/out buffer, s1 = ITERATIONS, s2 = chase-table base
+/// (pointer-chase kernels only).
+simt::Kernel build_micro_kernel(MicroKernel which);
+
+/// Runs one microbenchmark launch (a single 32-thread block, as in the
+/// paper, to avoid warp-scheduling noise) and returns the block cycles.
+long long run_micro(const simt::Kernel& kernel, const simt::DeviceSpec& device,
+                    int iterations);
+
+/// Linear-regression latency extraction (paper Eqs. 1-4): cycles are
+/// measured at each iteration count, the slope k = latency + alpha is
+/// fitted, and the instruction latency is derived relative to the
+/// register kernel's slope.
+struct LatencyEstimate {
+  double slope = 0.0;      ///< cycles per iteration
+  double intercept = 0.0;  ///< beta: fixed overheads outside the loop
+  double latency = 0.0;    ///< derived instruction latency in cycles
+  double r_squared = 0.0;
+};
+
+struct MicroResults {
+  LatencyEstimate reg;
+  LatencyEstimate shfl;
+  LatencyEstimate shfl_up;
+  LatencyEstimate shfl_down;
+  LatencyEstimate shfl_xor;
+  LatencyEstimate sharedmem;
+  LatencyEstimate sync;
+};
+
+/// Default ITERATIONS sweep (ten runs, as in the paper).
+std::vector<int> default_iteration_sweep();
+
+/// Runs the full suite on one device and derives all latencies.
+MicroResults measure_latencies(const simt::DeviceSpec& device,
+                               std::span<const int> iteration_counts);
+
+MicroResults measure_latencies(const simt::DeviceSpec& device);
+
+}  // namespace wsim::micro

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/isa.hpp"
+
+namespace wsim::model {
+
+/// Static instruction mix of one block-level iteration of a kernel's hot
+/// loop (its innermost anti-diagonal step), the input to the paper's
+/// Table III analysis. Per-warp instruction counts are scaled by the
+/// number of warps per block — the paper counts 8 shared-memory
+/// instructions per warp x 4 warps = 32 for PH1 — while barriers count
+/// once per block iteration.
+struct CommBreakdown {
+  std::uint64_t smem_loads = 0;
+  std::uint64_t smem_stores = 0;
+  std::uint64_t gmem_loads = 0;
+  std::uint64_t gmem_stores = 0;
+  std::uint64_t shfl = 0;
+  std::uint64_t shfl_up = 0;
+  std::uint64_t shfl_down = 0;
+  std::uint64_t shfl_xor = 0;
+  std::uint64_t reg_moves = 0;  ///< rotation / state-update register ops
+  std::uint64_t barriers = 0;
+  std::uint64_t other = 0;  ///< arithmetic, compares, selects, ...
+
+  std::uint64_t shuffle_total() const noexcept {
+    return shfl + shfl_up + shfl_down + shfl_xor;
+  }
+  std::uint64_t smem_total() const noexcept { return smem_loads + smem_stores; }
+
+  /// Communication cycles per iteration in the paper's Table III style:
+  /// only inter-thread data movement (shared memory, shuffles, register
+  /// rotation) and synchronization are charged; global-memory input and
+  /// output traffic is identical across designs and excluded, exactly as
+  /// in the paper's LOAD/WRITE/ROTATE/SYNC rows.
+  double comm_cycles(const simt::LatencyTable& lat) const noexcept;
+};
+
+/// Scans the kernel for its hot loop (the innermost loop region with the
+/// most instructions) and tallies the instruction mix of one iteration.
+CommBreakdown hot_loop_breakdown(const simt::Kernel& kernel);
+
+/// Estimated per-iteration latency reduction of replacing a shared-memory
+/// design with a shuffle design (paper Table III bottom rows):
+/// comm_cycles(shared) - comm_cycles(shuffle).
+double estimated_reduction(const simt::Kernel& shared_kernel,
+                           const simt::Kernel& shuffle_kernel,
+                           const simt::LatencyTable& lat);
+
+}  // namespace wsim::model

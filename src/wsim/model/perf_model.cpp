@@ -1,0 +1,46 @@
+#include "wsim/model/perf_model.hpp"
+#include <algorithm>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::model {
+
+double predict_cups(const simt::DeviceSpec& device, const simt::Occupancy& occupancy,
+                    double latency_cycles_per_iteration) {
+  util::require(latency_cycles_per_iteration > 0.0,
+                "predict_cups: latency must be positive");
+  const double parallelism = static_cast<double>(occupancy.parallelism(device));
+  return parallelism * device.clock_ghz * 1e9 / latency_cycles_per_iteration;
+}
+
+double predict_gcups(const simt::DeviceSpec& device, const simt::Occupancy& occupancy,
+                     double latency_cycles_per_iteration) {
+  return predict_cups(device, occupancy, latency_cycles_per_iteration) / 1e9;
+}
+
+double effective_latency_cycles(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy, double cups) {
+  util::require(cups > 0.0, "effective_latency_cycles: CUPS must be positive");
+  const double parallelism = static_cast<double>(occupancy.parallelism(device));
+  return parallelism * device.clock_ghz * 1e9 / cups;
+}
+
+long long effective_parallelism(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy,
+                                std::size_t blocks, int threads_per_block) {
+  util::require(threads_per_block > 0, "effective_parallelism: bad threads/block");
+  const long long launched =
+      static_cast<long long>(blocks) * threads_per_block;
+  return std::min(occupancy.parallelism(device), launched);
+}
+
+double effective_latency_cycles(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy, double cups,
+                                std::size_t blocks, int threads_per_block) {
+  util::require(cups > 0.0, "effective_latency_cycles: CUPS must be positive");
+  const auto parallelism =
+      effective_parallelism(device, occupancy, blocks, threads_per_block);
+  return static_cast<double>(parallelism) * device.clock_ghz * 1e9 / cups;
+}
+
+}  // namespace wsim::model

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/occupancy.hpp"
+
+namespace wsim::model {
+
+/// The paper's performance model (Eq. 7):
+///
+///   performance(CUPS) = parallelism * frequency / latency
+///
+/// where `parallelism` comes from the occupancy calculation (Eq. 8),
+/// `frequency` from the device specification, and `latency` is the
+/// average cycles to finish one anti-diagonal iteration.
+
+/// Predicted cell updates per second for a kernel whose active threads
+/// each own one cell.
+double predict_cups(const simt::DeviceSpec& device, const simt::Occupancy& occupancy,
+                    double latency_cycles_per_iteration);
+
+/// Convenience: prediction in GCUPS.
+double predict_gcups(const simt::DeviceSpec& device, const simt::Occupancy& occupancy,
+                     double latency_cycles_per_iteration);
+
+/// Model inversion, the paper's Table II methodology: given a measured
+/// CUPS rate, derive the effective per-iteration latency
+/// latency = parallelism * frequency / CUPS.
+double effective_latency_cycles(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy, double cups);
+
+/// Parallelism actually available to a launch: the occupancy bound (Eq. 8)
+/// clamped by the number of launched threads (a small batch cannot fill
+/// every block slot).
+long long effective_parallelism(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy,
+                                std::size_t blocks, int threads_per_block);
+
+/// Effective latency using the clamped parallelism.
+double effective_latency_cycles(const simt::DeviceSpec& device,
+                                const simt::Occupancy& occupancy, double cups,
+                                std::size_t blocks, int threads_per_block);
+
+}  // namespace wsim::model

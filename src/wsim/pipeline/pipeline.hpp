@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/workload/task.hpp"
+
+namespace wsim::pipeline {
+
+/// End-to-end HaplotypeCaller-style pipeline over a dataset: stage 1
+/// aligns every region's candidate haplotypes with Smith-Waterman,
+/// stage 2 scores every read/haplotype pair with PairHMM — the two
+/// GPU-offloaded stages of the paper — with the paper's optimizations
+/// (kernel design choice, re-batching) and this library's extensions
+/// (transfer overlap, LPT ordering, double fallback) as configuration.
+struct PipelineConfig {
+  simt::DeviceSpec device = simt::make_titan_x();
+  kernels::CommMode sw_design = kernels::CommMode::kShuffle;
+  kernels::PhDesign ph_design = kernels::PhDesign::kShuffle;
+
+  /// 0 keeps the per-region batching of the paper's Fig. 9; a positive
+  /// value re-batches tasks across regions (Fig. 10).
+  std::size_t rebatch_size = 0;
+  bool overlap_transfers = false;
+  bool lpt_order = false;
+  /// GATK-style double-precision rescue of underflowed PairHMM tasks.
+  bool double_fallback = true;
+
+  /// Cross-check every `validate_every`-th task against the host
+  /// reference implementations while running.
+  bool validate_sample = false;
+  std::size_t validate_every = 37;
+};
+
+struct StageReport {
+  std::size_t tasks = 0;
+  std::size_t cells = 0;
+  std::size_t batches = 0;
+  double seconds = 0.0;  ///< simulated wall time incl. transfers/overheads
+  double gcups = 0.0;
+  /// Estimated device energy (dynamic + static) in joules, extrapolated
+  /// from each batch's representative block (see simt::launch_energy).
+  double joules = 0.0;
+  double pj_per_cell() const noexcept {
+    return cells > 0 ? joules * 1e12 / static_cast<double>(cells) : 0.0;
+  }
+};
+
+struct PipelineReport {
+  StageReport sw;
+  StageReport ph;
+  std::size_t validated = 0;
+  std::size_t mismatches = 0;
+
+  /// Stage outputs in dataset order (regions flattened).
+  std::vector<align::SwAlignment> sw_alignments;
+  std::vector<double> ph_log10;
+};
+
+/// Runs both stages. Throws util::CheckError on invalid configuration or
+/// dataset (e.g. no tasks).
+PipelineReport run_pipeline(const workload::Dataset& dataset,
+                            const PipelineConfig& config = {});
+
+}  // namespace wsim::pipeline

@@ -1,0 +1,164 @@
+#include "wsim/simt/device.hpp"
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::simt {
+
+std::string_view to_string(Arch arch) noexcept {
+  switch (arch) {
+    case Arch::kKepler:
+      return "Kepler";
+    case Arch::kMaxwell:
+      return "Maxwell";
+  }
+  return "unknown";
+}
+
+double DeviceSpec::peak_gflops() const noexcept {
+  return 2.0 * static_cast<double>(sm_count) * static_cast<double>(cores_per_sm) * clock_ghz;
+}
+
+double DeviceSpec::shared_mem_bw_gbps() const noexcept {
+  return static_cast<double>(sm_count) * static_cast<double>(smem_banks) * 4.0 * clock_ghz;
+}
+
+int DeviceSpec::shuffle_latency(int variant) const {
+  switch (variant) {
+    case 0:
+      return lat.shfl;
+    case 1:
+      return lat.shfl_up;
+    case 2:
+      return lat.shfl_down;
+    case 3:
+      return lat.shfl_xor;
+    default:
+      throw util::CheckError("shuffle_latency: variant must be in [0, 3]");
+  }
+}
+
+namespace {
+
+LatencyTable maxwell_latencies() {
+  LatencyTable lat;
+  lat.reg_access = 1;
+  lat.ialu = 6;
+  lat.imul = 13;
+  lat.falu = 6;
+  // Back-derived from the paper's critical-path estimates on K1200:
+  // SW1 iteration = 6 smem accesses + 1 sync = 6*21 + 57 = 183 cycles;
+  // SW2 iteration = 2 shuffles + 4 register ops = 2*9 + 4 = 22 cycles.
+  lat.shfl = 9;
+  lat.shfl_up = 9;
+  lat.shfl_down = 9;
+  lat.shfl_xor = 12;  // highest-latency variant on Maxwell (paper Fig. 3)
+  lat.smem_load = 21;
+  lat.smem_store = 21;
+  lat.bank_conflict = 2;
+  lat.sync_barrier = 57;
+  lat.gmem_load = 350;
+  lat.gmem_load_cached = 80;
+  lat.gmem_store = 40;
+  lat.issue_interval = 1;
+  return lat;
+}
+
+LatencyTable kepler_latencies() {
+  LatencyTable lat;
+  lat.reg_access = 1;
+  lat.ialu = 9;
+  lat.imul = 9;
+  lat.falu = 9;
+  // Paper Fig. 3: Kepler shuffles are slower across the board and
+  // shfl_xor is the *fastest* variant there (inverted vs. Maxwell).
+  lat.shfl = 31;
+  lat.shfl_up = 30;
+  lat.shfl_down = 30;
+  lat.shfl_xor = 26;
+  lat.smem_load = 48;
+  lat.smem_store = 48;
+  lat.bank_conflict = 2;
+  lat.sync_barrier = 96;
+  lat.gmem_load = 230;
+  lat.gmem_load_cached = 110;
+  lat.gmem_store = 40;
+  lat.issue_interval = 1;
+  return lat;
+}
+
+}  // namespace
+
+DeviceSpec make_k40() {
+  DeviceSpec d;
+  d.name = "K40";
+  d.arch = Arch::kKepler;
+  d.sm_count = 15;
+  d.cores_per_sm = 192;
+  d.clock_ghz = 0.745;
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 16;
+  d.registers_per_sm = 65536;
+  d.max_registers_per_thread = 255;
+  d.shared_mem_per_sm = 49152;
+  d.shared_mem_per_block = 49152;
+  d.schedulers_per_sm = 4;
+  d.global_mem_bw_gbps = 288.0;
+  d.lat = kepler_latencies();
+  return d;
+}
+
+DeviceSpec make_k1200() {
+  DeviceSpec d;
+  d.name = "K1200";
+  d.arch = Arch::kMaxwell;
+  d.sm_count = 4;
+  d.cores_per_sm = 128;
+  d.clock_ghz = 1.033;  // 2 * 512 cores * 1.033 GHz = 1058 GFLOPs (Table I: 1057)
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 32;
+  d.registers_per_sm = 65536;
+  d.max_registers_per_thread = 255;
+  d.shared_mem_per_sm = 65536;
+  d.shared_mem_per_block = 49152;
+  d.schedulers_per_sm = 4;
+  d.global_mem_bw_gbps = 80.0;  // Table I
+  d.lat = maxwell_latencies();
+  return d;
+}
+
+DeviceSpec make_titan_x() {
+  DeviceSpec d;
+  d.name = "Titan X";
+  d.arch = Arch::kMaxwell;
+  d.sm_count = 24;
+  d.cores_per_sm = 128;
+  d.clock_ghz = 1.076;  // 2 * 3072 cores * 1.076 GHz = 6611 GFLOPs (Table I)
+  d.max_threads_per_sm = 2048;
+  d.max_warps_per_sm = 64;
+  d.max_blocks_per_sm = 32;
+  d.registers_per_sm = 65536;
+  d.max_registers_per_thread = 255;
+  d.shared_mem_per_sm = 98304;
+  d.shared_mem_per_block = 49152;
+  d.schedulers_per_sm = 4;
+  d.global_mem_bw_gbps = 336.5;  // Table I
+  d.lat = maxwell_latencies();
+  return d;
+}
+
+std::vector<DeviceSpec> all_devices() {
+  return {make_k40(), make_k1200(), make_titan_x()};
+}
+
+DeviceSpec device_by_name(std::string_view name) {
+  for (auto& dev : all_devices()) {
+    if (dev.name == name) {
+      return dev;
+    }
+  }
+  throw util::CheckError("device_by_name: unknown device '" + std::string(name) + "'");
+}
+
+}  // namespace wsim::simt

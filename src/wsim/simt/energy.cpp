@@ -1,0 +1,43 @@
+#include "wsim/simt/energy.hpp"
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::simt {
+
+EnergyEstimate block_energy(const BlockResult& block, const EnergyTable& table) {
+  EnergyEstimate e;
+  const auto count = [&block](Op op) {
+    return static_cast<double>(block.count(op));
+  };
+  const double shuffles = static_cast<double>(block.shuffle_count());
+  const double smem_tx = static_cast<double>(block.smem_transactions);
+  const double gmem_tx = static_cast<double>(block.gmem_transactions);
+  const double barriers = static_cast<double>(block.barriers);
+  // Everything issued that is not data movement or synchronization burns
+  // ALU-class energy (control flow included: branch units are cheap but
+  // not free).
+  const double alu_like = static_cast<double>(block.instructions) - shuffles -
+                          count(Op::kLds) - count(Op::kSts) - count(Op::kLdg) -
+                          count(Op::kStg) - count(Op::kBar);
+  e.dynamic_pj = alu_like * table.alu_pj + shuffles * table.shuffle_pj +
+                 smem_tx * table.smem_transaction_pj +
+                 gmem_tx * table.gmem_transaction_pj + barriers * table.sync_pj;
+  return e;
+}
+
+EnergyEstimate launch_energy(const BlockResult& representative, std::size_t blocks,
+                             double kernel_seconds, const DeviceSpec& device,
+                             const EnergyTable& table) {
+  util::require(kernel_seconds >= 0.0, "launch_energy: negative runtime");
+  EnergyEstimate e = block_energy(representative, table);
+  e.dynamic_pj *= static_cast<double>(blocks);
+  e.static_pj = table.idle_w_per_sm * device.sm_count * kernel_seconds * 1e12;
+  return e;
+}
+
+double energy_per_cell_pj(const EnergyEstimate& energy, std::size_t cells) {
+  util::require(cells > 0, "energy_per_cell_pj: cells must be positive");
+  return energy.total_pj() / static_cast<double>(cells);
+}
+
+}  // namespace wsim::simt

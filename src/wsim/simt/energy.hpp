@@ -1,0 +1,46 @@
+#pragma once
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+
+namespace wsim::simt {
+
+/// Per-event dynamic energy in picojoules, at warp granularity (one
+/// warp-wide instruction or memory transaction). The defaults are
+/// order-of-magnitude figures for a 28 nm GPU (Maxwell class), following
+/// the standard energy hierarchy the paper's introduction appeals to:
+/// moving data costs far more than computing on it, and the cost grows
+/// with distance (register < shuffle < shared memory < DRAM).
+struct EnergyTable {
+  double alu_pj = 60.0;           ///< warp-wide arithmetic/logic/select
+  double shuffle_pj = 90.0;       ///< warp-wide register exchange via the crossbar
+  double smem_transaction_pj = 220.0;  ///< one 128 B shared-memory transaction
+  double gmem_transaction_pj = 2600.0; ///< one 128 B DRAM segment access
+  double sync_pj = 120.0;         ///< barrier bookkeeping per block
+  double idle_w_per_sm = 0.55;    ///< static power burned per SM while the kernel runs
+};
+
+/// Energy attributed to one executed block (dynamic) or one launch
+/// (dynamic + static over the kernel runtime).
+struct EnergyEstimate {
+  double dynamic_pj = 0.0;
+  double static_pj = 0.0;
+  double total_pj() const noexcept { return dynamic_pj + static_pj; }
+  double total_joules() const noexcept { return total_pj() * 1e-12; }
+};
+
+/// Dynamic energy of one block from its instruction/transaction counts.
+EnergyEstimate block_energy(const BlockResult& block, const EnergyTable& table);
+
+/// Launch-level energy: per-block dynamic energy summed over `blocks`
+/// identical blocks plus static power integrated over `kernel_seconds`
+/// across the whole device.
+EnergyEstimate launch_energy(const BlockResult& representative, std::size_t blocks,
+                             double kernel_seconds, const DeviceSpec& device,
+                             const EnergyTable& table = {});
+
+/// Convenience: picojoules per DP cell update, the energy analogue of
+/// CUPS.
+double energy_per_cell_pj(const EnergyEstimate& energy, std::size_t cells);
+
+}  // namespace wsim::simt

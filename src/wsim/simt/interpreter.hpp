@@ -1,0 +1,59 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/isa.hpp"
+#include "wsim/simt/memory.hpp"
+
+namespace wsim::simt {
+
+/// Execution record of one thread block: functional side effects land in
+/// the GlobalMemory arena; the numbers here feed the SM scheduler and the
+/// performance model.
+struct BlockResult {
+  long long cycles = 0;                   ///< block makespan (max over warps)
+  std::uint64_t instructions = 0;         ///< warp-level instructions issued
+  std::uint64_t smem_transactions = 0;    ///< shared-memory transactions incl. bank-conflict replays
+  std::uint64_t gmem_transactions = 0;    ///< 128-byte global segments touched
+  std::uint64_t barriers = 0;             ///< __syncthreads executed (per block)
+  std::array<std::uint64_t, kNumOps> op_counts{};  ///< warp-level issue count per opcode
+
+  std::uint64_t count(Op op) const noexcept {
+    return op_counts[static_cast<std::size_t>(op)];
+  }
+  std::uint64_t shuffle_count() const noexcept {
+    return count(Op::kShfl) + count(Op::kShflUp) + count(Op::kShflDown) +
+           count(Op::kShflXor);
+  }
+  std::uint64_t smem_instr_count() const noexcept {
+    return count(Op::kLds) + count(Op::kSts);
+  }
+};
+
+/// Executes one block of `kernel` on `device`, with the given scalar
+/// launch parameters (block-uniform; missing parameters read as zero).
+///
+/// Timing model: each warp runs an in-order pipeline with a per-register
+/// scoreboard — an instruction issues when its sources are ready, completes
+/// after the architecture's dependent latency, and consecutive issues from
+/// the same warp are one `issue_interval` apart. Warps execute
+/// independently between barriers (sequential functional execution is
+/// race-free for correct kernels); at a `kBar` every warp's clock joins at
+/// the slowest arrival plus the barrier latency. Shared-memory bank
+/// conflicts serialize transactions and add `bank_conflict` cycles per
+/// replay.
+///
+/// Throws util::CheckError on malformed kernels, out-of-bounds memory
+/// accesses, or barrier divergence.
+///
+/// When `trace` is non-null, every executed instruction is recorded with
+/// its issue/completion cycles (see simt::Trace) — expensive for big
+/// kernels, intended for debugging.
+BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
+                      GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
+                      class Trace* trace = nullptr);
+
+}  // namespace wsim::simt

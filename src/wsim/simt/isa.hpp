@@ -1,0 +1,141 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsim::simt {
+
+/// The simulator's SASS-like instruction set. Kernels are lists of these
+/// instructions, executed by every thread of a block in SIMT lockstep
+/// (warp granularity). Registers hold 64 raw bits; f32 opcodes interpret
+/// the low 32 bits as an IEEE float, integer opcodes interpret all 64 bits
+/// as a signed integer.
+enum class Op : std::uint8_t {
+  kNop,
+  // --- moves / identifiers ---
+  kMov,      ///< dst = a                        (vector)
+  kTid,      ///< dst = threadIdx.x              (vector)
+  kLaneId,   ///< dst = lane index within warp   (vector)
+  kWarpId,   ///< dst = warp index within block  (vector)
+  // --- f32 arithmetic ---
+  kFAdd,     ///< dst = a + b
+  kFSub,     ///< dst = a - b
+  kFMul,     ///< dst = a * b
+  kFFma,     ///< dst = a * b + c
+  kFMax,     ///< dst = max(a, b)
+  kFMin,     ///< dst = min(a, b)
+  // --- integer arithmetic (64-bit signed) ---
+  kIAdd,     ///< dst = a + b
+  kISub,     ///< dst = a - b
+  kIMul,     ///< dst = a * b
+  kIMax,     ///< dst = max(a, b)
+  kIMin,     ///< dst = min(a, b)
+  kIAnd,     ///< dst = a & b
+  kIOr,      ///< dst = a | b
+  kIXor,     ///< dst = a ^ b
+  kShl,      ///< dst = a << b
+  kShr,      ///< dst = a >> b (arithmetic)
+  // --- compare / select ---
+  kSetp,     ///< dst = (a <cmp> b) ? 1 : 0, type from `dtype`
+  kSelp,     ///< dst = (c != 0) ? a : b
+  // --- warp shuffle (paper Fig. 1) ---
+  kShfl,        ///< dst = value of lane b (any-to-any, wraps modulo width c)
+  kShflUp,      ///< dst = value of lane (lane - b); keeps own value if lane < b
+  kShflDown,    ///< dst = value of lane (lane + b); keeps own value if out of segment
+  kShflXor,     ///< dst = value of lane (lane ^ b) within width c
+  // --- memory ---
+  kLds,      ///< dst = shared[a + b]   (byte address; width from `width`)
+  kSts,      ///< shared[a + b] = c
+  kLdg,      ///< dst = global[a + b]
+  kStg,      ///< global[a + b] = c
+  // --- synchronization ---
+  kBar,      ///< __syncthreads()
+  // --- scalar (block-uniform) arithmetic ---
+  kSMov,     ///< sdst = a
+  kSAdd,     ///< sdst = a + b
+  kSSub,     ///< sdst = a - b
+  kSMul,     ///< sdst = a * b
+  kSMin,     ///< sdst = min(a, b)
+  kSMax,     ///< sdst = max(a, b)
+  // --- structured control flow ---
+  kLoop,     ///< repeat the region until matching kEndLoop `a` times (scalar/imm)
+  kEndLoop,  ///< end of loop region
+  kOpCount,  ///< sentinel: number of opcodes
+};
+
+constexpr std::size_t kNumOps = static_cast<std::size_t>(Op::kOpCount);
+
+std::string_view to_string(Op op) noexcept;
+
+/// Comparison predicate for kSetp.
+enum class Cmp : std::uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+/// Data interpretation for kSetp.
+enum class DType : std::uint8_t { kF32, kI64 };
+
+/// Memory access width for kLds/kSts/kLdg/kStg. One-byte loads
+/// zero-extend (sequence characters); four-byte loads sign-extend to 64
+/// bits so stored negative i32 DP scores survive the round trip (f32
+/// consumers only read the low 32 bits, so they are unaffected).
+enum class MemWidth : std::uint8_t { kB1, kB4 };
+
+/// Operand: a vector register (per-lane), a scalar register
+/// (block-uniform), or an immediate (raw 64 bits).
+struct Operand {
+  enum class Kind : std::uint8_t { kNone, kVector, kScalar, kImmediate };
+  Kind kind = Kind::kNone;
+  int reg = -1;
+  std::uint64_t imm = 0;
+
+  static Operand none() noexcept { return {}; }
+  static Operand vreg(int id) noexcept { return {Kind::kVector, id, 0}; }
+  static Operand sreg(int id) noexcept { return {Kind::kScalar, id, 0}; }
+  static Operand immediate(std::uint64_t bits) noexcept {
+    return {Kind::kImmediate, -1, bits};
+  }
+};
+
+/// One instruction. `dst` is a vector-register id for vector ops and a
+/// scalar-register id for scalar ops (-1 when the op produces no value).
+/// `pred` optionally guards the instruction: lanes whose predicate vector
+/// register is zero (or non-zero when `pred_negate`) skip the write and
+/// any memory side effect, exactly like PTX @p predication. The warp still
+/// pays the instruction's issue slot and latency (SIMT execution).
+struct Instr {
+  Op op = Op::kNop;
+  int dst = -1;
+  Operand a;
+  Operand b;
+  Operand c;
+  Cmp cmp = Cmp::kLt;
+  DType dtype = DType::kI64;
+  MemWidth width = MemWidth::kB4;
+  int pred = -1;
+  bool pred_negate = false;
+};
+
+/// A compiled kernel: the instruction list plus the static resources that
+/// feed the occupancy calculator (paper Eq. 8). `vreg_count` plays the
+/// role of nvcc's reported registers/thread; `smem_bytes` is the static
+/// shared-memory allocation per block.
+struct Kernel {
+  std::string name;
+  std::vector<Instr> code;
+  int threads_per_block = 32;
+  int vreg_count = 0;
+  int sreg_count = 0;
+  int smem_bytes = 0;
+
+  int warps_per_block() const noexcept { return (threads_per_block + 31) / 32; }
+};
+
+/// Structural validation: balanced loops, register ids in range, operand
+/// kinds legal for each opcode. Throws util::CheckError on violations.
+void validate(const Kernel& kernel);
+
+/// Human-readable disassembly (one instruction per line), for debugging
+/// and golden tests.
+std::string disassemble(const Kernel& kernel);
+
+}  // namespace wsim::simt

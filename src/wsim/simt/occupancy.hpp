@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string_view>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/isa.hpp"
+
+namespace wsim::simt {
+
+/// Result of the occupancy calculation (paper Eq. 8): how many blocks fit
+/// on one SM given register, shared-memory, thread and block-slot budgets,
+/// and which resource is the limiter — the quantity the paper's trade-off
+/// analysis revolves around (shuffle frees smem but raises register use).
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int active_warps_per_sm = 0;
+  int active_threads_per_sm = 0;
+  double fraction = 0.0;  ///< active warps / max warps
+
+  enum class Limiter { kRegisters, kSharedMemory, kThreads, kBlockSlots };
+  Limiter limiter = Limiter::kBlockSlots;
+
+  /// Paper Eq. 8: cells updatable in parallel when each active thread owns
+  /// one cell.
+  long long parallelism(const DeviceSpec& device) const noexcept {
+    return static_cast<long long>(device.sm_count) * active_threads_per_sm;
+  }
+};
+
+std::string_view to_string(Occupancy::Limiter limiter) noexcept;
+
+/// Computes occupancy from raw kernel characteristics (the same inputs the
+/// paper reads off nvcc: registers/thread, shared memory/block,
+/// threads/block).
+Occupancy compute_occupancy(const DeviceSpec& device, int threads_per_block,
+                            int regs_per_thread, int smem_bytes_per_block);
+
+/// Convenience overload reading the characteristics from a compiled kernel.
+Occupancy compute_occupancy(const DeviceSpec& device, const Kernel& kernel);
+
+}  // namespace wsim::simt

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <string>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/isa.hpp"
+
+namespace wsim::simt {
+
+/// Post-mortem profile of one executed block: where the issue slots and
+/// the estimated latency went, plus the occupancy context. This is the
+/// simulator's analogue of nvprof's per-kernel summary and what the
+/// paper's trade-off analysis reads off its kernels.
+struct ProfileReport {
+  std::string kernel_name;
+  int threads_per_block = 0;
+  int regs_per_thread = 0;
+  int smem_bytes = 0;
+  double occupancy = 0.0;
+  std::string occupancy_limiter;
+
+  long long cycles = 0;
+  std::uint64_t instructions = 0;
+  double ipc = 0.0;  ///< warp instructions per cycle
+
+  std::uint64_t alu_ops = 0;
+  std::uint64_t shuffle_ops = 0;
+  std::uint64_t smem_ops = 0;
+  std::uint64_t gmem_ops = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t smem_transactions = 0;
+  std::uint64_t gmem_transactions = 0;
+  double bank_conflict_ratio = 0.0;  ///< transactions per smem instruction
+
+  std::size_t cells = 0;
+  double instructions_per_cell = 0.0;
+  double cycles_per_cell = 0.0;
+};
+
+/// Builds the report from a kernel, its device, and one block's result.
+ProfileReport profile_block(const Kernel& kernel, const DeviceSpec& device,
+                            const BlockResult& block, std::size_t cells);
+
+/// Renders the report as an aligned, human-readable summary.
+std::string format_profile(const ProfileReport& report);
+
+}  // namespace wsim::simt

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/isa.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/simt/occupancy.hpp"
+#include "wsim/simt/scheduler.hpp"
+
+namespace wsim::simt {
+
+/// Host↔device copies associated with one launch (cudaMemcpy volumes).
+struct TransferSpec {
+  std::size_t h2d_bytes = 0;
+  std::size_t d2h_bytes = 0;
+};
+
+/// How blocks are executed.
+///
+/// kFull executes every block functionally (results in GlobalMemory are
+/// valid for all blocks). kCachedByShape executes one representative block
+/// per distinct `shape_key` and reuses its measured cost for the others —
+/// valid because kernel control flow (and therefore timing) depends only
+/// on the scalar arguments that define the shape, not on sequence content.
+/// Use it for large timing sweeps; only representative blocks' outputs are
+/// written.
+enum class ExecMode { kFull, kCachedByShape };
+
+/// One block of a launch: its scalar arguments (filling s0, s1, ... in
+/// KernelBuilder::param() order) and a shape key for timing deduplication.
+struct BlockLaunch {
+  std::vector<std::uint64_t> args;
+  std::uint64_t shape_key = 0;
+};
+
+/// Reusable block-cost memoization across launches of the same kernel on
+/// the same device (e.g. the Fig. 10 batch-size sweep relaunches identical
+/// task shapes many times).
+using BlockCostCache = std::unordered_map<std::uint64_t, BlockCost>;
+
+struct LaunchOptions {
+  ExecMode mode = ExecMode::kFull;
+  TransferSpec transfer;
+  /// Optional external cache for kCachedByShape; when null a per-launch
+  /// cache is used. Must only be shared between launches of the same
+  /// kernel on the same device.
+  BlockCostCache* cost_cache = nullptr;
+  /// CUDA-streams-style pipelining: copies overlap kernel execution, so
+  /// wall time is max(kernel, transfer) instead of their sum. The paper's
+  /// numbers serialize them; this is the natural follow-up optimization.
+  bool overlap_transfers = false;
+  /// When non-null, records the representative (first executed) block's
+  /// instruction timeline (see simt::Trace).
+  class Trace* trace_representative = nullptr;
+};
+
+/// Everything the benchmarks need from one kernel launch.
+struct LaunchResult {
+  KernelTiming timing;
+  Occupancy occupancy;
+  double kernel_seconds = 0.0;    ///< device execution only
+  double transfer_seconds = 0.0;  ///< PCIe h2d + d2h
+  double overhead_seconds = 0.0;  ///< kernel-launch overhead
+  std::uint64_t instructions = 0;         ///< summed over all blocks
+  std::uint64_t smem_transactions = 0;    ///< summed over all blocks
+  BlockResult representative;             ///< first block's detailed record
+  bool transfers_overlapped = false;      ///< LaunchOptions::overlap_transfers
+
+  /// Wall-clock including transfers and launch overhead (paper Fig. 9/10
+  /// convention; with streams the slower of kernel/transfer dominates).
+  double total_seconds() const noexcept {
+    const double moved = transfers_overlapped
+                             ? std::max(kernel_seconds, transfer_seconds)
+                             : kernel_seconds + transfer_seconds;
+    return moved + overhead_seconds;
+  }
+};
+
+/// Executes a grid: runs blocks through the interpreter (per `options.mode`),
+/// composes their costs with the SM scheduler, and adds host-side overheads
+/// from the device's PCIe parameters.
+LaunchResult launch(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
+                    std::span<const BlockLaunch> blocks, const LaunchOptions& options = {});
+
+}  // namespace wsim::simt

@@ -1,0 +1,68 @@
+#include "wsim/simt/scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::simt {
+
+KernelTiming schedule_blocks(const DeviceSpec& device, const Occupancy& occupancy,
+                             std::span<const BlockCost> blocks) {
+  util::require(occupancy.blocks_per_sm > 0, "schedule_blocks: occupancy must allow >= 1 block");
+  KernelTiming timing;
+  if (blocks.empty()) {
+    return timing;
+  }
+
+  struct Slot {
+    long long free_at = 0;
+    int rank = 0;  ///< slot index within its SM: ties spread across SMs first
+    int sm = 0;
+    bool operator>(const Slot& other) const noexcept {
+      if (free_at != other.free_at) {
+        return free_at > other.free_at;
+      }
+      if (rank != other.rank) {
+        return rank > other.rank;
+      }
+      return sm > other.sm;
+    }
+  };
+
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> slots;
+  for (int sm = 0; sm < device.sm_count; ++sm) {
+    for (int s = 0; s < occupancy.blocks_per_sm; ++s) {
+      slots.push({0, s, sm});
+    }
+  }
+
+  std::vector<long long> sm_throughput_cycles(static_cast<std::size_t>(device.sm_count), 0);
+  long long latency_makespan = 0;
+  for (const BlockCost& block : blocks) {
+    Slot slot = slots.top();
+    slots.pop();
+    const long long finish = slot.free_at + block.latency_cycles;
+    latency_makespan = std::max(latency_makespan, finish);
+    // Issue-slot serialization: schedulers_per_sm instructions retire per
+    // cycle; the smem port serves one warp-wide transaction per cycle.
+    const long long issue_cycles =
+        static_cast<long long>((block.issue_slots + device.schedulers_per_sm - 1) /
+                               static_cast<std::uint64_t>(device.schedulers_per_sm));
+    const long long smem_cycles = static_cast<long long>(block.smem_transactions);
+    sm_throughput_cycles[static_cast<std::size_t>(slot.sm)] +=
+        std::max(issue_cycles, smem_cycles);
+    slot.free_at = finish;
+    slots.push(slot);
+  }
+
+  timing.latency_bound_cycles = latency_makespan;
+  timing.throughput_bound_cycles =
+      *std::max_element(sm_throughput_cycles.begin(), sm_throughput_cycles.end());
+  timing.cycles = std::max(timing.latency_bound_cycles, timing.throughput_bound_cycles);
+  timing.seconds = static_cast<double>(timing.cycles) / (device.clock_ghz * 1e9);
+  return timing;
+}
+
+}  // namespace wsim::simt

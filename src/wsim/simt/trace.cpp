@@ -1,0 +1,23 @@
+#include "wsim/simt/trace.hpp"
+
+#include <ostream>
+
+namespace wsim::simt {
+
+void Trace::write_chrome_json(std::ostream& os) const {
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& e : events_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    const long long duration = e.end > e.start ? e.end - e.start : 1;
+    os << "\n  {\"name\": \"" << e.name << "\", \"ph\": \"X\", \"pid\": 0, "
+       << "\"tid\": " << e.warp << ", \"ts\": " << e.start << ", \"dur\": "
+       << duration << "}";
+  }
+  os << "\n]\n";
+}
+
+}  // namespace wsim::simt

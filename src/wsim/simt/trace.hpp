@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wsim::simt {
+
+/// One timed instruction (or barrier) occurrence inside a block.
+struct TraceEvent {
+  std::string name;      ///< opcode mnemonic
+  int warp = 0;          ///< warp index within the block
+  long long start = 0;   ///< issue cycle
+  long long end = 0;     ///< completion cycle
+};
+
+/// Execution timeline of one block, recordable by run_block. Intended for
+/// debugging and teaching: load the JSON into chrome://tracing or Perfetto
+/// to see how warps interleave, where barriers align them, and which
+/// dependence chains serialize.
+class Trace {
+ public:
+  void add(TraceEvent event) { events_.push_back(std::move(event)); }
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t size() const noexcept { return events_.size(); }
+
+  /// Chrome trace-event format: one complete ("ph":"X") event per
+  /// instruction, cycles as microseconds, one row per warp.
+  void write_chrome_json(std::ostream& os) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace wsim::simt

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace wsim::util {
+
+/// Thrown when a precondition or invariant check fails.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Precondition check: throws CheckError with the failing location when
+/// `condition` is false. Used at public API boundaries (Expects-style).
+inline void require(bool condition, const std::string& what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": requirement failed: " + what);
+  }
+}
+
+/// Internal invariant check: same behaviour as require(), separate name so
+/// call sites document whether a failure blames the caller or the library.
+inline void ensure(bool condition, const std::string& what,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": invariant violated: " + what);
+  }
+}
+
+}  // namespace wsim::util

@@ -1,0 +1,87 @@
+#include "wsim/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::util {
+
+Summary summarize(std::span<const double> values) noexcept {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) {
+    return s;
+  }
+  double total = 0.0;
+  s.min = values.front();
+  s.max = values.front();
+  for (const double v : values) {
+    total += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = total / static_cast<double>(s.count);
+  if (s.count > 1) {
+    double ss = 0.0;
+    for (const double v : values) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.count - 1));
+  }
+  return s;
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  require(xs.size() == ys.size(), "linear_fit: xs and ys must have equal size");
+  require(xs.size() >= 2, "linear_fit: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sum_x = 0.0;
+  double sum_y = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sum_x += xs[i];
+    sum_y += ys[i];
+  }
+  const double mean_x = sum_x / n;
+  const double mean_y = sum_y / n;
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mean_x;
+    const double dy = ys[i] - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  require(sxx > 0.0, "linear_fit: need at least two distinct x values");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy > 0.0 ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double percentile(std::span<const double> values, double p) {
+  require(!values.empty(), "percentile: sample must be non-empty");
+  require(p >= 0.0 && p <= 100.0, "percentile: p must be in [0, 100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) {
+    return sorted.front();
+  }
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double relative_error(double estimate, double reference) {
+  require(reference != 0.0, "relative_error: reference must be non-zero");
+  return (estimate - reference) / reference;
+}
+
+}  // namespace wsim::util

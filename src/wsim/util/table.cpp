@@ -1,0 +1,96 @@
+#include "wsim/util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  require(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == header_.size(), "Table: row width must match header");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << std::left << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    }
+    os << '\n';
+  };
+  const auto print_rule = [&] {
+    os << "+";
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+void Table::write_csv(std::ostream& os) const {
+  const auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) {
+      return cell;
+    }
+    std::string out = "\"";
+    for (const char ch : cell) {
+      if (ch == '"') {
+        out += '"';
+      }
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  const auto write_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        os << ',';
+      }
+      os << escape(row[c]);
+    }
+    os << '\n';
+  };
+  write_row(header_);
+  for (const auto& row : rows_) {
+    write_row(row);
+  }
+}
+
+std::string format_fixed(double value, int digits) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(digits) << value;
+  return oss.str();
+}
+
+std::string format_percent(double fraction) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(1) << fraction * 100.0 << '%';
+  return oss.str();
+}
+
+}  // namespace wsim::util

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wsim::util {
+
+/// Minimal ASCII table builder used by the benchmark harnesses to print
+/// rows in the same shape as the paper's tables and figure series.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a data row. Requires the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (comma-separated, minimal quoting of commas/quotes).
+  void write_csv(std::ostream& os) const;
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of fraction digits.
+std::string format_fixed(double value, int digits);
+
+/// Formats a double as "12.3%" style percentage with one fraction digit.
+std::string format_percent(double fraction);
+
+}  // namespace wsim::util

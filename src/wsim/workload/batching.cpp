@@ -1,0 +1,117 @@
+#include "wsim/workload/batching.hpp"
+
+#include <algorithm>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::workload {
+
+std::vector<SwBatch> sw_region_batches(const Dataset& dataset) {
+  std::vector<SwBatch> batches;
+  batches.reserve(dataset.regions.size());
+  for (const Region& region : dataset.regions) {
+    if (!region.sw_tasks.empty()) {
+      batches.push_back(region.sw_tasks);
+    }
+  }
+  return batches;
+}
+
+std::vector<PhBatch> ph_region_batches(const Dataset& dataset) {
+  std::vector<PhBatch> batches;
+  batches.reserve(dataset.regions.size());
+  for (const Region& region : dataset.regions) {
+    if (!region.ph_tasks.empty()) {
+      batches.push_back(region.ph_tasks);
+    }
+  }
+  return batches;
+}
+
+SwBatch sw_all_tasks(const Dataset& dataset) {
+  SwBatch all;
+  for (const Region& region : dataset.regions) {
+    all.insert(all.end(), region.sw_tasks.begin(), region.sw_tasks.end());
+  }
+  return all;
+}
+
+PhBatch ph_all_tasks(const Dataset& dataset) {
+  PhBatch all;
+  for (const Region& region : dataset.regions) {
+    all.insert(all.end(), region.ph_tasks.begin(), region.ph_tasks.end());
+  }
+  return all;
+}
+
+namespace {
+
+template <typename Task>
+std::vector<std::vector<Task>> chunk(std::vector<Task> tasks, std::size_t batch_size) {
+  util::require(batch_size >= 1, "rebatch: batch_size must be at least 1");
+  std::vector<std::vector<Task>> batches;
+  for (std::size_t begin = 0; begin < tasks.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, tasks.size());
+    batches.emplace_back(tasks.begin() + static_cast<std::ptrdiff_t>(begin),
+                         tasks.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return batches;
+}
+
+}  // namespace
+
+std::vector<SwBatch> sw_rebatch(const Dataset& dataset, std::size_t batch_size) {
+  return chunk(sw_all_tasks(dataset), batch_size);
+}
+
+std::vector<PhBatch> ph_rebatch(const Dataset& dataset, std::size_t batch_size) {
+  return chunk(ph_all_tasks(dataset), batch_size);
+}
+
+SwBatch sw_biggest_batch(const Dataset& dataset) {
+  const auto batches = sw_region_batches(dataset);
+  util::require(!batches.empty(), "sw_biggest_batch: dataset has no SW tasks");
+  return *std::max_element(batches.begin(), batches.end(),
+                           [](const SwBatch& x, const SwBatch& y) {
+                             return x.size() < y.size();
+                           });
+}
+
+PhBatch ph_biggest_batch(const Dataset& dataset) {
+  const auto batches = ph_region_batches(dataset);
+  util::require(!batches.empty(), "ph_biggest_batch: dataset has no PairHMM tasks");
+  return *std::max_element(batches.begin(), batches.end(),
+                           [](const PhBatch& x, const PhBatch& y) {
+                             return x.size() < y.size();
+                           });
+}
+
+std::size_t batch_cells(const SwBatch& batch) noexcept {
+  std::size_t total = 0;
+  for (const SwTask& task : batch) {
+    total += task.cells();
+  }
+  return total;
+}
+
+std::size_t batch_cells(const PhBatch& batch) noexcept {
+  std::size_t total = 0;
+  for (const align::PairHmmTask& task : batch) {
+    total += cells(task);
+  }
+  return total;
+}
+
+void sort_by_cells_desc(SwBatch& batch) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const SwTask& x, const SwTask& y) { return x.cells() > y.cells(); });
+}
+
+void sort_by_cells_desc(PhBatch& batch) {
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const align::PairHmmTask& x, const align::PairHmmTask& y) {
+                     return cells(x) > cells(y);
+                   });
+}
+
+}  // namespace wsim::workload

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "wsim/workload/task.hpp"
+
+namespace wsim::workload {
+
+/// A batch of SW tasks launched as one kernel (one task per block).
+using SwBatch = std::vector<SwTask>;
+
+/// A batch of PairHMM tasks launched as one kernel.
+using PhBatch = std::vector<align::PairHmmTask>;
+
+/// Original batching: one batch per HaplotypeCaller region (the paper's
+/// Fig. 9 configuration, average 4 SW / 189 PairHMM tasks per batch).
+std::vector<SwBatch> sw_region_batches(const Dataset& dataset);
+std::vector<PhBatch> ph_region_batches(const Dataset& dataset);
+
+/// Re-batching across region boundaries into chunks of `batch_size`
+/// (the paper's Fig. 10 experiment). The final chunk may be smaller.
+/// Requires batch_size >= 1.
+std::vector<SwBatch> sw_rebatch(const Dataset& dataset, std::size_t batch_size);
+std::vector<PhBatch> ph_rebatch(const Dataset& dataset, std::size_t batch_size);
+
+/// All tasks flattened into a single batch.
+SwBatch sw_all_tasks(const Dataset& dataset);
+PhBatch ph_all_tasks(const Dataset& dataset);
+
+/// The batch with the most tasks (the paper's Table II setup uses the
+/// biggest original batch so the GPU is fully occupied).
+SwBatch sw_biggest_batch(const Dataset& dataset);
+PhBatch ph_biggest_batch(const Dataset& dataset);
+
+/// Total DP cells in a batch (the CUPS numerator).
+std::size_t batch_cells(const SwBatch& batch) noexcept;
+std::size_t batch_cells(const PhBatch& batch) noexcept;
+
+/// Sorts a batch by descending cell count (longest-processing-time-first).
+/// Prior GPU SW work (Manavski et al., cited by the paper) sorts tasks so
+/// blocks scheduled together have similar cost; under a greedy block
+/// scheduler LPT order tightens the makespan of heterogeneous batches.
+void sort_by_cells_desc(SwBatch& batch);
+void sort_by_cells_desc(PhBatch& batch);
+
+}  // namespace wsim::workload

@@ -1,0 +1,139 @@
+#include "wsim/workload/dataset_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::workload {
+
+namespace {
+
+constexpr int kPhredOffset = 33;
+
+std::string encode_quals(const std::vector<std::uint8_t>& quals) {
+  std::string out;
+  out.reserve(quals.size());
+  for (const std::uint8_t q : quals) {
+    util::require(q <= 93, "write_dataset: quality exceeds Phred+33 range");
+    out.push_back(static_cast<char>(q + kPhredOffset));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode_quals(const std::string& text, std::size_t expect,
+                                       int line_no) {
+  util::require(text.size() == expect,
+                "read_dataset: quality track length mismatch at line " +
+                    std::to_string(line_no));
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    util::require(c >= kPhredOffset,
+                  "read_dataset: invalid quality character at line " +
+                      std::to_string(line_no));
+    out.push_back(static_cast<std::uint8_t>(c - kPhredOffset));
+  }
+  return out;
+}
+
+void check_sequence(const std::string& seq, int line_no) {
+  util::require(!seq.empty(), "read_dataset: empty sequence at line " +
+                                  std::to_string(line_no));
+  for (const char c : seq) {
+    util::require(c == 'A' || c == 'C' || c == 'G' || c == 'T' || c == 'N',
+                  "read_dataset: invalid base '" + std::string(1, c) +
+                      "' at line " + std::to_string(line_no));
+  }
+}
+
+}  // namespace
+
+void write_dataset(std::ostream& os, const Dataset& dataset) {
+  os << "# wsim dataset v1\n";
+  for (const Region& region : dataset.regions) {
+    os << "region\n";
+    for (const SwTask& task : region.sw_tasks) {
+      os << "sw " << task.query << ' ' << task.target << '\n';
+    }
+    for (const align::PairHmmTask& task : region.ph_tasks) {
+      os << "ph " << static_cast<int>(task.gcp) << ' ' << task.read << ' '
+         << task.hap << ' ' << encode_quals(task.base_quals) << ' '
+         << encode_quals(task.ins_quals) << ' ' << encode_quals(task.del_quals)
+         << '\n';
+    }
+  }
+}
+
+Dataset read_dataset(std::istream& is) {
+  Dataset dataset;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "region") {
+      dataset.regions.emplace_back();
+      continue;
+    }
+    util::require(!dataset.regions.empty(),
+                  "read_dataset: task before any 'region' at line " +
+                      std::to_string(line_no));
+    if (kind == "sw") {
+      SwTask task;
+      fields >> task.query >> task.target;
+      util::require(static_cast<bool>(fields),
+                    "read_dataset: malformed sw line " + std::to_string(line_no));
+      check_sequence(task.query, line_no);
+      check_sequence(task.target, line_no);
+      dataset.regions.back().sw_tasks.push_back(std::move(task));
+    } else if (kind == "ph") {
+      int gcp = 0;
+      std::string read;
+      std::string hap;
+      std::string bq;
+      std::string iq;
+      std::string dq;
+      fields >> gcp >> read >> hap >> bq >> iq >> dq;
+      util::require(static_cast<bool>(fields),
+                    "read_dataset: malformed ph line " + std::to_string(line_no));
+      util::require(gcp >= 0 && gcp <= 93,
+                    "read_dataset: gcp out of range at line " + std::to_string(line_no));
+      check_sequence(read, line_no);
+      check_sequence(hap, line_no);
+      align::PairHmmTask task;
+      task.gcp = static_cast<std::uint8_t>(gcp);
+      task.read = std::move(read);
+      task.hap = std::move(hap);
+      task.base_quals = decode_quals(bq, task.read.size(), line_no);
+      task.ins_quals = decode_quals(iq, task.read.size(), line_no);
+      task.del_quals = decode_quals(dq, task.read.size(), line_no);
+      align::validate(task);
+      dataset.regions.back().ph_tasks.push_back(std::move(task));
+    } else {
+      throw util::CheckError("read_dataset: unknown record '" + kind +
+                             "' at line " + std::to_string(line_no));
+    }
+  }
+  return dataset;
+}
+
+void save_dataset(const std::string& path, const Dataset& dataset) {
+  std::ofstream os(path);
+  util::require(static_cast<bool>(os), "save_dataset: cannot open " + path);
+  write_dataset(os, dataset);
+  util::require(static_cast<bool>(os), "save_dataset: write failed for " + path);
+}
+
+Dataset load_dataset(const std::string& path) {
+  std::ifstream is(path);
+  util::require(static_cast<bool>(is), "load_dataset: cannot open " + path);
+  return read_dataset(is);
+}
+
+}  // namespace wsim::workload

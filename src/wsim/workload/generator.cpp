@@ -1,0 +1,167 @@
+#include "wsim/workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace wsim::workload {
+
+namespace {
+
+constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+
+std::string random_sequence(util::Rng& rng, int length) {
+  std::string seq(static_cast<std::size_t>(length), 'A');
+  for (char& base : seq) {
+    base = kBases[rng.uniform_int(0, 3)];
+  }
+  return seq;
+}
+
+/// Poisson deviate by inversion of exponentials (Knuth); adequate for the
+/// means used here. Always returns at least 1 so no region is empty.
+int poisson_at_least_one(util::Rng& rng, double mean) {
+  const double limit = std::exp(-mean);
+  double product = rng.uniform01();
+  int count = 0;
+  while (product > limit) {
+    ++count;
+    product *= rng.uniform01();
+  }
+  return std::max(count, 1);
+}
+
+/// Derives a mutated copy of `source`: SNPs at snp_rate, indels at
+/// indel_rate, preserving overall similarity so alignments are meaningful.
+std::string mutate(util::Rng& rng, const std::string& source, const GeneratorConfig& cfg) {
+  std::string out;
+  out.reserve(source.size() + 8);
+  for (std::size_t pos = 0; pos < source.size();) {
+    const double draw = rng.uniform01();
+    if (draw < cfg.indel_rate / 2.0) {
+      // Deletion: skip a short run of source bases.
+      const auto run = static_cast<std::size_t>(rng.uniform_int(1, cfg.indel_len_max));
+      pos += run;
+    } else if (draw < cfg.indel_rate) {
+      // Insertion: emit a short random run, consume nothing.
+      const auto run = rng.uniform_int(1, cfg.indel_len_max);
+      for (int k = 0; k < run; ++k) {
+        out += kBases[rng.uniform_int(0, 3)];
+      }
+      ++pos;
+      out += source[pos - 1];
+    } else if (draw < cfg.indel_rate + cfg.snp_rate) {
+      out += kBases[rng.uniform_int(0, 3)];
+      ++pos;
+    } else {
+      out += source[pos];
+      ++pos;
+    }
+  }
+  if (out.empty()) {
+    out += kBases[rng.uniform_int(0, 3)];
+  }
+  return out;
+}
+
+/// Clips or pads (with fresh random bases) to put `seq` inside
+/// [min_len, max_len].
+std::string clamp_length(util::Rng& rng, std::string seq, int min_len, int max_len) {
+  if (static_cast<int>(seq.size()) > max_len) {
+    seq.resize(static_cast<std::size_t>(max_len));
+  }
+  while (static_cast<int>(seq.size()) < min_len) {
+    seq += kBases[rng.uniform_int(0, 3)];
+  }
+  return seq;
+}
+
+std::uint8_t draw_base_qual(util::Rng& rng, const GeneratorConfig& cfg) {
+  const double q = rng.normal(cfg.base_qual_mean, cfg.base_qual_stddev);
+  return static_cast<std::uint8_t>(std::clamp(q, 2.0, 40.0));
+}
+
+}  // namespace
+
+Dataset generate_dataset(const GeneratorConfig& config) {
+  util::require(config.regions > 0, "generate_dataset: need at least one region");
+  util::require(config.read_len_min > 0 && config.read_len_min <= config.read_len_max,
+                "generate_dataset: invalid read length range");
+  util::require(config.hap_len_min > 0 && config.hap_len_min <= config.hap_len_max,
+                "generate_dataset: invalid haplotype length range");
+  util::require(config.sw_query_len_min > 0 &&
+                    config.sw_query_len_min <= config.sw_query_len_max,
+                "generate_dataset: invalid SW query length range");
+  util::require(config.sw_target_len_min > 0 &&
+                    config.sw_target_len_min <= config.sw_target_len_max,
+                "generate_dataset: invalid SW target length range");
+
+  util::Rng rng(config.seed);
+  Dataset dataset;
+  dataset.regions.resize(static_cast<std::size_t>(config.regions));
+
+  for (Region& region : dataset.regions) {
+    // The region's reference window; everything else derives from it.
+    const std::string reference =
+        random_sequence(rng, static_cast<int>(rng.uniform_int(
+                                 config.sw_target_len_min, config.sw_target_len_max)));
+
+    const int sw_count = poisson_at_least_one(rng, config.sw_tasks_per_region_mean);
+    region.sw_tasks.reserve(static_cast<std::size_t>(sw_count));
+    for (int t = 0; t < sw_count; ++t) {
+      SwTask task;
+      task.target = reference;
+      task.query = clamp_length(rng, mutate(rng, reference, config),
+                                config.sw_query_len_min, config.sw_query_len_max);
+      region.sw_tasks.push_back(std::move(task));
+    }
+
+    // Candidate haplotypes for the PairHMM stage: mutated reference slices.
+    const int hap_count = static_cast<int>(rng.uniform_int(2, 6));
+    std::vector<std::string> haplotypes;
+    haplotypes.reserve(static_cast<std::size_t>(hap_count));
+    for (int h = 0; h < hap_count; ++h) {
+      const int len =
+          static_cast<int>(rng.uniform_int(config.hap_len_min, config.hap_len_max));
+      const auto start = static_cast<std::size_t>(rng.uniform_int(
+          0, std::max<std::int64_t>(0, static_cast<std::int64_t>(reference.size()) - len)));
+      std::string hap = reference.substr(start, static_cast<std::size_t>(len));
+      hap = clamp_length(rng, mutate(rng, hap, config), config.hap_len_min,
+                         config.hap_len_max);
+      haplotypes.push_back(std::move(hap));
+    }
+
+    const int ph_count = poisson_at_least_one(rng, config.ph_tasks_per_region_mean);
+    region.ph_tasks.reserve(static_cast<std::size_t>(ph_count));
+    for (int t = 0; t < ph_count; ++t) {
+      const std::string& hap =
+          haplotypes[static_cast<std::size_t>(rng.uniform_int(0, hap_count - 1))];
+      const int read_len = static_cast<int>(std::min<std::int64_t>(
+          rng.uniform_int(config.read_len_min, config.read_len_max),
+          static_cast<std::int64_t>(hap.size())));
+      const auto start = static_cast<std::size_t>(rng.uniform_int(
+          0, std::max<std::int64_t>(0,
+                                    static_cast<std::int64_t>(hap.size()) - read_len)));
+
+      align::PairHmmTask task;
+      task.hap = hap;
+      task.read = clamp_length(rng, mutate(rng, hap.substr(start, static_cast<std::size_t>(read_len)), config),
+                               config.read_len_min,
+                               std::min(config.read_len_max, static_cast<int>(hap.size())));
+      task.base_quals.resize(task.read.size());
+      for (auto& q : task.base_quals) {
+        q = draw_base_qual(rng, config);
+      }
+      task.ins_quals.assign(task.read.size(), config.ins_del_qual);
+      task.del_quals.assign(task.read.size(), config.ins_del_qual);
+      task.gcp = config.gcp;
+      region.ph_tasks.push_back(std::move(task));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace wsim::workload

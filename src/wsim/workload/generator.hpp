@@ -1,0 +1,47 @@
+#pragma once
+
+#include <cstdint>
+
+#include "wsim/workload/task.hpp"
+
+namespace wsim::workload {
+
+/// Parameters of the synthetic HaplotypeCaller-dump generator. Defaults
+/// match the shape statistics the paper reports for its HCC1954 datasets:
+/// on average 4 SW tasks and 189 PairHMM tasks per region batch, read
+/// lengths below 128 (PH1 uses 128 threads/block "because the maximal
+/// sequence length is less than 128").
+struct GeneratorConfig {
+  std::uint64_t seed = 42;
+  int regions = 32;
+
+  double sw_tasks_per_region_mean = 4.0;
+  double ph_tasks_per_region_mean = 189.0;
+
+  int sw_query_len_min = 96;   ///< candidate haplotype lengths
+  int sw_query_len_max = 320;
+  int sw_target_len_min = 160;  ///< reference-window lengths
+  int sw_target_len_max = 416;
+
+  int read_len_min = 36;  ///< PairHMM read lengths (< 128)
+  int read_len_max = 127;
+  int hap_len_min = 48;  ///< PairHMM haplotype lengths
+  int hap_len_max = 224;
+
+  double snp_rate = 0.01;    ///< per-base substitution rate when deriving pairs
+  double indel_rate = 0.002; ///< per-base indel open rate
+  int indel_len_max = 6;
+
+  double base_qual_mean = 30.0;
+  double base_qual_stddev = 5.0;
+  std::uint8_t ins_del_qual = 45;  ///< GATK default insertion/deletion quality
+  std::uint8_t gcp = 10;           ///< GATK default gap-continuation penalty
+};
+
+/// Generates a deterministic synthetic dataset: per region a reference
+/// window is drawn, haplotypes are derived from it by mutation (so SW
+/// alignments are biologically shaped, not random-vs-random), and reads
+/// are sampled from haplotypes with sequencing errors and quality tracks.
+Dataset generate_dataset(const GeneratorConfig& config);
+
+}  // namespace wsim::workload

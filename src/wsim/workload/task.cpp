@@ -1,0 +1,37 @@
+#include "wsim/workload/task.hpp"
+
+#include <algorithm>
+
+namespace wsim::workload {
+
+std::size_t cells(const align::PairHmmTask& task) noexcept {
+  return task.read.size() * task.hap.size();
+}
+
+DatasetStats compute_stats(const Dataset& dataset) noexcept {
+  DatasetStats stats;
+  stats.regions = dataset.regions.size();
+  for (const Region& region : dataset.regions) {
+    stats.sw_tasks += region.sw_tasks.size();
+    stats.ph_tasks += region.ph_tasks.size();
+    for (const SwTask& task : region.sw_tasks) {
+      stats.max_sw_query_len = std::max(stats.max_sw_query_len, task.query.size());
+      stats.max_sw_target_len = std::max(stats.max_sw_target_len, task.target.size());
+      stats.total_sw_cells += task.cells();
+    }
+    for (const align::PairHmmTask& task : region.ph_tasks) {
+      stats.max_read_len = std::max(stats.max_read_len, task.read.size());
+      stats.max_hap_len = std::max(stats.max_hap_len, task.hap.size());
+      stats.total_ph_cells += cells(task);
+    }
+  }
+  if (stats.regions > 0) {
+    stats.avg_sw_tasks_per_region =
+        static_cast<double>(stats.sw_tasks) / static_cast<double>(stats.regions);
+    stats.avg_ph_tasks_per_region =
+        static_cast<double>(stats.ph_tasks) / static_cast<double>(stats.regions);
+  }
+  return stats;
+}
+
+}  // namespace wsim::workload

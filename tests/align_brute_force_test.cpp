@@ -1,0 +1,154 @@
+// Independent validation of the DP references against literal
+// implementations of the paper's Eq. 5 (SW with explicit gap-scoring
+// arrays W_k, O(MN(M+N))) and the equivalent global recurrence for NW.
+// These brute-force oracles share no code or algebra (no E/F buffers)
+// with the production implementations.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "wsim/align/matrix.hpp"
+#include "wsim/align/needleman_wunsch.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::Matrix;
+using wsim::align::SwParams;
+
+std::int32_t w_gap(const SwParams& p, std::size_t k) {
+  return p.gap_open + static_cast<std::int32_t>(k - 1) * p.gap_extend;
+}
+
+/// Eq. 5 verbatim: H(i,j) = max{0, H(i-1,j-1)+s(a,b),
+/// max_k H(i-k,j)+W_k, max_l H(i,j-l)+W_l}.
+Matrix<std::int32_t> sw_brute_force(std::string_view a, std::string_view b,
+                                    const SwParams& p) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  Matrix<std::int32_t> h(m + 1, n + 1, 0);
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::int32_t best = 0;
+      best = std::max(best, h(i - 1, j - 1) +
+                                wsim::align::substitution_score(p, a[i - 1], b[j - 1]));
+      for (std::size_t k = 1; k <= i; ++k) {
+        best = std::max(best, h(i - k, j) + w_gap(p, k));
+      }
+      for (std::size_t l = 1; l <= j; ++l) {
+        best = std::max(best, h(i, j - l) + w_gap(p, l));
+      }
+      h(i, j) = best;
+    }
+  }
+  return h;
+}
+
+/// Global-alignment analogue with explicit gap arrays.
+std::int32_t nw_brute_force(std::string_view a, std::string_view b,
+                            const SwParams& p) {
+  const std::size_t m = a.size();
+  const std::size_t n = b.size();
+  constexpr std::int32_t kNegInf = std::numeric_limits<std::int32_t>::min() / 4;
+  Matrix<std::int32_t> h(m + 1, n + 1, kNegInf);
+  h(0, 0) = 0;
+  for (std::size_t j = 1; j <= n; ++j) {
+    h(0, j) = w_gap(p, j);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    h(i, 0) = w_gap(p, i);
+  }
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::int32_t best = h(i - 1, j - 1) +
+                          wsim::align::substitution_score(p, a[i - 1], b[j - 1]);
+      for (std::size_t k = 1; k <= i; ++k) {
+        best = std::max(best, h(i - k, j) + w_gap(p, k));
+      }
+      for (std::size_t l = 1; l <= j; ++l) {
+        best = std::max(best, h(i, j - l) + w_gap(p, l));
+      }
+      h(i, j) = best;
+    }
+  }
+  return h(m, n);
+}
+
+SwParams simple_params() {
+  SwParams p;
+  p.match = 10;
+  p.mismatch = -8;
+  p.gap_open = -12;
+  p.gap_extend = -2;
+  return p;
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+class BruteForceTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BruteForceTest, SwScoreMatrixMatchesEq5Literal) {
+  wsim::util::Rng rng(GetParam());
+  const SwParams p = simple_params();
+  const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(1, 25)));
+  const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(1, 25)));
+  const auto ref = wsim::align::sw_fill(a, b, p);
+  const auto brute = sw_brute_force(a, b, p);
+  for (std::size_t i = 0; i <= a.size(); ++i) {
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+      ASSERT_EQ(ref.h(i, j), brute(i, j))
+          << "H(" << i << "," << j << ") a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST_P(BruteForceTest, SwGatkParametersAgreeToo) {
+  wsim::util::Rng rng(GetParam() ^ 0xFEEDULL);
+  const SwParams p;  // GATK defaults
+  const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(1, 20)));
+  const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(1, 20)));
+  const auto ref = wsim::align::sw_fill(a, b, p);
+  const auto brute = sw_brute_force(a, b, p);
+  for (std::size_t i = 0; i <= a.size(); ++i) {
+    for (std::size_t j = 0; j <= b.size(); ++j) {
+      ASSERT_EQ(ref.h(i, j), brute(i, j));
+    }
+  }
+}
+
+TEST_P(BruteForceTest, NwScoreMatchesLiteralRecurrence) {
+  wsim::util::Rng rng(GetParam() ^ 0xBEADULL);
+  const SwParams p = simple_params();
+  const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(0, 22)));
+  const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(0, 22)));
+  if (a.empty() && b.empty()) {
+    return;
+  }
+  EXPECT_EQ(wsim::align::nw_score(a, b, p), nw_brute_force(a, b, p))
+      << "a=" << a << " b=" << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BruteForceTest,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(BruteForce, MismatchOnlyStringsFloorAtZero) {
+  const SwParams p = simple_params();
+  const auto brute = sw_brute_force("AAAA", "TTTT", p);
+  for (std::size_t i = 0; i <= 4; ++i) {
+    for (std::size_t j = 0; j <= 4; ++j) {
+      EXPECT_EQ(brute(i, j), 0);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "wsim/align/needleman_wunsch.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::NwAlignment;
+using wsim::align::SwParams;
+
+SwParams simple_params() {
+  SwParams p;
+  p.match = 10;
+  p.mismatch = -8;
+  p.gap_open = -12;
+  p.gap_extend = -2;
+  return p;
+}
+
+/// Consumes the CIGAR against both sequences and recomputes the score.
+std::int32_t rescore(const NwAlignment& aln, std::string_view query,
+                     std::string_view target, const SwParams& p) {
+  std::int32_t score = 0;
+  std::size_t qi = 0;
+  std::size_t tj = 0;
+  std::size_t pos = 0;
+  while (pos < aln.cigar.size()) {
+    std::size_t run = 0;
+    while (pos < aln.cigar.size() && std::isdigit(aln.cigar[pos]) != 0) {
+      run = run * 10 + static_cast<std::size_t>(aln.cigar[pos] - '0');
+      ++pos;
+    }
+    const char op = aln.cigar[pos++];
+    switch (op) {
+      case 'M':
+        for (std::size_t k = 0; k < run; ++k) {
+          score += wsim::align::substitution_score(p, query[qi++], target[tj++]);
+        }
+        break;
+      case 'I':
+        score += p.gap_open + static_cast<std::int32_t>(run - 1) * p.gap_extend;
+        qi += run;
+        break;
+      case 'D':
+        score += p.gap_open + static_cast<std::int32_t>(run - 1) * p.gap_extend;
+        tj += run;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected CIGAR op " << op;
+    }
+  }
+  EXPECT_EQ(qi, query.size()) << aln.cigar;
+  EXPECT_EQ(tj, target.size()) << aln.cigar;
+  return score;
+}
+
+TEST(NeedlemanWunsch, IdenticalSequences) {
+  const auto aln = wsim::align::nw_align("ACGTACGT", "ACGTACGT", simple_params());
+  EXPECT_EQ(aln.score, 80);
+  EXPECT_EQ(aln.cigar, "8M");
+}
+
+TEST(NeedlemanWunsch, GlobalAlignmentPaysForOverhangs) {
+  // Unlike SW, NW must pay for the unmatched target prefix/suffix.
+  const auto aln = wsim::align::nw_align("CGTA", "AACGTATT", simple_params());
+  EXPECT_EQ(aln.score, 4 * 10 + 2 * (-12 - 2));
+}
+
+TEST(NeedlemanWunsch, EmptyQueryIsAllDeletes) {
+  const auto aln = wsim::align::nw_align("", "ACGT", simple_params());
+  EXPECT_EQ(aln.cigar, "4D");
+  EXPECT_EQ(aln.score, -12 - 3 * 2);
+}
+
+TEST(NeedlemanWunsch, EmptyTargetIsAllInserts) {
+  const auto aln = wsim::align::nw_align("ACG", "", simple_params());
+  EXPECT_EQ(aln.cigar, "3I");
+}
+
+TEST(NeedlemanWunsch, BothEmpty) {
+  const auto aln = wsim::align::nw_align("", "", simple_params());
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.cigar.empty());
+}
+
+TEST(NeedlemanWunsch, ScoreOnlyAgreesWithFullAlignment) {
+  const auto aln = wsim::align::nw_align("ACGTTGCA", "AGGTTACA", simple_params());
+  EXPECT_EQ(wsim::align::nw_score("ACGTTGCA", "AGGTTACA", simple_params()), aln.score);
+}
+
+TEST(NeedlemanWunsch, AffineGapMergesRuns) {
+  const auto aln =
+      wsim::align::nw_align("AAAAATTTTT", "AAAAAGGGGTTTTT", simple_params());
+  EXPECT_EQ(aln.cigar, "5M4D5M");
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = kBases[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+class NwPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NwPropertyTest, CigarRescoresToDpScore) {
+  wsim::util::Rng rng(GetParam());
+  const SwParams p = simple_params();
+  const std::string query = random_dna(rng, static_cast<int>(rng.uniform_int(0, 40)));
+  const std::string target = random_dna(rng, static_cast<int>(rng.uniform_int(0, 50)));
+  const NwAlignment aln = wsim::align::nw_align(query, target, p);
+  EXPECT_EQ(rescore(aln, query, target, p), aln.score)
+      << "query=" << query << " target=" << target;
+}
+
+TEST_P(NwPropertyTest, ScoreOnlyMatchesAlignment) {
+  wsim::util::Rng rng(GetParam() ^ 0x55ULL);
+  const SwParams p = simple_params();
+  const std::string query = random_dna(rng, static_cast<int>(rng.uniform_int(1, 40)));
+  const std::string target = random_dna(rng, static_cast<int>(rng.uniform_int(1, 40)));
+  EXPECT_EQ(wsim::align::nw_score(query, target, p),
+            wsim::align::nw_align(query, target, p).score);
+}
+
+TEST_P(NwPropertyTest, SymmetricUnderSwap) {
+  // Swapping query/target flips I<->D but keeps the score (the scoring
+  // scheme is symmetric).
+  wsim::util::Rng rng(GetParam() ^ 0x99ULL);
+  const SwParams p = simple_params();
+  const std::string query = random_dna(rng, static_cast<int>(rng.uniform_int(1, 30)));
+  const std::string target = random_dna(rng, static_cast<int>(rng.uniform_int(1, 30)));
+  EXPECT_EQ(wsim::align::nw_score(query, target, p),
+            wsim::align::nw_score(target, query, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NwPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace

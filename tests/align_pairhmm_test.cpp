@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::PairHmmFill;
+using wsim::align::PairHmmTask;
+using wsim::align::Transitions;
+
+PairHmmTask make_task(std::string read, std::string hap, std::uint8_t qual = 30) {
+  PairHmmTask task;
+  task.read = std::move(read);
+  task.hap = std::move(hap);
+  task.base_quals.assign(task.read.size(), qual);
+  task.ins_quals.assign(task.read.size(), 45);
+  task.del_quals.assign(task.read.size(), 45);
+  task.gcp = 10;
+  return task;
+}
+
+TEST(Scoring, QualToErrorProb) {
+  EXPECT_NEAR(wsim::align::qual_to_error_prob(10), 0.1F, 1e-6F);
+  EXPECT_NEAR(wsim::align::qual_to_error_prob(20), 0.01F, 1e-7F);
+  EXPECT_NEAR(wsim::align::qual_to_error_prob(30), 0.001F, 1e-8F);
+}
+
+TEST(Scoring, TransitionsSumToOneFromMatchState) {
+  const Transitions t = wsim::align::transitions_for(45, 45, 10);
+  EXPECT_NEAR(t.mm + t.mi + t.md, 1.0F, 1e-6F);
+  EXPECT_NEAR(t.ii + t.im, 1.0F, 1e-6F);
+  EXPECT_NEAR(t.dd + t.im, 1.0F, 1e-6F);
+}
+
+TEST(Scoring, InitialConditionIsLargePowerOfTwo) {
+  EXPECT_FLOAT_EQ(wsim::align::pairhmm_initial_condition(), std::ldexp(1.0F, 120));
+}
+
+TEST(PairHmm, ValidateRejectsMismatchedTracks) {
+  PairHmmTask task = make_task("ACGT", "ACGT");
+  task.base_quals.pop_back();
+  EXPECT_THROW(wsim::align::validate(task), wsim::util::CheckError);
+  EXPECT_THROW(wsim::align::validate(make_task("", "ACGT")), wsim::util::CheckError);
+  EXPECT_THROW(wsim::align::validate(make_task("ACGT", "")), wsim::util::CheckError);
+}
+
+TEST(PairHmm, PerfectMatchNearCertain) {
+  // A read identical to the haplotype with high quality: per-base
+  // likelihood ~ (1-err)*t_mm, so log10 ~ R*log10(~1) + alignment-start
+  // normalization (-log10 |hap| is absorbed in the initial condition).
+  const PairHmmTask task = make_task("ACGTACGTACGTACGT", "ACGTACGTACGTACGT", 40);
+  const double log10 = wsim::align::pairhmm_log10(task);
+  EXPECT_GT(log10, -2.0);
+  EXPECT_LE(log10, 0.0 + 1e-6);
+}
+
+TEST(PairHmm, MismatchesLowerTheLikelihood) {
+  const std::string hap = "ACGTACGTACGTACGT";
+  const double perfect = wsim::align::pairhmm_log10(make_task(hap, hap));
+  std::string mismatched = hap;
+  mismatched[8] = 'T';
+  const double worse = wsim::align::pairhmm_log10(make_task(mismatched, hap));
+  EXPECT_LT(worse, perfect - 1.0);  // one Q30 mismatch costs ~ -log10(err/3) ≈ 3.5
+}
+
+TEST(PairHmm, EachAdditionalMismatchCostsMore) {
+  const std::string hap = "AAAACCCCGGGGTTTTAAAACCCC";
+  double prev = wsim::align::pairhmm_log10(make_task(hap, hap));
+  std::string read = hap;
+  for (std::size_t k = 0; k < 3; ++k) {
+    read[4 + 6 * k] = read[4 + 6 * k] == 'A' ? 'C' : 'A';
+    const double cur = wsim::align::pairhmm_log10(make_task(read, hap));
+    EXPECT_LT(cur, prev - 1.0);
+    prev = cur;
+  }
+}
+
+TEST(PairHmm, HigherQualityPunishesMismatchesHarder) {
+  const std::string hap = "ACGTACGTACGTACGT";
+  std::string read = hap;
+  read[5] = 'A';
+  const double q20 = wsim::align::pairhmm_log10(make_task(read, hap, 20));
+  const double q40 = wsim::align::pairhmm_log10(make_task(read, hap, 40));
+  EXPECT_GT(q20, q40);
+}
+
+TEST(PairHmm, NBaseTreatedAsMatch) {
+  const std::string hap = "ACGTACGTACGTACGT";
+  std::string read = hap;
+  read[5] = 'N';
+  const double with_n = wsim::align::pairhmm_log10(make_task(read, hap));
+  const double perfect = wsim::align::pairhmm_log10(make_task(hap, hap));
+  EXPECT_NEAR(with_n, perfect, 0.01);
+}
+
+TEST(PairHmm, ReadShiftedInsideLongHaplotype) {
+  // The D-row initial condition makes the start position free: a read
+  // matching the middle of a haplotype still scores near-perfect.
+  const std::string hap = "TTTTTTTTACGTACGTACGTACGTTTTTTTTT";
+  const std::string read = "ACGTACGTACGTACGT";
+  const double log10 = wsim::align::pairhmm_log10(make_task(read, hap, 40));
+  EXPECT_GT(log10, -3.0);
+}
+
+TEST(PairHmm, FillShapesAndBoundaries) {
+  const PairHmmTask task = make_task("ACGT", "ACGTA");
+  const PairHmmFill fill = wsim::align::pairhmm_fill(task);
+  EXPECT_EQ(fill.m.rows(), 5U);
+  EXPECT_EQ(fill.m.cols(), 6U);
+  const float init = wsim::align::pairhmm_initial_condition() / 5.0F;
+  for (std::size_t j = 0; j <= 5; ++j) {
+    EXPECT_FLOAT_EQ(fill.d(0, j), init);
+    EXPECT_FLOAT_EQ(fill.m(0, j), 0.0F);
+    EXPECT_FLOAT_EQ(fill.i(0, j), 0.0F);
+  }
+  for (std::size_t i = 1; i <= 4; ++i) {
+    EXPECT_FLOAT_EQ(fill.m(i, 0), 0.0F);
+    EXPECT_FLOAT_EQ(fill.i(i, 0), 0.0F);
+    EXPECT_FLOAT_EQ(fill.d(i, 0), 0.0F);
+  }
+}
+
+TEST(PairHmm, MatricesStayNonNegative) {
+  const PairHmmTask task = make_task("ACGTTGCA", "AGGTTACA");
+  const PairHmmFill fill = wsim::align::pairhmm_fill(task);
+  for (std::size_t i = 0; i < fill.m.rows(); ++i) {
+    for (std::size_t j = 0; j < fill.m.cols(); ++j) {
+      EXPECT_GE(fill.m(i, j), 0.0F);
+      EXPECT_GE(fill.i(i, j), 0.0F);
+      EXPECT_GE(fill.d(i, j), 0.0F);
+    }
+  }
+}
+
+class PairHmmPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = kBases[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+TEST_P(PairHmmPropertyTest, LikelihoodIsFiniteAndAtMostZero) {
+  wsim::util::Rng rng(GetParam());
+  const std::string hap = random_dna(rng, static_cast<int>(rng.uniform_int(8, 60)));
+  const auto read_len =
+      std::min<std::int64_t>(rng.uniform_int(4, 40), static_cast<std::int64_t>(hap.size()));
+  const std::string read = random_dna(rng, static_cast<int>(read_len));
+  const double log10 = wsim::align::pairhmm_log10(make_task(read, hap));
+  EXPECT_TRUE(std::isfinite(log10));
+  EXPECT_LE(log10, 1e-6);
+}
+
+TEST_P(PairHmmPropertyTest, TrueHaplotypeBeatsRandomOne) {
+  wsim::util::Rng rng(GetParam() ^ 0x77ULL);
+  const std::string hap = random_dna(rng, 50);
+  const std::string decoy = random_dna(rng, 50);
+  const std::string read = hap.substr(10, 25);
+  const double true_ll = wsim::align::pairhmm_log10(make_task(read, hap, 35));
+  const double decoy_ll = wsim::align::pairhmm_log10(make_task(read, decoy, 35));
+  EXPECT_GT(true_ll, decoy_ll);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairHmmPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace

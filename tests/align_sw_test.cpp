@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::SwAlignment;
+using wsim::align::SwFill;
+using wsim::align::SwParams;
+
+/// Small scoring scheme that keeps hand-computed examples readable.
+SwParams simple_params() {
+  SwParams p;
+  p.match = 10;
+  p.mismatch = -8;
+  p.gap_open = -12;
+  p.gap_extend = -2;
+  return p;
+}
+
+TEST(SmithWaterman, IdenticalSequencesAlignFully) {
+  const auto aln = wsim::align::sw_align("ACGTACGT", "ACGTACGT", simple_params());
+  EXPECT_EQ(aln.score, 80);
+  EXPECT_EQ(aln.cigar, "8M");
+  EXPECT_EQ(aln.query_begin, 0U);
+  EXPECT_EQ(aln.target_begin, 0U);
+  EXPECT_EQ(aln.query_end, 8U);
+  EXPECT_EQ(aln.target_end, 8U);
+}
+
+TEST(SmithWaterman, SubstringFoundInsideTarget) {
+  const auto aln = wsim::align::sw_align("CGTA", "AACGTATT", simple_params());
+  EXPECT_EQ(aln.score, 40);
+  EXPECT_EQ(aln.cigar, "4M");
+  EXPECT_EQ(aln.target_begin, 2U);
+}
+
+TEST(SmithWaterman, SingleMismatchTolerated) {
+  // 7 matches + 1 mismatch = 70 - 8 = 62 beats splitting the alignment.
+  const auto aln = wsim::align::sw_align("ACGTACGT", "ACGAACGT", simple_params());
+  EXPECT_EQ(aln.score, 62);
+  EXPECT_EQ(aln.cigar, "8M");
+}
+
+TEST(SmithWaterman, GapInQuery) {
+  // Target has 2 extra bases; 10 matches - gap(2) = 100 - 14 = 86.
+  const auto aln = wsim::align::sw_align("AAAAACCCCC", "AAAAAGGCCCCC", simple_params());
+  EXPECT_EQ(aln.score, 10 * 10 - 12 - 2);
+  EXPECT_EQ(aln.cigar, "5M2D5M");
+}
+
+TEST(SmithWaterman, GapInTarget) {
+  const auto aln = wsim::align::sw_align("AAAAAGGCCCCC", "AAAAACCCCC", simple_params());
+  EXPECT_EQ(aln.score, 86);
+  EXPECT_EQ(aln.cigar, "5M2I5M");
+}
+
+TEST(SmithWaterman, AffineGapPreferredOverTwoOpens) {
+  // A single 4-long gap (-12 -3*2 = -18) must beat two 2-long gaps
+  // (-12-2 twice = -28); the CIGAR must show one run.
+  const auto aln =
+      wsim::align::sw_align("AAAAATTTTT", "AAAAAGGGGTTTTT", simple_params());
+  EXPECT_EQ(aln.cigar, "5M4D5M");
+  EXPECT_EQ(aln.score, 100 - 12 - 3 * 2);
+}
+
+TEST(SmithWaterman, UnrelatedSequencesGiveLocalBest) {
+  const auto aln = wsim::align::sw_align("AAAA", "TTTT", simple_params());
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.cigar.empty());
+}
+
+TEST(SmithWaterman, NBasesNeverMatch) {
+  const auto aln = wsim::align::sw_align("NNNN", "NNNN", simple_params());
+  EXPECT_EQ(aln.score, 0);
+}
+
+TEST(SmithWaterman, EmptyQueryYieldsEmptyAlignment) {
+  const auto aln = wsim::align::sw_align("", "ACGT", simple_params());
+  EXPECT_EQ(aln.score, 0);
+  EXPECT_TRUE(aln.cigar.empty());
+}
+
+TEST(SmithWaterman, FillMatricesHaveDpShape) {
+  const SwFill fill = wsim::align::sw_fill("ACGT", "ACG", simple_params());
+  EXPECT_EQ(fill.h.rows(), 5U);
+  EXPECT_EQ(fill.h.cols(), 4U);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(fill.h(0, j), 0);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(fill.h(i, 0), 0);
+  }
+}
+
+TEST(SmithWaterman, BestCellOnLastRowOrColumn) {
+  const SwFill fill =
+      wsim::align::sw_fill("ACGTACGTAC", "TTACGTACGTACTT", simple_params());
+  EXPECT_TRUE(fill.best_i == fill.h.rows() - 1 || fill.best_j == fill.h.cols() - 1);
+  EXPECT_EQ(fill.best_score, fill.h(fill.best_i, fill.best_j));
+}
+
+// --- properties -----------------------------------------------------------
+
+/// Re-scores a CIGAR against the sequences; must reproduce the DP score.
+std::int32_t rescore(const SwAlignment& aln, std::string_view query,
+                     std::string_view target, const SwParams& p) {
+  std::int32_t score = 0;
+  std::size_t qi = aln.query_begin;
+  std::size_t tj = aln.target_begin;
+  std::size_t pos = 0;
+  while (pos < aln.cigar.size()) {
+    std::size_t run = 0;
+    while (pos < aln.cigar.size() && std::isdigit(aln.cigar[pos]) != 0) {
+      run = run * 10 + static_cast<std::size_t>(aln.cigar[pos] - '0');
+      ++pos;
+    }
+    const char op = aln.cigar[pos++];
+    switch (op) {
+      case 'M':
+        for (std::size_t k = 0; k < run; ++k) {
+          score += wsim::align::substitution_score(p, query[qi++], target[tj++]);
+        }
+        break;
+      case 'I':
+        score += p.gap_open + static_cast<std::int32_t>(run - 1) * p.gap_extend;
+        qi += run;
+        break;
+      case 'D':
+        score += p.gap_open + static_cast<std::int32_t>(run - 1) * p.gap_extend;
+        tj += run;
+        break;
+      default:
+        ADD_FAILURE() << "unexpected CIGAR op " << op;
+    }
+  }
+  EXPECT_EQ(qi, aln.query_end);
+  EXPECT_EQ(tj, aln.target_end);
+  return score;
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  static constexpr char kBases[] = {'A', 'C', 'G', 'T'};
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = kBases[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+class SwPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SwPropertyTest, CigarRescoresToDpScore) {
+  wsim::util::Rng rng(GetParam());
+  const SwParams p = simple_params();
+  const std::string query = random_dna(rng, static_cast<int>(rng.uniform_int(5, 60)));
+  const std::string target = random_dna(rng, static_cast<int>(rng.uniform_int(5, 80)));
+  const SwAlignment aln = wsim::align::sw_align(query, target, p);
+  if (!aln.cigar.empty()) {
+    EXPECT_EQ(rescore(aln, query, target, p), aln.score)
+        << "query=" << query << " target=" << target << " cigar=" << aln.cigar;
+  } else {
+    EXPECT_EQ(aln.score, 0);
+  }
+}
+
+TEST_P(SwPropertyTest, ScoreNonNegativeAndBoundedByPerfect) {
+  wsim::util::Rng rng(GetParam() ^ 0xabcdULL);
+  const SwParams p = simple_params();
+  const std::string query = random_dna(rng, static_cast<int>(rng.uniform_int(1, 50)));
+  const std::string target = random_dna(rng, static_cast<int>(rng.uniform_int(1, 50)));
+  const auto aln = wsim::align::sw_align(query, target, p);
+  EXPECT_GE(aln.score, 0);
+  const auto upper = static_cast<std::int32_t>(std::min(query.size(), target.size())) *
+                     p.match;
+  EXPECT_LE(aln.score, upper);
+}
+
+TEST_P(SwPropertyTest, ExactSubstringScoresFullMatch) {
+  // A query cut verbatim from the target must align perfectly: the path
+  // ends on the last DP row, which the HaplotypeCaller variant searches.
+  wsim::util::Rng rng(GetParam() ^ 0x1234ULL);
+  const SwParams p = simple_params();
+  const std::string target = random_dna(rng, 60);
+  const auto len = static_cast<std::size_t>(rng.uniform_int(4, 20));
+  const auto start = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(target.size() - len)));
+  const std::string query = target.substr(start, len);
+  const auto aln = wsim::align::sw_align(query, target, p);
+  EXPECT_EQ(aln.score, static_cast<std::int32_t>(len) * p.match);
+  EXPECT_EQ(aln.cigar, std::to_string(len) + "M");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SwPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+}  // namespace
+
+namespace {
+
+TEST(SoftClips, EmittedForOverhangs) {
+  // The query's GG prefix has no home in the target; the 7M core ends on
+  // the last DP row/column so the HaplotypeCaller search finds it, and
+  // the unaligned prefix becomes a soft clip.
+  const auto aln = wsim::align::sw_align("GGACGTATT", "ACGTATT", simple_params());
+  EXPECT_EQ(aln.cigar, "7M");
+  EXPECT_EQ(aln.query_begin, 2U);
+  EXPECT_EQ(wsim::align::cigar_with_softclips(aln, 9), "2S7M");
+}
+
+TEST(SoftClips, TailClipWhenTargetEndsFirst) {
+  // Query runs past the target: the tail is clipped.
+  const auto aln = wsim::align::sw_align("ACGTATTGG", "ACGTATT", simple_params());
+  EXPECT_EQ(aln.cigar, "7M");
+  EXPECT_EQ(wsim::align::cigar_with_softclips(aln, 9), "7M2S");
+}
+
+TEST(SoftClips, AbsentForFullAlignment) {
+  const auto aln = wsim::align::sw_align("ACGTACGT", "ACGTACGT", simple_params());
+  EXPECT_EQ(wsim::align::cigar_with_softclips(aln, 8), "8M");
+}
+
+TEST(SoftClips, RejectsInconsistentLength) {
+  const auto aln = wsim::align::sw_align("ACGT", "ACGT", simple_params());
+  EXPECT_THROW(wsim::align::cigar_with_softclips(aln, 2), wsim::util::CheckError);
+}
+
+}  // namespace

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/cpu/simd_pairhmm.hpp"
+#include "wsim/cpu/striped_sw.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::SwParams;
+
+SwParams simple_params() {
+  SwParams p;
+  p.match = 10;
+  p.mismatch = -8;
+  p.gap_open = -12;
+  p.gap_extend = -2;
+  return p;
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+/// Classic SW score from the reference fill: max over the whole H matrix.
+std::int32_t full_matrix_max(std::string_view q, std::string_view t,
+                             const SwParams& p) {
+  const auto fill = wsim::align::sw_fill(q, t, p);
+  std::int32_t best = 0;
+  for (std::size_t i = 0; i < fill.h.rows(); ++i) {
+    for (std::size_t j = 0; j < fill.h.cols(); ++j) {
+      best = std::max(best, fill.h(i, j));
+    }
+  }
+  return best;
+}
+
+TEST(StripedSw, KnownCases) {
+  const SwParams p = simple_params();
+  EXPECT_EQ(wsim::cpu::striped_sw_score("ACGTACGT", "ACGTACGT", p), 80);
+  EXPECT_EQ(wsim::cpu::striped_sw_score("CGTA", "AACGTATT", p), 40);
+  EXPECT_EQ(wsim::cpu::striped_sw_score("AAAA", "TTTT", p), 0);
+  EXPECT_EQ(wsim::cpu::striped_sw_score("AAAAACCCCC", "AAAAAGGCCCCC", p), 86);
+}
+
+TEST(StripedSw, ScalarBaselineMatchesReferenceFill) {
+  wsim::util::Rng rng(1);
+  const SwParams p = simple_params();
+  for (int t = 0; t < 20; ++t) {
+    const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(1, 60)));
+    const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(1, 60)));
+    EXPECT_EQ(wsim::cpu::scalar_sw_score(a, b, p), full_matrix_max(a, b, p))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+class StripedSwProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StripedSwProperty, MatchesScalarOnRandomPairs) {
+  wsim::util::Rng rng(GetParam());
+  const SwParams p = simple_params();
+  const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(1, 150)));
+  const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(1, 150)));
+  EXPECT_EQ(wsim::cpu::striped_sw_score(a, b, p),
+            wsim::cpu::scalar_sw_score(a, b, p))
+      << "a=" << a << " b=" << b;
+}
+
+TEST_P(StripedSwProperty, MatchesScalarOnMutatedPairs) {
+  // Mutated substrings produce long gapped alignments — the hard case for
+  // the lazy-F loop.
+  wsim::util::Rng rng(GetParam() ^ 0xF00DULL);
+  const SwParams p = simple_params();
+  const std::string b = random_dna(rng, 120);
+  std::string a = b.substr(10, 90);
+  a.insert(40, random_dna(rng, static_cast<int>(rng.uniform_int(1, 8))));
+  a.erase(20, static_cast<std::size_t>(rng.uniform_int(0, 6)));
+  EXPECT_EQ(wsim::cpu::striped_sw_score(a, b, p),
+            wsim::cpu::scalar_sw_score(a, b, p));
+}
+
+TEST_P(StripedSwProperty, GatkParameters) {
+  wsim::util::Rng rng(GetParam() ^ 0xABCULL);
+  const SwParams p;  // large magnitudes exercise 32-bit lanes
+  const std::string a = random_dna(rng, static_cast<int>(rng.uniform_int(1, 100)));
+  const std::string b = random_dna(rng, static_cast<int>(rng.uniform_int(1, 100)));
+  EXPECT_EQ(wsim::cpu::striped_sw_score(a, b, p),
+            wsim::cpu::scalar_sw_score(a, b, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StripedSwProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(StripedSw, RejectsEmpty) {
+  EXPECT_THROW(wsim::cpu::striped_sw_score("", "ACGT", {}), wsim::util::CheckError);
+}
+
+// --- SIMD PairHMM -----------------------------------------------------------
+
+wsim::align::PairHmmTask make_task(std::string read, std::string hap,
+                                   wsim::util::Rng& rng) {
+  wsim::align::PairHmmTask task;
+  task.read = std::move(read);
+  task.hap = std::move(hap);
+  task.base_quals.resize(task.read.size());
+  for (auto& q : task.base_quals) {
+    q = static_cast<std::uint8_t>(rng.uniform_int(10, 40));
+  }
+  task.ins_quals.assign(task.read.size(), 45);
+  task.del_quals.assign(task.read.size(), 45);
+  return task;
+}
+
+class SimdPairHmmProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimdPairHmmProperty, BitExactAgainstScalarReference) {
+  wsim::util::Rng rng(GetParam());
+  const int hap_len = static_cast<int>(rng.uniform_int(4, 180));
+  const std::string hap = random_dna(rng, hap_len);
+  const int read_len =
+      static_cast<int>(std::min<std::int64_t>(rng.uniform_int(1, 127), hap_len));
+  std::string read = hap.substr(0, static_cast<std::size_t>(read_len));
+  for (char& c : read) {
+    if (rng.uniform01() < 0.05) {
+      c = "ACGT"[rng.uniform_int(0, 3)];
+    }
+  }
+  const auto task = make_task(std::move(read), hap, rng);
+  // Identical per-cell operation order -> identical doubles.
+  EXPECT_DOUBLE_EQ(wsim::cpu::simd_pairhmm_log10(task),
+                   wsim::align::pairhmm_log10(task));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdPairHmmProperty,
+                         ::testing::Range<std::uint64_t>(0, 30));
+
+TEST(SimdPairHmm, NBasesAndShortTasks) {
+  wsim::util::Rng rng(9);
+  auto task = make_task("ANGT", "ACGT", rng);
+  EXPECT_DOUBLE_EQ(wsim::cpu::simd_pairhmm_log10(task),
+                   wsim::align::pairhmm_log10(task));
+  auto tiny = make_task("A", "C", rng);
+  EXPECT_DOUBLE_EQ(wsim::cpu::simd_pairhmm_log10(tiny),
+                   wsim::align::pairhmm_log10(tiny));
+}
+
+}  // namespace

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/util/check.hpp"
+
+namespace {
+
+using wsim::simt::Arch;
+using wsim::simt::DeviceSpec;
+
+// Table I of the paper: computation vs. memory-system bandwidth gap.
+TEST(Device, TableIGflopsK1200) {
+  const DeviceSpec dev = wsim::simt::make_k1200();
+  EXPECT_NEAR(dev.peak_gflops(), 1057.0, 15.0);
+}
+
+TEST(Device, TableIGflopsTitanX) {
+  const DeviceSpec dev = wsim::simt::make_titan_x();
+  EXPECT_NEAR(dev.peak_gflops(), 6611.0, 30.0);
+}
+
+TEST(Device, TableISharedMemBandwidth) {
+  EXPECT_NEAR(wsim::simt::make_k1200().shared_mem_bw_gbps(), 550.0, 30.0);
+  EXPECT_NEAR(wsim::simt::make_titan_x().shared_mem_bw_gbps(), 3302.0, 30.0);
+}
+
+TEST(Device, TableIGlobalMemBandwidth) {
+  EXPECT_DOUBLE_EQ(wsim::simt::make_k1200().global_mem_bw_gbps, 80.0);
+  EXPECT_DOUBLE_EQ(wsim::simt::make_titan_x().global_mem_bw_gbps, 336.5);
+}
+
+TEST(Device, SharedMemBandwidthDwarfsGlobal) {
+  for (const DeviceSpec& dev : wsim::simt::all_devices()) {
+    EXPECT_GT(dev.shared_mem_bw_gbps(), 1.5 * dev.global_mem_bw_gbps) << dev.name;
+  }
+}
+
+// Paper Section II-B: shuffle latency sits between register and shared
+// memory access on every architecture.
+TEST(Device, ShuffleLatencyBetweenRegisterAndSharedMem) {
+  for (const DeviceSpec& dev : wsim::simt::all_devices()) {
+    for (int variant = 0; variant < 4; ++variant) {
+      const int shfl = dev.shuffle_latency(variant);
+      EXPECT_GT(shfl, dev.lat.reg_access) << dev.name << " variant " << variant;
+      EXPECT_LT(shfl, dev.lat.smem_load) << dev.name << " variant " << variant;
+    }
+  }
+}
+
+// Paper Fig. 3: shfl_xor is the slowest variant on Maxwell but the fastest
+// on Kepler.
+TEST(Device, ShflXorInvertsAcrossArchitectures) {
+  const DeviceSpec k40 = wsim::simt::make_k40();
+  const DeviceSpec k1200 = wsim::simt::make_k1200();
+  for (int variant = 0; variant < 3; ++variant) {
+    EXPECT_LE(k40.lat.shfl_xor, k40.shuffle_latency(variant));
+    EXPECT_GE(k1200.lat.shfl_xor, k1200.shuffle_latency(variant));
+  }
+}
+
+TEST(Device, MaxwellLatenciesMatchPaperMeasurements) {
+  const DeviceSpec dev = wsim::simt::make_k1200();
+  EXPECT_EQ(dev.lat.smem_load, 21);   // "shared access takes around 21 cycles"
+  EXPECT_EQ(dev.lat.sync_barrier, 57);  // "syncthreads takes 57 cycles"
+  EXPECT_EQ(dev.lat.shfl, 9);  // from the 22-cycle SW2 estimate
+  EXPECT_EQ(dev.lat.reg_access, 1);
+}
+
+TEST(Device, KeplerIsUniformlySlower) {
+  const auto kepler = wsim::simt::make_k40().lat;
+  const auto maxwell = wsim::simt::make_k1200().lat;
+  EXPECT_GT(kepler.shfl, maxwell.shfl);
+  EXPECT_GT(kepler.smem_load, maxwell.smem_load);
+  EXPECT_GT(kepler.sync_barrier, maxwell.sync_barrier);
+}
+
+TEST(Device, BothMaxwellDevicesShareLatencyTable) {
+  const auto a = wsim::simt::make_k1200().lat;
+  const auto b = wsim::simt::make_titan_x().lat;
+  EXPECT_EQ(a.shfl, b.shfl);
+  EXPECT_EQ(a.shfl_xor, b.shfl_xor);
+  EXPECT_EQ(a.smem_load, b.smem_load);
+  EXPECT_EQ(a.sync_barrier, b.sync_barrier);
+}
+
+TEST(Device, LookupByName) {
+  EXPECT_EQ(wsim::simt::device_by_name("K40").arch, Arch::kKepler);
+  EXPECT_EQ(wsim::simt::device_by_name("Titan X").sm_count, 24);
+  EXPECT_THROW(wsim::simt::device_by_name("GTX 9000"), wsim::util::CheckError);
+}
+
+TEST(Device, ShuffleLatencyRejectsBadVariant) {
+  const DeviceSpec dev = wsim::simt::make_k1200();
+  EXPECT_THROW(dev.shuffle_latency(4), wsim::util::CheckError);
+  EXPECT_THROW(dev.shuffle_latency(-1), wsim::util::CheckError);
+}
+
+TEST(Device, ArchToString) {
+  EXPECT_EQ(wsim::simt::to_string(Arch::kKepler), "Kepler");
+  EXPECT_EQ(wsim::simt::to_string(Arch::kMaxwell), "Maxwell");
+}
+
+}  // namespace

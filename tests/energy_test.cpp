@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/energy.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::simt::BlockResult;
+using wsim::simt::EnergyEstimate;
+using wsim::simt::EnergyTable;
+using wsim::simt::Op;
+
+const wsim::simt::DeviceSpec kDev = wsim::simt::make_k1200();
+
+BlockResult fake_block() {
+  BlockResult b;
+  b.instructions = 100;
+  b.op_counts[static_cast<std::size_t>(Op::kShflUp)] = 10;
+  b.op_counts[static_cast<std::size_t>(Op::kLds)] = 5;
+  b.op_counts[static_cast<std::size_t>(Op::kSts)] = 5;
+  b.op_counts[static_cast<std::size_t>(Op::kBar)] = 2;
+  b.smem_transactions = 12;
+  b.gmem_transactions = 3;
+  b.barriers = 2;
+  return b;
+}
+
+TEST(Energy, BlockEnergyAddsUpByCategory) {
+  EnergyTable t;
+  t.alu_pj = 1.0;
+  t.shuffle_pj = 10.0;
+  t.smem_transaction_pj = 100.0;
+  t.gmem_transaction_pj = 1000.0;
+  t.sync_pj = 7.0;
+  const EnergyEstimate e = wsim::simt::block_energy(fake_block(), t);
+  // 100 instrs - 10 shfl - 10 smem - 0 gmem - 2 bar = 78 ALU-like.
+  EXPECT_DOUBLE_EQ(e.dynamic_pj, 78 * 1.0 + 10 * 10.0 + 12 * 100.0 + 3 * 1000.0 +
+                                     2 * 7.0);
+  EXPECT_DOUBLE_EQ(e.static_pj, 0.0);
+}
+
+TEST(Energy, LaunchEnergyScalesBlocksAndTime) {
+  EnergyTable t;
+  const EnergyEstimate one = wsim::simt::launch_energy(fake_block(), 1, 0.0, kDev, t);
+  const EnergyEstimate ten = wsim::simt::launch_energy(fake_block(), 10, 0.0, kDev, t);
+  EXPECT_DOUBLE_EQ(ten.dynamic_pj, 10 * one.dynamic_pj);
+  const EnergyEstimate timed =
+      wsim::simt::launch_energy(fake_block(), 1, 1e-3, kDev, t);
+  // 0.55 W/SM * 4 SMs * 1 ms = 2.2 mJ.
+  EXPECT_NEAR(timed.static_pj * 1e-12, 2.2e-3, 1e-6);
+}
+
+TEST(Energy, PerCellHelper) {
+  EnergyEstimate e;
+  e.dynamic_pj = 500.0;
+  e.static_pj = 500.0;
+  EXPECT_DOUBLE_EQ(wsim::simt::energy_per_cell_pj(e, 100), 10.0);
+  EXPECT_THROW(wsim::simt::energy_per_cell_pj(e, 0), wsim::util::CheckError);
+}
+
+TEST(Energy, MemoryHierarchyOrdering) {
+  const EnergyTable t;
+  EXPECT_LT(t.alu_pj, t.shuffle_pj);
+  EXPECT_LT(t.shuffle_pj, t.smem_transaction_pj);
+  EXPECT_LT(t.smem_transaction_pj, t.gmem_transaction_pj);
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+TEST(Energy, ShuffleDesignsUseLessEnergyPerCell) {
+  // The headline energy claim: replacing shared-memory traffic with
+  // register shuffles cuts dynamic energy per cell for both algorithms.
+  wsim::util::Rng rng(99);
+  const std::string target = random_dna(rng, 128);
+  const wsim::workload::SwBatch sw_batch = {{target.substr(0, 96), target}};
+  const auto sw1 =
+      wsim::kernels::SwRunner(CommMode::kSharedMemory).run_batch(kDev, sw_batch);
+  const auto sw2 =
+      wsim::kernels::SwRunner(CommMode::kShuffle).run_batch(kDev, sw_batch);
+  const EnergyTable table;
+  const double e1 = wsim::simt::block_energy(sw1.run.launch.representative, table)
+                        .dynamic_pj / static_cast<double>(sw1.run.cells);
+  const double e2 = wsim::simt::block_energy(sw2.run.launch.representative, table)
+                        .dynamic_pj / static_cast<double>(sw2.run.cells);
+  EXPECT_LT(e2, e1);
+
+  wsim::align::PairHmmTask task;
+  task.hap = target;
+  task.read = target.substr(0, 120);
+  task.base_quals.assign(120, 30);
+  task.ins_quals.assign(120, 45);
+  task.del_quals.assign(120, 45);
+  const auto ph1 =
+      wsim::kernels::PhRunner(CommMode::kSharedMemory).run_batch(kDev, {task});
+  const auto ph2 =
+      wsim::kernels::PhRunner(CommMode::kShuffle).run_batch(kDev, {task});
+  const double p1 = wsim::simt::block_energy(ph1.run.launch.representative, table)
+                        .dynamic_pj / static_cast<double>(ph1.run.cells);
+  const double p2 = wsim::simt::block_energy(ph2.run.launch.representative, table)
+                        .dynamic_pj / static_cast<double>(ph2.run.cells);
+  EXPECT_LT(p2, p1);
+}
+
+}  // namespace

@@ -1,0 +1,423 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/util/check.hpp"
+
+namespace {
+
+using wsim::simt::BlockResult;
+using wsim::simt::Cmp;
+using wsim::simt::DeviceSpec;
+using wsim::simt::DType;
+using wsim::simt::GlobalMemory;
+using wsim::simt::imm_f32;
+using wsim::simt::imm_i64;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::MemWidth;
+using wsim::simt::Op;
+using wsim::simt::SReg;
+using wsim::simt::VReg;
+using wsim::util::CheckError;
+
+const DeviceSpec kDev = wsim::simt::make_k1200();
+
+/// tid*4 address helper used by most kernels below.
+VReg tid_addr(KernelBuilder& kb, wsim::simt::Operand base, VReg tid) {
+  return kb.iadd(base, kb.imul(tid, imm_i64(4)));
+}
+
+TEST(Interpreter, IntegerAluAndStore) {
+  KernelBuilder kb("alu", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg v = kb.iadd(kb.imul(t, imm_i64(3)), imm_i64(7));  // 3*tid + 7
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 32);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], 3 * i + 7);
+  }
+}
+
+TEST(Interpreter, FloatArithmetic) {
+  KernelBuilder kb("falu", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  // f = fma(tid, 0.5, 1.25)
+  const VReg tf = kb.emit(Op::kMov, t);  // integer bits; build float from ops
+  (void)tf;
+  const VReg f = kb.ffma(imm_f32(2.0F), imm_f32(0.5F), imm_f32(1.25F));
+  const VReg g = kb.fmax(f, imm_f32(2.0F));
+  const VReg h = kb.fmin(kb.fsub(g, imm_f32(0.25F)), imm_f32(100.0F));
+  kb.stg(tid_addr(kb, out, t), h);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_f32(buf, 32);
+  for (const float v : result) {
+    EXPECT_FLOAT_EQ(v, 2.0F);  // fma=2.25, max=2.25, 2.25-0.25=2.0
+  }
+}
+
+TEST(Interpreter, SetpSelpPredicateSemantics) {
+  KernelBuilder kb("pred", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg p = kb.setp(Cmp::kLt, DType::kI64, t, imm_i64(10));
+  const VReg v = kb.selp(p, imm_i64(111), imm_i64(222));
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 32);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], i < 10 ? 111 : 222);
+  }
+}
+
+TEST(Interpreter, PredicatedStoreSkipsInactiveLanes) {
+  KernelBuilder kb("predst", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg p = kb.setp(Cmp::kGe, DType::kI64, t, imm_i64(16));
+  kb.begin_pred(p);
+  kb.stg(tid_addr(kb, out, t), imm_i64(9));
+  kb.end_pred();
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 32);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], i >= 16 ? 9 : 0);
+  }
+}
+
+TEST(Interpreter, PredicatedWritePreservesOldValue) {
+  KernelBuilder kb("predmov", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg v = kb.mov(imm_i64(5));
+  const VReg p = kb.setp(Cmp::kEq, DType::kI64, t, imm_i64(0));
+  kb.begin_pred(p);
+  kb.assign(v, imm_i64(42));
+  kb.end_pred();
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 32);
+  EXPECT_EQ(result[0], 42);
+  for (int i = 1; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], 5);
+  }
+}
+
+TEST(Interpreter, LoopsIterateScalarTripCount) {
+  KernelBuilder kb("loop", 32);
+  const SReg out = kb.param();
+  const SReg trips = kb.param();
+  const VReg t = kb.tid();
+  const VReg acc = kb.mov(imm_i64(0));
+  kb.loop(trips);
+  kb.assign(acc, kb.iadd(acc, imm_i64(2)));
+  kb.endloop();
+  kb.stg(tid_addr(kb, out, t), acc);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf), 13};
+  run_block(k, kDev, gmem, args);
+  EXPECT_EQ(gmem.read_i32(buf, 1)[0], 26);
+}
+
+TEST(Interpreter, ZeroTripLoopBodySkipped) {
+  KernelBuilder kb("loop0", 32);
+  const SReg out = kb.param();
+  const SReg trips = kb.param();
+  const VReg t = kb.tid();
+  const VReg acc = kb.mov(imm_i64(77));
+  kb.loop(trips);
+  kb.assign(acc, imm_i64(0));
+  kb.endloop();
+  // A second loop afterwards must still work (loop-frame hygiene).
+  kb.loop(imm_i64(2));
+  kb.assign(acc, kb.iadd(acc, imm_i64(1)));
+  kb.endloop();
+  kb.stg(tid_addr(kb, out, t), acc);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf), 0};
+  run_block(k, kDev, gmem, args);
+  EXPECT_EQ(gmem.read_i32(buf, 1)[0], 79);
+}
+
+TEST(Interpreter, NestedLoops) {
+  KernelBuilder kb("nest", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg acc = kb.mov(imm_i64(0));
+  kb.loop(imm_i64(3));
+  kb.loop(imm_i64(5));
+  kb.assign(acc, kb.iadd(acc, imm_i64(1)));
+  kb.endloop();
+  kb.endloop();
+  kb.stg(tid_addr(kb, out, t), acc);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  EXPECT_EQ(gmem.read_i32(buf, 1)[0], 15);
+}
+
+TEST(Interpreter, SharedMemoryRoundTrip) {
+  KernelBuilder kb("smem", 32);
+  const SReg out = kb.param();
+  const int buf_off = kb.alloc_smem(32 * 4);
+  const VReg t = kb.tid();
+  const VReg addr = kb.iadd(imm_i64(buf_off), kb.imul(t, imm_i64(4)));
+  kb.sts(addr, kb.imul(t, imm_i64(10)));
+  kb.bar();
+  // Read the neighbour's slot (tid+1 mod 32).
+  const VReg nt = kb.iand(kb.iadd(t, imm_i64(1)), imm_i64(31));
+  const VReg naddr = kb.iadd(imm_i64(buf_off), kb.imul(nt, imm_i64(4)));
+  const VReg v = kb.lds(naddr);
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 32);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], ((i + 1) % 32) * 10);
+  }
+}
+
+TEST(Interpreter, ByteWidthLoadsZeroExtend) {
+  KernelBuilder kb("bytes", 32);
+  const SReg in = kb.param();
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg v = kb.ldg(kb.iadd(in, t), 0, MemWidth::kB1);
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto src = gmem.alloc(32);
+  const auto dst = gmem.alloc(32 * 4);
+  std::vector<std::uint8_t> bytes(32);
+  for (int i = 0; i < 32; ++i) {
+    bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(200 + i % 50);
+  }
+  gmem.write_u8(src, bytes);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(src),
+                                     static_cast<std::uint64_t>(dst)};
+  run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(dst, 32);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], 200 + i % 50);
+  }
+}
+
+TEST(Interpreter, SharedMemoryOutOfBoundsThrows) {
+  KernelBuilder kb("oob", 32);
+  kb.alloc_smem(16);
+  const VReg t = kb.tid();
+  kb.sts(kb.imul(t, imm_i64(4)), t);  // lanes >= 4 overflow the 16 bytes
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  EXPECT_THROW(run_block(k, kDev, gmem, {}), CheckError);
+}
+
+TEST(Interpreter, GlobalMemoryOutOfBoundsThrows) {
+  KernelBuilder kb("oobg", 32);
+  const VReg t = kb.tid();
+  kb.stg(kb.imul(t, imm_i64(4)), t);
+  const Kernel k = kb.build();
+  GlobalMemory gmem;  // nothing allocated
+  EXPECT_THROW(run_block(k, kDev, gmem, {}), CheckError);
+}
+
+TEST(Interpreter, MultiWarpBarrierCommunicatesThroughSmem) {
+  KernelBuilder kb("warps", 64);
+  const SReg out = kb.param();
+  const int buf_off = kb.alloc_smem(64 * 4);
+  const VReg t = kb.tid();
+  kb.sts(kb.iadd(imm_i64(buf_off), kb.imul(t, imm_i64(4))), t);
+  kb.bar();
+  // Each thread reads the mirrored slot (63 - tid), crossing the warp
+  // boundary for every lane.
+  const VReg mirror = kb.isub(imm_i64(63), t);
+  const VReg v = kb.lds(kb.iadd(imm_i64(buf_off), kb.imul(mirror, imm_i64(4))));
+  kb.stg(tid_addr(kb, out, t), v);
+  const Kernel k = kb.build();
+
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(64 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  const BlockResult res = run_block(k, kDev, gmem, args);
+  const auto result = gmem.read_i32(buf, 64);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_EQ(result[static_cast<std::size_t>(i)], 63 - i);
+  }
+  EXPECT_EQ(res.barriers, 1U);
+}
+
+// --- timing ---------------------------------------------------------------
+
+TEST(InterpreterTiming, DependentChainScalesWithLatency) {
+  // A loop-carried multiply chain: cycles/iteration must be close to the
+  // f32 ALU latency plus loop overhead, and doubling iterations must
+  // roughly double the time (Eq. 1/2 structure).
+  auto run_iters = [](int iters) {
+    KernelBuilder kb("chain", 32);
+    const SReg out = kb.param();
+    const VReg t = kb.tid();
+    const VReg a = kb.mov(imm_f32(1.0F));
+    kb.loop(imm_i64(iters));
+    kb.assign(a, kb.fmul(a, a));
+    kb.endloop();
+    kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), a);
+    const Kernel k = kb.build();
+    GlobalMemory gmem;
+    const auto buf = gmem.alloc(32 * 4);
+    std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+    return run_block(k, kDev, gmem, args).cycles;
+  };
+  const long long c100 = run_iters(100);
+  const long long c200 = run_iters(200);
+  const double per_iter = static_cast<double>(c200 - c100) / 100.0;
+  EXPECT_GE(per_iter, kDev.lat.falu);
+  EXPECT_LE(per_iter, kDev.lat.falu + 6);
+}
+
+TEST(InterpreterTiming, IndependentInstructionsPipeline) {
+  // 100 independent adds issue back-to-back: total time must be far below
+  // 100 * latency.
+  KernelBuilder kb("pipe", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  std::vector<VReg> vals;
+  for (int i = 0; i < 100; ++i) {
+    vals.push_back(kb.iadd(t, imm_i64(i)));
+  }
+  VReg acc = vals[0];
+  for (std::size_t i = 1; i < vals.size(); ++i) {
+    acc = kb.imax(acc, vals[i]);
+  }
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), acc);
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  const BlockResult res = run_block(k, kDev, gmem, args);
+  // 100 independent adds ≈ 100 issue slots; the dependent max-chain then
+  // costs ~100 * ialu. Fully serialized, the 200 instructions would cost
+  // ~200 * ialu = 1200 cycles; pipelining must land well below that.
+  EXPECT_LT(res.cycles, 900);
+}
+
+TEST(InterpreterTiming, BankConflictsSerialize) {
+  auto run_stride = [](int stride) {
+    KernelBuilder kb("bank", 32);
+    const int buf_off = kb.alloc_smem(32 * 32 * 4);
+    const VReg t = kb.tid();
+    const VReg addr =
+        kb.iadd(imm_i64(buf_off), kb.imul(t, imm_i64(4L * stride)));
+    const VReg v = kb.mov(imm_i64(0));
+    kb.loop(imm_i64(50));
+    kb.assign(v, kb.iadd(kb.lds(addr), v));
+    kb.endloop();
+    kb.stg(kb.mov(imm_i64(0)), v);
+    const Kernel k = kb.build();
+    GlobalMemory gmem;
+    gmem.alloc(64);
+    return run_block(k, kDev, gmem, {}).cycles;
+  };
+  const long long stride1 = run_stride(1);   // conflict-free
+  const long long stride32 = run_stride(32); // 32-way conflict
+  EXPECT_GT(stride32, stride1 + 50 * 31 * kDev.lat.bank_conflict / 2);
+}
+
+TEST(InterpreterTiming, BarrierAddsSyncLatency) {
+  auto run_with_bars = [](int bars) {
+    KernelBuilder kb("bars", 64);
+    kb.alloc_smem(64);
+    for (int i = 0; i < bars; ++i) {
+      kb.bar();
+    }
+    const Kernel k = kb.build();
+    GlobalMemory gmem;
+    return run_block(k, kDev, gmem, {}).cycles;
+  };
+  const long long c0 = run_with_bars(0);
+  const long long c10 = run_with_bars(10);
+  EXPECT_GE(c10 - c0, 10LL * kDev.lat.sync_barrier);
+}
+
+TEST(InterpreterTiming, SmemTransactionCountsConflictReplays) {
+  KernelBuilder kb("smemtx", 32);
+  const int buf_off = kb.alloc_smem(32 * 2 * 4);
+  const VReg t = kb.tid();
+  // stride-2: two lanes share each bank -> 2 transactions per access.
+  const VReg addr = kb.iadd(imm_i64(buf_off), kb.imul(t, imm_i64(8)));
+  kb.sts(addr, t);
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  const BlockResult res = run_block(k, kDev, gmem, {});
+  EXPECT_EQ(res.smem_transactions, 2U);
+}
+
+TEST(Interpreter, OpCountsTrackShuffleAndSmem) {
+  KernelBuilder kb("counts", 32);
+  const VReg t = kb.tid();
+  const int buf_off = kb.alloc_smem(32 * 4);
+  const VReg addr = kb.iadd(imm_i64(buf_off), kb.imul(t, imm_i64(4)));
+  kb.loop(imm_i64(5));
+  kb.sts(addr, t);
+  const VReg x = kb.lds(addr);
+  const VReg y = kb.shfl_down(x, imm_i64(1));
+  kb.stg(kb.mov(imm_i64(0)), kb.iadd(x, y));
+  kb.endloop();
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  gmem.alloc(64);
+  const BlockResult res = run_block(k, kDev, gmem, {});
+  EXPECT_EQ(res.count(Op::kSts), 5U);
+  EXPECT_EQ(res.count(Op::kLds), 5U);
+  EXPECT_EQ(res.count(Op::kShflDown), 5U);
+  EXPECT_EQ(res.shuffle_count(), 5U);
+  EXPECT_EQ(res.smem_instr_count(), 10U);
+}
+
+}  // namespace

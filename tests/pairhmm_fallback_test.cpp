@@ -1,0 +1,115 @@
+// Tests for the double-precision PairHMM fallback (GATK's rescue path
+// when the f32 forward underflows).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::PairHmmTask;
+
+const wsim::simt::DeviceSpec kDev = wsim::simt::make_k1200();
+
+PairHmmTask make_task(std::string read, std::string hap, std::uint8_t qual = 30,
+                      std::uint8_t indel_qual = 45, std::uint8_t gcp = 10) {
+  PairHmmTask task;
+  task.read = std::move(read);
+  task.hap = std::move(hap);
+  task.base_quals.assign(task.read.size(), qual);
+  task.ins_quals.assign(task.read.size(), indel_qual);
+  task.del_quals.assign(task.read.size(), indel_qual);
+  task.gcp = gcp;
+  return task;
+}
+
+PairHmmTask underflow_task() {
+  // 50 high-confidence mismatches with indels heavily penalized: the
+  // likelihood (~1e-230) is far below f32 range (even with the 2^120
+  // scaling) but comfortably inside double range — exactly the regime
+  // GATK's double rescue exists for.
+  return make_task(std::string(50, 'A'), std::string(50, 'T'), 40, 60, 60);
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+TEST(PairHmmDouble, AgreesWithFloatOnNormalTasks) {
+  wsim::util::Rng rng(3);
+  for (int t = 0; t < 15; ++t) {
+    const std::string hap = random_dna(rng, static_cast<int>(rng.uniform_int(10, 120)));
+    std::string read = hap.substr(0, std::min<std::size_t>(hap.size(), 60));
+    if (read.size() > 8) {
+      read[4] = 'A';
+    }
+    const auto task = make_task(std::move(read), hap);
+    const double f32 = wsim::align::pairhmm_log10(task);
+    const double f64 = wsim::align::pairhmm_log10_double(task);
+    EXPECT_NEAR(f32, f64, 5e-3 + std::abs(f64) * 1e-3);
+  }
+}
+
+TEST(PairHmmDouble, SafeVariantEqualsFloatWhenNoUnderflow) {
+  wsim::util::Rng rng(5);
+  const std::string hap = random_dna(rng, 80);
+  const auto task = make_task(hap.substr(5, 50), hap);
+  EXPECT_DOUBLE_EQ(wsim::align::pairhmm_log10_safe(task),
+                   wsim::align::pairhmm_log10(task));
+}
+
+TEST(PairHmmDouble, SafeVariantRescuesUnderflow) {
+  const auto task = underflow_task();
+  EXPECT_THROW(wsim::align::pairhmm_log10(task), wsim::util::CheckError);
+  const double rescued = wsim::align::pairhmm_log10_safe(task);
+  EXPECT_TRUE(std::isfinite(rescued));
+  EXPECT_LT(rescued, -100.0);  // deeply unlikely, but finite
+  EXPECT_DOUBLE_EQ(rescued, wsim::align::pairhmm_log10_double(task));
+}
+
+TEST(PairHmmDouble, RunnerFallbackRescuesDeviceUnderflow) {
+  const wsim::kernels::PhRunner runner(wsim::kernels::CommMode::kShuffle);
+  wsim::kernels::PhRunOptions opt;
+  opt.collect_outputs = true;
+  opt.double_fallback = true;
+  const auto result = runner.run_batch(kDev, {underflow_task()}, opt);
+  EXPECT_TRUE(std::isfinite(result.log10[0]));
+  EXPECT_DOUBLE_EQ(result.log10[0],
+                   wsim::align::pairhmm_log10_double(underflow_task()));
+}
+
+TEST(PairHmmDouble, RunnerWithoutFallbackStillThrows) {
+  const wsim::kernels::PhRunner runner(wsim::kernels::CommMode::kShuffle);
+  wsim::kernels::PhRunOptions opt;
+  opt.collect_outputs = true;
+  EXPECT_THROW(runner.run_batch(kDev, {underflow_task()}, opt),
+               wsim::util::CheckError);
+}
+
+TEST(PairHmmDouble, MixedBatchOnlyRescuesTheUnderflowedTask) {
+  wsim::util::Rng rng(7);
+  const std::string hap = random_dna(rng, 60);
+  const auto good = make_task(hap.substr(0, 40), hap);
+  const wsim::kernels::PhRunner runner(wsim::kernels::CommMode::kShuffle);
+  wsim::kernels::PhRunOptions opt;
+  opt.collect_outputs = true;
+  opt.double_fallback = true;
+  const auto result = runner.run_batch(kDev, {good, underflow_task()}, opt);
+  EXPECT_NEAR(result.log10[0], wsim::align::pairhmm_log10(good),
+              5e-3 + std::abs(result.log10[0]) * 1e-3);
+  EXPECT_DOUBLE_EQ(result.log10[1],
+                   wsim::align::pairhmm_log10_double(underflow_task()));
+}
+
+}  // namespace

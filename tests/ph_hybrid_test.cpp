@@ -1,0 +1,111 @@
+// Tests for the rejected multi-warp hybrid PairHMM design: it must be
+// numerically identical to PH1/PH2 (it computes the same recurrence), and
+// it must lose to the one-warp shuffle design exactly as the paper's
+// Section IV-C2 argues.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/model/breakdown.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::align::PairHmmTask;
+using wsim::kernels::PhDesign;
+using wsim::kernels::PhRunner;
+using wsim::kernels::PhRunOptions;
+using wsim::workload::PhBatch;
+
+const wsim::simt::DeviceSpec kDev = wsim::simt::make_k1200();
+
+PairHmmTask make_task(std::string read, std::string hap, std::uint8_t qual = 30) {
+  PairHmmTask task;
+  task.read = std::move(read);
+  task.hap = std::move(hap);
+  task.base_quals.assign(task.read.size(), qual);
+  task.ins_quals.assign(task.read.size(), 45);
+  task.del_quals.assign(task.read.size(), 45);
+  return task;
+}
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+TEST(PhHybrid, MatchesReferenceAcrossWarpCounts) {
+  wsim::util::Rng rng(41);
+  const PhRunner runner(PhDesign::kHybrid);
+  PhBatch batch;
+  // One task per variant bucket: 1, 2, 3 and 4 warps on the anti-diagonal.
+  for (const int len : {20, 40, 80, 120, 127}) {
+    const std::string hap = random_dna(rng, len + 20);
+    std::string read = hap.substr(5, static_cast<std::size_t>(len));
+    if (len > 6) {
+      read[static_cast<std::size_t>(len / 3)] = 'A';
+    }
+    batch.push_back(make_task(std::move(read), hap));
+  }
+  PhRunOptions opt;
+  opt.collect_outputs = true;
+  const auto result = runner.run_batch(kDev, batch, opt);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const double ref = wsim::align::pairhmm_log10(batch[t]);
+    EXPECT_NEAR(result.log10[t], ref, 5e-3 + std::abs(ref) * 1e-3) << "task " << t;
+  }
+}
+
+TEST(PhHybrid, AgreesWithOtherDesigns) {
+  wsim::util::Rng rng(43);
+  const std::string hap = random_dna(rng, 150);
+  const PhBatch batch = {make_task(hap.substr(10, 100), hap)};
+  PhRunOptions opt;
+  opt.collect_outputs = true;
+  const double shared =
+      PhRunner(PhDesign::kShared).run_batch(kDev, batch, opt).log10[0];
+  const double shuffle =
+      PhRunner(PhDesign::kShuffle).run_batch(kDev, batch, opt).log10[0];
+  const double hybrid =
+      PhRunner(PhDesign::kHybrid).run_batch(kDev, batch, opt).log10[0];
+  EXPECT_NEAR(hybrid, shared, 1e-4 + std::abs(shared) * 1e-4);
+  EXPECT_NEAR(hybrid, shuffle, 1e-4 + std::abs(shuffle) * 1e-4);
+}
+
+TEST(PhHybrid, PaysShuffleAndSmemAndSync) {
+  // The structural indictment: the hybrid's hot loop contains shuffles
+  // AND shared-memory traffic AND a barrier — the paper's "every shuffle
+  // accompanied by a shared memory access across the warps".
+  const auto kernel = wsim::kernels::build_ph_hybrid_kernel(128);
+  const auto b = wsim::model::hot_loop_breakdown(kernel);
+  EXPECT_GT(b.shuffle_total(), 0U);
+  EXPECT_GT(b.smem_total(), 0U);
+  EXPECT_EQ(b.barriers, 1U);
+}
+
+TEST(PhHybrid, LosesToOneWarpShuffleDesign) {
+  // Block-level latency on a 4-warp task: PH2's one-warp register
+  // blocking must beat the hybrid (which pays a sync per step).
+  wsim::util::Rng rng(47);
+  const std::string hap = random_dna(rng, 200);
+  const PhBatch batch = {make_task(hap.substr(0, 120), hap)};
+  const auto hybrid = PhRunner(PhDesign::kHybrid).run_batch(kDev, batch);
+  const auto shuffle = PhRunner(PhDesign::kShuffle).run_batch(kDev, batch);
+  EXPECT_LT(shuffle.run.launch.representative.cycles,
+            hybrid.run.launch.representative.cycles);
+}
+
+TEST(PhHybrid, DesignAccessor) {
+  EXPECT_EQ(PhRunner(PhDesign::kHybrid).design(), PhDesign::kHybrid);
+  EXPECT_EQ(PhRunner(wsim::kernels::CommMode::kShuffle).design(),
+            PhDesign::kShuffle);
+}
+
+}  // namespace

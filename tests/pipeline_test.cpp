@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/pipeline/pipeline.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+using wsim::pipeline::PipelineConfig;
+using wsim::pipeline::PipelineReport;
+using wsim::pipeline::run_pipeline;
+
+wsim::workload::Dataset small_dataset(std::uint64_t seed = 11) {
+  wsim::workload::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.regions = 4;
+  cfg.ph_tasks_per_region_mean = 10.0;
+  cfg.sw_query_len_min = 40;
+  cfg.sw_query_len_max = 90;
+  cfg.sw_target_len_min = 60;
+  cfg.sw_target_len_max = 120;
+  return wsim::workload::generate_dataset(cfg);
+}
+
+PipelineConfig base_config() {
+  PipelineConfig cfg;
+  cfg.device = wsim::simt::make_k1200();
+  return cfg;
+}
+
+TEST(Pipeline, OutputsMatchHostReferencesExactly) {
+  const auto dataset = small_dataset();
+  const PipelineReport report = run_pipeline(dataset, base_config());
+  std::size_t sw_index = 0;
+  std::size_t ph_index = 0;
+  for (const auto& region : dataset.regions) {
+    for (const auto& task : region.sw_tasks) {
+      const auto ref = wsim::align::sw_align(task.query, task.target, {});
+      EXPECT_EQ(report.sw_alignments[sw_index].score, ref.score) << sw_index;
+      EXPECT_EQ(report.sw_alignments[sw_index].cigar, ref.cigar) << sw_index;
+      ++sw_index;
+    }
+    for (const auto& task : region.ph_tasks) {
+      const double ref = wsim::align::pairhmm_log10_safe(task);
+      EXPECT_NEAR(report.ph_log10[ph_index], ref, 5e-3 + std::abs(ref) * 1e-3)
+          << ph_index;
+      ++ph_index;
+    }
+  }
+  EXPECT_EQ(report.sw.tasks, sw_index);
+  EXPECT_EQ(report.ph.tasks, ph_index);
+}
+
+TEST(Pipeline, RebatchingAndLptPreserveOutputs) {
+  const auto dataset = small_dataset(13);
+  const PipelineReport region_batched = run_pipeline(dataset, base_config());
+  PipelineConfig cfg = base_config();
+  cfg.rebatch_size = 7;
+  cfg.lpt_order = true;
+  const PipelineReport rebatched = run_pipeline(dataset, cfg);
+  ASSERT_EQ(region_batched.sw_alignments.size(), rebatched.sw_alignments.size());
+  for (std::size_t i = 0; i < rebatched.sw_alignments.size(); ++i) {
+    EXPECT_EQ(rebatched.sw_alignments[i].score, region_batched.sw_alignments[i].score);
+    EXPECT_EQ(rebatched.sw_alignments[i].cigar, region_batched.sw_alignments[i].cigar);
+  }
+  ASSERT_EQ(region_batched.ph_log10.size(), rebatched.ph_log10.size());
+  for (std::size_t i = 0; i < rebatched.ph_log10.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rebatched.ph_log10[i], region_batched.ph_log10[i]);
+  }
+}
+
+TEST(Pipeline, RebatchingImprovesSwThroughput) {
+  wsim::workload::GeneratorConfig gen;
+  gen.seed = 17;
+  gen.regions = 24;
+  gen.ph_tasks_per_region_mean = 1.0;
+  const auto dataset = wsim::workload::generate_dataset(gen);
+  PipelineConfig cfg = base_config();
+  const PipelineReport small_batches = run_pipeline(dataset, cfg);
+  cfg.rebatch_size = 48;
+  const PipelineReport big_batches = run_pipeline(dataset, cfg);
+  EXPECT_GT(big_batches.sw.gcups, small_batches.sw.gcups);
+}
+
+TEST(Pipeline, ValidatorReportsCleanRun) {
+  PipelineConfig cfg = base_config();
+  cfg.validate_sample = true;
+  cfg.validate_every = 3;
+  const PipelineReport report = run_pipeline(small_dataset(19), cfg);
+  EXPECT_GT(report.validated, 0U);
+  EXPECT_EQ(report.mismatches, 0U);
+}
+
+TEST(Pipeline, SharedMemoryDesignsProduceSameResults) {
+  const auto dataset = small_dataset(23);
+  PipelineConfig cfg = base_config();
+  cfg.sw_design = wsim::kernels::CommMode::kSharedMemory;
+  cfg.ph_design = wsim::kernels::PhDesign::kShared;
+  const PipelineReport shared = run_pipeline(dataset, cfg);
+  const PipelineReport shuffle = run_pipeline(dataset, base_config());
+  for (std::size_t i = 0; i < shared.sw_alignments.size(); ++i) {
+    EXPECT_EQ(shared.sw_alignments[i].cigar, shuffle.sw_alignments[i].cigar);
+  }
+  // Shuffle designs must not be slower overall.
+  EXPECT_LE(shuffle.sw.seconds, shared.sw.seconds * 1.01);
+  EXPECT_LE(shuffle.ph.seconds, shared.ph.seconds * 1.01);
+}
+
+TEST(Pipeline, StreamsNeverSlower) {
+  const auto dataset = small_dataset(29);
+  const PipelineReport serial = run_pipeline(dataset, base_config());
+  PipelineConfig cfg = base_config();
+  cfg.overlap_transfers = true;
+  const PipelineReport overlapped = run_pipeline(dataset, cfg);
+  EXPECT_LE(overlapped.sw.seconds, serial.sw.seconds + 1e-12);
+  EXPECT_LE(overlapped.ph.seconds, serial.ph.seconds + 1e-12);
+}
+
+TEST(Pipeline, RejectsEmptyDataset) {
+  EXPECT_THROW(run_pipeline({}, base_config()), wsim::util::CheckError);
+}
+
+}  // namespace
+
+namespace {
+
+TEST(Pipeline, EnergyAccountingIsPlausible) {
+  const auto dataset = small_dataset(31);
+  const auto report = run_pipeline(dataset, base_config());
+  EXPECT_GT(report.sw.joules, 0.0);
+  EXPECT_GT(report.ph.joules, 0.0);
+  // pJ/cell in the range the energy ablation established (hundreds to a
+  // few thousand).
+  EXPECT_GT(report.ph.pj_per_cell(), 50.0);
+  EXPECT_LT(report.ph.pj_per_cell(), 50000.0);
+  // Shuffle designs burn less energy per cell than shared-memory designs.
+  PipelineConfig shared_cfg = base_config();
+  shared_cfg.sw_design = wsim::kernels::CommMode::kSharedMemory;
+  shared_cfg.ph_design = wsim::kernels::PhDesign::kShared;
+  const auto shared_report = run_pipeline(dataset, shared_cfg);
+  EXPECT_LT(report.ph.pj_per_cell(), shared_report.ph.pj_per_cell() * 1.05);
+}
+
+}  // namespace

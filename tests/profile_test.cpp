@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/profile.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::simt::ProfileReport;
+
+const wsim::simt::DeviceSpec kDev = wsim::simt::make_k1200();
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+ProfileReport profile_sw(CommMode mode) {
+  wsim::util::Rng rng(3);
+  const wsim::kernels::SwRunner runner(mode);
+  const wsim::workload::SwBatch batch = {{random_dna(rng, 64), random_dna(rng, 80)}};
+  const auto result = runner.run_batch(kDev, batch);
+  return wsim::simt::profile_block(runner.kernel(), kDev,
+                                   result.run.launch.representative,
+                                   result.run.cells);
+}
+
+TEST(Profile, CategoriesSumToInstructionCount) {
+  const ProfileReport r = profile_sw(CommMode::kSharedMemory);
+  EXPECT_EQ(r.alu_ops + r.shuffle_ops + r.smem_ops + r.gmem_ops + r.barriers,
+            r.instructions);
+}
+
+TEST(Profile, Sw1ShowsSmemTrafficSw2ShowsShuffles) {
+  const ProfileReport sw1 = profile_sw(CommMode::kSharedMemory);
+  const ProfileReport sw2 = profile_sw(CommMode::kShuffle);
+  EXPECT_GT(sw1.smem_ops, 0U);
+  EXPECT_GT(sw1.barriers, 0U);
+  EXPECT_EQ(sw1.shuffle_ops, 0U);
+  EXPECT_EQ(sw2.smem_ops, 0U);
+  EXPECT_EQ(sw2.barriers, 0U);
+  EXPECT_GT(sw2.shuffle_ops, 0U);
+  EXPECT_GT(sw2.occupancy, sw1.occupancy);
+}
+
+TEST(Profile, DerivedRatesAreConsistent) {
+  const ProfileReport r = profile_sw(CommMode::kShuffle);
+  EXPECT_NEAR(r.ipc,
+              static_cast<double>(r.instructions) / static_cast<double>(r.cycles),
+              1e-12);
+  EXPECT_NEAR(r.cycles_per_cell,
+              static_cast<double>(r.cycles) / static_cast<double>(r.cells), 1e-12);
+  EXPECT_GT(r.cells, 0U);
+}
+
+TEST(Profile, LineBuffersAndPaddedTileAreConflictFree) {
+  // SW1's line buffers are stride-1 and the btrack tile is padded: at most
+  // one transaction per access. Fully-masked accesses at wavefront edges
+  // issue without any transaction, so the ratio can dip below 1.
+  const ProfileReport r = profile_sw(CommMode::kSharedMemory);
+  EXPECT_LE(r.bank_conflict_ratio, 1.0);
+  EXPECT_GT(r.bank_conflict_ratio, 0.5);
+}
+
+TEST(Profile, FormattedReportMentionsKeyFields) {
+  const ProfileReport r = profile_sw(CommMode::kShuffle);
+  const std::string text = wsim::simt::format_profile(r);
+  EXPECT_NE(text.find("sw2_shuffle"), std::string::npos);
+  EXPECT_NE(text.find("IPC"), std::string::npos);
+  EXPECT_NE(text.find("occupancy"), std::string::npos);
+  EXPECT_NE(text.find("conflict ratio"), std::string::npos);
+}
+
+}  // namespace

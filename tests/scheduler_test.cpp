@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/occupancy.hpp"
+#include "wsim/simt/scheduler.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::simt::BlockCost;
+using wsim::simt::compute_occupancy;
+using wsim::simt::DeviceSpec;
+using wsim::simt::KernelTiming;
+using wsim::simt::schedule_blocks;
+
+const DeviceSpec kDev = wsim::simt::make_k1200();  // 4 SMs
+
+TEST(Scheduler, EmptyGridIsFree) {
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  const KernelTiming t = schedule_blocks(kDev, occ, {});
+  EXPECT_EQ(t.cycles, 0);
+}
+
+TEST(Scheduler, SingleBlockLatencyDominates) {
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  const std::vector<BlockCost> blocks = {{10000, 100, 10}};
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_EQ(t.cycles, 10000);
+}
+
+TEST(Scheduler, FewBlocksSpreadAcrossSms) {
+  // 4 blocks on 4 SMs run fully in parallel.
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  const std::vector<BlockCost> blocks(4, BlockCost{5000, 100, 10});
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_EQ(t.latency_bound_cycles, 5000);
+}
+
+TEST(Scheduler, OversubscriptionSerializesWaves) {
+  // occupancy 1 block/SM (heavy smem), 8 identical blocks on 4 SMs -> two
+  // waves.
+  const auto occ = compute_occupancy(kDev, 32, 16, 49152);
+  ASSERT_EQ(occ.blocks_per_sm, 1);
+  const std::vector<BlockCost> blocks(8, BlockCost{5000, 100, 10});
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_EQ(t.latency_bound_cycles, 10000);
+}
+
+TEST(Scheduler, HigherOccupancyHidesLatency) {
+  const auto occ1 = compute_occupancy(kDev, 32, 16, 49152);  // 1 block/SM
+  const auto occ8 = compute_occupancy(kDev, 32, 16, 8192);   // 8 blocks/SM
+  ASSERT_GT(occ8.blocks_per_sm, occ1.blocks_per_sm);
+  const std::vector<BlockCost> blocks(64, BlockCost{5000, 100, 10});
+  const KernelTiming low = schedule_blocks(kDev, occ1, blocks);
+  const KernelTiming high = schedule_blocks(kDev, occ8, blocks);
+  EXPECT_LT(high.cycles, low.cycles);
+}
+
+TEST(Scheduler, ThroughputBoundKicksInWhenSaturated) {
+  // Blocks with enormous instruction counts: even fully overlapped, the
+  // issue ports serialize them.
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);  // 32 blocks/SM
+  const std::vector<BlockCost> blocks(128, BlockCost{100, 400000, 0});
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  // 128 blocks / 4 SMs = 32 blocks/SM; each needs 400000/4 = 100000 issue
+  // cycles -> 3.2M cycles per SM.
+  EXPECT_EQ(t.throughput_bound_cycles, 3200000);
+  EXPECT_EQ(t.cycles, 3200000);
+}
+
+TEST(Scheduler, SmemPortBoundsThroughput) {
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  // smem transactions dominate the issue count here.
+  const std::vector<BlockCost> blocks(4, BlockCost{100, 100, 50000});
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_EQ(t.throughput_bound_cycles, 50000);
+}
+
+TEST(Scheduler, HeterogeneousBlocksBalanceGreedily) {
+  // One long block and many short ones: greedy dispatch must not stack the
+  // long one behind shorts on a busy SM when an idle slot exists.
+  const auto occ = compute_occupancy(kDev, 32, 16, 49152);  // 1 block/SM
+  std::vector<BlockCost> blocks(3, BlockCost{1000, 10, 0});
+  blocks.push_back({9000, 10, 0});
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_EQ(t.latency_bound_cycles, 9000);
+}
+
+TEST(Scheduler, SecondsFollowClock) {
+  const auto occ = compute_occupancy(kDev, 32, 16, 0);
+  const std::vector<BlockCost> blocks = {{static_cast<long long>(kDev.clock_ghz * 1e9),
+                                          100, 0}};
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  EXPECT_NEAR(t.seconds, 1.0, 1e-9);
+}
+
+TEST(Scheduler, MoreSmsFinishSooner) {
+  const DeviceSpec titan = wsim::simt::make_titan_x();  // 24 SMs
+  const auto occ_k = compute_occupancy(kDev, 32, 16, 49152);
+  const auto occ_t = compute_occupancy(titan, 32, 16, 49152);
+  const std::vector<BlockCost> blocks(96, BlockCost{1000, 10, 0});
+  EXPECT_LT(schedule_blocks(titan, occ_t, blocks).cycles,
+            schedule_blocks(kDev, occ_k, blocks).cycles);
+}
+
+}  // namespace
+
+namespace {
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerPropertyTest, MakespanRespectsLowerBounds) {
+  wsim::util::Rng rng(GetParam());
+  const auto occ = compute_occupancy(
+      kDev, 32, 32, static_cast<int>(rng.uniform_int(0, 16384)));
+  std::vector<BlockCost> blocks(static_cast<std::size_t>(rng.uniform_int(1, 200)));
+  long long max_latency = 0;
+  std::uint64_t total_issue = 0;
+  std::uint64_t total_smem = 0;
+  for (auto& b : blocks) {
+    b.latency_cycles = rng.uniform_int(1, 100000);
+    b.issue_slots = static_cast<std::uint64_t>(rng.uniform_int(1, 50000));
+    b.smem_transactions = static_cast<std::uint64_t>(rng.uniform_int(0, 20000));
+    max_latency = std::max(max_latency, b.latency_cycles);
+    total_issue += b.issue_slots;
+    total_smem += b.smem_transactions;
+  }
+  const KernelTiming t = schedule_blocks(kDev, occ, blocks);
+  // No schedule can beat the longest block...
+  EXPECT_GE(t.cycles, max_latency);
+  // ...nor the aggregate issue/smem work spread over every SM port.
+  const long long issue_floor = static_cast<long long>(
+      total_issue / static_cast<std::uint64_t>(kDev.sm_count * kDev.schedulers_per_sm));
+  EXPECT_GE(t.cycles, issue_floor);
+  const long long smem_floor =
+      static_cast<long long>(total_smem / static_cast<std::uint64_t>(kDev.sm_count));
+  EXPECT_GE(t.cycles, smem_floor);
+  // And the components are consistent.
+  EXPECT_EQ(t.cycles, std::max(t.latency_bound_cycles, t.throughput_bound_cycles));
+}
+
+TEST_P(SchedulerPropertyTest, MoreConcurrencyNeverHurtsLatencySchedule) {
+  wsim::util::Rng rng(GetParam() ^ 0x5EEDULL);
+  std::vector<BlockCost> blocks(static_cast<std::size_t>(rng.uniform_int(1, 100)));
+  for (auto& b : blocks) {
+    b.latency_cycles = rng.uniform_int(1, 50000);
+    b.issue_slots = 1;
+    b.smem_transactions = 0;
+  }
+  const auto occ1 = compute_occupancy(kDev, 32, 16, 49152);  // 1 block/SM
+  const auto occ8 = compute_occupancy(kDev, 32, 16, 8192);   // 8 blocks/SM
+  EXPECT_LE(schedule_blocks(kDev, occ8, blocks).latency_bound_cycles,
+            schedule_blocks(kDev, occ1, blocks).latency_bound_cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerPropertyTest,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+}  // namespace

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+
+namespace {
+
+using wsim::simt::DeviceSpec;
+using wsim::simt::GlobalMemory;
+using wsim::simt::imm_i64;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::Op;
+using wsim::simt::SReg;
+using wsim::simt::VReg;
+
+const DeviceSpec kDev = wsim::simt::make_k1200();
+
+/// Runs a one-warp kernel that computes `body(kb, tid)` per lane and
+/// returns the 32 lane results.
+template <typename Body>
+std::vector<std::int32_t> run_lanes(Body body) {
+  KernelBuilder kb("shuffle_case", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg v = body(kb, t);
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), v);
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  run_block(k, kDev, gmem, args);
+  return gmem.read_i32(buf, 32);
+}
+
+// --- Figure 1 of the paper: the four shuffle variants --------------------
+
+TEST(Shuffle, AnyToAnyBroadcast) {
+  // shfl(tid, 5): every lane receives lane 5's value.
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl(t, imm_i64(5)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], 5);
+  }
+}
+
+TEST(Shuffle, AnyToAnyPerLaneIndex) {
+  // shfl(tid, 31 - tid): lane i reads lane 31-i (full reversal).
+  const auto lanes = run_lanes([](KernelBuilder& kb, VReg t) {
+    const VReg src = kb.isub(imm_i64(31), t);
+    return kb.shfl(t, src);
+  });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], 31 - i);
+  }
+}
+
+TEST(Shuffle, AnyToAnyWrapsModuloWidth) {
+  // CUDA semantics: source lane is taken modulo width.
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl(t, imm_i64(35)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], 3);  // 35 mod 32
+  }
+}
+
+TEST(Shuffle, UpShiftsToNeighbor) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_up(t, imm_i64(1)); });
+  EXPECT_EQ(lanes[0], 0);  // lane 0 keeps its own value
+  for (int i = 1; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i - 1);
+  }
+}
+
+TEST(Shuffle, UpWithLargerDelta) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_up(t, imm_i64(7)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i < 7 ? i : i - 7);
+  }
+}
+
+TEST(Shuffle, DownShiftsToNeighbor) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_down(t, imm_i64(4)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i + 4 < 32 ? i + 4 : i);
+  }
+}
+
+TEST(Shuffle, XorButterfly) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_xor(t, imm_i64(1)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i ^ 1);
+  }
+}
+
+TEST(Shuffle, XorLargeMask) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_xor(t, imm_i64(16)); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], i ^ 16);
+  }
+}
+
+// --- sub-warp widths -------------------------------------------------------
+
+TEST(Shuffle, WidthSegmentsAnyToAny) {
+  // width 8: lane reads (segment base + src % 8).
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl(t, imm_i64(2), 8); });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], (i & ~7) + 2);
+  }
+}
+
+TEST(Shuffle, WidthSegmentsDown) {
+  // width 8: lanes at the segment tail keep their own value.
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_down(t, imm_i64(2), 8); });
+  for (int i = 0; i < 32; ++i) {
+    const int in_seg = i % 8;
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], in_seg + 2 < 8 ? i + 2 : i);
+  }
+}
+
+TEST(Shuffle, WidthSegmentsUp) {
+  const auto lanes = run_lanes(
+      [](KernelBuilder& kb, VReg t) { return kb.shfl_up(t, imm_i64(3), 16); });
+  for (int i = 0; i < 32; ++i) {
+    const int in_seg = i % 16;
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], in_seg < 3 ? i : i - 3);
+  }
+}
+
+// --- Figure 2 of the paper: butterfly reduction ----------------------------
+
+TEST(Shuffle, DownReductionSumsWarp) {
+  // v += shfl_down(v, 16); ... v += shfl_down(v, 1); lane 0 holds the sum.
+  const auto lanes = run_lanes([](KernelBuilder& kb, VReg t) {
+    const VReg v = kb.mov(t);
+    for (int delta = 16; delta >= 1; delta /= 2) {
+      const VReg other = kb.shfl_down(v, imm_i64(delta));
+      kb.assign(v, kb.iadd(v, other));
+    }
+    return v;
+  });
+  EXPECT_EQ(lanes[0], 31 * 32 / 2);
+}
+
+TEST(Shuffle, XorReductionGivesSumInAllLanes) {
+  const auto lanes = run_lanes([](KernelBuilder& kb, VReg t) {
+    const VReg v = kb.mov(t);
+    for (int mask = 16; mask >= 1; mask /= 2) {
+      const VReg other = kb.shfl_xor(v, imm_i64(mask));
+      kb.assign(v, kb.iadd(v, other));
+    }
+    return v;
+  });
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(lanes[static_cast<std::size_t>(i)], 31 * 32 / 2);
+  }
+}
+
+// --- timing: per-variant latency ------------------------------------------
+
+long long chain_cycles(Op variant, const DeviceSpec& dev, int iters) {
+  KernelBuilder kb("latency", 32);
+  const SReg out = kb.param();
+  const VReg t = kb.tid();
+  const VReg v = kb.mov(t);
+  kb.loop(imm_i64(iters));
+  const VReg s = kb.emit(variant, v, imm_i64(1), imm_i64(32));
+  kb.assign(v, kb.iadd(v, s));
+  kb.endloop();
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), v);
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
+  return run_block(k, dev, gmem, args).cycles;
+}
+
+TEST(ShuffleTiming, VariantLatenciesFollowDeviceTable) {
+  // Difference quotient removes loop overhead; per-iteration delta between
+  // variants must equal the latency-table delta exactly.
+  const int iters = 64;
+  const long long base = chain_cycles(Op::kShfl, kDev, iters);
+  const long long xorc = chain_cycles(Op::kShflXor, kDev, iters);
+  EXPECT_EQ(xorc - base, static_cast<long long>(iters) *
+                             (kDev.lat.shfl_xor - kDev.lat.shfl));
+}
+
+TEST(ShuffleTiming, KeplerChainSlowerThanMaxwell) {
+  const DeviceSpec k40 = wsim::simt::make_k40();
+  EXPECT_GT(chain_cycles(Op::kShflUp, k40, 64), chain_cycles(Op::kShflUp, kDev, 64));
+}
+
+}  // namespace

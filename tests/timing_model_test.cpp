@@ -1,0 +1,165 @@
+// Focused tests of the interpreter's timing features: dual issue,
+// warm-segment global-memory caching, and the branch/issue accounting.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+
+namespace {
+
+using wsim::simt::DeviceSpec;
+using wsim::simt::GlobalMemory;
+using wsim::simt::imm_i64;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::SReg;
+using wsim::simt::VReg;
+
+const DeviceSpec kDev = wsim::simt::make_k1200();
+
+long long run_cycles(const Kernel& k, const DeviceSpec& dev,
+                     std::size_t gmem_bytes = 256) {
+  GlobalMemory gmem;
+  gmem.alloc(gmem_bytes);
+  return run_block(k, dev, gmem, {}).cycles;
+}
+
+TEST(DualIssue, TwoIndependentStreamsShareCycles) {
+  // N independent adds: with dual issue the issue floor is N/2 cycles.
+  auto build = [](int n) {
+    KernelBuilder kb("indep", 32);
+    const VReg t = kb.tid();
+    std::vector<VReg> vs;
+    for (int i = 0; i < n; ++i) {
+      vs.push_back(kb.iadd(t, imm_i64(i)));
+    }
+    // Single consumer at the end keeps everything live without chaining.
+    VReg acc = vs[0];
+    for (std::size_t i = 1; i < vs.size(); ++i) {
+      acc = kb.imax(acc, vs[i]);
+    }
+    kb.stg(kb.imul(t, imm_i64(4)), acc);
+    return kb.build();
+  };
+  DeviceSpec single = kDev;
+  single.lat.issues_per_cycle = 1;
+  const Kernel k = build(64);
+  const long long dual_cycles = run_cycles(k, kDev);
+  const long long single_cycles = run_cycles(k, single);
+  EXPECT_LT(dual_cycles, single_cycles);
+}
+
+TEST(DualIssue, DependentChainGainsNothing) {
+  // A pure dependence chain cannot use the second issue slot.
+  KernelBuilder kb("chain", 32);
+  const VReg t = kb.tid();
+  const VReg acc = kb.mov(t);
+  for (int i = 0; i < 50; ++i) {
+    kb.assign(acc, kb.iadd(acc, imm_i64(1)));
+  }
+  kb.stg(kb.imul(t, imm_i64(4)), acc);
+  const Kernel k = kb.build();
+  DeviceSpec single = kDev;
+  single.lat.issues_per_cycle = 1;
+  EXPECT_EQ(run_cycles(k, kDev), run_cycles(k, single));
+}
+
+TEST(WarmCache, RepeatedSegmentLoadsAreCheap) {
+  // First touch pays DRAM latency; repeats within the block pay the
+  // cached latency.
+  auto loads_of_same_word = [](int n) {
+    KernelBuilder kb("warm", 32);
+    const VReg t = kb.tid();
+    const VReg acc = kb.mov(imm_i64(0));
+    kb.loop(imm_i64(n));
+    kb.assign(acc, kb.iadd(acc, kb.ldg(kb.imul(acc, imm_i64(0)))));
+    kb.endloop();
+    kb.stg(kb.iadd(imm_i64(128), kb.imul(t, imm_i64(4))), acc);
+    return kb.build();
+  };
+  const long long c4 = run_cycles(loads_of_same_word(4), kDev, 4096);
+  const long long c8 = run_cycles(loads_of_same_word(8), kDev, 4096);
+  // Marginal cost per extra load must be near the cached latency, far
+  // below the cold latency.
+  const double marginal = static_cast<double>(c8 - c4) / 4.0;
+  EXPECT_GT(marginal, kDev.lat.gmem_load_cached * 0.8);
+  EXPECT_LT(marginal, kDev.lat.gmem_load * 0.6);
+}
+
+TEST(WarmCache, DistinctSegmentsStayCold) {
+  // Loads striding 128 B touch a fresh segment every time: every load is
+  // cold.
+  auto strided = [](int n) {
+    KernelBuilder kb("cold", 32);
+    const VReg t = kb.tid();
+    const VReg acc = kb.mov(imm_i64(0));
+    const SReg off = kb.smov(imm_i64(0));
+    kb.loop(imm_i64(n));
+    kb.assign(acc, kb.iadd(acc, kb.ldg(kb.iadd(off, kb.imul(t, imm_i64(0))))));
+    kb.sassign(off, kb.sadd(off, imm_i64(128)));
+    kb.endloop();
+    kb.stg(kb.imul(t, imm_i64(4)), acc);
+    return kb.build();
+  };
+  const long long c4 = run_cycles(strided(4), kDev, 64 * 128);
+  const long long c8 = run_cycles(strided(8), kDev, 64 * 128);
+  const double marginal = static_cast<double>(c8 - c4) / 4.0;
+  EXPECT_GT(marginal, kDev.lat.gmem_load * 0.8);
+}
+
+TEST(WarmCache, CacheIsPerBlock) {
+  // Two runs of the same block both pay the cold first touch: block
+  // results are identical (no leakage across blocks).
+  KernelBuilder kb("perblock", 32);
+  const VReg t = kb.tid();
+  kb.stg(kb.imul(t, imm_i64(4)), kb.ldg(kb.imul(t, imm_i64(4))));
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  gmem.alloc(256);
+  const auto a = run_block(k, kDev, gmem, {});
+  const auto b = run_block(k, kDev, gmem, {});
+  EXPECT_EQ(a.cycles, b.cycles);
+}
+
+TEST(WarmCache, GmemTransactionsCountSegments) {
+  // 32 lanes x 4 B consecutive = 128 B = exactly one segment.
+  KernelBuilder kb("coalesced", 32);
+  const VReg t = kb.tid();
+  kb.stg(kb.imul(t, imm_i64(4)), kb.ldg(kb.imul(t, imm_i64(4))));
+  const Kernel k = kb.build();
+  GlobalMemory gmem;
+  gmem.alloc(256);
+  const auto res = run_block(k, kDev, gmem, {});
+  EXPECT_EQ(res.gmem_transactions, 2U);  // 1 load + 1 store segment
+
+  // Stride-128 scatters every lane into its own segment.
+  KernelBuilder kb2("scattered", 32);
+  const VReg t2 = kb2.tid();
+  kb2.stg(kb2.imul(t2, imm_i64(128)), t2);
+  const Kernel k2 = kb2.build();
+  GlobalMemory gmem2;
+  gmem2.alloc(32 * 128);
+  EXPECT_EQ(run_block(k2, kDev, gmem2, {}).gmem_transactions, 32U);
+}
+
+TEST(Issue, EmptyLoopCostsOnlyControl) {
+  auto looped = [](int n) {
+    KernelBuilder kb("empty", 32);
+    kb.loop(imm_i64(n));
+    kb.endloop();
+    const VReg t = kb.tid();
+    kb.stg(kb.imul(t, imm_i64(4)), t);
+    return kb.build();
+  };
+  const long long c10 = run_cycles(looped(10), kDev);
+  const long long c110 = run_cycles(looped(110), kDev);
+  // Each empty iteration costs the branch bubble only (~2 cycles).
+  EXPECT_NEAR(static_cast<double>(c110 - c10) / 100.0, 2.0, 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/simt/trace.hpp"
+
+namespace {
+
+using wsim::simt::GlobalMemory;
+using wsim::simt::imm_i64;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::Trace;
+using wsim::simt::VReg;
+
+const wsim::simt::DeviceSpec kDev = wsim::simt::make_k1200();
+
+Kernel two_warp_kernel() {
+  KernelBuilder kb("traced", 64);
+  kb.alloc_smem(64 * 4);
+  const VReg t = kb.tid();
+  const VReg addr = kb.imul(t, imm_i64(4));
+  kb.sts(addr, t);
+  kb.bar();
+  const VReg v = kb.lds(addr);
+  const VReg s = kb.shfl_down(v, imm_i64(1));
+  kb.stg(addr, kb.iadd(v, s));
+  return kb.build();
+}
+
+TEST(Trace, RecordsEveryIssuedInstruction) {
+  const Kernel k = two_warp_kernel();
+  GlobalMemory gmem;
+  gmem.alloc(64 * 4);
+  Trace trace;
+  const auto result = run_block(k, kDev, gmem, {}, &trace);
+  // One event per issued instruction; barriers are recorded once per warp
+  // with their wait window, matching their per-warp issue count.
+  EXPECT_EQ(trace.size(), result.instructions);
+}
+
+TEST(Trace, EventsAreWellFormed) {
+  const Kernel k = two_warp_kernel();
+  GlobalMemory gmem;
+  gmem.alloc(64 * 4);
+  Trace trace;
+  const auto result = run_block(k, kDev, gmem, {}, &trace);
+  bool saw_shuffle = false;
+  bool saw_warp1 = false;
+  for (const auto& e : trace.events()) {
+    EXPECT_GE(e.start, 0);
+    EXPECT_GE(e.end, e.start);
+    EXPECT_LE(e.end, result.cycles);
+    EXPECT_TRUE(e.warp == 0 || e.warp == 1);
+    saw_shuffle |= e.name == "shfl.down";
+    saw_warp1 |= e.warp == 1;
+  }
+  EXPECT_TRUE(saw_shuffle);
+  EXPECT_TRUE(saw_warp1);
+}
+
+TEST(Trace, ChromeJsonIsStructurallySound) {
+  const Kernel k = two_warp_kernel();
+  GlobalMemory gmem;
+  gmem.alloc(64 * 4);
+  Trace trace;
+  run_block(k, kDev, gmem, {}, &trace);
+  std::ostringstream oss;
+  trace.write_chrome_json(oss);
+  const std::string json = oss.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\": 1"), std::string::npos);
+  EXPECT_NE(json.find("bar.sync"), std::string::npos);
+  // Balanced braces: every event object closes.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(Trace, NullTraceCostsNothingFunctionally) {
+  const Kernel k = two_warp_kernel();
+  GlobalMemory gmem_a;
+  gmem_a.alloc(64 * 4);
+  GlobalMemory gmem_b;
+  gmem_b.alloc(64 * 4);
+  Trace trace;
+  const auto with = run_block(k, kDev, gmem_a, {}, &trace);
+  const auto without = run_block(k, kDev, gmem_b, {});
+  EXPECT_EQ(with.cycles, without.cycles);
+  EXPECT_EQ(gmem_a.read_i32(0, 64), gmem_b.read_i32(0, 64));
+}
+
+}  // namespace

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+#include "wsim/workload/task.hpp"
+
+namespace {
+
+using wsim::workload::Dataset;
+using wsim::workload::DatasetStats;
+using wsim::workload::GeneratorConfig;
+
+GeneratorConfig small_config() {
+  GeneratorConfig cfg;
+  cfg.regions = 12;
+  cfg.ph_tasks_per_region_mean = 40.0;  // keep tests fast
+  return cfg;
+}
+
+TEST(Generator, DeterministicForSameSeed) {
+  const Dataset a = wsim::workload::generate_dataset(small_config());
+  const Dataset b = wsim::workload::generate_dataset(small_config());
+  ASSERT_EQ(a.regions.size(), b.regions.size());
+  for (std::size_t r = 0; r < a.regions.size(); ++r) {
+    ASSERT_EQ(a.regions[r].sw_tasks.size(), b.regions[r].sw_tasks.size());
+    for (std::size_t t = 0; t < a.regions[r].sw_tasks.size(); ++t) {
+      EXPECT_EQ(a.regions[r].sw_tasks[t].query, b.regions[r].sw_tasks[t].query);
+      EXPECT_EQ(a.regions[r].sw_tasks[t].target, b.regions[r].sw_tasks[t].target);
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorConfig cfg = small_config();
+  const Dataset a = wsim::workload::generate_dataset(cfg);
+  cfg.seed = 777;
+  const Dataset b = wsim::workload::generate_dataset(cfg);
+  bool any_diff = a.regions.size() != b.regions.size();
+  for (std::size_t r = 0; !any_diff && r < a.regions.size(); ++r) {
+    any_diff = a.regions[r].sw_tasks.size() != b.regions[r].sw_tasks.size() ||
+               (!a.regions[r].sw_tasks.empty() &&
+                a.regions[r].sw_tasks[0].query != b.regions[r].sw_tasks[0].query);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, EveryTaskIsStructurallyValid) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const GeneratorConfig cfg = small_config();
+  for (const auto& region : ds.regions) {
+    EXPECT_FALSE(region.sw_tasks.empty());
+    EXPECT_FALSE(region.ph_tasks.empty());
+    for (const auto& task : region.sw_tasks) {
+      EXPECT_GE(static_cast<int>(task.query.size()), cfg.sw_query_len_min);
+      EXPECT_LE(static_cast<int>(task.query.size()), cfg.sw_query_len_max);
+      EXPECT_FALSE(task.target.empty());
+      EXPECT_EQ(task.query.find_first_not_of("ACGT"), std::string::npos);
+    }
+    for (const auto& task : region.ph_tasks) {
+      EXPECT_NO_THROW(wsim::align::validate(task));
+      EXPECT_LT(task.read.size(), 128U);  // PH1's 128-thread premise
+      EXPECT_LE(task.read.size(), task.hap.size());
+    }
+  }
+}
+
+TEST(Generator, BatchSizeStatisticsMatchPaper) {
+  GeneratorConfig cfg;
+  cfg.regions = 64;
+  const Dataset ds = wsim::workload::generate_dataset(cfg);
+  const DatasetStats stats = wsim::workload::compute_stats(ds);
+  // Paper: on average 4 SW tasks and 189 PairHMM tasks per region batch.
+  EXPECT_NEAR(stats.avg_sw_tasks_per_region, 4.0, 1.5);
+  EXPECT_NEAR(stats.avg_ph_tasks_per_region, 189.0, 15.0);
+}
+
+TEST(Generator, ReadsResembleTheirHaplotypes) {
+  // Reads are sampled from haplotypes with ~1% errors, so a large
+  // fraction of reads must occur nearly verbatim. Check via a crude
+  // identity proxy: shared 12-mer between read and haplotype.
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  int with_seed_match = 0;
+  int total = 0;
+  for (const auto& region : ds.regions) {
+    for (const auto& task : region.ph_tasks) {
+      ++total;
+      bool found = false;
+      for (std::size_t pos = 0; pos + 12 <= task.read.size() && !found; pos += 6) {
+        found = task.hap.find(task.read.substr(pos, 12)) != std::string::npos;
+      }
+      with_seed_match += found ? 1 : 0;
+    }
+  }
+  EXPECT_GT(with_seed_match, total * 3 / 4);
+}
+
+TEST(Batching, RegionBatchesMatchRegions) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const auto sw = wsim::workload::sw_region_batches(ds);
+  const auto ph = wsim::workload::ph_region_batches(ds);
+  EXPECT_EQ(sw.size(), ds.regions.size());
+  EXPECT_EQ(ph.size(), ds.regions.size());
+}
+
+TEST(Batching, RebatchPreservesAllTasks) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const auto all = wsim::workload::sw_all_tasks(ds);
+  for (const std::size_t size : {1UL, 7UL, 100UL, 100000UL}) {
+    const auto batches = wsim::workload::sw_rebatch(ds, size);
+    std::size_t total = 0;
+    for (const auto& b : batches) {
+      EXPECT_LE(b.size(), size);
+      total += b.size();
+    }
+    EXPECT_EQ(total, all.size());
+  }
+}
+
+TEST(Batching, RebatchRejectsZero) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  EXPECT_THROW(wsim::workload::sw_rebatch(ds, 0), wsim::util::CheckError);
+}
+
+TEST(Batching, BiggestBatchIsMaximal) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const auto biggest = wsim::workload::ph_biggest_batch(ds);
+  for (const auto& batch : wsim::workload::ph_region_batches(ds)) {
+    EXPECT_GE(biggest.size(), batch.size());
+  }
+}
+
+TEST(Batching, CellCountsAreConsistent) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const DatasetStats stats = wsim::workload::compute_stats(ds);
+  std::size_t sw_cells = 0;
+  for (const auto& batch : wsim::workload::sw_region_batches(ds)) {
+    sw_cells += wsim::workload::batch_cells(batch);
+  }
+  EXPECT_EQ(sw_cells, stats.total_sw_cells);
+  std::size_t ph_cells = 0;
+  for (const auto& batch : wsim::workload::ph_region_batches(ds)) {
+    ph_cells += wsim::workload::batch_cells(batch);
+  }
+  EXPECT_EQ(ph_cells, stats.total_ph_cells);
+}
+
+}  // namespace

@@ -1,0 +1,380 @@
+// wsim — command-line driver for the warpshfl library.
+//
+//   wsim devices                         list simulated GPUs
+//   wsim micro    [--device D]           run the Fig. 3 microbenchmarks
+//   wsim sw       Q T [opts]             Smith-Waterman alignment
+//   wsim nw       Q T [opts]             Needleman-Wunsch score
+//   wsim pairhmm  READ HAP [opts]        PairHMM log10 likelihood
+//   wsim workload [--regions N --seed S] dataset statistics
+//   wsim sweep    [opts]                 GCUPS of all four kernels
+//
+// Common options: --device "K40"|"K1200"|"Titan X" (default K1200),
+// --mode shared|shuffle (default shuffle), --seed N, --regions N,
+// --batch N, --qual N.
+
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wsim/kernels/nw_kernels.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/micro/microbench.hpp"
+#include "wsim/pipeline/pipeline.hpp"
+#include "wsim/simt/profile.hpp"
+#include "wsim/simt/trace.hpp"
+#include <fstream>
+#include "wsim/simt/device.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/table.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/dataset_io.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+using wsim::kernels::CommMode;
+using wsim::util::format_fixed;
+using wsim::util::format_percent;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stol(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) == 0) {
+      const std::string key = token.substr(2);
+      if (i + 1 < argc) {
+        args.options[key] = argv[++i];
+      } else {
+        args.options[key] = "";
+      }
+    } else {
+      args.positional.push_back(token);
+    }
+  }
+  return args;
+}
+
+wsim::simt::DeviceSpec device_from(const Args& args) {
+  return wsim::simt::device_by_name(args.get("device", "K1200"));
+}
+
+CommMode mode_from(const Args& args) {
+  const std::string mode = args.get("mode", "shuffle");
+  if (mode == "shared") {
+    return CommMode::kSharedMemory;
+  }
+  if (mode == "shuffle") {
+    return CommMode::kShuffle;
+  }
+  throw wsim::util::CheckError("unknown --mode '" + mode + "' (shared|shuffle)");
+}
+
+int cmd_devices() {
+  wsim::util::Table table({"name", "arch", "SMs", "clock (GHz)", "GFLOPs",
+                           "smem BW (GB/s)", "gmem BW (GB/s)"});
+  for (const auto& dev : wsim::simt::all_devices()) {
+    table.add_row({dev.name, std::string(wsim::simt::to_string(dev.arch)),
+                   std::to_string(dev.sm_count), format_fixed(dev.clock_ghz, 3),
+                   format_fixed(dev.peak_gflops(), 0),
+                   format_fixed(dev.shared_mem_bw_gbps(), 0),
+                   format_fixed(dev.global_mem_bw_gbps, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_micro(const Args& args) {
+  const auto dev = device_from(args);
+  const auto r = wsim::micro::measure_latencies(dev);
+  wsim::util::Table table({"instruction", "latency (cycles)", "slope", "r^2"});
+  const auto row = [&table](const char* name, const wsim::micro::LatencyEstimate& e) {
+    table.add_row({name, format_fixed(e.latency, 1), format_fixed(e.slope, 2),
+                   format_fixed(e.r_squared, 4)});
+  };
+  row("register", r.reg);
+  row("shfl", r.shfl);
+  row("shfl_up", r.shfl_up);
+  row("shfl_down", r.shfl_down);
+  row("shfl_xor", r.shfl_xor);
+  row("shared memory", r.sharedmem);
+  row("__syncthreads", r.sync);
+  std::cout << "Device: " << dev.name << " ("
+            << wsim::simt::to_string(dev.arch) << ")\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sw(const Args& args) {
+  wsim::util::require(args.positional.size() == 2, "usage: wsim sw QUERY TARGET");
+  const auto dev = device_from(args);
+  const wsim::kernels::SwRunner runner(mode_from(args));
+  wsim::kernels::SwRunOptions opt;
+  opt.collect_outputs = true;
+  wsim::simt::Trace trace;
+  const std::string trace_path = args.get("trace", "");
+  if (!trace_path.empty()) {
+    opt.trace_representative = &trace;
+  }
+  const auto result = runner.run_batch(
+      dev, {{args.positional[0], args.positional[1]}}, opt);
+  const auto& out = result.outputs.front();
+  std::cout << "kernel:   " << runner.kernel().name << " on " << dev.name << '\n'
+            << "score:    " << out.best_score << '\n'
+            << "cigar:    " << out.alignment.cigar << '\n'
+            << "query:    [" << out.alignment.query_begin << ", "
+            << out.alignment.query_end << ")\n"
+            << "target:   [" << out.alignment.target_begin << ", "
+            << out.alignment.target_end << ")\n"
+            << "cycles:   " << result.run.launch.representative.cycles << '\n'
+            << "occupancy " << format_percent(result.run.launch.occupancy.fraction)
+            << '\n';
+  if (args.options.count("profile") != 0) {
+    const auto profile = wsim::simt::profile_block(
+        runner.kernel(), dev, result.run.launch.representative, result.run.cells);
+    std::cout << wsim::simt::format_profile(profile);
+  }
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    wsim::util::require(static_cast<bool>(os), "cannot open trace file " + trace_path);
+    trace.write_chrome_json(os);
+    std::cout << "trace (" << trace.size() << " events) written to " << trace_path
+              << " — load in chrome://tracing or Perfetto\n";
+  }
+  return 0;
+}
+
+int cmd_nw(const Args& args) {
+  wsim::util::require(args.positional.size() == 2, "usage: wsim nw QUERY TARGET");
+  const auto dev = device_from(args);
+  const wsim::kernels::NwRunner runner(mode_from(args));
+  wsim::kernels::NwRunOptions opt;
+  opt.collect_outputs = true;
+  const auto result = runner.run_batch(
+      dev, {{args.positional[0], args.positional[1]}}, opt);
+  const auto host =
+      wsim::align::nw_align(args.positional[0], args.positional[1], {});
+  std::cout << "kernel: " << runner.kernel().name << " on " << dev.name << '\n'
+            << "score:  " << result.scores.front() << '\n'
+            << "cigar:  " << host.cigar << " (host backtrace)\n"
+            << "cycles: " << result.run.launch.representative.cycles << '\n';
+  return 0;
+}
+
+int cmd_pairhmm(const Args& args) {
+  wsim::util::require(args.positional.size() == 2, "usage: wsim pairhmm READ HAP");
+  const auto dev = device_from(args);
+  wsim::align::PairHmmTask task;
+  task.read = args.positional[0];
+  task.hap = args.positional[1];
+  const auto qual = static_cast<std::uint8_t>(args.get_int("qual", 30));
+  task.base_quals.assign(task.read.size(), qual);
+  task.ins_quals.assign(task.read.size(), 45);
+  task.del_quals.assign(task.read.size(), 45);
+  const wsim::kernels::PhRunner runner(mode_from(args));
+  wsim::kernels::PhRunOptions opt;
+  opt.collect_outputs = true;
+  const auto result = runner.run_batch(dev, {task}, opt);
+  std::cout << "device:  " << dev.name << '\n'
+            << "log10 L: " << format_fixed(result.log10.front(), 4) << '\n'
+            << "cycles:  " << result.run.launch.representative.cycles << '\n';
+  return 0;
+}
+
+int cmd_workload(const Args& args) {
+  wsim::workload::Dataset ds;
+  const std::string in = args.get("in", "");
+  if (!in.empty()) {
+    ds = wsim::workload::load_dataset(in);
+  } else {
+    wsim::workload::GeneratorConfig cfg;
+    cfg.regions = static_cast<int>(args.get_int("regions", 16));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    ds = wsim::workload::generate_dataset(cfg);
+  }
+  const std::string out = args.get("out", "");
+  if (!out.empty()) {
+    wsim::workload::save_dataset(out, ds);
+    std::cout << "dataset written to " << out << "\n";
+  }
+  const auto stats = wsim::workload::compute_stats(ds);
+  wsim::util::Table table({"statistic", "value"});
+  table.add_row({"regions", std::to_string(stats.regions)});
+  table.add_row({"SW tasks", std::to_string(stats.sw_tasks)});
+  table.add_row({"PairHMM tasks", std::to_string(stats.ph_tasks)});
+  table.add_row({"avg SW tasks/region", format_fixed(stats.avg_sw_tasks_per_region, 2)});
+  table.add_row({"avg PH tasks/region", format_fixed(stats.avg_ph_tasks_per_region, 2)});
+  table.add_row({"max read length", std::to_string(stats.max_read_len)});
+  table.add_row({"max haplotype length", std::to_string(stats.max_hap_len)});
+  table.add_row({"total SW cells", std::to_string(stats.total_sw_cells)});
+  table.add_row({"total PH cells", std::to_string(stats.total_ph_cells)});
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  const auto dev = device_from(args);
+  wsim::workload::Dataset ds;
+  const std::string in = args.get("in", "");
+  if (!in.empty()) {
+    ds = wsim::workload::load_dataset(in);
+  } else {
+    wsim::workload::GeneratorConfig cfg;
+    cfg.regions = static_cast<int>(args.get_int("regions", 16));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    ds = wsim::workload::generate_dataset(cfg);
+  }
+  const auto batch_size = static_cast<std::size_t>(args.get_int("batch", 200));
+  const auto sw_batches = wsim::workload::sw_rebatch(ds, batch_size);
+  const auto ph_batches = wsim::workload::ph_rebatch(ds, batch_size);
+
+  wsim::util::Table table({"kernel", "avg GCUPS (incl. transfer)"});
+  for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::SwRunner runner(mode);
+    wsim::simt::BlockCostCache cache;
+    double total = 0.0;
+    for (const auto& batch : sw_batches) {
+      wsim::kernels::SwRunOptions opt;
+      opt.mode = wsim::simt::ExecMode::kCachedByShape;
+      opt.cost_cache = &cache;
+      total += runner.run_batch(dev, batch, opt).run.gcups_total();
+    }
+    table.add_row({mode == CommMode::kSharedMemory ? "SW1" : "SW2",
+                   format_fixed(total / static_cast<double>(sw_batches.size()), 2)});
+  }
+  for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::PhRunner runner(mode);
+    wsim::kernels::PhCostCaches caches;
+    double total = 0.0;
+    for (const auto& batch : ph_batches) {
+      wsim::kernels::PhRunOptions opt;
+      opt.mode = wsim::simt::ExecMode::kCachedByShape;
+      opt.cost_caches = &caches;
+      total += runner.run_batch(dev, batch, opt).run.gcups_total();
+    }
+    table.add_row({mode == CommMode::kSharedMemory ? "PH1" : "PH2",
+                   format_fixed(total / static_cast<double>(ph_batches.size()), 2)});
+  }
+  std::cout << "Device: " << dev.name << ", batch size " << batch_size << "\n";
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_pipeline(const Args& args) {
+  wsim::workload::Dataset ds;
+  const std::string in = args.get("in", "");
+  if (!in.empty()) {
+    ds = wsim::workload::load_dataset(in);
+  } else {
+    wsim::workload::GeneratorConfig cfg;
+    cfg.regions = static_cast<int>(args.get_int("regions", 8));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    cfg.ph_tasks_per_region_mean = 24.0;
+    ds = wsim::workload::generate_dataset(cfg);
+  }
+  wsim::pipeline::PipelineConfig cfg;
+  cfg.device = device_from(args);
+  if (mode_from(args) == CommMode::kSharedMemory) {
+    cfg.sw_design = CommMode::kSharedMemory;
+    cfg.ph_design = wsim::kernels::PhDesign::kShared;
+  }
+  cfg.rebatch_size = static_cast<std::size_t>(args.get_int("batch", 0));
+  cfg.overlap_transfers = args.options.count("streams") != 0;
+  cfg.lpt_order = args.options.count("lpt") != 0;
+  cfg.validate_sample = args.options.count("validate") != 0;
+  const auto report = wsim::pipeline::run_pipeline(ds, cfg);
+
+  wsim::util::Table table({"stage", "tasks", "batches", "cells", "seconds",
+                           "GCUPS"});
+  const auto row = [&table](const char* name, const wsim::pipeline::StageReport& r) {
+    table.add_row({name, std::to_string(r.tasks), std::to_string(r.batches),
+                   std::to_string(r.cells), format_fixed(r.seconds * 1e3, 3) + " ms",
+                   format_fixed(r.gcups, 2)});
+  };
+  row("Smith-Waterman", report.sw);
+  row("PairHMM", report.ph);
+  std::cout << "Device: " << cfg.device.name << ", design: "
+            << (cfg.sw_design == CommMode::kShuffle ? "shuffle" : "shared")
+            << ", rebatch: " << cfg.rebatch_size << "\n";
+  table.print(std::cout);
+  if (cfg.validate_sample) {
+    std::cout << "validation: " << report.validated << " sampled tasks, "
+              << report.mismatches << " mismatches\n";
+  }
+  return report.mismatches == 0 ? 0 : 1;
+}
+
+int usage() {
+  std::cerr <<
+      "usage: wsim <command> [options]\n"
+      "commands:\n"
+      "  devices                      list simulated GPUs\n"
+      "  micro    [--device D]        Fig. 3 instruction-latency microbenchmarks\n"
+      "  sw       QUERY TARGET [--profile ''] Smith-Waterman alignment\n"
+      "  nw       QUERY TARGET        Needleman-Wunsch global score\n"
+      "  pairhmm  READ HAP [--qual N] PairHMM log10 likelihood\n"
+      "  workload [--regions N] [--in F] [--out F]  dataset stats / convert\n"
+      "  sweep    [--batch N] [--in F]    GCUPS of SW1/SW2/PH1/PH2\n"
+      "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
+      "           run the two-stage HaplotypeCaller pipeline\n"
+      "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
+      "                --seed N, --regions N\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    return usage();
+  }
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "devices") {
+      return cmd_devices();
+    }
+    if (command == "micro") {
+      return cmd_micro(args);
+    }
+    if (command == "sw") {
+      return cmd_sw(args);
+    }
+    if (command == "nw") {
+      return cmd_nw(args);
+    }
+    if (command == "pairhmm") {
+      return cmd_pairhmm(args);
+    }
+    if (command == "workload") {
+      return cmd_workload(args);
+    }
+    if (command == "sweep") {
+      return cmd_sweep(args);
+    }
+    if (command == "pipeline") {
+      return cmd_pipeline(args);
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
