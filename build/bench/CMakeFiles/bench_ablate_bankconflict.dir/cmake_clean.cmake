@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_bankconflict.dir/bench_ablate_bankconflict.cpp.o"
+  "CMakeFiles/bench_ablate_bankconflict.dir/bench_ablate_bankconflict.cpp.o.d"
+  "bench_ablate_bankconflict"
+  "bench_ablate_bankconflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bankconflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_bsize.dir/bench_ablate_bsize.cpp.o"
+  "CMakeFiles/bench_ablate_bsize.dir/bench_ablate_bsize.cpp.o.d"
+  "bench_ablate_bsize"
+  "bench_ablate_bsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_energy.dir/bench_ablate_energy.cpp.o"
+  "CMakeFiles/bench_ablate_energy.dir/bench_ablate_energy.cpp.o.d"
+  "bench_ablate_energy"
+  "bench_ablate_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_multicell.dir/bench_ablate_multicell.cpp.o"
+  "CMakeFiles/bench_ablate_multicell.dir/bench_ablate_multicell.cpp.o.d"
+  "bench_ablate_multicell"
+  "bench_ablate_multicell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_multicell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_scan.dir/bench_ablate_scan.cpp.o"
+  "CMakeFiles/bench_ablate_scan.dir/bench_ablate_scan.cpp.o.d"
+  "bench_ablate_scan"
+  "bench_ablate_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

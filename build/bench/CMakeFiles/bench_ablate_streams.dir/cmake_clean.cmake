@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_streams.dir/bench_ablate_streams.cpp.o"
+  "CMakeFiles/bench_ablate_streams.dir/bench_ablate_streams.cpp.o.d"
+  "bench_ablate_streams"
+  "bench_ablate_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

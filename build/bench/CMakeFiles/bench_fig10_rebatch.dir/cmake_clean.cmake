@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rebatch.dir/bench_fig10_rebatch.cpp.o"
+  "CMakeFiles/bench_fig10_rebatch.dir/bench_fig10_rebatch.cpp.o.d"
+  "bench_fig10_rebatch"
+  "bench_fig10_rebatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rebatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

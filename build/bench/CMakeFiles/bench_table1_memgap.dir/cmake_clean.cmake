@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_memgap.dir/bench_table1_memgap.cpp.o"
+  "CMakeFiles/bench_table1_memgap.dir/bench_table1_memgap.cpp.o.d"
+  "bench_table1_memgap"
+  "bench_table1_memgap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_memgap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/variant_calling_pipeline.cpp" "examples/CMakeFiles/variant_calling_pipeline.dir/variant_calling_pipeline.cpp.o" "gcc" "examples/CMakeFiles/variant_calling_pipeline.dir/variant_calling_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsim_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

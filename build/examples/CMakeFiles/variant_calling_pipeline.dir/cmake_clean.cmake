@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_calling_pipeline.dir/variant_calling_pipeline.cpp.o"
+  "CMakeFiles/variant_calling_pipeline.dir/variant_calling_pipeline.cpp.o.d"
+  "variant_calling_pipeline"
+  "variant_calling_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_calling_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

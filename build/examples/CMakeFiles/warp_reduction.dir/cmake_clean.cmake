@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warp_reduction.dir/warp_reduction.cpp.o"
+  "CMakeFiles/warp_reduction.dir/warp_reduction.cpp.o.d"
+  "warp_reduction"
+  "warp_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warp_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

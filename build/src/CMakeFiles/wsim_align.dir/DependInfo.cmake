@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsim/align/needleman_wunsch.cpp" "src/CMakeFiles/wsim_align.dir/wsim/align/needleman_wunsch.cpp.o" "gcc" "src/CMakeFiles/wsim_align.dir/wsim/align/needleman_wunsch.cpp.o.d"
+  "/root/repo/src/wsim/align/pairhmm.cpp" "src/CMakeFiles/wsim_align.dir/wsim/align/pairhmm.cpp.o" "gcc" "src/CMakeFiles/wsim_align.dir/wsim/align/pairhmm.cpp.o.d"
+  "/root/repo/src/wsim/align/scoring.cpp" "src/CMakeFiles/wsim_align.dir/wsim/align/scoring.cpp.o" "gcc" "src/CMakeFiles/wsim_align.dir/wsim/align/scoring.cpp.o.d"
+  "/root/repo/src/wsim/align/smith_waterman.cpp" "src/CMakeFiles/wsim_align.dir/wsim/align/smith_waterman.cpp.o" "gcc" "src/CMakeFiles/wsim_align.dir/wsim/align/smith_waterman.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_align.dir/wsim/align/needleman_wunsch.cpp.o"
+  "CMakeFiles/wsim_align.dir/wsim/align/needleman_wunsch.cpp.o.d"
+  "CMakeFiles/wsim_align.dir/wsim/align/pairhmm.cpp.o"
+  "CMakeFiles/wsim_align.dir/wsim/align/pairhmm.cpp.o.d"
+  "CMakeFiles/wsim_align.dir/wsim/align/scoring.cpp.o"
+  "CMakeFiles/wsim_align.dir/wsim/align/scoring.cpp.o.d"
+  "CMakeFiles/wsim_align.dir/wsim/align/smith_waterman.cpp.o"
+  "CMakeFiles/wsim_align.dir/wsim/align/smith_waterman.cpp.o.d"
+  "libwsim_align.a"
+  "libwsim_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_cpu.dir/wsim/cpu/simd_pairhmm.cpp.o"
+  "CMakeFiles/wsim_cpu.dir/wsim/cpu/simd_pairhmm.cpp.o.d"
+  "CMakeFiles/wsim_cpu.dir/wsim/cpu/striped_sw.cpp.o"
+  "CMakeFiles/wsim_cpu.dir/wsim/cpu/striped_sw.cpp.o.d"
+  "libwsim_cpu.a"
+  "libwsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

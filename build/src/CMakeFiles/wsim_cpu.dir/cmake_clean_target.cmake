@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwsim_cpu.a"
+)

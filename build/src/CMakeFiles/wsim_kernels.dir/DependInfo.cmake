@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsim/kernels/common.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/common.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/common.cpp.o.d"
+  "/root/repo/src/wsim/kernels/nw_kernels.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/nw_kernels.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/nw_kernels.cpp.o.d"
+  "/root/repo/src/wsim/kernels/ph_kernel_builder.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_kernel_builder.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_kernel_builder.cpp.o.d"
+  "/root/repo/src/wsim/kernels/ph_runner.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_runner.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_runner.cpp.o.d"
+  "/root/repo/src/wsim/kernels/scan_kernels.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/scan_kernels.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/scan_kernels.cpp.o.d"
+  "/root/repo/src/wsim/kernels/sw_kernel_builder.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_kernel_builder.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_kernel_builder.cpp.o.d"
+  "/root/repo/src/wsim/kernels/sw_runner.cpp" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_runner.cpp.o" "gcc" "src/CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_runner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsim_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/common.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/common.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/nw_kernels.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/nw_kernels.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_kernel_builder.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_kernel_builder.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_runner.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/ph_runner.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/scan_kernels.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/scan_kernels.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_kernel_builder.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_kernel_builder.cpp.o.d"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_runner.cpp.o"
+  "CMakeFiles/wsim_kernels.dir/wsim/kernels/sw_runner.cpp.o.d"
+  "libwsim_kernels.a"
+  "libwsim_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_micro.dir/wsim/micro/microbench.cpp.o"
+  "CMakeFiles/wsim_micro.dir/wsim/micro/microbench.cpp.o.d"
+  "libwsim_micro.a"
+  "libwsim_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_model.dir/wsim/model/breakdown.cpp.o"
+  "CMakeFiles/wsim_model.dir/wsim/model/breakdown.cpp.o.d"
+  "CMakeFiles/wsim_model.dir/wsim/model/perf_model.cpp.o"
+  "CMakeFiles/wsim_model.dir/wsim/model/perf_model.cpp.o.d"
+  "libwsim_model.a"
+  "libwsim_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

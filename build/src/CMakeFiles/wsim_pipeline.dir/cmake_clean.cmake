@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_pipeline.dir/wsim/pipeline/pipeline.cpp.o"
+  "CMakeFiles/wsim_pipeline.dir/wsim/pipeline/pipeline.cpp.o.d"
+  "libwsim_pipeline.a"
+  "libwsim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

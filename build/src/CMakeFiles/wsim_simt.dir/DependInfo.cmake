@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsim/simt/builder.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/builder.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/builder.cpp.o.d"
+  "/root/repo/src/wsim/simt/device.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/device.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/device.cpp.o.d"
+  "/root/repo/src/wsim/simt/energy.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/energy.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/energy.cpp.o.d"
+  "/root/repo/src/wsim/simt/interpreter.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/interpreter.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/interpreter.cpp.o.d"
+  "/root/repo/src/wsim/simt/isa.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/isa.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/isa.cpp.o.d"
+  "/root/repo/src/wsim/simt/occupancy.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/occupancy.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/occupancy.cpp.o.d"
+  "/root/repo/src/wsim/simt/profile.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/profile.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/profile.cpp.o.d"
+  "/root/repo/src/wsim/simt/runtime.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/runtime.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/runtime.cpp.o.d"
+  "/root/repo/src/wsim/simt/scheduler.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/scheduler.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/scheduler.cpp.o.d"
+  "/root/repo/src/wsim/simt/trace.cpp" "src/CMakeFiles/wsim_simt.dir/wsim/simt/trace.cpp.o" "gcc" "src/CMakeFiles/wsim_simt.dir/wsim/simt/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

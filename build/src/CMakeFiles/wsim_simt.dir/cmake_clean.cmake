@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_simt.dir/wsim/simt/builder.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/builder.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/device.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/device.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/energy.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/energy.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/interpreter.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/interpreter.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/isa.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/isa.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/occupancy.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/occupancy.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/profile.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/profile.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/runtime.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/runtime.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/scheduler.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/scheduler.cpp.o.d"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/trace.cpp.o"
+  "CMakeFiles/wsim_simt.dir/wsim/simt/trace.cpp.o.d"
+  "libwsim_simt.a"
+  "libwsim_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

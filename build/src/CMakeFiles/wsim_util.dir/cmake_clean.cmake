@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_util.dir/wsim/util/rng.cpp.o"
+  "CMakeFiles/wsim_util.dir/wsim/util/rng.cpp.o.d"
+  "CMakeFiles/wsim_util.dir/wsim/util/stats.cpp.o"
+  "CMakeFiles/wsim_util.dir/wsim/util/stats.cpp.o.d"
+  "CMakeFiles/wsim_util.dir/wsim/util/table.cpp.o"
+  "CMakeFiles/wsim_util.dir/wsim/util/table.cpp.o.d"
+  "libwsim_util.a"
+  "libwsim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

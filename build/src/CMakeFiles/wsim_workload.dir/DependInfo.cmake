@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsim/workload/batching.cpp" "src/CMakeFiles/wsim_workload.dir/wsim/workload/batching.cpp.o" "gcc" "src/CMakeFiles/wsim_workload.dir/wsim/workload/batching.cpp.o.d"
+  "/root/repo/src/wsim/workload/dataset_io.cpp" "src/CMakeFiles/wsim_workload.dir/wsim/workload/dataset_io.cpp.o" "gcc" "src/CMakeFiles/wsim_workload.dir/wsim/workload/dataset_io.cpp.o.d"
+  "/root/repo/src/wsim/workload/generator.cpp" "src/CMakeFiles/wsim_workload.dir/wsim/workload/generator.cpp.o" "gcc" "src/CMakeFiles/wsim_workload.dir/wsim/workload/generator.cpp.o.d"
+  "/root/repo/src/wsim/workload/task.cpp" "src/CMakeFiles/wsim_workload.dir/wsim/workload/task.cpp.o" "gcc" "src/CMakeFiles/wsim_workload.dir/wsim/workload/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/wsim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/wsim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim_workload.dir/wsim/workload/batching.cpp.o"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/batching.cpp.o.d"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/dataset_io.cpp.o"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/dataset_io.cpp.o.d"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/generator.cpp.o"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/generator.cpp.o.d"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/task.cpp.o"
+  "CMakeFiles/wsim_workload.dir/wsim/workload/task.cpp.o.d"
+  "libwsim_workload.a"
+  "libwsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

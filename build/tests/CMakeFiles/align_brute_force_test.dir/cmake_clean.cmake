@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_brute_force_test.dir/align_brute_force_test.cpp.o"
+  "CMakeFiles/align_brute_force_test.dir/align_brute_force_test.cpp.o.d"
+  "align_brute_force_test"
+  "align_brute_force_test.pdb"
+  "align_brute_force_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_brute_force_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_pairhmm_test.dir/align_pairhmm_test.cpp.o"
+  "CMakeFiles/align_pairhmm_test.dir/align_pairhmm_test.cpp.o.d"
+  "align_pairhmm_test"
+  "align_pairhmm_test.pdb"
+  "align_pairhmm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_pairhmm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

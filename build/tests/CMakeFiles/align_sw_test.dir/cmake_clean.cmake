@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_sw_test.dir/align_sw_test.cpp.o"
+  "CMakeFiles/align_sw_test.dir/align_sw_test.cpp.o.d"
+  "align_sw_test"
+  "align_sw_test.pdb"
+  "align_sw_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_sw_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_fingerprint_test.dir/kernel_fingerprint_test.cpp.o"
+  "CMakeFiles/kernel_fingerprint_test.dir/kernel_fingerprint_test.cpp.o.d"
+  "kernel_fingerprint_test"
+  "kernel_fingerprint_test.pdb"
+  "kernel_fingerprint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_fingerprint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nw_kernel_test.dir/nw_kernel_test.cpp.o"
+  "CMakeFiles/nw_kernel_test.dir/nw_kernel_test.cpp.o.d"
+  "nw_kernel_test"
+  "nw_kernel_test.pdb"
+  "nw_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nw_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairhmm_fallback_test.dir/pairhmm_fallback_test.cpp.o"
+  "CMakeFiles/pairhmm_fallback_test.dir/pairhmm_fallback_test.cpp.o.d"
+  "pairhmm_fallback_test"
+  "pairhmm_fallback_test.pdb"
+  "pairhmm_fallback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairhmm_fallback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_hybrid_test.dir/ph_hybrid_test.cpp.o"
+  "CMakeFiles/ph_hybrid_test.dir/ph_hybrid_test.cpp.o.d"
+  "ph_hybrid_test"
+  "ph_hybrid_test.pdb"
+  "ph_hybrid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_hybrid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

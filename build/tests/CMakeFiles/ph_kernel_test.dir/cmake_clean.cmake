@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ph_kernel_test.dir/ph_kernel_test.cpp.o"
+  "CMakeFiles/ph_kernel_test.dir/ph_kernel_test.cpp.o.d"
+  "ph_kernel_test"
+  "ph_kernel_test.pdb"
+  "ph_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ph_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_kernel_test.dir/scan_kernel_test.cpp.o"
+  "CMakeFiles/scan_kernel_test.dir/scan_kernel_test.cpp.o.d"
+  "scan_kernel_test"
+  "scan_kernel_test.pdb"
+  "scan_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streams_batching_test.dir/streams_batching_test.cpp.o"
+  "CMakeFiles/streams_batching_test.dir/streams_batching_test.cpp.o.d"
+  "streams_batching_test"
+  "streams_batching_test.pdb"
+  "streams_batching_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streams_batching_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sw_kernel_test.dir/sw_kernel_test.cpp.o"
+  "CMakeFiles/sw_kernel_test.dir/sw_kernel_test.cpp.o.d"
+  "sw_kernel_test"
+  "sw_kernel_test.pdb"
+  "sw_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sw_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

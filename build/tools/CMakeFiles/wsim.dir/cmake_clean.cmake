@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wsim.dir/wsim_cli.cpp.o"
+  "CMakeFiles/wsim.dir/wsim_cli.cpp.o.d"
+  "wsim"
+  "wsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_devices "/root/repo/build/tools/wsim" "devices")
+set_tests_properties(cli_devices PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sw "/root/repo/build/tools/wsim" "sw" "ACGTACGT" "TTACGTACGTTT")
+set_tests_properties(cli_sw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_nw "/root/repo/build/tools/wsim" "nw" "ACGT" "AACGTT" "--mode" "shared")
+set_tests_properties(cli_nw PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pairhmm "/root/repo/build/tools/wsim" "pairhmm" "ACGTACGT" "ACGTACGTAA" "--device" "Titan X")
+set_tests_properties(cli_pairhmm PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_workload "/root/repo/build/tools/wsim" "workload" "--regions" "3")
+set_tests_properties(cli_workload PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_micro "/root/repo/build/tools/wsim" "micro" "--device" "K40")
+set_tests_properties(cli_micro PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_usage_error "/root/repo/build/tools/wsim" "bogus")
+set_tests_properties(cli_usage_error PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_pipeline "/root/repo/build/tools/wsim" "pipeline" "--regions" "2" "--validate" "")
+set_tests_properties(cli_pipeline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_workload_roundtrip "/root/repo/build/tools/wsim" "workload" "--in" "/root/repo/data/example_dataset.txt")
+set_tests_properties(cli_workload_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
