@@ -7,7 +7,7 @@
 
 #include "bench_common.hpp"
 #include "wsim/simt/builder.hpp"
-#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/runtime.hpp"
 #include "wsim/util/table.hpp"
 
 namespace {
@@ -26,7 +26,10 @@ long long run_stride(const wsim::simt::DeviceSpec& dev, int stride, int iteratio
   const Kernel kernel = kb.build();
   GlobalMemory gmem;
   gmem.alloc(32 * 4);
-  return run_block(kernel, dev, gmem, {}).cycles;
+  const std::vector<BlockLaunch> blocks(1);
+  return wsim::bench::bench_engine()
+      .launch(kernel, dev, gmem, blocks)
+      .representative.cycles;
 }
 
 }  // namespace

@@ -7,10 +7,16 @@
 #include <string_view>
 
 #include "wsim/simt/device.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/table.hpp"
 #include "wsim/workload/generator.hpp"
 
 namespace wsim::bench {
+
+/// The engine every benchmark shares: the process-wide one, so the thread
+/// count honors WSIM_THREADS and the worker pool is built once. Pass as
+/// SwRunOptions/PhRunOptions::engine or call launch() on it directly.
+inline simt::ExecutionEngine& bench_engine() { return simt::shared_engine(); }
 
 /// Prints the standard experiment banner so every bench's output states
 /// which paper artifact it regenerates.

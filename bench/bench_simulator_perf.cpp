@@ -6,6 +6,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <iostream>
 #include <string>
 
 #include "wsim/align/pairhmm.hpp"
@@ -13,8 +15,10 @@
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/micro/microbench.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/simt/occupancy.hpp"
 #include "wsim/util/rng.hpp"
+#include "wsim/util/thread_pool.hpp"
 
 namespace {
 
@@ -101,6 +105,58 @@ void BM_SimulateSwBlock(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulateSwBlock);
 
+/// ExecutionEngine scaling: simulate a multi-block SW grid at increasing
+/// thread counts and report blocks/second — the payoff of the parallel
+/// engine (expected to be near-linear until hardware threads run out).
+void engine_thread_sweep() {
+  wsim::util::Rng rng(17);
+  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
+  const auto dev = wsim::simt::make_k1200();
+  constexpr std::size_t kBlocks = 64;
+  wsim::workload::SwBatch batch;
+  for (std::size_t t = 0; t < kBlocks; ++t) {
+    batch.push_back({random_dna(rng, 96), random_dna(rng, 128)});
+  }
+
+  std::cout << "\n--- ExecutionEngine thread sweep (" << kBlocks
+            << "-block SW grid, kFull) ---\n";
+  const int hw = wsim::util::ThreadPool::resolve(0);
+  for (const int threads : {1, 2, 4, 8}) {
+    if (threads > hw && threads != 1) {
+      // Oversubscribing a small machine tells nothing about scaling.
+      std::cout << "(skipping " << threads << " threads: only " << hw
+                << " hardware thread" << (hw == 1 ? "" : "s") << ")\n";
+      continue;
+    }
+    wsim::simt::ExecutionEngine engine(
+        wsim::simt::EngineOptions{.threads = threads});
+    wsim::kernels::SwRunOptions opt;
+    opt.engine = &engine;
+    runner.run_batch(dev, batch, opt);  // warm-up (faults in the arenas)
+
+    constexpr int kReps = 3;
+    const auto begin = std::chrono::steady_clock::now();
+    for (int rep = 0; rep < kReps; ++rep) {
+      benchmark::DoNotOptimize(runner.run_batch(dev, batch, opt));
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - begin;
+    const double blocks_per_sec =
+        static_cast<double>(kBlocks) * kReps / elapsed.count();
+    std::cout << "{\"threads\": " << threads
+              << ", \"blocks_per_sec\": " << blocks_per_sec << "}\n";
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  engine_thread_sweep();
+  return 0;
+}

@@ -8,8 +8,8 @@
 
 #include "wsim/simt/builder.hpp"
 #include "wsim/simt/device.hpp"
-#include "wsim/simt/interpreter.hpp"
 #include "wsim/simt/memory.hpp"
+#include "wsim/simt/runtime.hpp"
 #include "wsim/util/table.hpp"
 
 namespace {
@@ -28,10 +28,11 @@ std::vector<std::int32_t> run_lanes(const DeviceSpec& dev, const char* name,
   const Kernel kernel = kb.build();
   GlobalMemory gmem;
   const auto buf = gmem.alloc(32 * 4);
-  const std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(buf)};
-  const BlockResult res = run_block(kernel, dev, gmem, args);
+  std::vector<BlockLaunch> blocks(1);
+  blocks[0].args = {static_cast<std::uint64_t>(buf)};
+  const LaunchResult res = launch(kernel, dev, gmem, blocks);
   if (cycles != nullptr) {
-    *cycles = res.cycles;
+    *cycles = res.representative.cycles;
   }
   return gmem.read_i32(buf, 32);
 }

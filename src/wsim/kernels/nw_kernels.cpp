@@ -1,8 +1,10 @@
 #include "wsim/kernels/nw_kernels.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "wsim/simt/builder.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::kernels {
@@ -301,15 +303,40 @@ NwBatchResult NwRunner::run_batch(const simt::DeviceSpec& device,
     blocks[t].shape_key = shape_key(m, n, options.shape_granularity);
   }
 
+  // Per-executor boundary-carry replicas (see SwRunner::run_batch): the
+  // first task or first distinct shape keeps the head bound_h/bound_f
+  // pair; every other potential executor gets a 128-byte-aligned tail
+  // replica so concurrent blocks never share carry buffers and each
+  // block's segment geometry matches sequential execution.
+  const bool cached_mode = options.mode == simt::ExecMode::kCachedByShape;
+  std::unordered_map<std::uint64_t, bool> shape_seen;
+  bool head_taken = false;
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    if (cached_mode && !shape_seen.emplace(blocks[t].shape_key, true).second) {
+      continue;  // never executed: the shape's first block is its executor
+    }
+    if (!head_taken) {
+      head_taken = true;
+      continue;
+    }
+    const auto own_h = gmem.alloc(max_n * 4, 128);
+    const auto own_f = gmem.alloc(max_n * 4);
+    blocks[t].args[5] = static_cast<std::uint64_t>(own_h);
+    blocks[t].args[6] = static_cast<std::uint64_t>(own_f);
+  }
+
   simt::LaunchOptions launch_options;
   launch_options.mode = options.mode;
   launch_options.cost_cache = options.cost_cache;
+  launch_options.use_engine_cache = options.use_engine_cache;
   launch_options.overlap_transfers = options.overlap_transfers;
   launch_options.transfer.h2d_bytes = h2d_bytes;
   launch_options.transfer.d2h_bytes = batch.size() * 4;
 
+  simt::ExecutionEngine& engine =
+      options.engine != nullptr ? *options.engine : simt::shared_engine();
   NwBatchResult result;
-  result.run.launch = simt::launch(kernel_, device, gmem, blocks, launch_options);
+  result.run.launch = engine.launch(kernel_, device, gmem, blocks, launch_options);
   result.run.cells = cells;
   if (options.collect_outputs) {
     result.scores.reserve(batch.size());

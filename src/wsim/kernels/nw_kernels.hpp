@@ -33,8 +33,14 @@ struct NwRunOptions {
   simt::ExecMode mode = simt::ExecMode::kFull;
   std::size_t shape_granularity = kSwBsize;
   simt::BlockCostCache* cost_cache = nullptr;
+  /// Memoize block costs in the executing engine's persistent cache
+  /// instead of `cost_cache` (see simt::LaunchOptions::use_engine_cache).
+  bool use_engine_cache = false;
   /// Overlap PCIe copies with kernel execution (CUDA streams).
   bool overlap_transfers = false;
+  /// Engine that executes the launch; null means the process-wide
+  /// simt::shared_engine().
+  simt::ExecutionEngine* engine = nullptr;
 };
 
 class NwRunner {

@@ -10,6 +10,10 @@
 #include "wsim/simt/runtime.hpp"
 #include "wsim/workload/batching.hpp"
 
+namespace wsim::simt {
+class ExecutionEngine;
+}  // namespace wsim::simt
+
 namespace wsim::kernels {
 
 /// Maximum supported read length: the paper uses 128 threads/block for
@@ -64,12 +68,19 @@ struct PhRunOptions {
   simt::ExecMode mode = simt::ExecMode::kFull;
   std::size_t shape_granularity = 16;
   PhCostCaches* cost_caches = nullptr;
+  /// Memoize block costs in the executing engine's persistent cache
+  /// instead of `cost_caches`; the engine keys by kernel variant, so one
+  /// cache serves all variants (see simt::LaunchOptions::use_engine_cache).
+  bool use_engine_cache = false;
   /// Overlap PCIe copies with kernel execution (CUDA streams).
   bool overlap_transfers = false;
   /// GATK semantics: when the device's f32 likelihood underflows to zero,
   /// recompute that task on the host in double precision instead of
   /// throwing (collect_outputs only).
   bool double_fallback = false;
+  /// Engine that executes the launches; null means the process-wide
+  /// simt::shared_engine().
+  simt::ExecutionEngine* engine = nullptr;
 };
 
 struct PhBatchResult {

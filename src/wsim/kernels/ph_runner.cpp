@@ -2,6 +2,7 @@
 #include <cmath>
 
 #include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::kernels {
@@ -75,6 +76,8 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
   gmem.write_f32(err3_lut_addr, err3_lut);
   const std::size_t lut_bytes = 2 * kQualLutSize * 4;
 
+  simt::ExecutionEngine& engine =
+      options.engine != nullptr ? *options.engine : simt::shared_engine();
   PhBatchResult result;
   result.run.cells = 0;
   result.run.launch.transfers_overlapped = options.overlap_transfers;
@@ -144,8 +147,9 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
 
     simt::LaunchOptions launch_options;
     launch_options.mode = options.mode;
+    launch_options.use_engine_cache = options.use_engine_cache;
     launch_options.overlap_transfers = options.overlap_transfers;
-    if (options.cost_caches != nullptr) {
+    if (options.cost_caches != nullptr && !options.use_engine_cache) {
       launch_options.cost_cache =
           &options.cost_caches->per_variant[static_cast<std::size_t>(v)];
     }
@@ -157,15 +161,18 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
     launch_options.transfer.d2h_bytes = group.size() * 4;
 
     const simt::LaunchResult launch =
-        simt::launch(kernel, device, gmem, blocks, launch_options);
+        engine.launch(kernel, device, gmem, blocks, launch_options);
 
     // Aggregate across variant launches.
     result.run.cells += group_cells;
     result.run.launch.kernel_seconds += launch.kernel_seconds;
+    result.run.launch.h2d_seconds += launch.h2d_seconds;
+    result.run.launch.d2h_seconds += launch.d2h_seconds;
     result.run.launch.transfer_seconds += launch.transfer_seconds;
     result.run.launch.overhead_seconds += launch.overhead_seconds;
     result.run.launch.instructions += launch.instructions;
     result.run.launch.smem_transactions += launch.smem_transactions;
+    result.run.launch.blocks_executed += launch.blocks_executed;
     result.run.launch.timing.cycles += launch.timing.cycles;
     result.run.launch.timing.seconds += launch.timing.seconds;
     if (group_cells > primary_cells) {

@@ -1,8 +1,8 @@
 #include "wsim/kernels/scan_kernels.hpp"
 
 #include "wsim/simt/builder.hpp"
-#include "wsim/simt/interpreter.hpp"
 #include "wsim/simt/memory.hpp"
+#include "wsim/simt/runtime.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::kernels {
@@ -112,12 +112,12 @@ std::vector<std::int32_t> run_scan(const simt::Kernel& kernel,
   const auto in = gmem.alloc(static_cast<std::size_t>(kernel.threads_per_block) * 4);
   const auto out = gmem.alloc(static_cast<std::size_t>(kernel.threads_per_block) * 4);
   gmem.write_i32(in, values);
-  const std::vector<std::uint64_t> args = {
-      static_cast<std::uint64_t>(in), static_cast<std::uint64_t>(out),
-      values.size()};
-  const auto result = run_block(kernel, device, gmem, args);
+  std::vector<simt::BlockLaunch> blocks(1);
+  blocks[0].args = {static_cast<std::uint64_t>(in), static_cast<std::uint64_t>(out),
+                    values.size()};
+  const auto result = simt::launch(kernel, device, gmem, blocks);
   if (cycles != nullptr) {
-    *cycles = result.cycles;
+    *cycles = result.representative.cycles;
   }
   return gmem.read_i32(out, values.size());
 }

@@ -9,6 +9,10 @@
 #include "wsim/simt/runtime.hpp"
 #include "wsim/workload/batching.hpp"
 
+namespace wsim::simt {
+class ExecutionEngine;
+}  // namespace wsim::simt
+
 namespace wsim::kernels {
 
 /// BSIZE of the paper's two-level tiling: rows per band, threads per
@@ -69,10 +73,16 @@ struct SwRunOptions {
   /// Shape-cache quantization for kCachedByShape (see kernels::shape_key).
   std::size_t shape_granularity = kSwBsize;
   simt::BlockCostCache* cost_cache = nullptr;
+  /// Memoize block costs in the executing engine's persistent cache
+  /// instead of `cost_cache` (see simt::LaunchOptions::use_engine_cache).
+  bool use_engine_cache = false;
   /// Overlap PCIe copies with kernel execution (CUDA streams).
   bool overlap_transfers = false;
   /// Record the first block's instruction timeline (simt::Trace).
   simt::Trace* trace_representative = nullptr;
+  /// Engine that executes the launch; null means the process-wide
+  /// simt::shared_engine().
+  simt::ExecutionEngine* engine = nullptr;
 };
 
 /// Host-side driver: packs a batch into device memory (one task per

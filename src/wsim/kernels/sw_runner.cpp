@@ -1,7 +1,9 @@
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 
 #include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::kernels {
@@ -54,8 +56,12 @@ SwBatchResult SwRunner::run_batch(const simt::DeviceSpec& device,
     max_n = std::max(max_n, task.target.size());
   }
 
-  // Band-boundary carry buffers are block-internal temporaries; blocks
-  // execute sequentially in the simulator, so one scratch set serves all.
+  // Band-boundary carry buffers are block-internal temporaries. Blocks may
+  // execute concurrently on the engine's workers, so every block that can
+  // execute gets its own set: the first task (or first distinct shape)
+  // uses this head set, the rest get replicas allocated at the arena tail
+  // below — after the per-task buffers, so all seed addresses are
+  // preserved.
   const auto bound_h = gmem.alloc(max_n * 4);
   const auto bound_f = gmem.alloc(max_n * 4);
   const auto bound_kv = gmem.alloc(max_n * 4);
@@ -121,16 +127,81 @@ SwBatchResult SwRunner::run_batch(const simt::DeviceSpec& device,
     block.shape_key = shape_key(m, n, options.shape_granularity);
   }
 
+  // Tail carry/scratch replicas for every potentially-concurrent executor
+  // beyond the first: per task in kFull mode, per distinct shape in
+  // kCachedByShape (the engine executes at most one block per shape).
+  // Each replica starts 128-byte aligned and mirrors the head layout, so a
+  // block's global-memory segment geometry — and therefore its cycle
+  // count — is identical to sequential execution with the shared head set.
+  struct CarrySet {
+    std::int64_t bound_h = 0;
+    std::int64_t bound_f = 0;
+    std::int64_t bound_kv = 0;
+    std::int64_t btrack = 0;
+    std::int64_t lastcol = 0;
+    std::int64_t lastrow = 0;
+  };
+  const auto alloc_carry_set = [&]() {
+    CarrySet set;
+    set.bound_h = gmem.alloc(max_n * 4, 128);
+    set.bound_f = gmem.alloc(max_n * 4);
+    set.bound_kv = gmem.alloc(max_n * 4);
+    if (!options.collect_outputs) {
+      set.btrack = gmem.alloc(max_m * max_n * 4);
+      set.lastcol = gmem.alloc(max_m * 4);
+      set.lastrow = gmem.alloc(max_n * 4);
+    }
+    return set;
+  };
+  const bool cached_mode = options.mode == simt::ExecMode::kCachedByShape;
+  std::unordered_map<std::uint64_t, std::ptrdiff_t> shape_set;  // -1 = head set
+  bool head_taken = false;
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    std::ptrdiff_t set_index = -1;
+    if (cached_mode) {
+      const auto it = shape_set.find(blocks[t].shape_key);
+      if (it != shape_set.end()) {
+        set_index = it->second;
+      } else {
+        if (head_taken) {
+          set_index = static_cast<std::ptrdiff_t>(t);
+        }
+        head_taken = true;
+        shape_set.emplace(blocks[t].shape_key, set_index);
+      }
+    } else if (head_taken) {
+      set_index = static_cast<std::ptrdiff_t>(t);
+    } else {
+      head_taken = true;
+    }
+    if (set_index < 0 || set_index != static_cast<std::ptrdiff_t>(t)) {
+      continue;  // head set, or shares an already-allocated replica
+    }
+    const CarrySet set = alloc_carry_set();
+    auto& args = blocks[t].args;
+    args[5] = static_cast<std::uint64_t>(set.bound_h);
+    args[6] = static_cast<std::uint64_t>(set.bound_f);
+    args[7] = static_cast<std::uint64_t>(set.bound_kv);
+    if (!options.collect_outputs) {
+      args[4] = static_cast<std::uint64_t>(set.btrack);
+      args[8] = static_cast<std::uint64_t>(set.lastcol);
+      args[9] = static_cast<std::uint64_t>(set.lastrow);
+    }
+  }
+
   simt::LaunchOptions launch_options;
   launch_options.mode = options.mode;
   launch_options.cost_cache = options.cost_cache;
+  launch_options.use_engine_cache = options.use_engine_cache;
   launch_options.overlap_transfers = options.overlap_transfers;
   launch_options.trace_representative = options.trace_representative;
   launch_options.transfer.h2d_bytes = h2d_bytes;
   launch_options.transfer.d2h_bytes = batch.size() * kSwResultBytesPerTask;
 
+  simt::ExecutionEngine& engine =
+      options.engine != nullptr ? *options.engine : simt::shared_engine();
   SwBatchResult result;
-  result.run.launch = simt::launch(kernel_, device, gmem, blocks, launch_options);
+  result.run.launch = engine.launch(kernel_, device, gmem, blocks, launch_options);
   result.run.cells = cells;
 
   if (options.collect_outputs) {

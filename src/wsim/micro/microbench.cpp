@@ -3,8 +3,8 @@
 #include <vector>
 
 #include "wsim/simt/builder.hpp"
-#include "wsim/simt/interpreter.hpp"
 #include "wsim/simt/memory.hpp"
+#include "wsim/simt/runtime.hpp"
 #include "wsim/util/check.hpp"
 #include "wsim/util/stats.hpp"
 
@@ -151,12 +151,13 @@ long long run_micro(const simt::Kernel& kernel, const simt::DeviceSpec& device,
   }
   gmem.write_i32(table, chase);
 
-  const std::vector<std::uint64_t> args = {
+  std::vector<simt::BlockLaunch> blocks(1);
+  blocks[0].args = {
       static_cast<std::uint64_t>(buf),
       static_cast<std::uint64_t>(iterations),
       static_cast<std::uint64_t>(table),
   };
-  return run_block(kernel, device, gmem, args).cycles;
+  return simt::launch(kernel, device, gmem, blocks).representative.cycles;
 }
 
 std::vector<int> default_iteration_sweep() {

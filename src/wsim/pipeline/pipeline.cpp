@@ -6,6 +6,7 @@
 
 #include "wsim/align/pairhmm.hpp"
 #include "wsim/simt/energy.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::pipeline {
@@ -61,6 +62,10 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
 
   PipelineReport report;
 
+  // One engine serves both stages, so its worker pool (and, with
+  // use_engine_cache, its cost cache) is shared across every batch.
+  simt::ExecutionEngine engine(simt::EngineOptions{.threads = config.threads});
+
   // ---------------- stage 1: Smith-Waterman -------------------------------
   {
     std::vector<workload::SwTask> tasks;
@@ -79,6 +84,7 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
     kernels::SwRunOptions options;
     options.collect_outputs = true;
     options.overlap_transfers = config.overlap_transfers;
+    options.engine = &engine;
 
     report.sw_alignments.resize(tasks.size());
     for (const auto& batch_indices : batches) {
@@ -137,6 +143,7 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
     options.collect_outputs = true;
     options.overlap_transfers = config.overlap_transfers;
     options.double_fallback = config.double_fallback;
+    options.engine = &engine;
 
     report.ph_log10.resize(tasks.size());
     for (const auto& batch_indices : batches) {

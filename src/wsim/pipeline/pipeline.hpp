@@ -25,6 +25,10 @@ struct PipelineConfig {
   /// 0 keeps the per-region batching of the paper's Fig. 9; a positive
   /// value re-batches tasks across regions (Fig. 10).
   std::size_t rebatch_size = 0;
+  /// Simulation worker threads for block execution: the pipeline builds
+  /// one simt::ExecutionEngine shared by both stages. <= 0 means one per
+  /// hardware thread. Results are identical at any thread count.
+  int threads = 0;
   bool overlap_transfers = false;
   bool lpt_order = false;
   /// GATK-style double-precision rescue of underflowed PairHMM tasks.

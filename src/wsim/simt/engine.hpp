@@ -1,0 +1,104 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+
+#include "wsim/simt/runtime.hpp"
+#include "wsim/util/thread_pool.hpp"
+
+namespace wsim::simt {
+
+/// Thread-safe block-cost memoization shared across launches: a fixed
+/// number of independently locked shards so concurrent lookups from the
+/// engine's workers do not serialize on one mutex. Keys are already
+/// composite hashes (kernel identity ^ device ^ shape key), computed by
+/// the engine.
+class ShardedBlockCostCache {
+ public:
+  std::optional<BlockCost> find(std::uint64_t key) const;
+  void insert(std::uint64_t key, const BlockCost& cost);
+  std::size_t size() const;
+  void clear();
+
+ private:
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint64_t, BlockCost> map;
+  };
+  static std::size_t shard_of(std::uint64_t key) noexcept {
+    // High bits: the low bits already pick the bucket inside the shard map.
+    return static_cast<std::size_t>(key >> 59) % kShards;
+  }
+  std::array<Shard, kShards> shards_;
+};
+
+struct EngineOptions {
+  /// Worker threads for block execution; <= 0 means one per hardware
+  /// thread (util::ThreadPool::resolve).
+  int threads = 0;
+  /// Debug mode: record every executed block's global-memory write ranges
+  /// and throw util::CheckError when two blocks of one launch overlap —
+  /// verifying the interpreter's "correct kernels are race-free" contract
+  /// instead of trusting it.
+  bool check_write_overlap = false;
+};
+
+/// Executes launch grids on a persistent worker pool.
+///
+/// Blocks of a launch are independent by construction (the interpreter's
+/// contract), so the engine dispatches them across threads and
+/// re-aggregates deterministically: per-block costs land in a pre-sized
+/// vector indexed by block position (schedule_blocks sees exactly the
+/// sequential order), the representative block is the first executed one
+/// in grid order, and in kCachedByShape mode exactly one worker — the
+/// first block of each distinct shape — executes while the rest reuse the
+/// measured cost. Results are therefore bit-identical to sequential
+/// execution at any thread count.
+///
+/// Ownership: the engine owns the thread pool and the sharded cross-launch
+/// cost cache; callers own kernels, devices, and memory arenas. One engine
+/// is meant to be shared by all runners of a program (see shared_engine()),
+/// so launches pay no per-launch thread setup.
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(EngineOptions options = {});
+
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+
+  /// Executors used for block dispatch (>= 1).
+  int threads() const noexcept { return pool_.size(); }
+
+  const EngineOptions& options() const noexcept { return options_; }
+
+  /// Drop-in equivalent of simt::launch (same semantics, same results).
+  LaunchResult launch(const Kernel& kernel, const DeviceSpec& device,
+                      GlobalMemory& gmem, std::span<const BlockLaunch> blocks,
+                      const LaunchOptions& options = {});
+
+  /// Entries currently memoized in the engine-owned cache
+  /// (LaunchOptions::use_engine_cache).
+  std::size_t cost_cache_size() const { return cost_cache_.size(); }
+  void clear_cost_cache() { cost_cache_.clear(); }
+
+ private:
+  static void check_overlaps(const Kernel& kernel,
+                             const std::vector<std::size_t>& execute,
+                             const std::vector<class GmemWriteSet>& writes);
+
+  EngineOptions options_;
+  util::ThreadPool pool_;
+  ShardedBlockCostCache cost_cache_;
+};
+
+/// The process-wide default engine used by the simt::launch wrapper.
+/// Thread count comes from the WSIM_THREADS environment variable when set
+/// (a positive integer), otherwise one worker per hardware thread.
+ExecutionEngine& shared_engine();
+
+}  // namespace wsim::simt

@@ -12,6 +12,44 @@
 
 namespace wsim::simt {
 
+void GmemWriteSet::add(std::int64_t addr, std::size_t bytes) {
+  if (bytes == 0) {
+    return;
+  }
+  std::int64_t begin = addr;
+  std::int64_t end = addr + static_cast<std::int64_t>(bytes);
+  // Absorb every span that touches [begin, end), including ones that
+  // merely abut it, then insert the union.
+  auto it = spans_.upper_bound(begin);
+  if (it != spans_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {
+      it = prev;
+    }
+  }
+  while (it != spans_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    it = spans_.erase(it);
+  }
+  spans_.emplace(begin, end);
+}
+
+bool GmemWriteSet::overlaps(const GmemWriteSet& other) const noexcept {
+  auto a = spans_.begin();
+  auto b = other.spans_.begin();
+  while (a != spans_.end() && b != other.spans_.end()) {
+    if (a->second <= b->first) {
+      ++a;
+    } else if (b->second <= a->first) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
 namespace {
 
 constexpr int kWarpSize = 32;
@@ -74,8 +112,9 @@ struct SharedMemory {
 class BlockEngine {
  public:
   BlockEngine(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
-              std::span<const std::uint64_t> scalar_args, Trace* trace)
-      : kernel_(kernel), dev_(device), gmem_(gmem), trace_(trace) {
+              std::span<const std::uint64_t> scalar_args, Trace* trace,
+              GmemWriteSet* writes)
+      : kernel_(kernel), dev_(device), gmem_(gmem), trace_(trace), writes_(writes) {
     validate(kernel);
     build_loop_matches();
     smem_.data.assign(static_cast<std::size_t>(std::max(kernel.smem_bytes, 1)), 0);
@@ -633,6 +672,9 @@ class BlockEngine {
       } else {
         const std::uint64_t value = lane_value(warp, ins.c, lane);
         std::memcpy(gmem_.at(addr, bytes), &value, bytes);
+        if (writes_ != nullptr) {
+          writes_->add(addr, bytes);
+        }
       }
     }
     result_.gmem_transactions += segments.size();
@@ -650,14 +692,16 @@ class BlockEngine {
   std::vector<std::size_t> loop_match_;
   std::unordered_set<std::int64_t> warm_segments_;
   Trace* trace_ = nullptr;
+  GmemWriteSet* writes_ = nullptr;
   BlockResult result_;
 };
 
 }  // namespace
 
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
-                      std::span<const std::uint64_t> scalar_args, Trace* trace) {
-  BlockEngine engine(kernel, device, gmem, scalar_args, trace);
+                      std::span<const std::uint64_t> scalar_args, Trace* trace,
+                      GmemWriteSet* writes) {
+  BlockEngine engine(kernel, device, gmem, scalar_args, trace, writes);
   return engine.run();
 }
 

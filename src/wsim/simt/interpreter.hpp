@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <span>
 
 #include "wsim/simt/device.hpp"
@@ -9,6 +10,31 @@
 #include "wsim/simt/memory.hpp"
 
 namespace wsim::simt {
+
+/// Coalesced byte intervals of GlobalMemory written by one block. The
+/// ExecutionEngine's debug write-overlap checker records one per executed
+/// block and cross-checks them: the interpreter's "sequential functional
+/// execution is race-free for correct kernels" contract requires distinct
+/// blocks to write disjoint ranges, and this makes the assumption
+/// verifiable instead of trusted.
+class GmemWriteSet {
+ public:
+  /// Records [addr, addr + bytes); adjacent/overlapping spans coalesce.
+  void add(std::int64_t addr, std::size_t bytes);
+
+  bool empty() const noexcept { return spans_.empty(); }
+
+  /// begin -> end byte offsets, disjoint and sorted.
+  const std::map<std::int64_t, std::int64_t>& spans() const noexcept {
+    return spans_;
+  }
+
+  /// True when any byte is covered by both sets.
+  bool overlaps(const GmemWriteSet& other) const noexcept;
+
+ private:
+  std::map<std::int64_t, std::int64_t> spans_;
+};
 
 /// Execution record of one thread block: functional side effects land in
 /// the GlobalMemory arena; the numbers here feed the SM scheduler and the
@@ -52,8 +78,11 @@ struct BlockResult {
 /// When `trace` is non-null, every executed instruction is recorded with
 /// its issue/completion cycles (see simt::Trace) — expensive for big
 /// kernels, intended for debugging.
+///
+/// When `writes` is non-null, every global-memory store's byte range is
+/// recorded (for the engine's write-overlap checker).
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
                       GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
-                      class Trace* trace = nullptr);
+                      class Trace* trace = nullptr, GmemWriteSet* writes = nullptr);
 
 }  // namespace wsim::simt

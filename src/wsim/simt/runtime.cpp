@@ -1,76 +1,12 @@
 #include "wsim/simt/runtime.hpp"
 
-#include "wsim/simt/trace.hpp"
-
-#include <unordered_map>
-
-#include "wsim/util/check.hpp"
+#include "wsim/simt/engine.hpp"
 
 namespace wsim::simt {
 
 LaunchResult launch(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
                     std::span<const BlockLaunch> blocks, const LaunchOptions& options) {
-  util::require(!blocks.empty(), "launch: grid must contain at least one block");
-
-  LaunchResult result;
-  result.occupancy = compute_occupancy(device, kernel);
-
-  std::vector<BlockCost> costs;
-  costs.reserve(blocks.size());
-  BlockCostCache local_cache;
-  BlockCostCache& cache = options.cost_cache != nullptr ? *options.cost_cache : local_cache;
-  bool first = true;
-  for (const BlockLaunch& block : blocks) {
-    const BlockCost* cached = nullptr;
-    if (options.mode == ExecMode::kCachedByShape) {
-      const auto it = cache.find(block.shape_key);
-      if (it != cache.end()) {
-        cached = &it->second;
-      }
-    }
-    BlockCost cost;
-    if (cached != nullptr) {
-      cost = *cached;
-      // Count the skipped block's work in the aggregates as well: it would
-      // have issued the same instruction mix.
-      result.instructions += cost.issue_slots;
-      result.smem_transactions += cost.smem_transactions;
-    } else {
-      const BlockResult res = run_block(kernel, device, gmem, block.args,
-                                        first ? options.trace_representative : nullptr);
-      cost.latency_cycles = res.cycles;
-      cost.issue_slots = res.instructions;
-      cost.smem_transactions = res.smem_transactions;
-      result.instructions += res.instructions;
-      result.smem_transactions += res.smem_transactions;
-      if (options.mode == ExecMode::kCachedByShape) {
-        cache.emplace(block.shape_key, cost);
-      }
-      if (first) {
-        result.representative = res;
-        first = false;
-      }
-    }
-    costs.push_back(cost);
-  }
-
-  result.timing = schedule_blocks(device, result.occupancy, costs);
-  result.kernel_seconds = result.timing.seconds;
-
-  const double pcie_bytes_per_second = device.pcie_bw_gbps * 1e9;
-  double transfer = 0.0;
-  if (options.transfer.h2d_bytes > 0) {
-    transfer += static_cast<double>(options.transfer.h2d_bytes) / pcie_bytes_per_second +
-                device.pcie_latency_us * 1e-6;
-  }
-  if (options.transfer.d2h_bytes > 0) {
-    transfer += static_cast<double>(options.transfer.d2h_bytes) / pcie_bytes_per_second +
-                device.pcie_latency_us * 1e-6;
-  }
-  result.transfer_seconds = transfer;
-  result.overhead_seconds = device.kernel_launch_overhead_us * 1e-6;
-  result.transfers_overlapped = options.overlap_transfers;
-  return result;
+  return shared_engine().launch(kernel, device, gmem, blocks, options);
 }
 
 }  // namespace wsim::simt

@@ -51,9 +51,16 @@ struct LaunchOptions {
   /// cache is used. Must only be shared between launches of the same
   /// kernel on the same device.
   BlockCostCache* cost_cache = nullptr;
-  /// CUDA-streams-style pipelining: copies overlap kernel execution, so
-  /// wall time is max(kernel, transfer) instead of their sum. The paper's
-  /// numbers serialize them; this is the natural follow-up optimization.
+  /// kCachedByShape only: memoize block costs in the executing engine's
+  /// persistent sharded cache instead of `cost_cache`. The engine keys
+  /// entries by kernel identity and device as well as shape, so one cache
+  /// safely serves every kernel/device pair across launches. Mutually
+  /// exclusive with `cost_cache`.
+  bool use_engine_cache = false;
+  /// CUDA-streams-style pipelining: the h2d copy overlaps kernel
+  /// execution (the d2h copy still drains after the kernel, as a real
+  /// stream must). The paper's numbers serialize everything; this is the
+  /// natural follow-up optimization.
   bool overlap_transfers = false;
   /// When non-null, records the representative (first executed) block's
   /// instruction timeline (see simt::Trace).
@@ -65,18 +72,22 @@ struct LaunchResult {
   KernelTiming timing;
   Occupancy occupancy;
   double kernel_seconds = 0.0;    ///< device execution only
-  double transfer_seconds = 0.0;  ///< PCIe h2d + d2h
+  double h2d_seconds = 0.0;       ///< PCIe host-to-device component
+  double d2h_seconds = 0.0;       ///< PCIe device-to-host component
+  double transfer_seconds = 0.0;  ///< h2d + d2h (kept for existing callers)
   double overhead_seconds = 0.0;  ///< kernel-launch overhead
   std::uint64_t instructions = 0;         ///< summed over all blocks
   std::uint64_t smem_transactions = 0;    ///< summed over all blocks
+  std::uint64_t blocks_executed = 0;      ///< blocks run through the interpreter
   BlockResult representative;             ///< first block's detailed record
   bool transfers_overlapped = false;      ///< LaunchOptions::overlap_transfers
 
   /// Wall-clock including transfers and launch overhead (paper Fig. 9/10
-  /// convention; with streams the slower of kernel/transfer dominates).
+  /// convention). With streams only the h2d copy hides under the kernel;
+  /// the d2h copy waits for kernel completion as on real hardware.
   double total_seconds() const noexcept {
     const double moved = transfers_overlapped
-                             ? std::max(kernel_seconds, transfer_seconds)
+                             ? std::max(kernel_seconds, h2d_seconds) + d2h_seconds
                              : kernel_seconds + transfer_seconds;
     return moved + overhead_seconds;
   }
@@ -85,6 +96,11 @@ struct LaunchResult {
 /// Executes a grid: runs blocks through the interpreter (per `options.mode`),
 /// composes their costs with the SM scheduler, and adds host-side overheads
 /// from the device's PCIe parameters.
+///
+/// Thin wrapper over the process-wide ExecutionEngine (see
+/// simt/engine.hpp): blocks execute on its worker pool, bit-identical to
+/// sequential execution. Construct a dedicated ExecutionEngine to control
+/// the thread count per call site.
 LaunchResult launch(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
                     std::span<const BlockLaunch> blocks, const LaunchOptions& options = {});
 

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wsim::util {
+
+/// A persistent pool of worker threads for data-parallel loops.
+///
+/// The pool exists to amortize thread creation across many launches: it is
+/// constructed once (by an ExecutionEngine, a bench harness, ...) and then
+/// reused for every parallel_for. A pool of size N uses the calling thread
+/// plus N-1 workers, so size 1 degenerates to a plain inline loop with no
+/// synchronization at all — the sequential baseline.
+///
+/// parallel_for distributes indices dynamically (atomic counter), which
+/// balances skewed per-item costs such as heterogeneous alignment tasks.
+/// Exceptions thrown by the body are caught and the one with the lowest
+/// index is rethrown on the caller after all indices finish — the same
+/// exception a sequential loop over the indices would have surfaced, so
+/// error behaviour is deterministic regardless of pool size.
+class ThreadPool {
+ public:
+  /// `threads` <= 0 requests one executor per hardware thread.
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total executors (caller + workers), always >= 1.
+  int size() const noexcept { return size_; }
+
+  /// Runs body(i) for every i in [0, n), blocking until all complete.
+  /// The caller participates in the work. Safe to call from multiple
+  /// threads; concurrent calls are serialized.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Resolves a thread-count request: values <= 0 map to
+  /// hardware_concurrency (at least 1).
+  static int resolve(int threads) noexcept;
+
+ private:
+  struct Job {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t count = 0;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::atomic<std::size_t> holders{0};  ///< workers currently holding a pointer
+    std::mutex mu;
+    std::condition_variable finished;
+    std::exception_ptr error;
+    std::size_t error_index = 0;
+  };
+
+  void worker_loop();
+  static void run_job(Job& job);
+
+  int size_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  Job* job_ = nullptr;          ///< current job, null when idle
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::mutex submit_mu_;  ///< serializes concurrent parallel_for callers
+};
+
+}  // namespace wsim::util

@@ -1,0 +1,319 @@
+#include "wsim/simt/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+
+namespace {
+
+using wsim::simt::BlockLaunch;
+using wsim::simt::DeviceSpec;
+using wsim::simt::EngineOptions;
+using wsim::simt::ExecMode;
+using wsim::simt::ExecutionEngine;
+using wsim::simt::GlobalMemory;
+using wsim::simt::GmemWriteSet;
+using wsim::simt::imm_i64;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::LaunchOptions;
+using wsim::simt::LaunchResult;
+using wsim::simt::SReg;
+using wsim::simt::VReg;
+
+const DeviceSpec kDev = wsim::simt::make_k1200();
+
+std::string random_dna(wsim::util::Rng& rng, int len) {
+  std::string s(static_cast<std::size_t>(len), 'A');
+  for (char& c : s) {
+    c = "ACGT"[rng.uniform_int(0, 3)];
+  }
+  return s;
+}
+
+/// Writes (block_id * 100 + tid) to out[tid] after `trips` loop iterations.
+Kernel make_writer_kernel() {
+  KernelBuilder kb("writer", 32);
+  const SReg out = kb.param();
+  const SReg block_id = kb.param();
+  const SReg trips = kb.param();
+  const VReg t = kb.tid();
+  const VReg acc = kb.mov(imm_i64(0));
+  kb.loop(trips);
+  kb.assign(acc, kb.iadd(acc, imm_i64(1)));
+  kb.endloop();
+  const VReg v = kb.iadd(kb.imul(kb.mov(block_id), imm_i64(100)), t);
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), kb.iadd(v, kb.imul(acc, imm_i64(0))));
+  return kb.build();
+}
+
+std::vector<BlockLaunch> make_blocks(GlobalMemory& gmem, int count, int trips) {
+  std::vector<BlockLaunch> blocks(static_cast<std::size_t>(count));
+  for (int b = 0; b < count; ++b) {
+    const auto out = gmem.alloc(32 * 4);
+    blocks[static_cast<std::size_t>(b)].args = {
+        static_cast<std::uint64_t>(out), static_cast<std::uint64_t>(b),
+        static_cast<std::uint64_t>(trips)};
+    blocks[static_cast<std::size_t>(b)].shape_key =
+        static_cast<std::uint64_t>(trips + b % 3);
+  }
+  return blocks;
+}
+
+void expect_identical(const LaunchResult& a, const LaunchResult& b) {
+  EXPECT_EQ(a.timing.cycles, b.timing.cycles);
+  EXPECT_EQ(a.instructions, b.instructions);
+  EXPECT_EQ(a.smem_transactions, b.smem_transactions);
+  EXPECT_EQ(a.blocks_executed, b.blocks_executed);
+  EXPECT_EQ(a.representative.cycles, b.representative.cycles);
+  EXPECT_EQ(a.representative.instructions, b.representative.instructions);
+  EXPECT_EQ(a.kernel_seconds, b.kernel_seconds);  // bit-identical doubles
+  EXPECT_EQ(a.h2d_seconds, b.h2d_seconds);
+  EXPECT_EQ(a.d2h_seconds, b.d2h_seconds);
+  EXPECT_EQ(a.transfer_seconds, b.transfer_seconds);
+  EXPECT_EQ(a.overhead_seconds, b.overhead_seconds);
+  EXPECT_EQ(a.total_seconds(), b.total_seconds());
+}
+
+TEST(ExecutionEngine, ParallelGridMatchesSequentialBitForBit) {
+  const Kernel kernel = make_writer_kernel();
+  for (const ExecMode mode : {ExecMode::kFull, ExecMode::kCachedByShape}) {
+    LaunchOptions opt;
+    opt.mode = mode;
+    opt.transfer.h2d_bytes = 4096;
+    opt.transfer.d2h_bytes = 1024;
+
+    ExecutionEngine sequential(EngineOptions{.threads = 1});
+    GlobalMemory gmem_seq;
+    const auto blocks_seq = make_blocks(gmem_seq, 17, 200);
+    const LaunchResult base = sequential.launch(kernel, kDev, gmem_seq, blocks_seq, opt);
+
+    for (const int threads : {2, 8}) {
+      ExecutionEngine engine(EngineOptions{.threads = threads});
+      GlobalMemory gmem;
+      const auto blocks = make_blocks(gmem, 17, 200);
+      const LaunchResult result = engine.launch(kernel, kDev, gmem, blocks, opt);
+      expect_identical(base, result);
+      ASSERT_EQ(gmem.size(), gmem_seq.size());
+      EXPECT_EQ(gmem.read_u8(0, gmem.size()), gmem_seq.read_u8(0, gmem_seq.size()))
+          << threads << " threads, mode " << static_cast<int>(mode);
+    }
+  }
+}
+
+TEST(ExecutionEngine, SwRunnerDeterministicAcrossThreadCounts) {
+  wsim::util::Rng rng(7);
+  wsim::workload::SwBatch batch;
+  for (int t = 0; t < 8; ++t) {
+    batch.push_back({random_dna(rng, 40 + 8 * (t % 3)), random_dna(rng, 64)});
+  }
+  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
+
+  ExecutionEngine sequential(EngineOptions{.threads = 1});
+  wsim::kernels::SwRunOptions opt;
+  opt.collect_outputs = true;
+  opt.engine = &sequential;
+  const auto base = runner.run_batch(kDev, batch, opt);
+
+  for (const int threads : {2, 8}) {
+    ExecutionEngine engine(EngineOptions{.threads = threads});
+    opt.engine = &engine;
+    const auto result = runner.run_batch(kDev, batch, opt);
+    expect_identical(base.run.launch, result.run.launch);
+    ASSERT_EQ(result.outputs.size(), base.outputs.size());
+    for (std::size_t t = 0; t < base.outputs.size(); ++t) {
+      EXPECT_EQ(result.outputs[t].best_score, base.outputs[t].best_score);
+      EXPECT_EQ(result.outputs[t].alignment.cigar, base.outputs[t].alignment.cigar);
+    }
+  }
+
+  // Cached-by-shape timing runs (no outputs) must agree as well.
+  wsim::kernels::SwRunOptions cached;
+  cached.mode = ExecMode::kCachedByShape;
+  cached.engine = &sequential;
+  const auto cached_base = runner.run_batch(kDev, batch, cached);
+  for (const int threads : {2, 8}) {
+    ExecutionEngine engine(EngineOptions{.threads = threads});
+    cached.engine = &engine;
+    expect_identical(cached_base.run.launch,
+                     runner.run_batch(kDev, batch, cached).run.launch);
+  }
+}
+
+TEST(ExecutionEngine, PhRunnerDeterministicAcrossThreadCounts) {
+  wsim::util::Rng rng(11);
+  wsim::workload::PhBatch batch;
+  for (int t = 0; t < 6; ++t) {
+    wsim::align::PairHmmTask task;
+    task.hap = random_dna(rng, 90 + 10 * (t % 2));
+    task.read = random_dna(rng, 40 + 16 * (t % 3));
+    task.base_quals.assign(task.read.size(), 30);
+    task.ins_quals.assign(task.read.size(), 45);
+    task.del_quals.assign(task.read.size(), 45);
+    batch.push_back(std::move(task));
+  }
+  const wsim::kernels::PhRunner runner(wsim::kernels::PhDesign::kShuffle);
+
+  ExecutionEngine sequential(EngineOptions{.threads = 1});
+  wsim::kernels::PhRunOptions opt;
+  opt.collect_outputs = true;
+  opt.double_fallback = true;
+  opt.engine = &sequential;
+  const auto base = runner.run_batch(kDev, batch, opt);
+
+  for (const int threads : {2, 8}) {
+    ExecutionEngine engine(EngineOptions{.threads = threads});
+    opt.engine = &engine;
+    const auto result = runner.run_batch(kDev, batch, opt);
+    expect_identical(base.run.launch, result.run.launch);
+    EXPECT_EQ(result.log10, base.log10);  // bit-identical likelihoods
+
+    wsim::kernels::PhRunOptions cached;
+    cached.mode = ExecMode::kCachedByShape;
+    cached.engine = &engine;
+    wsim::kernels::PhRunOptions cached_seq = cached;
+    cached_seq.engine = &sequential;
+    expect_identical(runner.run_batch(kDev, batch, cached_seq).run.launch,
+                     runner.run_batch(kDev, batch, cached).run.launch);
+  }
+}
+
+TEST(ExecutionEngine, RepresentativeIsFirstExecutedBlock) {
+  const Kernel kernel = make_writer_kernel();
+  ExecutionEngine engine(EngineOptions{.threads = 4});
+  GlobalMemory gmem;
+  auto blocks = make_blocks(gmem, 6, 50);
+  const LaunchResult result = engine.launch(kernel, kDev, gmem, blocks, {});
+  // Block 0 writes lane values 0..31; its record is the representative.
+  EXPECT_EQ(result.representative.instructions,
+            result.instructions / 6);
+  EXPECT_EQ(result.blocks_executed, 6U);
+}
+
+TEST(ExecutionEngine, WriteOverlapCheckerCatchesRacyGrid) {
+  const Kernel kernel = make_writer_kernel();
+  ExecutionEngine engine(EngineOptions{.threads = 4, .check_write_overlap = true});
+
+  // Disjoint per-block outputs: fine.
+  {
+    GlobalMemory gmem;
+    const auto blocks = make_blocks(gmem, 8, 20);
+    EXPECT_NO_THROW(engine.launch(kernel, kDev, gmem, blocks, {}));
+  }
+
+  // Deliberately racy: every block writes the same 128-byte output row.
+  {
+    GlobalMemory gmem;
+    const auto out = gmem.alloc(32 * 4);
+    std::vector<BlockLaunch> blocks(3);
+    for (int b = 0; b < 3; ++b) {
+      blocks[static_cast<std::size_t>(b)].args = {
+          static_cast<std::uint64_t>(out), static_cast<std::uint64_t>(b),
+          std::uint64_t{20}};
+    }
+    EXPECT_THROW(engine.launch(kernel, kDev, gmem, blocks, {}),
+                 wsim::util::CheckError);
+  }
+
+  // The same racy grid passes silently when checking is off (the races are
+  // benign for timing, which is all non-checking runs promise).
+  {
+    ExecutionEngine unchecked(EngineOptions{.threads = 4});
+    GlobalMemory gmem;
+    const auto out = gmem.alloc(32 * 4);
+    std::vector<BlockLaunch> blocks(2);
+    for (int b = 0; b < 2; ++b) {
+      blocks[static_cast<std::size_t>(b)].args = {
+          static_cast<std::uint64_t>(out), static_cast<std::uint64_t>(b),
+          std::uint64_t{20}};
+    }
+    EXPECT_NO_THROW(unchecked.launch(kernel, kDev, gmem, blocks, {}));
+  }
+}
+
+TEST(ExecutionEngine, EngineCacheKeysByKernelAndShape) {
+  ExecutionEngine engine(EngineOptions{.threads = 2});
+  const Kernel writer = make_writer_kernel();
+
+  LaunchOptions opt;
+  opt.mode = ExecMode::kCachedByShape;
+  opt.use_engine_cache = true;
+
+  GlobalMemory gmem;
+  const auto blocks = make_blocks(gmem, 4, 30);  // shape keys {30, 31, 32}
+  engine.launch(writer, kDev, gmem, blocks, opt);
+  const std::size_t after_writer = engine.cost_cache_size();
+  EXPECT_EQ(after_writer, 3U);
+
+  // Same launch again: every shape hits; the cache does not grow and the
+  // timing is reproduced from memoized costs.
+  const LaunchResult warm = engine.launch(writer, kDev, gmem, blocks, opt);
+  EXPECT_EQ(engine.cost_cache_size(), after_writer);
+  EXPECT_EQ(warm.blocks_executed, 0U);
+
+  // A different kernel with colliding shape keys gets its own entries.
+  wsim::util::Rng rng(3);
+  wsim::workload::SwBatch batch = {{random_dna(rng, 48), random_dna(rng, 48)}};
+  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
+  wsim::kernels::SwRunOptions sw_opt;
+  sw_opt.mode = ExecMode::kCachedByShape;
+  sw_opt.use_engine_cache = true;
+  sw_opt.engine = &engine;
+  runner.run_batch(kDev, batch, sw_opt);
+  EXPECT_GT(engine.cost_cache_size(), after_writer);
+
+  engine.clear_cost_cache();
+  EXPECT_EQ(engine.cost_cache_size(), 0U);
+}
+
+TEST(ExecutionEngine, EngineCacheAndExternalCacheAreMutuallyExclusive) {
+  ExecutionEngine engine(EngineOptions{.threads = 1});
+  const Kernel kernel = make_writer_kernel();
+  GlobalMemory gmem;
+  const auto blocks = make_blocks(gmem, 2, 10);
+  wsim::simt::BlockCostCache cache;
+  LaunchOptions opt;
+  opt.mode = ExecMode::kCachedByShape;
+  opt.cost_cache = &cache;
+  opt.use_engine_cache = true;
+  EXPECT_THROW(engine.launch(kernel, kDev, gmem, blocks, opt),
+               wsim::util::CheckError);
+}
+
+TEST(ExecutionEngine, SharedEngineIsASingleton) {
+  EXPECT_EQ(&wsim::simt::shared_engine(), &wsim::simt::shared_engine());
+  EXPECT_GE(wsim::simt::shared_engine().threads(), 1);
+}
+
+TEST(GmemWriteSet, CoalescesAndDetectsOverlap) {
+  GmemWriteSet a;
+  EXPECT_TRUE(a.empty());
+  a.add(0, 4);
+  a.add(4, 4);   // adjacent: coalesces
+  a.add(100, 4);
+  EXPECT_EQ(a.spans().size(), 2U);
+  EXPECT_EQ(a.spans().at(0), 8);
+  EXPECT_EQ(a.spans().at(100), 104);
+  a.add(2, 10);  // overlapping both halves of [0, 8)
+  EXPECT_EQ(a.spans().size(), 2U);
+  EXPECT_EQ(a.spans().at(0), 12);
+
+  GmemWriteSet b;
+  b.add(12, 4);
+  EXPECT_FALSE(a.overlaps(b));
+  EXPECT_FALSE(b.overlaps(a));
+  b.add(11, 1);
+  EXPECT_TRUE(a.overlaps(b));
+  EXPECT_TRUE(b.overlaps(a));
+}
+
+}  // namespace

@@ -46,12 +46,26 @@ TEST(Streams, OverlapNeverSlower) {
 TEST(Streams, OverlapHidesTheSmallerPhase) {
   wsim::simt::LaunchResult r;
   r.kernel_seconds = 10e-3;
-  r.transfer_seconds = 4e-3;
+  r.h2d_seconds = 3e-3;
+  r.d2h_seconds = 1e-3;
+  r.transfer_seconds = r.h2d_seconds + r.d2h_seconds;
   r.overhead_seconds = 1e-3;
   r.transfers_overlapped = false;
   EXPECT_DOUBLE_EQ(r.total_seconds(), 15e-3);
+  // With streams only the h2d copy hides under the kernel; d2h drains after.
   r.transfers_overlapped = true;
-  EXPECT_DOUBLE_EQ(r.total_seconds(), 11e-3);
+  EXPECT_DOUBLE_EQ(r.total_seconds(), 12e-3);
+}
+
+TEST(Streams, OverlapBoundByLargerH2d) {
+  wsim::simt::LaunchResult r;
+  r.kernel_seconds = 2e-3;
+  r.h2d_seconds = 8e-3;
+  r.d2h_seconds = 1e-3;
+  r.transfer_seconds = r.h2d_seconds + r.d2h_seconds;
+  r.transfers_overlapped = true;
+  // The copy dominates: total = h2d + d2h, the kernel hides entirely.
+  EXPECT_DOUBLE_EQ(r.total_seconds(), 9e-3);
 }
 
 TEST(Batching, SortByCellsIsDescendingAndStable) {

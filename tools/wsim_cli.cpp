@@ -23,6 +23,7 @@
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/micro/microbench.hpp"
 #include "wsim/pipeline/pipeline.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/simt/profile.hpp"
 #include "wsim/simt/trace.hpp"
 #include <fstream>
@@ -75,6 +76,14 @@ wsim::simt::DeviceSpec device_from(const Args& args) {
   return wsim::simt::device_by_name(args.get("device", "K1200"));
 }
 
+/// Engine configuration from --threads (default: one worker per hardware
+/// thread); every kernel-launching command builds one engine from this and
+/// routes its launches through it.
+wsim::simt::EngineOptions engine_options_from(const Args& args) {
+  return wsim::simt::EngineOptions{
+      .threads = static_cast<int>(args.get_int("threads", 0))};
+}
+
 CommMode mode_from(const Args& args) {
   const std::string mode = args.get("mode", "shuffle");
   if (mode == "shared") {
@@ -125,8 +134,10 @@ int cmd_sw(const Args& args) {
   wsim::util::require(args.positional.size() == 2, "usage: wsim sw QUERY TARGET");
   const auto dev = device_from(args);
   const wsim::kernels::SwRunner runner(mode_from(args));
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
   wsim::kernels::SwRunOptions opt;
   opt.collect_outputs = true;
+  opt.engine = &engine;
   wsim::simt::Trace trace;
   const std::string trace_path = args.get("trace", "");
   if (!trace_path.empty()) {
@@ -164,8 +175,10 @@ int cmd_nw(const Args& args) {
   wsim::util::require(args.positional.size() == 2, "usage: wsim nw QUERY TARGET");
   const auto dev = device_from(args);
   const wsim::kernels::NwRunner runner(mode_from(args));
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
   wsim::kernels::NwRunOptions opt;
   opt.collect_outputs = true;
+  opt.engine = &engine;
   const auto result = runner.run_batch(
       dev, {{args.positional[0], args.positional[1]}}, opt);
   const auto host =
@@ -188,8 +201,10 @@ int cmd_pairhmm(const Args& args) {
   task.ins_quals.assign(task.read.size(), 45);
   task.del_quals.assign(task.read.size(), 45);
   const wsim::kernels::PhRunner runner(mode_from(args));
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
   wsim::kernels::PhRunOptions opt;
   opt.collect_outputs = true;
+  opt.engine = &engine;
   const auto result = runner.run_batch(dev, {task}, opt);
   std::cout << "device:  " << dev.name << '\n'
             << "log10 L: " << format_fixed(result.log10.front(), 4) << '\n'
@@ -244,15 +259,20 @@ int cmd_sweep(const Args& args) {
   const auto sw_batches = wsim::workload::sw_rebatch(ds, batch_size);
   const auto ph_batches = wsim::workload::ph_rebatch(ds, batch_size);
 
+  // One engine for the whole sweep; its persistent cache replaces the
+  // per-kernel external caches (entries are keyed by kernel identity, so
+  // SW1/SW2 and the PH variants never alias).
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+
   wsim::util::Table table({"kernel", "avg GCUPS (incl. transfer)"});
   for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
     const wsim::kernels::SwRunner runner(mode);
-    wsim::simt::BlockCostCache cache;
     double total = 0.0;
     for (const auto& batch : sw_batches) {
       wsim::kernels::SwRunOptions opt;
       opt.mode = wsim::simt::ExecMode::kCachedByShape;
-      opt.cost_cache = &cache;
+      opt.use_engine_cache = true;
+      opt.engine = &engine;
       total += runner.run_batch(dev, batch, opt).run.gcups_total();
     }
     table.add_row({mode == CommMode::kSharedMemory ? "SW1" : "SW2",
@@ -260,12 +280,12 @@ int cmd_sweep(const Args& args) {
   }
   for (const auto mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
     const wsim::kernels::PhRunner runner(mode);
-    wsim::kernels::PhCostCaches caches;
     double total = 0.0;
     for (const auto& batch : ph_batches) {
       wsim::kernels::PhRunOptions opt;
       opt.mode = wsim::simt::ExecMode::kCachedByShape;
-      opt.cost_caches = &caches;
+      opt.use_engine_cache = true;
+      opt.engine = &engine;
       total += runner.run_batch(dev, batch, opt).run.gcups_total();
     }
     table.add_row({mode == CommMode::kSharedMemory ? "PH1" : "PH2",
@@ -295,6 +315,7 @@ int cmd_pipeline(const Args& args) {
     cfg.ph_design = wsim::kernels::PhDesign::kShared;
   }
   cfg.rebatch_size = static_cast<std::size_t>(args.get_int("batch", 0));
+  cfg.threads = static_cast<int>(args.get_int("threads", 0));
   cfg.overlap_transfers = args.options.count("streams") != 0;
   cfg.lpt_order = args.options.count("lpt") != 0;
   cfg.validate_sample = args.options.count("validate") != 0;
@@ -334,7 +355,10 @@ int usage() {
       "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
       "           run the two-stage HaplotypeCaller pipeline\n"
       "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
-      "                --seed N, --regions N\n";
+      "                --seed N, --regions N\n"
+      "                --threads N  simulation worker threads for block execution\n"
+      "                             (default: one per hardware thread; results\n"
+      "                              are identical at any thread count)\n";
   return 2;
 }
 
