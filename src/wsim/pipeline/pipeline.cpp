@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <optional>
 
 #include "wsim/align/pairhmm.hpp"
 #include "wsim/simt/energy.hpp"
@@ -63,8 +64,18 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
   PipelineReport report;
 
   // One engine serves both stages, so its worker pool (and, with
-  // use_engine_cache, its cost cache) is shared across every batch.
-  simt::ExecutionEngine engine(simt::EngineOptions{.threads = config.threads});
+  // use_engine_cache, its cost cache) is shared across every batch. The
+  // default thread count uses the process-wide engine — pipeline, serving
+  // layer, and CLI then share one worker pool and one cost cache; an
+  // explicit positive count builds a private engine for this run only.
+  std::optional<simt::ExecutionEngine> private_engine;
+  simt::ExecutionEngine* engine = nullptr;
+  if (config.threads <= 0) {
+    engine = &simt::shared_engine();
+  } else {
+    private_engine.emplace(simt::EngineOptions{.threads = config.threads});
+    engine = &*private_engine;
+  }
 
   // ---------------- stage 1: Smith-Waterman -------------------------------
   {
@@ -84,7 +95,7 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
     kernels::SwRunOptions options;
     options.collect_outputs = true;
     options.overlap_transfers = config.overlap_transfers;
-    options.engine = &engine;
+    options.engine = engine;
 
     report.sw_alignments.resize(tasks.size());
     for (const auto& batch_indices : batches) {
@@ -143,7 +154,7 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
     options.collect_outputs = true;
     options.overlap_transfers = config.overlap_transfers;
     options.double_fallback = config.double_fallback;
-    options.engine = &engine;
+    options.engine = engine;
 
     report.ph_log10.resize(tasks.size());
     for (const auto& batch_indices : batches) {

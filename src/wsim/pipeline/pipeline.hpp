@@ -25,9 +25,12 @@ struct PipelineConfig {
   /// 0 keeps the per-region batching of the paper's Fig. 9; a positive
   /// value re-batches tasks across regions (Fig. 10).
   std::size_t rebatch_size = 0;
-  /// Simulation worker threads for block execution: the pipeline builds
-  /// one simt::ExecutionEngine shared by both stages. <= 0 means one per
-  /// hardware thread. Results are identical at any thread count.
+  /// Simulation worker threads for block execution. <= 0 (the default)
+  /// routes both stages through the process-wide simt::shared_engine() —
+  /// one worker pool and one cost cache shared with the serving layer and
+  /// the CLI (thread count from WSIM_THREADS when set, else one per
+  /// hardware thread). A positive value builds a private engine with that
+  /// many workers for this run. Results are identical at any thread count.
   int threads = 0;
   bool overlap_transfers = false;
   bool lpt_order = false;

@@ -1,0 +1,38 @@
+#include "wsim/serve/batch_former.hpp"
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::serve {
+
+namespace {
+
+/// EWMA weight of the newest observation. Heavy enough to track a
+/// workload shift within a few batches, light enough that one outlier
+/// batch does not whipsaw the deadline policy.
+constexpr double kAlpha = 0.3;
+
+}  // namespace
+
+ServiceTimeEstimator::ServiceTimeEstimator(double initial_seconds_per_cell,
+                                           double fixed_seconds)
+    : seconds_per_cell_(initial_seconds_per_cell), fixed_seconds_(fixed_seconds) {
+  util::require(initial_seconds_per_cell > 0.0,
+                "ServiceTimeEstimator: initial_seconds_per_cell must be > 0");
+  util::require(fixed_seconds >= 0.0,
+                "ServiceTimeEstimator: fixed_seconds must be >= 0");
+}
+
+double ServiceTimeEstimator::estimate(std::size_t cells) const noexcept {
+  return fixed_seconds_ + seconds_per_cell_ * static_cast<double>(cells);
+}
+
+void ServiceTimeEstimator::observe(std::size_t cells, double seconds) noexcept {
+  if (cells == 0) {
+    return;
+  }
+  const double variable = seconds > fixed_seconds_ ? seconds - fixed_seconds_ : 0.0;
+  const double observed = variable / static_cast<double>(cells);
+  seconds_per_cell_ = (1.0 - kAlpha) * seconds_per_cell_ + kAlpha * observed;
+}
+
+}  // namespace wsim::serve

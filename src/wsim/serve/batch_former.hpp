@@ -1,0 +1,75 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+
+#include "wsim/serve/queue.hpp"
+
+namespace wsim::serve {
+
+/// When the batch former flushes the queue into a launch. Three triggers,
+/// mirroring the trade-off of the paper's Fig. 10 re-batching experiment
+/// run online: a batch should grow until the device would be saturated
+/// (`target_batch_cells`), but no request may age in the queue beyond
+/// `max_batch_delay`, and a request whose deadline is at risk flushes
+/// immediately.
+struct BatchPolicy {
+  /// Flush as soon as this many DP cells are queued (the occupancy
+  /// target); also the cell capacity of one formed batch.
+  std::size_t target_batch_cells = 1u << 21;
+  /// Hard cap on tasks per batch (one task per block; grids larger than
+  /// this see no more occupancy).
+  std::size_t max_batch_tasks = 1024;
+  /// Longest a request may wait for its batch to fill, in simulated
+  /// seconds. Small values favor latency, large values throughput.
+  double max_batch_delay = 200e-6;
+  /// Safety margin subtracted from deadlines when deciding whether one is
+  /// at risk.
+  double deadline_slack = 20e-6;
+};
+
+/// Online estimate of a batch's simulated service time (kernel +
+/// transfers), modeled as fixed overhead + seconds/cell and updated from
+/// every completed batch (EWMA). Used only for deadline-at-risk policy
+/// decisions — never for the reported timings, which always come from the
+/// simulator itself.
+class ServiceTimeEstimator {
+ public:
+  explicit ServiceTimeEstimator(double initial_seconds_per_cell = 1e-9,
+                                double fixed_seconds = 20e-6);
+
+  double estimate(std::size_t cells) const noexcept;
+  void observe(std::size_t cells, double seconds) noexcept;
+  double seconds_per_cell() const noexcept { return seconds_per_cell_; }
+
+ private:
+  double seconds_per_cell_;
+  double fixed_seconds_;
+};
+
+/// Earliest simulated time at which the queue must flush: the oldest
+/// entry's delay expiry, tightened by any queued deadline minus the
+/// estimated service time of the batch it will ride and the policy slack.
+/// A time in the past means "overdue, flush now". Empty queue: nullopt.
+/// (The cell-target trigger is evaluated at submit time, not here.)
+template <typename Entry>
+std::optional<SimTime> next_flush_time(const AdmissionQueue<Entry>& queue,
+                                       const BatchPolicy& policy,
+                                       const ServiceTimeEstimator& estimator) {
+  const std::optional<SimTime> oldest = queue.oldest_submit_time();
+  if (!oldest.has_value()) {
+    return std::nullopt;
+  }
+  SimTime due = *oldest + policy.max_batch_delay;
+  const double batch_seconds =
+      estimator.estimate(std::min(queue.cells(), policy.target_batch_cells));
+  queue.for_each([&](const Entry& entry) {
+    if (entry.deadline.has_value()) {
+      due = std::min(due, *entry.deadline - batch_seconds - policy.deadline_slack);
+    }
+  });
+  return due;
+}
+
+}  // namespace wsim::serve

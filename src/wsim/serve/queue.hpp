@@ -1,0 +1,106 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "wsim/serve/request.hpp"
+
+namespace wsim::serve {
+
+/// Bounded admission-controlled queue: FIFO within each priority,
+/// drained highest-priority-first. Admission never blocks — a push that
+/// would exceed a bound is answered with a RejectReason immediately, which
+/// is the service's backpressure signal.
+///
+/// `Entry` must expose `priority` (Priority), `cells` (std::size_t),
+/// `submit_time` (SimTime), and `deadline` (std::optional<SimTime>).
+template <typename Entry>
+class AdmissionQueue {
+ public:
+  /// `max_tasks` bounds queued entries (>= 1); `max_cells` bounds queued
+  /// DP cells, 0 meaning unbounded. Cell bounds matter because one huge
+  /// task can cost as much as hundreds of small ones.
+  AdmissionQueue(std::size_t max_tasks, std::size_t max_cells)
+      : max_tasks_(max_tasks), max_cells_(max_cells) {
+    util::require(max_tasks_ >= 1, "AdmissionQueue: max_tasks must be >= 1");
+  }
+
+  /// Admits the entry or reports why not (the entry is dropped then).
+  RejectReason try_push(Entry entry) {
+    if (size_ + 1 > max_tasks_) {
+      return RejectReason::kQueueTasksFull;
+    }
+    if (max_cells_ != 0 && cells_ + entry.cells > max_cells_) {
+      return RejectReason::kQueueCellsFull;
+    }
+    cells_ += entry.cells;
+    ++size_;
+    lanes_[static_cast<std::size_t>(entry.priority)].push_back(std::move(entry));
+    return RejectReason::kNone;
+  }
+
+  bool empty() const noexcept { return size_ == 0; }
+  std::size_t size() const noexcept { return size_; }
+  std::size_t cells() const noexcept { return cells_; }
+  std::size_t max_tasks() const noexcept { return max_tasks_; }
+
+  /// Earliest submit time of any queued entry (each lane is FIFO, so the
+  /// lane heads are the candidates).
+  std::optional<SimTime> oldest_submit_time() const {
+    std::optional<SimTime> oldest;
+    for (const auto& lane : lanes_) {
+      if (!lane.empty() &&
+          (!oldest.has_value() || lane.front().submit_time < *oldest)) {
+        oldest = lane.front().submit_time;
+      }
+    }
+    return oldest;
+  }
+
+  /// Visits every queued entry (order unspecified); used for deadline
+  /// scans.
+  template <typename F>
+  void for_each(F&& f) const {
+    for (const auto& lane : lanes_) {
+      for (const Entry& entry : lane) {
+        f(entry);
+      }
+    }
+  }
+
+  /// Drains up to `max_tasks` entries, stopping before an entry that would
+  /// push the drained cell total past `cell_target` (at least one entry is
+  /// always taken). Highest priority first, FIFO within a priority — so a
+  /// capacity-limited batch is filled with the most urgent work.
+  std::vector<Entry> pop_batch(std::size_t max_tasks, std::size_t cell_target) {
+    std::vector<Entry> batch;
+    std::size_t batch_cells = 0;
+    for (std::size_t p = lanes_.size(); p-- > 0;) {
+      auto& lane = lanes_[p];
+      while (!lane.empty() && batch.size() < max_tasks) {
+        Entry& head = lane.front();
+        if (!batch.empty() && batch_cells + head.cells > cell_target) {
+          return batch;
+        }
+        batch_cells += head.cells;
+        cells_ -= head.cells;
+        --size_;
+        batch.push_back(std::move(head));
+        lane.pop_front();
+      }
+    }
+    return batch;
+  }
+
+ private:
+  std::size_t max_tasks_;
+  std::size_t max_cells_;
+  std::array<std::deque<Entry>, kPriorities> lanes_;
+  std::size_t size_ = 0;
+  std::size_t cells_ = 0;
+};
+
+}  // namespace wsim::serve

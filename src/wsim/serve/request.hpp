@@ -1,0 +1,147 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/task.hpp"
+
+namespace wsim::serve {
+
+/// Simulated time in seconds. The service keeps its own clock, advanced
+/// explicitly by the caller (`AlignmentService::advance_to`), so arrival
+/// processes, deadlines, and latency accounting are deterministic and
+/// independent of wall-clock speed — the same convention the simulator
+/// uses for kernel and transfer seconds.
+using SimTime = double;
+
+/// Scheduling class of a request. Within one batch-forming drain the
+/// queue is emptied in priority order (FIFO within a priority), so under
+/// load high-priority requests ride the earliest batch that forms.
+enum class Priority { kLow = 0, kNormal = 1, kHigh = 2 };
+
+inline constexpr int kPriorities = 3;
+
+/// Why a submission was refused admission. The queue is bounded and never
+/// blocks: a full queue answers immediately with one of these instead of
+/// stalling the submitter (explicit backpressure).
+enum class RejectReason {
+  kNone,           ///< admitted
+  kQueueTasksFull, ///< the per-kind task bound (max_queue_tasks) is reached
+  kQueueCellsFull, ///< the queued-cell bound (max_queue_cells) is reached
+  kStopped,        ///< the service is stopping; queued work still drains
+};
+
+constexpr std::string_view to_string(RejectReason reason) noexcept {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kQueueTasksFull: return "queue-tasks-full";
+    case RejectReason::kQueueCellsFull: return "queue-cells-full";
+    case RejectReason::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+/// Per-request latency decomposition, all in simulated seconds:
+/// submit → (queue wait) → batch formed → (device wait) → launch start →
+/// (kernel + transfers of its batch) → completion.
+struct RequestLatency {
+  SimTime submit_time = 0.0;      ///< entered the admission queue
+  SimTime batch_time = 0.0;       ///< left the queue (batch formed)
+  SimTime start_time = 0.0;       ///< batch reached the device
+  SimTime completion_time = 0.0;  ///< batch finished (incl. transfers)
+
+  double queue_seconds() const noexcept { return batch_time - submit_time; }
+  double device_wait_seconds() const noexcept { return start_time - batch_time; }
+  double service_seconds() const noexcept { return completion_time - start_time; }
+  double total_seconds() const noexcept { return completion_time - submit_time; }
+};
+
+struct SwResponse {
+  align::SwAlignment alignment;  ///< default-valued in timing-only mode
+  RequestLatency latency;
+  std::size_t batch_tasks = 0;  ///< size of the batch that carried it
+  bool deadline_met = true;     ///< true when no deadline was set
+};
+
+struct PairHmmResponse {
+  double log10 = 0.0;  ///< 0.0 in timing-only mode
+  RequestLatency latency;
+  std::size_t batch_tasks = 0;
+  bool deadline_met = true;
+};
+
+namespace detail {
+
+/// Shared state behind a Ticket: filled by the service when the simulated
+/// clock reaches the request's completion time.
+template <typename Response>
+struct ResponseSlot {
+  std::optional<Response> response;
+  std::function<void(const Response&)> callback;
+};
+
+}  // namespace detail
+
+/// Future-like handle to an admitted request. The slot is written during
+/// `advance_to`/`drain` on the advancing thread; a submitter polling from
+/// another thread must synchronize with the advancer externally.
+template <typename Response>
+class Ticket {
+ public:
+  Ticket() = default;
+  explicit Ticket(std::shared_ptr<detail::ResponseSlot<Response>> slot)
+      : slot_(std::move(slot)) {}
+
+  /// False for default-constructed tickets (e.g. of rejected submissions).
+  bool valid() const noexcept { return slot_ != nullptr; }
+
+  bool ready() const noexcept { return slot_ != nullptr && slot_->response.has_value(); }
+
+  const Response& get() const {
+    util::require(ready(), "Ticket::get: response not ready");
+    return *slot_->response;
+  }
+
+ private:
+  std::shared_ptr<detail::ResponseSlot<Response>> slot_;
+};
+
+/// One Smith-Waterman alignment request.
+struct SwRequest {
+  workload::SwTask task;
+  Priority priority = Priority::kNormal;
+  /// Absolute simulated deadline for completion; the batch former flushes
+  /// early when a deadline is at risk, and the response reports whether it
+  /// was met.
+  std::optional<SimTime> deadline;
+  /// Invoked on the advancing thread (outside the service lock) when the
+  /// response is delivered, after the ticket becomes ready.
+  std::function<void(const SwResponse&)> callback;
+};
+
+/// One PairHMM likelihood request.
+struct PairHmmRequest {
+  align::PairHmmTask task;
+  Priority priority = Priority::kNormal;
+  std::optional<SimTime> deadline;
+  std::function<void(const PairHmmResponse&)> callback;
+};
+
+/// Outcome of a submission: either an admitted ticket or a reject reason.
+template <typename Response>
+struct Submit {
+  Ticket<Response> ticket;  ///< valid iff admitted
+  RejectReason rejected = RejectReason::kNone;
+
+  bool admitted() const noexcept { return rejected == RejectReason::kNone; }
+};
+
+using SwSubmit = Submit<SwResponse>;
+using PairHmmSubmit = Submit<PairHmmResponse>;
+
+}  // namespace wsim::serve

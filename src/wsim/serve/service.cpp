@@ -1,0 +1,400 @@
+#include "wsim/serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "wsim/simt/engine.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/batching.hpp"
+
+namespace wsim::serve {
+
+namespace {
+
+constexpr SimTime kForever = std::numeric_limits<SimTime>::infinity();
+
+/// A response waiting for its batch's simulated completion time.
+template <typename Response>
+struct Delivery {
+  std::shared_ptr<detail::ResponseSlot<Response>> slot;
+  Response response;
+  bool had_deadline = false;
+  std::size_t cells = 0;
+};
+
+}  // namespace
+
+AlignmentService::AlignmentService(ServiceConfig config)
+    : config_(std::move(config)),
+      sw_runner_(config_.sw_design),
+      ph_runner_(config_.ph_design),
+      engine_(config_.engine != nullptr ? config_.engine
+                                        : &simt::shared_engine()),
+      sw_queue_(config_.max_queue_tasks, config_.max_queue_cells),
+      ph_queue_(config_.max_queue_tasks, config_.max_queue_cells) {
+  util::require(config_.policy.max_batch_tasks >= 1,
+                "AlignmentService: max_batch_tasks must be >= 1");
+  util::require(config_.policy.target_batch_cells >= 1,
+                "AlignmentService: target_batch_cells must be >= 1");
+  util::require(config_.policy.max_batch_delay >= 0.0,
+                "AlignmentService: max_batch_delay must be >= 0");
+  util::require(config_.length_granularity >= 1,
+                "AlignmentService: length_granularity must be >= 1");
+}
+
+SwSubmit AlignmentService::submit(SwRequest request) {
+  util::require(!request.task.query.empty() && !request.task.target.empty(),
+                "AlignmentService: SW request needs non-empty sequences");
+  SwSubmit result;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    ++totals_.rejected_stopped;
+    result.rejected = RejectReason::kStopped;
+    return result;
+  }
+  SwEntry entry;
+  entry.cells = request.task.cells();
+  entry.task = std::move(request.task);
+  entry.priority = request.priority;
+  entry.deadline = request.deadline;
+  entry.submit_time = clock_;
+  entry.slot = std::make_shared<detail::ResponseSlot<SwResponse>>();
+  entry.slot->callback = std::move(request.callback);
+  Ticket<SwResponse> ticket(entry.slot);
+  const RejectReason reason = sw_queue_.try_push(std::move(entry));
+  if (reason != RejectReason::kNone) {
+    reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
+                                            : ++totals_.rejected_cells_full;
+    result.rejected = reason;
+    return result;
+  }
+  if (totals_.submitted() == 0) {
+    totals_.first_submit_time = clock_;
+  }
+  ++totals_.sw_submitted;
+  result.ticket = std::move(ticket);
+  flush_while_over_target();
+  return result;
+}
+
+PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
+  const auto& task = request.task;
+  util::require(!task.read.empty() && !task.hap.empty(),
+                "AlignmentService: PairHMM request needs non-empty sequences");
+  util::require(task.read.size() <= static_cast<std::size_t>(kernels::kPhMaxReadLen),
+                "AlignmentService: PairHMM read exceeds kPhMaxReadLen");
+  util::require(task.base_quals.size() == task.read.size() &&
+                    task.ins_quals.size() == task.read.size() &&
+                    task.del_quals.size() == task.read.size(),
+                "AlignmentService: PairHMM quality tracks must match read length");
+  PairHmmSubmit result;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopped_) {
+    ++totals_.rejected_stopped;
+    result.rejected = RejectReason::kStopped;
+    return result;
+  }
+  PhEntry entry;
+  entry.cells = workload::cells(request.task);
+  entry.task = std::move(request.task);
+  entry.priority = request.priority;
+  entry.deadline = request.deadline;
+  entry.submit_time = clock_;
+  entry.slot = std::make_shared<detail::ResponseSlot<PairHmmResponse>>();
+  entry.slot->callback = std::move(request.callback);
+  Ticket<PairHmmResponse> ticket(entry.slot);
+  const RejectReason reason = ph_queue_.try_push(std::move(entry));
+  if (reason != RejectReason::kNone) {
+    reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
+                                            : ++totals_.rejected_cells_full;
+    result.rejected = reason;
+    return result;
+  }
+  if (totals_.submitted() == 0) {
+    totals_.first_submit_time = clock_;
+  }
+  ++totals_.ph_submitted;
+  result.ticket = std::move(ticket);
+  flush_while_over_target();
+  return result;
+}
+
+SimTime AlignmentService::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return clock_;
+}
+
+void AlignmentService::advance_to(SimTime t) {
+  Callbacks callbacks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_until(t, callbacks);
+    clock_ = std::max(clock_, t);
+  }
+  for (auto& callback : callbacks) {
+    callback();
+  }
+}
+
+SimTime AlignmentService::drain() {
+  Callbacks callbacks;
+  SimTime end = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    process_until(kForever, callbacks);
+    end = clock_;
+  }
+  for (auto& callback : callbacks) {
+    callback();
+  }
+  return end;
+}
+
+void AlignmentService::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stopped_ = true;
+}
+
+ServiceStats AlignmentService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats snapshot = totals_;
+  snapshot.queue_depth = sw_queue_.size() + ph_queue_.size();
+  snapshot.queued_cells = sw_queue_.cells() + ph_queue_.cells();
+  snapshot.in_flight_batches = in_flight_.size();
+  snapshot.latency = summarize_latency(latency_samples_);
+  snapshot.queue_wait = summarize_latency(queue_wait_samples_);
+  return snapshot;
+}
+
+/// Deterministic event loop: repeatedly picks the earliest due event —
+/// an in-flight completion, an SW flush, or a PH flush, in that order on
+/// ties — clamps overdue events to the current clock, and processes it,
+/// until nothing is due at or before `limit`.
+void AlignmentService::process_until(SimTime limit, Callbacks& callbacks) {
+  for (;;) {
+    int kind = -1;  // 0 deliver, 1 flush SW, 2 flush PH
+    SimTime when = kForever;
+    std::size_t flight_index = 0;
+    for (std::size_t i = 0; i < in_flight_.size(); ++i) {
+      const InFlight& flight = in_flight_[i];
+      if (kind != 0 || flight.completion_time < when ||
+          (flight.completion_time == when &&
+           flight.order < in_flight_[flight_index].order)) {
+        kind = 0;
+        when = flight.completion_time;
+        flight_index = i;
+      }
+    }
+    const auto consider = [&](std::optional<SimTime> due, int flush_kind) {
+      if (due.has_value() && std::max(*due, clock_) < std::max(when, clock_)) {
+        kind = flush_kind;
+        when = *due;
+      }
+    };
+    consider(next_flush_time(sw_queue_, config_.policy, estimator_), 1);
+    consider(next_flush_time(ph_queue_, config_.policy, estimator_), 2);
+    if (kind < 0) {
+      return;
+    }
+    const SimTime effective = std::max(when, clock_);
+    if (effective > limit) {
+      return;
+    }
+    clock_ = effective;
+    switch (kind) {
+      case 0: deliver_in_flight(flight_index, callbacks); break;
+      case 1: flush_sw(); break;
+      default: flush_ph(); break;
+    }
+  }
+}
+
+void AlignmentService::deliver_in_flight(std::size_t index, Callbacks& callbacks) {
+  auto ready = in_flight_[index].deliver();
+  callbacks.insert(callbacks.end(), std::make_move_iterator(ready.begin()),
+                   std::make_move_iterator(ready.end()));
+  in_flight_.erase(in_flight_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+/// The cell-target and task-cap triggers fire at submit time: a queue
+/// that already holds a full batch has nothing left to wait for.
+void AlignmentService::flush_while_over_target() {
+  while (sw_queue_.cells() >= config_.policy.target_batch_cells ||
+         sw_queue_.size() >= config_.policy.max_batch_tasks) {
+    flush_sw();
+  }
+  while (ph_queue_.cells() >= config_.policy.target_batch_cells ||
+         ph_queue_.size() >= config_.policy.max_batch_tasks) {
+    flush_ph();
+  }
+}
+
+void AlignmentService::flush_sw() {
+  auto entries =
+      sw_queue_.pop_batch(config_.policy.max_batch_tasks, config_.policy.target_batch_cells);
+  if (entries.empty()) {
+    return;
+  }
+  // gpuPairHMM-style grouping: similar-length tasks adjacent, so blocks
+  // scheduled together have similar cost.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [&](const SwEntry& x, const SwEntry& y) {
+                     return workload::length_bucket(x.task, config_.length_granularity) <
+                            workload::length_bucket(y.task, config_.length_granularity);
+                   });
+  workload::SwBatch batch;
+  batch.reserve(entries.size());
+  std::size_t batch_cells = 0;
+  for (const SwEntry& entry : entries) {
+    batch.push_back(entry.task);
+    batch_cells += entry.cells;
+  }
+
+  kernels::SwRunOptions options;
+  options.engine = engine_;
+  options.overlap_transfers = config_.overlap_transfers;
+  if (config_.collect_outputs) {
+    options.collect_outputs = true;
+  } else {
+    options.mode = simt::ExecMode::kCachedByShape;
+    options.use_engine_cache = true;
+  }
+  const auto result = sw_runner_.run_batch(config_.device, batch, options);
+
+  const double seconds = result.run.launch.total_seconds();
+  const SimTime formed = clock_;
+  const SimTime start = std::max(formed, device_free_at_);
+  const SimTime completion = start + seconds;
+  device_free_at_ = completion;
+  estimator_.observe(batch_cells, seconds);
+  totals_.batch_sizes.record(entries.size());
+  totals_.device_busy_seconds += seconds;
+
+  std::vector<Delivery<SwResponse>> deliveries;
+  deliveries.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Delivery<SwResponse> delivery;
+    if (config_.collect_outputs) {
+      delivery.response.alignment = result.outputs[i].alignment;
+    }
+    delivery.response.latency = {entries[i].submit_time, formed, start, completion};
+    delivery.response.batch_tasks = entries.size();
+    delivery.response.deadline_met =
+        !entries[i].deadline.has_value() || completion <= *entries[i].deadline;
+    delivery.had_deadline = entries[i].deadline.has_value();
+    delivery.cells = entries[i].cells;
+    delivery.slot = std::move(entries[i].slot);
+    deliveries.push_back(std::move(delivery));
+  }
+  InFlight flight;
+  flight.completion_time = completion;
+  flight.order = batch_order_++;
+  flight.deliver = [this, deliveries = std::move(deliveries)]() mutable {
+    Callbacks ready;
+    for (auto& delivery : deliveries) {
+      latency_samples_.push_back(delivery.response.latency.total_seconds());
+      queue_wait_samples_.push_back(delivery.response.latency.queue_seconds());
+      if (delivery.had_deadline) {
+        delivery.response.deadline_met ? ++totals_.deadlines_met
+                                       : ++totals_.deadlines_missed;
+      }
+      totals_.completed_cells += delivery.cells;
+      ++totals_.sw_completed;
+      totals_.last_completion_time = std::max(
+          totals_.last_completion_time, delivery.response.latency.completion_time);
+      auto slot = delivery.slot;
+      slot->response = std::move(delivery.response);
+      if (slot->callback) {
+        ready.push_back([slot]() { slot->callback(*slot->response); });
+      }
+    }
+    return ready;
+  };
+  in_flight_.push_back(std::move(flight));
+}
+
+void AlignmentService::flush_ph() {
+  auto entries =
+      ph_queue_.pop_batch(config_.policy.max_batch_tasks, config_.policy.target_batch_cells);
+  if (entries.empty()) {
+    return;
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [&](const PhEntry& x, const PhEntry& y) {
+                     return workload::length_bucket(x.task, config_.length_granularity) <
+                            workload::length_bucket(y.task, config_.length_granularity);
+                   });
+  workload::PhBatch batch;
+  batch.reserve(entries.size());
+  std::size_t batch_cells = 0;
+  for (const PhEntry& entry : entries) {
+    batch.push_back(entry.task);
+    batch_cells += entry.cells;
+  }
+
+  kernels::PhRunOptions options;
+  options.engine = engine_;
+  options.overlap_transfers = config_.overlap_transfers;
+  if (config_.collect_outputs) {
+    options.collect_outputs = true;
+    options.double_fallback = config_.double_fallback;
+  } else {
+    options.mode = simt::ExecMode::kCachedByShape;
+    options.use_engine_cache = true;
+  }
+  const auto result = ph_runner_.run_batch(config_.device, batch, options);
+
+  const double seconds = result.run.launch.total_seconds();
+  const SimTime formed = clock_;
+  const SimTime start = std::max(formed, device_free_at_);
+  const SimTime completion = start + seconds;
+  device_free_at_ = completion;
+  estimator_.observe(batch_cells, seconds);
+  totals_.batch_sizes.record(entries.size());
+  totals_.device_busy_seconds += seconds;
+
+  std::vector<Delivery<PairHmmResponse>> deliveries;
+  deliveries.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    Delivery<PairHmmResponse> delivery;
+    if (config_.collect_outputs) {
+      delivery.response.log10 = result.log10[i];
+    }
+    delivery.response.latency = {entries[i].submit_time, formed, start, completion};
+    delivery.response.batch_tasks = entries.size();
+    delivery.response.deadline_met =
+        !entries[i].deadline.has_value() || completion <= *entries[i].deadline;
+    delivery.had_deadline = entries[i].deadline.has_value();
+    delivery.cells = entries[i].cells;
+    delivery.slot = std::move(entries[i].slot);
+    deliveries.push_back(std::move(delivery));
+  }
+  InFlight flight;
+  flight.completion_time = completion;
+  flight.order = batch_order_++;
+  flight.deliver = [this, deliveries = std::move(deliveries)]() mutable {
+    Callbacks ready;
+    for (auto& delivery : deliveries) {
+      latency_samples_.push_back(delivery.response.latency.total_seconds());
+      queue_wait_samples_.push_back(delivery.response.latency.queue_seconds());
+      if (delivery.had_deadline) {
+        delivery.response.deadline_met ? ++totals_.deadlines_met
+                                       : ++totals_.deadlines_missed;
+      }
+      totals_.completed_cells += delivery.cells;
+      ++totals_.ph_completed;
+      totals_.last_completion_time = std::max(
+          totals_.last_completion_time, delivery.response.latency.completion_time);
+      auto slot = delivery.slot;
+      slot->response = std::move(delivery.response);
+      if (slot->callback) {
+        ready.push_back([slot]() { slot->callback(*slot->response); });
+      }
+    }
+    return ready;
+  };
+  in_flight_.push_back(std::move(flight));
+}
+
+}  // namespace wsim::serve

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/serve/batch_former.hpp"
+#include "wsim/serve/queue.hpp"
+#include "wsim/serve/request.hpp"
+#include "wsim/serve/stats.hpp"
+#include "wsim/simt/device.hpp"
+
+namespace wsim::serve {
+
+struct ServiceConfig {
+  simt::DeviceSpec device = simt::make_titan_x();
+  kernels::CommMode sw_design = kernels::CommMode::kShuffle;
+  kernels::PhDesign ph_design = kernels::PhDesign::kShuffle;
+
+  /// Flush triggers and batch capacity (see BatchPolicy).
+  BatchPolicy policy;
+
+  /// Admission bounds, per request kind (SW and PairHMM queue
+  /// independently since they launch different kernels).
+  std::size_t max_queue_tasks = 4096;
+  std::size_t max_queue_cells = 0;  ///< 0 = unbounded
+
+  /// Quantization of the gpuPairHMM-style length grouping applied to each
+  /// formed batch (workload::length_bucket).
+  std::size_t length_granularity = 32;
+
+  bool overlap_transfers = false;
+  /// GATK-style double-precision rescue of underflowed PairHMM tasks
+  /// (full-output mode only).
+  bool double_fallback = true;
+
+  /// Collect real per-task outputs (alignments / log10 likelihoods).
+  /// When false the service runs timing-only — shape-cached execution
+  /// through the engine's cost cache — so load experiments stay cheap;
+  /// responses then carry latencies but default payloads.
+  bool collect_outputs = true;
+
+  /// Engine that executes the launches; null means the process-wide
+  /// simt::shared_engine(), shared with the pipeline and the CLI.
+  simt::ExecutionEngine* engine = nullptr;
+};
+
+/// An asynchronous alignment service over the simulator: accepts
+/// SwRequest/PairHmmRequest submissions, queues them through a bounded
+/// admission queue (reject-with-reason when full, never block), forms
+/// batches dynamically — flush at the cell target, when the oldest
+/// request's batching delay expires, or when a deadline is at risk —
+/// groups each batch by similar task length, and executes it on the
+/// shared ExecutionEngine. This is the paper's Fig. 10 re-batching result
+/// operated online: many small submissions are merged into launches large
+/// enough to occupy the device.
+///
+/// Time model: the service owns a simulated clock. Submissions are
+/// stamped with the current clock; `advance_to(t)` processes every flush
+/// and delivery due up to `t` in deterministic event order. Batches
+/// execute on a single simulated device timeline (a batch starts when the
+/// device frees up), and responses become ready when the clock reaches
+/// their batch's completion time. Results are bit-identical to running
+/// the same tasks directly through the runners — batching moves time, not
+/// values.
+///
+/// Thread safety: all public methods lock the service; callbacks run on
+/// the advancing thread after the lock is released. Ticket state is
+/// written while advancing, so polling a ticket from another thread needs
+/// external synchronization with the advancer.
+class AlignmentService {
+ public:
+  explicit AlignmentService(ServiceConfig config = {});
+
+  AlignmentService(const AlignmentService&) = delete;
+  AlignmentService& operator=(const AlignmentService&) = delete;
+
+  const ServiceConfig& config() const noexcept { return config_; }
+
+  /// Admit a request at the current simulated time, or reject with a
+  /// backpressure reason. Never blocks.
+  SwSubmit submit(SwRequest request);
+  PairHmmSubmit submit(PairHmmRequest request);
+
+  /// Current simulated time.
+  SimTime now() const;
+
+  /// Advances the clock to `t`, forming/executing every batch that comes
+  /// due and delivering every response that completes on the way. Moving
+  /// backwards is a no-op.
+  void advance_to(SimTime t);
+
+  /// Runs the clock forward until all queued and in-flight work is
+  /// delivered; returns the final simulated time.
+  SimTime drain();
+
+  /// Stops admission: subsequent submissions are rejected with kStopped.
+  /// Already-admitted work still drains.
+  void stop();
+
+  ServiceStats stats() const;
+
+ private:
+  template <typename Task, typename Response>
+  struct Entry {
+    Task task;
+    Priority priority = Priority::kNormal;
+    std::optional<SimTime> deadline;
+    SimTime submit_time = 0.0;
+    std::size_t cells = 0;
+    std::shared_ptr<detail::ResponseSlot<Response>> slot;
+  };
+  using SwEntry = Entry<workload::SwTask, SwResponse>;
+  using PhEntry = Entry<align::PairHmmTask, PairHmmResponse>;
+
+  /// A batch that was formed and executed but whose simulated completion
+  /// time has not been reached yet. `deliver` writes the responses into
+  /// their slots, updates stats, and returns the user callbacks to invoke
+  /// once the service lock is dropped.
+  struct InFlight {
+    SimTime completion_time = 0.0;
+    std::uint64_t order = 0;  ///< formation order, for deterministic ties
+    std::function<std::vector<std::function<void()>>()> deliver;
+  };
+
+  using Callbacks = std::vector<std::function<void()>>;
+
+  void process_until(SimTime limit, Callbacks& callbacks);
+  void flush_sw();
+  void flush_ph();
+  void flush_while_over_target();
+  void deliver_in_flight(std::size_t index, Callbacks& callbacks);
+
+  ServiceConfig config_;
+  kernels::SwRunner sw_runner_;
+  kernels::PhRunner ph_runner_;
+  simt::ExecutionEngine* engine_;  ///< non-null after construction
+
+  mutable std::mutex mu_;
+  SimTime clock_ = 0.0;
+  SimTime device_free_at_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t batch_order_ = 0;
+
+  AdmissionQueue<SwEntry> sw_queue_;
+  AdmissionQueue<PhEntry> ph_queue_;
+  ServiceTimeEstimator estimator_;
+  std::vector<InFlight> in_flight_;
+
+  ServiceStats totals_;  ///< counters only; queue depths filled by stats()
+  std::vector<double> latency_samples_;
+  std::vector<double> queue_wait_samples_;
+};
+
+}  // namespace wsim::serve

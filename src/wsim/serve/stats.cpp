@@ -1,0 +1,82 @@
+#include "wsim/serve/stats.hpp"
+
+#include <algorithm>
+
+#include "wsim/util/stats.hpp"
+
+namespace wsim::serve {
+
+LatencySummary summarize_latency(std::vector<double> seconds) {
+  LatencySummary summary;
+  if (seconds.empty()) {
+    return summary;
+  }
+  const auto base = util::summarize(seconds);
+  summary.count = base.count;
+  summary.mean = base.mean;
+  summary.max = base.max;
+  summary.p50 = util::percentile(seconds, 50.0);
+  summary.p95 = util::percentile(seconds, 95.0);
+  summary.p99 = util::percentile(seconds, 99.0);
+  return summary;
+}
+
+void BatchSizeHistogram::record(std::size_t batch_size) {
+  if (batch_size == 0) {
+    return;
+  }
+  std::size_t bucket = 0;
+  for (std::size_t s = batch_size; s > 1; s >>= 1U) {
+    ++bucket;
+  }
+  if (buckets.size() <= bucket) {
+    buckets.resize(bucket + 1, 0);
+  }
+  ++buckets[bucket];
+  ++batches;
+  tasks += batch_size;
+}
+
+double BatchSizeHistogram::mean_size() const noexcept {
+  return batches > 0 ? static_cast<double>(tasks) / static_cast<double>(batches)
+                     : 0.0;
+}
+
+std::string BatchSizeHistogram::format() const {
+  std::string out;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) {
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += '[' + std::to_string(std::size_t{1} << i) + ',' +
+           std::to_string(std::size_t{1} << (i + 1)) + "):" +
+           std::to_string(buckets[i]);
+  }
+  return out;
+}
+
+double ServiceStats::duration_seconds() const noexcept {
+  return std::max(0.0, last_completion_time - first_submit_time);
+}
+
+double ServiceStats::throughput_tasks_per_second() const noexcept {
+  const double duration = duration_seconds();
+  return duration > 0.0 ? static_cast<double>(completed()) / duration : 0.0;
+}
+
+double ServiceStats::gcups() const noexcept {
+  const double duration = duration_seconds();
+  return duration > 0.0
+             ? static_cast<double>(completed_cells) / duration / 1e9
+             : 0.0;
+}
+
+double ServiceStats::device_utilization() const noexcept {
+  const double duration = duration_seconds();
+  return duration > 0.0 ? device_busy_seconds / duration : 0.0;
+}
+
+}  // namespace wsim::serve

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace wsim::serve {
+
+/// Order statistics over a latency sample, in seconds.
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summarizes a sample (takes a copy because percentile computation
+/// sorts). Empty input yields a zero summary.
+LatencySummary summarize_latency(std::vector<double> seconds);
+
+/// Power-of-two histogram of formed batch sizes: bucket i counts batches
+/// of [2^i, 2^(i+1)) tasks. The direct online readout of the Fig. 10
+/// trade-off: longer batching delays shift mass toward higher buckets.
+struct BatchSizeHistogram {
+  std::vector<std::size_t> buckets;
+  std::size_t batches = 0;
+  std::size_t tasks = 0;
+
+  void record(std::size_t batch_size);
+  double mean_size() const noexcept;
+  /// e.g. "[1,2):3 [4,8):12" — empty buckets omitted.
+  std::string format() const;
+};
+
+/// Snapshot of service health taken by AlignmentService::stats().
+/// Counters cover the whole service lifetime; queue depths are as of the
+/// snapshot; latency summaries cover delivered responses.
+struct ServiceStats {
+  // Admission.
+  std::size_t sw_submitted = 0;
+  std::size_t ph_submitted = 0;
+  std::size_t rejected_tasks_full = 0;
+  std::size_t rejected_cells_full = 0;
+  std::size_t rejected_stopped = 0;
+
+  // Progress.
+  std::size_t sw_completed = 0;
+  std::size_t ph_completed = 0;
+  std::size_t queue_depth = 0;   ///< tasks waiting (both kinds)
+  std::size_t queued_cells = 0;
+  std::size_t in_flight_batches = 0;
+
+  // Batch forming.
+  BatchSizeHistogram batch_sizes;
+
+  // Deadlines (requests that carried one).
+  std::size_t deadlines_met = 0;
+  std::size_t deadlines_missed = 0;
+
+  // Simulated-time span and work of delivered responses.
+  double first_submit_time = 0.0;
+  double last_completion_time = 0.0;
+  std::size_t completed_cells = 0;
+  double device_busy_seconds = 0.0;
+
+  LatencySummary latency;     ///< total submit→completion seconds
+  LatencySummary queue_wait;  ///< submit→batch-formed seconds
+
+  std::size_t submitted() const noexcept { return sw_submitted + ph_submitted; }
+  std::size_t completed() const noexcept { return sw_completed + ph_completed; }
+  std::size_t rejected() const noexcept {
+    return rejected_tasks_full + rejected_cells_full + rejected_stopped;
+  }
+
+  /// Simulated seconds from first admission to last delivery.
+  double duration_seconds() const noexcept;
+  double throughput_tasks_per_second() const noexcept;
+  double gcups() const noexcept;
+  /// Fraction of the duration the simulated device was executing batches.
+  double device_utilization() const noexcept;
+};
+
+}  // namespace wsim::serve

@@ -1,6 +1,7 @@
 #include "wsim/workload/batching.hpp"
 
 #include <algorithm>
+#include <map>
 
 #include "wsim/util/check.hpp"
 
@@ -68,6 +69,9 @@ std::vector<PhBatch> ph_rebatch(const Dataset& dataset, std::size_t batch_size) 
   return chunk(ph_all_tasks(dataset), batch_size);
 }
 
+// Both biggest-batch functions break ties first-wins (std::max_element
+// keeps the earliest maximum), so callers see a stable choice no matter
+// how many regions share the top task count.
 SwBatch sw_biggest_batch(const Dataset& dataset) {
   const auto batches = sw_region_batches(dataset);
   util::require(!batches.empty(), "sw_biggest_batch: dataset has no SW tasks");
@@ -84,6 +88,57 @@ PhBatch ph_biggest_batch(const Dataset& dataset) {
                            [](const PhBatch& x, const PhBatch& y) {
                              return x.size() < y.size();
                            });
+}
+
+namespace {
+
+template <typename Task, typename Bucket>
+std::vector<std::vector<Task>> group_by_bucket(const std::vector<Task>& tasks,
+                                               std::size_t max_batch,
+                                               Bucket bucket_of) {
+  util::require(max_batch >= 1, "length_grouped: max_batch must be at least 1");
+  // Stable bucket sort: ascending bucket, original order within a bucket.
+  std::map<std::size_t, std::vector<Task>> groups;
+  for (const Task& task : tasks) {
+    groups[bucket_of(task)].push_back(task);
+  }
+  std::vector<std::vector<Task>> batches;
+  for (auto& [bucket, group] : groups) {
+    (void)bucket;
+    for (auto& piece : chunk(std::move(group), max_batch)) {
+      batches.push_back(std::move(piece));
+    }
+  }
+  return batches;
+}
+
+}  // namespace
+
+std::size_t length_bucket(const SwTask& task, std::size_t granularity) {
+  util::require(granularity >= 1, "length_bucket: granularity must be at least 1");
+  return task.query.size() / granularity;
+}
+
+std::size_t length_bucket(const align::PairHmmTask& task, std::size_t granularity) {
+  util::require(granularity >= 1, "length_bucket: granularity must be at least 1");
+  return task.read.size() / granularity;
+}
+
+std::vector<SwBatch> sw_length_grouped(const SwBatch& tasks,
+                                       std::size_t granularity,
+                                       std::size_t max_batch) {
+  return group_by_bucket(tasks, max_batch, [granularity](const SwTask& task) {
+    return length_bucket(task, granularity);
+  });
+}
+
+std::vector<PhBatch> ph_length_grouped(const PhBatch& tasks,
+                                       std::size_t granularity,
+                                       std::size_t max_batch) {
+  return group_by_bucket(tasks, max_batch,
+                         [granularity](const align::PairHmmTask& task) {
+                           return length_bucket(task, granularity);
+                         });
 }
 
 std::size_t batch_cells(const SwBatch& batch) noexcept {

@@ -29,9 +29,32 @@ SwBatch sw_all_tasks(const Dataset& dataset);
 PhBatch ph_all_tasks(const Dataset& dataset);
 
 /// The batch with the most tasks (the paper's Table II setup uses the
-/// biggest original batch so the GPU is fully occupied).
+/// biggest original batch so the GPU is fully occupied). Ties are broken
+/// first-wins: the batch of the earliest region with the maximal task
+/// count is returned. Throws util::CheckError when the dataset has no
+/// tasks of the requested kind.
 SwBatch sw_biggest_batch(const Dataset& dataset);
 PhBatch ph_biggest_batch(const Dataset& dataset);
+
+/// Quantized primary-length bucket of a task — the dimension that picks
+/// the kernel cost shape (SW: query rows, i.e. bands; PairHMM: read rows,
+/// i.e. the length-specialized variant). gpuPairHMM groups incoming pairs
+/// by this key so blocks launched together stay cost-convergent; the
+/// serving layer sorts each dynamic batch by it. Requires granularity >= 1.
+std::size_t length_bucket(const SwTask& task, std::size_t granularity);
+std::size_t length_bucket(const align::PairHmmTask& task, std::size_t granularity);
+
+/// Length-bucketed batch forming (the gpuPairHMM grouping as a batching
+/// strategy): tasks are grouped by ascending length_bucket — original
+/// order preserved within a bucket — and each group is chunked into
+/// batches of at most `max_batch` tasks. Requires granularity >= 1 and
+/// max_batch >= 1.
+std::vector<SwBatch> sw_length_grouped(const SwBatch& tasks,
+                                       std::size_t granularity,
+                                       std::size_t max_batch);
+std::vector<PhBatch> ph_length_grouped(const PhBatch& tasks,
+                                       std::size_t granularity,
+                                       std::size_t max_batch);
 
 /// Total DP cells in a batch (the CUPS numerator).
 std::size_t batch_cells(const SwBatch& batch) noexcept;

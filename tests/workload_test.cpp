@@ -132,6 +132,78 @@ TEST(Batching, BiggestBatchIsMaximal) {
   }
 }
 
+TEST(Batching, BiggestBatchThrowsOnEmptyDataset) {
+  // No regions at all.
+  EXPECT_THROW(wsim::workload::sw_biggest_batch({}), wsim::util::CheckError);
+  EXPECT_THROW(wsim::workload::ph_biggest_batch({}), wsim::util::CheckError);
+  // Regions that exist but carry no tasks are just as empty.
+  Dataset hollow;
+  hollow.regions.resize(3);
+  EXPECT_THROW(wsim::workload::sw_biggest_batch(hollow), wsim::util::CheckError);
+  EXPECT_THROW(wsim::workload::ph_biggest_batch(hollow), wsim::util::CheckError);
+}
+
+TEST(Batching, BiggestBatchTieBreaksFirstWins) {
+  // Two regions with the same task count but distinguishable contents: the
+  // contract (pinned in batching.cpp) is that the earliest maximum wins.
+  Dataset ds;
+  ds.regions.resize(2);
+  ds.regions[0].sw_tasks = {{"AAAA", "AAAATTTT"}, {"CCCC", "CCCCGGGG"}};
+  ds.regions[1].sw_tasks = {{"GGGG", "GGGGTTTT"}, {"TTTT", "TTTTAAAA"}};
+  const auto sw = wsim::workload::sw_biggest_batch(ds);
+  ASSERT_EQ(sw.size(), 2U);
+  EXPECT_EQ(sw[0].query, "AAAA");
+
+  const auto make_ph = [](const std::string& read, const std::string& hap) {
+    wsim::align::PairHmmTask task;
+    task.read = read;
+    task.hap = hap;
+    task.base_quals.assign(read.size(), 30);
+    task.ins_quals.assign(read.size(), 45);
+    task.del_quals.assign(read.size(), 45);
+    return task;
+  };
+  ds.regions[0].ph_tasks = {make_ph("ACGT", "ACGTACGT")};
+  ds.regions[1].ph_tasks = {make_ph("TGCA", "TGCATGCA")};
+  const auto ph = wsim::workload::ph_biggest_batch(ds);
+  ASSERT_EQ(ph.size(), 1U);
+  EXPECT_EQ(ph[0].read, "ACGT");
+}
+
+TEST(Batching, LengthGroupingBucketsAscendingAndStable) {
+  const Dataset ds = wsim::workload::generate_dataset(small_config());
+  const auto all = wsim::workload::sw_all_tasks(ds);
+  const std::size_t granularity = 16;
+  const auto batches = wsim::workload::sw_length_grouped(all, granularity, 100000);
+  // Every task survives, batches are bucket-homogeneous, buckets ascend.
+  std::size_t total = 0;
+  std::size_t last_bucket = 0;
+  for (const auto& batch : batches) {
+    ASSERT_FALSE(batch.empty());
+    const auto bucket = wsim::workload::length_bucket(batch.front(), granularity);
+    for (const auto& task : batch) {
+      EXPECT_EQ(wsim::workload::length_bucket(task, granularity), bucket);
+    }
+    EXPECT_GE(bucket, last_bucket);
+    last_bucket = bucket;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, all.size());
+  // max_batch caps every group; granularity must be positive.
+  for (const auto& batch : wsim::workload::sw_length_grouped(all, granularity, 3)) {
+    EXPECT_LE(batch.size(), 3U);
+  }
+  EXPECT_THROW(wsim::workload::sw_length_grouped(all, 0, 8),
+               wsim::util::CheckError);
+  const auto ph_all = wsim::workload::ph_all_tasks(ds);
+  std::size_t ph_total = 0;
+  for (const auto& batch : wsim::workload::ph_length_grouped(ph_all, 8, 64)) {
+    EXPECT_LE(batch.size(), 64U);
+    ph_total += batch.size();
+  }
+  EXPECT_EQ(ph_total, ph_all.size());
+}
+
 TEST(Batching, CellCountsAreConsistent) {
   const Dataset ds = wsim::workload::generate_dataset(small_config());
   const DatasetStats stats = wsim::workload::compute_stats(ds);

@@ -7,14 +7,21 @@
 //   wsim pairhmm  READ HAP [opts]        PairHMM log10 likelihood
 //   wsim workload [--regions N --seed S] dataset statistics
 //   wsim sweep    [opts]                 GCUPS of all four kernels
+//   wsim pipeline [opts]                 two-stage HaplotypeCaller pipeline
+//   wsim serve-sim [--rate R --delay U]  replay a dataset through the
+//                                        async alignment service
+//   wsim help | --help | -h              print usage and exit 0
 //
 // Common options: --device "K40"|"K1200"|"Titan X" (default K1200),
 // --mode shared|shuffle (default shuffle), --seed N, --regions N,
-// --batch N, --qual N.
+// --batch N, --qual N, --threads N (or the WSIM_THREADS environment
+// variable for commands using the shared engine).
 
+#include <cmath>
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -23,7 +30,9 @@
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/micro/microbench.hpp"
 #include "wsim/pipeline/pipeline.hpp"
+#include "wsim/serve/service.hpp"
 #include "wsim/simt/engine.hpp"
+#include "wsim/util/rng.hpp"
 #include "wsim/simt/profile.hpp"
 #include "wsim/simt/trace.hpp"
 #include <fstream>
@@ -341,8 +350,131 @@ int cmd_pipeline(const Args& args) {
   return report.mismatches == 0 ? 0 : 1;
 }
 
-int usage() {
-  std::cerr <<
+int cmd_serve_sim(const Args& args) {
+  namespace serve = wsim::serve;
+  wsim::workload::Dataset ds;
+  const std::string in = args.get("in", "");
+  if (!in.empty()) {
+    ds = wsim::workload::load_dataset(in);
+  } else {
+    wsim::workload::GeneratorConfig cfg;
+    cfg.regions = static_cast<int>(args.get_int("regions", 8));
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    ds = wsim::workload::generate_dataset(cfg);
+  }
+
+  const double rate = std::stod(args.get("rate", "50000"));
+  wsim::util::require(rate > 0.0, "serve-sim: --rate must be > 0");
+  const double delay_us = std::stod(args.get("delay", "200"));
+  const double deadline_us = std::stod(args.get("deadline", "0"));
+
+  serve::ServiceConfig cfg;
+  cfg.device = device_from(args);
+  if (mode_from(args) == CommMode::kSharedMemory) {
+    cfg.sw_design = CommMode::kSharedMemory;
+    cfg.ph_design = wsim::kernels::PhDesign::kShared;
+  }
+  cfg.policy.max_batch_delay = delay_us * 1e-6;
+  cfg.policy.target_batch_cells =
+      static_cast<std::size_t>(args.get_int(
+          "target-cells", static_cast<long>(cfg.policy.target_batch_cells)));
+  cfg.policy.max_batch_tasks = static_cast<std::size_t>(
+      args.get_int("max-batch", static_cast<long>(cfg.policy.max_batch_tasks)));
+  cfg.max_queue_tasks =
+      static_cast<std::size_t>(args.get_int("queue", 4096));
+  // Timing-only by default: the load experiment needs latencies, not
+  // alignments, and shape-cached execution keeps large replays fast.
+  cfg.collect_outputs = args.options.count("outputs") != 0;
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+  cfg.engine = &engine;
+  serve::AlignmentService service(std::move(cfg));
+
+  // Open-loop Poisson arrivals: flatten both task kinds, shuffle so SW and
+  // PairHMM interleave, then submit with exponential interarrival gaps at
+  // the requested rate — the clock advances to each arrival first, so
+  // flushes and deliveries happen exactly when the simulated time says.
+  struct Arrival {
+    bool is_sw = false;
+    std::size_t index = 0;
+  };
+  const auto sw_tasks = wsim::workload::sw_all_tasks(ds);
+  const auto ph_tasks = wsim::workload::ph_all_tasks(ds);
+  std::vector<Arrival> arrivals;
+  arrivals.reserve(sw_tasks.size() + ph_tasks.size());
+  for (std::size_t i = 0; i < sw_tasks.size(); ++i) {
+    arrivals.push_back({true, i});
+  }
+  for (std::size_t i = 0; i < ph_tasks.size(); ++i) {
+    arrivals.push_back({false, i});
+  }
+  wsim::util::require(!arrivals.empty(), "serve-sim: dataset has no tasks");
+  wsim::util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) ^
+                      0x5e27e5e27e5e27e5ULL);
+  rng.shuffle(arrivals);
+
+  std::size_t rejected = 0;
+  double t = 0.0;
+  for (const Arrival& arrival : arrivals) {
+    t += -std::log(1.0 - rng.uniform01()) / rate;
+    service.advance_to(t);
+    const auto deadline =
+        deadline_us > 0.0 ? std::optional<double>(t + deadline_us * 1e-6)
+                          : std::nullopt;
+    bool admitted = false;
+    if (arrival.is_sw) {
+      serve::SwRequest request;
+      request.task = sw_tasks[arrival.index];
+      request.deadline = deadline;
+      admitted = service.submit(std::move(request)).admitted();
+    } else {
+      serve::PairHmmRequest request;
+      request.task = ph_tasks[arrival.index];
+      request.deadline = deadline;
+      admitted = service.submit(std::move(request)).admitted();
+    }
+    if (!admitted) {
+      ++rejected;
+    }
+  }
+  const double end = service.drain();
+  const auto stats = service.stats();
+
+  std::cout << "Device: " << service.config().device.name << ", rate "
+            << format_fixed(rate, 0) << " req/s, batching delay "
+            << format_fixed(delay_us, 0) << " us"
+            << (deadline_us > 0.0
+                    ? ", deadline " + format_fixed(deadline_us, 0) + " us"
+                    : std::string())
+            << "\n";
+  wsim::util::Table table({"metric", "value"});
+  table.add_row({"submitted", std::to_string(stats.submitted())});
+  table.add_row({"completed", std::to_string(stats.completed())});
+  table.add_row({"rejected (backpressure)", std::to_string(rejected)});
+  table.add_row({"batches", std::to_string(stats.batch_sizes.batches)});
+  table.add_row({"mean batch size", format_fixed(stats.batch_sizes.mean_size(), 2)});
+  table.add_row({"batch-size histogram", stats.batch_sizes.format()});
+  table.add_row({"latency p50", format_fixed(stats.latency.p50 * 1e3, 3) + " ms"});
+  table.add_row({"latency p95", format_fixed(stats.latency.p95 * 1e3, 3) + " ms"});
+  table.add_row({"latency p99", format_fixed(stats.latency.p99 * 1e3, 3) + " ms"});
+  table.add_row({"latency mean", format_fixed(stats.latency.mean * 1e3, 3) + " ms"});
+  table.add_row({"queue wait mean",
+                 format_fixed(stats.queue_wait.mean * 1e3, 3) + " ms"});
+  table.add_row({"throughput",
+                 format_fixed(stats.throughput_tasks_per_second(), 0) + " tasks/s"});
+  table.add_row({"GCUPS", format_fixed(stats.gcups(), 2)});
+  table.add_row({"device utilization",
+                 format_percent(stats.device_utilization())});
+  if (deadline_us > 0.0) {
+    table.add_row({"deadlines met", std::to_string(stats.deadlines_met) + " / " +
+                   std::to_string(stats.deadlines_met + stats.deadlines_missed)});
+  }
+  table.add_row({"simulated end time", format_fixed(end * 1e3, 3) + " ms"});
+  table.print(std::cout);
+  return 0;
+}
+
+void print_usage(std::ostream& os) {
+  os <<
       "usage: wsim <command> [options]\n"
       "commands:\n"
       "  devices                      list simulated GPUs\n"
@@ -354,11 +486,23 @@ int usage() {
       "  sweep    [--batch N] [--in F]    GCUPS of SW1/SW2/PH1/PH2\n"
       "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
       "           run the two-stage HaplotypeCaller pipeline\n"
+      "  serve-sim [--in F] [--rate R] [--delay US] [--deadline US] [--queue N]\n"
+      "            [--target-cells C] [--max-batch N] [--outputs '']\n"
+      "           replay a dataset as an open-loop arrival process (R requests\n"
+      "           per simulated second) through the async alignment service\n"
+      "  help | --help | -h           print this usage and exit 0\n"
       "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
       "                --seed N, --regions N\n"
       "                --threads N  simulation worker threads for block execution\n"
       "                             (default: one per hardware thread; results\n"
-      "                              are identical at any thread count)\n";
+      "                              are identical at any thread count)\n"
+      "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
+      "                             engine, used whenever --threads is absent or\n"
+      "                             <= 0 (pipeline, benches, library default)\n";
+}
+
+int usage_error() {
+  print_usage(std::cerr);
   return 2;
 }
 
@@ -366,9 +510,13 @@ int usage() {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    return usage();
+    return usage_error();
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    print_usage(std::cout);
+    return 0;
+  }
   const Args args = parse(argc, argv);
   try {
     if (command == "devices") {
@@ -395,8 +543,11 @@ int main(int argc, char** argv) {
     if (command == "pipeline") {
       return cmd_pipeline(args);
     }
+    if (command == "serve-sim") {
+      return cmd_serve_sim(args);
+    }
     std::cerr << "unknown command '" << command << "'\n";
-    return usage();
+    return usage_error();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
