@@ -1,0 +1,263 @@
+// Fleet scaling and placement-policy comparison: dispatches the formed
+// batches of a length-skewed dataset through wsim::fleet::FleetExecutor,
+// sweeping fleet composition x placement policy, and records makespan,
+// effective GCUPS, and per-device utilization skew. The headline result:
+// on a heterogeneous K40 + K1200 + Titan X fleet the model-guided policy
+// (predicted finish time from the paper's Eq. 7/8 performance model, per
+// device and per kernel variant) beats round-robin, which leaves the slow
+// devices busy long after the fast ones drained.
+//
+// A final fault-injection point re-runs the heterogeneous fleet under a
+// deterministic FaultPlan (transient launch failures + slowdowns) and
+// records retry/requeue accounting — same work completes, time moves.
+//
+// Besides the ASCII table (and the WSIM_CSV_DIR mirror), the sweep is
+// written to BENCH_fleet.json in the working directory. `--smoke` shrinks
+// the dataset and fleet list for CI.
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "wsim/fleet/fleet.hpp"
+#include "wsim/util/table.hpp"
+#include "wsim/workload/batching.hpp"
+
+namespace {
+
+namespace fleet = wsim::fleet;
+using wsim::util::format_fixed;
+
+struct FleetSpec {
+  std::string label;
+  std::vector<wsim::simt::DeviceSpec> devices;
+};
+
+struct SweepPoint {
+  std::string fleet;
+  std::string policy;
+  std::size_t devices = 0;
+  std::size_t batches = 0;
+  std::size_t cells = 0;
+  double makespan_s = 0.0;
+  double gcups = 0.0;  ///< cells / makespan
+  double busy_skew = 0.0;
+  std::size_t retries = 0;
+  std::size_t requeues = 0;
+  std::vector<std::pair<std::string, double>> utilization;  ///< name, fraction
+};
+
+std::string json_number(double value) {
+  // JSON has no NaN/Inf; the sweep never produces them, but guard anyway.
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+void write_json(const std::string& path, const std::vector<SweepPoint>& points) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  out << "{\n  \"bench\": \"fleet_scaling\",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"fleet\": \"" << p.fleet << "\", \"policy\": \"" << p.policy
+        << "\", \"devices\": " << p.devices
+        << ", \"batches\": " << p.batches << ", \"cells\": " << p.cells
+        << ", \"makespan_s\": " << json_number(p.makespan_s)
+        << ", \"gcups\": " << json_number(p.gcups)
+        << ", \"busy_skew\": " << json_number(p.busy_skew)
+        << ", \"retries\": " << p.retries << ", \"requeues\": " << p.requeues
+        << ", \"utilization\": [";
+    for (std::size_t d = 0; d < p.utilization.size(); ++d) {
+      out << "{\"device\": \"" << p.utilization[d].first
+          << "\", \"fraction\": " << json_number(p.utilization[d].second) << "}"
+          << (d + 1 < p.utilization.size() ? ", " : "");
+    }
+    out << "]}" << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "(json written to " << path << ")\n";
+}
+
+/// Runs every formed batch through a fresh fleet and reports the sweep
+/// point. All work is available at time zero (an offline scheduling
+/// problem), so the makespan difference is purely the placement policy.
+SweepPoint run_point(const FleetSpec& spec, fleet::PlacementPolicy policy,
+                     const std::vector<wsim::workload::SwBatch>& sw_batches,
+                     const std::vector<wsim::workload::PhBatch>& ph_batches,
+                     const fleet::FaultPlan& faults) {
+  fleet::FleetConfig cfg;
+  for (const auto& device : spec.devices) {
+    fleet::WorkerConfig wc;
+    wc.device = device;
+    // Unbounded queues: the policy, not queue backpressure, decides
+    // placement for the whole offline batch list.
+    wc.max_pending_batches = static_cast<std::size_t>(1) << 20;
+    cfg.workers.push_back(std::move(wc));
+  }
+  cfg.policy = policy;
+  cfg.faults = faults;
+  cfg.engine = &wsim::bench::bench_engine();
+  fleet::FleetExecutor executor(std::move(cfg));
+
+  fleet::ExecOptions opt;
+  opt.collect_outputs = false;  // timing-only: shape-cached execution
+  for (const auto& batch : sw_batches) {
+    (void)executor.execute_sw(batch, 0.0, opt);
+  }
+  for (const auto& batch : ph_batches) {
+    (void)executor.execute_ph(batch, 0.0, opt);
+  }
+
+  const auto stats = executor.stats();
+  SweepPoint point;
+  point.fleet = spec.label;
+  point.policy = std::string(fleet::to_string(policy));
+  point.devices = spec.devices.size();
+  point.batches = stats.dispatches;
+  point.cells = stats.total_cells();
+  point.makespan_s = executor.all_free_at();
+  point.gcups = point.makespan_s > 0.0
+                    ? static_cast<double>(point.cells) / point.makespan_s / 1e9
+                    : 0.0;
+  point.busy_skew = stats.busy_skew();
+  point.retries = stats.retries;
+  point.requeues = stats.requeues;
+  for (std::size_t d = 0; d < stats.devices.size(); ++d) {
+    point.utilization.emplace_back(stats.devices[d].name,
+                                   stats.utilization(d, point.makespan_s));
+  }
+  return point;
+}
+
+std::string utilization_string(const SweepPoint& point) {
+  std::string out;
+  for (const auto& [name, fraction] : point.utilization) {
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += format_fixed(fraction * 100.0, 0) + "%";
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  wsim::bench::banner("fleet extension",
+                      "placement policies on heterogeneous device fleets");
+
+  // Length-skewed dataset: wide SW haplotype/window ranges so batch costs
+  // vary strongly — the regime where speed-blind placement hurts most.
+  auto gen = wsim::bench::standard_dataset_config();
+  gen.regions = smoke ? 4 : 24;
+  gen.sw_query_len_min = 32;
+  gen.sw_query_len_max = 512;
+  gen.sw_target_len_min = 64;
+  gen.sw_target_len_max = 640;
+  gen.hap_len_min = 32;
+  gen.hap_len_max = 320;
+  const auto dataset = wsim::workload::generate_dataset(gen);
+  const std::size_t batch_size = smoke ? 64 : 96;
+  const auto sw_batches = wsim::workload::sw_rebatch(dataset, batch_size);
+  const auto ph_batches = wsim::workload::ph_rebatch(dataset, batch_size);
+  std::cout << "dataset: " << sw_batches.size() << " SW + " << ph_batches.size()
+            << " PairHMM batches (rebatch " << batch_size << ", skewed lengths)\n\n";
+
+  const auto k40 = wsim::simt::make_k40();
+  const auto k1200 = wsim::simt::make_k1200();
+  const auto titan = wsim::simt::make_titan_x();
+  std::vector<FleetSpec> fleets;
+  fleets.push_back({"K40+K1200+TitanX", {k40, k1200, titan}});
+  if (!smoke) {
+    fleets.push_back({"1x TitanX", {titan}});
+    fleets.push_back({"3x K1200", {k1200, k1200, k1200}});
+    fleets.push_back(
+        {"2x(K40+K1200+TitanX)", {k40, k1200, titan, k40, k1200, titan}});
+  }
+  const std::vector<fleet::PlacementPolicy> policies = {
+      fleet::PlacementPolicy::kRoundRobin,
+      fleet::PlacementPolicy::kLeastOutstandingCells,
+      fleet::PlacementPolicy::kModelGuided,
+  };
+
+  std::vector<SweepPoint> points;
+  std::map<std::string, double> rr_makespan;
+  wsim::util::Table table({"fleet", "policy", "makespan (ms)", "GCUPS",
+                           "busy skew", "per-device util", "vs rr"});
+  for (const auto& spec : fleets) {
+    for (const auto policy : policies) {
+      const auto point =
+          run_point(spec, policy, sw_batches, ph_batches, fleet::FaultPlan{});
+      if (policy == fleet::PlacementPolicy::kRoundRobin) {
+        rr_makespan[spec.label] = point.makespan_s;
+      }
+      const double rr = rr_makespan[spec.label];
+      const double speedup = point.makespan_s > 0.0 ? rr / point.makespan_s : 0.0;
+      table.add_row({spec.label, point.policy,
+                     format_fixed(point.makespan_s * 1e3, 3),
+                     format_fixed(point.gcups, 2),
+                     format_fixed(point.busy_skew, 3), utilization_string(point),
+                     format_fixed(speedup, 2) + "x"});
+      points.push_back(point);
+    }
+  }
+  table.print(std::cout);
+
+  // Fault-injection point: deterministic transient failures + slowdowns on
+  // the heterogeneous fleet; the work still completes, retries/requeues
+  // are accounted, and the makespan absorbs the injected time.
+  fleet::FaultPlan faults;
+  faults.seed = 1;
+  faults.launch_failure_prob = 0.05;
+  faults.slowdown_prob = 0.05;
+  faults.slowdown_factor = 4.0;
+  auto faulty = run_point(fleets.front(), fleet::PlacementPolicy::kModelGuided,
+                          sw_batches, ph_batches, faults);
+  faulty.policy = "model+faults";
+  std::cout << "\nfault injection (" << fleets.front().label
+            << ", model policy, p_fail=0.05, p_slow=0.05 x4):\n"
+            << "  makespan " << format_fixed(faulty.makespan_s * 1e3, 3)
+            << " ms, retries " << faulty.retries << ", requeues "
+            << faulty.requeues << ", batches " << faulty.batches << "\n";
+  points.push_back(faulty);
+
+  wsim::bench::maybe_write_csv("fleet_scaling", table);
+  write_json("BENCH_fleet.json", points);
+
+  std::cout <<
+      "\nExpected shape:\n"
+      "  * on heterogeneous fleets, model-guided placement finishes sooner\n"
+      "    than round-robin (vs rr > 1) because Eq. 7/8 predicted finish\n"
+      "    times route proportionally more cells to the faster devices;\n"
+      "  * round-robin shows high per-device utilization skew there — the\n"
+      "    K40 stays busy long after the Titan X drained;\n"
+      "  * on homogeneous fleets the three policies roughly tie.\n";
+
+  // Smoke contract for CI: the heterogeneous headline must hold.
+  const double rr = rr_makespan[fleets.front().label];
+  const double model = points[2].makespan_s;  // third policy of first fleet
+  if (!(model > 0.0) || model > rr) {
+    std::cerr << "FAIL: model-guided (" << model << " s) does not beat "
+              << "round-robin (" << rr << " s) on " << fleets.front().label
+              << "\n";
+    return 1;
+  }
+  std::cout << "\nOK: model-guided beats round-robin on "
+            << fleets.front().label << " (" << format_fixed(rr / model, 2)
+            << "x)\n";
+  return 0;
+}

@@ -1,0 +1,54 @@
+#include "wsim/fleet/fault.hpp"
+
+namespace wsim::fleet {
+
+namespace {
+
+/// splitmix64 finalizer: a full-avalanche mix, so consecutive sequence
+/// numbers give independent-looking draws.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform draw in [0, 1) from (seed, device, seq, stream). `stream`
+/// separates the failure and slowdown decisions of one attempt.
+double draw(std::uint64_t seed, int device_index, std::uint64_t dispatch_seq,
+            std::uint64_t stream) noexcept {
+  std::uint64_t h = mix(seed ^ (0x51ed270b0a1ce7f9ULL * (stream + 1)));
+  h = mix(h ^ (static_cast<std::uint64_t>(device_index) + 1));
+  h = mix(h ^ dispatch_seq);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+bool FaultPlan::launch_fails(int device_index,
+                             std::uint64_t dispatch_seq) const noexcept {
+  if (launch_failure_prob <= 0.0) {
+    return false;
+  }
+  return draw(seed, device_index, dispatch_seq, 0) < launch_failure_prob;
+}
+
+double FaultPlan::service_multiplier(int device_index,
+                                     std::uint64_t dispatch_seq) const noexcept {
+  if (slowdown_prob <= 0.0) {
+    return 1.0;
+  }
+  return draw(seed, device_index, dispatch_seq, 1) < slowdown_prob
+             ? slowdown_factor
+             : 1.0;
+}
+
+double RetryPolicy::backoff(int attempt) const noexcept {
+  double delay = backoff_initial;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= backoff_multiplier;
+  }
+  return delay;
+}
+
+}  // namespace wsim::fleet

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace wsim::fleet {
+
+/// Simulated time in seconds — the same explicit-clock convention the
+/// serving layer uses (serve::SimTime): faults, backoffs, and quarantines
+/// move simulated time, never wall-clock time.
+using SimTime = double;
+
+/// Deterministic, seeded fault injection for the fleet. Every decision is
+/// a pure function of (seed, device index, per-device dispatch sequence
+/// number), so a replay with the same plan and the same dispatch order
+/// sees exactly the same faults — independent of wall-clock threading and
+/// of how long each batch takes. Faults perturb *time* only: a transient
+/// launch failure costs a retry (and possibly a different device), a
+/// slowdown stretches the batch's service seconds; the computed results
+/// are the values the kernel produces either way.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  /// Probability that one dispatch attempt fails transiently (the launch
+  /// never starts; the batch is retried with backoff, preferably on
+  /// another device).
+  double launch_failure_prob = 0.0;
+  /// Probability that a successfully launched batch runs on a degraded
+  /// device (thermal throttling, a noisy neighbour) and takes
+  /// `slowdown_factor` times its normal service time.
+  double slowdown_prob = 0.0;
+  double slowdown_factor = 4.0;
+
+  bool enabled() const noexcept {
+    return launch_failure_prob > 0.0 || slowdown_prob > 0.0;
+  }
+
+  /// True when dispatch attempt `dispatch_seq` on `device_index` fails.
+  bool launch_fails(int device_index, std::uint64_t dispatch_seq) const noexcept;
+
+  /// Service-time multiplier for the attempt: 1.0, or `slowdown_factor`
+  /// when the slowdown fault fires.
+  double service_multiplier(int device_index,
+                            std::uint64_t dispatch_seq) const noexcept;
+};
+
+/// Retry-with-backoff policy for transient launch failures. Attempt k
+/// (0-based) that fails pays backoff_initial * backoff_multiplier^k of
+/// simulated time before the next attempt, which prefers a different
+/// healthy device (requeue-on-another-device). A batch that fails
+/// `max_attempts` times is a hard error (util::CheckError) — with
+/// independent per-attempt failures the probability is
+/// launch_failure_prob^max_attempts.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double backoff_initial = 50e-6;
+  double backoff_multiplier = 2.0;
+  /// Consecutive launch failures on one device before it is quarantined.
+  int unhealthy_after = 3;
+  /// How long a quarantined device is skipped by placement.
+  double quarantine_seconds = 5e-3;
+
+  /// Backoff paid after the (0-based) `attempt`-th failed attempt.
+  double backoff(int attempt) const noexcept;
+};
+
+/// Per-device health record maintained by the executor: lifetime failure
+/// count, the consecutive-failure streak that triggers quarantine, and the
+/// quarantine expiry. Placement skips unhealthy devices while any healthy
+/// one exists.
+struct DeviceHealth {
+  std::size_t launch_failures = 0;
+  std::size_t consecutive_failures = 0;
+  SimTime unhealthy_until = 0.0;
+
+  bool healthy_at(SimTime t) const noexcept { return t >= unhealthy_until; }
+};
+
+}  // namespace wsim::fleet

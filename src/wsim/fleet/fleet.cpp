@@ -1,0 +1,344 @@
+#include "wsim/fleet/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "wsim/simt/engine.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::fleet {
+
+std::string_view to_string(PlacementPolicy policy) noexcept {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "round-robin";
+    case PlacementPolicy::kLeastOutstandingCells:
+      return "least-cells";
+    case PlacementPolicy::kModelGuided:
+      return "model";
+  }
+  return "?";
+}
+
+PlacementPolicy placement_policy_by_name(std::string_view name) {
+  if (name == "rr" || name == "round-robin") {
+    return PlacementPolicy::kRoundRobin;
+  }
+  if (name == "least-cells") {
+    return PlacementPolicy::kLeastOutstandingCells;
+  }
+  if (name == "model") {
+    return PlacementPolicy::kModelGuided;
+  }
+  throw util::CheckError("unknown placement policy '" + std::string(name) +
+                         "' (valid: rr, least-cells, model)");
+}
+
+std::size_t FleetStats::total_cells() const noexcept {
+  std::size_t total = 0;
+  for (const DeviceStats& d : devices) {
+    total += d.cells;
+  }
+  return total;
+}
+
+double FleetStats::total_busy_seconds() const noexcept {
+  double total = 0.0;
+  for (const DeviceStats& d : devices) {
+    total += d.busy_seconds;
+  }
+  return total;
+}
+
+double FleetStats::busy_skew() const noexcept {
+  if (devices.empty()) {
+    return 0.0;
+  }
+  double lo = devices.front().busy_seconds;
+  double hi = lo;
+  for (const DeviceStats& d : devices) {
+    lo = std::min(lo, d.busy_seconds);
+    hi = std::max(hi, d.busy_seconds);
+  }
+  const double mean = total_busy_seconds() / static_cast<double>(devices.size());
+  return mean > 0.0 ? (hi - lo) / mean : 0.0;
+}
+
+double FleetStats::utilization(std::size_t device_index, double duration) const {
+  util::require(device_index < devices.size(),
+                "FleetStats::utilization: device index out of range");
+  return duration > 0.0 ? devices[device_index].busy_seconds / duration : 0.0;
+}
+
+FleetExecutor::FleetExecutor(FleetConfig config)
+    : config_(std::move(config)),
+      engine_(config_.engine != nullptr ? config_.engine
+                                        : &simt::shared_engine()) {
+  util::require(!config_.workers.empty(),
+                "FleetExecutor: fleet needs at least one worker");
+  util::require(config_.retry.max_attempts >= 1,
+                "FleetExecutor: retry.max_attempts must be >= 1");
+  workers_.reserve(config_.workers.size());
+  for (const WorkerConfig& wc : config_.workers) {
+    util::require(wc.max_pending_batches >= 1,
+                  "FleetExecutor: max_pending_batches must be >= 1");
+    const VariantChoice choice = pick_variants(wc.device);
+    const kernels::CommMode sw = wc.sw_design.value_or(choice.sw_design);
+    const kernels::PhDesign ph = wc.ph_design.value_or(choice.ph_design);
+    Worker worker{wc,
+                  sw,
+                  ph,
+                  predicted_sw_gcups(wc.device, sw),
+                  predicted_ph_gcups(wc.device, ph),
+                  kernels::SwRunner(sw),
+                  kernels::PhRunner(ph),
+                  0.0,
+                  {},
+                  0,
+                  {},
+                  {},
+                  0};
+    worker.stats.name = wc.device.name;
+    worker.stats.sw_design = sw;
+    worker.stats.ph_design = ph;
+    workers_.push_back(std::move(worker));
+  }
+}
+
+const simt::DeviceSpec& FleetExecutor::device(std::size_t index) const {
+  util::require(index < workers_.size(), "FleetExecutor: device index out of range");
+  return workers_[index].cfg.device;
+}
+
+kernels::CommMode FleetExecutor::sw_design(std::size_t index) const {
+  util::require(index < workers_.size(), "FleetExecutor: device index out of range");
+  return workers_[index].sw_design;
+}
+
+kernels::PhDesign FleetExecutor::ph_design(std::size_t index) const {
+  util::require(index < workers_.size(), "FleetExecutor: device index out of range");
+  return workers_[index].ph_design;
+}
+
+SimTime FleetExecutor::all_free_at() const noexcept {
+  SimTime latest = 0.0;
+  for (const Worker& w : workers_) {
+    latest = std::max(latest, w.free_at);
+  }
+  return latest;
+}
+
+FleetStats FleetExecutor::stats() const {
+  FleetStats stats;
+  stats.devices.reserve(workers_.size());
+  for (const Worker& w : workers_) {
+    DeviceStats d = w.stats;
+    d.free_at = w.free_at;
+    stats.devices.push_back(std::move(d));
+  }
+  stats.dispatches = dispatches_;
+  stats.retries = retries_;
+  stats.requeues = requeues_;
+  return stats;
+}
+
+void FleetExecutor::prune_pending(SimTime t) {
+  for (Worker& w : workers_) {
+    while (!w.pending.empty() && w.pending.front().first <= t) {
+      w.pending_cells -= w.pending.front().second;
+      w.pending.pop_front();
+    }
+  }
+}
+
+std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
+                                 int excluded) {
+  // Eligibility, relaxed in rounds: healthy + not excluded + queue room;
+  // then ignore queue bounds; then take anyone (single device, or every
+  // device quarantined). When relaxation was needed, the batch goes to
+  // whichever device frees earliest — the deterministic equivalent of
+  // stalling for the first open slot.
+  std::vector<std::size_t> eligible;
+  const auto collect = [&](bool respect_bounds, bool respect_health) {
+    eligible.clear();
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+      const Worker& w = workers_[i];
+      if (respect_health &&
+          (static_cast<int>(i) == excluded || !w.health.healthy_at(t))) {
+        continue;
+      }
+      if (respect_bounds && w.pending.size() >= w.cfg.max_pending_batches) {
+        continue;
+      }
+      eligible.push_back(i);
+    }
+  };
+  collect(true, true);
+  bool relaxed = false;
+  if (eligible.empty()) {
+    collect(false, true);
+    relaxed = true;
+  }
+  if (eligible.empty()) {
+    collect(false, false);
+  }
+
+  if (relaxed) {
+    std::size_t best = eligible.front();
+    for (const std::size_t i : eligible) {
+      if (workers_[i].free_at < workers_[best].free_at) {
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  switch (config_.policy) {
+    case PlacementPolicy::kRoundRobin: {
+      for (std::size_t k = 0; k < workers_.size(); ++k) {
+        const std::size_t i = (round_robin_next_ + k) % workers_.size();
+        if (std::find(eligible.begin(), eligible.end(), i) != eligible.end()) {
+          round_robin_next_ = i + 1;
+          return i;
+        }
+      }
+      return eligible.front();  // unreachable: eligible is non-empty
+    }
+    case PlacementPolicy::kLeastOutstandingCells: {
+      std::size_t best = eligible.front();
+      for (const std::size_t i : eligible) {
+        if (workers_[i].pending_cells < workers_[best].pending_cells) {
+          best = i;
+        }
+      }
+      return best;
+    }
+    case PlacementPolicy::kModelGuided: {
+      std::size_t best = eligible.front();
+      double best_finish = std::numeric_limits<double>::infinity();
+      for (const std::size_t i : eligible) {
+        const Worker& w = workers_[i];
+        const double gcups = is_sw ? w.sw_gcups : w.ph_gcups;
+        const double finish = std::max(t, w.free_at) +
+                              predicted_batch_seconds(w.cfg.device, gcups, cells);
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return eligible.front();
+}
+
+template <typename RunBatch>
+Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
+                                  bool is_sw, SimTime now, RunBatch&& run) {
+  SimTime t = now;
+  int attempt = 0;
+  int excluded = -1;
+  for (;;) {
+    prune_pending(t);
+    const std::size_t w = place(cells, is_sw, t, excluded);
+    Worker& worker = workers_[w];
+    const std::uint64_t seq = worker.dispatch_seq++;
+    if (config_.faults.launch_fails(static_cast<int>(w), seq)) {
+      ++worker.stats.launch_failures;
+      ++worker.health.launch_failures;
+      ++worker.health.consecutive_failures;
+      if (config_.retry.unhealthy_after > 0 &&
+          worker.health.consecutive_failures >=
+              static_cast<std::size_t>(config_.retry.unhealthy_after)) {
+        worker.health.unhealthy_until = t + config_.retry.quarantine_seconds;
+      }
+      ++attempt;
+      if (attempt >= config_.retry.max_attempts) {
+        throw util::CheckError(
+            "FleetExecutor: batch failed after " + std::to_string(attempt) +
+            " attempts (all transient launch failures; raise "
+            "RetryPolicy::max_attempts or lower FaultPlan::launch_failure_prob)");
+      }
+      ++retries_;
+      t += config_.retry.backoff(attempt - 1);
+      excluded = static_cast<int>(w);
+      continue;
+    }
+    worker.health.consecutive_failures = 0;
+    const double base_seconds = run(worker);
+    const double multiplier =
+        config_.faults.service_multiplier(static_cast<int>(w), seq);
+    if (multiplier > 1.0) {
+      ++worker.stats.slowdowns;
+    }
+    Execution exec;
+    exec.device_index = static_cast<int>(w);
+    exec.attempts = attempt + 1;
+    exec.service_seconds = base_seconds * multiplier;
+    exec.start_time = std::max(t, worker.free_at);
+    exec.completion_time = exec.start_time + exec.service_seconds;
+    worker.free_at = exec.completion_time;
+    worker.pending.emplace_back(exec.completion_time, cells);
+    worker.pending_cells += cells;
+    worker.stats.busy_seconds += exec.service_seconds;
+    ++worker.stats.batches;
+    worker.stats.tasks += tasks;
+    worker.stats.cells += cells;
+    ++dispatches_;
+    if (attempt > 0 && excluded != static_cast<int>(w)) {
+      ++requeues_;
+    }
+    return exec;
+  }
+}
+
+SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
+                                      SimTime now, const ExecOptions& options) {
+  util::require(!batch.empty(), "FleetExecutor::execute_sw: empty batch");
+  const std::size_t cells = workload::batch_cells(batch);
+  SwExecution out;
+  out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now,
+                      [&](Worker& worker) {
+                        kernels::SwRunOptions opt;
+                        opt.engine = engine_;
+                        opt.overlap_transfers = options.overlap_transfers;
+                        if (options.collect_outputs) {
+                          opt.collect_outputs = true;
+                        } else {
+                          opt.mode = simt::ExecMode::kCachedByShape;
+                          opt.use_engine_cache = true;
+                        }
+                        out.result =
+                            worker.sw_runner.run_batch(worker.cfg.device, batch, opt);
+                        return out.result.run.launch.total_seconds();
+                      });
+  return out;
+}
+
+PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
+                                      SimTime now, const ExecOptions& options) {
+  util::require(!batch.empty(), "FleetExecutor::execute_ph: empty batch");
+  const std::size_t cells = workload::batch_cells(batch);
+  PhExecution out;
+  out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, now,
+                      [&](Worker& worker) {
+                        kernels::PhRunOptions opt;
+                        opt.engine = engine_;
+                        opt.overlap_transfers = options.overlap_transfers;
+                        if (options.collect_outputs) {
+                          opt.collect_outputs = true;
+                          opt.double_fallback = options.double_fallback;
+                        } else {
+                          opt.mode = simt::ExecMode::kCachedByShape;
+                          opt.use_engine_cache = true;
+                        }
+                        out.result =
+                            worker.ph_runner.run_batch(worker.cfg.device, batch, opt);
+                        return out.result.run.launch.total_seconds();
+                      });
+  return out;
+}
+
+}  // namespace wsim::fleet

@@ -1,0 +1,222 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsim/fleet/fault.hpp"
+#include "wsim/fleet/router.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/workload/batching.hpp"
+
+namespace wsim::simt {
+class ExecutionEngine;
+}  // namespace wsim::simt
+
+namespace wsim::fleet {
+
+/// How the executor picks the device for a formed batch.
+enum class PlacementPolicy {
+  /// Cycle over eligible devices regardless of speed or load — the
+  /// baseline every other policy is benchmarked against.
+  kRoundRobin,
+  /// Pick the device with the fewest DP cells still outstanding (queued
+  /// or executing) — load-aware but speed-blind, SaLoBa's workload-balance
+  /// idea lifted to the fleet level.
+  kLeastOutstandingCells,
+  /// Pick the device with the earliest predicted finish time: the known
+  /// device-free time plus the Eq. 7/8 predicted service seconds of this
+  /// batch on that device's chosen kernel variant. Speed- and load-aware;
+  /// on a heterogeneous fleet this is what routes proportionally more
+  /// work to a Titan X than to a K1200.
+  kModelGuided,
+};
+
+std::string_view to_string(PlacementPolicy policy) noexcept;
+
+/// Lookup by CLI name: "rr" | "least-cells" | "model". Throws
+/// util::CheckError listing the valid names on anything else.
+PlacementPolicy placement_policy_by_name(std::string_view name);
+
+/// One simulated device in the fleet. Kernel designs may be pinned
+/// explicitly; by default each is chosen by the performance model for
+/// this device's architecture (router::pick_variants — the Table II
+/// decision, made per device).
+struct WorkerConfig {
+  simt::DeviceSpec device;
+  std::optional<kernels::CommMode> sw_design;
+  std::optional<kernels::PhDesign> ph_design;
+  /// Bound on batches waiting behind the executing one. A device whose
+  /// queue is full is skipped by placement while any other device has
+  /// room; when every queue is full the dispatch stalls until the
+  /// earliest slot frees (the fleet never drops admitted work — admission
+  /// backpressure lives in the serving layer).
+  std::size_t max_pending_batches = 8;
+};
+
+struct FleetConfig {
+  std::vector<WorkerConfig> workers;
+  PlacementPolicy policy = PlacementPolicy::kModelGuided;
+  FaultPlan faults;
+  RetryPolicy retry;
+  /// Engine executing every worker's launches; null means the
+  /// process-wide simt::shared_engine(). Workers share the pool — a
+  /// DeviceWorker is a simulated-device timeline, not an OS thread.
+  simt::ExecutionEngine* engine = nullptr;
+};
+
+/// Execution knobs of one dispatch, mirroring the single-device runners.
+struct ExecOptions {
+  bool collect_outputs = true;
+  bool overlap_transfers = false;
+  bool double_fallback = true;  ///< PairHMM underflow rescue (outputs only)
+};
+
+/// Lifetime counters of one device, snapshot by stats().
+struct DeviceStats {
+  std::string name;
+  kernels::CommMode sw_design = kernels::CommMode::kShuffle;
+  kernels::PhDesign ph_design = kernels::PhDesign::kShuffle;
+  std::size_t batches = 0;
+  std::size_t tasks = 0;
+  std::size_t cells = 0;
+  double busy_seconds = 0.0;
+  std::size_t launch_failures = 0;  ///< injected transient failures seen
+  std::size_t slowdowns = 0;        ///< batches run under a slowdown fault
+  SimTime free_at = 0.0;            ///< device-timeline end
+};
+
+/// Fleet-wide snapshot: per-device counters plus dispatch/retry
+/// accounting. `busy_skew` is the imbalance measure the benches record.
+struct FleetStats {
+  std::vector<DeviceStats> devices;
+  std::size_t dispatches = 0;  ///< successful batch executions
+  std::size_t retries = 0;     ///< failed attempts that were retried
+  std::size_t requeues = 0;    ///< retries that landed on a different device
+
+  std::size_t total_cells() const noexcept;
+  double total_busy_seconds() const noexcept;
+  /// (max - min) / mean of per-device busy seconds; 0 for an idle or
+  /// single-device fleet. Round-robin on a heterogeneous fleet leaves the
+  /// slow devices busy long after the fast ones drained — a large skew.
+  double busy_skew() const noexcept;
+  /// Per-device busy fraction of `duration` seconds.
+  double utilization(std::size_t device_index, double duration) const;
+};
+
+/// Where and when one batch actually ran.
+struct Execution {
+  SimTime start_time = 0.0;       ///< batch reached its device
+  SimTime completion_time = 0.0;  ///< kernel + transfers done
+  double service_seconds = 0.0;   ///< simulated seconds, incl. slowdown
+  int device_index = 0;           ///< worker that executed it
+  int attempts = 1;               ///< 1 = no retries
+};
+
+struct SwExecution {
+  Execution exec;
+  kernels::SwBatchResult result;
+};
+
+struct PhExecution {
+  Execution exec;
+  kernels::PhBatchResult result;
+};
+
+/// Heterogeneous multi-device executor: owns N DeviceWorkers (one
+/// simulated GPU each, with its own bounded batch queue and device
+/// timeline, all sharing one simt::ExecutionEngine worker pool) and
+/// dispatches formed batches by the configured placement policy, with
+/// deterministic fault injection, per-device health tracking,
+/// retry-with-backoff, and requeue-on-another-device.
+///
+/// Time model: like serve::AlignmentService, the executor lives in
+/// simulated time. `execute_sw`/`execute_ph` resolve a dispatch
+/// immediately — placement, retries, and the device timeline are pure
+/// simulated-time bookkeeping — and report when the batch starts and
+/// completes; the caller's clock decides when the results become visible.
+///
+/// Guarantee: results are bit-identical to running the same batch through
+/// a single-device runner — placement, retries, and slowdowns move time,
+/// not values (both communication designs compute identical outputs, and
+/// DeviceSpec latencies affect timing only).
+///
+/// Thread safety: none — the executor mutates device timelines per call.
+/// The serving layer serializes access under its own lock.
+class FleetExecutor {
+ public:
+  explicit FleetExecutor(FleetConfig config);
+
+  FleetExecutor(const FleetExecutor&) = delete;
+  FleetExecutor& operator=(const FleetExecutor&) = delete;
+
+  const FleetConfig& config() const noexcept { return config_; }
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  const simt::DeviceSpec& device(std::size_t index) const;
+  kernels::CommMode sw_design(std::size_t index) const;
+  kernels::PhDesign ph_design(std::size_t index) const;
+
+  /// Simulated time when the last device frees up (the fleet makespan so
+  /// far).
+  SimTime all_free_at() const noexcept;
+
+  FleetStats stats() const;
+
+  /// Dispatches one formed batch at simulated time `now`. Throws
+  /// util::CheckError if the batch is empty or every retry attempt fails.
+  SwExecution execute_sw(const workload::SwBatch& batch, SimTime now,
+                         const ExecOptions& options = {});
+  PhExecution execute_ph(const workload::PhBatch& batch, SimTime now,
+                         const ExecOptions& options = {});
+
+ private:
+  struct Worker {
+    WorkerConfig cfg;
+    kernels::CommMode sw_design;
+    kernels::PhDesign ph_design;
+    double sw_gcups = 0.0;  ///< model prediction for the chosen SW design
+    double ph_gcups = 0.0;  ///< model prediction for the chosen PH design
+    kernels::SwRunner sw_runner;
+    kernels::PhRunner ph_runner;
+    SimTime free_at = 0.0;
+    /// Batches not yet complete at the last observed time:
+    /// (completion_time, cells).
+    std::deque<std::pair<SimTime, std::size_t>> pending;
+    std::size_t pending_cells = 0;
+    DeviceHealth health;
+    DeviceStats stats;
+    std::uint64_t dispatch_seq = 0;  ///< feeds the FaultPlan hash
+  };
+
+  /// Drops pending entries completed by `t` from every worker.
+  void prune_pending(SimTime t);
+
+  /// Picks the worker for a batch of `cells` cells at time `t` under the
+  /// configured policy, skipping `excluded` (the device of the failed
+  /// attempt) and unhealthy/full workers while alternatives exist.
+  std::size_t place(std::size_t cells, bool is_sw, SimTime t, int excluded);
+
+  /// Shared dispatch loop: placement, fault check, retry/backoff, then
+  /// `run(worker)` which executes the batch and returns its simulated
+  /// service seconds (before any slowdown).
+  template <typename RunBatch>
+  Execution dispatch(std::size_t tasks, std::size_t cells, bool is_sw,
+                     SimTime now, RunBatch&& run);
+
+  FleetConfig config_;
+  simt::ExecutionEngine* engine_;  ///< non-null after construction
+  std::vector<Worker> workers_;
+  std::size_t round_robin_next_ = 0;
+  std::size_t dispatches_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t requeues_ = 0;
+};
+
+}  // namespace wsim::fleet

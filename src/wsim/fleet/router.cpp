@@ -1,0 +1,105 @@
+#include "wsim/fleet/router.hpp"
+
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/model/perf_model.hpp"
+#include "wsim/simt/occupancy.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::fleet {
+
+double sw_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::CommMode mode) {
+  const auto& lat = device.lat;
+  switch (mode) {
+    case kernels::CommMode::kSharedMemory:
+      // SW1: 4 loads + 2 stores to the rotating line buffers plus the
+      // per-diagonal barrier (the paper's 183-cycle K1200 estimate).
+      return 4.0 * lat.smem_load + 2.0 * lat.smem_store + lat.sync_barrier;
+    case kernels::CommMode::kShuffle:
+      // SW2: two shuffles and four register operations (22 cycles on
+      // K1200 in the paper's estimate).
+      return 2.0 * lat.shfl_up + 4.0 * lat.reg_access;
+  }
+  throw util::CheckError("sw_iteration_latency: unknown CommMode");
+}
+
+double ph_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::PhDesign design) {
+  const auto& lat = device.lat;
+  switch (design) {
+    case kernels::PhDesign::kShared:
+      // PH1: the M/I/D recurrence reads six neighbour values from and
+      // writes three to the nine rotating line buffers, with a barrier
+      // per anti-diagonal and two dependent FP stages.
+      return 6.0 * lat.smem_load + 3.0 * lat.smem_store + lat.sync_barrier +
+             2.0 * lat.falu;
+    case kernels::PhDesign::kShuffle:
+      // PH2: three boundary shuffles (M/I/D), register traffic, and the
+      // same FP recurrence depth.
+      return 3.0 * lat.shfl_up + 6.0 * lat.reg_access + 2.0 * lat.falu;
+    case kernels::PhDesign::kHybrid:
+      // The rejected design pays both a barrier and the shuffles.
+      return 3.0 * lat.shfl_up + 2.0 * lat.smem_load + lat.sync_barrier +
+             2.0 * lat.falu;
+  }
+  throw util::CheckError("ph_iteration_latency: unknown PhDesign");
+}
+
+double predicted_sw_gcups(const simt::DeviceSpec& device,
+                          kernels::CommMode mode) {
+  const simt::Kernel kernel = kernels::build_sw_kernel(mode, {});
+  const simt::Occupancy occupancy = simt::compute_occupancy(device, kernel);
+  return model::predict_gcups(device, occupancy,
+                              sw_iteration_latency(device, mode));
+}
+
+double predicted_ph_gcups(const simt::DeviceSpec& device,
+                          kernels::PhDesign design) {
+  // Representative variant: full-length reads (128 rows), i.e. 128
+  // threads/block for PH1 and 4 cells/thread for PH2.
+  simt::Kernel kernel;
+  switch (design) {
+    case kernels::PhDesign::kShared:
+      kernel = kernels::build_ph_shared_kernel(kernels::kPhMaxReadLen);
+      break;
+    case kernels::PhDesign::kShuffle:
+      kernel = kernels::build_ph_shuffle_kernel(kernels::kPhVariants);
+      break;
+    case kernels::PhDesign::kHybrid:
+      kernel = kernels::build_ph_hybrid_kernel(kernels::kPhMaxReadLen);
+      break;
+  }
+  const simt::Occupancy occupancy = simt::compute_occupancy(device, kernel);
+  return model::predict_gcups(device, occupancy,
+                              ph_iteration_latency(device, design));
+}
+
+VariantChoice pick_variants(const simt::DeviceSpec& device) {
+  VariantChoice choice;
+  const double sw_shared =
+      predicted_sw_gcups(device, kernels::CommMode::kSharedMemory);
+  const double sw_shuffle =
+      predicted_sw_gcups(device, kernels::CommMode::kShuffle);
+  choice.sw_design = sw_shuffle >= sw_shared ? kernels::CommMode::kShuffle
+                                             : kernels::CommMode::kSharedMemory;
+  choice.sw_gcups = std::max(sw_shared, sw_shuffle);
+
+  const double ph_shared =
+      predicted_ph_gcups(device, kernels::PhDesign::kShared);
+  const double ph_shuffle =
+      predicted_ph_gcups(device, kernels::PhDesign::kShuffle);
+  choice.ph_design = ph_shuffle >= ph_shared ? kernels::PhDesign::kShuffle
+                                             : kernels::PhDesign::kShared;
+  choice.ph_gcups = std::max(ph_shared, ph_shuffle);
+  return choice;
+}
+
+double predicted_batch_seconds(const simt::DeviceSpec& device, double gcups,
+                               std::size_t cells) {
+  util::require(gcups > 0.0, "predicted_batch_seconds: gcups must be > 0");
+  const double fixed =
+      (device.kernel_launch_overhead_us + 2.0 * device.pcie_latency_us) * 1e-6;
+  return static_cast<double>(cells) / (gcups * 1e9) + fixed;
+}
+
+}  // namespace wsim::fleet

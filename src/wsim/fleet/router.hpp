@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+
+#include "wsim/kernels/common.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/simt/device.hpp"
+
+namespace wsim::fleet {
+
+/// Analytic per-iteration latency (cycles) of one communication design on
+/// one device, read off the device's latency table — the paper's
+/// critical-path estimates (Section IV): SW1 spends 6 shared-memory
+/// accesses plus one barrier per anti-diagonal, SW2 two shuffles plus four
+/// register ops; the PairHMM designs scale the same pattern to the
+/// three-matrix recurrence.
+double sw_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::CommMode mode);
+double ph_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::PhDesign design);
+
+/// Eq. 7/8 prediction for one (device, kernel design): occupancy computed
+/// from the actual compiled kernel's register/shared-memory footprint
+/// (Eq. 8), latency from the table above, performance = parallelism x
+/// frequency / latency (Eq. 7), reported in GCUPS.
+double predicted_sw_gcups(const simt::DeviceSpec& device,
+                          kernels::CommMode mode);
+double predicted_ph_gcups(const simt::DeviceSpec& device,
+                          kernels::PhDesign design);
+
+/// The Table II decision made by the model instead of by measurement:
+/// evaluate both communication designs on the device and keep the faster
+/// prediction per kernel. This is what lets a heterogeneous fleet run
+/// shuffle on Maxwell while an architecture where shared memory wins would
+/// get the shared-memory variant — per device, not per fleet.
+struct VariantChoice {
+  kernels::CommMode sw_design = kernels::CommMode::kShuffle;
+  kernels::PhDesign ph_design = kernels::PhDesign::kShuffle;
+  double sw_gcups = 0.0;  ///< prediction of the chosen SW design
+  double ph_gcups = 0.0;  ///< prediction of the chosen PairHMM design
+};
+
+VariantChoice pick_variants(const simt::DeviceSpec& device);
+
+/// Predicted service seconds of a batch of `cells` DP cells at a predicted
+/// rate of `gcups`: cells / rate plus the device's fixed launch and PCIe
+/// round-trip overheads. Used by model-guided placement to estimate finish
+/// times; the reported timings always come from the simulator itself.
+double predicted_batch_seconds(const simt::DeviceSpec& device, double gcups,
+                               std::size_t cells);
+
+}  // namespace wsim::fleet

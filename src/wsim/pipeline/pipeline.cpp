@@ -76,6 +76,7 @@ PipelineReport run_pipeline(const workload::Dataset& dataset,
     private_engine.emplace(simt::EngineOptions{.threads = config.threads});
     engine = &*private_engine;
   }
+  report.engine_used = engine;
 
   // ---------------- stage 1: Smith-Waterman -------------------------------
   {

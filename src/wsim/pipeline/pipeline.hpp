@@ -9,6 +9,10 @@
 #include "wsim/simt/device.hpp"
 #include "wsim/workload/task.hpp"
 
+namespace wsim::simt {
+class ExecutionEngine;
+}  // namespace wsim::simt
+
 namespace wsim::pipeline {
 
 /// End-to-end HaplotypeCaller-style pipeline over a dataset: stage 1
@@ -62,6 +66,11 @@ struct PipelineReport {
   StageReport ph;
   std::size_t validated = 0;
   std::size_t mismatches = 0;
+
+  /// The engine both stages actually ran on. With threads <= 0 this is
+  /// &simt::shared_engine() — the routing contract the engine tests pin.
+  /// Dangles once a private engine's run returns; identity checks only.
+  const simt::ExecutionEngine* engine_used = nullptr;
 
   /// Stage outputs in dataset order (regions flattened).
   std::vector<align::SwAlignment> sw_alignments;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "wsim/fleet/fleet.hpp"
 #include "wsim/simt/engine.hpp"
 #include "wsim/util/check.hpp"
 #include "wsim/workload/batching.hpp"
@@ -31,6 +32,7 @@ AlignmentService::AlignmentService(ServiceConfig config)
       ph_runner_(config_.ph_design),
       engine_(config_.engine != nullptr ? config_.engine
                                         : &simt::shared_engine()),
+      fleet_(config_.fleet),
       sw_queue_(config_.max_queue_tasks, config_.max_queue_cells),
       ph_queue_(config_.max_queue_tasks, config_.max_queue_cells) {
   util::require(config_.policy.max_batch_tasks >= 1,
@@ -251,22 +253,36 @@ void AlignmentService::flush_sw() {
     batch_cells += entry.cells;
   }
 
-  kernels::SwRunOptions options;
-  options.engine = engine_;
-  options.overlap_transfers = config_.overlap_transfers;
-  if (config_.collect_outputs) {
-    options.collect_outputs = true;
-  } else {
-    options.mode = simt::ExecMode::kCachedByShape;
-    options.use_engine_cache = true;
-  }
-  const auto result = sw_runner_.run_batch(config_.device, batch, options);
-
-  const double seconds = result.run.launch.total_seconds();
+  kernels::SwBatchResult result;
   const SimTime formed = clock_;
-  const SimTime start = std::max(formed, device_free_at_);
-  const SimTime completion = start + seconds;
-  device_free_at_ = completion;
+  SimTime start = 0.0;
+  SimTime completion = 0.0;
+  double seconds = 0.0;
+  if (fleet_ != nullptr) {
+    fleet::ExecOptions exec_options;
+    exec_options.collect_outputs = config_.collect_outputs;
+    exec_options.overlap_transfers = config_.overlap_transfers;
+    auto executed = fleet_->execute_sw(batch, formed, exec_options);
+    result = std::move(executed.result);
+    seconds = executed.exec.service_seconds;
+    start = executed.exec.start_time;
+    completion = executed.exec.completion_time;
+  } else {
+    kernels::SwRunOptions options;
+    options.engine = engine_;
+    options.overlap_transfers = config_.overlap_transfers;
+    if (config_.collect_outputs) {
+      options.collect_outputs = true;
+    } else {
+      options.mode = simt::ExecMode::kCachedByShape;
+      options.use_engine_cache = true;
+    }
+    result = sw_runner_.run_batch(config_.device, batch, options);
+    seconds = result.run.launch.total_seconds();
+    start = std::max(formed, device_free_at_);
+    completion = start + seconds;
+    device_free_at_ = completion;
+  }
   estimator_.observe(batch_cells, seconds);
   totals_.batch_sizes.record(entries.size());
   totals_.device_busy_seconds += seconds;
@@ -333,23 +349,38 @@ void AlignmentService::flush_ph() {
     batch_cells += entry.cells;
   }
 
-  kernels::PhRunOptions options;
-  options.engine = engine_;
-  options.overlap_transfers = config_.overlap_transfers;
-  if (config_.collect_outputs) {
-    options.collect_outputs = true;
-    options.double_fallback = config_.double_fallback;
-  } else {
-    options.mode = simt::ExecMode::kCachedByShape;
-    options.use_engine_cache = true;
-  }
-  const auto result = ph_runner_.run_batch(config_.device, batch, options);
-
-  const double seconds = result.run.launch.total_seconds();
+  kernels::PhBatchResult result;
   const SimTime formed = clock_;
-  const SimTime start = std::max(formed, device_free_at_);
-  const SimTime completion = start + seconds;
-  device_free_at_ = completion;
+  SimTime start = 0.0;
+  SimTime completion = 0.0;
+  double seconds = 0.0;
+  if (fleet_ != nullptr) {
+    fleet::ExecOptions exec_options;
+    exec_options.collect_outputs = config_.collect_outputs;
+    exec_options.overlap_transfers = config_.overlap_transfers;
+    exec_options.double_fallback = config_.double_fallback;
+    auto executed = fleet_->execute_ph(batch, formed, exec_options);
+    result = std::move(executed.result);
+    seconds = executed.exec.service_seconds;
+    start = executed.exec.start_time;
+    completion = executed.exec.completion_time;
+  } else {
+    kernels::PhRunOptions options;
+    options.engine = engine_;
+    options.overlap_transfers = config_.overlap_transfers;
+    if (config_.collect_outputs) {
+      options.collect_outputs = true;
+      options.double_fallback = config_.double_fallback;
+    } else {
+      options.mode = simt::ExecMode::kCachedByShape;
+      options.use_engine_cache = true;
+    }
+    result = ph_runner_.run_batch(config_.device, batch, options);
+    seconds = result.run.launch.total_seconds();
+    start = std::max(formed, device_free_at_);
+    completion = start + seconds;
+    device_free_at_ = completion;
+  }
   estimator_.observe(batch_cells, seconds);
   totals_.batch_sizes.record(entries.size());
   totals_.device_busy_seconds += seconds;

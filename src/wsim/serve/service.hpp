@@ -13,6 +13,10 @@
 #include "wsim/serve/stats.hpp"
 #include "wsim/simt/device.hpp"
 
+namespace wsim::fleet {
+class FleetExecutor;
+}  // namespace wsim::fleet
+
 namespace wsim::serve {
 
 struct ServiceConfig {
@@ -46,6 +50,19 @@ struct ServiceConfig {
   /// Engine that executes the launches; null means the process-wide
   /// simt::shared_engine(), shared with the pipeline and the CLI.
   simt::ExecutionEngine* engine = nullptr;
+
+  /// Optional fleet backend (non-owning). When set, formed batches are
+  /// dispatched to this multi-device executor — placement policy, fault
+  /// injection, retry-with-backoff — instead of the single `device`;
+  /// `device`, `sw_design`, `ph_design`, and `engine` above are then
+  /// unused (the fleet brings its own per-device kernel variants and
+  /// engine). Results are bit-identical to the single-device path:
+  /// placement and faults move time, not values. With several devices
+  /// ServiceStats::device_busy_seconds sums across them, so
+  /// device_utilization() reads as busy device-seconds per wall second
+  /// (it can exceed 1); per-device utilization comes from
+  /// fleet::FleetExecutor::stats().
+  fleet::FleetExecutor* fleet = nullptr;
 };
 
 /// An asynchronous alignment service over the simulator: accepts
@@ -138,6 +155,7 @@ class AlignmentService {
   kernels::SwRunner sw_runner_;
   kernels::PhRunner ph_runner_;
   simt::ExecutionEngine* engine_;  ///< non-null after construction
+  fleet::FleetExecutor* fleet_;    ///< null = single-device backend
 
   mutable std::mutex mu_;
   SimTime clock_ = 0.0;

@@ -1,6 +1,9 @@
 #include "wsim/serve/stats.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
 
 #include "wsim/util/stats.hpp"
 
@@ -77,6 +80,70 @@ double ServiceStats::gcups() const noexcept {
 double ServiceStats::device_utilization() const noexcept {
   const double duration = duration_seconds();
   return duration > 0.0 ? device_busy_seconds / duration : 0.0;
+}
+
+namespace {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+void write_latency_json(std::ostream& os, const LatencySummary& summary) {
+  os << "{\"count\": " << summary.count
+     << ", \"mean_s\": " << json_number(summary.mean)
+     << ", \"p50_s\": " << json_number(summary.p50)
+     << ", \"p95_s\": " << json_number(summary.p95)
+     << ", \"p99_s\": " << json_number(summary.p99)
+     << ", \"max_s\": " << json_number(summary.max) << "}";
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const ServiceStats& stats) {
+  os << "{\n"
+     << "  \"submitted\": " << stats.submitted()
+     << ", \"completed\": " << stats.completed()
+     << ", \"rejected\": " << stats.rejected() << ",\n"
+     << "  \"rejected_tasks_full\": " << stats.rejected_tasks_full
+     << ", \"rejected_cells_full\": " << stats.rejected_cells_full
+     << ", \"rejected_stopped\": " << stats.rejected_stopped << ",\n"
+     << "  \"throughput_tasks_per_s\": "
+     << json_number(stats.throughput_tasks_per_second())
+     << ", \"gcups\": " << json_number(stats.gcups())
+     << ", \"device_utilization\": " << json_number(stats.device_utilization())
+     << ",\n"
+     << "  \"duration_s\": " << json_number(stats.duration_seconds())
+     << ", \"completed_cells\": " << stats.completed_cells
+     << ", \"device_busy_s\": " << json_number(stats.device_busy_seconds)
+     << ",\n"
+     << "  \"batches\": " << stats.batch_sizes.batches
+     << ", \"mean_batch_size\": " << json_number(stats.batch_sizes.mean_size())
+     << ", \"batch_size_histogram\": [";
+  bool first = true;
+  for (std::size_t i = 0; i < stats.batch_sizes.buckets.size(); ++i) {
+    if (stats.batch_sizes.buckets[i] == 0) {
+      continue;
+    }
+    if (!first) {
+      os << ", ";
+    }
+    first = false;
+    os << "{\"min_tasks\": " << (std::size_t{1} << i)
+       << ", \"batches\": " << stats.batch_sizes.buckets[i] << "}";
+  }
+  os << "],\n"
+     << "  \"deadlines_met\": " << stats.deadlines_met
+     << ", \"deadlines_missed\": " << stats.deadlines_missed << ",\n"
+     << "  \"latency\": ";
+  write_latency_json(os, stats.latency);
+  os << ",\n  \"queue_wait\": ";
+  write_latency_json(os, stats.queue_wait);
+  os << "\n}";
 }
 
 }  // namespace wsim::serve

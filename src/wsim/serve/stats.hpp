@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -79,7 +80,17 @@ struct ServiceStats {
   double throughput_tasks_per_second() const noexcept;
   double gcups() const noexcept;
   /// Fraction of the duration the simulated device was executing batches.
+  /// With a fleet backend busy seconds sum across devices, so this reads
+  /// as busy device-seconds per wall second and can exceed 1.
   double device_utilization() const noexcept;
 };
+
+/// Writes the snapshot as one JSON object, mirroring the field names of
+/// the bench sweeps' JSON points (BENCH_serve.json) — submitted/completed/
+/// rejected counters, throughput_tasks_per_s, gcups, mean_batch_size and
+/// the batch-size histogram, latency and queue-wait percentiles, deadline
+/// counters, and device_utilization. Non-finite values are written as 0
+/// (JSON has no NaN/Inf). No trailing newline.
+void write_stats_json(std::ostream& os, const ServiceStats& stats);
 
 }  // namespace wsim::serve

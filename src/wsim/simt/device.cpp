@@ -153,12 +153,18 @@ std::vector<DeviceSpec> all_devices() {
 }
 
 DeviceSpec device_by_name(std::string_view name) {
+  std::string valid;
   for (auto& dev : all_devices()) {
     if (dev.name == name) {
       return dev;
     }
+    if (!valid.empty()) {
+      valid += ", ";
+    }
+    valid += '\'' + dev.name + '\'';
   }
-  throw util::CheckError("device_by_name: unknown device '" + std::string(name) + "'");
+  throw util::CheckError("device_by_name: unknown device '" + std::string(name) +
+                         "' (valid: " + valid + ")");
 }
 
 }  // namespace wsim::simt

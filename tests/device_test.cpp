@@ -89,6 +89,22 @@ TEST(Device, LookupByName) {
   EXPECT_THROW(wsim::simt::device_by_name("GTX 9000"), wsim::util::CheckError);
 }
 
+// The unknown-name error names every valid device, so a CLI typo is
+// self-correcting.
+TEST(Device, UnknownNameErrorListsValidDevices) {
+  try {
+    wsim::simt::device_by_name("GTX 9000");
+    FAIL() << "expected CheckError";
+  } catch (const wsim::util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("GTX 9000"), std::string::npos) << what;
+    for (const auto& dev : wsim::simt::all_devices()) {
+      EXPECT_NE(what.find("'" + dev.name + "'"), std::string::npos)
+          << dev.name << " missing from: " << what;
+    }
+  }
+}
+
 TEST(Device, ShuffleLatencyRejectsBadVariant) {
   const DeviceSpec dev = wsim::simt::make_k1200();
   EXPECT_THROW(dev.shuffle_latency(4), wsim::util::CheckError);

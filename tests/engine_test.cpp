@@ -294,6 +294,39 @@ TEST(ExecutionEngine, SharedEngineIsASingleton) {
   EXPECT_GE(wsim::simt::shared_engine().threads(), 1);
 }
 
+// Regression for the process-wide engine contract: every runner built
+// without an explicit engine routes through the same shared_engine(), so
+// cost-cache entries written by one runner are hits for the next —
+// distinct runner instances, one cache.
+TEST(ExecutionEngine, SharedEngineCacheIsReusedAcrossRunnerInstances) {
+  // Shapes not used by any other test in this binary, so entries are
+  // fresh regardless of test order.
+  wsim::util::Rng rng(91);
+  wsim::workload::SwBatch batch = {{random_dna(rng, 61), random_dna(rng, 67)},
+                                   {random_dna(rng, 59), random_dna(rng, 71)}};
+  wsim::kernels::SwRunOptions opt;
+  opt.mode = ExecMode::kCachedByShape;
+  opt.use_engine_cache = true;
+  opt.engine = nullptr;  // explicit: fall back to shared_engine()
+
+  auto& shared = wsim::simt::shared_engine();
+  const std::size_t before = shared.cost_cache_size();
+  const wsim::kernels::SwRunner first(wsim::kernels::CommMode::kShuffle);
+  const auto cold = first.run_batch(kDev, batch, opt);
+  const std::size_t after = shared.cost_cache_size();
+  EXPECT_GT(after, before);
+  EXPECT_GT(cold.run.launch.blocks_executed, 0U);
+
+  // A brand-new runner instance: same shared cache, so nothing executes.
+  const wsim::kernels::SwRunner second(wsim::kernels::CommMode::kShuffle);
+  const auto warm = second.run_batch(kDev, batch, opt);
+  EXPECT_EQ(shared.cost_cache_size(), after);
+  EXPECT_EQ(warm.run.launch.blocks_executed, 0U);
+  // Cached timing is bit-identical to the cold run (no representative
+  // block exists on a fully-warm launch, so compare the aggregate).
+  EXPECT_EQ(warm.run.launch.total_seconds(), cold.run.launch.total_seconds());
+}
+
 TEST(GmemWriteSet, CoalescesAndDetectsOverlap) {
   GmemWriteSet a;
   EXPECT_TRUE(a.empty());

@@ -5,6 +5,7 @@
 #include "wsim/align/pairhmm.hpp"
 #include "wsim/align/smith_waterman.hpp"
 #include "wsim/pipeline/pipeline.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/workload/generator.hpp"
 
 namespace {
@@ -142,6 +143,29 @@ TEST(Pipeline, EnergyAccountingIsPlausible) {
   shared_cfg.ph_design = wsim::kernels::PhDesign::kShared;
   const auto shared_report = run_pipeline(dataset, shared_cfg);
   EXPECT_LT(report.ph.pj_per_cell(), shared_report.ph.pj_per_cell() * 1.05);
+}
+
+// Regression for the threads <= 0 routing contract: the default pipeline
+// run executes on the process-wide shared_engine() — the same engine the
+// serving layer, the fleet, and the CLI share — while a positive thread
+// count builds a private engine for that run only.
+TEST(Pipeline, DefaultThreadsRouteThroughSharedEngine) {
+  const auto dataset = small_dataset(37);
+  PipelineConfig cfg = base_config();
+  cfg.threads = 0;
+  const auto shared_run = run_pipeline(dataset, cfg);
+  EXPECT_EQ(shared_run.engine_used, &wsim::simt::shared_engine());
+
+  cfg.threads = 1;
+  const auto private_run = run_pipeline(dataset, cfg);
+  EXPECT_NE(private_run.engine_used, nullptr);
+  EXPECT_NE(private_run.engine_used, &wsim::simt::shared_engine());
+
+  // Same engine or not, results are identical.
+  ASSERT_EQ(shared_run.ph_log10.size(), private_run.ph_log10.size());
+  for (std::size_t i = 0; i < shared_run.ph_log10.size(); ++i) {
+    EXPECT_EQ(shared_run.ph_log10[i], private_run.ph_log10[i]) << i;
+  }
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstddef>
 #include <optional>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "wsim/kernels/ph_kernels.hpp"
@@ -11,6 +13,7 @@
 #include "wsim/serve/queue.hpp"
 #include "wsim/serve/service.hpp"
 #include "wsim/serve/stats.hpp"
+#include "wsim/simt/engine.hpp"
 #include "wsim/util/rng.hpp"
 #include "wsim/workload/batching.hpp"
 #include "wsim/workload/generator.hpp"
@@ -433,6 +436,110 @@ TEST(ServeStats, HistogramAndSummaryBehave) {
   const auto empty = wsim::serve::summarize_latency({});
   EXPECT_EQ(empty.count, 0U);
   EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+}
+
+TEST(ServeStats, PercentileEdgeCases) {
+  // Empty sample: every field is exactly zero, no NaNs.
+  const auto empty = wsim::serve::summarize_latency({});
+  EXPECT_EQ(empty.count, 0U);
+  EXPECT_DOUBLE_EQ(empty.mean, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p50, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p95, 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+  EXPECT_DOUBLE_EQ(empty.max, 0.0);
+
+  // Single sample: every percentile is that sample.
+  const auto single = wsim::serve::summarize_latency({0.125});
+  EXPECT_EQ(single.count, 1U);
+  EXPECT_DOUBLE_EQ(single.mean, 0.125);
+  EXPECT_DOUBLE_EQ(single.p50, 0.125);
+  EXPECT_DOUBLE_EQ(single.p95, 0.125);
+  EXPECT_DOUBLE_EQ(single.p99, 0.125);
+  EXPECT_DOUBLE_EQ(single.max, 0.125);
+
+  // All-equal samples: the order statistics collapse to the common value.
+  const auto equal = wsim::serve::summarize_latency({2.5, 2.5, 2.5, 2.5, 2.5});
+  EXPECT_EQ(equal.count, 5U);
+  EXPECT_DOUBLE_EQ(equal.p50, 2.5);
+  EXPECT_DOUBLE_EQ(equal.p95, 2.5);
+  EXPECT_DOUBLE_EQ(equal.p99, 2.5);
+  EXPECT_DOUBLE_EQ(equal.mean, 2.5);
+  EXPECT_DOUBLE_EQ(equal.max, 2.5);
+}
+
+TEST(ServeStats, WriteStatsJsonMirrorsBenchSchema) {
+  wsim::serve::ServiceStats stats;
+  stats.sw_submitted = 3;
+  stats.ph_submitted = 4;
+  stats.sw_completed = 3;
+  stats.ph_completed = 4;
+  stats.rejected_cells_full = 1;
+  stats.first_submit_time = 0.0;
+  stats.last_completion_time = 2.0;
+  stats.completed_cells = 4'000'000'000ULL;
+  stats.device_busy_seconds = 1.0;
+  stats.batch_sizes.record(3);
+  stats.batch_sizes.record(4);
+  stats.latency = wsim::serve::summarize_latency({0.25, 0.25});
+
+  std::ostringstream os;
+  wsim::serve::write_stats_json(os, stats);
+  const std::string json = os.str();
+  // Field names mirror BENCH_serve.json's sweep points.
+  for (const char* key :
+       {"\"submitted\": 7", "\"completed\": 7", "\"rejected\": 1",
+        "\"throughput_tasks_per_s\": 3.5", "\"gcups\": 2",
+        "\"device_utilization\": 0.5", "\"mean_batch_size\": 3.5",
+        "\"batch_size_histogram\"", "\"latency\"", "\"queue_wait\"",
+        "\"p95_s\": 0.25", "\"deadlines_met\": 0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  // A default (empty) snapshot serializes without NaN/Inf too.
+  std::ostringstream empty_os;
+  wsim::serve::write_stats_json(empty_os, wsim::serve::ServiceStats{});
+  EXPECT_NE(empty_os.str().find("\"throughput_tasks_per_s\": 0"),
+            std::string::npos);
+  EXPECT_EQ(empty_os.str().find("nan"), std::string::npos);
+}
+
+// Regression for the cross-layer shared-engine contract: a service built
+// without an explicit engine runs on simt::shared_engine(), so the
+// cost-cache entries it writes are hits for a bare runner (and vice
+// versa) — same cache across serving layer, runners, pipeline, CLI.
+TEST(ServeStats, TimingOnlyServiceSharesTheProcessWideCostCache) {
+  const auto dataset = small_dataset(41);
+  const auto sw_tasks = wsim::workload::sw_all_tasks(dataset);
+  ASSERT_FALSE(sw_tasks.empty());
+
+  ServiceConfig cfg = base_config();
+  cfg.collect_outputs = false;  // timing-only: shape-cached via engine cache
+  cfg.engine = nullptr;         // explicit: the process-wide shared_engine()
+  AlignmentService service(cfg);
+  double t = 0.0;
+  for (const auto& task : sw_tasks) {
+    service.advance_to(t);
+    ASSERT_TRUE(service.submit(SwRequest{task, Priority::kNormal, {}, {}})
+                    .admitted());
+    t += 25e-6;
+  }
+  service.drain();
+
+  auto& shared = wsim::simt::shared_engine();
+  const std::size_t after_service = shared.cost_cache_size();
+  EXPECT_GT(after_service, 0U);
+
+  // The same task shapes through a bare runner: pure cache hits — no new
+  // entries, no blocks executed.
+  const wsim::kernels::SwRunner runner(cfg.sw_design);
+  wsim::kernels::SwRunOptions opt;
+  opt.mode = wsim::simt::ExecMode::kCachedByShape;
+  opt.use_engine_cache = true;
+  const auto warm = runner.run_batch(cfg.device, sw_tasks, opt);
+  EXPECT_EQ(shared.cost_cache_size(), after_service);
+  EXPECT_EQ(warm.run.launch.blocks_executed, 0U);
 }
 
 }  // namespace

@@ -10,6 +10,8 @@
 //   wsim pipeline [opts]                 two-stage HaplotypeCaller pipeline
 //   wsim serve-sim [--rate R --delay U]  replay a dataset through the
 //                                        async alignment service
+//   wsim fleet-sim [--fleet "A,B,..."]   same replay over a heterogeneous
+//                                        multi-device fleet
 //   wsim help | --help | -h              print usage and exit 0
 //
 // Common options: --device "K40"|"K1200"|"Titan X" (default K1200),
@@ -25,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "wsim/fleet/fleet.hpp"
 #include "wsim/kernels/nw_kernels.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
@@ -350,31 +353,37 @@ int cmd_pipeline(const Args& args) {
   return report.mismatches == 0 ? 0 : 1;
 }
 
-int cmd_serve_sim(const Args& args) {
-  namespace serve = wsim::serve;
-  wsim::workload::Dataset ds;
+wsim::workload::Dataset dataset_from(const Args& args, int default_regions) {
   const std::string in = args.get("in", "");
   if (!in.empty()) {
-    ds = wsim::workload::load_dataset(in);
-  } else {
-    wsim::workload::GeneratorConfig cfg;
-    cfg.regions = static_cast<int>(args.get_int("regions", 8));
-    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
-    ds = wsim::workload::generate_dataset(cfg);
+    return wsim::workload::load_dataset(in);
   }
+  wsim::workload::GeneratorConfig cfg;
+  cfg.regions = static_cast<int>(args.get_int("regions", default_regions));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return wsim::workload::generate_dataset(cfg);
+}
 
-  const double rate = std::stod(args.get("rate", "50000"));
-  wsim::util::require(rate > 0.0, "serve-sim: --rate must be > 0");
-  const double delay_us = std::stod(args.get("delay", "200"));
-  const double deadline_us = std::stod(args.get("deadline", "0"));
+/// Knobs shared by serve-sim and fleet-sim.
+struct ReplaySetup {
+  double rate = 0.0;
+  double delay_us = 0.0;
+  double deadline_us = 0.0;
+};
 
-  serve::ServiceConfig cfg;
-  cfg.device = device_from(args);
-  if (mode_from(args) == CommMode::kSharedMemory) {
-    cfg.sw_design = CommMode::kSharedMemory;
-    cfg.ph_design = wsim::kernels::PhDesign::kShared;
-  }
-  cfg.policy.max_batch_delay = delay_us * 1e-6;
+ReplaySetup replay_setup_from(const Args& args) {
+  ReplaySetup setup;
+  setup.rate = std::stod(args.get("rate", "50000"));
+  wsim::util::require(setup.rate > 0.0, "--rate must be > 0");
+  setup.delay_us = std::stod(args.get("delay", "200"));
+  setup.deadline_us = std::stod(args.get("deadline", "0"));
+  return setup;
+}
+
+/// Fills the BatchPolicy/admission knobs common to both replay commands.
+void apply_service_args(const Args& args, const ReplaySetup& setup,
+                        wsim::serve::ServiceConfig& cfg) {
+  cfg.policy.max_batch_delay = setup.delay_us * 1e-6;
   cfg.policy.target_batch_cells =
       static_cast<std::size_t>(args.get_int(
           "target-cells", static_cast<long>(cfg.policy.target_batch_cells)));
@@ -385,14 +394,21 @@ int cmd_serve_sim(const Args& args) {
   // Timing-only by default: the load experiment needs latencies, not
   // alignments, and shape-cached execution keeps large replays fast.
   cfg.collect_outputs = args.options.count("outputs") != 0;
-  wsim::simt::ExecutionEngine engine(engine_options_from(args));
-  cfg.engine = &engine;
-  serve::AlignmentService service(std::move(cfg));
+}
 
-  // Open-loop Poisson arrivals: flatten both task kinds, shuffle so SW and
-  // PairHMM interleave, then submit with exponential interarrival gaps at
-  // the requested rate — the clock advances to each arrival first, so
-  // flushes and deliveries happen exactly when the simulated time says.
+struct ReplayOutcome {
+  std::size_t rejected = 0;
+  double end = 0.0;  ///< simulated time after drain
+};
+
+/// Open-loop Poisson arrivals: flatten both task kinds, shuffle so SW and
+/// PairHMM interleave, then submit with exponential interarrival gaps at
+/// the requested rate — the clock advances to each arrival first, so
+/// flushes and deliveries happen exactly when the simulated time says.
+ReplayOutcome replay_poisson(wsim::serve::AlignmentService& service,
+                             const wsim::workload::Dataset& ds,
+                             const ReplaySetup& setup, std::uint64_t seed) {
+  namespace serve = wsim::serve;
   struct Arrival {
     bool is_sw = false;
     std::size_t index = 0;
@@ -407,19 +423,19 @@ int cmd_serve_sim(const Args& args) {
   for (std::size_t i = 0; i < ph_tasks.size(); ++i) {
     arrivals.push_back({false, i});
   }
-  wsim::util::require(!arrivals.empty(), "serve-sim: dataset has no tasks");
-  wsim::util::Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 42)) ^
-                      0x5e27e5e27e5e27e5ULL);
+  wsim::util::require(!arrivals.empty(), "replay: dataset has no tasks");
+  wsim::util::Rng rng(seed ^ 0x5e27e5e27e5e27e5ULL);
   rng.shuffle(arrivals);
 
-  std::size_t rejected = 0;
+  ReplayOutcome outcome;
   double t = 0.0;
   for (const Arrival& arrival : arrivals) {
-    t += -std::log(1.0 - rng.uniform01()) / rate;
+    t += -std::log(1.0 - rng.uniform01()) / setup.rate;
     service.advance_to(t);
     const auto deadline =
-        deadline_us > 0.0 ? std::optional<double>(t + deadline_us * 1e-6)
-                          : std::nullopt;
+        setup.deadline_us > 0.0
+            ? std::optional<double>(t + setup.deadline_us * 1e-6)
+            : std::nullopt;
     bool admitted = false;
     if (arrival.is_sw) {
       serve::SwRequest request;
@@ -433,23 +449,20 @@ int cmd_serve_sim(const Args& args) {
       admitted = service.submit(std::move(request)).admitted();
     }
     if (!admitted) {
-      ++rejected;
+      ++outcome.rejected;
     }
   }
-  const double end = service.drain();
-  const auto stats = service.stats();
+  outcome.end = service.drain();
+  return outcome;
+}
 
-  std::cout << "Device: " << service.config().device.name << ", rate "
-            << format_fixed(rate, 0) << " req/s, batching delay "
-            << format_fixed(delay_us, 0) << " us"
-            << (deadline_us > 0.0
-                    ? ", deadline " + format_fixed(deadline_us, 0) + " us"
-                    : std::string())
-            << "\n";
+/// Prints the ServiceStats table shared by serve-sim and fleet-sim.
+void print_service_stats(const wsim::serve::ServiceStats& stats,
+                         const ReplayOutcome& outcome, double deadline_us) {
   wsim::util::Table table({"metric", "value"});
   table.add_row({"submitted", std::to_string(stats.submitted())});
   table.add_row({"completed", std::to_string(stats.completed())});
-  table.add_row({"rejected (backpressure)", std::to_string(rejected)});
+  table.add_row({"rejected (backpressure)", std::to_string(outcome.rejected)});
   table.add_row({"batches", std::to_string(stats.batch_sizes.batches)});
   table.add_row({"mean batch size", format_fixed(stats.batch_sizes.mean_size(), 2)});
   table.add_row({"batch-size histogram", stats.batch_sizes.format()});
@@ -468,8 +481,149 @@ int cmd_serve_sim(const Args& args) {
     table.add_row({"deadlines met", std::to_string(stats.deadlines_met) + " / " +
                    std::to_string(stats.deadlines_met + stats.deadlines_missed)});
   }
-  table.add_row({"simulated end time", format_fixed(end * 1e3, 3) + " ms"});
+  table.add_row({"simulated end time", format_fixed(outcome.end * 1e3, 3) + " ms"});
   table.print(std::cout);
+}
+
+/// Dumps the stats to the --json path when given (serve::write_stats_json
+/// schema, mirroring the bench sweeps' JSON field names).
+void maybe_write_stats_json(const Args& args,
+                            const wsim::serve::ServiceStats& stats) {
+  const std::string path = args.get("json", "");
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream os(path);
+  wsim::util::require(static_cast<bool>(os), "cannot open json file " + path);
+  wsim::serve::write_stats_json(os, stats);
+  os << '\n';
+  std::cout << "stats written to " << path << "\n";
+}
+
+int cmd_serve_sim(const Args& args) {
+  namespace serve = wsim::serve;
+  const auto ds = dataset_from(args, /*default_regions=*/8);
+  const ReplaySetup setup = replay_setup_from(args);
+
+  serve::ServiceConfig cfg;
+  cfg.device = device_from(args);
+  if (mode_from(args) == CommMode::kSharedMemory) {
+    cfg.sw_design = CommMode::kSharedMemory;
+    cfg.ph_design = wsim::kernels::PhDesign::kShared;
+  }
+  apply_service_args(args, setup, cfg);
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+  cfg.engine = &engine;
+  serve::AlignmentService service(std::move(cfg));
+
+  const ReplayOutcome outcome = replay_poisson(
+      service, ds, setup, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto stats = service.stats();
+
+  std::cout << "Device: " << service.config().device.name << ", rate "
+            << format_fixed(setup.rate, 0) << " req/s, batching delay "
+            << format_fixed(setup.delay_us, 0) << " us"
+            << (setup.deadline_us > 0.0
+                    ? ", deadline " + format_fixed(setup.deadline_us, 0) + " us"
+                    : std::string())
+            << "\n";
+  print_service_stats(stats, outcome, setup.deadline_us);
+  maybe_write_stats_json(args, stats);
+  return 0;
+}
+
+int cmd_fleet_sim(const Args& args) {
+  namespace fleet = wsim::fleet;
+  namespace serve = wsim::serve;
+  const auto ds = dataset_from(args, /*default_regions=*/8);
+  const ReplaySetup setup = replay_setup_from(args);
+
+  // --fleet "K40,K1200,Titan X": comma-separated device names, each one
+  // simulated worker. Kernel designs are chosen per device by the
+  // performance model unless --mode pins them fleet-wide.
+  fleet::FleetConfig fleet_cfg;
+  const std::string fleet_names = args.get("fleet", "K40,K1200,Titan X");
+  std::size_t begin = 0;
+  while (begin <= fleet_names.size()) {
+    std::size_t end = fleet_names.find(',', begin);
+    if (end == std::string::npos) {
+      end = fleet_names.size();
+    }
+    const std::string name = fleet_names.substr(begin, end - begin);
+    if (!name.empty()) {
+      fleet::WorkerConfig wc;
+      wc.device = wsim::simt::device_by_name(name);
+      if (args.options.count("mode") != 0 &&
+          mode_from(args) == CommMode::kSharedMemory) {
+        wc.sw_design = CommMode::kSharedMemory;
+        wc.ph_design = wsim::kernels::PhDesign::kShared;
+      }
+      fleet_cfg.workers.push_back(std::move(wc));
+    }
+    begin = end + 1;
+  }
+  wsim::util::require(!fleet_cfg.workers.empty(),
+                      "fleet-sim: --fleet names no devices");
+  fleet_cfg.policy = fleet::placement_policy_by_name(args.get("policy", "model"));
+  fleet_cfg.faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  fleet_cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
+  fleet_cfg.faults.slowdown_prob = std::stod(args.get("slow-prob", "0"));
+  fleet_cfg.faults.slowdown_factor = std::stod(args.get("slow-factor", "4"));
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+  fleet_cfg.engine = &engine;
+  fleet::FleetExecutor executor(std::move(fleet_cfg));
+
+  serve::ServiceConfig cfg;
+  apply_service_args(args, setup, cfg);
+  cfg.fleet = &executor;
+  serve::AlignmentService service(std::move(cfg));
+
+  const ReplayOutcome outcome = replay_poisson(
+      service, ds, setup, static_cast<std::uint64_t>(args.get_int("seed", 42)));
+  const auto stats = service.stats();
+  const auto fleet_stats = executor.stats();
+
+  std::cout << "Fleet: " << executor.size() << " devices, policy "
+            << fleet::to_string(executor.config().policy) << ", rate "
+            << format_fixed(setup.rate, 0) << " req/s, batching delay "
+            << format_fixed(setup.delay_us, 0) << " us"
+            << (executor.config().faults.enabled()
+                    ? ", faults on (seed " +
+                          std::to_string(executor.config().faults.seed) + ")"
+                    : std::string())
+            << "\n";
+  print_service_stats(stats, outcome, setup.deadline_us);
+
+  const auto ph_design_name = [](wsim::kernels::PhDesign design) {
+    switch (design) {
+      case wsim::kernels::PhDesign::kShared:
+        return "shared";
+      case wsim::kernels::PhDesign::kShuffle:
+        return "shuffle";
+      case wsim::kernels::PhDesign::kHybrid:
+        return "hybrid";
+    }
+    return "?";
+  };
+  const double duration = stats.duration_seconds();
+  wsim::util::Table devices({"device", "SW", "PH", "batches", "tasks", "cells",
+                             "busy (ms)", "util", "failures", "slowdowns"});
+  for (std::size_t i = 0; i < fleet_stats.devices.size(); ++i) {
+    const auto& d = fleet_stats.devices[i];
+    devices.add_row({d.name, std::string(wsim::kernels::to_string(d.sw_design)),
+                     ph_design_name(d.ph_design), std::to_string(d.batches),
+                     std::to_string(d.tasks), std::to_string(d.cells),
+                     format_fixed(d.busy_seconds * 1e3, 3),
+                     format_percent(fleet_stats.utilization(i, duration)),
+                     std::to_string(d.launch_failures),
+                     std::to_string(d.slowdowns)});
+  }
+  devices.print(std::cout);
+  std::cout << "dispatches " << fleet_stats.dispatches << ", retries "
+            << fleet_stats.retries << ", requeues " << fleet_stats.requeues
+            << ", busy skew " << format_fixed(fleet_stats.busy_skew(), 3)
+            << "\n";
+  maybe_write_stats_json(args, stats);
   return 0;
 }
 
@@ -487,9 +641,15 @@ void print_usage(std::ostream& os) {
       "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
       "           run the two-stage HaplotypeCaller pipeline\n"
       "  serve-sim [--in F] [--rate R] [--delay US] [--deadline US] [--queue N]\n"
-      "            [--target-cells C] [--max-batch N] [--outputs '']\n"
+      "            [--target-cells C] [--max-batch N] [--outputs ''] [--json F]\n"
       "           replay a dataset as an open-loop arrival process (R requests\n"
       "           per simulated second) through the async alignment service\n"
+      "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
+      "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
+      "            [--fault-seed S] [--json F] [+ serve-sim options]\n"
+      "           the serve-sim replay over a heterogeneous multi-device fleet\n"
+      "           with model-guided placement, fault injection, and retry;\n"
+      "           prints per-device utilization and dispatch accounting\n"
       "  help | --help | -h           print this usage and exit 0\n"
       "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
       "                --seed N, --regions N\n"
@@ -545,6 +705,9 @@ int main(int argc, char** argv) {
     }
     if (command == "serve-sim") {
       return cmd_serve_sim(args);
+    }
+    if (command == "fleet-sim") {
+      return cmd_fleet_sim(args);
     }
     std::cerr << "unknown command '" << command << "'\n";
     return usage_error();
