@@ -1,0 +1,78 @@
+#include "wsim/cli/commands.hpp"
+
+#include <algorithm>
+
+namespace wsim::cli {
+
+const std::vector<CommandInfo>& commands() {
+  static const std::vector<CommandInfo> registry = {
+      {"devices",
+       "  devices                      list simulated GPUs\n"},
+      {"micro",
+       "  micro    [--device D]        Fig. 3 instruction-latency microbenchmarks\n"},
+      {"sw",
+       "  sw       QUERY TARGET [--profile ''] Smith-Waterman alignment\n"},
+      {"nw",
+       "  nw       QUERY TARGET        Needleman-Wunsch global score\n"},
+      {"pairhmm",
+       "  pairhmm  READ HAP [--qual N] PairHMM log10 likelihood\n"},
+      {"workload",
+       "  workload [--regions N] [--in F] [--out F]  dataset stats / convert\n"},
+      {"sweep",
+       "  sweep    [--batch N] [--in F]    GCUPS of SW1/SW2/PH1/PH2\n"},
+      {"pipeline",
+       "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
+       "           run the two-stage HaplotypeCaller pipeline\n"},
+      {"serve-sim",
+       "  serve-sim [--in F] [--rate R] [--delay US] [--deadline US] [--queue N]\n"
+       "            [--target-cells C] [--max-batch N] [--outputs ''] [--json F]\n"
+       "           replay a dataset as an open-loop arrival process (R requests\n"
+       "           per simulated second) through the async alignment service\n"},
+      {"fleet-sim",
+       "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
+       "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
+       "            [--fault-seed S] [--json F] [+ serve-sim options]\n"
+       "           the serve-sim replay over a heterogeneous multi-device fleet\n"
+       "           with model-guided placement, fault injection, and retry;\n"
+       "           prints per-device utilization and dispatch accounting\n"},
+      {"guard-sim",
+       "  guard-sim [--flip-prob \"3e-7,3e-6\"] [--detect none|abft|dual|all]\n"
+       "            [--regions N] [--batch N] [--fleet \"K1200,Titan X\"]\n"
+       "            [--sdc-seed S] [--json F]\n"
+       "           sweep silent-data-corruption injection rate x detection mode\n"
+       "           over an output-collecting fleet run: every delivered batch is\n"
+       "           compared bit-for-bit against a fault-free baseline and escaped\n"
+       "           corruptions are counted per cell (dual detection must report\n"
+       "           0; PairHMM CPU fallbacks are accurate but not bit-identical\n"
+       "           and are excluded from the comparison)\n"},
+  };
+  return registry;
+}
+
+bool has_command(std::string_view name) {
+  const auto& registry = commands();
+  return std::any_of(registry.begin(), registry.end(),
+                     [&](const CommandInfo& info) { return info.name == name; });
+}
+
+std::string usage_text() {
+  std::string text =
+      "usage: wsim <command> [options]\n"
+      "commands:\n";
+  for (const CommandInfo& info : commands()) {
+    text += info.help;
+  }
+  text +=
+      "  help | --help | -h           print this usage and exit 0\n"
+      "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
+      "                --seed N, --regions N\n"
+      "                --threads N  simulation worker threads for block execution\n"
+      "                             (default: one per hardware thread; results\n"
+      "                              are identical at any thread count)\n"
+      "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
+      "                             engine, used whenever --threads is absent or\n"
+      "                             <= 0 (pipeline, benches, library default)\n";
+  return text;
+}
+
+}  // namespace wsim::cli

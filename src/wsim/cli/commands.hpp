@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wsim::cli {
+
+/// One registered subcommand of the `wsim` driver: the dispatch name and
+/// the preformatted help block (synopsis + description, two-space
+/// indented, newline-terminated) that usage_text() prints for it.
+struct CommandInfo {
+  std::string_view name;
+  std::string_view help;
+};
+
+/// Every subcommand the driver dispatches, in help order. `wsim` asserts
+/// at startup that its dispatch table matches this registry one-to-one,
+/// and cli_usage_test asserts the assembled help names every entry — so
+/// adding a command without documenting it, or documenting a command that
+/// is never dispatched, fails fast instead of drifting.
+const std::vector<CommandInfo>& commands();
+
+/// True when `name` names a registered subcommand.
+bool has_command(std::string_view name);
+
+/// The full `wsim help` text: header, every command's help block, and the
+/// common-options footer.
+std::string usage_text();
+
+}  // namespace wsim::cli

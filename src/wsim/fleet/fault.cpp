@@ -17,7 +17,7 @@ std::uint64_t mix(std::uint64_t x) noexcept {
 /// separates the failure and slowdown decisions of one attempt.
 double draw(std::uint64_t seed, int device_index, std::uint64_t dispatch_seq,
             std::uint64_t stream) noexcept {
-  std::uint64_t h = mix(seed ^ (0x51ed270b0a1ce7f9ULL * (stream + 1)));
+  std::uint64_t h = mix(seed ^ (FaultPlan::kDomain * (stream + 1)));
   h = mix(h ^ (static_cast<std::uint64_t>(device_index) + 1));
   h = mix(h ^ dispatch_seq);
   return static_cast<double>(h >> 11) * 0x1.0p-53;

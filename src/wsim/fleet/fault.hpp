@@ -19,6 +19,12 @@ using SimTime = double;
 /// slowdown stretches the batch's service seconds; the computed results
 /// are the values the kernel produces either way.
 struct FaultPlan {
+  /// Domain tag separating FaultPlan draws from simt::SdcPlan draws: the
+  /// two plans hash their shared seed under distinct constants, so seeding
+  /// both with the same value yields uncorrelated fault and corruption
+  /// streams (pinned by guard_test).
+  static constexpr std::uint64_t kDomain = 0x51ed270b0a1ce7f9ULL;
+
   std::uint64_t seed = 0;
   /// Probability that one dispatch attempt fails transiently (the launch
   /// never starts; the batch is retried with backoff, preferably on
@@ -70,6 +76,10 @@ struct RetryPolicy {
 struct DeviceHealth {
   std::size_t launch_failures = 0;
   std::size_t consecutive_failures = 0;
+  /// Consecutive output-collecting batches on this device flagged by the
+  /// guard's verification; cleared when one verifies clean. A device that
+  /// silently corrupts gets quarantined like one that fail-stops.
+  std::size_t consecutive_sdc = 0;
   SimTime unhealthy_until = 0.0;
 
   bool healthy_at(SimTime t) const noexcept { return t >= unhealthy_until; }

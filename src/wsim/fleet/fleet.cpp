@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "wsim/simt/engine.hpp"
+#include "wsim/simt/watchdog.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::fleet {
@@ -141,7 +142,25 @@ FleetStats FleetExecutor::stats() const {
   stats.dispatches = dispatches_;
   stats.retries = retries_;
   stats.requeues = requeues_;
+  stats.guard = guard_stats_;
   return stats;
+}
+
+long long FleetExecutor::effective_budget(const Worker& worker) const noexcept {
+  return worker.cfg.max_block_cycles > 0 ? worker.cfg.max_block_cycles
+                                         : config_.guard.max_block_cycles;
+}
+
+void FleetExecutor::note_sdc(std::size_t w, SimTime t) {
+  Worker& worker = workers_[w];
+  ++worker.stats.sdc_detected;
+  ++worker.health.consecutive_sdc;
+  if (config_.retry.unhealthy_after > 0 &&
+      worker.health.consecutive_sdc >=
+          static_cast<std::size_t>(config_.retry.unhealthy_after)) {
+    worker.health.unhealthy_until =
+        std::max(worker.health.unhealthy_until, t + config_.retry.quarantine_seconds);
+  }
 }
 
 void FleetExecutor::prune_pending(SimTime t) {
@@ -236,17 +255,27 @@ std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
 
 template <typename RunBatch>
 Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
-                                  bool is_sw, SimTime now, RunBatch&& run) {
+                                  bool is_sw, SimTime now, int force_device,
+                                  int excluded_initial, RunBatch&& run) {
   SimTime t = now;
   int attempt = 0;
-  int excluded = -1;
+  int excluded = excluded_initial;
   for (;;) {
     prune_pending(t);
-    const std::size_t w = place(cells, is_sw, t, excluded);
+    std::size_t w;
+    if (force_device >= 0) {
+      w = static_cast<std::size_t>(force_device);
+      force_device = -1;  // a failed pinned attempt retries by placement
+    } else {
+      w = place(cells, is_sw, t, excluded);
+    }
     Worker& worker = workers_[w];
     const std::uint64_t seq = worker.dispatch_seq++;
-    if (config_.faults.launch_fails(static_cast<int>(w), seq)) {
-      ++worker.stats.launch_failures;
+    // One failed attempt: health feedback, quarantine check, backoff, and
+    // steer the retry away from this device. Throws after max_attempts
+    // with the last failure's text, so callers (and serve tickets) see
+    // what actually went wrong.
+    const auto fail_attempt = [&](const std::string& why) {
       ++worker.health.launch_failures;
       ++worker.health.consecutive_failures;
       if (config_.retry.unhealthy_after > 0 &&
@@ -258,16 +287,37 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
       if (attempt >= config_.retry.max_attempts) {
         throw util::CheckError(
             "FleetExecutor: batch failed after " + std::to_string(attempt) +
-            " attempts (all transient launch failures; raise "
-            "RetryPolicy::max_attempts or lower FaultPlan::launch_failure_prob)");
+            " attempts (last failure: " + why + ")");
       }
       ++retries_;
       t += config_.retry.backoff(attempt - 1);
       excluded = static_cast<int>(w);
+    };
+    if (config_.faults.launch_fails(static_cast<int>(w), seq)) {
+      ++worker.stats.launch_failures;
+      fail_attempt(
+          "injected transient launch failure; raise RetryPolicy::max_attempts "
+          "or lower FaultPlan::launch_failure_prob");
       continue;
     }
     worker.health.consecutive_failures = 0;
-    const double base_seconds = run(worker);
+    double base_seconds = 0.0;
+    try {
+      base_seconds = run(worker);
+    } catch (const simt::LaunchTimeout& timeout) {
+      ++worker.stats.timeouts;
+      ++guard_stats_.watchdog_timeouts;
+      fail_attempt(timeout.what());
+      continue;
+    } catch (const util::CheckError& error) {
+      if (!config_.guard.sdc.enabled()) {
+        throw;  // without injection this is a programming error, not noise
+      }
+      // A flipped address or count register crashed the launch (OOB access,
+      // underflow, ...): under injection that is a retryable device fault.
+      fail_attempt(error.what());
+      continue;
+    }
     const double multiplier =
         config_.faults.service_multiplier(static_cast<int>(w), seq);
     if (multiplier > 1.0) {
@@ -294,51 +344,250 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
   }
 }
 
+template <typename Exec, typename RunOnce, typename FlipsOf, typename Validate,
+          typename FingerprintOf, typename CpuSubstitute>
+Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
+                                    FlipsOf&& flips_of, Validate&& validate,
+                                    FingerprintOf&& fingerprint_of,
+                                    CpuSubstitute&& cpu_substitute) {
+  Exec first = run_once(now, /*force=*/-1, /*excluded=*/-1);
+  guard_stats_.sdc_flips += flips_of(first);
+  ++guard_stats_.verified_batches;
+
+  if (config_.guard.detect == guard::DetectMode::kAbft) {
+    std::optional<std::string> verdict = validate(first);
+    if (!verdict.has_value()) {
+      workers_[static_cast<std::size_t>(first.exec.device_index)]
+          .health.consecutive_sdc = 0;
+      if (flips_of(first) > 0) {
+        ++guard_stats_.sdc_masked;
+      }
+      return first;
+    }
+    ++guard_stats_.sdc_detected;
+    note_sdc(static_cast<std::size_t>(first.exec.device_index),
+             first.exec.completion_time);
+    Exec flagged = std::move(first);
+    for (int redo = 0; redo < config_.guard.max_reexecutions; ++redo) {
+      // Escalation: first retry prefers the flagged device (a transient
+      // upset clears), the next avoids it (a sick device does not).
+      const int device = flagged.exec.device_index;
+      Exec rerun = run_once(flagged.exec.completion_time,
+                            redo == 0 ? device : -1, redo == 0 ? -1 : device);
+      ++guard_stats_.reexecutions;
+      guard_stats_.sdc_flips += flips_of(rerun);
+      rerun.exec.reexecutions = flagged.exec.reexecutions + 1;
+      verdict = validate(rerun);
+      if (!verdict.has_value()) {
+        ++guard_stats_.sdc_corrected;
+        workers_[static_cast<std::size_t>(rerun.exec.device_index)]
+            .health.consecutive_sdc = 0;
+        if (flips_of(rerun) > 0) {
+          ++guard_stats_.sdc_masked;
+        }
+        return rerun;
+      }
+      ++guard_stats_.sdc_detected;
+      note_sdc(static_cast<std::size_t>(rerun.exec.device_index),
+               rerun.exec.completion_time);
+      flagged = std::move(rerun);
+    }
+    if (!config_.guard.cpu_fallback) {
+      throw util::CheckError("guard: batch still failing verification after " +
+                             std::to_string(config_.guard.max_reexecutions) +
+                             " re-executions (" + *verdict + ")");
+    }
+    cpu_substitute(flagged);
+    flagged.exec.cpu_fallback = true;
+    ++guard_stats_.cpu_fallbacks;
+    return flagged;
+  }
+
+  // kDual: the batch runs twice (different devices when possible, always
+  // disjoint SDC streams); exact fingerprint agreement certifies the
+  // outputs, a mismatch escalates to a third run and a 2-of-3 vote.
+  Exec second =
+      run_once(first.exec.completion_time, /*force=*/-1, first.exec.device_index);
+  ++guard_stats_.reexecutions;
+  guard_stats_.sdc_flips += flips_of(second);
+  const std::uint64_t print1 = fingerprint_of(first);
+  const std::uint64_t print2 = fingerprint_of(second);
+  if (print1 == print2) {
+    workers_[static_cast<std::size_t>(first.exec.device_index)]
+        .health.consecutive_sdc = 0;
+    workers_[static_cast<std::size_t>(second.exec.device_index)]
+        .health.consecutive_sdc = 0;
+    if (flips_of(first) + flips_of(second) > 0) {
+      ++guard_stats_.sdc_masked;
+    }
+    first.exec.reexecutions += 1;
+    first.exec.completion_time =
+        std::max(first.exec.completion_time, second.exec.completion_time);
+    return first;
+  }
+  ++guard_stats_.sdc_detected;
+  Exec third = run_once(second.exec.completion_time, /*force=*/-1, /*excluded=*/-1);
+  ++guard_stats_.reexecutions;
+  guard_stats_.sdc_flips += flips_of(third);
+  const std::uint64_t print3 = fingerprint_of(third);
+  if (print3 == print1 || print3 == print2) {
+    const Exec& loser = print3 == print1 ? second : first;
+    note_sdc(static_cast<std::size_t>(loser.exec.device_index),
+             loser.exec.completion_time);
+    Exec winner = print3 == print1 ? std::move(first) : std::move(second);
+    ++guard_stats_.sdc_corrected;
+    winner.exec.reexecutions += 2;
+    winner.exec.completion_time = third.exec.completion_time;
+    return winner;
+  }
+  if (!config_.guard.cpu_fallback) {
+    throw util::CheckError(
+        "guard: three dual-execution runs disagree pairwise; no quorum");
+  }
+  cpu_substitute(third);
+  third.exec.cpu_fallback = true;
+  third.exec.reexecutions += 2;
+  ++guard_stats_.cpu_fallbacks;
+  return third;
+}
+
 SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
                                       SimTime now, const ExecOptions& options) {
   util::require(!batch.empty(), "FleetExecutor::execute_sw: empty batch");
   const std::size_t cells = workload::batch_cells(batch);
-  SwExecution out;
-  out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now,
-                      [&](Worker& worker) {
-                        kernels::SwRunOptions opt;
-                        opt.engine = engine_;
-                        opt.overlap_transfers = options.overlap_transfers;
-                        if (options.collect_outputs) {
-                          opt.collect_outputs = true;
-                        } else {
+  const auto run_once = [&](SimTime when, int force, int excluded) {
+    SwExecution out;
+    out.exec =
+        dispatch(batch.size(), cells, /*is_sw=*/true, when, force, excluded,
+                 [&](Worker& worker) {
+                   kernels::SwRunOptions opt;
+                   opt.engine = engine_;
+                   opt.overlap_transfers = options.overlap_transfers;
+                   opt.max_block_cycles = effective_budget(worker);
+                   if (options.collect_outputs) {
+                     opt.collect_outputs = true;
+                     if (config_.guard.sdc.enabled()) {
+                       opt.sdc = config_.guard.sdc;
+                       opt.sdc_launch_id = sdc_launch_seq_++;
+                     }
+                   } else {
+                     opt.mode = simt::ExecMode::kCachedByShape;
+                     opt.use_engine_cache = true;
+                   }
+                   out.result =
+                       worker.sw_runner.run_batch(worker.cfg.device, batch, opt);
+                   return out.result.run.launch.total_seconds();
+                 });
+    return out;
+  };
+  const align::SwParams& params = workers_.front().sw_runner.params();
+  try {
+    if (!options.collect_outputs || !config_.guard.verifying()) {
+      SwExecution out = run_once(now, -1, -1);
+      guard_stats_.sdc_flips += out.result.run.launch.sdc_flips;
+      return out;
+    }
+    return guarded_execute<SwExecution>(
+        now, run_once,
+        [](const SwExecution& e) { return e.result.run.launch.sdc_flips; },
+        [&](const SwExecution& e) {
+          return guard::validate_sw(batch, e.result.outputs, params);
+        },
+        [](const SwExecution& e) { return guard::fingerprint_sw(e.result.outputs); },
+        [&](SwExecution& e) { e.result.outputs = guard::cpu_sw(batch, params); });
+  } catch (const util::CheckError&) {
+    if (!options.collect_outputs || !config_.guard.sdc.enabled() ||
+        !config_.guard.cpu_fallback) {
+      throw;
+    }
+    // Injected corruption hit an address register on every attempt —
+    // fail-stop, not silent. Timing comes from a clean shape-cached
+    // dispatch; the values from the bit-identical CPU reference.
+    SwExecution out;
+    out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now, -1, -1,
+                        [&](Worker& worker) {
+                          kernels::SwRunOptions opt;
+                          opt.engine = engine_;
+                          opt.overlap_transfers = options.overlap_transfers;
                           opt.mode = simt::ExecMode::kCachedByShape;
                           opt.use_engine_cache = true;
-                        }
-                        out.result =
-                            worker.sw_runner.run_batch(worker.cfg.device, batch, opt);
-                        return out.result.run.launch.total_seconds();
-                      });
-  return out;
+                          out.result = worker.sw_runner.run_batch(
+                              worker.cfg.device, batch, opt);
+                          return out.result.run.launch.total_seconds();
+                        });
+    out.result.outputs = guard::cpu_sw(batch, params);
+    out.exec.cpu_fallback = true;
+    ++guard_stats_.cpu_fallbacks;
+    return out;
+  }
 }
 
 PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
                                       SimTime now, const ExecOptions& options) {
   util::require(!batch.empty(), "FleetExecutor::execute_ph: empty batch");
   const std::size_t cells = workload::batch_cells(batch);
-  PhExecution out;
-  out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, now,
-                      [&](Worker& worker) {
-                        kernels::PhRunOptions opt;
-                        opt.engine = engine_;
-                        opt.overlap_transfers = options.overlap_transfers;
-                        if (options.collect_outputs) {
-                          opt.collect_outputs = true;
-                          opt.double_fallback = options.double_fallback;
-                        } else {
+  const auto run_once = [&](SimTime when, int force, int excluded) {
+    PhExecution out;
+    out.exec =
+        dispatch(batch.size(), cells, /*is_sw=*/false, when, force, excluded,
+                 [&](Worker& worker) {
+                   kernels::PhRunOptions opt;
+                   opt.engine = engine_;
+                   opt.overlap_transfers = options.overlap_transfers;
+                   opt.max_block_cycles = effective_budget(worker);
+                   if (options.collect_outputs) {
+                     opt.collect_outputs = true;
+                     opt.double_fallback = options.double_fallback;
+                     if (config_.guard.sdc.enabled()) {
+                       opt.sdc = config_.guard.sdc;
+                       opt.sdc_launch_id = sdc_launch_seq_++;
+                     }
+                   } else {
+                     opt.mode = simt::ExecMode::kCachedByShape;
+                     opt.use_engine_cache = true;
+                   }
+                   out.result =
+                       worker.ph_runner.run_batch(worker.cfg.device, batch, opt);
+                   return out.result.run.launch.total_seconds();
+                 });
+    return out;
+  };
+  try {
+    if (!options.collect_outputs || !config_.guard.verifying()) {
+      PhExecution out = run_once(now, -1, -1);
+      guard_stats_.sdc_flips += out.result.run.launch.sdc_flips;
+      return out;
+    }
+    return guarded_execute<PhExecution>(
+        now, run_once,
+        [](const PhExecution& e) { return e.result.run.launch.sdc_flips; },
+        [&](const PhExecution& e) { return guard::validate_ph(batch, e.result.log10); },
+        [](const PhExecution& e) { return guard::fingerprint_ph(e.result.log10); },
+        [&](PhExecution& e) { e.result.log10 = guard::cpu_ph(batch); });
+  } catch (const util::CheckError&) {
+    if (!options.collect_outputs || !config_.guard.sdc.enabled() ||
+        !config_.guard.cpu_fallback) {
+      throw;
+    }
+    // As in execute_sw: crashes exhausted every attempt, so answer from
+    // the CPU reference (accurate, though not bit-identical for PairHMM).
+    PhExecution out;
+    out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, now, -1, -1,
+                        [&](Worker& worker) {
+                          kernels::PhRunOptions opt;
+                          opt.engine = engine_;
+                          opt.overlap_transfers = options.overlap_transfers;
                           opt.mode = simt::ExecMode::kCachedByShape;
                           opt.use_engine_cache = true;
-                        }
-                        out.result =
-                            worker.ph_runner.run_batch(worker.cfg.device, batch, opt);
-                        return out.result.run.launch.total_seconds();
-                      });
-  return out;
+                          out.result = worker.ph_runner.run_batch(
+                              worker.cfg.device, batch, opt);
+                          return out.result.run.launch.total_seconds();
+                        });
+    out.result.log10 = guard::cpu_ph(batch);
+    out.exec.cpu_fallback = true;
+    ++guard_stats_.cpu_fallbacks;
+    return out;
+  }
 }
 
 }  // namespace wsim::fleet

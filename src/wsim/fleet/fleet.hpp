@@ -10,6 +10,7 @@
 
 #include "wsim/fleet/fault.hpp"
 #include "wsim/fleet/router.hpp"
+#include "wsim/guard/guard.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/simt/device.hpp"
@@ -58,6 +59,10 @@ struct WorkerConfig {
   /// earliest slot frees (the fleet never drops admitted work — admission
   /// backpressure lives in the serving layer).
   std::size_t max_pending_batches = 8;
+  /// Per-device watchdog budget overriding GuardConfig::max_block_cycles
+  /// when positive (a slow K1200 may deserve a bigger budget than a
+  /// Titan X).
+  long long max_block_cycles = 0;
 };
 
 struct FleetConfig {
@@ -65,6 +70,11 @@ struct FleetConfig {
   PlacementPolicy policy = PlacementPolicy::kModelGuided;
   FaultPlan faults;
   RetryPolicy retry;
+  /// SDC injection, detection mode, watchdog budget, and escalation knobs
+  /// (see guard::GuardConfig). Injection and verification apply to
+  /// output-collecting dispatches only; timing-only dispatches reuse
+  /// cached per-shape costs and must stay clean.
+  guard::GuardConfig guard;
   /// Engine executing every worker's launches; null means the
   /// process-wide simt::shared_engine(). Workers share the pool — a
   /// DeviceWorker is a simulated-device timeline, not an OS thread.
@@ -89,6 +99,8 @@ struct DeviceStats {
   double busy_seconds = 0.0;
   std::size_t launch_failures = 0;  ///< injected transient failures seen
   std::size_t slowdowns = 0;        ///< batches run under a slowdown fault
+  std::size_t sdc_detected = 0;     ///< verifications that flagged this device
+  std::size_t timeouts = 0;         ///< watchdog LaunchTimeout errors here
   SimTime free_at = 0.0;            ///< device-timeline end
 };
 
@@ -99,6 +111,7 @@ struct FleetStats {
   std::size_t dispatches = 0;  ///< successful batch executions
   std::size_t retries = 0;     ///< failed attempts that were retried
   std::size_t requeues = 0;    ///< retries that landed on a different device
+  guard::GuardStats guard;     ///< corruption/watchdog/verification accounting
 
   std::size_t total_cells() const noexcept;
   double total_busy_seconds() const noexcept;
@@ -117,6 +130,8 @@ struct Execution {
   double service_seconds = 0.0;   ///< simulated seconds, incl. slowdown
   int device_index = 0;           ///< worker that executed it
   int attempts = 1;               ///< 1 = no retries
+  int reexecutions = 0;           ///< extra runs for verification/recovery
+  bool cpu_fallback = false;      ///< outputs replaced by the CPU reference
 };
 
 struct SwExecution {
@@ -205,10 +220,31 @@ class FleetExecutor {
 
   /// Shared dispatch loop: placement, fault check, retry/backoff, then
   /// `run(worker)` which executes the batch and returns its simulated
-  /// service seconds (before any slowdown).
+  /// service seconds (before any slowdown). Watchdog LaunchTimeout (and,
+  /// under SDC injection, crashes the corruption caused) are treated as
+  /// retryable failures. `force_device` pins the first attempt to one
+  /// worker (re-execution on the flagged device); `excluded_initial`
+  /// steers the first attempt away from one (re-execution elsewhere).
   template <typename RunBatch>
   Execution dispatch(std::size_t tasks, std::size_t cells, bool is_sw,
-                     SimTime now, RunBatch&& run);
+                     SimTime now, int force_device, int excluded_initial,
+                     RunBatch&& run);
+
+  /// Detection + escalation around `run_once`: screen the outputs per the
+  /// configured DetectMode, re-execute flagged batches (same device, then
+  /// another), and as the last step substitute the CPU reference.
+  template <typename Exec, typename RunOnce, typename FlipsOf, typename Validate,
+            typename FingerprintOf, typename CpuSubstitute>
+  Exec guarded_execute(SimTime now, RunOnce&& run_once, FlipsOf&& flips_of,
+                       Validate&& validate, FingerprintOf&& fingerprint_of,
+                       CpuSubstitute&& cpu_substitute);
+
+  /// Watchdog budget for one worker: its override, else the fleet-wide one.
+  long long effective_budget(const Worker& worker) const noexcept;
+
+  /// Health feedback for a verification that flagged device `w` at time
+  /// `t`: repeated silent corruption quarantines the device.
+  void note_sdc(std::size_t w, SimTime t);
 
   FleetConfig config_;
   simt::ExecutionEngine* engine_;  ///< non-null after construction
@@ -217,6 +253,8 @@ class FleetExecutor {
   std::size_t dispatches_ = 0;
   std::size_t retries_ = 0;
   std::size_t requeues_ = 0;
+  guard::GuardStats guard_stats_;
+  std::uint64_t sdc_launch_seq_ = 0;  ///< fresh SDC launch id per device run
 };
 
 }  // namespace wsim::fleet

@@ -1,0 +1,302 @@
+#include "wsim/guard/guard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "wsim/align/needleman_wunsch.hpp"
+#include "wsim/align/pairhmm.hpp"
+#include "wsim/align/smith_waterman.hpp"
+#include "wsim/cpu/simd_pairhmm.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::guard {
+
+namespace {
+
+std::uint64_t fnv_bytes(std::uint64_t h, const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    h = (h ^ p[i]) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+template <typename T>
+std::uint64_t fnv_value(std::uint64_t h, T value) noexcept {
+  return fnv_bytes(h, &value, sizeof(value));
+}
+
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
+
+std::string task_prefix(std::string_view kind, std::size_t index) {
+  return std::string(kind) + " task " + std::to_string(index) + ": ";
+}
+
+/// Gap of length `run` under GATK affine scoring: open covers the first
+/// base, every further base extends.
+long long gap_score(const align::SwParams& params, std::size_t run) noexcept {
+  return static_cast<long long>(params.gap_open) +
+         static_cast<long long>(run - 1) * params.gap_extend;
+}
+
+}  // namespace
+
+std::string_view to_string(DetectMode mode) noexcept {
+  switch (mode) {
+    case DetectMode::kNone: return "none";
+    case DetectMode::kAbft: return "abft";
+    case DetectMode::kDual: return "dual";
+  }
+  return "?";
+}
+
+DetectMode detect_mode_by_name(std::string_view name) {
+  if (name == "none") {
+    return DetectMode::kNone;
+  }
+  if (name == "abft") {
+    return DetectMode::kAbft;
+  }
+  if (name == "dual") {
+    return DetectMode::kDual;
+  }
+  throw util::CheckError("unknown detect mode '" + std::string(name) +
+                         "' (expected none, abft, or dual)");
+}
+
+void GuardStats::merge(const GuardStats& other) noexcept {
+  verified_batches += other.verified_batches;
+  sdc_flips += other.sdc_flips;
+  sdc_detected += other.sdc_detected;
+  sdc_corrected += other.sdc_corrected;
+  sdc_masked += other.sdc_masked;
+  reexecutions += other.reexecutions;
+  cpu_fallbacks += other.cpu_fallbacks;
+  watchdog_timeouts += other.watchdog_timeouts;
+}
+
+std::optional<std::string> validate_sw(const workload::SwBatch& batch,
+                                       const std::vector<kernels::SwTaskOutput>& outputs,
+                                       const align::SwParams& params) {
+  if (outputs.size() != batch.size()) {
+    return "SW output count " + std::to_string(outputs.size()) +
+           " != batch size " + std::to_string(batch.size());
+  }
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const workload::SwTask& task = batch[t];
+    const kernels::SwTaskOutput& out = outputs[t];
+    const std::size_t m = task.query.size();
+    const std::size_t n = task.target.size();
+    const auto prefix = [&] { return task_prefix("SW", t); };
+
+    const long long max_score =
+        static_cast<long long>(std::min(m, n)) * params.match;
+    if (out.best_score < 0 || out.best_score > max_score) {
+      return prefix() + "best score " + std::to_string(out.best_score) +
+             " outside [0, " + std::to_string(max_score) + "]";
+    }
+    if (out.best_i > m || out.best_j > n) {
+      return prefix() + "best cell (" + std::to_string(out.best_i) + ", " +
+             std::to_string(out.best_j) + ") outside the DP matrix";
+    }
+    if (out.best_score > 0 && out.best_i != m && out.best_j != n) {
+      return prefix() + "best cell off the last row/column "
+             "(HaplotypeCaller search space)";
+    }
+    const align::SwAlignment& aln = out.alignment;
+    if (aln.score != out.best_score) {
+      return prefix() + "alignment score disagrees with best score";
+    }
+    if (aln.query_end != out.best_i || aln.target_end != out.best_j) {
+      return prefix() + "alignment does not end at the best cell";
+    }
+    if (aln.query_begin > aln.query_end || aln.target_begin > aln.target_end) {
+      return prefix() + "alignment span is inverted";
+    }
+
+    // Traceback-cell consistency: re-score the CIGAR against the
+    // sequences; a corrupted backtrace almost surely traces a path whose
+    // score sum no longer equals the claimed best score.
+    std::size_t qi = aln.query_begin;
+    std::size_t ti = aln.target_begin;
+    long long rescored = 0;
+    std::size_t run = 0;
+    for (const char c : aln.cigar) {
+      if (c >= '0' && c <= '9') {
+        run = run * 10 + static_cast<std::size_t>(c - '0');
+        continue;
+      }
+      if (run == 0) {
+        return prefix() + "zero-length CIGAR run";
+      }
+      switch (c) {
+        case 'M':
+          if (qi + run > m || ti + run > n) {
+            return prefix() + "CIGAR overruns the sequences";
+          }
+          for (std::size_t k = 0; k < run; ++k) {
+            rescored += substitution_score(params, task.query[qi++], task.target[ti++]);
+          }
+          break;
+        case 'I':
+          if (qi + run > m) {
+            return prefix() + "CIGAR overruns the query";
+          }
+          qi += run;
+          rescored += gap_score(params, run);
+          break;
+        case 'D':
+          if (ti + run > n) {
+            return prefix() + "CIGAR overruns the target";
+          }
+          ti += run;
+          rescored += gap_score(params, run);
+          break;
+        default:
+          return prefix() + "unexpected CIGAR operation '" + std::string(1, c) + "'";
+      }
+      run = 0;
+    }
+    if (run != 0) {
+      return prefix() + "CIGAR ends mid-run";
+    }
+    if (qi != aln.query_end || ti != aln.target_end) {
+      return prefix() + "CIGAR length disagrees with the aligned span";
+    }
+    if (rescored != out.best_score) {
+      return prefix() + "re-scored CIGAR gives " + std::to_string(rescored) +
+             ", best score claims " + std::to_string(out.best_score);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_ph(const workload::PhBatch& batch,
+                                       const std::vector<double>& log10) {
+  if (log10.size() != batch.size()) {
+    return "PairHMM output count " + std::to_string(log10.size()) +
+           " != batch size " + std::to_string(batch.size());
+  }
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const double value = log10[t];
+    if (!std::isfinite(value)) {
+      return task_prefix("PairHMM", t) + "log10 likelihood is not finite";
+    }
+    // A likelihood is a probability: log10 <= 0, with a little slack for
+    // f32 rounding of near-perfect matches.
+    if (value > 0.5) {
+      return task_prefix("PairHMM", t) + "log10 likelihood " +
+             std::to_string(value) + " above the probability ceiling";
+    }
+    // Every path factor (emissions and transitions, both derived from
+    // 8-bit Phred quals) is >= ~1e-26, and a path has at most ~2(r+h)
+    // factors — anything below this is numeric garbage, not a likelihood.
+    const double floor = -52.0 * static_cast<double>(batch[t].read.size() +
+                                                     batch[t].hap.size() + 2);
+    if (value < floor) {
+      return task_prefix("PairHMM", t) + "log10 likelihood " +
+             std::to_string(value) + " below the reachable floor " +
+             std::to_string(floor);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> validate_nw(const workload::SwBatch& batch,
+                                       const std::vector<std::int32_t>& scores,
+                                       const align::SwParams& params) {
+  if (scores.size() != batch.size()) {
+    return "NW output count " + std::to_string(scores.size()) +
+           " != batch size " + std::to_string(batch.size());
+  }
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const std::size_t m = batch[t].query.size();
+    const std::size_t n = batch[t].target.size();
+    // Global alignment consumes both sequences: at best min(m, n) matches
+    // plus one unavoidable gap covering the length difference; at worst
+    // every consumed base pays the most negative per-base penalty.
+    long long upper = static_cast<long long>(std::min(m, n)) * params.match;
+    if (m != n) {
+      upper += gap_score(params, m > n ? m - n : n - m);
+    }
+    const long long worst_step =
+        std::min<long long>(params.mismatch, std::min(params.gap_open, params.gap_extend));
+    const long long lower = static_cast<long long>(m + n) * worst_step;
+    if (scores[t] < lower || scores[t] > upper) {
+      return task_prefix("NW", t) + "score " + std::to_string(scores[t]) +
+             " outside [" + std::to_string(lower) + ", " + std::to_string(upper) + "]";
+    }
+  }
+  return std::nullopt;
+}
+
+std::uint64_t fingerprint_sw(const std::vector<kernels::SwTaskOutput>& outputs) noexcept {
+  std::uint64_t h = kFnvBasis;
+  for (const kernels::SwTaskOutput& out : outputs) {
+    h = fnv_value(h, out.best_score);
+    h = fnv_value(h, static_cast<std::uint64_t>(out.best_i));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.best_j));
+    h = fnv_value(h, out.alignment.score);
+    h = fnv_bytes(h, out.alignment.cigar.data(), out.alignment.cigar.size());
+    h = fnv_value(h, static_cast<std::uint64_t>(out.alignment.query_begin));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.alignment.query_end));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.alignment.target_begin));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.alignment.target_end));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.btrack.rows()));
+    h = fnv_value(h, static_cast<std::uint64_t>(out.btrack.cols()));
+    h = fnv_bytes(h, out.btrack.data().data(),
+                  out.btrack.data().size() * sizeof(std::int32_t));
+  }
+  return h;
+}
+
+std::uint64_t fingerprint_ph(const std::vector<double>& log10) noexcept {
+  std::uint64_t h = kFnvBasis;
+  return fnv_bytes(h, log10.data(), log10.size() * sizeof(double));
+}
+
+std::uint64_t fingerprint_nw(const std::vector<std::int32_t>& scores) noexcept {
+  std::uint64_t h = kFnvBasis;
+  return fnv_bytes(h, scores.data(), scores.size() * sizeof(std::int32_t));
+}
+
+std::vector<kernels::SwTaskOutput> cpu_sw(const workload::SwBatch& batch,
+                                          const align::SwParams& params) {
+  std::vector<kernels::SwTaskOutput> outputs(batch.size());
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    align::SwFill fill = align::sw_fill(batch[t].query, batch[t].target, params);
+    kernels::SwTaskOutput& out = outputs[t];
+    out.best_score = fill.best_score;
+    out.best_i = fill.best_i;
+    out.best_j = fill.best_j;
+    out.alignment =
+        align::sw_backtrace(fill.btrack, fill.best_i, fill.best_j, fill.best_score);
+    out.btrack = std::move(fill.btrack);
+  }
+  return outputs;
+}
+
+std::vector<double> cpu_ph(const workload::PhBatch& batch) {
+  std::vector<double> log10(batch.size());
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    try {
+      log10[t] = cpu::simd_pairhmm_log10(batch[t]);
+    } catch (const util::CheckError&) {
+      // f32 underflow: GATK's double-precision rescue.
+      log10[t] = align::pairhmm_log10_double(batch[t]);
+    }
+  }
+  return log10;
+}
+
+std::vector<std::int32_t> cpu_nw(const workload::SwBatch& batch,
+                                 const align::SwParams& params) {
+  std::vector<std::int32_t> scores(batch.size());
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    scores[t] = align::nw_score(batch[t].query, batch[t].target, params);
+  }
+  return scores;
+}
+
+}  // namespace wsim::guard

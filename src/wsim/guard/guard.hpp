@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "wsim/align/scoring.hpp"
+#include "wsim/kernels/nw_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/sdc.hpp"
+#include "wsim/workload/batching.hpp"
+
+namespace wsim::guard {
+
+/// How a batch's outputs are screened before delivery.
+///
+/// kAbft runs the cheap per-kernel validators below — O(output) algebraic
+/// invariants in the ABFT tradition, which catch gross corruptions (NaNs,
+/// sign/exponent flips, broken tracebacks) but can miss a flip that lands
+/// inside the valid range. kDual re-executes the batch and compares
+/// output fingerprints exactly; two runs draw disjoint SDC streams, so a
+/// mismatch pinpoints corruption and agreement certifies the result (two
+/// independent corruptions producing identical outputs would have to
+/// collide bit-for-bit). kDual subsumes kAbft's checks.
+enum class DetectMode { kNone, kAbft, kDual };
+
+std::string_view to_string(DetectMode mode) noexcept;
+
+/// Parses "none" | "abft" | "dual"; throws util::CheckError otherwise.
+DetectMode detect_mode_by_name(std::string_view name);
+
+/// Resilience knobs shared by the fleet and the serving layer.
+struct GuardConfig {
+  DetectMode detect = DetectMode::kNone;
+  /// Deterministic corruption injection applied to output-collecting
+  /// launches (timing-only shape-cached launches are never injected).
+  simt::SdcPlan sdc;
+  /// Watchdog cycle budget per block; 0 disables (see simt/watchdog.hpp).
+  long long max_block_cycles = 0;
+  /// Re-executions attempted for a flagged batch before falling back to
+  /// the CPU reference (first retry prefers the same device, the next one
+  /// another device).
+  int max_reexecutions = 2;
+  /// Allow the CPU reference implementations as the final escalation
+  /// step; when false an unrecoverable batch throws util::CheckError.
+  bool cpu_fallback = true;
+
+  bool verifying() const noexcept { return detect != DetectMode::kNone; }
+  bool enabled() const noexcept {
+    return verifying() || sdc.enabled() || max_block_cycles > 0;
+  }
+};
+
+/// Corruption/watchdog accounting, merged into FleetStats and
+/// ServiceStats. "Detected" counts flagged verifications, "corrected"
+/// the flagged batches whose re-execution (or vote) produced a clean
+/// result, "masked" delivered batches whose run absorbed flips without
+/// the verifier objecting — under kDual that certifies the flips did not
+/// reach the outputs; under kAbft it may hide an in-range escape.
+struct GuardStats {
+  std::uint64_t verified_batches = 0;   ///< batches screened by a detector
+  std::uint64_t sdc_flips = 0;          ///< injected flips across all runs
+  std::uint64_t sdc_detected = 0;       ///< verifications that flagged a batch
+  std::uint64_t sdc_corrected = 0;      ///< flagged batches recovered on device
+  std::uint64_t sdc_masked = 0;         ///< delivered batches with unflagged flips
+  std::uint64_t reexecutions = 0;       ///< extra device runs for verification/recovery
+  std::uint64_t cpu_fallbacks = 0;      ///< batches answered by the CPU reference
+  std::uint64_t watchdog_timeouts = 0;  ///< LaunchTimeout errors absorbed
+
+  void merge(const GuardStats& other) noexcept;
+};
+
+// --- ABFT validators --------------------------------------------------------
+// Each returns std::nullopt when the outputs satisfy the kernel's
+// invariants, or a description of the first violation. They read only the
+// batch inputs and the device outputs — no DP recomputation.
+
+/// Smith-Waterman (HaplotypeCaller variant): per task, the best score is
+/// within [0, min(m, n) * match], the best cell lies on the last row or
+/// column, and re-scoring the traced CIGAR against the sequences
+/// reproduces the best score exactly (traceback-cell consistency).
+std::optional<std::string> validate_sw(const workload::SwBatch& batch,
+                                       const std::vector<kernels::SwTaskOutput>& outputs,
+                                       const align::SwParams& params);
+
+/// PairHMM: per task, the log10 likelihood is finite and inside the range
+/// a probability with bounded-Phred emissions can reach.
+std::optional<std::string> validate_ph(const workload::PhBatch& batch,
+                                       const std::vector<double>& log10);
+
+/// Needleman-Wunsch: per task, the global score respects the bounds from
+/// the match/gap extremes of any path through the anti-diagonal band.
+std::optional<std::string> validate_nw(const workload::SwBatch& batch,
+                                       const std::vector<std::int32_t>& scores,
+                                       const align::SwParams& params);
+
+// --- fingerprints -----------------------------------------------------------
+// FNV-1a over every output bit (scores, coordinates, CIGARs, backtrace
+// matrices); dual-execution agreement means bit-identical outputs.
+
+std::uint64_t fingerprint_sw(const std::vector<kernels::SwTaskOutput>& outputs) noexcept;
+std::uint64_t fingerprint_ph(const std::vector<double>& log10) noexcept;
+std::uint64_t fingerprint_nw(const std::vector<std::int32_t>& scores) noexcept;
+
+// --- CPU references ---------------------------------------------------------
+
+/// Host ground truth for the SW kernels: align::sw_fill + sw_backtrace,
+/// bit-identical to an uncorrupted device run (pinned by sw_kernel_test).
+std::vector<kernels::SwTaskOutput> cpu_sw(const workload::SwBatch& batch,
+                                          const align::SwParams& params);
+
+/// Host ground truth for PairHMM: the wsim::cpu SIMD forward algorithm,
+/// with the double-precision rescue for tasks whose f32 sum underflows.
+/// Accurate, but not bit-identical to the device kernel (which sums in a
+/// different order) — hence counted separately as cpu_fallbacks.
+std::vector<double> cpu_ph(const workload::PhBatch& batch);
+
+/// Host ground truth for NW: align::nw_score per task.
+std::vector<std::int32_t> cpu_nw(const workload::SwBatch& batch,
+                                 const align::SwParams& params);
+
+}  // namespace wsim::guard

@@ -332,6 +332,9 @@ NwBatchResult NwRunner::run_batch(const simt::DeviceSpec& device,
   launch_options.overlap_transfers = options.overlap_transfers;
   launch_options.transfer.h2d_bytes = h2d_bytes;
   launch_options.transfer.d2h_bytes = batch.size() * 4;
+  launch_options.sdc = options.sdc;
+  launch_options.sdc_launch_id = options.sdc_launch_id;
+  launch_options.max_block_cycles = options.max_block_cycles;
 
   simt::ExecutionEngine& engine =
       options.engine != nullptr ? *options.engine : simt::shared_engine();

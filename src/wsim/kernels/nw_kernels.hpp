@@ -41,6 +41,11 @@ struct NwRunOptions {
   /// Engine that executes the launch; null means the process-wide
   /// simt::shared_engine().
   simt::ExecutionEngine* engine = nullptr;
+  /// Deterministic SDC injection (requires kFull; see simt/sdc.hpp).
+  simt::SdcPlan sdc;
+  std::uint64_t sdc_launch_id = 0;
+  /// Watchdog cycle budget per block (simt::LaunchOptions::max_block_cycles).
+  long long max_block_cycles = 0;
 };
 
 class NwRunner {

@@ -81,6 +81,12 @@ struct PhRunOptions {
   /// Engine that executes the launches; null means the process-wide
   /// simt::shared_engine().
   simt::ExecutionEngine* engine = nullptr;
+  /// Deterministic SDC injection (requires kFull; see simt/sdc.hpp). Each
+  /// per-variant launch derives its own sub-launch id from sdc_launch_id.
+  simt::SdcPlan sdc;
+  std::uint64_t sdc_launch_id = 0;
+  /// Watchdog cycle budget per block (simt::LaunchOptions::max_block_cycles).
+  long long max_block_cycles = 0;
 };
 
 struct PhBatchResult {

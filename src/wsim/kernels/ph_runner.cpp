@@ -159,6 +159,12 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
     }
     launch_options.transfer.h2d_bytes = h2d_bytes;
     launch_options.transfer.d2h_bytes = group.size() * 4;
+    launch_options.sdc = options.sdc;
+    // Each variant launch gets its own sub-launch id so its blocks draw
+    // from SDC streams disjoint from the other variants'.
+    launch_options.sdc_launch_id =
+        simt::sdc_sub_launch(options.sdc_launch_id, static_cast<std::uint64_t>(v));
+    launch_options.max_block_cycles = options.max_block_cycles;
 
     const simt::LaunchResult launch =
         engine.launch(kernel, device, gmem, blocks, launch_options);
@@ -173,6 +179,7 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
     result.run.launch.instructions += launch.instructions;
     result.run.launch.smem_transactions += launch.smem_transactions;
     result.run.launch.blocks_executed += launch.blocks_executed;
+    result.run.launch.sdc_flips += launch.sdc_flips;
     result.run.launch.timing.cycles += launch.timing.cycles;
     result.run.launch.timing.seconds += launch.timing.seconds;
     if (group_cells > primary_cells) {

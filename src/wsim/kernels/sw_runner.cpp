@@ -197,6 +197,9 @@ SwBatchResult SwRunner::run_batch(const simt::DeviceSpec& device,
   launch_options.trace_representative = options.trace_representative;
   launch_options.transfer.h2d_bytes = h2d_bytes;
   launch_options.transfer.d2h_bytes = batch.size() * kSwResultBytesPerTask;
+  launch_options.sdc = options.sdc;
+  launch_options.sdc_launch_id = options.sdc_launch_id;
+  launch_options.max_block_cycles = options.max_block_cycles;
 
   simt::ExecutionEngine& engine =
       options.engine != nullptr ? *options.engine : simt::shared_engine();

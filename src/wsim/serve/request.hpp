@@ -3,6 +3,7 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "wsim/align/pairhmm.hpp"
@@ -78,10 +79,14 @@ struct PairHmmResponse {
 namespace detail {
 
 /// Shared state behind a Ticket: filled by the service when the simulated
-/// clock reaches the request's completion time.
+/// clock reaches the request's completion time, or failed with an error
+/// when the batch carrying the request cannot be completed (every retry
+/// attempt exhausted, a watchdog timeout, or verification that never
+/// passes with CPU fallback disabled).
 template <typename Response>
 struct ResponseSlot {
   std::optional<Response> response;
+  std::string error;  ///< non-empty iff the request failed
   std::function<void(const Response&)> callback;
 };
 
@@ -101,6 +106,17 @@ class Ticket {
   bool valid() const noexcept { return slot_ != nullptr; }
 
   bool ready() const noexcept { return slot_ != nullptr && slot_->response.has_value(); }
+
+  /// True when the service failed this request instead of answering it —
+  /// the batch exhausted its retries (e.g. a watchdog LaunchTimeout on
+  /// every device) or failed verification with recovery disabled. A
+  /// failed ticket never becomes ready; `error()` says why.
+  bool failed() const noexcept { return slot_ != nullptr && !slot_->error.empty(); }
+
+  const std::string& error() const {
+    util::require(failed(), "Ticket::error: no failure recorded");
+    return slot_->error;
+  }
 
   const Response& get() const {
     util::require(ready(), "Ticket::get: response not ready");

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "wsim/fleet/fleet.hpp"
 #include "wsim/simt/engine.hpp"
+#include "wsim/simt/watchdog.hpp"
 #include "wsim/util/check.hpp"
 #include "wsim/workload/batching.hpp"
 
@@ -23,6 +25,93 @@ struct Delivery {
   bool had_deadline = false;
   std::size_t cells = 0;
 };
+
+/// Fails every entry's ticket with `why` and returns how many. No
+/// callbacks fire: the response callback carries a Response, which never
+/// came to exist.
+template <typename Entry>
+std::size_t fail_entries(std::vector<Entry>& entries, const std::string& why) {
+  for (auto& entry : entries) {
+    entry.slot->error = why;
+  }
+  return entries.size();
+}
+
+/// SDC injection can corrupt an address register into an out-of-bounds
+/// access — a crash, not a silent error. The caller's `run` draws a fresh
+/// SDC launch id per call, so a retry sees an independent corruption
+/// stream; without injection (or on a watchdog timeout, which is
+/// deterministic for a given kernel and budget) errors propagate.
+template <typename Run>
+auto run_with_retry(Run&& run, const guard::GuardConfig& cfg) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return run();
+    } catch (const simt::LaunchTimeout&) {
+      throw;
+    } catch (const util::CheckError&) {
+      if (!cfg.sdc.enabled() || attempt + 1 >= 4) {
+        throw;
+      }
+    }
+  }
+}
+
+/// Single-device detection + escalation, mirroring the fleet's
+/// guarded_execute minus placement: verify the outputs, re-execute on the
+/// same device (a fresh launch id draws an independent corruption
+/// stream), and as the last step substitute the CPU reference.
+/// `run_once` accounts seconds and flips itself.
+template <typename Result, typename RunOnce, typename Validate,
+          typename FingerprintOf, typename CpuSubstitute>
+Result guarded_single(const guard::GuardConfig& cfg, ServiceStats& totals,
+                      RunOnce&& run_once, Validate&& validate,
+                      FingerprintOf&& fingerprint_of,
+                      CpuSubstitute&& cpu_substitute) {
+  Result first = run_once();
+  if (cfg.detect == guard::DetectMode::kAbft) {
+    if (!validate(first)) {
+      return first;
+    }
+    ++totals.sdc_detected;
+    for (int redo = 0; redo < cfg.max_reexecutions; ++redo) {
+      Result rerun = run_once();
+      if (!validate(rerun)) {
+        ++totals.sdc_corrected;
+        return rerun;
+      }
+    }
+    if (!cfg.cpu_fallback) {
+      throw util::CheckError(
+          "guard: batch still failing verification after " +
+          std::to_string(cfg.max_reexecutions) + " re-executions");
+    }
+    cpu_substitute(first);
+    ++totals.cpu_fallbacks;
+    return first;
+  }
+  // kDual: a second independent run must reproduce the exact bits; on a
+  // mismatch a third run breaks the tie two-of-three.
+  const std::uint64_t print1 = fingerprint_of(first);
+  Result second = run_once();
+  if (fingerprint_of(second) == print1) {
+    return first;
+  }
+  ++totals.sdc_detected;
+  Result third = run_once();
+  const std::uint64_t print3 = fingerprint_of(third);
+  if (print3 == print1 || print3 == fingerprint_of(second)) {
+    ++totals.sdc_corrected;
+    return third;
+  }
+  if (!cfg.cpu_fallback) {
+    throw util::CheckError(
+        "guard: three dual-execution runs disagree pairwise; no quorum");
+  }
+  cpu_substitute(third);
+  ++totals.cpu_fallbacks;
+  return third;
+}
 
 }  // namespace
 
@@ -164,6 +253,16 @@ ServiceStats AlignmentService::stats() const {
   snapshot.queue_depth = sw_queue_.size() + ph_queue_.size();
   snapshot.queued_cells = sw_queue_.cells() + ph_queue_.cells();
   snapshot.in_flight_batches = in_flight_.size();
+  if (fleet_ != nullptr) {
+    // The fleet runs the guard ladder for batches we dispatch to it; fold
+    // its lifetime accounting into the service view.
+    const guard::GuardStats fleet_guard = fleet_->stats().guard;
+    snapshot.sdc_flips += fleet_guard.sdc_flips;
+    snapshot.sdc_detected += fleet_guard.sdc_detected;
+    snapshot.sdc_corrected += fleet_guard.sdc_corrected;
+    snapshot.cpu_fallbacks += fleet_guard.cpu_fallbacks;
+    snapshot.watchdog_timeouts += fleet_guard.watchdog_timeouts;
+  }
   snapshot.latency = summarize_latency(latency_samples_);
   snapshot.queue_wait = summarize_latency(queue_wait_samples_);
   return snapshot;
@@ -258,30 +357,69 @@ void AlignmentService::flush_sw() {
   SimTime start = 0.0;
   SimTime completion = 0.0;
   double seconds = 0.0;
-  if (fleet_ != nullptr) {
-    fleet::ExecOptions exec_options;
-    exec_options.collect_outputs = config_.collect_outputs;
-    exec_options.overlap_transfers = config_.overlap_transfers;
-    auto executed = fleet_->execute_sw(batch, formed, exec_options);
-    result = std::move(executed.result);
-    seconds = executed.exec.service_seconds;
-    start = executed.exec.start_time;
-    completion = executed.exec.completion_time;
-  } else {
-    kernels::SwRunOptions options;
-    options.engine = engine_;
-    options.overlap_transfers = config_.overlap_transfers;
-    if (config_.collect_outputs) {
-      options.collect_outputs = true;
+  try {
+    if (fleet_ != nullptr) {
+      fleet::ExecOptions exec_options;
+      exec_options.collect_outputs = config_.collect_outputs;
+      exec_options.overlap_transfers = config_.overlap_transfers;
+      auto executed = fleet_->execute_sw(batch, formed, exec_options);
+      result = std::move(executed.result);
+      seconds = executed.exec.service_seconds;
+      start = executed.exec.start_time;
+      completion = executed.exec.completion_time;
     } else {
-      options.mode = simt::ExecMode::kCachedByShape;
-      options.use_engine_cache = true;
+      kernels::SwRunOptions options;
+      options.engine = engine_;
+      options.overlap_transfers = config_.overlap_transfers;
+      const bool guarded = config_.collect_outputs && config_.guard.enabled();
+      if (config_.collect_outputs) {
+        options.collect_outputs = true;
+      } else {
+        options.mode = simt::ExecMode::kCachedByShape;
+        options.use_engine_cache = true;
+      }
+      if (guarded) {
+        options.max_block_cycles = config_.guard.max_block_cycles;
+      }
+      const auto launch_once = [&] {
+        if (guarded && config_.guard.sdc.enabled()) {
+          options.sdc = config_.guard.sdc;
+          options.sdc_launch_id = guard_launch_seq_++;
+        }
+        return sw_runner_.run_batch(config_.device, batch, options);
+      };
+      const auto run_once = [&] {
+        auto run = run_with_retry(launch_once, config_.guard);
+        seconds += run.run.launch.total_seconds();
+        totals_.sdc_flips += run.run.launch.sdc_flips;
+        return run;
+      };
+      if (guarded && config_.guard.verifying()) {
+        result = guarded_single<kernels::SwBatchResult>(
+            config_.guard, totals_, run_once,
+            [&](const kernels::SwBatchResult& r) {
+              return guard::validate_sw(batch, r.outputs, sw_runner_.params());
+            },
+            [](const kernels::SwBatchResult& r) {
+              return guard::fingerprint_sw(r.outputs);
+            },
+            [&](kernels::SwBatchResult& r) {
+              r.outputs = guard::cpu_sw(batch, sw_runner_.params());
+            });
+      } else {
+        result = run_once();
+      }
+      start = std::max(formed, device_free_at_);
+      completion = start + seconds;
+      device_free_at_ = completion;
     }
-    result = sw_runner_.run_batch(config_.device, batch, options);
-    seconds = result.run.launch.total_seconds();
-    start = std::max(formed, device_free_at_);
-    completion = start + seconds;
-    device_free_at_ = completion;
+  } catch (const simt::LaunchTimeout& e) {
+    ++totals_.watchdog_timeouts;
+    totals_.failed += fail_entries(entries, e.what());
+    return;
+  } catch (const util::CheckError& e) {
+    totals_.failed += fail_entries(entries, e.what());
+    return;
   }
   estimator_.observe(batch_cells, seconds);
   totals_.batch_sizes.record(entries.size());
@@ -354,32 +492,71 @@ void AlignmentService::flush_ph() {
   SimTime start = 0.0;
   SimTime completion = 0.0;
   double seconds = 0.0;
-  if (fleet_ != nullptr) {
-    fleet::ExecOptions exec_options;
-    exec_options.collect_outputs = config_.collect_outputs;
-    exec_options.overlap_transfers = config_.overlap_transfers;
-    exec_options.double_fallback = config_.double_fallback;
-    auto executed = fleet_->execute_ph(batch, formed, exec_options);
-    result = std::move(executed.result);
-    seconds = executed.exec.service_seconds;
-    start = executed.exec.start_time;
-    completion = executed.exec.completion_time;
-  } else {
-    kernels::PhRunOptions options;
-    options.engine = engine_;
-    options.overlap_transfers = config_.overlap_transfers;
-    if (config_.collect_outputs) {
-      options.collect_outputs = true;
-      options.double_fallback = config_.double_fallback;
+  try {
+    if (fleet_ != nullptr) {
+      fleet::ExecOptions exec_options;
+      exec_options.collect_outputs = config_.collect_outputs;
+      exec_options.overlap_transfers = config_.overlap_transfers;
+      exec_options.double_fallback = config_.double_fallback;
+      auto executed = fleet_->execute_ph(batch, formed, exec_options);
+      result = std::move(executed.result);
+      seconds = executed.exec.service_seconds;
+      start = executed.exec.start_time;
+      completion = executed.exec.completion_time;
     } else {
-      options.mode = simt::ExecMode::kCachedByShape;
-      options.use_engine_cache = true;
+      kernels::PhRunOptions options;
+      options.engine = engine_;
+      options.overlap_transfers = config_.overlap_transfers;
+      const bool guarded = config_.collect_outputs && config_.guard.enabled();
+      if (config_.collect_outputs) {
+        options.collect_outputs = true;
+        options.double_fallback = config_.double_fallback;
+      } else {
+        options.mode = simt::ExecMode::kCachedByShape;
+        options.use_engine_cache = true;
+      }
+      if (guarded) {
+        options.max_block_cycles = config_.guard.max_block_cycles;
+      }
+      const auto launch_once = [&] {
+        if (guarded && config_.guard.sdc.enabled()) {
+          options.sdc = config_.guard.sdc;
+          options.sdc_launch_id = guard_launch_seq_++;
+        }
+        return ph_runner_.run_batch(config_.device, batch, options);
+      };
+      const auto run_once = [&] {
+        auto run = run_with_retry(launch_once, config_.guard);
+        seconds += run.run.launch.total_seconds();
+        totals_.sdc_flips += run.run.launch.sdc_flips;
+        return run;
+      };
+      if (guarded && config_.guard.verifying()) {
+        result = guarded_single<kernels::PhBatchResult>(
+            config_.guard, totals_, run_once,
+            [&](const kernels::PhBatchResult& r) {
+              return guard::validate_ph(batch, r.log10);
+            },
+            [](const kernels::PhBatchResult& r) {
+              return guard::fingerprint_ph(r.log10);
+            },
+            [&](kernels::PhBatchResult& r) {
+              r.log10 = guard::cpu_ph(batch);
+            });
+      } else {
+        result = run_once();
+      }
+      start = std::max(formed, device_free_at_);
+      completion = start + seconds;
+      device_free_at_ = completion;
     }
-    result = ph_runner_.run_batch(config_.device, batch, options);
-    seconds = result.run.launch.total_seconds();
-    start = std::max(formed, device_free_at_);
-    completion = start + seconds;
-    device_free_at_ = completion;
+  } catch (const simt::LaunchTimeout& e) {
+    ++totals_.watchdog_timeouts;
+    totals_.failed += fail_entries(entries, e.what());
+    return;
+  } catch (const util::CheckError& e) {
+    totals_.failed += fail_entries(entries, e.what());
+    return;
   }
   estimator_.observe(batch_cells, seconds);
   totals_.batch_sizes.record(entries.size());

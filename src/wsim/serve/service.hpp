@@ -5,6 +5,7 @@
 #include <mutex>
 #include <vector>
 
+#include "wsim/guard/guard.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/serve/batch_former.hpp"
@@ -46,6 +47,15 @@ struct ServiceConfig {
   /// through the engine's cost cache — so load experiments stay cheap;
   /// responses then carry latencies but default payloads.
   bool collect_outputs = true;
+
+  /// SDC injection, detection mode, watchdog budget, and escalation knobs
+  /// for the single-device path (output-collecting batches only; the
+  /// timing-only path stays clean). Detection escalates on the one
+  /// device: re-run up to max_reexecutions, then the CPU reference. With
+  /// a fleet backend this field is unused — configure the fleet's own
+  /// FleetConfig::guard instead, and the fleet also re-places flagged or
+  /// timed-out batches on other devices.
+  guard::GuardConfig guard;
 
   /// Engine that executes the launches; null means the process-wide
   /// simt::shared_engine(), shared with the pipeline and the CLI.
@@ -162,6 +172,7 @@ class AlignmentService {
   SimTime device_free_at_ = 0.0;
   bool stopped_ = false;
   std::uint64_t batch_order_ = 0;
+  std::uint64_t guard_launch_seq_ = 0;  ///< fresh SDC launch id per run
 
   AdmissionQueue<SwEntry> sw_queue_;
   AdmissionQueue<PhEntry> ph_queue_;

@@ -139,6 +139,12 @@ void write_stats_json(std::ostream& os, const ServiceStats& stats) {
   os << "],\n"
      << "  \"deadlines_met\": " << stats.deadlines_met
      << ", \"deadlines_missed\": " << stats.deadlines_missed << ",\n"
+     << "  \"failed\": " << stats.failed
+     << ", \"sdc_flips\": " << stats.sdc_flips
+     << ", \"sdc_detected\": " << stats.sdc_detected
+     << ", \"sdc_corrected\": " << stats.sdc_corrected
+     << ", \"cpu_fallbacks\": " << stats.cpu_fallbacks
+     << ", \"watchdog_timeouts\": " << stats.watchdog_timeouts << ",\n"
      << "  \"latency\": ";
   write_latency_json(os, stats.latency);
   os << ",\n  \"queue_wait\": ";

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -49,9 +50,20 @@ struct ServiceStats {
   // Progress.
   std::size_t sw_completed = 0;
   std::size_t ph_completed = 0;
+  std::size_t failed = 0;  ///< admitted requests failed with a ticket error
   std::size_t queue_depth = 0;   ///< tasks waiting (both kinds)
   std::size_t queued_cells = 0;
   std::size_t in_flight_batches = 0;
+
+  // Resilience (guard): silent-data-corruption and watchdog accounting.
+  // On the single-device path these count this service's own injection
+  // and verification; with a fleet backend stats() adds the fleet's
+  // lifetime guard counters (the fleet runs the escalation ladder).
+  std::uint64_t sdc_flips = 0;         ///< bit flips injected into launches
+  std::size_t sdc_detected = 0;        ///< batches flagged by verification
+  std::size_t sdc_corrected = 0;       ///< flagged batches fixed by re-execution
+  std::size_t cpu_fallbacks = 0;       ///< batches answered by the CPU reference
+  std::size_t watchdog_timeouts = 0;   ///< launches killed by the cycle budget/deadlock watchdog
 
   // Batch forming.
   BatchSizeHistogram batch_sizes;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/sdc.hpp"
 #include "wsim/simt/trace.hpp"
 #include "wsim/util/check.hpp"
 
@@ -111,6 +112,9 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   util::require(!blocks.empty(), "launch: grid must contain at least one block");
   util::require(!(options.cost_cache != nullptr && options.use_engine_cache),
                 "launch: cost_cache and use_engine_cache are mutually exclusive");
+  util::require(!options.sdc.enabled() || options.mode == ExecMode::kFull,
+                "launch: SDC injection requires ExecMode::kFull — injecting into a "
+                "shape-cached launch would poison the shared cost cache");
 
   LaunchResult result;
   result.occupancy = compute_occupancy(device, kernel);
@@ -175,12 +179,20 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   std::vector<BlockResult> executed(execute.size());
   std::vector<GmemWriteSet> writes(
       options_.check_write_overlap ? execute.size() : 0);
+  const bool inject = options.sdc.enabled();
+  const std::uint64_t device_hash = inject ? sdc_device_hash(device.name) : 0;
   pool_.parallel_for(execute.size(), [&](std::size_t slot) {
     const std::size_t i = execute[slot];
-    Trace* trace = slot == 0 ? options.trace_representative : nullptr;
-    executed[slot] =
-        run_block(kernel, device, gmem, blocks[i].args, trace,
-                  options_.check_write_overlap ? &writes[slot] : nullptr);
+    BlockRunOptions run_options;
+    run_options.trace = slot == 0 ? options.trace_representative : nullptr;
+    run_options.writes = options_.check_write_overlap ? &writes[slot] : nullptr;
+    run_options.sdc = inject ? &options.sdc : nullptr;
+    // Stream keyed by the *grid* index, so a block's flips don't depend on
+    // which other blocks the cache happened to skip.
+    run_options.sdc_stream =
+        inject ? sdc_stream(device_hash, options.sdc_launch_id, i) : 0;
+    run_options.max_cycles = options.max_block_cycles;
+    executed[slot] = run_block(kernel, device, gmem, blocks[i].args, run_options);
   });
 
   if (options_.check_write_overlap) {
@@ -202,6 +214,7 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
       cost.smem_transactions = res.smem_transactions;
       result.instructions += res.instructions;
       result.smem_transactions += res.smem_transactions;
+      result.sdc_flips += res.sdc_flips;
     } else {
       // Reused shape: cost from a pre-launch cache hit or from this
       // launch's executor (always at a lower grid index).

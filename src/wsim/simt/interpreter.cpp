@@ -1,6 +1,8 @@
 #include "wsim/simt/interpreter.hpp"
 
+#include "wsim/simt/sdc.hpp"
 #include "wsim/simt/trace.hpp"
+#include "wsim/simt/watchdog.hpp"
 
 #include <algorithm>
 #include <bit>
@@ -102,6 +104,7 @@ struct WarpState {
   };
   std::vector<LoopFrame> loops;
   bool at_barrier = false;
+  std::size_t barrier_pc = 0;  ///< pc of the kBar this warp waits at
   bool done = false;
 };
 
@@ -112,9 +115,15 @@ struct SharedMemory {
 class BlockEngine {
  public:
   BlockEngine(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
-              std::span<const std::uint64_t> scalar_args, Trace* trace,
-              GmemWriteSet* writes)
-      : kernel_(kernel), dev_(device), gmem_(gmem), trace_(trace), writes_(writes) {
+              std::span<const std::uint64_t> scalar_args, const BlockRunOptions& options)
+      : kernel_(kernel),
+        dev_(device),
+        gmem_(gmem),
+        trace_(options.trace),
+        writes_(options.writes),
+        sdc_(options.sdc != nullptr && options.sdc->enabled() ? options.sdc : nullptr),
+        sdc_stream_(options.sdc_stream),
+        max_cycles_(options.max_cycles) {
     validate(kernel);
     build_loop_matches();
     smem_.data.assign(static_cast<std::size_t>(std::max(kernel.smem_bytes, 1)), 0);
@@ -153,10 +162,39 @@ class BlockEngine {
       const bool any_barrier = std::any_of(warps_.begin(), warps_.end(),
                                            [](const WarpState& w) { return w.at_barrier; });
       if (any_barrier) {
-        const bool all_barrier =
-            std::all_of(warps_.begin(), warps_.end(),
-                        [](const WarpState& w) { return w.at_barrier || w.done; });
-        util::require(all_barrier, "barrier divergence: some warps finished while others wait");
+        // Deadlock detection: warps can never join when some ran to
+        // completion while others wait at a __syncthreads, or when waiting
+        // warps sit at *different* __syncthreads (divergent barriers via
+        // predication — undefined behaviour that hangs real hardware).
+        // The interpreter's run-until-barrier discipline means every warp
+        // is done or waiting here, so these two checks are exhaustive.
+        bool any_done = false;
+        bool divergent = false;
+        bool have_pc = false;
+        std::size_t join_pc = 0;
+        long long waited = 0;
+        for (const WarpState& warp : warps_) {
+          if (warp.done) {
+            any_done = true;
+          } else if (warp.at_barrier) {
+            waited = std::max(waited, warp.cursor);
+            if (!have_pc) {
+              join_pc = warp.barrier_pc;
+              have_pc = true;
+            } else if (warp.barrier_pc != join_pc) {
+              divergent = true;
+            }
+          }
+        }
+        if (any_done || divergent) {
+          throw LaunchTimeout(
+              LaunchTimeout::Kind::kBarrierDeadlock,
+              "barrier deadlock in kernel " + kernel_.name + ": " +
+                  (any_done
+                       ? "some warps finished while others wait at __syncthreads"
+                       : "warps wait at different __syncthreads"),
+              waited, max_cycles_);
+        }
         long long arrival = 0;
         for (const WarpState& warp : warps_) {
           arrival = std::max(arrival, warp.cursor);
@@ -178,6 +216,7 @@ class BlockEngine {
     for (const WarpState& warp : warps_) {
       result_.cycles = std::max(result_.cycles, std::max(warp.cursor, warp.last_complete));
     }
+    check_budget(result_.cycles);
     return result_;
   }
 
@@ -307,7 +346,18 @@ class BlockEngine {
     while (warp.pc < kernel_.code.size()) {
       const Instr& ins = kernel_.code[warp.pc];
       if (ins.op == Op::kBar) {
+        // A predicated barrier a warp's lanes are all disabled for is
+        // skipped — that warp never arrives, which is how divergent
+        // __syncthreads (and the deadlocks run() detects) arise.
+        if (ins.pred >= 0) {
+          const auto active = active_lanes(warp, ins);
+          if (std::none_of(active.begin(), active.end(), [](bool on) { return on; })) {
+            ++warp.pc;
+            continue;
+          }
+        }
         warp.at_barrier = true;
+        warp.barrier_pc = warp.pc;
         ++warp.pc;
         count_issue(ins);
         return;
@@ -401,6 +451,37 @@ class BlockEngine {
     warp.cursor = warp.issued_this_cycle >= dev_.lat.issues_per_cycle
                       ? warp.cur_cycle + dev_.lat.issue_interval
                       : warp.cur_cycle;
+    // Watchdog: a warp whose clock ran past the budget can only push the
+    // block makespan further, so abort mid-run instead of simulating a
+    // runaway loop to completion. Strict '>' both here and in the final
+    // check keeps budget-exactly-reached kernels legal.
+    check_budget(std::max(warp.cursor, warp.last_complete));
+  }
+
+  void check_budget(long long cycles) const {
+    if (max_cycles_ > 0 && cycles > max_cycles_) {
+      throw LaunchTimeout(LaunchTimeout::Kind::kCycleBudget,
+                          "cycle budget exceeded in kernel " + kernel_.name + ": " +
+                              std::to_string(cycles) + " > " +
+                              std::to_string(max_cycles_) + " cycles",
+                          cycles, max_cycles_);
+    }
+  }
+
+  /// Routes every eligible write event through the SDC plan; a fired event
+  /// XORs one bit of the written word. The event counter advances whether
+  /// or not the draw fires, so flip positions are a pure function of the
+  /// plan and the block's execution, never of other blocks or threads.
+  std::uint64_t maybe_corrupt(std::uint64_t value, SdcSite site) {
+    if (sdc_ == nullptr) {
+      return value;
+    }
+    int bit = 0;
+    if (sdc_->flips(sdc_stream_, sdc_events_++, site, &bit)) {
+      result_.sdc_flips += 1;
+      value ^= std::uint64_t{1} << bit;
+    }
+    return value;
   }
 
   void write_lane(WarpState& warp, int dst, int lane, std::uint64_t value) {
@@ -550,7 +631,7 @@ class BlockEngine {
         default:
           throw util::CheckError("interpreter: unhandled opcode in ALU path");
       }
-      write_lane(warp, ins.dst, lane, out);
+      write_lane(warp, ins.dst, lane, maybe_corrupt(out, SdcSite::kRegWrite));
     }
   }
 
@@ -601,7 +682,8 @@ class BlockEngine {
         default:
           break;
       }
-      write_lane(warp, ins.dst, lane, source[static_cast<std::size_t>(src)]);
+      write_lane(warp, ins.dst, lane,
+                 maybe_corrupt(source[static_cast<std::size_t>(src)], SdcSite::kShuffle));
     }
   }
 
@@ -631,7 +713,8 @@ class BlockEngine {
       if (ins.op == Op::kLds) {
         write_lane(warp, ins.dst, lane, load_bits(smem_.data.data() + addr, ins.width));
       } else {
-        const std::uint64_t value = lane_value(warp, ins.c, lane);
+        const std::uint64_t value =
+            maybe_corrupt(lane_value(warp, ins.c, lane), SdcSite::kSmemStore);
         std::memcpy(smem_.data.data() + addr, &value, bytes);
       }
     }
@@ -693,6 +776,10 @@ class BlockEngine {
   std::unordered_set<std::int64_t> warm_segments_;
   Trace* trace_ = nullptr;
   GmemWriteSet* writes_ = nullptr;
+  const SdcPlan* sdc_ = nullptr;
+  std::uint64_t sdc_stream_ = 0;
+  std::uint64_t sdc_events_ = 0;
+  long long max_cycles_ = 0;
   BlockResult result_;
 };
 
@@ -701,7 +788,16 @@ class BlockEngine {
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
                       std::span<const std::uint64_t> scalar_args, Trace* trace,
                       GmemWriteSet* writes) {
-  BlockEngine engine(kernel, device, gmem, scalar_args, trace, writes);
+  BlockRunOptions options;
+  options.trace = trace;
+  options.writes = writes;
+  return run_block(kernel, device, gmem, scalar_args, options);
+}
+
+BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
+                      std::span<const std::uint64_t> scalar_args,
+                      const BlockRunOptions& options) {
+  BlockEngine engine(kernel, device, gmem, scalar_args, options);
   return engine.run();
 }
 

@@ -45,6 +45,7 @@ struct BlockResult {
   std::uint64_t smem_transactions = 0;    ///< shared-memory transactions incl. bank-conflict replays
   std::uint64_t gmem_transactions = 0;    ///< 128-byte global segments touched
   std::uint64_t barriers = 0;             ///< __syncthreads executed (per block)
+  std::uint64_t sdc_flips = 0;            ///< injected-and-activated bit flips (simt::SdcPlan)
   std::array<std::uint64_t, kNumOps> op_counts{};  ///< warp-level issue count per opcode
 
   std::uint64_t count(Op op) const noexcept {
@@ -84,5 +85,33 @@ struct BlockResult {
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
                       GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
                       class Trace* trace = nullptr, GmemWriteSet* writes = nullptr);
+
+struct SdcPlan;  // simt/sdc.hpp
+
+/// Extended per-block execution knobs (the engine's dispatch path).
+struct BlockRunOptions {
+  class Trace* trace = nullptr;
+  GmemWriteSet* writes = nullptr;
+  /// Deterministic bit-flip injection; null disables (see simt/sdc.hpp).
+  /// Flips land on vector-register writes, shared-memory stores, and
+  /// shuffle payloads; loads and scalar (control-flow) registers stay
+  /// clean, so injection perturbs values, never loop trip counts.
+  const SdcPlan* sdc = nullptr;
+  /// Stream id identifying (device, launch, block) for injection draws
+  /// (simt::sdc_stream).
+  std::uint64_t sdc_stream = 0;
+  /// Watchdog: a block whose makespan exceeds this many cycles throws
+  /// simt::LaunchTimeout (see simt/watchdog.hpp). 0 = unlimited. A block
+  /// finishing at exactly the budget completes normally. Barrier
+  /// deadlocks — warps done while others wait at __syncthreads, or warps
+  /// waiting at different barriers — throw LaunchTimeout regardless of
+  /// budget.
+  long long max_cycles = 0;
+};
+
+/// Like the overload above, with injection and watchdog knobs.
+BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
+                      GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
+                      const BlockRunOptions& options);
 
 }  // namespace wsim::simt

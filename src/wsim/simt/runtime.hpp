@@ -12,6 +12,7 @@
 #include "wsim/simt/memory.hpp"
 #include "wsim/simt/occupancy.hpp"
 #include "wsim/simt/scheduler.hpp"
+#include "wsim/simt/sdc.hpp"
 
 namespace wsim::simt {
 
@@ -65,6 +66,18 @@ struct LaunchOptions {
   /// When non-null, records the representative (first executed) block's
   /// instruction timeline (see simt::Trace).
   class Trace* trace_representative = nullptr;
+  /// Deterministic silent-data-corruption injection (see simt/sdc.hpp).
+  /// Requires kFull: in kCachedByShape most blocks reuse a representative's
+  /// cost, so injection would corrupt the shared cost cache instead of
+  /// modelling independent per-block upsets.
+  SdcPlan sdc;
+  /// Identifies this launch in SDC stream derivation; callers give every
+  /// (re-)execution a fresh id so retries draw independent flips.
+  std::uint64_t sdc_launch_id = 0;
+  /// Watchdog cycle budget per block; a block exceeding it throws
+  /// simt::LaunchTimeout. 0 disables. Barrier deadlocks are detected and
+  /// thrown unconditionally.
+  long long max_block_cycles = 0;
 };
 
 /// Everything the benchmarks need from one kernel launch.
@@ -79,6 +92,7 @@ struct LaunchResult {
   std::uint64_t instructions = 0;         ///< summed over all blocks
   std::uint64_t smem_transactions = 0;    ///< summed over all blocks
   std::uint64_t blocks_executed = 0;      ///< blocks run through the interpreter
+  std::uint64_t sdc_flips = 0;            ///< injected bit flips summed over executed blocks
   BlockResult representative;             ///< first block's detailed record
   bool transfers_overlapped = false;      ///< LaunchOptions::overlap_transfers
 

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace wsim::simt {
+
+/// Write-event class an SDC flip can land in. The interpreter injects at
+/// the three communication surfaces the paper's dependence chains flow
+/// through (Eqs. 1-4): values written to vector registers, values stored
+/// to shared memory, and shuffle payloads. Loads are left clean so every
+/// corruption has exactly one injection site.
+enum class SdcSite : std::uint64_t {
+  kRegWrite = 0,
+  kSmemStore = 1,
+  kShuffle = 2,
+};
+
+/// Deterministic, seeded silent-data-corruption injection: every decision
+/// is a pure function of (seed, stream, per-block write-event number,
+/// site), where `stream` identifies the (device, launch, block) the event
+/// belongs to — the same determinism discipline as fleet::FaultPlan. A
+/// replay with the same plan and the same launches sees exactly the same
+/// flips, independent of engine thread count (block execution is
+/// single-threaded, so event numbering is reproducible).
+///
+/// Unlike FaultPlan, which perturbs *time* (fail-stop launch failures and
+/// slowdowns), SdcPlan perturbs *values*: a fired event XORs one bit of
+/// the written word. The two plans hash under distinct domain tags, so
+/// the same seed drives uncorrelated fault and corruption streams.
+struct SdcPlan {
+  /// Domain tag separating SdcPlan draws from FaultPlan draws (see
+  /// fleet::FaultPlan::kDomain); pinned different by guard_test.
+  static constexpr std::uint64_t kDomain = 0x3C69F1E6D5A3B28DULL;
+
+  std::uint64_t seed = 0;
+  /// Per-event flip probability; 0 disables injection.
+  double flip_prob = 0.0;
+  bool reg_writes = true;
+  bool smem_stores = true;
+  bool shuffle_payloads = true;
+
+  bool enabled() const noexcept {
+    return flip_prob > 0.0 && (reg_writes || smem_stores || shuffle_payloads);
+  }
+
+  bool site_enabled(SdcSite site) const noexcept {
+    switch (site) {
+      case SdcSite::kRegWrite: return reg_writes;
+      case SdcSite::kSmemStore: return smem_stores;
+      case SdcSite::kShuffle: return shuffle_payloads;
+    }
+    return false;
+  }
+
+  /// True when write event `event` of `site` in block context `stream`
+  /// flips; `*bit` then holds the flipped bit position (0-31: all data
+  /// paths are 32-bit words).
+  bool flips(std::uint64_t stream, std::uint64_t event, SdcSite site,
+             int* bit) const noexcept;
+};
+
+/// FNV-1a hash of a device name, the device component of an SDC stream.
+std::uint64_t sdc_device_hash(std::string_view device_name) noexcept;
+
+/// Stream id of one block: pure hash of (device, launch, block index).
+std::uint64_t sdc_stream(std::uint64_t device_hash, std::uint64_t launch_id,
+                         std::uint64_t block_index) noexcept;
+
+/// Derives a distinct launch id for sub-launch `sub` of a logical launch
+/// (e.g. the per-variant launches of one PairHMM batch), so their blocks
+/// draw from disjoint streams.
+std::uint64_t sdc_sub_launch(std::uint64_t launch_id, std::uint64_t sub) noexcept;
+
+}  // namespace wsim::simt

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::simt {
+
+/// Structured error for kernels the watchdog gave up on. Derives from
+/// util::CheckError so existing catch sites keep working; the fleet layer
+/// treats it as a retryable execution failure (requeue the batch, feed the
+/// device's health record) rather than a programming error.
+///
+/// Two triggers:
+///  * kCycleBudget — a block's makespan exceeded LaunchOptions::
+///    max_block_cycles (a runaway or pathologically slow kernel).
+///  * kBarrierDeadlock — warps can never join at a __syncthreads: some
+///    warps ran to completion while others wait, or warps wait at
+///    different barriers (divergent __syncthreads, undefined behaviour
+///    that hangs real hardware).
+class LaunchTimeout : public util::CheckError {
+ public:
+  enum class Kind { kCycleBudget, kBarrierDeadlock };
+
+  LaunchTimeout(Kind kind, const std::string& message, long long cycles = 0,
+                long long budget = 0)
+      : util::CheckError(message), kind_(kind), cycles_(cycles), budget_(budget) {}
+
+  Kind kind() const noexcept { return kind_; }
+  /// Cycle the watchdog fired at (kCycleBudget) or the blocked warps'
+  /// latest cursor (kBarrierDeadlock).
+  long long cycles() const noexcept { return cycles_; }
+  /// The configured budget; 0 when no budget was set (deadlocks are
+  /// detected regardless).
+  long long budget() const noexcept { return budget_; }
+
+ private:
+  Kind kind_;
+  long long cycles_;
+  long long budget_;
+};
+
+}  // namespace wsim::simt

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "wsim/cli/commands.hpp"
+
+namespace {
+
+namespace cli = wsim::cli;
+
+// Satellite: the CLI help text cannot drift from the dispatch table. The
+// binary's main() asserts registry<->handler agreement at startup; this
+// test pins the registry<->help side so a new subcommand without usage
+// documentation fails CI.
+
+TEST(CliUsage, CommandNamesAreUniqueAndNonEmpty) {
+  std::set<std::string_view> seen;
+  for (const auto& info : cli::commands()) {
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_FALSE(info.help.empty()) << info.name;
+    EXPECT_TRUE(seen.insert(info.name).second) << "duplicate: " << info.name;
+  }
+  EXPECT_GE(seen.size(), 11U);  // the PR-4 command set; growth is fine
+}
+
+TEST(CliUsage, UsageTextCoversEveryRegisteredCommand) {
+  const std::string usage = cli::usage_text();
+  for (const auto& info : cli::commands()) {
+    // Each command's help block starts with the indented command name.
+    const std::string anchor = "\n  " + std::string(info.name) + " ";
+    EXPECT_NE(("\n" + usage).find(anchor), std::string::npos)
+        << "usage text missing help for '" << info.name << "'";
+  }
+}
+
+TEST(CliUsage, UsageTextKeepsGlobalSections) {
+  const std::string usage = cli::usage_text();
+  EXPECT_EQ(usage.rfind("usage: wsim <command> [options]", 0), 0U);
+  EXPECT_NE(usage.find("commands:"), std::string::npos);
+  EXPECT_NE(usage.find("common options:"), std::string::npos);
+  EXPECT_NE(usage.find("WSIM_THREADS"), std::string::npos);
+}
+
+TEST(CliUsage, HasCommandMatchesRegistry) {
+  for (const auto& info : cli::commands()) {
+    EXPECT_TRUE(cli::has_command(info.name)) << info.name;
+  }
+  EXPECT_FALSE(cli::has_command("bogus"));
+  EXPECT_FALSE(cli::has_command(""));
+  EXPECT_FALSE(cli::has_command("guard"));  // prefix of guard-sim, not a command
+}
+
+TEST(CliUsage, ResilienceCommandsAreDocumented) {
+  EXPECT_TRUE(cli::has_command("guard-sim"));
+  EXPECT_TRUE(cli::has_command("fleet-sim"));
+  const std::string usage = cli::usage_text();
+  EXPECT_NE(usage.find("--flip-prob"), std::string::npos);
+  EXPECT_NE(usage.find("--detect none|abft|dual|all"), std::string::npos);
+}
+
+}  // namespace

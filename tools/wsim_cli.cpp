@@ -12,7 +12,14 @@
 //                                        async alignment service
 //   wsim fleet-sim [--fleet "A,B,..."]   same replay over a heterogeneous
 //                                        multi-device fleet
+//   wsim guard-sim [--flip-prob "P,..."] sweep SDC injection rate x
+//                                        detection mode, counting escaped
+//                                        corruptions against a fault-free
+//                                        baseline
 //   wsim help | --help | -h              print usage and exit 0
+//
+// The authoritative command list lives in wsim::cli::commands(); main()
+// checks its dispatch table against that registry at startup.
 //
 // Common options: --device "K40"|"K1200"|"Titan X" (default K1200),
 // --mode shared|shuffle (default shuffle), --seed N, --regions N,
@@ -27,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "wsim/cli/commands.hpp"
 #include "wsim/fleet/fleet.hpp"
+#include "wsim/guard/guard.hpp"
 #include "wsim/kernels/nw_kernels.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
@@ -532,17 +541,13 @@ int cmd_serve_sim(const Args& args) {
   return 0;
 }
 
-int cmd_fleet_sim(const Args& args) {
-  namespace fleet = wsim::fleet;
-  namespace serve = wsim::serve;
-  const auto ds = dataset_from(args, /*default_regions=*/8);
-  const ReplaySetup setup = replay_setup_from(args);
-
-  // --fleet "K40,K1200,Titan X": comma-separated device names, each one
-  // simulated worker. Kernel designs are chosen per device by the
-  // performance model unless --mode pins them fleet-wide.
-  fleet::FleetConfig fleet_cfg;
-  const std::string fleet_names = args.get("fleet", "K40,K1200,Titan X");
+/// Parses --fleet "K40,K1200,Titan X": comma-separated device names, each
+/// one simulated worker. Kernel designs are chosen per device by the
+/// performance model unless --mode pins them fleet-wide.
+std::vector<wsim::fleet::WorkerConfig> workers_from(const Args& args,
+                                                    const std::string& fallback) {
+  std::vector<wsim::fleet::WorkerConfig> workers;
+  const std::string fleet_names = args.get("fleet", fallback);
   std::size_t begin = 0;
   while (begin <= fleet_names.size()) {
     std::size_t end = fleet_names.find(',', begin);
@@ -551,19 +556,29 @@ int cmd_fleet_sim(const Args& args) {
     }
     const std::string name = fleet_names.substr(begin, end - begin);
     if (!name.empty()) {
-      fleet::WorkerConfig wc;
+      wsim::fleet::WorkerConfig wc;
       wc.device = wsim::simt::device_by_name(name);
       if (args.options.count("mode") != 0 &&
           mode_from(args) == CommMode::kSharedMemory) {
         wc.sw_design = CommMode::kSharedMemory;
         wc.ph_design = wsim::kernels::PhDesign::kShared;
       }
-      fleet_cfg.workers.push_back(std::move(wc));
+      workers.push_back(std::move(wc));
     }
     begin = end + 1;
   }
-  wsim::util::require(!fleet_cfg.workers.empty(),
-                      "fleet-sim: --fleet names no devices");
+  wsim::util::require(!workers.empty(), "--fleet names no devices");
+  return workers;
+}
+
+int cmd_fleet_sim(const Args& args) {
+  namespace fleet = wsim::fleet;
+  namespace serve = wsim::serve;
+  const auto ds = dataset_from(args, /*default_regions=*/8);
+  const ReplaySetup setup = replay_setup_from(args);
+
+  fleet::FleetConfig fleet_cfg;
+  fleet_cfg.workers = workers_from(args, "K40,K1200,Titan X");
   fleet_cfg.policy = fleet::placement_policy_by_name(args.get("policy", "model"));
   fleet_cfg.faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
   fleet_cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
@@ -627,39 +642,174 @@ int cmd_fleet_sim(const Args& args) {
   return 0;
 }
 
-void print_usage(std::ostream& os) {
-  os <<
-      "usage: wsim <command> [options]\n"
-      "commands:\n"
-      "  devices                      list simulated GPUs\n"
-      "  micro    [--device D]        Fig. 3 instruction-latency microbenchmarks\n"
-      "  sw       QUERY TARGET [--profile ''] Smith-Waterman alignment\n"
-      "  nw       QUERY TARGET        Needleman-Wunsch global score\n"
-      "  pairhmm  READ HAP [--qual N] PairHMM log10 likelihood\n"
-      "  workload [--regions N] [--in F] [--out F]  dataset stats / convert\n"
-      "  sweep    [--batch N] [--in F]    GCUPS of SW1/SW2/PH1/PH2\n"
-      "  pipeline [--in F] [--batch N] [--streams ''] [--lpt ''] [--validate '']\n"
-      "           run the two-stage HaplotypeCaller pipeline\n"
-      "  serve-sim [--in F] [--rate R] [--delay US] [--deadline US] [--queue N]\n"
-      "            [--target-cells C] [--max-batch N] [--outputs ''] [--json F]\n"
-      "           replay a dataset as an open-loop arrival process (R requests\n"
-      "           per simulated second) through the async alignment service\n"
-      "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
-      "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
-      "            [--fault-seed S] [--json F] [+ serve-sim options]\n"
-      "           the serve-sim replay over a heterogeneous multi-device fleet\n"
-      "           with model-guided placement, fault injection, and retry;\n"
-      "           prints per-device utilization and dispatch accounting\n"
-      "  help | --help | -h           print this usage and exit 0\n"
-      "common options: --device \"K40\"|\"K1200\"|\"Titan X\", --mode shared|shuffle,\n"
-      "                --seed N, --regions N\n"
-      "                --threads N  simulation worker threads for block execution\n"
-      "                             (default: one per hardware thread; results\n"
-      "                              are identical at any thread count)\n"
-      "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
-      "                             engine, used whenever --threads is absent or\n"
-      "                             <= 0 (pipeline, benches, library default)\n";
+/// One cell of the guard-sim sweep: an injection rate crossed with a
+/// detection mode, plus what the fleet's guard accounting and the
+/// bit-identity comparison against the fault-free baseline observed.
+struct GuardCell {
+  double flip_prob = 0.0;
+  wsim::guard::DetectMode mode = wsim::guard::DetectMode::kNone;
+  std::size_t batches = 0;
+  std::size_t escaped = 0;       ///< delivered batches differing from baseline
+  std::size_t cpu_excluded = 0;  ///< PairHMM CPU fallbacks (accurate, not bit-identical)
+  wsim::guard::GuardStats stats;
+};
+
+int cmd_guard_sim(const Args& args) {
+  namespace fleet = wsim::fleet;
+  namespace guard = wsim::guard;
+  const auto ds = dataset_from(args, /*default_regions=*/2);
+  const auto batch_size = static_cast<std::size_t>(args.get_int("batch", 64));
+  const auto sw_batches = wsim::workload::sw_rebatch(ds, batch_size);
+  const auto ph_batches = wsim::workload::ph_rebatch(ds, batch_size);
+
+  std::vector<double> probs;
+  {
+    const std::string list = args.get("flip-prob", "3e-7,3e-6");
+    std::size_t begin = 0;
+    while (begin <= list.size()) {
+      std::size_t end = list.find(',', begin);
+      if (end == std::string::npos) {
+        end = list.size();
+      }
+      const std::string item = list.substr(begin, end - begin);
+      if (!item.empty()) {
+        probs.push_back(std::stod(item));
+      }
+      begin = end + 1;
+    }
+    wsim::util::require(!probs.empty(), "guard-sim: --flip-prob names no rates");
+  }
+  std::vector<guard::DetectMode> modes;
+  {
+    const std::string detect = args.get("detect", "all");
+    if (detect == "all") {
+      modes = {guard::DetectMode::kNone, guard::DetectMode::kAbft,
+               guard::DetectMode::kDual};
+    } else {
+      modes = {guard::detect_mode_by_name(detect)};
+    }
+  }
+  const auto workers = workers_from(args, "K1200,Titan X");
+  const auto sdc_seed = static_cast<std::uint64_t>(args.get_int("sdc-seed", 7));
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+
+  // Runs every batch through `executor` and either records the delivered
+  // fingerprints (baseline pass) or compares them against the baseline's
+  // (sweep pass). The comparison is end-to-end bit-identity of everything
+  // the fleet delivers, so it also penalizes corruption the ABFT
+  // validators cannot see (e.g. traceback cells off the reported path).
+  const auto run_all = [&](fleet::FleetExecutor& executor,
+                           std::vector<std::uint64_t>* record,
+                           const std::vector<std::uint64_t>* baseline,
+                           GuardCell* cell) {
+    fleet::ExecOptions opt;  // collect_outputs defaults to true
+    std::size_t index = 0;
+    const auto observe = [&](std::uint64_t print, bool cpu_fallback, bool is_sw) {
+      if (record != nullptr) {
+        record->push_back(print);
+      }
+      if (baseline != nullptr) {
+        // The SW CPU reference is bit-identical to the kernels, so its
+        // fallbacks still must match; the PairHMM one is accurate but
+        // differs in low bits from the f32 kernel and is excluded.
+        if (!is_sw && cpu_fallback) {
+          ++cell->cpu_excluded;
+        } else if (print != (*baseline)[index]) {
+          ++cell->escaped;
+        }
+      }
+      ++index;
+    };
+    for (const auto& batch : sw_batches) {
+      auto executed = executor.execute_sw(batch, /*now=*/0.0, opt);
+      observe(guard::fingerprint_sw(executed.result.outputs),
+              executed.exec.cpu_fallback, /*is_sw=*/true);
+    }
+    for (const auto& batch : ph_batches) {
+      auto executed = executor.execute_ph(batch, /*now=*/0.0, opt);
+      observe(guard::fingerprint_ph(executed.result.log10),
+              executed.exec.cpu_fallback, /*is_sw=*/false);
+    }
+  };
+
+  std::vector<std::uint64_t> baseline;
+  {
+    fleet::FleetConfig cfg;
+    cfg.workers = workers;
+    cfg.engine = &engine;
+    fleet::FleetExecutor executor(std::move(cfg));
+    run_all(executor, &baseline, nullptr, nullptr);
+  }
+
+  std::vector<GuardCell> cells;
+  for (const double prob : probs) {
+    for (const guard::DetectMode mode : modes) {
+      fleet::FleetConfig cfg;
+      cfg.workers = workers;
+      cfg.engine = &engine;
+      cfg.guard.detect = mode;
+      cfg.guard.sdc.seed = sdc_seed;
+      cfg.guard.sdc.flip_prob = prob;
+      fleet::FleetExecutor executor(std::move(cfg));
+      GuardCell cell;
+      cell.flip_prob = prob;
+      cell.mode = mode;
+      cell.batches = sw_batches.size() + ph_batches.size();
+      run_all(executor, nullptr, &baseline, &cell);
+      cell.stats = executor.stats().guard;
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  std::size_t escaped_total = 0;
+  wsim::util::Table table({"flip prob", "detect", "batches", "flips", "detected",
+                           "corrected", "masked", "re-exec", "cpu", "escaped"});
+  for (const GuardCell& cell : cells) {
+    escaped_total += cell.escaped;
+    table.add_row({format_fixed(cell.flip_prob, 7),
+                   std::string(guard::to_string(cell.mode)),
+                   std::to_string(cell.batches),
+                   std::to_string(cell.stats.sdc_flips),
+                   std::to_string(cell.stats.sdc_detected),
+                   std::to_string(cell.stats.sdc_corrected),
+                   std::to_string(cell.stats.sdc_masked),
+                   std::to_string(cell.stats.reexecutions),
+                   std::to_string(cell.stats.cpu_fallbacks),
+                   std::to_string(cell.escaped)});
+  }
+  std::cout << "Fleet: " << workers.size() << " devices, "
+            << sw_batches.size() + ph_batches.size() << " batches (SW "
+            << sw_batches.size() << ", PairHMM " << ph_batches.size()
+            << "), SDC seed " << sdc_seed << "\n";
+  table.print(std::cout);
+  std::cout << "escaped_total " << escaped_total << "\n";
+
+  const std::string path = args.get("json", "");
+  if (!path.empty()) {
+    std::ofstream os(path);
+    wsim::util::require(static_cast<bool>(os), "cannot open json file " + path);
+    os << "{\n  \"sweep\": [";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const GuardCell& cell = cells[i];
+      os << (i == 0 ? "" : ",") << "\n    {\"flip_prob\": " << cell.flip_prob
+         << ", \"detect\": \"" << guard::to_string(cell.mode) << "\""
+         << ", \"batches\": " << cell.batches
+         << ", \"sdc_flips\": " << cell.stats.sdc_flips
+         << ", \"sdc_detected\": " << cell.stats.sdc_detected
+         << ", \"sdc_corrected\": " << cell.stats.sdc_corrected
+         << ", \"sdc_masked\": " << cell.stats.sdc_masked
+         << ", \"reexecutions\": " << cell.stats.reexecutions
+         << ", \"cpu_fallbacks\": " << cell.stats.cpu_fallbacks
+         << ", \"watchdog_timeouts\": " << cell.stats.watchdog_timeouts
+         << ", \"escaped\": " << cell.escaped << "}";
+    }
+    os << "\n  ],\n  \"escaped_total\": " << escaped_total << "\n}\n";
+    std::cout << "sweep written to " << path << "\n";
+  }
+  return 0;
 }
+
+void print_usage(std::ostream& os) { os << wsim::cli::usage_text(); }
 
 int usage_error() {
   print_usage(std::cerr);
@@ -668,7 +818,46 @@ int usage_error() {
 
 }  // namespace
 
+namespace {
+
+using Handler = int (*)(const Args&);
+
+/// Dispatch table, checked one-to-one against wsim::cli::commands() at
+/// startup so the registry (and therefore the help text and the drift
+/// test) can never silently diverge from what main() actually runs.
+const std::map<std::string, Handler>& handlers() {
+  static const std::map<std::string, Handler> table = {
+      {"devices", [](const Args&) { return cmd_devices(); }},
+      {"micro", cmd_micro},
+      {"sw", cmd_sw},
+      {"nw", cmd_nw},
+      {"pairhmm", cmd_pairhmm},
+      {"workload", cmd_workload},
+      {"sweep", cmd_sweep},
+      {"pipeline", cmd_pipeline},
+      {"serve-sim", cmd_serve_sim},
+      {"fleet-sim", cmd_fleet_sim},
+      {"guard-sim", cmd_guard_sim},
+  };
+  return table;
+}
+
+void check_registry() {
+  const auto& table = handlers();
+  for (const auto& info : wsim::cli::commands()) {
+    wsim::util::require(table.count(std::string(info.name)) == 1,
+                        "wsim: registered command '" + std::string(info.name) +
+                            "' has no dispatch handler");
+  }
+  wsim::util::require(table.size() == wsim::cli::commands().size(),
+                      "wsim: dispatch table has commands missing from the "
+                      "wsim::cli registry");
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  check_registry();
   if (argc < 2) {
     return usage_error();
   }
@@ -679,38 +868,12 @@ int main(int argc, char** argv) {
   }
   const Args args = parse(argc, argv);
   try {
-    if (command == "devices") {
-      return cmd_devices();
+    const auto it = handlers().find(command);
+    if (it == handlers().end()) {
+      std::cerr << "unknown command '" << command << "'\n";
+      return usage_error();
     }
-    if (command == "micro") {
-      return cmd_micro(args);
-    }
-    if (command == "sw") {
-      return cmd_sw(args);
-    }
-    if (command == "nw") {
-      return cmd_nw(args);
-    }
-    if (command == "pairhmm") {
-      return cmd_pairhmm(args);
-    }
-    if (command == "workload") {
-      return cmd_workload(args);
-    }
-    if (command == "sweep") {
-      return cmd_sweep(args);
-    }
-    if (command == "pipeline") {
-      return cmd_pipeline(args);
-    }
-    if (command == "serve-sim") {
-      return cmd_serve_sim(args);
-    }
-    if (command == "fleet-sim") {
-      return cmd_fleet_sim(args);
-    }
-    std::cerr << "unknown command '" << command << "'\n";
-    return usage_error();
+    return it->second(args);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;
