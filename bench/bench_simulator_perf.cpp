@@ -1,162 +1,312 @@
-// Host-side performance of the simulation infrastructure itself
-// (google-benchmark): interpreter throughput, kernel compilation
-// (builder + scheduler + register allocator), occupancy calculation, and
-// the host reference algorithms. These numbers bound how large a
-// reproduction sweep can run interactively.
+// Host-side performance of the simulation infrastructure itself: the
+// committed interpreter-throughput trajectory of the predecoded fast
+// path. Every case runs the SAME work through both interpreters
+// (InterpPath::kLegacy vs kFast) and reports the speedup:
+//
+//   * micro — the paper's Listing-1 dependence-chain kernels executed as
+//     single blocks via run_block. Kernels are built once and predecoded
+//     once OUTSIDE the timed region, so the loop measures interpreter
+//     throughput and nothing else (an earlier revision mixed kernel
+//     build time into these loops, flattening every reported ratio).
+//   * e2e — SW and PairHMM batches through the real runners (packing,
+//     launch, readback): the block-throughput number a sweep actually
+//     experiences.
+//   * compile — kernel build + predecode cost, timed separately so the
+//     one-time cost the fast path adds is visible and bounded.
+//
+// Results land in BENCH_simperf.json in the working directory. `--smoke`
+// shrinks repetitions for CI. Exit status is non-zero when any case runs
+// the fast path slower than the legacy path (the CI sanity floor) — by
+// construction the fast path should never lose.
 
-#include <benchmark/benchmark.h>
-
+#include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
-#include "wsim/align/pairhmm.hpp"
-#include "wsim/align/smith_waterman.hpp"
+#include "bench_common.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/micro/microbench.hpp"
-#include "wsim/simt/engine.hpp"
-#include "wsim/simt/occupancy.hpp"
+#include "wsim/simt/decode.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
 #include "wsim/util/rng.hpp"
-#include "wsim/util/thread_pool.hpp"
+#include "wsim/util/table.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
 
 namespace {
 
-std::string random_dna(wsim::util::Rng& rng, int len) {
-  std::string s(static_cast<std::size_t>(len), 'A');
-  for (char& c : s) {
-    c = "ACGT"[rng.uniform_int(0, 3)];
-  }
-  return s;
-}
+namespace simt = wsim::simt;
+using wsim::util::format_fixed;
 
-void BM_InterpreterShuffleChain(benchmark::State& state) {
-  const auto kernel = wsim::micro::build_micro_kernel(wsim::micro::MicroKernel::kShflDown);
-  const auto dev = wsim::simt::make_k1200();
-  const auto iters = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(wsim::micro::run_micro(kernel, dev, iters));
-  }
-  state.SetItemsProcessed(state.iterations() * iters);
-}
-BENCHMARK(BM_InterpreterShuffleChain)->Arg(256)->Arg(1024);
+struct CaseResult {
+  std::string section;  ///< "micro" or "e2e"
+  std::string name;
+  std::string device;
+  double legacy_seconds = 0.0;
+  double fast_seconds = 0.0;
+  double work = 0.0;  ///< instructions (micro) or blocks (e2e) per rep
 
-void BM_BuildSwKernel(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        wsim::kernels::build_sw_kernel(wsim::kernels::CommMode::kShuffle, {}));
-  }
-}
-BENCHMARK(BM_BuildSwKernel);
+  double speedup() const { return legacy_seconds / fast_seconds; }
+  double legacy_rate() const { return work / legacy_seconds; }
+  double fast_rate() const { return work / fast_seconds; }
+};
 
-void BM_BuildPhShuffleKernel(benchmark::State& state) {
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        wsim::kernels::build_ph_shuffle_kernel(static_cast<int>(state.range(0))));
-  }
-}
-BENCHMARK(BM_BuildPhShuffleKernel)->Arg(1)->Arg(4);
-
-void BM_OccupancyCalculator(benchmark::State& state) {
-  const auto dev = wsim::simt::make_titan_x();
-  int regs = 16;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(wsim::simt::compute_occupancy(dev, 128, regs, 4096));
-    regs = regs == 16 ? 96 : 16;
-  }
-}
-BENCHMARK(BM_OccupancyCalculator);
-
-void BM_HostSmithWaterman(benchmark::State& state) {
-  wsim::util::Rng rng(3);
-  const std::string target = random_dna(rng, static_cast<int>(state.range(0)));
-  const std::string query = random_dna(rng, static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(wsim::align::sw_align(query, target, {}));
-  }
-  state.SetItemsProcessed(state.iterations() * state.range(0) * state.range(0));
-}
-BENCHMARK(BM_HostSmithWaterman)->Arg(128)->Arg(256);
-
-void BM_HostPairHmm(benchmark::State& state) {
-  wsim::util::Rng rng(5);
-  wsim::align::PairHmmTask task;
-  task.hap = random_dna(rng, static_cast<int>(state.range(0)));
-  task.read = task.hap.substr(0, task.hap.size() / 2);
-  task.base_quals.assign(task.read.size(), 30);
-  task.ins_quals.assign(task.read.size(), 45);
-  task.del_quals.assign(task.read.size(), 45);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(wsim::align::pairhmm_log10(task));
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(task.read.size() * task.hap.size()));
-}
-BENCHMARK(BM_HostPairHmm)->Arg(128)->Arg(224);
-
-void BM_SimulateSwBlock(benchmark::State& state) {
-  wsim::util::Rng rng(9);
-  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
-  const auto dev = wsim::simt::make_k1200();
-  const wsim::workload::SwBatch batch = {{random_dna(rng, 96), random_dna(rng, 128)}};
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(runner.run_batch(dev, batch));
-  }
-  state.SetItemsProcessed(state.iterations() * 96 * 128);
-}
-BENCHMARK(BM_SimulateSwBlock);
-
-/// ExecutionEngine scaling: simulate a multi-block SW grid at increasing
-/// thread counts and report blocks/second — the payoff of the parallel
-/// engine (expected to be near-linear until hardware threads run out).
-void engine_thread_sweep() {
-  wsim::util::Rng rng(17);
-  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kShuffle);
-  const auto dev = wsim::simt::make_k1200();
-  constexpr std::size_t kBlocks = 64;
-  wsim::workload::SwBatch batch;
-  for (std::size_t t = 0; t < kBlocks; ++t) {
-    batch.push_back({random_dna(rng, 96), random_dna(rng, 128)});
-  }
-
-  std::cout << "\n--- ExecutionEngine thread sweep (" << kBlocks
-            << "-block SW grid, kFull) ---\n";
-  const int hw = wsim::util::ThreadPool::resolve(0);
-  for (const int threads : {1, 2, 4, 8}) {
-    if (threads > hw && threads != 1) {
-      // Oversubscribing a small machine tells nothing about scaling.
-      std::cout << "(skipping " << threads << " threads: only " << hw
-                << " hardware thread" << (hw == 1 ? "" : "s") << ")\n";
-      continue;
-    }
-    wsim::simt::ExecutionEngine engine(
-        wsim::simt::EngineOptions{.threads = threads});
-    wsim::kernels::SwRunOptions opt;
-    opt.engine = &engine;
-    runner.run_batch(dev, batch, opt);  // warm-up (faults in the arenas)
-
-    constexpr int kReps = 3;
+/// Best-of-`trials` wall time of `reps` calls to `body` — the min damps
+/// scheduler noise, which matters because the CI floor compares ratios.
+template <typename F>
+double time_best(int trials, int reps, F&& body) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
     const auto begin = std::chrono::steady_clock::now();
-    for (int rep = 0; rep < kReps; ++rep) {
-      benchmark::DoNotOptimize(runner.run_batch(dev, batch, opt));
+    for (int r = 0; r < reps; ++r) {
+      body();
     }
     const std::chrono::duration<double> elapsed =
         std::chrono::steady_clock::now() - begin;
-    const double blocks_per_sec =
-        static_cast<double>(kBlocks) * kReps / elapsed.count();
-    std::cout << "{\"threads\": " << threads
-              << ", \"blocks_per_sec\": " << blocks_per_sec << "}\n";
+    best = std::min(best, elapsed.count());
   }
+  return best;
+}
+
+/// One micro chain: a prebuilt arena and a prebuilt (and predecoded)
+/// kernel, run_block timed under each interpreter.
+CaseResult run_micro_case(wsim::micro::MicroKernel which,
+                          const simt::DeviceSpec& device, int iterations,
+                          int trials, int reps) {
+  const simt::Kernel kernel = wsim::micro::build_micro_kernel(which);
+
+  simt::GlobalMemory gmem;
+  const auto buf = gmem.alloc(32 * 4);
+  gmem.write_f32(buf, std::vector<float>(32, 1.0F));
+  const auto table = gmem.alloc(32 * 4);
+  std::vector<std::int32_t> chase(32);
+  for (int i = 0; i < 32; ++i) {
+    chase[static_cast<std::size_t>(i)] = ((i * 5 + 7) % 32) * 4;
+  }
+  gmem.write_i32(table, chase);
+  const std::vector<std::uint64_t> args = {
+      static_cast<std::uint64_t>(buf), static_cast<std::uint64_t>(iterations),
+      static_cast<std::uint64_t>(table)};
+
+  // Predecode outside the timed region: steady-state throughput is the
+  // claim, and every production path hits the cache.
+  const auto decoded = simt::shared_decoded_cache().get(kernel, device);
+
+  simt::BlockRunOptions legacy_opt;
+  legacy_opt.interp = simt::InterpPath::kLegacy;
+  simt::BlockRunOptions fast_opt;
+  fast_opt.interp = simt::InterpPath::kFast;
+  fast_opt.decoded = decoded.get();
+
+  const simt::BlockResult probe = run_block(kernel, device, gmem, args, legacy_opt);
+  run_block(kernel, device, gmem, args, fast_opt);  // warm-up
+
+  CaseResult result;
+  result.section = "micro";
+  result.name = std::string(wsim::micro::to_string(which));
+  result.device = device.name;
+  result.work = static_cast<double>(probe.instructions) * reps;
+  result.legacy_seconds = time_best(trials, reps, [&] {
+    run_block(kernel, device, gmem, args, legacy_opt);
+  });
+  result.fast_seconds = time_best(trials, reps, [&] {
+    run_block(kernel, device, gmem, args, fast_opt);
+  });
+  return result;
+}
+
+/// End-to-end block throughput through a runner (packing + launch +
+/// readback), the number a reproduction sweep experiences.
+template <typename Runner, typename Options, typename Batch>
+CaseResult run_e2e_case(const std::string& name, const Runner& runner,
+                        const simt::DeviceSpec& device, const Batch& batch,
+                        Options options, int trials, int reps) {
+  options.engine = &wsim::bench::bench_engine();
+  Options legacy_opt = options;
+  legacy_opt.interp = simt::InterpPath::kLegacy;
+  Options fast_opt = options;
+  fast_opt.interp = simt::InterpPath::kFast;
+
+  runner.run_batch(device, batch, fast_opt);  // warm-up (arenas + decode)
+
+  CaseResult result;
+  result.section = "e2e";
+  result.name = name;
+  result.device = device.name;
+  result.work = static_cast<double>(batch.size()) * reps;
+  result.legacy_seconds = time_best(trials, reps, [&] {
+    runner.run_batch(device, batch, legacy_opt);
+  });
+  result.fast_seconds = time_best(trials, reps, [&] {
+    runner.run_batch(device, batch, fast_opt);
+  });
+  return result;
+}
+
+double geomean_speedup(const std::vector<CaseResult>& results,
+                       const std::string& section) {
+  double log_sum = 0.0;
+  std::size_t n = 0;
+  for (const CaseResult& r : results) {
+    if (r.section == section) {
+      log_sum += std::log(r.speedup());
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : std::exp(log_sum / static_cast<double>(n));
+}
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+void write_json(const std::string& path, const std::vector<CaseResult>& results,
+                double micro_geomean, double e2e_geomean,
+                double compile_seconds, double decode_seconds, bool smoke) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "warning: cannot write " << path << '\n';
+    return;
+  }
+  out << "{\n  \"bench\": \"simulator_perf\",\n  \"smoke\": "
+      << (smoke ? "true" : "false") << ",\n  \"cases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    out << "    {\"section\": \"" << r.section << "\", \"case\": \"" << r.name
+        << "\", \"device\": \"" << r.device
+        << "\", \"legacy_per_sec\": " << json_number(r.legacy_rate())
+        << ", \"fast_per_sec\": " << json_number(r.fast_rate())
+        << ", \"speedup\": " << json_number(r.speedup()) << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"micro_geomean_speedup\": " << json_number(micro_geomean)
+      << ",\n  \"e2e_geomean_speedup\": " << json_number(e2e_geomean)
+      << ",\n  \"sw_kernel_build_seconds\": " << json_number(compile_seconds)
+      << ",\n  \"sw_kernel_decode_seconds\": " << json_number(decode_seconds)
+      << "\n}\n";
+  std::cout << "wrote " << path << '\n';
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--smoke") {
+      smoke = true;
+    }
   }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  engine_thread_sweep();
-  return 0;
+  wsim::bench::banner("the simulator-perf trajectory",
+                      "predecoded fast path vs legacy interpreter");
+
+  const int micro_iters = smoke ? 256 : 512;
+  const int micro_trials = smoke ? 3 : 5;
+  const int micro_reps = smoke ? 20 : 60;
+  const int e2e_trials = smoke ? 2 : 3;
+  const int e2e_reps = smoke ? 1 : 2;
+
+  const auto devices = wsim::simt::all_devices();
+  std::vector<CaseResult> results;
+
+  // --- micro: interpreter-only dependence chains -----------------------
+  const wsim::micro::MicroKernel chains[] = {
+      wsim::micro::MicroKernel::kRegister, wsim::micro::MicroKernel::kShfl,
+      wsim::micro::MicroKernel::kShflDown, wsim::micro::MicroKernel::kShflXor,
+      wsim::micro::MicroKernel::kSharedMem,
+      wsim::micro::MicroKernel::kSharedMemSync,
+  };
+  for (const auto& device : devices) {
+    for (const auto which : chains) {
+      results.push_back(
+          run_micro_case(which, device, micro_iters, micro_trials, micro_reps));
+    }
+  }
+
+  // --- e2e: SW and PairHMM batches through the runners -----------------
+  auto cfg = wsim::bench::standard_dataset_config();
+  cfg.regions = smoke ? 2 : 4;
+  const auto dataset = wsim::workload::generate_dataset(cfg);
+  const auto sw_batches = wsim::workload::sw_rebatch(dataset, smoke ? 4 : 8);
+  const auto ph_batches = wsim::workload::ph_rebatch(dataset, smoke ? 8 : 16);
+
+  const wsim::kernels::SwRunner sw_runner(wsim::kernels::CommMode::kShuffle);
+  const wsim::kernels::PhRunner ph_runner(wsim::kernels::CommMode::kShuffle);
+  for (const auto& device : devices) {
+    results.push_back(run_e2e_case("sw_shuffle", sw_runner, device,
+                                   sw_batches.front(),
+                                   wsim::kernels::SwRunOptions{}, e2e_trials,
+                                   e2e_reps));
+    results.push_back(run_e2e_case("pairhmm_shuffle", ph_runner, device,
+                                   ph_batches.front(),
+                                   wsim::kernels::PhRunOptions{}, e2e_trials,
+                                   e2e_reps));
+  }
+
+  // --- compile: one-time costs, measured apart from the throughput loops
+  const double compile_seconds = time_best(3, 1, [] {
+    const auto kernel =
+        wsim::kernels::build_sw_kernel(wsim::kernels::CommMode::kShuffle, {});
+    if (kernel.code.empty()) {
+      std::abort();  // defeats whole-build elision
+    }
+  });
+  const auto sw_kernel =
+      wsim::kernels::build_sw_kernel(wsim::kernels::CommMode::kShuffle, {});
+  const double decode_seconds = time_best(3, 1, [&] {
+    const auto program = simt::decode_program(sw_kernel, devices.front());
+    if (program->code.empty()) {
+      std::abort();
+    }
+  });
+
+  // --- report ----------------------------------------------------------
+  wsim::util::Table table({"section", "case", "device", "legacy/s", "fast/s",
+                           "speedup"});
+  for (const CaseResult& r : results) {
+    table.add_row({r.section, r.name, r.device,
+                   format_fixed(r.legacy_rate(), 0),
+                   format_fixed(r.fast_rate(), 0),
+                   format_fixed(r.speedup(), 2) + "x"});
+  }
+  table.print(std::cout);
+  wsim::bench::maybe_write_csv("simulator_perf", table);
+
+  const double micro_geomean = geomean_speedup(results, "micro");
+  const double e2e_geomean = geomean_speedup(results, "e2e");
+  std::cout << "micro geomean speedup: " << format_fixed(micro_geomean, 2)
+            << "x   (micro rates are warp-instructions/s; e2e rates are "
+               "blocks/s)\n"
+            << "e2e geomean speedup:   " << format_fixed(e2e_geomean, 2)
+            << "x\n"
+            << "SW kernel build: " << format_fixed(compile_seconds * 1e3, 2)
+            << " ms, predecode: " << format_fixed(decode_seconds * 1e3, 3)
+            << " ms (one-time, cached per (kernel, device))\n";
+
+  write_json("BENCH_simperf.json", results, micro_geomean, e2e_geomean,
+             compile_seconds, decode_seconds, smoke);
+
+  // CI sanity floor: the fast path must never lose to the legacy path.
+  bool ok = true;
+  for (const CaseResult& r : results) {
+    if (r.speedup() < 1.0) {
+      std::cerr << "FAIL: " << r.section << "/" << r.name << " on " << r.device
+                << ": fast path slower than legacy (" << format_fixed(r.speedup(), 2)
+                << "x)\n";
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
 }

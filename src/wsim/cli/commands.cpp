@@ -69,9 +69,14 @@ std::string usage_text() {
       "                --threads N  simulation worker threads for block execution\n"
       "                             (default: one per hardware thread; results\n"
       "                              are identical at any thread count)\n"
+      "                --interp fast|legacy  interpreter path: predecoded fast\n"
+      "                             dispatch (default) or the legacy switch\n"
+      "                             interpreter (results are bit-identical)\n"
       "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
       "                             engine, used whenever --threads is absent or\n"
-      "                             <= 0 (pipeline, benches, library default)\n";
+      "                             <= 0 (pipeline, benches, library default)\n"
+      "                WSIM_INTERP=legacy  select the legacy interpreter when\n"
+      "                             --interp is absent (default: fast)\n";
   return text;
 }
 

@@ -335,6 +335,7 @@ NwBatchResult NwRunner::run_batch(const simt::DeviceSpec& device,
   launch_options.sdc = options.sdc;
   launch_options.sdc_launch_id = options.sdc_launch_id;
   launch_options.max_block_cycles = options.max_block_cycles;
+  launch_options.interp = options.interp;
 
   simt::ExecutionEngine& engine =
       options.engine != nullptr ? *options.engine : simt::shared_engine();

@@ -46,6 +46,8 @@ struct NwRunOptions {
   std::uint64_t sdc_launch_id = 0;
   /// Watchdog cycle budget per block (simt::LaunchOptions::max_block_cycles).
   long long max_block_cycles = 0;
+  /// Interpreter selection (simt::LaunchOptions::interp).
+  simt::InterpPath interp = simt::InterpPath::kDefault;
 };
 
 class NwRunner {

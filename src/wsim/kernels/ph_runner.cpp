@@ -165,6 +165,7 @@ PhBatchResult PhRunner::run_batch(const simt::DeviceSpec& device,
     launch_options.sdc_launch_id =
         simt::sdc_sub_launch(options.sdc_launch_id, static_cast<std::uint64_t>(v));
     launch_options.max_block_cycles = options.max_block_cycles;
+    launch_options.interp = options.interp;
 
     const simt::LaunchResult launch =
         engine.launch(kernel, device, gmem, blocks, launch_options);

@@ -1,0 +1,361 @@
+#include "wsim/simt/decode.hpp"
+
+#include <utility>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::simt {
+
+namespace {
+
+std::uint64_t hash_bytes(std::uint64_t h, const void* data, std::size_t size) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {  // FNV-1a
+    h = (h ^ p[i]) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t hash_value(std::uint64_t h, std::uint64_t v) noexcept {
+  return hash_bytes(h, &v, sizeof(v));
+}
+
+ExecClass classify(Op op) noexcept {
+  switch (op) {
+    case Op::kShfl:
+    case Op::kShflUp:
+    case Op::kShflDown:
+    case Op::kShflXor:
+      return ExecClass::kShuffle;
+    case Op::kLds:
+      return ExecClass::kLds;
+    case Op::kSts:
+      return ExecClass::kSts;
+    case Op::kLdg:
+      return ExecClass::kLdg;
+    case Op::kStg:
+      return ExecClass::kStg;
+    case Op::kBar:
+      return ExecClass::kBar;
+    case Op::kSMov:
+    case Op::kSAdd:
+    case Op::kSSub:
+    case Op::kSMul:
+    case Op::kSMin:
+    case Op::kSMax:
+      return ExecClass::kScalar;
+    case Op::kLoop:
+      return ExecClass::kLoop;
+    case Op::kEndLoop:
+      return ExecClass::kEndLoop;
+    default:
+      return ExecClass::kSimple;
+  }
+}
+
+LaneOp lane_of(const Instr& ins) noexcept {
+  switch (ins.op) {
+    case Op::kMov: return LaneOp::kMov;
+    case Op::kTid: return LaneOp::kTid;
+    case Op::kLaneId: return LaneOp::kLaneId;
+    case Op::kWarpId: return LaneOp::kWarpId;
+    case Op::kFAdd: return LaneOp::kFAdd;
+    case Op::kFSub: return LaneOp::kFSub;
+    case Op::kFMul: return LaneOp::kFMul;
+    case Op::kFFma: return LaneOp::kFFma;
+    case Op::kFMax: return LaneOp::kFMax;
+    case Op::kFMin: return LaneOp::kFMin;
+    case Op::kIAdd: return LaneOp::kIAdd;
+    case Op::kISub: return LaneOp::kISub;
+    case Op::kIMul: return LaneOp::kIMul;
+    case Op::kIMax: return LaneOp::kIMax;
+    case Op::kIMin: return LaneOp::kIMin;
+    case Op::kIAnd: return LaneOp::kIAnd;
+    case Op::kIOr: return LaneOp::kIOr;
+    case Op::kIXor: return LaneOp::kIXor;
+    case Op::kShl: return LaneOp::kShl;
+    case Op::kShr: return LaneOp::kShr;
+    case Op::kSetp:
+      return ins.dtype == DType::kF32 ? LaneOp::kSetpF32 : LaneOp::kSetpI64;
+    case Op::kSelp: return LaneOp::kSelp;
+    default: return LaneOp::kNop;
+  }
+}
+
+/// Mirrors the legacy interpreter's base_latency() exactly: equal decoded
+/// latencies are what keep BlockResult cycles bit-identical.
+std::int32_t baked_latency(Op op, const LatencyTable& lat) noexcept {
+  switch (op) {
+    case Op::kMov:
+      return lat.reg_access;
+    case Op::kTid:
+    case Op::kLaneId:
+    case Op::kWarpId:
+    case Op::kIAdd:
+    case Op::kISub:
+    case Op::kIMax:
+    case Op::kIMin:
+    case Op::kIAnd:
+    case Op::kIOr:
+    case Op::kIXor:
+    case Op::kShl:
+    case Op::kShr:
+    case Op::kSetp:
+    case Op::kSelp:
+    case Op::kSMov:
+    case Op::kSAdd:
+    case Op::kSSub:
+    case Op::kSMin:
+    case Op::kSMax:
+      return lat.ialu;
+    case Op::kIMul:
+    case Op::kSMul:
+      return lat.imul;
+    case Op::kFAdd:
+    case Op::kFSub:
+    case Op::kFMul:
+    case Op::kFFma:
+    case Op::kFMax:
+    case Op::kFMin:
+      return lat.falu;
+    case Op::kShfl:
+      return lat.shfl;
+    case Op::kShflUp:
+      return lat.shfl_up;
+    case Op::kShflDown:
+      return lat.shfl_down;
+    case Op::kShflXor:
+      return lat.shfl_xor;
+    case Op::kLds:
+      return lat.smem_load;
+    case Op::kSts:
+      return lat.smem_store;
+    case Op::kLdg:
+      return 0;  // resolved per access (warm vs cold segment)
+    case Op::kStg:
+      return lat.gmem_store;
+    default:
+      return 1;
+  }
+}
+
+bool unpredicated(const DecodedInstr& d) noexcept { return d.pred < 0; }
+
+/// Marks fused-group leaders. A group is legal only when control flow can
+/// never enter it mid-group (`target` marks loop-entry and loop-exit
+/// resume points) and when executing the constituents through one handler
+/// is provably order-equivalent to executing them back to back:
+///
+///  * kSimplePair / shuffle-led groups take unpredicated per-lane-pure
+///    constituents, so interleaving them lane by lane touches exactly the
+///    same (register, lane) cells in a compatible order — and the shuffle
+///    handler pre-reads its 32 source lanes like the legacy path does.
+///  * kSmemPair runs its two accesses back to back sharing one active
+///    mask, which requires the first access not to write the pair's
+///    predicate register.
+void mark_fusion(DecodedProgram& prog, const std::vector<bool>& target) {
+  auto& code = prog.code;
+  std::size_t i = 0;
+  while (i < code.size()) {
+    DecodedInstr& d = code[i];
+    if (d.cls == ExecClass::kShuffle && unpredicated(d) && i + 1 < code.size() &&
+        !target[i + 1]) {
+      const DecodedInstr& d2 = code[i + 1];
+      if (d2.cls == ExecClass::kSimple && unpredicated(d2) &&
+          fusible_shfl_consumer(d2.lane)) {
+        if (i + 2 < code.size() && !target[i + 2] &&
+            code[i + 2].cls == ExecClass::kSimple && unpredicated(code[i + 2]) &&
+            code[i + 2].lane == LaneOp::kMov) {
+          d.fused = FusedKind::kShflAluMov;
+          d.fuse_len = 3;
+        } else {
+          d.fused = FusedKind::kShflAlu;
+          d.fuse_len = 2;
+        }
+        prog.fused_groups += 1;
+        i += d.fuse_len;
+        continue;
+      }
+    }
+    if (d.cls == ExecClass::kSimple && unpredicated(d) && d.lane != LaneOp::kNop &&
+        i + 1 < code.size() && !target[i + 1]) {
+      const DecodedInstr& d2 = code[i + 1];
+      if (d2.cls == ExecClass::kSimple && unpredicated(d2) &&
+          fusible_simple_pair(d.lane, d2.lane)) {
+        d.fused = FusedKind::kSimplePair;
+        d.fuse_len = 2;
+        prog.fused_groups += 1;
+        i += 2;
+        continue;
+      }
+    }
+    if ((d.cls == ExecClass::kLds || d.cls == ExecClass::kSts) &&
+        i + 1 < code.size() && !target[i + 1]) {
+      const DecodedInstr& d2 = code[i + 1];
+      const bool same_mask = d2.pred == d.pred && d2.pred_negate == d.pred_negate;
+      const bool writes_mask =
+          d.cls == ExecClass::kLds && d.pred >= 0 && d.dst == d.pred;
+      if ((d2.cls == ExecClass::kLds || d2.cls == ExecClass::kSts) && same_mask &&
+          !writes_mask) {
+        d.fused = FusedKind::kSmemPair;
+        d.fuse_len = 2;
+        prog.fused_groups += 1;
+        i += 2;
+        continue;
+      }
+    }
+    ++i;
+  }
+}
+
+}  // namespace
+
+std::uint64_t kernel_identity(const Kernel& kernel, const DeviceSpec& device) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  h = hash_bytes(h, kernel.name.data(), kernel.name.size());
+  h = hash_value(h, static_cast<std::uint64_t>(kernel.threads_per_block));
+  h = hash_value(h, static_cast<std::uint64_t>(kernel.vreg_count));
+  h = hash_value(h, static_cast<std::uint64_t>(kernel.sreg_count));
+  h = hash_value(h, static_cast<std::uint64_t>(kernel.smem_bytes));
+  for (const Instr& ins : kernel.code) {
+    h = hash_value(h, static_cast<std::uint64_t>(ins.op));
+    h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(ins.dst)));
+    for (const Operand* operand : {&ins.a, &ins.b, &ins.c}) {
+      h = hash_value(h, static_cast<std::uint64_t>(operand->kind));
+      h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(operand->reg)));
+      h = hash_value(h, operand->imm);
+    }
+    h = hash_value(h, static_cast<std::uint64_t>(ins.cmp));
+    h = hash_value(h, static_cast<std::uint64_t>(ins.dtype));
+    h = hash_value(h, static_cast<std::uint64_t>(ins.width));
+    h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(ins.pred)));
+    h = hash_value(h, static_cast<std::uint64_t>(ins.pred_negate));
+  }
+  h = hash_bytes(h, device.name.data(), device.name.size());
+  h = hash_value(h, static_cast<std::uint64_t>(device.arch));
+  h = hash_value(h, static_cast<std::uint64_t>(device.smem_banks));
+  const LatencyTable& lat = device.lat;
+  for (const int v : {lat.reg_access, lat.ialu, lat.imul, lat.falu, lat.shfl,
+                      lat.shfl_up, lat.shfl_down, lat.shfl_xor, lat.smem_load,
+                      lat.smem_store, lat.bank_conflict, lat.sync_barrier,
+                      lat.gmem_load, lat.gmem_load_cached, lat.gmem_store,
+                      lat.issue_interval, lat.issues_per_cycle}) {
+    h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+  }
+  return h;
+}
+
+std::shared_ptr<const DecodedProgram> decode_program(const Kernel& kernel,
+                                                     const DeviceSpec& device) {
+  validate(kernel);
+
+  auto prog = std::make_shared<DecodedProgram>();
+  prog->name = kernel.name;
+  prog->threads_per_block = kernel.threads_per_block;
+  prog->warps = kernel.warps_per_block();
+  prog->vreg_count = std::max(kernel.vreg_count, 1);
+  prog->sreg_count = std::max(kernel.sreg_count, 1);
+  prog->smem_bytes = std::max(kernel.smem_bytes, 1);
+  prog->identity = kernel_identity(kernel, device);
+
+  const std::size_t n = kernel.code.size();
+  prog->code.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Instr& ins = kernel.code[i];
+    DecodedInstr& d = prog->code[i];
+    d.op = ins.op;
+    d.cls = classify(ins.op);
+    d.lane = lane_of(ins);
+    d.cmp = ins.cmp;
+    d.width = ins.width;
+    d.dst = static_cast<std::int16_t>(ins.dst);
+    d.scalar_dst = d.cls == ExecClass::kScalar;
+    d.pred = static_cast<std::int16_t>(ins.pred);
+    d.pred_negate = ins.pred_negate;
+    d.latency = baked_latency(ins.op, device.lat);
+    d.a = ins.a;
+    d.b = ins.b;
+    d.c = ins.c;
+    const Operand* ops[3] = {&ins.a, &ins.b, &ins.c};
+    for (int k = 0; k < 3; ++k) {
+      if (ops[k]->kind == Operand::Kind::kVector) {
+        d.rv[static_cast<std::size_t>(k)] = static_cast<std::int16_t>(ops[k]->reg);
+      } else if (ops[k]->kind == Operand::Kind::kScalar) {
+        d.rs[static_cast<std::size_t>(k)] = static_cast<std::int16_t>(ops[k]->reg);
+      }
+    }
+    if (ins.pred >= 0) {
+      d.rv[3] = static_cast<std::int16_t>(ins.pred);
+    }
+  }
+
+  // Structured-control-flow matching, identical to the legacy
+  // build_loop_matches, plus the set of pcs a jump can land on: the first
+  // body instruction of each loop and the instruction after each kEndLoop
+  // (the zero-trip skip's resume point). Fused groups must not straddle
+  // these.
+  std::vector<bool> target(n, false);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (prog->code[i].cls == ExecClass::kLoop) {
+        stack.push_back(i);
+      } else if (prog->code[i].cls == ExecClass::kEndLoop) {
+        util::ensure(!stack.empty(), "decode: unbalanced loops");
+        const std::size_t begin = stack.back();
+        stack.pop_back();
+        prog->code[begin].match = static_cast<std::uint32_t>(i);
+        prog->code[i].match = static_cast<std::uint32_t>(begin);
+        if (begin + 1 < n) {
+          target[begin + 1] = true;
+        }
+        if (i + 1 < n) {
+          target[i + 1] = true;
+        }
+      }
+    }
+  }
+
+  mark_fusion(*prog, target);
+  return prog;
+}
+
+std::shared_ptr<const DecodedProgram> DecodedProgramCache::get(
+    const Kernel& kernel, const DeviceSpec& device) {
+  const std::uint64_t key = kernel_identity(kernel, device);
+  Shard& shard = shards_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    return it->second;
+  }
+  // Decode under the shard lock: concurrent first uses of one identity
+  // must produce exactly one decode (other shards stay available).
+  auto prog = decode_program(kernel, device);
+  decodes_.fetch_add(1, std::memory_order_relaxed);
+  shard.map.emplace(key, prog);
+  return prog;
+}
+
+std::size_t DecodedProgramCache::size() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
+}
+
+void DecodedProgramCache::clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.map.clear();
+  }
+}
+
+DecodedProgramCache& shared_decoded_cache() {
+  static DecodedProgramCache cache;
+  return cache;
+}
+
+}  // namespace wsim::simt

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "wsim/simt/decode.hpp"
 #include "wsim/simt/interpreter.hpp"
 #include "wsim/simt/sdc.hpp"
 #include "wsim/simt/trace.hpp"
@@ -21,40 +22,6 @@ std::uint64_t mix(std::uint64_t x) noexcept {
   x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
   x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
   return x ^ (x >> 31);
-}
-
-std::uint64_t hash_bytes(std::uint64_t h, const void* data, std::size_t size) noexcept {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < size; ++i) {  // FNV-1a
-    h = (h ^ p[i]) * 0x100000001B3ULL;
-  }
-  return h;
-}
-
-std::uint64_t hash_value(std::uint64_t h, std::uint64_t v) noexcept {
-  return hash_bytes(h, &v, sizeof(v));
-}
-
-/// Content hash identifying a kernel/device pair, so the engine-owned
-/// cache can never alias costs across kernels the way a bare shape key
-/// would.
-std::uint64_t kernel_identity(const Kernel& kernel, const DeviceSpec& device) {
-  std::uint64_t h = 0xCBF29CE484222325ULL;
-  h = hash_bytes(h, kernel.name.data(), kernel.name.size());
-  h = hash_value(h, static_cast<std::uint64_t>(kernel.threads_per_block));
-  h = hash_value(h, static_cast<std::uint64_t>(kernel.vreg_count));
-  h = hash_value(h, static_cast<std::uint64_t>(kernel.smem_bytes));
-  for (const Instr& ins : kernel.code) {
-    h = hash_value(h, static_cast<std::uint64_t>(ins.op));
-    h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(ins.dst)));
-    for (const Operand* operand : {&ins.a, &ins.b, &ins.c}) {
-      h = hash_value(h, static_cast<std::uint64_t>(operand->kind));
-      h = hash_value(h, static_cast<std::uint64_t>(static_cast<std::int64_t>(operand->reg)));
-      h = hash_value(h, operand->imm);
-    }
-  }
-  h = hash_bytes(h, device.name.data(), device.name.size());
-  return h;
 }
 
 int threads_from_env() {
@@ -119,6 +86,15 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   LaunchResult result;
   result.occupancy = compute_occupancy(device, kernel);
 
+  // Resolve the interpreter path once per launch; on the fast path the
+  // (kernel, device) pair is predecoded here — through the process-wide
+  // cache — and every block below reuses the same DecodedProgram.
+  const InterpPath path = resolve_interp_path(options.interp);
+  std::shared_ptr<const DecodedProgram> decoded;
+  if (path == InterpPath::kFast) {
+    decoded = shared_decoded_cache().get(kernel, device);
+  }
+
   const std::size_t n = blocks.size();
   const bool cached_mode = options.mode == ExecMode::kCachedByShape;
   BlockCostCache local_cache;
@@ -126,7 +102,10 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   std::uint64_t identity = 0;
   if (cached_mode) {
     if (options.use_engine_cache) {
-      identity = kernel_identity(kernel, device);
+      // The decoded program already carries the content hash; only the
+      // legacy path recomputes it.
+      identity = decoded != nullptr ? decoded->identity
+                                    : kernel_identity(kernel, device);
     } else {
       plain_cache = options.cost_cache != nullptr ? options.cost_cache : &local_cache;
     }
@@ -192,6 +171,8 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
     run_options.sdc_stream =
         inject ? sdc_stream(device_hash, options.sdc_launch_id, i) : 0;
     run_options.max_cycles = options.max_block_cycles;
+    run_options.interp = path;
+    run_options.decoded = decoded.get();
     executed[slot] = run_block(kernel, device, gmem, blocks[i].args, run_options);
   });
 

@@ -1,5 +1,6 @@
 #include "wsim/simt/interpreter.hpp"
 
+#include "wsim/simt/decode.hpp"
 #include "wsim/simt/sdc.hpp"
 #include "wsim/simt/trace.hpp"
 #include "wsim/simt/watchdog.hpp"
@@ -797,6 +798,14 @@ BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemo
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
                       std::span<const std::uint64_t> scalar_args,
                       const BlockRunOptions& options) {
+  if (resolve_interp_path(options.interp) == InterpPath::kFast) {
+    if (options.decoded != nullptr) {
+      return run_block_fast(*options.decoded, device, gmem, scalar_args, options);
+    }
+    const std::shared_ptr<const DecodedProgram> program =
+        shared_decoded_cache().get(kernel, device);
+    return run_block_fast(*program, device, gmem, scalar_args, options);
+  }
   BlockEngine engine(kernel, device, gmem, scalar_args, options);
   return engine.run();
 }

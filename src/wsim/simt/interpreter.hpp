@@ -86,7 +86,22 @@ BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
                       GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
                       class Trace* trace = nullptr, GmemWriteSet* writes = nullptr);
 
-struct SdcPlan;  // simt/sdc.hpp
+struct SdcPlan;         // simt/sdc.hpp
+struct DecodedProgram;  // simt/decode.hpp
+
+/// Which interpreter executes a block / launch.
+///
+/// kFast runs the predecoded fast path (per-(kernel, device) DecodedProgram
+/// from the shared cache, handler dispatch, superinstruction fusion); it is
+/// the default and is bit-identical to kLegacy in functional outputs,
+/// BlockResult counters, and SDC write-event numbering. kLegacy runs the
+/// original switch interpreter — kept for A/B comparison and as the
+/// differential-testing reference. kDefault defers to the WSIM_INTERP
+/// environment variable ("legacy" selects kLegacy; anything else kFast).
+enum class InterpPath : std::uint8_t { kDefault, kFast, kLegacy };
+
+/// Resolves kDefault against WSIM_INTERP; returns kFast or kLegacy.
+InterpPath resolve_interp_path(InterpPath requested) noexcept;
 
 /// Extended per-block execution knobs (the engine's dispatch path).
 struct BlockRunOptions {
@@ -107,11 +122,28 @@ struct BlockRunOptions {
   /// waiting at different barriers — throw LaunchTimeout regardless of
   /// budget.
   long long max_cycles = 0;
+  /// Interpreter selection (see InterpPath).
+  InterpPath interp = InterpPath::kDefault;
+  /// Fast path only: predecoded program for (kernel, device), usually
+  /// resolved once per launch by the ExecutionEngine. When null the block
+  /// fetches it from simt::shared_decoded_cache() itself. Must match the
+  /// (kernel, device) passed to run_block.
+  const DecodedProgram* decoded = nullptr;
 };
 
 /// Like the overload above, with injection and watchdog knobs.
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device,
                       GlobalMemory& gmem, std::span<const std::uint64_t> scalar_args,
                       const BlockRunOptions& options);
+
+/// The predecoded fast path: executes one block of `program` (obtained
+/// from simt::decode_program / the shared cache) with the same timing
+/// model, functional semantics, SDC event numbering, and error surface as
+/// the legacy interpreter. `options.interp`/`options.decoded` are ignored
+/// (the caller already resolved them).
+BlockResult run_block_fast(const DecodedProgram& program, const DeviceSpec& device,
+                           GlobalMemory& gmem,
+                           std::span<const std::uint64_t> scalar_args,
+                           const BlockRunOptions& options);
 
 }  // namespace wsim::simt

@@ -1,0 +1,490 @@
+// Differential tests pinning the predecoded fast-path interpreter to the
+// legacy switch interpreter: for every kernel variant, device, and SDC
+// setting the two paths must produce bit-identical memory, exactly equal
+// BlockResult counters, identical instruction traces and write sets,
+// identical guard fingerprints through the runners, and the same error
+// surface. The legacy path stays available precisely to keep this
+// contract checkable.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "wsim/guard/guard.hpp"
+#include "wsim/kernels/nw_kernels.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/decode.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/simt/sdc.hpp"
+#include "wsim/simt/trace.hpp"
+#include "wsim/simt/watchdog.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+namespace guard = wsim::guard;
+using wsim::kernels::CommMode;
+using wsim::simt::BlockResult;
+using wsim::simt::BlockRunOptions;
+using wsim::simt::Cmp;
+using wsim::simt::DeviceSpec;
+using wsim::simt::DType;
+using wsim::simt::GlobalMemory;
+using wsim::simt::GmemWriteSet;
+using wsim::simt::imm_f32;
+using wsim::simt::imm_i64;
+using wsim::simt::InterpPath;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::LaunchTimeout;
+using wsim::simt::MemWidth;
+using wsim::simt::SdcPlan;
+using wsim::simt::SReg;
+using wsim::simt::Trace;
+using wsim::simt::VReg;
+using wsim::util::CheckError;
+
+/// A kernel touching every opcode, predication polarity, memory width,
+/// loop form (nested and zero-trip), and barrier the ISA offers — the
+/// per-instruction differential workout.
+Kernel build_omnibus() {
+  KernelBuilder kb("omnibus", 64);
+  const SReg out = kb.param();    // s0: 64*4 + 64*4 + 64 bytes of results
+  const SReg in = kb.param();     // s1: 64 f32 inputs (doubles as bytes)
+  const SReg trips = kb.param();  // s2: outer loop trip count
+  const SReg zero = kb.param();   // s3: zero-trip loop count
+  kb.alloc_smem(64 * 4 + 64);     // word tile + byte area
+
+  const VReg t = kb.tid();
+  const VReg lane = kb.laneid();
+  const VReg w = kb.warpid();
+
+  // Integer chain: every i64 ALU op.
+  VReg i1 = kb.iadd(t, imm_i64(3));
+  i1 = kb.imul(i1, imm_i64(5));
+  i1 = kb.isub(i1, lane);
+  i1 = kb.imax(i1, kb.imin(w, imm_i64(100)));
+  i1 = kb.iand(kb.ior(i1, imm_i64(0x55)), imm_i64(0xFF));
+  i1 = kb.ixor(i1, kb.shl(lane, imm_i64(2)));
+  i1 = kb.iadd(i1, kb.shr(t, imm_i64(1)));
+
+  // Float chain from a B4 global load: every f32 ALU op.
+  const VReg f = kb.ldg(kb.iadd(in, kb.imul(t, imm_i64(4))));
+  VReg f1 = kb.fadd(f, imm_f32(0.5F));
+  f1 = kb.fmul(f1, imm_f32(1.25F));
+  f1 = kb.ffma(f1, imm_f32(0.75F), f);
+  f1 = kb.fmax(f1, kb.fmin(f1, imm_f32(3.0F)));
+  f1 = kb.fsub(f1, imm_f32(0.125F));
+
+  // All four shuffle variants, segmented widths, dynamic source lane.
+  const VReg s1v = kb.shfl_down(f1, imm_i64(1));
+  const VReg s2v = kb.shfl_up(i1, imm_i64(2), 16);
+  const VReg s3v = kb.shfl_xor(f1, imm_i64(4), 8);
+  const VReg s4v = kb.shfl(i1, lane, 32);
+
+  // Compare/select + both predication polarities.
+  const VReg p = kb.setp(Cmp::kLt, DType::kI64, lane, imm_i64(16));
+  const VReg pf = kb.setp(Cmp::kGt, DType::kF32, f1, imm_f32(1.0F));
+  const VReg sel = kb.selp(p, s1v, s3v);
+  VReg acc = kb.mov(imm_i64(0));
+  kb.begin_pred(p);
+  kb.assign(acc, kb.iadd(acc, s2v));
+  kb.end_pred();
+  kb.begin_pred(pf, /*negate=*/true);
+  kb.assign(acc, kb.iadd(acc, imm_i64(7)));
+  kb.end_pred();
+
+  // Scalar pipeline + nested and zero-trip loops.
+  const SReg sc = kb.smov(imm_i64(2));
+  const SReg sc2 = kb.smax(
+      kb.smin(kb.smul(kb.sadd(sc, imm_i64(3)), imm_i64(2)), imm_i64(9)),
+      kb.ssub(sc, imm_i64(1)));
+  kb.loop(trips);
+  kb.assign(acc, kb.iadd(acc, sc2));
+  kb.loop(imm_i64(2));
+  kb.assign(acc, kb.iadd(acc, imm_i64(1)));
+  kb.endloop();
+  kb.endloop();
+  kb.loop(zero);
+  kb.assign(acc, kb.iadd(acc, imm_i64(1000000)));
+  kb.endloop();
+
+  // Shared memory: B4 tile exchange across a barrier, B1 bytes, and a
+  // deliberate two-way bank conflict ((t&1)*128 maps to one bank).
+  kb.sts(kb.imul(t, imm_i64(4)), sel);
+  kb.bar();
+  const VReg neighbor = kb.lds(kb.imul(kb.ixor(t, imm_i64(1)), imm_i64(4)));
+  kb.sts(kb.iadd(t, imm_i64(64 * 4)), i1, 0, MemWidth::kB1);
+  kb.bar();
+  const VReg nb1 =
+      kb.lds(kb.iadd(kb.ixor(t, imm_i64(3)), imm_i64(64 * 4)), 0, MemWidth::kB1);
+  const VReg conflict = kb.lds(kb.imul(kb.iand(t, imm_i64(1)), imm_i64(128)));
+
+  // B1 global load; then store every result (B4 and B1).
+  const VReg b1 = kb.ldg(kb.iadd(in, t), 0, MemWidth::kB1);
+  const VReg slot = kb.iadd(out, kb.imul(t, imm_i64(4)));
+  kb.stg(slot, kb.iadd(acc, kb.iadd(neighbor,
+                                    kb.iadd(nb1, kb.iadd(conflict,
+                                                         kb.iadd(s4v, b1))))));
+  kb.stg(kb.iadd(slot, imm_i64(64 * 4)), kb.selp(pf, f1, sel));
+  kb.stg(kb.iadd(out, kb.iadd(t, imm_i64(64 * 8))), i1, 0, MemWidth::kB1);
+  return kb.build();
+}
+
+/// Everything one block execution produced, for field-by-field diffing.
+struct RunOutcome {
+  bool threw = false;
+  std::string error;
+  BlockResult result;
+  std::vector<std::uint8_t> memory;
+  std::vector<wsim::simt::TraceEvent> trace;
+  std::map<std::int64_t, std::int64_t> writes;
+};
+
+RunOutcome run_omnibus(const Kernel& kernel, const DeviceSpec& device,
+                       InterpPath path, const SdcPlan* sdc) {
+  GlobalMemory gmem;
+  const std::int64_t out = gmem.alloc(64 * 4 + 64 * 4 + 64);
+  const std::int64_t in = gmem.alloc(64 * 4);
+  std::vector<float> inputs(64);
+  for (int i = 0; i < 64; ++i) {
+    inputs[static_cast<std::size_t>(i)] = 0.25F * static_cast<float>(i) - 3.5F;
+  }
+  gmem.write_f32(in, inputs);
+  const std::vector<std::uint64_t> args = {
+      static_cast<std::uint64_t>(out), static_cast<std::uint64_t>(in), 3, 0};
+
+  RunOutcome outcome;
+  Trace trace;
+  GmemWriteSet writes;
+  BlockRunOptions options;
+  options.interp = path;
+  options.trace = &trace;
+  options.writes = &writes;
+  options.sdc = sdc;
+  options.sdc_stream = 17;
+  try {
+    outcome.result = run_block(kernel, device, gmem, args, options);
+  } catch (const CheckError& e) {
+    outcome.threw = true;
+    outcome.error = e.what();
+  }
+  outcome.memory = gmem.read_u8(0, gmem.size());
+  outcome.trace = trace.events();
+  outcome.writes = writes.spans();
+  return outcome;
+}
+
+void expect_equal_results(const BlockResult& legacy, const BlockResult& fast,
+                          const std::string& label) {
+  EXPECT_EQ(legacy.cycles, fast.cycles) << label;
+  EXPECT_EQ(legacy.instructions, fast.instructions) << label;
+  EXPECT_EQ(legacy.smem_transactions, fast.smem_transactions) << label;
+  EXPECT_EQ(legacy.gmem_transactions, fast.gmem_transactions) << label;
+  EXPECT_EQ(legacy.barriers, fast.barriers) << label;
+  EXPECT_EQ(legacy.sdc_flips, fast.sdc_flips) << label;
+  for (std::size_t op = 0; op < legacy.op_counts.size(); ++op) {
+    EXPECT_EQ(legacy.op_counts[op], fast.op_counts[op]) << label << " op " << op;
+  }
+}
+
+void expect_equal_outcomes(const RunOutcome& legacy, const RunOutcome& fast,
+                           const std::string& label) {
+  ASSERT_EQ(legacy.threw, fast.threw) << label;
+  expect_equal_results(legacy.result, fast.result, label);
+  EXPECT_EQ(legacy.memory, fast.memory) << label;
+  EXPECT_EQ(legacy.writes, fast.writes) << label;
+  ASSERT_EQ(legacy.trace.size(), fast.trace.size()) << label;
+  for (std::size_t i = 0; i < legacy.trace.size(); ++i) {
+    EXPECT_EQ(legacy.trace[i].name, fast.trace[i].name) << label << " event " << i;
+    EXPECT_EQ(legacy.trace[i].warp, fast.trace[i].warp) << label << " event " << i;
+    EXPECT_EQ(legacy.trace[i].start, fast.trace[i].start) << label << " event " << i;
+    EXPECT_EQ(legacy.trace[i].end, fast.trace[i].end) << label << " event " << i;
+  }
+}
+
+TEST(InterpEquivalence, OmnibusKernelAllDevicesSdcOnOff) {
+  const Kernel kernel = build_omnibus();
+  for (const DeviceSpec& device : wsim::simt::all_devices()) {
+    // The decoded form must actually contain superinstructions, otherwise
+    // the fused handlers are not being exercised here.
+    const auto program = wsim::simt::decode_program(kernel, device);
+    EXPECT_GT(program->fused_groups, 0U) << device.name;
+
+    SdcPlan sdc;
+    sdc.seed = 77;
+    sdc.flip_prob = 1e-3;
+    for (const SdcPlan* plan :
+         {static_cast<const SdcPlan*>(nullptr), static_cast<const SdcPlan*>(&sdc)}) {
+      const std::string label =
+          device.name + (plan != nullptr ? " sdc" : " clean");
+      const RunOutcome legacy =
+          run_omnibus(kernel, device, InterpPath::kLegacy, plan);
+      const RunOutcome fast = run_omnibus(kernel, device, InterpPath::kFast, plan);
+      EXPECT_FALSE(legacy.threw) << label << ": " << legacy.error;
+      expect_equal_outcomes(legacy, fast, label);
+      if (plan != nullptr) {
+        // The plan is hot enough that the run must actually flip bits, or
+        // the event-numbering equivalence is vacuous.
+        EXPECT_GT(legacy.result.sdc_flips, 0U) << label;
+      }
+    }
+  }
+}
+
+wsim::workload::Dataset small_dataset() {
+  wsim::workload::GeneratorConfig cfg;
+  cfg.seed = 11;
+  cfg.regions = 2;
+  cfg.ph_tasks_per_region_mean = 5.0;
+  cfg.sw_query_len_min = 40;
+  cfg.sw_query_len_max = 90;
+  cfg.sw_target_len_min = 60;
+  cfg.sw_target_len_max = 120;
+  return wsim::workload::generate_dataset(cfg);
+}
+
+TEST(InterpEquivalence, SwRunnerFingerprintsMatchOnEveryDevice) {
+  const auto dataset = small_dataset();
+  const auto batches = wsim::workload::sw_rebatch(dataset, 8);
+  ASSERT_FALSE(batches.empty());
+  for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::SwRunner runner(mode);
+    for (const DeviceSpec& device : wsim::simt::all_devices()) {
+      wsim::kernels::SwRunOptions legacy_opt;
+      legacy_opt.collect_outputs = true;
+      legacy_opt.interp = InterpPath::kLegacy;
+      wsim::kernels::SwRunOptions fast_opt = legacy_opt;
+      fast_opt.interp = InterpPath::kFast;
+      const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
+      const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      EXPECT_EQ(guard::fingerprint_sw(legacy.outputs),
+                guard::fingerprint_sw(fast.outputs))
+          << device.name;
+      EXPECT_EQ(legacy.run.launch.instructions, fast.run.launch.instructions)
+          << device.name;
+      expect_equal_results(legacy.run.launch.representative,
+                           fast.run.launch.representative, device.name);
+    }
+  }
+}
+
+TEST(InterpEquivalence, PhRunnerFingerprintsMatchOnEveryDevice) {
+  const auto dataset = small_dataset();
+  const auto batches = wsim::workload::ph_rebatch(dataset, 8);
+  ASSERT_FALSE(batches.empty());
+  for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::PhRunner runner(mode);
+    for (const DeviceSpec& device : wsim::simt::all_devices()) {
+      wsim::kernels::PhRunOptions legacy_opt;
+      legacy_opt.collect_outputs = true;
+      legacy_opt.double_fallback = true;
+      legacy_opt.interp = InterpPath::kLegacy;
+      wsim::kernels::PhRunOptions fast_opt = legacy_opt;
+      fast_opt.interp = InterpPath::kFast;
+      const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
+      const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      EXPECT_EQ(guard::fingerprint_ph(legacy.log10),
+                guard::fingerprint_ph(fast.log10))
+          << device.name;
+      expect_equal_results(legacy.run.launch.representative,
+                           fast.run.launch.representative, device.name);
+    }
+  }
+}
+
+TEST(InterpEquivalence, NwRunnerFingerprintsMatchOnEveryDevice) {
+  const auto dataset = small_dataset();
+  const auto batches = wsim::workload::sw_rebatch(dataset, 8);
+  ASSERT_FALSE(batches.empty());
+  for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+    const wsim::kernels::NwRunner runner(mode);
+    for (const DeviceSpec& device : wsim::simt::all_devices()) {
+      wsim::kernels::NwRunOptions legacy_opt;
+      legacy_opt.collect_outputs = true;
+      legacy_opt.interp = InterpPath::kLegacy;
+      wsim::kernels::NwRunOptions fast_opt = legacy_opt;
+      fast_opt.interp = InterpPath::kFast;
+      const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
+      const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      EXPECT_EQ(guard::fingerprint_nw(legacy.scores),
+                guard::fingerprint_nw(fast.scores))
+          << device.name;
+      expect_equal_results(legacy.run.launch.representative,
+                           fast.run.launch.representative, device.name);
+    }
+  }
+}
+
+TEST(InterpEquivalence, SdcReplayIsIdenticalThroughTheRunner) {
+  const auto dataset = small_dataset();
+  const auto batches = wsim::workload::sw_rebatch(dataset, 8);
+  ASSERT_FALSE(batches.empty());
+  const wsim::kernels::SwRunner runner(CommMode::kShuffle);
+  const auto device = wsim::simt::make_k1200();
+
+  const auto run_path = [&](InterpPath path)
+      -> std::optional<wsim::kernels::SwBatchResult> {
+    wsim::kernels::SwRunOptions opt;
+    opt.collect_outputs = true;
+    opt.interp = path;
+    opt.sdc.seed = 9;
+    opt.sdc.flip_prob = 1e-4;
+    opt.sdc_launch_id = 3;
+    try {
+      return runner.run_batch(device, batches.front(), opt);
+    } catch (const CheckError&) {
+      // A flip may land in an address-feeding register; both paths must
+      // then crash identically.
+      return std::nullopt;
+    }
+  };
+  const auto legacy = run_path(InterpPath::kLegacy);
+  const auto fast = run_path(InterpPath::kFast);
+  ASSERT_EQ(legacy.has_value(), fast.has_value());
+  if (legacy.has_value()) {
+    EXPECT_EQ(legacy->run.launch.sdc_flips, fast->run.launch.sdc_flips);
+    EXPECT_EQ(guard::fingerprint_sw(legacy->outputs),
+              guard::fingerprint_sw(fast->outputs));
+  }
+}
+
+TEST(InterpEquivalence, CycleBudgetTimeoutMatchesExactly) {
+  KernelBuilder kb("runaway", 32);
+  const VReg t = kb.tid();
+  kb.loop(imm_i64(100000));
+  kb.emit_to(t, wsim::simt::Op::kIAdd, t, imm_i64(1));
+  kb.endloop();
+  const Kernel kernel = kb.build();
+  const auto device = wsim::simt::make_k1200();
+
+  const auto run_path = [&](InterpPath path) {
+    GlobalMemory gmem;
+    BlockRunOptions options;
+    options.interp = path;
+    options.max_cycles = 5000;
+    std::optional<LaunchTimeout> caught;
+    try {
+      run_block(kernel, device, gmem, {}, options);
+    } catch (const LaunchTimeout& e) {
+      caught = e;
+    }
+    return caught;
+  };
+  const auto legacy = run_path(InterpPath::kLegacy);
+  const auto fast = run_path(InterpPath::kFast);
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(legacy->kind(), fast->kind());
+  EXPECT_EQ(legacy->cycles(), fast->cycles());
+  EXPECT_EQ(legacy->budget(), fast->budget());
+  EXPECT_STREQ(legacy->what(), fast->what());
+}
+
+TEST(InterpEquivalence, BarrierDeadlockMatchesExactly) {
+  // Warp 1's lanes are all predicated off the barrier, so it finishes
+  // while warp 0 waits — both paths must diagnose the identical deadlock.
+  KernelBuilder kb("deadlock", 64);
+  kb.alloc_smem(4);
+  const VReg t = kb.tid();
+  const VReg first_warp = kb.setp(Cmp::kLt, DType::kI64, t, imm_i64(32));
+  kb.begin_pred(first_warp);
+  kb.bar();
+  kb.end_pred();
+  const Kernel kernel = kb.build();
+  const auto device = wsim::simt::make_k40();
+
+  const auto run_path = [&](InterpPath path) {
+    GlobalMemory gmem;
+    BlockRunOptions options;
+    options.interp = path;
+    std::optional<LaunchTimeout> caught;
+    try {
+      run_block(kernel, device, gmem, {}, options);
+    } catch (const LaunchTimeout& e) {
+      caught = e;
+    }
+    return caught;
+  };
+  const auto legacy = run_path(InterpPath::kLegacy);
+  const auto fast = run_path(InterpPath::kFast);
+  ASSERT_TRUE(legacy.has_value());
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(legacy->kind(), fast->kind());
+  EXPECT_EQ(legacy->cycles(), fast->cycles());
+  EXPECT_STREQ(legacy->what(), fast->what());
+}
+
+TEST(InterpEquivalence, OutOfBoundsAndBadWidthThrowOnBothPaths) {
+  const auto device = wsim::simt::make_titan_x();
+  {
+    KernelBuilder kb("smem_oob", 32);
+    kb.alloc_smem(16);
+    const VReg t = kb.tid();
+    kb.sts(kb.imul(t, imm_i64(4)), t);
+    const Kernel kernel = kb.build();
+    for (const InterpPath path : {InterpPath::kLegacy, InterpPath::kFast}) {
+      GlobalMemory gmem;
+      BlockRunOptions options;
+      options.interp = path;
+      try {
+        run_block(kernel, device, gmem, {}, options);
+        FAIL() << "smem OOB must throw";
+      } catch (const CheckError& e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "shared memory access out of bounds in kernel smem_oob"),
+                  std::string::npos);
+      }
+    }
+  }
+  {
+    KernelBuilder kb("bad_width", 32);
+    const VReg t = kb.tid();
+    kb.stg(kb.imul(t, imm_i64(4)), kb.shfl_down(t, imm_i64(1), 3));
+    const Kernel kernel = kb.build();
+    for (const InterpPath path : {InterpPath::kLegacy, InterpPath::kFast}) {
+      GlobalMemory gmem;
+      gmem.alloc(32 * 4);
+      BlockRunOptions options;
+      options.interp = path;
+      try {
+        run_block(kernel, device, gmem, {}, options);
+        FAIL() << "bad shuffle width must throw";
+      } catch (const CheckError& e) {
+        EXPECT_NE(std::string(e.what()).find(
+                      "shuffle width must be a power of two in [1, 32]"),
+                  std::string::npos);
+      }
+    }
+  }
+}
+
+TEST(InterpEquivalence, EnvironmentKnobSelectsThePath) {
+  // Explicit requests are never overridden.
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kFast), InterpPath::kFast);
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kLegacy),
+            InterpPath::kLegacy);
+  // kDefault defers to WSIM_INTERP, resolved per call (not cached).
+  ::setenv("WSIM_INTERP", "legacy", 1);
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
+            InterpPath::kLegacy);
+  ::setenv("WSIM_INTERP", "fast", 1);
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
+            InterpPath::kFast);
+  ::unsetenv("WSIM_INTERP");
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
+            InterpPath::kFast);
+}
+
+}  // namespace

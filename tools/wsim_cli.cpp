@@ -28,6 +28,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -867,6 +868,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   const Args args = parse(argc, argv);
+  // The interpreter knob routes through the WSIM_INTERP environment
+  // variable so every launch in the process — including engines built by
+  // library code — resolves the same path (simt::resolve_interp_path).
+  const std::string interp = args.get("interp", "");
+  if (!interp.empty()) {
+    if (interp != "fast" && interp != "legacy") {
+      std::cerr << "error: --interp must be 'fast' or 'legacy'\n";
+      return usage_error();
+    }
+    ::setenv("WSIM_INTERP", interp.c_str(), 1);
+  }
   try {
     const auto it = handlers().find(command);
     if (it == handlers().end()) {
