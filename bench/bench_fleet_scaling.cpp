@@ -50,6 +50,8 @@ struct SweepPoint {
   double busy_skew = 0.0;
   std::size_t retries = 0;
   std::size_t requeues = 0;
+  std::size_t launch_failures = 0;  ///< injected transient failures observed
+  std::size_t slowdowns = 0;        ///< batches run under a *visible* slowdown
   std::vector<std::pair<std::string, double>> utilization;  ///< name, fraction
 };
 
@@ -79,7 +81,8 @@ void write_json(const std::string& path, const std::vector<SweepPoint>& points) 
         << ", \"gcups\": " << json_number(p.gcups)
         << ", \"busy_skew\": " << json_number(p.busy_skew)
         << ", \"retries\": " << p.retries << ", \"requeues\": " << p.requeues
-        << ", \"utilization\": [";
+        << ", \"launch_failures\": " << p.launch_failures
+        << ", \"slowdowns\": " << p.slowdowns << ", \"utilization\": [";
     for (std::size_t d = 0; d < p.utilization.size(); ++d) {
       out << "{\"device\": \"" << p.utilization[d].first
           << "\", \"fraction\": " << json_number(p.utilization[d].second) << "}"
@@ -135,6 +138,10 @@ SweepPoint run_point(const FleetSpec& spec, fleet::PlacementPolicy policy,
   point.busy_skew = stats.busy_skew();
   point.retries = stats.retries;
   point.requeues = stats.requeues;
+  for (const auto& device : stats.devices) {
+    point.launch_failures += device.launch_failures;
+    point.slowdowns += device.slowdowns;
+  }
   for (std::size_t d = 0; d < stats.devices.size(); ++d) {
     point.utilization.emplace_back(stats.devices[d].name,
                                    stats.utilization(d, point.makespan_s));
@@ -235,6 +242,30 @@ int main(int argc, char** argv) {
             << faulty.requeues << ", batches " << faulty.batches << "\n";
   points.push_back(faulty);
 
+  // Silent-degradation point: one device runs at ~half speed with no
+  // fault signal at all — no launch failures, no slowdown counter, no
+  // health trip. The failure mode fleets actually hit (thermal throttle,
+  // a flaky DIMM remapping) shows up only as a makespan/skew inflation
+  // the placement model did not predict.
+  fleet::FaultPlan degraded;
+  degraded.degraded_device = 2;  // the Titan X — the fleet's fastest member
+  degraded.degraded_factor = 2.0;
+  auto silent = run_point(fleets.front(), fleet::PlacementPolicy::kModelGuided,
+                          sw_batches, ph_batches, degraded);
+  silent.policy = "model+degraded";
+  const double clean_model = points[2].makespan_s;
+  const std::size_t silent_signals = silent.retries + silent.requeues +
+                                     silent.launch_failures + silent.slowdowns;
+  std::cout << "\nsilent degradation (" << fleets.front().label
+            << ", model policy, device 2 at 0.5x, no fault signal):\n"
+            << "  makespan " << format_fixed(silent.makespan_s * 1e3, 3)
+            << " ms (clean model " << format_fixed(clean_model * 1e3, 3)
+            << " ms, +"
+            << format_fixed((silent.makespan_s / clean_model - 1.0) * 100.0, 1)
+            << "%), fault signals " << silent_signals
+            << " (expected 0: degradation is invisible)\n";
+  points.push_back(silent);
+
   wsim::bench::maybe_write_csv("fleet_scaling", table);
   write_json("BENCH_fleet.json", points);
 
@@ -254,6 +285,14 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: model-guided (" << model << " s) does not beat "
               << "round-robin (" << rr << " s) on " << fleets.front().label
               << "\n";
+    return 1;
+  }
+  // The silent point must cost time (the degraded device really is slower)
+  // while tripping no fault accounting (it really is silent).
+  if (!(silent.makespan_s > clean_model) || silent_signals != 0) {
+    std::cerr << "FAIL: silent degradation expected a longer makespan with "
+              << "zero fault counters (got " << silent.makespan_s << " s vs "
+              << clean_model << " s, counters " << silent_signals << ")\n";
     return 1;
   }
   std::cout << "\nOK: model-guided beats round-robin on "

@@ -127,10 +127,10 @@ int main() {
         service.advance_to(t);
         if (arrival.is_sw) {
           (void)service.submit(
-              wsim::serve::SwRequest{sw_tasks[arrival.index], {}, {}, {}});
+              wsim::serve::SwRequest{sw_tasks[arrival.index], {}, {}, {}, {}});
         } else {
           (void)service.submit(
-              wsim::serve::PairHmmRequest{ph_tasks[arrival.index], {}, {}, {}});
+              wsim::serve::PairHmmRequest{ph_tasks[arrival.index], {}, {}, {}, {}});
         }
       }
       service.drain();

@@ -35,6 +35,19 @@ const std::vector<CommandInfo>& commands() {
        "           the serve-sim replay over a heterogeneous multi-device fleet\n"
        "           with model-guided placement, fault injection, and retry;\n"
        "           prints per-device utilization and dispatch accounting\n"},
+      {"cluster-sim",
+       "  cluster-sim [--trace F | --shape steady|diurnal|bursty] [--trace-out F]\n"
+       "            [--duration S] [--rate R] [--tenants N] [--slo MS]\n"
+       "            [--quota N] [--fleet-device D] [--min N] [--max N]\n"
+       "            [--autoscaler on|off] [--interval US] [--warmup US]\n"
+       "            [--target-backlog US] [--cost-hour C] [--json F]\n"
+       "           multi-tenant cluster-scale serving on a dynamically-scaled\n"
+       "           fleet: replay (or generate, optionally saving with\n"
+       "           --trace-out) a traffic trace through the admission-controlled\n"
+       "           service while the queue-depth autoscaler joins and drains\n"
+       "           workers; reports per-tenant latency percentiles, SLO\n"
+       "           violations, goodput, device-hours, and cost per million\n"
+       "           requests\n"},
       {"guard-sim",
        "  guard-sim [--flip-prob \"3e-7,3e-6\"] [--detect none|abft|dual|all]\n"
        "            [--regions N] [--batch N] [--fleet \"K1200,Titan X\"]\n"

@@ -1,0 +1,74 @@
+#include "wsim/cluster/autoscaler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::cluster {
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config, double device_gcups)
+    : config_(config), device_gcups_(device_gcups) {
+  util::require(config_.min_workers >= 1,
+                "Autoscaler: min_workers must be >= 1");
+  util::require(config_.max_workers >= config_.min_workers,
+                "Autoscaler: max_workers must be >= min_workers");
+  util::require(config_.target_backlog_seconds > 0.0,
+                "Autoscaler: target_backlog_seconds must be > 0");
+  util::require(config_.low_watermark > 0.0 && config_.low_watermark < 1.0,
+                "Autoscaler: low_watermark must be in (0, 1)");
+  util::require(config_.scale_down_after >= 1,
+                "Autoscaler: scale_down_after must be >= 1");
+  util::require(device_gcups_ > 0.0, "Autoscaler: device_gcups must be > 0");
+}
+
+ScaleDecision Autoscaler::decide(double now, std::size_t outstanding_cells,
+                                 std::size_t serving_workers) {
+  ScaleDecision decision;
+  const double cells_per_second = device_gcups_ * 1e9;
+  const std::size_t serving = std::max<std::size_t>(serving_workers, 1);
+  decision.backlog_seconds = static_cast<double>(outstanding_cells) /
+                             (cells_per_second * static_cast<double>(serving));
+  if (!config_.enabled) {
+    return decision;
+  }
+  const bool cooled =
+      !changed_once_ || now - last_change_ >= config_.cooldown_seconds;
+
+  if (decision.backlog_seconds > config_.target_backlog_seconds) {
+    low_streak_ = 0;
+    if (!cooled || serving_workers >= config_.max_workers) {
+      return decision;
+    }
+    // Size the join step from the model: enough members that the queued
+    // cells clear within the target at Eq. 7/8 predicted capacity.
+    const double needed = std::ceil(
+        static_cast<double>(outstanding_cells) /
+        (cells_per_second * config_.target_backlog_seconds));
+    const std::size_t want = std::clamp<std::size_t>(
+        static_cast<std::size_t>(std::max(needed, 1.0)),
+        serving_workers + 1, config_.max_workers);
+    decision.delta = static_cast<int>(want - serving_workers);
+    last_change_ = now;
+    changed_once_ = true;
+    return decision;
+  }
+
+  if (decision.backlog_seconds <
+      config_.low_watermark * config_.target_backlog_seconds) {
+    ++low_streak_;
+    if (low_streak_ >= config_.scale_down_after && cooled &&
+        serving_workers > config_.min_workers) {
+      decision.delta = -1;  // conservative: one member per cooldown
+      low_streak_ = 0;
+      last_change_ = now;
+      changed_once_ = true;
+    }
+    return decision;
+  }
+
+  low_streak_ = 0;
+  return decision;
+}
+
+}  // namespace wsim::cluster

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <cstddef>
+
+namespace wsim::cluster {
+
+/// Knobs of the queue-depth/SLO-driven autoscaler. The control signal is
+/// *backlog seconds*: outstanding DP cells (queued plus in-flight on
+/// device timelines) divided by the fleet's predicted aggregate capacity
+/// (the paper's Eq. 7/8 per-device GCUPS times the member count). Backlog above the target adds capacity; backlog that
+/// stays far below it for long enough removes capacity. Hysteresis (the
+/// low-watermark streak) and a cooldown keep the loop from flapping on a
+/// bursty arrival process.
+struct AutoscalerConfig {
+  bool enabled = true;
+  std::size_t min_workers = 1;
+  std::size_t max_workers = 8;
+  /// Queued work should clear within this many seconds at predicted
+  /// capacity; above it the fleet scales up, sized to restore it.
+  double target_backlog_seconds = 5e-3;
+  /// Scale-down arm: backlog must sit below low_watermark × target ...
+  double low_watermark = 0.25;
+  /// ... for this many consecutive decisions before one worker drains.
+  int scale_down_after = 4;
+  /// Minimum simulated seconds between membership changes.
+  double cooldown_seconds = 20e-3;
+};
+
+/// One control decision: join `delta` workers (> 0), drain `-delta`
+/// (< 0), or hold (0). `backlog_seconds` is the measured signal that
+/// produced it, for logging.
+struct ScaleDecision {
+  int delta = 0;
+  double backlog_seconds = 0.0;
+};
+
+/// Pure decision logic — the caller (ClusterSim) owns the fleet and
+/// applies join/drain, so the policy is unit-testable without devices.
+/// Deterministic: decisions are a function of the observation sequence.
+class Autoscaler {
+ public:
+  /// `device_gcups` is the Eq. 7/8 predicted throughput of one scale-unit
+  /// device on the dominant kernel; it converts queued cells to backlog
+  /// seconds and sizes join steps.
+  Autoscaler(const AutoscalerConfig& config, double device_gcups);
+
+  const AutoscalerConfig& config() const noexcept { return config_; }
+
+  /// One control tick at simulated time `now`, observing the outstanding
+  /// cell count (admission queues + in-flight device backlog) and the
+  /// number of serving (non-draining, non-retired) workers.
+  ScaleDecision decide(double now, std::size_t outstanding_cells,
+                       std::size_t serving_workers);
+
+ private:
+  AutoscalerConfig config_;
+  double device_gcups_;
+  double last_change_ = 0.0;
+  bool changed_once_ = false;  ///< cooldown only applies after a change
+  int low_streak_ = 0;
+};
+
+}  // namespace wsim::cluster

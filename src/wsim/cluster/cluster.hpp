@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "wsim/cluster/autoscaler.hpp"
+#include "wsim/fleet/fleet.hpp"
+#include "wsim/serve/service.hpp"
+#include "wsim/workload/task.hpp"
+#include "wsim/workload/trace.hpp"
+
+namespace wsim::cluster {
+
+/// Configuration of one cluster simulation: a homogeneous scaling pool
+/// (every join adds a copy of `worker`), the serving-layer policies, the
+/// tenants' contracts, and the autoscaler's control law.
+struct ClusterConfig {
+  /// Scale-unit device template; every member is one of these.
+  fleet::WorkerConfig worker;
+  std::size_t initial_workers = 1;
+  fleet::PlacementPolicy policy = fleet::PlacementPolicy::kModelGuided;
+  fleet::FaultPlan faults;
+  fleet::RetryPolicy retry;
+  /// Simulated seconds a joining member spends warming up before it takes
+  /// placements — the "cost" of elasticity the autoscaler must overcome.
+  double join_warmup_seconds = 2e-3;
+
+  /// Batch-forming policy of the front-end service.
+  serve::BatchPolicy batch;
+  std::size_t max_queue_tasks = 1 << 16;
+  std::size_t max_queue_cells = 0;  ///< 0 = unbounded
+  /// Tenant contracts (quota + SLO). Trace tenants not listed here are
+  /// admitted permissively without quotas or SLOs.
+  std::vector<serve::TenantConfig> tenants;
+  /// Collect real outputs during replay. Off by default: load experiments
+  /// run timing-only through the shape cache, which is what makes
+  /// million-request traces cheap.
+  bool collect_outputs = false;
+
+  AutoscalerConfig autoscaler;
+  /// Control-loop tick: the autoscaler observes queue depth and applies
+  /// join/drain decisions every this many simulated seconds.
+  double control_interval_seconds = 2e-3;
+  /// Billing rate used for the cost-per-million-requests readout.
+  double cost_per_device_hour = 2.5;
+};
+
+/// Membership record of one worker over the run, for device-hour billing.
+struct MemberRecord {
+  fleet::DeviceId id = 0;
+  double joined_at = 0.0;
+  double retired_at = 0.0;  ///< = run end when never retired
+  bool retired = false;
+};
+
+/// Result of a cluster simulation. Latency percentiles, SLO outcome, and
+/// quota rejections are per tenant inside `service.tenants`; the fleet
+/// snapshot carries the per-device lifecycle/quarantine records.
+struct ClusterReport {
+  serve::ServiceStats service;
+  fleet::FleetStats fleet;
+  std::vector<MemberRecord> members;
+  double duration_seconds = 0.0;  ///< trace start to last delivery
+  double device_hours = 0.0;      ///< billed member-seconds / 3600
+  std::size_t peak_workers = 0;   ///< max simultaneously serving members
+  /// Requests per simulated second that completed *and* met their
+  /// deadline/SLO (completions without a deadline all count).
+  double goodput_rps = 0.0;
+  /// deadlines_missed / (deadlines_met + deadlines_missed).
+  double slo_violation_rate = 0.0;
+  /// device_hours × cost_per_device_hour, normalized per 1e6 completed.
+  double cost_per_million = 0.0;
+};
+
+/// Replays `trace` against a dynamically-scaled fleet serving `dataset`'s
+/// task pools (TraceEvent::task_index picks tasks modulo pool size).
+/// Everything runs on the deterministic simulated clock: the same trace,
+/// dataset, and config always produce the same report — including under
+/// fleet fault injection, since FaultPlan draws are keyed by dispatch
+/// sequence, not wall time.
+ClusterReport run_cluster(const workload::Dataset& dataset,
+                          const workload::Trace& trace,
+                          const ClusterConfig& config);
+
+/// JSON dump: the serve/fleet shared schema (write_stats_json with the
+/// "devices" array) wrapped with the cluster-level readouts
+/// (device_hours, peak_workers, goodput_rps, slo_violation_rate,
+/// cost_per_million_requests). No trailing newline.
+void write_cluster_json(std::ostream& os, const ClusterReport& report);
+
+}  // namespace wsim::cluster

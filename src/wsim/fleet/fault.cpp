@@ -43,6 +43,10 @@ double FaultPlan::service_multiplier(int device_index,
              : 1.0;
 }
 
+double FaultPlan::degraded_multiplier(int device_index) const noexcept {
+  return device_index == degraded_device ? degraded_factor : 1.0;
+}
+
 double RetryPolicy::backoff(int attempt) const noexcept {
   double delay = backoff_initial;
   for (int i = 0; i < attempt; ++i) {

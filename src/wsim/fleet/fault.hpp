@@ -36,8 +36,18 @@ struct FaultPlan {
   double slowdown_prob = 0.0;
   double slowdown_factor = 4.0;
 
+  /// Silent degradation: the named device runs *every* batch at
+  /// `degraded_factor` times its normal service seconds without reporting
+  /// any fault — no launch failure, no slowdown counter, nothing for the
+  /// health channel to see. This is the thermal-throttled / half-clocked
+  /// card scenario: static model-guided routing keeps trusting the Eq. 7/8
+  /// prediction and keeps overloading the sick device. -1 disables.
+  int degraded_device = -1;
+  double degraded_factor = 2.0;
+
   bool enabled() const noexcept {
-    return launch_failure_prob > 0.0 || slowdown_prob > 0.0;
+    return launch_failure_prob > 0.0 || slowdown_prob > 0.0 ||
+           degraded_device >= 0;
   }
 
   /// True when dispatch attempt `dispatch_seq` on `device_index` fails.
@@ -47,6 +57,11 @@ struct FaultPlan {
   /// when the slowdown fault fires.
   double service_multiplier(int device_index,
                             std::uint64_t dispatch_seq) const noexcept;
+
+  /// Persistent silent-degradation multiplier for the device: 1.0 for
+  /// healthy devices, `degraded_factor` for `degraded_device`. Applied on
+  /// top of `service_multiplier`, invisible to every counter.
+  double degraded_multiplier(int device_index) const noexcept;
 };
 
 /// Retry-with-backoff policy for transient launch failures. Attempt k

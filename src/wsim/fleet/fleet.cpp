@@ -11,6 +11,22 @@
 
 namespace wsim::fleet {
 
+std::string_view to_string(WorkerState state) noexcept {
+  switch (state) {
+    case WorkerState::kJoining:
+      return "joining";
+    case WorkerState::kActive:
+      return "active";
+    case WorkerState::kQuarantined:
+      return "quarantined";
+    case WorkerState::kDraining:
+      return "draining";
+    case WorkerState::kRetired:
+      return "retired";
+  }
+  return "?";
+}
+
 std::string_view to_string(PlacementPolicy policy) noexcept {
   switch (policy) {
     case PlacementPolicy::kRoundRobin:
@@ -81,31 +97,102 @@ FleetExecutor::FleetExecutor(FleetConfig config)
                 "FleetExecutor: fleet needs at least one worker");
   util::require(config_.retry.max_attempts >= 1,
                 "FleetExecutor: retry.max_attempts must be >= 1");
-  workers_.reserve(config_.workers.size());
   for (const WorkerConfig& wc : config_.workers) {
-    util::require(wc.max_pending_batches >= 1,
-                  "FleetExecutor: max_pending_batches must be >= 1");
-    const VariantChoice choice = pick_variants(wc.device);
-    const kernels::CommMode sw = wc.sw_design.value_or(choice.sw_design);
-    const kernels::PhDesign ph = wc.ph_design.value_or(choice.ph_design);
-    Worker worker{wc,
-                  sw,
-                  ph,
-                  predicted_sw_gcups(wc.device, sw),
-                  predicted_ph_gcups(wc.device, ph),
-                  kernels::SwRunner(sw),
-                  kernels::PhRunner(ph),
-                  0.0,
-                  {},
-                  0,
-                  {},
-                  {},
-                  0};
-    worker.stats.name = wc.device.name;
-    worker.stats.sw_design = sw;
-    worker.stats.ph_design = ph;
-    workers_.push_back(std::move(worker));
+    add_worker(wc, 0.0, /*active_at=*/0.0);
   }
+}
+
+DeviceId FleetExecutor::add_worker(const WorkerConfig& wc, SimTime now,
+                                   SimTime active_at) {
+  util::require(wc.max_pending_batches >= 1,
+                "FleetExecutor: max_pending_batches must be >= 1");
+  const VariantChoice choice = pick_variants(wc.device);
+  const kernels::CommMode sw = wc.sw_design.value_or(choice.sw_design);
+  const kernels::PhDesign ph = wc.ph_design.value_or(choice.ph_design);
+  const DeviceId id = static_cast<DeviceId>(workers_.size());
+  DeviceWorker worker{wc,
+                      sw,
+                      ph,
+                      predicted_sw_gcups(wc.device, sw),
+                      predicted_ph_gcups(wc.device, ph),
+                      kernels::SwRunner(sw),
+                      kernels::PhRunner(ph),
+                      now,
+                      active_at,
+                      /*draining=*/false,
+                      /*retired=*/false,
+                      // A warming-up device starts its timeline at the warmup
+                      // end: work placed on it during kJoining (emergency
+                      // relaxation) starts once it is active.
+                      /*free_at=*/active_at,
+                      {},
+                      0,
+                      {},
+                      {},
+                      0};
+  worker.stats.name = wc.device.name;
+  worker.stats.sw_design = sw;
+  worker.stats.ph_design = ph;
+  worker.stats.id = id;
+  worker.stats.joined_at = now;
+  workers_.push_back(std::move(worker));
+  last_time_ = std::max(last_time_, now);
+  return id;
+}
+
+DeviceId FleetExecutor::join(const WorkerConfig& worker, SimTime now) {
+  const DeviceId id =
+      add_worker(worker, now, now + config_.join_warmup_seconds);
+  ++joins_;
+  return id;
+}
+
+void FleetExecutor::drain(DeviceId id, SimTime now) {
+  util::require(id < workers_.size(), "FleetExecutor::drain: unknown DeviceId");
+  DeviceWorker& w = workers_[id];
+  util::require(!w.retired, "FleetExecutor::drain: worker already retired");
+  last_time_ = std::max(last_time_, now);
+  if (w.draining) {
+    return;
+  }
+  w.draining = true;
+  ++drains_;
+}
+
+void FleetExecutor::retire(DeviceId id, SimTime now) {
+  util::require(id < workers_.size(), "FleetExecutor::retire: unknown DeviceId");
+  DeviceWorker& w = workers_[id];
+  util::require(!w.retired, "FleetExecutor::retire: worker already retired");
+  last_time_ = std::max(last_time_, now);
+  w.retired = true;
+  ++retires_;
+}
+
+WorkerState FleetExecutor::worker_state(const DeviceWorker& w,
+                                        SimTime t) const noexcept {
+  if (w.retired) {
+    return WorkerState::kRetired;
+  }
+  if (w.draining) {
+    return WorkerState::kDraining;
+  }
+  if (t < w.active_at) {
+    return WorkerState::kJoining;
+  }
+  if (!w.health.healthy_at(t)) {
+    return WorkerState::kQuarantined;
+  }
+  return WorkerState::kActive;
+}
+
+WorkerState FleetExecutor::state(DeviceId id, SimTime now) const {
+  util::require(id < workers_.size(), "FleetExecutor::state: unknown DeviceId");
+  return worker_state(workers_[id], now);
+}
+
+SimTime FleetExecutor::free_at(DeviceId id) const {
+  util::require(id < workers_.size(), "FleetExecutor::free_at: unknown DeviceId");
+  return workers_[id].free_at;
 }
 
 const simt::DeviceSpec& FleetExecutor::device(std::size_t index) const {
@@ -125,7 +212,7 @@ kernels::PhDesign FleetExecutor::ph_design(std::size_t index) const {
 
 SimTime FleetExecutor::all_free_at() const noexcept {
   SimTime latest = 0.0;
-  for (const Worker& w : workers_) {
+  for (const DeviceWorker& w : workers_) {
     latest = std::max(latest, w.free_at);
   }
   return latest;
@@ -134,37 +221,49 @@ SimTime FleetExecutor::all_free_at() const noexcept {
 FleetStats FleetExecutor::stats() const {
   FleetStats stats;
   stats.devices.reserve(workers_.size());
-  for (const Worker& w : workers_) {
+  for (const DeviceWorker& w : workers_) {
     DeviceStats d = w.stats;
     d.free_at = w.free_at;
+    d.state = worker_state(w, last_time_);
     stats.devices.push_back(std::move(d));
   }
   stats.dispatches = dispatches_;
   stats.retries = retries_;
   stats.requeues = requeues_;
+  stats.joins = joins_;
+  stats.drains = drains_;
+  stats.retires = retires_;
   stats.guard = guard_stats_;
   return stats;
 }
 
-long long FleetExecutor::effective_budget(const Worker& worker) const noexcept {
+long long FleetExecutor::effective_budget(
+    const DeviceWorker& worker) const noexcept {
   return worker.cfg.max_block_cycles > 0 ? worker.cfg.max_block_cycles
                                          : config_.guard.max_block_cycles;
 }
 
+void FleetExecutor::quarantine(DeviceWorker& w, SimTime t) {
+  if (w.health.healthy_at(t)) {
+    ++w.stats.quarantines;
+  }
+  w.health.unhealthy_until =
+      std::max(w.health.unhealthy_until, t + config_.retry.quarantine_seconds);
+}
+
 void FleetExecutor::note_sdc(std::size_t w, SimTime t) {
-  Worker& worker = workers_[w];
+  DeviceWorker& worker = workers_[w];
   ++worker.stats.sdc_detected;
   ++worker.health.consecutive_sdc;
   if (config_.retry.unhealthy_after > 0 &&
       worker.health.consecutive_sdc >=
           static_cast<std::size_t>(config_.retry.unhealthy_after)) {
-    worker.health.unhealthy_until =
-        std::max(worker.health.unhealthy_until, t + config_.retry.quarantine_seconds);
+    quarantine(worker, t);
   }
 }
 
 void FleetExecutor::prune_pending(SimTime t) {
-  for (Worker& w : workers_) {
+  for (DeviceWorker& w : workers_) {
     while (!w.pending.empty() && w.pending.front().first <= t) {
       w.pending_cells -= w.pending.front().second;
       w.pending.pop_front();
@@ -174,18 +273,27 @@ void FleetExecutor::prune_pending(SimTime t) {
 
 std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
                                  int excluded) {
-  // Eligibility, relaxed in rounds: healthy + not excluded + queue room;
-  // then ignore queue bounds; then take anyone (single device, or every
-  // device quarantined). When relaxation was needed, the batch goes to
-  // whichever device frees earliest — the deterministic equivalent of
-  // stalling for the first open slot.
+  // Eligibility, relaxed in lifecycle rounds: active + not excluded +
+  // queue room; then active ignoring queue bounds; then quarantined and
+  // warming-up members (including the excluded device); then draining
+  // workers. Retired workers are never placed. When relaxation was needed,
+  // the batch goes to whichever device frees earliest — the deterministic
+  // equivalent of stalling for the first open slot.
   std::vector<std::size_t> eligible;
-  const auto collect = [&](bool respect_bounds, bool respect_health) {
+  const auto collect = [&](bool respect_bounds, bool active_only,
+                           bool allow_draining) {
     eligible.clear();
     for (std::size_t i = 0; i < workers_.size(); ++i) {
-      const Worker& w = workers_[i];
-      if (respect_health &&
-          (static_cast<int>(i) == excluded || !w.health.healthy_at(t))) {
+      const DeviceWorker& w = workers_[i];
+      const WorkerState s = worker_state(w, t);
+      if (s == WorkerState::kRetired) {
+        continue;
+      }
+      if (s == WorkerState::kDraining && !allow_draining) {
+        continue;
+      }
+      if (active_only &&
+          (static_cast<int>(i) == excluded || s != WorkerState::kActive)) {
         continue;
       }
       if (respect_bounds && w.pending.size() >= w.cfg.max_pending_batches) {
@@ -194,15 +302,20 @@ std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
       eligible.push_back(i);
     }
   };
-  collect(true, true);
+  collect(true, true, false);
   bool relaxed = false;
   if (eligible.empty()) {
-    collect(false, true);
+    collect(false, true, false);
     relaxed = true;
   }
   if (eligible.empty()) {
-    collect(false, false);
+    collect(false, false, false);
   }
+  if (eligible.empty()) {
+    collect(false, false, true);
+  }
+  util::require(!eligible.empty(),
+                "FleetExecutor: no placeable device (every worker is retired)");
 
   if (relaxed) {
     std::size_t best = eligible.front();
@@ -238,7 +351,7 @@ std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
       std::size_t best = eligible.front();
       double best_finish = std::numeric_limits<double>::infinity();
       for (const std::size_t i : eligible) {
-        const Worker& w = workers_[i];
+        const DeviceWorker& w = workers_[i];
         const double gcups = is_sw ? w.sw_gcups : w.ph_gcups;
         const double finish = std::max(t, w.free_at) +
                               predicted_batch_seconds(w.cfg.device, gcups, cells);
@@ -269,7 +382,7 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     } else {
       w = place(cells, is_sw, t, excluded);
     }
-    Worker& worker = workers_[w];
+    DeviceWorker& worker = workers_[w];
     const std::uint64_t seq = worker.dispatch_seq++;
     // One failed attempt: health feedback, quarantine check, backoff, and
     // steer the retry away from this device. Throws after max_attempts
@@ -281,7 +394,7 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
       if (config_.retry.unhealthy_after > 0 &&
           worker.health.consecutive_failures >=
               static_cast<std::size_t>(config_.retry.unhealthy_after)) {
-        worker.health.unhealthy_until = t + config_.retry.quarantine_seconds;
+        quarantine(worker, t);
       }
       ++attempt;
       if (attempt >= config_.retry.max_attempts) {
@@ -318,11 +431,17 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
       fail_attempt(error.what());
       continue;
     }
-    const double multiplier =
+    const double fault_multiplier =
         config_.faults.service_multiplier(static_cast<int>(w), seq);
-    if (multiplier > 1.0) {
+    if (fault_multiplier > 1.0) {
       ++worker.stats.slowdowns;
     }
+    // Silent degradation stretches service time on top of any slowdown
+    // fault without touching a single counter — nothing for the health
+    // channel or the stats to see.
+    const double multiplier =
+        fault_multiplier *
+        config_.faults.degraded_multiplier(static_cast<int>(w));
     Execution exec;
     exec.device_index = static_cast<int>(w);
     exec.attempts = attempt + 1;
@@ -337,6 +456,7 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     worker.stats.tasks += tasks;
     worker.stats.cells += cells;
     ++dispatches_;
+    last_time_ = std::max(last_time_, exec.completion_time);
     if (attempt > 0 && excluded != static_cast<int>(w)) {
       ++requeues_;
     }
@@ -459,7 +579,7 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
     SwExecution out;
     out.exec =
         dispatch(batch.size(), cells, /*is_sw=*/true, when, force, excluded,
-                 [&](Worker& worker) {
+                 [&](DeviceWorker& worker) {
                    kernels::SwRunOptions opt;
                    opt.engine = engine_;
                    opt.overlap_transfers = options.overlap_transfers;
@@ -505,7 +625,7 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
     // dispatch; the values from the bit-identical CPU reference.
     SwExecution out;
     out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now, -1, -1,
-                        [&](Worker& worker) {
+                        [&](DeviceWorker& worker) {
                           kernels::SwRunOptions opt;
                           opt.engine = engine_;
                           opt.overlap_transfers = options.overlap_transfers;
@@ -530,7 +650,7 @@ PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
     PhExecution out;
     out.exec =
         dispatch(batch.size(), cells, /*is_sw=*/false, when, force, excluded,
-                 [&](Worker& worker) {
+                 [&](DeviceWorker& worker) {
                    kernels::PhRunOptions opt;
                    opt.engine = engine_;
                    opt.overlap_transfers = options.overlap_transfers;
@@ -573,7 +693,7 @@ PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
     // the CPU reference (accurate, though not bit-identical for PairHMM).
     PhExecution out;
     out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, now, -1, -1,
-                        [&](Worker& worker) {
+                        [&](DeviceWorker& worker) {
                           kernels::PhRunOptions opt;
                           opt.engine = engine_;
                           opt.overlap_transfers = options.overlap_transfers;

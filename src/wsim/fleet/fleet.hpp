@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "wsim/fleet/fault.hpp"
@@ -21,6 +22,35 @@ class ExecutionEngine;
 }  // namespace wsim::simt
 
 namespace wsim::fleet {
+
+/// Stable identity of a fleet member. Ids are assigned densely in join
+/// order and are never reused: a retired worker keeps its id (and its
+/// lifetime counters) forever, so stats rows and placement decisions can
+/// be correlated across membership churn.
+using DeviceId = std::uint32_t;
+
+/// Lifecycle of one fleet member. The state is *derived* at a given
+/// simulated time from the worker's membership flags, its warmup deadline,
+/// and its health record — quarantine is a lifecycle state like any other,
+/// not a side-channel flag.
+///
+///   kJoining ──(warmup elapses)──► kActive ◄──(quarantine expires)──┐
+///                                   │  │                            │
+///                                   │  └──(health trips)──► kQuarantined
+///                                   ▼                               │
+///                               kDraining ◄─────────────────────────┘
+///                                   │          (drain() in any state)
+///                                   ▼
+///                                kRetired      (retire(); terminal)
+enum class WorkerState {
+  kJoining,      ///< joined but still warming up; no fresh placements
+  kActive,       ///< serving: eligible for every placement round
+  kQuarantined,  ///< health-tripped; skipped while alternatives exist
+  kDraining,     ///< finishes queued batches, receives no new placements
+  kRetired,      ///< terminal: never placed again, counters frozen
+};
+
+std::string_view to_string(WorkerState state) noexcept;
 
 /// How the executor picks the device for a formed batch.
 enum class PlacementPolicy {
@@ -79,6 +109,10 @@ struct FleetConfig {
   /// process-wide simt::shared_engine(). Workers share the pool — a
   /// DeviceWorker is a simulated-device timeline, not an OS thread.
   simt::ExecutionEngine* engine = nullptr;
+  /// Simulated seconds a worker joined via join() spends in kJoining
+  /// before it becomes placeable (driver load, clock ramp, cache warm).
+  /// The initial fleet from `workers` is active at t=0 regardless.
+  double join_warmup_seconds = 0.0;
 };
 
 /// Execution knobs of one dispatch, mirroring the single-device runners.
@@ -102,15 +136,23 @@ struct DeviceStats {
   std::size_t sdc_detected = 0;     ///< verifications that flagged this device
   std::size_t timeouts = 0;         ///< watchdog LaunchTimeout errors here
   SimTime free_at = 0.0;            ///< device-timeline end
+  DeviceId id = 0;                  ///< stable registry id
+  WorkerState state = WorkerState::kActive;  ///< lifecycle at snapshot time
+  std::size_t quarantines = 0;      ///< times this device entered quarantine
+  SimTime joined_at = 0.0;          ///< when the worker joined the fleet
 };
 
-/// Fleet-wide snapshot: per-device counters plus dispatch/retry
-/// accounting. `busy_skew` is the imbalance measure the benches record.
+/// Fleet-wide snapshot: per-device counters plus dispatch/retry and
+/// membership accounting. `busy_skew` is the imbalance measure the
+/// benches record.
 struct FleetStats {
   std::vector<DeviceStats> devices;
   std::size_t dispatches = 0;  ///< successful batch executions
   std::size_t retries = 0;     ///< failed attempts that were retried
   std::size_t requeues = 0;    ///< retries that landed on a different device
+  std::size_t joins = 0;       ///< dynamic join() calls (initial fleet excluded)
+  std::size_t drains = 0;      ///< drain() calls
+  std::size_t retires = 0;     ///< retire() calls
   guard::GuardStats guard;     ///< corruption/watchdog/verification accounting
 
   std::size_t total_cells() const noexcept;
@@ -144,12 +186,18 @@ struct PhExecution {
   kernels::PhBatchResult result;
 };
 
-/// Heterogeneous multi-device executor: owns N DeviceWorkers (one
-/// simulated GPU each, with its own bounded batch queue and device
-/// timeline, all sharing one simt::ExecutionEngine worker pool) and
-/// dispatches formed batches by the configured placement policy, with
+/// Heterogeneous multi-device executor: owns an id-keyed registry of
+/// DeviceWorkers (one simulated GPU each, with its own bounded batch queue
+/// and device timeline, all sharing one simt::ExecutionEngine worker pool)
+/// and dispatches formed batches by the configured placement policy, with
 /// deterministic fault injection, per-device health tracking,
 /// retry-with-backoff, and requeue-on-another-device.
+///
+/// Membership is dynamic: join() adds a worker mid-run (placeable after
+/// its warmup), drain() stops new placements while queued batches finish,
+/// retire() removes the worker from every placement round permanently.
+/// Ids are stable — the registry only grows, so DeviceId == registry
+/// index forever and references held across join() stay valid.
 ///
 /// Time model: like serve::AlignmentService, the executor lives in
 /// simulated time. `execute_sw`/`execute_ph` resolve a dispatch
@@ -158,9 +206,9 @@ struct PhExecution {
 /// completes; the caller's clock decides when the results become visible.
 ///
 /// Guarantee: results are bit-identical to running the same batch through
-/// a single-device runner — placement, retries, and slowdowns move time,
-/// not values (both communication designs compute identical outputs, and
-/// DeviceSpec latencies affect timing only).
+/// a single-device runner — placement, retries, slowdowns, and membership
+/// churn move time, not values (both communication designs compute
+/// identical outputs, and DeviceSpec latencies affect timing only).
 ///
 /// Thread safety: none — the executor mutates device timelines per call.
 /// The serving layer serializes access under its own lock.
@@ -172,11 +220,34 @@ class FleetExecutor {
   FleetExecutor& operator=(const FleetExecutor&) = delete;
 
   const FleetConfig& config() const noexcept { return config_; }
+  /// Registry size: every worker that ever joined, retired ones included.
   std::size_t size() const noexcept { return workers_.size(); }
 
   const simt::DeviceSpec& device(std::size_t index) const;
   kernels::CommMode sw_design(std::size_t index) const;
   kernels::PhDesign ph_design(std::size_t index) const;
+
+  /// Adds a worker to the running fleet at simulated time `now`. The
+  /// worker is kJoining until now + join_warmup_seconds, then kActive.
+  /// Returns its stable id.
+  DeviceId join(const WorkerConfig& worker, SimTime now);
+
+  /// Marks the worker kDraining at `now`: batches already on its timeline
+  /// finish normally, but placement never picks it again unless every
+  /// non-draining member is retired. No-op if already draining.
+  void drain(DeviceId id, SimTime now);
+
+  /// Permanently removes the worker from placement at `now` (terminal).
+  /// Because dispatches resolve against the device timeline immediately,
+  /// nothing is ever in limbo: retiring a worker — even a quarantined one
+  /// — requeues nothing and drops nothing.
+  void retire(DeviceId id, SimTime now);
+
+  /// Lifecycle state of the worker as of simulated time `now`.
+  WorkerState state(DeviceId id, SimTime now) const;
+
+  /// Device-timeline end of one worker (when its queued work finishes).
+  SimTime free_at(DeviceId id) const;
 
   /// Simulated time when the last device frees up (the fleet makespan so
   /// far).
@@ -185,14 +256,18 @@ class FleetExecutor {
   FleetStats stats() const;
 
   /// Dispatches one formed batch at simulated time `now`. Throws
-  /// util::CheckError if the batch is empty or every retry attempt fails.
+  /// util::CheckError if the batch is empty, every retry attempt fails,
+  /// or every worker is retired.
   SwExecution execute_sw(const workload::SwBatch& batch, SimTime now,
                          const ExecOptions& options = {});
   PhExecution execute_ph(const workload::PhBatch& batch, SimTime now,
                          const ExecOptions& options = {});
 
  private:
-  struct Worker {
+  /// One registry entry: a simulated device plus its timeline, health,
+  /// lifecycle flags, and lifetime counters. Never erased — `retired`
+  /// freezes it in place so ids stay dense and stable.
+  struct DeviceWorker {
     WorkerConfig cfg;
     kernels::CommMode sw_design;
     kernels::PhDesign ph_design;
@@ -200,6 +275,10 @@ class FleetExecutor {
     double ph_gcups = 0.0;  ///< model prediction for the chosen PH design
     kernels::SwRunner sw_runner;
     kernels::PhRunner ph_runner;
+    SimTime joined_at = 0.0;
+    SimTime active_at = 0.0;  ///< warmup end; placeable from here
+    bool draining = false;
+    bool retired = false;
     SimTime free_at = 0.0;
     /// Batches not yet complete at the last observed time:
     /// (completion_time, cells).
@@ -210,12 +289,26 @@ class FleetExecutor {
     std::uint64_t dispatch_seq = 0;  ///< feeds the FaultPlan hash
   };
 
+  /// Registry append shared by the constructor (no warmup, no join count)
+  /// and join().
+  DeviceId add_worker(const WorkerConfig& wc, SimTime now, SimTime active_at);
+
+  /// Derives the lifecycle state of one registry entry at time `t`.
+  WorkerState worker_state(const DeviceWorker& w, SimTime t) const noexcept;
+
+  /// Quarantines the worker at `t` (entering counts once; extending an
+  /// active quarantine does not).
+  void quarantine(DeviceWorker& w, SimTime t);
+
   /// Drops pending entries completed by `t` from every worker.
   void prune_pending(SimTime t);
 
   /// Picks the worker for a batch of `cells` cells at time `t` under the
-  /// configured policy, skipping `excluded` (the device of the failed
-  /// attempt) and unhealthy/full workers while alternatives exist.
+  /// configured policy. Eligibility relaxes in lifecycle rounds: kActive
+  /// workers with queue room, then kActive ignoring bounds, then
+  /// quarantined/joining members, then draining ones. Retired workers are
+  /// never placed; `excluded` (the device of the failed attempt) is only
+  /// reconsidered once the strict rounds come up empty.
   std::size_t place(std::size_t cells, bool is_sw, SimTime t, int excluded);
 
   /// Shared dispatch loop: placement, fault check, retry/backoff, then
@@ -240,7 +333,7 @@ class FleetExecutor {
                        CpuSubstitute&& cpu_substitute);
 
   /// Watchdog budget for one worker: its override, else the fleet-wide one.
-  long long effective_budget(const Worker& worker) const noexcept;
+  long long effective_budget(const DeviceWorker& worker) const noexcept;
 
   /// Health feedback for a verification that flagged device `w` at time
   /// `t`: repeated silent corruption quarantines the device.
@@ -248,11 +341,17 @@ class FleetExecutor {
 
   FleetConfig config_;
   simt::ExecutionEngine* engine_;  ///< non-null after construction
-  std::vector<Worker> workers_;
+  /// Id-keyed registry: deque so join() never invalidates references to
+  /// existing workers; index == DeviceId, entries are never erased.
+  std::deque<DeviceWorker> workers_;
   std::size_t round_robin_next_ = 0;
   std::size_t dispatches_ = 0;
   std::size_t retries_ = 0;
   std::size_t requeues_ = 0;
+  std::size_t joins_ = 0;
+  std::size_t drains_ = 0;
+  std::size_t retires_ = 0;
+  SimTime last_time_ = 0.0;  ///< latest simulated time observed (for stats)
   guard::GuardStats guard_stats_;
   std::uint64_t sdc_launch_seq_ = 0;  ///< fresh SDC launch id per device run
 };

@@ -35,6 +35,8 @@ enum class RejectReason {
   kQueueTasksFull, ///< the per-kind task bound (max_queue_tasks) is reached
   kQueueCellsFull, ///< the queued-cell bound (max_queue_cells) is reached
   kStopped,        ///< the service is stopping; queued work still drains
+  kTenantTasksQuota, ///< the tenant's queued-task quota is reached
+  kTenantCellsQuota, ///< the tenant's queued-cell quota is reached
 };
 
 constexpr std::string_view to_string(RejectReason reason) noexcept {
@@ -43,6 +45,8 @@ constexpr std::string_view to_string(RejectReason reason) noexcept {
     case RejectReason::kQueueTasksFull: return "queue-tasks-full";
     case RejectReason::kQueueCellsFull: return "queue-cells-full";
     case RejectReason::kStopped: return "stopped";
+    case RejectReason::kTenantTasksQuota: return "tenant-tasks-quota";
+    case RejectReason::kTenantCellsQuota: return "tenant-cells-quota";
   }
   return "?";
 }
@@ -138,6 +142,10 @@ struct SwRequest {
   /// Invoked on the advancing thread (outside the service lock) when the
   /// response is delivered, after the ticket becomes ready.
   std::function<void(const SwResponse&)> callback;
+  /// Tenant submitting the request; empty = the default tenant. Known
+  /// tenants (ServiceConfig::tenants) get their quota and SLO class
+  /// applied; unknown names are admitted permissively without quotas.
+  std::string tenant;
 };
 
 /// One PairHMM likelihood request.
@@ -146,6 +154,7 @@ struct PairHmmRequest {
   Priority priority = Priority::kNormal;
   std::optional<SimTime> deadline;
   std::function<void(const PairHmmResponse&)> callback;
+  std::string tenant;  ///< empty = the default tenant
 };
 
 /// Outcome of a submission: either an admitted ticket or a reject reason.

@@ -24,6 +24,7 @@ struct Delivery {
   Response response;
   bool had_deadline = false;
   std::size_t cells = 0;
+  std::uint32_t tenant = 0;
 };
 
 /// Fails every entry's ticket with `why` and returns how many. No
@@ -132,6 +133,59 @@ AlignmentService::AlignmentService(ServiceConfig config)
                 "AlignmentService: max_batch_delay must be >= 0");
   util::require(config_.length_granularity >= 1,
                 "AlignmentService: length_granularity must be >= 1");
+  // Tenant 0 is the permissive default every unnamed (or unknown)
+  // submission lands in; configured tenants follow in config order.
+  tenants_.emplace_back();
+  for (const TenantConfig& tenant : config_.tenants) {
+    util::require(!tenant.name.empty(),
+                  "AlignmentService: configured tenants need a name");
+    TenantState state;
+    state.cfg = tenant;
+    tenants_.push_back(std::move(state));
+  }
+}
+
+std::uint32_t AlignmentService::tenant_index(const std::string& name) {
+  if (name.empty()) {
+    return 0;
+  }
+  for (std::size_t i = 1; i < tenants_.size(); ++i) {
+    if (tenants_[i].cfg.name == name) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  // Unknown tenant: admit permissively but keep its own accounting row.
+  TenantState state;
+  state.cfg.name = name;
+  tenants_.push_back(std::move(state));
+  return static_cast<std::uint32_t>(tenants_.size() - 1);
+}
+
+template <typename E>
+RejectReason AlignmentService::admit_tenant(const std::string& name, E& entry) {
+  entry.tenant = tenant_index(name);
+  TenantState& tenant = tenants_[entry.tenant];
+  if (tenant.cfg.max_queued_tasks != 0 &&
+      tenant.queued_tasks + 1 > tenant.cfg.max_queued_tasks) {
+    ++tenant.rejected_quota;
+    ++totals_.rejected_tenant_quota;
+    return RejectReason::kTenantTasksQuota;
+  }
+  if (tenant.cfg.max_queued_cells != 0 &&
+      tenant.queued_cells + entry.cells > tenant.cfg.max_queued_cells) {
+    ++tenant.rejected_quota;
+    ++totals_.rejected_tenant_quota;
+    return RejectReason::kTenantCellsQuota;
+  }
+  // SLO class: derive the deadline and lane the tenant contracted for
+  // unless the request pinned its own.
+  if (tenant.cfg.slo_seconds > 0.0 && !entry.deadline.has_value()) {
+    entry.deadline = clock_ + tenant.cfg.slo_seconds;
+  }
+  if (tenant.cfg.priority.has_value() || tenant.cfg.slo_seconds > 0.0) {
+    entry.priority = tenant.cfg.effective_priority();
+  }
+  return RejectReason::kNone;
 }
 
 SwSubmit AlignmentService::submit(SwRequest request) {
@@ -150,9 +204,16 @@ SwSubmit AlignmentService::submit(SwRequest request) {
   entry.priority = request.priority;
   entry.deadline = request.deadline;
   entry.submit_time = clock_;
+  const RejectReason quota = admit_tenant(request.tenant, entry);
+  if (quota != RejectReason::kNone) {
+    result.rejected = quota;
+    return result;
+  }
   entry.slot = std::make_shared<detail::ResponseSlot<SwResponse>>();
   entry.slot->callback = std::move(request.callback);
   Ticket<SwResponse> ticket(entry.slot);
+  const std::uint32_t tenant_idx = entry.tenant;
+  const std::size_t cells = entry.cells;
   const RejectReason reason = sw_queue_.try_push(std::move(entry));
   if (reason != RejectReason::kNone) {
     reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
@@ -164,6 +225,10 @@ SwSubmit AlignmentService::submit(SwRequest request) {
     totals_.first_submit_time = clock_;
   }
   ++totals_.sw_submitted;
+  TenantState& tenant = tenants_[tenant_idx];
+  ++tenant.submitted;
+  ++tenant.queued_tasks;
+  tenant.queued_cells += cells;
   result.ticket = std::move(ticket);
   flush_while_over_target();
   return result;
@@ -192,9 +257,16 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
   entry.priority = request.priority;
   entry.deadline = request.deadline;
   entry.submit_time = clock_;
+  const RejectReason quota = admit_tenant(request.tenant, entry);
+  if (quota != RejectReason::kNone) {
+    result.rejected = quota;
+    return result;
+  }
   entry.slot = std::make_shared<detail::ResponseSlot<PairHmmResponse>>();
   entry.slot->callback = std::move(request.callback);
   Ticket<PairHmmResponse> ticket(entry.slot);
+  const std::uint32_t tenant_idx = entry.tenant;
+  const std::size_t cells = entry.cells;
   const RejectReason reason = ph_queue_.try_push(std::move(entry));
   if (reason != RejectReason::kNone) {
     reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
@@ -206,6 +278,10 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
     totals_.first_submit_time = clock_;
   }
   ++totals_.ph_submitted;
+  TenantState& tenant = tenants_[tenant_idx];
+  ++tenant.submitted;
+  ++tenant.queued_tasks;
+  tenant.queued_cells += cells;
   result.ticket = std::move(ticket);
   flush_while_over_target();
   return result;
@@ -265,6 +341,39 @@ ServiceStats AlignmentService::stats() const {
   }
   snapshot.latency = summarize_latency(latency_samples_);
   snapshot.queue_wait = summarize_latency(queue_wait_samples_);
+  for (const TenantState& tenant : tenants_) {
+    // The default tenant only reports when it actually carried traffic.
+    if (tenant.cfg.name.empty() && tenant.submitted == 0) {
+      continue;
+    }
+    TenantStats row;
+    row.name = tenant.cfg.name;
+    row.submitted = tenant.submitted;
+    row.completed = tenant.completed;
+    row.rejected_quota = tenant.rejected_quota;
+    row.queued_tasks = tenant.queued_tasks;
+    row.queued_cells = tenant.queued_cells;
+    row.deadlines_met = tenant.deadlines_met;
+    row.deadlines_missed = tenant.deadlines_missed;
+    row.slo_seconds = tenant.cfg.slo_seconds;
+    row.latency = summarize_latency(tenant.latency_samples);
+    snapshot.tenants.push_back(std::move(row));
+  }
+  return snapshot;
+}
+
+QueueSnapshot AlignmentService::queue_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueueSnapshot snapshot;
+  snapshot.queued_tasks = sw_queue_.size() + ph_queue_.size();
+  snapshot.queued_cells = sw_queue_.cells() + ph_queue_.cells();
+  snapshot.in_flight_batches = in_flight_.size();
+  snapshot.oldest_submit_time = sw_queue_.oldest_submit_time();
+  const std::optional<SimTime> ph_oldest = ph_queue_.oldest_submit_time();
+  if (ph_oldest.has_value() && (!snapshot.oldest_submit_time.has_value() ||
+                                *ph_oldest < *snapshot.oldest_submit_time)) {
+    snapshot.oldest_submit_time = ph_oldest;
+  }
   return snapshot;
 }
 
@@ -336,6 +445,10 @@ void AlignmentService::flush_sw() {
       sw_queue_.pop_batch(config_.policy.max_batch_tasks, config_.policy.target_batch_cells);
   if (entries.empty()) {
     return;
+  }
+  for (const SwEntry& entry : entries) {
+    --tenants_[entry.tenant].queued_tasks;
+    tenants_[entry.tenant].queued_cells -= entry.cells;
   }
   // gpuPairHMM-style grouping: similar-length tasks adjacent, so blocks
   // scheduled together have similar cost.
@@ -438,6 +551,7 @@ void AlignmentService::flush_sw() {
         !entries[i].deadline.has_value() || completion <= *entries[i].deadline;
     delivery.had_deadline = entries[i].deadline.has_value();
     delivery.cells = entries[i].cells;
+    delivery.tenant = entries[i].tenant;
     delivery.slot = std::move(entries[i].slot);
     deliveries.push_back(std::move(delivery));
   }
@@ -449,9 +563,14 @@ void AlignmentService::flush_sw() {
     for (auto& delivery : deliveries) {
       latency_samples_.push_back(delivery.response.latency.total_seconds());
       queue_wait_samples_.push_back(delivery.response.latency.queue_seconds());
+      TenantState& tenant = tenants_[delivery.tenant];
+      ++tenant.completed;
+      tenant.latency_samples.push_back(delivery.response.latency.total_seconds());
       if (delivery.had_deadline) {
         delivery.response.deadline_met ? ++totals_.deadlines_met
                                        : ++totals_.deadlines_missed;
+        delivery.response.deadline_met ? ++tenant.deadlines_met
+                                       : ++tenant.deadlines_missed;
       }
       totals_.completed_cells += delivery.cells;
       ++totals_.sw_completed;
@@ -473,6 +592,10 @@ void AlignmentService::flush_ph() {
       ph_queue_.pop_batch(config_.policy.max_batch_tasks, config_.policy.target_batch_cells);
   if (entries.empty()) {
     return;
+  }
+  for (const PhEntry& entry : entries) {
+    --tenants_[entry.tenant].queued_tasks;
+    tenants_[entry.tenant].queued_cells -= entry.cells;
   }
   std::stable_sort(entries.begin(), entries.end(),
                    [&](const PhEntry& x, const PhEntry& y) {
@@ -575,6 +698,7 @@ void AlignmentService::flush_ph() {
         !entries[i].deadline.has_value() || completion <= *entries[i].deadline;
     delivery.had_deadline = entries[i].deadline.has_value();
     delivery.cells = entries[i].cells;
+    delivery.tenant = entries[i].tenant;
     delivery.slot = std::move(entries[i].slot);
     deliveries.push_back(std::move(delivery));
   }
@@ -586,9 +710,14 @@ void AlignmentService::flush_ph() {
     for (auto& delivery : deliveries) {
       latency_samples_.push_back(delivery.response.latency.total_seconds());
       queue_wait_samples_.push_back(delivery.response.latency.queue_seconds());
+      TenantState& tenant = tenants_[delivery.tenant];
+      ++tenant.completed;
+      tenant.latency_samples.push_back(delivery.response.latency.total_seconds());
       if (delivery.had_deadline) {
         delivery.response.deadline_met ? ++totals_.deadlines_met
                                        : ++totals_.deadlines_missed;
+        delivery.response.deadline_met ? ++tenant.deadlines_met
+                                       : ++tenant.deadlines_missed;
       }
       totals_.completed_cells += delivery.cells;
       ++totals_.ph_completed;

@@ -12,6 +12,7 @@
 #include "wsim/serve/queue.hpp"
 #include "wsim/serve/request.hpp"
 #include "wsim/serve/stats.hpp"
+#include "wsim/serve/tenant.hpp"
 #include "wsim/simt/device.hpp"
 
 namespace wsim::fleet {
@@ -73,6 +74,23 @@ struct ServiceConfig {
   /// (it can exceed 1); per-device utilization comes from
   /// fleet::FleetExecutor::stats().
   fleet::FleetExecutor* fleet = nullptr;
+
+  /// Known tenants with quotas and SLO classes. Requests naming a tenant
+  /// not listed here (or naming none) fall back to a permissive default
+  /// tenant — no quota, no SLO — created on first use, so single-tenant
+  /// callers need no configuration.
+  std::vector<TenantConfig> tenants;
+};
+
+/// Cheap queue-pressure readout for control loops (the cluster
+/// autoscaler polls this every tick; unlike stats() it sorts no latency
+/// samples).
+struct QueueSnapshot {
+  std::size_t queued_tasks = 0;
+  std::size_t queued_cells = 0;
+  std::size_t in_flight_batches = 0;
+  /// Earliest submit time still queued (either kind); unset when idle.
+  std::optional<SimTime> oldest_submit_time;
 };
 
 /// An asynchronous alignment service over the simulator: accepts
@@ -130,6 +148,9 @@ class AlignmentService {
 
   ServiceStats stats() const;
 
+  /// Queue-pressure snapshot without percentile work; see QueueSnapshot.
+  QueueSnapshot queue_snapshot() const;
+
  private:
   template <typename Task, typename Response>
   struct Entry {
@@ -139,6 +160,7 @@ class AlignmentService {
     SimTime submit_time = 0.0;
     std::size_t cells = 0;
     std::shared_ptr<detail::ResponseSlot<Response>> slot;
+    std::uint32_t tenant = 0;  ///< index into tenants_; 0 = default
   };
   using SwEntry = Entry<workload::SwTask, SwResponse>;
   using PhEntry = Entry<align::PairHmmTask, PairHmmResponse>;
@@ -154,6 +176,31 @@ class AlignmentService {
   };
 
   using Callbacks = std::vector<std::function<void()>>;
+
+  /// Lifetime accounting of one tenant (index 0 is the default tenant).
+  /// `queued_*` track work currently in the admission queues and enforce
+  /// the tenant's quota.
+  struct TenantState {
+    TenantConfig cfg;
+    std::size_t queued_tasks = 0;
+    std::size_t queued_cells = 0;
+    std::size_t submitted = 0;
+    std::size_t completed = 0;
+    std::size_t rejected_quota = 0;
+    std::size_t deadlines_met = 0;
+    std::size_t deadlines_missed = 0;
+    std::vector<double> latency_samples;
+  };
+
+  /// Index of the tenant named `name`, creating a permissive record for
+  /// unknown names (so per-tenant stats exist even without configuration).
+  std::uint32_t tenant_index(const std::string& name);
+
+  /// Shared admission logic: quota check, SLO deadline/priority mapping.
+  /// Returns kNone and fills the entry's tenant/priority/deadline on
+  /// admission.
+  template <typename E>
+  RejectReason admit_tenant(const std::string& name, E& entry);
 
   void process_until(SimTime limit, Callbacks& callbacks);
   void flush_sw();
@@ -178,6 +225,7 @@ class AlignmentService {
   AdmissionQueue<PhEntry> ph_queue_;
   ServiceTimeEstimator estimator_;
   std::vector<InFlight> in_flight_;
+  std::vector<TenantState> tenants_;  ///< [0] = default; config order after
 
   ServiceStats totals_;  ///< counters only; queue depths filled by stats()
   std::vector<double> latency_samples_;

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "wsim/fleet/fleet.hpp"
 #include "wsim/util/stats.hpp"
 
 namespace wsim::serve {
@@ -102,16 +103,62 @@ void write_latency_json(std::ostream& os, const LatencySummary& summary) {
      << ", \"max_s\": " << json_number(summary.max) << "}";
 }
 
-}  // namespace
+std::string json_string(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
 
-void write_stats_json(std::ostream& os, const ServiceStats& stats) {
+void write_tenant_json(std::ostream& os, const TenantStats& tenant) {
+  os << "{\"name\": " << json_string(tenant.name)
+     << ", \"submitted\": " << tenant.submitted
+     << ", \"completed\": " << tenant.completed
+     << ", \"rejected_quota\": " << tenant.rejected_quota
+     << ", \"queued_tasks\": " << tenant.queued_tasks
+     << ", \"queued_cells\": " << tenant.queued_cells
+     << ", \"deadlines_met\": " << tenant.deadlines_met
+     << ", \"deadlines_missed\": " << tenant.deadlines_missed
+     << ", \"slo_s\": " << json_number(tenant.slo_seconds)
+     << ", \"slo_violation_rate\": " << json_number(tenant.slo_violation_rate())
+     << ", \"latency\": ";
+  write_latency_json(os, tenant.latency);
+  os << "}";
+}
+
+/// The shared device-record schema emitted by both `fleet-sim --json` and
+/// `cluster-sim --json`.
+void write_device_json(std::ostream& os, const fleet::DeviceStats& d) {
+  os << "{\"id\": " << d.id << ", \"device\": " << json_string(d.name)
+     << ", \"state\": \"" << fleet::to_string(d.state) << "\""
+     << ", \"batches\": " << d.batches << ", \"tasks\": " << d.tasks
+     << ", \"cells\": " << d.cells
+     << ", \"busy_s\": " << json_number(d.busy_seconds)
+     << ", \"launch_failures\": " << d.launch_failures
+     << ", \"slowdowns\": " << d.slowdowns
+     << ", \"sdc_detected\": " << d.sdc_detected
+     << ", \"timeouts\": " << d.timeouts
+     << ", \"quarantines\": " << d.quarantines
+     << ", \"joined_at_s\": " << json_number(d.joined_at)
+     << ", \"free_at_s\": " << json_number(d.free_at) << "}";
+}
+
+/// Everything except the closing brace, so the fleet overload can append
+/// its membership and device records to the same object.
+void write_stats_json_body(std::ostream& os, const ServiceStats& stats) {
   os << "{\n"
      << "  \"submitted\": " << stats.submitted()
      << ", \"completed\": " << stats.completed()
      << ", \"rejected\": " << stats.rejected() << ",\n"
      << "  \"rejected_tasks_full\": " << stats.rejected_tasks_full
      << ", \"rejected_cells_full\": " << stats.rejected_cells_full
-     << ", \"rejected_stopped\": " << stats.rejected_stopped << ",\n"
+     << ", \"rejected_stopped\": " << stats.rejected_stopped
+     << ", \"rejected_tenant_quota\": " << stats.rejected_tenant_quota << ",\n"
      << "  \"throughput_tasks_per_s\": "
      << json_number(stats.throughput_tasks_per_second())
      << ", \"gcups\": " << json_number(stats.gcups())
@@ -149,7 +196,41 @@ void write_stats_json(std::ostream& os, const ServiceStats& stats) {
   write_latency_json(os, stats.latency);
   os << ",\n  \"queue_wait\": ";
   write_latency_json(os, stats.queue_wait);
+  if (!stats.tenants.empty()) {
+    os << ",\n  \"tenants\": [";
+    for (std::size_t i = 0; i < stats.tenants.size(); ++i) {
+      if (i > 0) {
+        os << ", ";
+      }
+      write_tenant_json(os, stats.tenants[i]);
+    }
+    os << "]";
+  }
+}
+
+}  // namespace
+
+void write_stats_json(std::ostream& os, const ServiceStats& stats) {
+  write_stats_json_body(os, stats);
   os << "\n}";
+}
+
+void write_stats_json(std::ostream& os, const ServiceStats& stats,
+                      const fleet::FleetStats& fleet) {
+  write_stats_json_body(os, stats);
+  os << ",\n  \"dispatches\": " << fleet.dispatches
+     << ", \"retries\": " << fleet.retries
+     << ", \"requeues\": " << fleet.requeues
+     << ", \"joins\": " << fleet.joins << ", \"drains\": " << fleet.drains
+     << ", \"retires\": " << fleet.retires << ",\n"
+     << "  \"devices\": [";
+  for (std::size_t i = 0; i < fleet.devices.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    write_device_json(os, fleet.devices[i]);
+  }
+  os << "]\n}";
 }
 
 }  // namespace wsim::serve

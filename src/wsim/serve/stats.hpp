@@ -6,6 +6,10 @@
 #include <string>
 #include <vector>
 
+namespace wsim::fleet {
+struct FleetStats;
+}  // namespace wsim::fleet
+
 namespace wsim::serve {
 
 /// Order statistics over a latency sample, in seconds.
@@ -36,6 +40,32 @@ struct BatchSizeHistogram {
   std::string format() const;
 };
 
+/// Per-tenant slice of the service counters: admission, progress, SLO
+/// outcome, and the tenant's own latency distribution. Tenants with an
+/// SLO report violations as deadlines_missed (the service derives the
+/// deadline from TenantConfig::slo_seconds when the request carries
+/// none).
+struct TenantStats {
+  std::string name;  ///< empty = the default tenant
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  std::size_t rejected_quota = 0;  ///< refused by the tenant's own quota
+  std::size_t queued_tasks = 0;    ///< as of the snapshot
+  std::size_t queued_cells = 0;
+  std::size_t deadlines_met = 0;
+  std::size_t deadlines_missed = 0;
+  double slo_seconds = 0.0;  ///< 0 = no SLO configured
+  LatencySummary latency;    ///< submit→completion seconds, this tenant
+
+  /// Fraction of completed requests that missed their deadline/SLO.
+  double slo_violation_rate() const noexcept {
+    const std::size_t judged = deadlines_met + deadlines_missed;
+    return judged > 0
+               ? static_cast<double>(deadlines_missed) / static_cast<double>(judged)
+               : 0.0;
+  }
+};
+
 /// Snapshot of service health taken by AlignmentService::stats().
 /// Counters cover the whole service lifetime; queue depths are as of the
 /// snapshot; latency summaries cover delivered responses.
@@ -46,6 +76,7 @@ struct ServiceStats {
   std::size_t rejected_tasks_full = 0;
   std::size_t rejected_cells_full = 0;
   std::size_t rejected_stopped = 0;
+  std::size_t rejected_tenant_quota = 0;  ///< per-tenant quota rejections
 
   // Progress.
   std::size_t sw_completed = 0;
@@ -81,10 +112,15 @@ struct ServiceStats {
   LatencySummary latency;     ///< total submit→completion seconds
   LatencySummary queue_wait;  ///< submit→batch-formed seconds
 
+  /// Per-tenant breakdowns (present when the service saw a non-default
+  /// tenant or was configured with TenantConfigs).
+  std::vector<TenantStats> tenants;
+
   std::size_t submitted() const noexcept { return sw_submitted + ph_submitted; }
   std::size_t completed() const noexcept { return sw_completed + ph_completed; }
   std::size_t rejected() const noexcept {
-    return rejected_tasks_full + rejected_cells_full + rejected_stopped;
+    return rejected_tasks_full + rejected_cells_full + rejected_stopped +
+           rejected_tenant_quota;
   }
 
   /// Simulated seconds from first admission to last delivery.
@@ -102,7 +138,17 @@ struct ServiceStats {
 /// rejected counters, throughput_tasks_per_s, gcups, mean_batch_size and
 /// the batch-size histogram, latency and queue-wait percentiles, deadline
 /// counters, and device_utilization. Non-finite values are written as 0
-/// (JSON has no NaN/Inf). No trailing newline.
+/// (JSON has no NaN/Inf). Per-tenant breakdowns appear under "tenants"
+/// when any exist. No trailing newline.
 void write_stats_json(std::ostream& os, const ServiceStats& stats);
+
+/// Same object plus fleet membership accounting and a "devices" array —
+/// one record per registry entry with the shared device-record schema
+/// ({id, device, state, batches, tasks, cells, busy_s, launch_failures,
+/// slowdowns, sdc_detected, timeouts, quarantines, joined_at_s,
+/// free_at_s}) that `fleet-sim --json` and `cluster-sim --json` both
+/// emit.
+void write_stats_json(std::ostream& os, const ServiceStats& stats,
+                      const fleet::FleetStats& fleet);
 
 }  // namespace wsim::serve

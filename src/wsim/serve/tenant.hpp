@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "wsim/serve/request.hpp"
+
+namespace wsim::serve {
+
+/// Maps an SLO class to a priority lane: a tight completion deadline
+/// rides the high lane so it joins the earliest batch that forms, a
+/// relaxed one yields to everyone else. The thresholds follow the batch
+/// former's time constants (max delay defaults to 200 µs, service times
+/// are single-digit milliseconds): an SLO of a few ms is tight.
+inline Priority priority_for_slo(double slo_seconds) noexcept {
+  if (slo_seconds <= 0.0) {
+    return Priority::kNormal;  // no SLO: ordinary traffic
+  }
+  if (slo_seconds <= 10e-3) {
+    return Priority::kHigh;
+  }
+  if (slo_seconds <= 100e-3) {
+    return Priority::kNormal;
+  }
+  return Priority::kLow;
+}
+
+/// Admission and SLO contract of one tenant. Quotas bound the tenant's
+/// *queued* (not in-flight) work, so a misbehaving high-rate tenant hits
+/// its own quota before it can push the shared queue bound into everyone
+/// else's face; rejection is per-tenant backpressure
+/// (RejectReason::kTenantTasksQuota / kTenantCellsQuota).
+struct TenantConfig {
+  std::string name;
+  /// Max requests this tenant may have queued; 0 = unbounded.
+  std::size_t max_queued_tasks = 0;
+  /// Max DP cells this tenant may have queued; 0 = unbounded.
+  std::size_t max_queued_cells = 0;
+  /// SLO deadline class: a request from this tenant that carries no
+  /// explicit deadline gets `submit_time + slo_seconds`, and the tenant's
+  /// default lane is derived from it (priority_for_slo). 0 = no SLO.
+  double slo_seconds = 0.0;
+  /// Explicit priority lane override; unset derives from slo_seconds.
+  std::optional<Priority> priority;
+
+  Priority effective_priority() const noexcept {
+    return priority.has_value() ? *priority : priority_for_slo(slo_seconds);
+  }
+};
+
+}  // namespace wsim::serve

@@ -1,0 +1,503 @@
+// wsim::cluster and the dynamic-membership fleet surface: trace
+// generation/IO, the autoscaler control law, the DeviceWorker lifecycle
+// (join/drain/retire safe mid-run, bit-identical results under churn and
+// faults), and the end-to-end ClusterSim replay determinism.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "wsim/cluster/autoscaler.hpp"
+#include "wsim/cluster/cluster.hpp"
+#include "wsim/fleet/fleet.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+#include "wsim/workload/trace.hpp"
+
+namespace {
+
+namespace cluster = wsim::cluster;
+namespace fleet = wsim::fleet;
+namespace workload = wsim::workload;
+
+workload::Dataset small_dataset(std::uint64_t seed = 11) {
+  workload::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.regions = 3;
+  cfg.ph_tasks_per_region_mean = 6.0;
+  cfg.sw_query_len_min = 40;
+  cfg.sw_query_len_max = 90;
+  cfg.sw_target_len_min = 60;
+  cfg.sw_target_len_max = 120;
+  return workload::generate_dataset(cfg);
+}
+
+workload::TraceConfig two_tenant_trace_config() {
+  workload::TraceConfig cfg;
+  cfg.seed = 7;
+  cfg.duration_seconds = 0.05;
+  cfg.shape = workload::TraceShape::kBursty;
+  cfg.tenants.push_back({"alpha", 4000.0, 0.1});
+  cfg.tenants.push_back({"beta", 4000.0, 0.1});
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// Trace generation.
+
+TEST(TraceGenerate, DeterministicSortedAndWithinDuration) {
+  const auto cfg = two_tenant_trace_config();
+  const auto a = workload::generate_trace(cfg);
+  const auto b = workload::generate_trace(cfg);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  ASSERT_FALSE(a.events.empty());
+  EXPECT_EQ(a.tenants, (std::vector<std::string>{"alpha", "beta"}));
+  bool saw[2] = {false, false};
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].time, b.events[i].time) << i;
+    EXPECT_EQ(a.events[i].tenant, b.events[i].tenant) << i;
+    EXPECT_EQ(a.events[i].is_sw, b.events[i].is_sw) << i;
+    EXPECT_EQ(a.events[i].task_index, b.events[i].task_index) << i;
+    EXPECT_GE(a.events[i].time, 0.0);
+    EXPECT_LT(a.events[i].time, cfg.duration_seconds);
+    if (i > 0) {
+      EXPECT_LE(a.events[i - 1].time, a.events[i].time) << i;
+    }
+    ASSERT_LT(a.events[i].tenant, 2U);
+    saw[a.events[i].tenant] = true;
+  }
+  EXPECT_TRUE(saw[0]);
+  EXPECT_TRUE(saw[1]);
+}
+
+TEST(TraceGenerate, BurstyConcentratesArrivalsInBurstWindows) {
+  auto cfg = two_tenant_trace_config();
+  cfg.duration_seconds = 0.5;
+  cfg.burst_multiplier = 8.0;
+  const auto trace = workload::generate_trace(cfg);
+  std::size_t in_burst = 0;
+  for (const auto& event : trace.events) {
+    const double phase =
+        event.time - cfg.burst_every_seconds *
+                         std::floor(event.time / cfg.burst_every_seconds);
+    in_burst += phase < cfg.burst_seconds ? 1 : 0;
+  }
+  // Burst windows cover 20% of the time; with an 8x multiplier they must
+  // carry well over half the arrivals.
+  EXPECT_GT(in_burst * 2, trace.events.size());
+}
+
+TEST(TraceGenerate, ShapeNamesRoundTrip) {
+  for (const auto shape :
+       {workload::TraceShape::kSteady, workload::TraceShape::kDiurnal,
+        workload::TraceShape::kBursty}) {
+    EXPECT_EQ(workload::trace_shape_by_name(workload::to_string(shape)), shape);
+  }
+  EXPECT_THROW(workload::trace_shape_by_name("sawtooth"),
+               wsim::util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Trace file format.
+
+TEST(TraceIo, RoundTripIsExact) {
+  const auto trace = workload::generate_trace(two_tenant_trace_config());
+  std::stringstream buffer;
+  workload::write_trace(buffer, trace);
+  const auto loaded = workload::read_trace(buffer);
+  EXPECT_EQ(loaded.tenants, trace.tenants);
+  EXPECT_EQ(loaded.duration_seconds, trace.duration_seconds);
+  ASSERT_EQ(loaded.events.size(), trace.events.size());
+  for (std::size_t i = 0; i < trace.events.size(); ++i) {
+    // max_digits10 precision makes the round trip bit-exact.
+    EXPECT_EQ(loaded.events[i].time, trace.events[i].time) << i;
+    EXPECT_EQ(loaded.events[i].tenant, trace.events[i].tenant) << i;
+    EXPECT_EQ(loaded.events[i].is_sw, trace.events[i].is_sw) << i;
+    EXPECT_EQ(loaded.events[i].task_index, trace.events[i].task_index) << i;
+  }
+}
+
+TEST(TraceIo, RejectsMissingOrUnsupportedVersion) {
+  std::istringstream no_header("duration 1\ntenant a\n");
+  EXPECT_THROW(workload::read_trace(no_header), wsim::util::CheckError);
+  std::istringstream future("WSIM-TRACE 99\nduration 1\n");
+  EXPECT_THROW(workload::read_trace(future), wsim::util::CheckError);
+}
+
+TEST(TraceIo, RejectsMalformedBodies) {
+  std::istringstream bad_tenant(
+      "WSIM-TRACE 1\nduration 1\ntenant a\nevent 0.5 7 sw 0\n");
+  EXPECT_THROW(workload::read_trace(bad_tenant), wsim::util::CheckError);
+  std::istringstream out_of_order(
+      "WSIM-TRACE 1\nduration 1\ntenant a\n"
+      "event 0.5 0 sw 0\nevent 0.25 0 ph 1\n");
+  EXPECT_THROW(workload::read_trace(out_of_order), wsim::util::CheckError);
+  std::istringstream unknown_directive(
+      "WSIM-TRACE 1\nduration 1\nflavor vanilla\n");
+  EXPECT_THROW(workload::read_trace(unknown_directive), wsim::util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// Autoscaler control law.
+
+TEST(Autoscaler, ScaleUpIsSizedByBacklogAndClamped) {
+  cluster::AutoscalerConfig cfg;
+  cfg.max_workers = 8;
+  cfg.target_backlog_seconds = 5e-3;
+  // 1 GCUPS device: 1e9 cells/s, so the target backlog is 5e6 cells.
+  cluster::Autoscaler scaler(cfg, 1.0);
+  const auto up = scaler.decide(0.0, 20'000'000, 1);
+  EXPECT_DOUBLE_EQ(up.backlog_seconds, 20e-3);
+  EXPECT_EQ(up.delta, 3);  // ceil(20e6 / 5e6) = 4 workers wanted
+
+  // Far beyond capacity the step clamps at max_workers.
+  cluster::Autoscaler fresh(cfg, 1.0);
+  EXPECT_EQ(fresh.decide(0.0, 1'000'000'000, 1).delta, 7);
+}
+
+TEST(Autoscaler, CooldownAndHysteresisPreventFlapping) {
+  cluster::AutoscalerConfig cfg;
+  cfg.target_backlog_seconds = 5e-3;
+  cfg.cooldown_seconds = 20e-3;
+  cfg.scale_down_after = 2;
+  cluster::Autoscaler scaler(cfg, 1.0);
+  EXPECT_GT(scaler.decide(0.0, 20'000'000, 1).delta, 0);
+  // Still overloaded, but inside the cooldown: hold.
+  EXPECT_EQ(scaler.decide(5e-3, 20'000'000, 4).delta, 0);
+  // Backlog in the dead band between low watermark and target (10e6 cells
+  // over 4 GCUPS-equivalent workers = 2.5 ms against the [1.25, 5) ms
+  // band): hold forever, no matter how many ticks pass.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scaler.decide(30e-3 + i * 1e-3, 10'000'000, 4).delta, 0);
+  }
+  // Below the low watermark: the first tick arms the streak, the second
+  // (cooled down) drains one worker.
+  EXPECT_EQ(scaler.decide(50e-3, 100'000, 4).delta, 0);
+  EXPECT_EQ(scaler.decide(51e-3, 100'000, 4).delta, -1);
+  // Min workers is a floor for scale-down.
+  cluster::Autoscaler floor_scaler(cfg, 1.0);
+  EXPECT_EQ(floor_scaler.decide(0.0, 0, 1).delta, 0);
+  EXPECT_EQ(floor_scaler.decide(1e-3, 0, 1).delta, 0);
+  EXPECT_EQ(floor_scaler.decide(2e-3, 0, 1).delta, 0);
+}
+
+TEST(Autoscaler, DisabledReportsTheSignalButNeverActs) {
+  cluster::AutoscalerConfig cfg;
+  cfg.enabled = false;
+  cluster::Autoscaler scaler(cfg, 1.0);
+  const auto decision = scaler.decide(0.0, 1'000'000'000, 1);
+  EXPECT_EQ(decision.delta, 0);
+  EXPECT_GT(decision.backlog_seconds, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// DeviceWorker lifecycle.
+
+TEST(FleetMembership, LifecycleStatesDeriveFromTheClock) {
+  fleet::FleetConfig cfg;
+  fleet::WorkerConfig wc;
+  wc.device = wsim::simt::make_k1200();
+  cfg.workers = {wc};
+  cfg.join_warmup_seconds = 2e-3;
+  fleet::FleetExecutor executor(std::move(cfg));
+
+  // The initial fleet is active at t=0, warmup notwithstanding.
+  EXPECT_EQ(executor.state(0, 0.0), fleet::WorkerState::kActive);
+
+  const fleet::DeviceId joined = executor.join(wc, 1e-3);
+  EXPECT_EQ(joined, 1U);
+  EXPECT_EQ(executor.size(), 2U);
+  EXPECT_EQ(executor.state(joined, 1.5e-3), fleet::WorkerState::kJoining);
+  EXPECT_EQ(executor.state(joined, 3.5e-3), fleet::WorkerState::kActive);
+
+  executor.drain(joined, 4e-3);
+  EXPECT_EQ(executor.state(joined, 4e-3), fleet::WorkerState::kDraining);
+  executor.drain(joined, 4e-3);  // idempotent
+
+  executor.retire(joined, 5e-3);
+  EXPECT_EQ(executor.state(joined, 5e-3), fleet::WorkerState::kRetired);
+  EXPECT_THROW(executor.retire(joined, 6e-3), wsim::util::CheckError);
+  EXPECT_THROW(executor.drain(joined, 6e-3), wsim::util::CheckError);
+
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.joins, 1U);
+  EXPECT_EQ(stats.drains, 1U);
+  EXPECT_EQ(stats.retires, 1U);
+  ASSERT_EQ(stats.devices.size(), 2U);
+  EXPECT_EQ(stats.devices[0].id, 0U);
+  EXPECT_EQ(stats.devices[1].id, 1U);
+  EXPECT_EQ(stats.devices[1].joined_at, 1e-3);
+  EXPECT_EQ(stats.devices[1].state, fleet::WorkerState::kRetired);
+}
+
+TEST(FleetMembership, ChurnIsBitIdenticalToStaticFleetUnderFaults) {
+  const auto dataset = small_dataset();
+  const auto batches = workload::sw_rebatch(dataset, 2);
+  ASSERT_GE(batches.size(), 3U);
+
+  // Churn run: start with one K1200, join a Titan X mid-run, then drain
+  // and retire it — all while deterministic slowdown faults fire.
+  fleet::FleetConfig cfg;
+  fleet::WorkerConfig k1200;
+  k1200.device = wsim::simt::make_k1200();
+  fleet::WorkerConfig titan;
+  titan.device = wsim::simt::make_titan_x();
+  cfg.workers = {k1200};
+  cfg.join_warmup_seconds = 1e-3;
+  cfg.faults.seed = 3;
+  cfg.faults.slowdown_prob = 0.5;
+  fleet::FleetExecutor executor(std::move(cfg));
+
+  // Reference: the same batches on a fixed single device, no fleet.
+  const auto device = wsim::simt::make_k1200();
+  const wsim::kernels::SwRunner runner(wsim::kernels::CommMode::kSharedMemory);
+
+  double t = 0.0;
+  fleet::DeviceId joined = 0;
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    if (i == 1) {
+      joined = executor.join(titan, t);
+    }
+    if (i + 1 == batches.size()) {
+      executor.drain(joined, t);
+      executor.retire(joined, executor.free_at(joined));
+    }
+    const auto executed = executor.execute_sw(batches[i], t, {});
+    wsim::kernels::SwRunOptions opt;
+    opt.collect_outputs = true;
+    const auto direct = runner.run_batch(device, batches[i], opt);
+    ASSERT_EQ(executed.result.outputs.size(), direct.outputs.size());
+    for (std::size_t j = 0; j < direct.outputs.size(); ++j) {
+      EXPECT_EQ(executed.result.outputs[j].best_score,
+                direct.outputs[j].best_score)
+          << i << "," << j;
+      EXPECT_EQ(executed.result.outputs[j].alignment.cigar,
+                direct.outputs[j].alignment.cigar)
+          << i << "," << j;
+    }
+    t += 2e-3;
+  }
+
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.joins, 1U);
+  EXPECT_EQ(stats.retires, 1U);
+  // Nothing dropped, nothing double-executed: per-device batch counts sum
+  // to exactly the dispatched batches.
+  std::size_t batches_run = 0;
+  for (const auto& d : stats.devices) {
+    batches_run += d.batches;
+  }
+  EXPECT_EQ(batches_run, batches.size());
+  EXPECT_EQ(stats.dispatches, batches.size());
+}
+
+TEST(FleetMembership, DrainStopsNewPlacementsButKeepsQueuedWork) {
+  const auto dataset = small_dataset();
+  const auto batches = workload::sw_rebatch(dataset, 2);
+  ASSERT_GE(batches.size(), 4U);
+
+  fleet::FleetConfig cfg;
+  fleet::WorkerConfig wc;
+  wc.device = wsim::simt::make_k1200();
+  cfg.workers = {wc, wc};
+  cfg.policy = fleet::PlacementPolicy::kRoundRobin;
+  fleet::FleetExecutor executor(std::move(cfg));
+  fleet::ExecOptions opt;
+  opt.collect_outputs = false;
+
+  // Two batches land on each worker's timeline.
+  (void)executor.execute_sw(batches[0], 0.0, opt);
+  (void)executor.execute_sw(batches[1], 0.0, opt);
+  const std::size_t on_zero_before = executor.stats().devices[0].batches;
+  EXPECT_EQ(on_zero_before, 1U);
+
+  executor.drain(0, 0.0);
+  for (std::size_t i = 2; i < batches.size(); ++i) {
+    const auto executed = executor.execute_sw(batches[i], 0.0, opt);
+    EXPECT_EQ(executed.exec.device_index, 1) << i;
+  }
+
+  const auto stats = executor.stats();
+  // The drained worker kept (and finished) its queued batch — exactly the
+  // one it had — and took nothing new.
+  EXPECT_EQ(stats.devices[0].batches, on_zero_before);
+  EXPECT_EQ(stats.devices[0].batches + stats.devices[1].batches,
+            batches.size());
+  EXPECT_GT(executor.free_at(0), 0.0);  // its timeline ran real work
+}
+
+TEST(FleetMembership, RetiringAQuarantinedWorkerRequeuesNothing) {
+  const auto dataset = small_dataset();
+  const auto batches = workload::sw_rebatch(dataset, 6);
+  ASSERT_GE(batches.size(), 2U);
+
+  fleet::FleetConfig cfg;
+  fleet::WorkerConfig broken;
+  broken.device = wsim::simt::make_k1200();
+  broken.max_block_cycles = 1;  // every launch blows the watchdog budget
+  fleet::WorkerConfig healthy;
+  healthy.device = wsim::simt::make_k1200();
+  cfg.workers = {broken, healthy};
+  cfg.policy = fleet::PlacementPolicy::kRoundRobin;
+  cfg.retry.unhealthy_after = 1;  // first timeout quarantines
+  fleet::FleetExecutor executor(std::move(cfg));
+
+  const auto first = executor.execute_sw(batches[0], 0.0, {});
+  EXPECT_EQ(first.exec.device_index, 1);
+  const auto mid = executor.stats();
+  EXPECT_GE(mid.devices[0].quarantines, 1U);
+  EXPECT_EQ(executor.state(0, 1e-6), fleet::WorkerState::kQuarantined);
+  const std::size_t requeues_before = mid.requeues;
+  const std::size_t dispatches_before = mid.dispatches;
+
+  // Retiring the quarantined worker is pure bookkeeping: no requeues, no
+  // new dispatches, nothing in limbo.
+  executor.retire(0, 1e-6);
+  const auto after = executor.stats();
+  EXPECT_EQ(after.requeues, requeues_before);
+  EXPECT_EQ(after.dispatches, dispatches_before);
+  EXPECT_EQ(after.devices[0].batches, 0U);
+  EXPECT_EQ(after.devices[0].state, fleet::WorkerState::kRetired);
+
+  // The survivor carries the rest.
+  const auto second = executor.execute_sw(batches[1], 1e-3, {});
+  EXPECT_EQ(second.exec.device_index, 1);
+}
+
+TEST(FleetMembership, EveryWorkerRetiredIsAHardError) {
+  const auto dataset = small_dataset();
+  const auto batches = workload::sw_rebatch(dataset, 6);
+  fleet::FleetConfig cfg;
+  fleet::WorkerConfig wc;
+  wc.device = wsim::simt::make_k1200();
+  cfg.workers = {wc};
+  fleet::FleetExecutor executor(std::move(cfg));
+  executor.retire(0, 0.0);
+  fleet::ExecOptions opt;
+  opt.collect_outputs = false;
+  EXPECT_THROW((void)executor.execute_sw(batches[0], 0.0, opt),
+               wsim::util::CheckError);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim end to end.
+
+cluster::ClusterConfig small_cluster_config() {
+  cluster::ClusterConfig cfg;
+  cfg.worker.device = wsim::simt::make_k1200();
+  cfg.autoscaler.max_workers = 4;
+  cfg.control_interval_seconds = 1e-3;
+  for (const char* name : {"alpha", "beta"}) {
+    wsim::serve::TenantConfig tenant;
+    tenant.name = name;
+    tenant.slo_seconds = 20e-3;
+    cfg.tenants.push_back(std::move(tenant));
+  }
+  return cfg;
+}
+
+TEST(ClusterSim, ReplayIsDeterministic) {
+  const auto dataset = small_dataset();
+  auto trace_cfg = two_tenant_trace_config();
+  trace_cfg.tenants[0].rate_hz = 20000.0;
+  trace_cfg.tenants[1].rate_hz = 20000.0;
+  const auto trace = workload::generate_trace(trace_cfg);
+  const auto cfg = small_cluster_config();
+
+  const auto first = cluster::run_cluster(dataset, trace, cfg);
+  const auto second = cluster::run_cluster(dataset, trace, cfg);
+  std::ostringstream a, b;
+  cluster::write_cluster_json(a, first);
+  cluster::write_cluster_json(b, second);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(first.service.completed(), first.service.submitted());
+  EXPECT_EQ(first.service.completed(), trace.events.size());
+
+  // A trace that round-trips through the file format replays to the very
+  // same report — the CI smoke's zero-drift contract.
+  std::stringstream file;
+  workload::write_trace(file, trace);
+  const auto reloaded = workload::read_trace(file);
+  const auto third = cluster::run_cluster(dataset, reloaded, cfg);
+  std::ostringstream c;
+  cluster::write_cluster_json(c, third);
+  EXPECT_EQ(a.str(), c.str());
+}
+
+TEST(ClusterSim, AutoscalerJoinsOnBurstsAndDrainsAfter) {
+  const auto dataset = small_dataset();
+  auto trace_cfg = two_tenant_trace_config();
+  trace_cfg.duration_seconds = 0.2;
+  trace_cfg.tenants[0].rate_hz = 10000.0;
+  trace_cfg.tenants[1].rate_hz = 10000.0;
+  const auto trace = workload::generate_trace(trace_cfg);
+  const auto cfg = small_cluster_config();
+
+  const auto report = cluster::run_cluster(dataset, trace, cfg);
+  EXPECT_GT(report.fleet.joins, 0U);
+  EXPECT_GT(report.fleet.drains, 0U);
+  EXPECT_GT(report.peak_workers, 1U);
+  EXPECT_EQ(report.service.completed(), trace.events.size());
+  EXPECT_GT(report.goodput_rps, 0.0);
+  EXPECT_GT(report.device_hours, 0.0);
+  ASSERT_EQ(report.members.size(), 1U + report.fleet.joins);
+  // Retired members billed a shorter span than the run.
+  for (const auto& member : report.members) {
+    if (member.retired) {
+      EXPECT_LT(member.retired_at - member.joined_at,
+                report.duration_seconds);
+    }
+  }
+  // Every tenant got a breakdown with its own latency sample.
+  ASSERT_EQ(report.service.tenants.size(), 2U);
+  for (const auto& tenant : report.service.tenants) {
+    EXPECT_GT(tenant.completed, 0U);
+    EXPECT_GT(tenant.latency.p99, 0.0);
+    EXPECT_EQ(tenant.slo_seconds, 20e-3);
+  }
+}
+
+TEST(ClusterSim, DisabledAutoscalerKeepsTheFixedFleet) {
+  const auto dataset = small_dataset();
+  const auto trace = workload::generate_trace(two_tenant_trace_config());
+  auto cfg = small_cluster_config();
+  cfg.autoscaler.enabled = false;
+  cfg.initial_workers = 2;
+
+  const auto report = cluster::run_cluster(dataset, trace, cfg);
+  EXPECT_EQ(report.fleet.joins, 0U);
+  EXPECT_EQ(report.fleet.drains, 0U);
+  EXPECT_EQ(report.members.size(), 2U);
+  EXPECT_EQ(report.peak_workers, 2U);
+  EXPECT_EQ(report.service.completed(), trace.events.size());
+}
+
+TEST(ClusterSim, JsonCarriesClusterAndSharedDeviceSchema) {
+  const auto dataset = small_dataset();
+  const auto trace = workload::generate_trace(two_tenant_trace_config());
+  const auto report =
+      cluster::run_cluster(dataset, trace, small_cluster_config());
+  std::ostringstream os;
+  cluster::write_cluster_json(os, report);
+  const std::string json = os.str();
+  for (const char* key :
+       {"\"cluster\"", "\"device_hours\"", "\"peak_workers\"",
+        "\"goodput_rps\"", "\"slo_violation_rate\"",
+        "\"cost_per_million_requests\"", "\"tenants\"", "\"devices\"",
+        "\"state\"", "\"quarantines\"", "\"joined_at_s\"", "\"joins\"",
+        "\"drains\"", "\"retires\"", "\"slo_violation_rate\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
+  // "tenants" itself contains "nan" — look for numeric NaN/Inf values.
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": -nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+}
+
+}  // namespace

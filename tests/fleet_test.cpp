@@ -383,7 +383,7 @@ TEST(Fleet, ServiceOverFleetMatchesSingleDeviceService) {
       service.advance_to(t);
       const auto submit = service.submit(
           wsim::serve::PairHmmRequest{task, wsim::serve::Priority::kNormal,
-                                      {}, {}});
+                                      {}, {}, {}});
       EXPECT_TRUE(submit.admitted());
       tickets.push_back(submit.ticket);
       t += 25e-6;

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "wsim/fleet/fleet.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/serve/batch_former.hpp"
@@ -63,7 +64,7 @@ TEST(Serve, ResultsMatchDirectExecutionExactly) {
   double t = 0.0;
   for (const auto& task : sw_tasks) {
     service.advance_to(t);
-    const auto submit = service.submit(SwRequest{task, Priority::kNormal, {}, {}});
+    const auto submit = service.submit(SwRequest{task, Priority::kNormal, {}, {}, {}});
     ASSERT_TRUE(submit.admitted());
     sw_tickets.push_back(submit.ticket);
     t += 25e-6;
@@ -71,7 +72,7 @@ TEST(Serve, ResultsMatchDirectExecutionExactly) {
   for (const auto& task : ph_tasks) {
     service.advance_to(t);
     const auto submit =
-        service.submit(PairHmmRequest{task, Priority::kNormal, {}, {}});
+        service.submit(PairHmmRequest{task, Priority::kNormal, {}, {}, {}});
     ASSERT_TRUE(submit.admitted());
     ph_tickets.push_back(submit.ticket);
     t += 25e-6;
@@ -124,11 +125,11 @@ TEST(Serve, FullQueueRejectsWithBackpressure) {
 
   for (std::size_t i = 0; i < 3; ++i) {
     EXPECT_TRUE(
-        service.submit(SwRequest{sw_tasks[i], Priority::kNormal, {}, {}})
+        service.submit(SwRequest{sw_tasks[i], Priority::kNormal, {}, {}, {}})
             .admitted());
   }
   const auto overflow =
-      service.submit(SwRequest{sw_tasks[3], Priority::kNormal, {}, {}});
+      service.submit(SwRequest{sw_tasks[3], Priority::kNormal, {}, {}, {}});
   EXPECT_FALSE(overflow.admitted());
   EXPECT_EQ(overflow.rejected, RejectReason::kQueueTasksFull);
   EXPECT_FALSE(overflow.ticket.valid());
@@ -136,7 +137,7 @@ TEST(Serve, FullQueueRejectsWithBackpressure) {
 
   // Draining empties the queue and re-opens admission.
   service.drain();
-  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[3], Priority::kNormal, {}, {}})
+  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[3], Priority::kNormal, {}, {}, {}})
                   .admitted());
   service.drain();
   EXPECT_EQ(service.stats().completed(), 4U);
@@ -151,10 +152,10 @@ TEST(Serve, CellBoundRejectsWithCellsFull) {
   cfg.policy.target_batch_cells = 1u << 30;
   AlignmentService service(cfg);
 
-  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}})
+  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}, {}})
                   .admitted());
   const auto overflow =
-      service.submit(SwRequest{sw_tasks[1], Priority::kNormal, {}, {}});
+      service.submit(SwRequest{sw_tasks[1], Priority::kNormal, {}, {}, {}});
   EXPECT_EQ(overflow.rejected, RejectReason::kQueueCellsFull);
   EXPECT_EQ(service.stats().rejected_cells_full, 1U);
   service.drain();
@@ -167,11 +168,11 @@ TEST(Serve, StoppedServiceRejectsButDrainsAdmittedWork) {
   AlignmentService service(cfg);
 
   const auto admitted =
-      service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}});
+      service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}, {}});
   ASSERT_TRUE(admitted.admitted());
   service.stop();
   const auto refused =
-      service.submit(SwRequest{sw_tasks[1], Priority::kNormal, {}, {}});
+      service.submit(SwRequest{sw_tasks[1], Priority::kNormal, {}, {}, {}});
   EXPECT_EQ(refused.rejected, RejectReason::kStopped);
   EXPECT_EQ(service.stats().rejected_stopped, 1U);
 
@@ -206,13 +207,13 @@ TEST(Serve, LargerBatchingDelayGrowsBatchesAndLatency) {
     std::size_t next = 0;
     for (const auto& task : sw_tasks) {
       service.advance_to(arrivals[next++]);
-      EXPECT_TRUE(service.submit(SwRequest{task, Priority::kNormal, {}, {}})
+      EXPECT_TRUE(service.submit(SwRequest{task, Priority::kNormal, {}, {}, {}})
                       .admitted());
     }
     for (const auto& task : ph_tasks) {
       service.advance_to(arrivals[next++]);
       EXPECT_TRUE(
-          service.submit(PairHmmRequest{task, Priority::kNormal, {}, {}})
+          service.submit(PairHmmRequest{task, Priority::kNormal, {}, {}, {}})
               .admitted());
     }
     service.drain();
@@ -242,7 +243,7 @@ TEST(Serve, CellTargetFlushesWithoutAdvancingClock) {
   cfg.policy.max_batch_delay = 1.0;
   AlignmentService service(cfg);
 
-  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}})
+  EXPECT_TRUE(service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}, {}})
                   .admitted());
   const auto stats = service.stats();
   // The batch formed at submit time; it is executing, not queued.
@@ -258,7 +259,7 @@ TEST(Serve, DeadlineAtRiskFlushesBeforeBatchDelay) {
   cfg.policy.max_batch_delay = 5000e-6;  // would otherwise wait 5 ms
   AlignmentService service(cfg);
 
-  SwRequest request{sw_tasks[0], Priority::kNormal, {}, {}};
+  SwRequest request{sw_tasks[0], Priority::kNormal, {}, {}, {}};
   request.deadline = 300e-6;
   const auto submit = service.submit(std::move(request));
   ASSERT_TRUE(submit.admitted());
@@ -282,10 +283,10 @@ TEST(Serve, HighPriorityJumpsTheLineInCapacityLimitedBatches) {
   cfg.policy.max_batch_delay = 100e-6;
   AlignmentService service(cfg);
 
-  const auto low0 = service.submit(SwRequest{task, Priority::kLow, {}, {}});
-  const auto low1 = service.submit(SwRequest{task, Priority::kLow, {}, {}});
-  const auto high0 = service.submit(SwRequest{task, Priority::kHigh, {}, {}});
-  const auto high1 = service.submit(SwRequest{task, Priority::kHigh, {}, {}});
+  const auto low0 = service.submit(SwRequest{task, Priority::kLow, {}, {}, {}});
+  const auto low1 = service.submit(SwRequest{task, Priority::kLow, {}, {}, {}});
+  const auto high0 = service.submit(SwRequest{task, Priority::kHigh, {}, {}, {}});
+  const auto high1 = service.submit(SwRequest{task, Priority::kHigh, {}, {}, {}});
   service.drain();
 
   // The first batch carried {high0, low0}; low1 was deferred even though
@@ -306,7 +307,7 @@ TEST(Serve, CallbackFiresOnceWithReadyResponse) {
   AlignmentService service(cfg);
 
   int calls = 0;
-  SwRequest request{sw_tasks[0], Priority::kNormal, {}, {}};
+  SwRequest request{sw_tasks[0], Priority::kNormal, {}, {}, {}};
   request.callback = [&calls](const SwResponse& response) {
     ++calls;
     EXPECT_GT(response.latency.completion_time, response.latency.submit_time);
@@ -326,7 +327,7 @@ TEST(Serve, AdvanceIsIncrementalAndMonotonic) {
   AlignmentService service(cfg);
 
   const auto submit =
-      service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}});
+      service.submit(SwRequest{sw_tasks[0], Priority::kNormal, {}, {}, {}});
   ASSERT_TRUE(submit.admitted());
   service.advance_to(50e-6);  // before the delay flush: nothing delivered
   EXPECT_FALSE(submit.ticket.ready());
@@ -349,13 +350,13 @@ TEST(Serve, RejectsInvalidTasks) {
   ServiceConfig cfg = base_config();
   cfg.collect_outputs = false;
   AlignmentService service(cfg);
-  EXPECT_THROW(service.submit(SwRequest{{"", "ACGT"}, Priority::kNormal, {}, {}}),
+  EXPECT_THROW(service.submit(SwRequest{{"", "ACGT"}, Priority::kNormal, {}, {}, {}}),
                wsim::util::CheckError);
   wsim::align::PairHmmTask bad;
   bad.read = "ACGT";
   bad.hap = "ACGTACGT";
   bad.base_quals.assign(2, 30);  // wrong length
-  EXPECT_THROW(service.submit(PairHmmRequest{bad, Priority::kNormal, {}, {}}),
+  EXPECT_THROW(service.submit(PairHmmRequest{bad, Priority::kNormal, {}, {}, {}}),
                wsim::util::CheckError);
 }
 
@@ -404,6 +405,159 @@ TEST(AdmissionQueue, CellTargetStopsBatchButTakesAtLeastOne) {
   EXPECT_EQ(second.size(), 1U);
   EXPECT_TRUE(queue.empty() == false);
   EXPECT_EQ(queue.pop_batch(8, 1u << 30).size(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant admission: per-tenant quotas, SLO-derived lanes, and the
+// per-tenant stats breakdown.
+
+TEST(ServeTenants, TaskAndCellQuotasRejectWithTenantReasons) {
+  const auto sw_tasks = wsim::workload::sw_all_tasks(small_dataset());
+  ServiceConfig cfg = base_config();
+  cfg.collect_outputs = false;
+  wsim::serve::TenantConfig alpha;
+  alpha.name = "alpha";
+  alpha.max_queued_tasks = 2;
+  wsim::serve::TenantConfig beta;
+  beta.name = "beta";
+  beta.max_queued_cells = sw_tasks[0].cells();  // one task fills it
+  cfg.tenants = {alpha, beta};
+  AlignmentService service(cfg);
+
+  const auto submit_as = [&](const char* tenant, std::size_t i) {
+    SwRequest request{sw_tasks[i], Priority::kNormal, {}, {}, tenant};
+    return service.submit(std::move(request));
+  };
+  EXPECT_TRUE(submit_as("alpha", 0).admitted());
+  EXPECT_TRUE(submit_as("alpha", 1).admitted());
+  const auto third = submit_as("alpha", 2);
+  EXPECT_FALSE(third.admitted());
+  EXPECT_EQ(third.rejected, RejectReason::kTenantTasksQuota);
+
+  EXPECT_TRUE(submit_as("beta", 0).admitted());
+  const auto over_cells = submit_as("beta", 1);
+  EXPECT_FALSE(over_cells.admitted());
+  EXPECT_EQ(over_cells.rejected, RejectReason::kTenantCellsQuota);
+
+  // One tenant's quota never blocks another: beta's task bound is open.
+  EXPECT_TRUE(submit_as("alpha", 2).admitted() == false);  // still over
+  service.drain();
+
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.rejected_tenant_quota, 3U);
+  EXPECT_EQ(stats.completed(), 3U);
+  ASSERT_EQ(stats.tenants.size(), 2U);
+  EXPECT_EQ(stats.tenants[0].name, "alpha");
+  EXPECT_EQ(stats.tenants[0].submitted, 2U);
+  EXPECT_EQ(stats.tenants[0].completed, 2U);
+  EXPECT_EQ(stats.tenants[0].rejected_quota, 2U);
+  EXPECT_EQ(stats.tenants[1].name, "beta");
+  EXPECT_EQ(stats.tenants[1].rejected_quota, 1U);
+}
+
+TEST(ServeTenants, SloDerivesDeadlineAndPriorityLane) {
+  EXPECT_EQ(wsim::serve::priority_for_slo(0.0), Priority::kNormal);
+  EXPECT_EQ(wsim::serve::priority_for_slo(5e-3), Priority::kHigh);
+  EXPECT_EQ(wsim::serve::priority_for_slo(50e-3), Priority::kNormal);
+  EXPECT_EQ(wsim::serve::priority_for_slo(1.0), Priority::kLow);
+
+  const auto sw_tasks = wsim::workload::sw_all_tasks(small_dataset());
+  ServiceConfig cfg = base_config();
+  cfg.collect_outputs = false;
+  wsim::serve::TenantConfig gold;
+  gold.name = "gold";
+  gold.slo_seconds = 10.0;  // generous: the request must meet it
+  cfg.tenants = {gold};
+  AlignmentService service(cfg);
+
+  // No explicit deadline: the tenant's SLO supplies one, so the response
+  // is judged against it.
+  SwRequest request{sw_tasks[0], Priority::kNormal, {}, {}, "gold"};
+  ASSERT_TRUE(service.submit(std::move(request)).admitted());
+  service.drain();
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.deadlines_met, 1U);
+  EXPECT_EQ(stats.deadlines_missed, 0U);
+  ASSERT_EQ(stats.tenants.size(), 1U);
+  EXPECT_EQ(stats.tenants[0].deadlines_met, 1U);
+  EXPECT_DOUBLE_EQ(stats.tenants[0].slo_violation_rate(), 0.0);
+}
+
+TEST(ServeTenants, TightSloTenantJumpsTheSharedQueue) {
+  // Mirror of HighPriorityJumpsTheLine, but the lane comes from the
+  // tenant's SLO class instead of an explicit Priority: a 5 ms SLO rides
+  // kHigh and takes a seat in the first capacity-limited batch ahead of a
+  // best-effort tenant's earlier request.
+  const auto task = wsim::workload::sw_all_tasks(small_dataset())[0];
+  ServiceConfig cfg = base_config();
+  cfg.collect_outputs = false;
+  cfg.policy.target_batch_cells = task.cells() * 5 / 2;
+  cfg.policy.max_batch_delay = 100e-6;
+  wsim::serve::TenantConfig effort;
+  effort.name = "effort";
+  effort.priority = Priority::kLow;
+  wsim::serve::TenantConfig gold;
+  gold.name = "gold";
+  gold.slo_seconds = 5e-3;  // kHigh lane
+  cfg.tenants = {effort, gold};
+  AlignmentService service(cfg);
+
+  const auto submit_as = [&](const char* tenant) {
+    return service.submit(SwRequest{task, Priority::kNormal, {}, {}, tenant});
+  };
+  const auto effort0 = submit_as("effort");
+  const auto effort1 = submit_as("effort");
+  const auto gold0 = submit_as("gold");
+  const auto gold1 = submit_as("gold");
+  service.drain();
+
+  EXPECT_EQ(gold0.ticket.get().batch_tasks, 2U);
+  EXPECT_DOUBLE_EQ(gold0.ticket.get().latency.completion_time,
+                   effort0.ticket.get().latency.completion_time);
+  EXPECT_LT(gold0.ticket.get().latency.completion_time,
+            effort1.ticket.get().latency.completion_time);
+  EXPECT_DOUBLE_EQ(gold1.ticket.get().latency.completion_time,
+                   effort1.ticket.get().latency.completion_time);
+}
+
+TEST(ServeTenants, SamePriorityTenantsStayFifoAndNeitherStarves) {
+  // Two tenants at the same lane interleave FIFO: a quota-limited tenant
+  // cannot be starved by a high-rate one, and within each batch the seats
+  // go in submission order across tenants.
+  const auto task = wsim::workload::sw_all_tasks(small_dataset())[0];
+  ServiceConfig cfg = base_config();
+  cfg.collect_outputs = false;
+  cfg.policy.target_batch_cells = task.cells() * 5 / 2;  // two seats per batch
+  cfg.policy.max_batch_delay = 100e-6;
+  wsim::serve::TenantConfig small;
+  small.name = "small";
+  small.max_queued_tasks = 1;
+  cfg.tenants = {small};
+  AlignmentService service(cfg);
+
+  const auto submit_as = [&](const char* tenant) {
+    return service.submit(SwRequest{task, Priority::kNormal, {}, {}, tenant});
+  };
+  const auto loud0 = submit_as("loud");
+  const auto small0 = submit_as("small");
+  const auto rejected = submit_as("small");  // over its own quota
+  EXPECT_FALSE(rejected.admitted());
+  const auto loud1 = submit_as("loud");
+  service.drain();
+
+  // First batch: {loud0, small0} in submission order — the loud tenant
+  // did not push the small one out.
+  EXPECT_DOUBLE_EQ(loud0.ticket.get().latency.completion_time,
+                   small0.ticket.get().latency.completion_time);
+  EXPECT_LT(small0.ticket.get().latency.completion_time,
+            loud1.ticket.get().latency.completion_time);
+  const auto stats = service.stats();
+  for (const auto& tenant : stats.tenants) {
+    if (tenant.name == "small") {
+      EXPECT_EQ(tenant.completed, 1U);
+      EXPECT_EQ(tenant.rejected_quota, 1U);
+    }
+  }
 }
 
 TEST(BatchFormer, EstimatorLearnsFromObservations) {
@@ -494,15 +648,58 @@ TEST(ServeStats, WriteStatsJsonMirrorsBenchSchema) {
         "\"p95_s\": 0.25", "\"deadlines_met\": 0"}) {
     EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
   }
-  EXPECT_EQ(json.find("nan"), std::string::npos);
-  EXPECT_EQ(json.find("inf"), std::string::npos);
+  // The "tenants" key itself contains the letters "nan"; the contract is
+  // that no NaN/Inf *values* leak into the JSON.
+  EXPECT_EQ(json.find(": nan"), std::string::npos);
+  EXPECT_EQ(json.find(": -nan"), std::string::npos);
+  EXPECT_EQ(json.find(": inf"), std::string::npos);
+  EXPECT_EQ(json.find(": -inf"), std::string::npos);
 
   // A default (empty) snapshot serializes without NaN/Inf too.
   std::ostringstream empty_os;
   wsim::serve::write_stats_json(empty_os, wsim::serve::ServiceStats{});
   EXPECT_NE(empty_os.str().find("\"throughput_tasks_per_s\": 0"),
             std::string::npos);
-  EXPECT_EQ(empty_os.str().find("nan"), std::string::npos);
+  EXPECT_EQ(empty_os.str().find(": nan"), std::string::npos);
+  EXPECT_EQ(empty_os.str().find(": -nan"), std::string::npos);
+}
+
+TEST(ServeStats, JsonCarriesTenantBreakdownAndSharedDeviceSchema) {
+  wsim::serve::ServiceStats stats;
+  stats.sw_submitted = 2;
+  stats.sw_completed = 2;
+  wsim::serve::TenantStats tenant;
+  tenant.name = "alpha";
+  tenant.submitted = 2;
+  tenant.completed = 2;
+  tenant.deadlines_met = 1;
+  tenant.deadlines_missed = 1;
+  tenant.slo_seconds = 20e-3;
+  stats.tenants.push_back(tenant);
+
+  wsim::fleet::FleetStats fleet_stats;
+  wsim::fleet::DeviceStats device;
+  device.name = "K1200";
+  device.id = 3;
+  device.state = wsim::fleet::WorkerState::kDraining;
+  device.quarantines = 1;
+  fleet_stats.devices.push_back(device);
+  fleet_stats.joins = 2;
+  fleet_stats.drains = 1;
+
+  std::ostringstream os;
+  wsim::serve::write_stats_json(os, stats, fleet_stats);
+  const std::string json = os.str();
+  // The per-tenant block and the device-record schema shared by
+  // fleet-sim --json and cluster-sim --json.
+  for (const char* key :
+       {"\"tenants\"", "\"name\": \"alpha\"", "\"slo_violation_rate\": 0.5",
+        "\"slo_s\": 0.02", "\"devices\"", "\"id\": 3",
+        "\"device\": \"K1200\"", "\"state\": \"draining\"",
+        "\"quarantines\": 1", "\"joined_at_s\"", "\"free_at_s\"",
+        "\"joins\": 2", "\"drains\": 1", "\"retires\": 0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << "\n" << json;
+  }
 }
 
 // Regression for the cross-layer shared-engine contract: a service built
@@ -521,7 +718,7 @@ TEST(ServeStats, TimingOnlyServiceSharesTheProcessWideCostCache) {
   double t = 0.0;
   for (const auto& task : sw_tasks) {
     service.advance_to(t);
-    ASSERT_TRUE(service.submit(SwRequest{task, Priority::kNormal, {}, {}})
+    ASSERT_TRUE(service.submit(SwRequest{task, Priority::kNormal, {}, {}, {}})
                     .admitted());
     t += 25e-6;
   }

@@ -274,7 +274,7 @@ TEST(Watchdog, ServeTicketCarriesTimeoutError) {
   wsim::serve::AlignmentService service(cfg);
 
   const auto submit = service.submit(
-      wsim::serve::SwRequest{tasks.front(), wsim::serve::Priority::kNormal, {}, {}});
+      wsim::serve::SwRequest{tasks.front(), wsim::serve::Priority::kNormal, {}, {}, {}});
   ASSERT_TRUE(submit.admitted());
   service.drain();
 

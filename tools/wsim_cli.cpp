@@ -12,6 +12,8 @@
 //                                        async alignment service
 //   wsim fleet-sim [--fleet "A,B,..."]   same replay over a heterogeneous
 //                                        multi-device fleet
+//   wsim cluster-sim [--shape S]         multi-tenant trace replay on a
+//                                        dynamically autoscaled fleet
 //   wsim guard-sim [--flip-prob "P,..."] sweep SDC injection rate x
 //                                        detection mode, counting escaped
 //                                        corruptions against a fault-free
@@ -36,6 +38,7 @@
 #include <vector>
 
 #include "wsim/cli/commands.hpp"
+#include "wsim/cluster/cluster.hpp"
 #include "wsim/fleet/fleet.hpp"
 #include "wsim/guard/guard.hpp"
 #include "wsim/kernels/nw_kernels.hpp"
@@ -55,6 +58,7 @@
 #include "wsim/workload/batching.hpp"
 #include "wsim/workload/dataset_io.hpp"
 #include "wsim/workload/generator.hpp"
+#include "wsim/workload/trace.hpp"
 
 namespace {
 
@@ -510,6 +514,23 @@ void maybe_write_stats_json(const Args& args,
   std::cout << "stats written to " << path << "\n";
 }
 
+/// Fleet-backed variant: adds membership accounting and the "devices"
+/// array, so fleet-sim --json and cluster-sim --json share one
+/// device-record schema.
+void maybe_write_stats_json(const Args& args,
+                            const wsim::serve::ServiceStats& stats,
+                            const wsim::fleet::FleetStats& fleet_stats) {
+  const std::string path = args.get("json", "");
+  if (path.empty()) {
+    return;
+  }
+  std::ofstream os(path);
+  wsim::util::require(static_cast<bool>(os), "cannot open json file " + path);
+  wsim::serve::write_stats_json(os, stats, fleet_stats);
+  os << '\n';
+  std::cout << "stats written to " << path << "\n";
+}
+
 int cmd_serve_sim(const Args& args) {
   namespace serve = wsim::serve;
   const auto ds = dataset_from(args, /*default_regions=*/8);
@@ -639,7 +660,166 @@ int cmd_fleet_sim(const Args& args) {
             << fleet_stats.retries << ", requeues " << fleet_stats.requeues
             << ", busy skew " << format_fixed(fleet_stats.busy_skew(), 3)
             << "\n";
-  maybe_write_stats_json(args, stats);
+  maybe_write_stats_json(args, stats, fleet_stats);
+  return 0;
+}
+
+/// Builds the trace cluster-sim replays: loaded from --trace when given,
+/// otherwise generated from --shape/--duration/--rate/--tenants/--seed
+/// (the total rate splits evenly across tenants). --trace-out saves the
+/// trace either way, so a generated run can be replayed bit-identically.
+wsim::workload::Trace cluster_trace_from(const Args& args) {
+  namespace workload = wsim::workload;
+  workload::Trace trace;
+  const std::string trace_in = args.get("trace", "");
+  if (!trace_in.empty()) {
+    trace = workload::load_trace(trace_in);
+  } else {
+    workload::TraceConfig cfg;
+    cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+    cfg.duration_seconds = std::stod(args.get("duration", "0.5"));
+    wsim::util::require(cfg.duration_seconds > 0.0, "--duration must be > 0");
+    cfg.shape = workload::trace_shape_by_name(args.get("shape", "diurnal"));
+    const long tenants = args.get_int("tenants", 2);
+    wsim::util::require(tenants >= 1, "--tenants must be >= 1");
+    const double rate = std::stod(args.get("rate", "20000"));
+    wsim::util::require(rate > 0.0, "--rate must be > 0");
+    for (long i = 0; i < tenants; ++i) {
+      workload::TenantTraffic traffic;
+      traffic.name = "tenant-" + std::to_string(i);
+      traffic.rate_hz = rate / static_cast<double>(tenants);
+      cfg.tenants.push_back(std::move(traffic));
+    }
+    trace = workload::generate_trace(cfg);
+  }
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    workload::save_trace(trace_out, trace);
+    std::cout << "trace written to " << trace_out << " (" << trace.events.size()
+              << " events)\n";
+  }
+  return trace;
+}
+
+int cmd_cluster_sim(const Args& args) {
+  namespace cluster = wsim::cluster;
+  namespace fleet = wsim::fleet;
+  namespace serve = wsim::serve;
+  const auto ds = dataset_from(args, /*default_regions=*/4);
+  const wsim::workload::Trace trace = cluster_trace_from(args);
+
+  cluster::ClusterConfig cfg;
+  cfg.worker.device =
+      wsim::simt::device_by_name(args.get("fleet-device", "K1200"));
+  if (args.options.count("mode") != 0 &&
+      mode_from(args) == CommMode::kSharedMemory) {
+    cfg.worker.sw_design = CommMode::kSharedMemory;
+    cfg.worker.ph_design = wsim::kernels::PhDesign::kShared;
+  }
+  cfg.autoscaler.min_workers =
+      static_cast<std::size_t>(args.get_int("min", 1));
+  cfg.autoscaler.max_workers =
+      static_cast<std::size_t>(args.get_int("max", 8));
+  const std::string autoscale = args.get("autoscaler", "on");
+  wsim::util::require(autoscale == "on" || autoscale == "off",
+                      "--autoscaler must be 'on' or 'off'");
+  cfg.autoscaler.enabled = autoscale == "on";
+  // With the control law off the fleet is fixed: min workers for the whole
+  // run (pass --min = --max to size the fixed fleet).
+  cfg.initial_workers = cfg.autoscaler.min_workers;
+  cfg.control_interval_seconds =
+      static_cast<double>(args.get_int("interval", 2000)) * 1e-6;
+  cfg.join_warmup_seconds =
+      static_cast<double>(args.get_int("warmup", 2000)) * 1e-6;
+  cfg.autoscaler.target_backlog_seconds =
+      static_cast<double>(args.get_int("target-backlog", 5000)) * 1e-6;
+  cfg.cost_per_device_hour = std::stod(args.get("cost-hour", "2.5"));
+  cfg.faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
+  cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
+  cfg.faults.slowdown_prob = std::stod(args.get("slow-prob", "0"));
+  cfg.faults.slowdown_factor = std::stod(args.get("slow-factor", "4"));
+
+  // Every trace tenant gets the same contract: an SLO class (--slo, in
+  // milliseconds, 0 = none) and a queued-task quota (--quota, 0 = none).
+  const double slo_seconds = std::stod(args.get("slo", "20")) * 1e-3;
+  const std::size_t quota =
+      static_cast<std::size_t>(args.get_int("quota", 0));
+  for (const std::string& name : trace.tenants) {
+    serve::TenantConfig tenant;
+    tenant.name = name;
+    tenant.slo_seconds = slo_seconds;
+    tenant.max_queued_tasks = quota;
+    cfg.tenants.push_back(std::move(tenant));
+  }
+
+  const cluster::ClusterReport report = cluster::run_cluster(ds, trace, cfg);
+
+  std::cout << "Cluster: " << cfg.worker.device.name << " x [";
+  std::cout << cfg.autoscaler.min_workers << ".." << cfg.autoscaler.max_workers
+            << "], autoscaler " << (cfg.autoscaler.enabled ? "on" : "off")
+            << ", " << trace.tenants.size() << " tenants, "
+            << trace.events.size() << " arrivals over "
+            << format_fixed(trace.duration_seconds * 1e3, 0) << " ms\n";
+  wsim::util::Table table({"metric", "value"});
+  table.add_row({"completed", std::to_string(report.service.completed()) +
+                 " / " + std::to_string(report.service.submitted())});
+  table.add_row({"rejected (tenant quota)",
+                 std::to_string(report.service.rejected_tenant_quota)});
+  table.add_row({"goodput", format_fixed(report.goodput_rps, 0) + " req/s"});
+  table.add_row({"SLO violation rate",
+                 format_percent(report.slo_violation_rate)});
+  table.add_row({"latency p50",
+                 format_fixed(report.service.latency.p50 * 1e3, 3) + " ms"});
+  table.add_row({"latency p99",
+                 format_fixed(report.service.latency.p99 * 1e3, 3) + " ms"});
+  table.add_row({"peak workers", std::to_string(report.peak_workers)});
+  table.add_row({"joins / drains / retires",
+                 std::to_string(report.fleet.joins) + " / " +
+                     std::to_string(report.fleet.drains) + " / " +
+                     std::to_string(report.fleet.retires)});
+  table.add_row({"device-hours", format_fixed(report.device_hours * 3600.0, 3) +
+                 " device-s"});
+  table.add_row({"cost / 1M requests",
+                 format_fixed(report.cost_per_million, 4) + " $"});
+  table.add_row({"simulated end time",
+                 format_fixed(report.duration_seconds * 1e3, 3) + " ms"});
+  table.print(std::cout);
+
+  wsim::util::Table tenants_table({"tenant", "submitted", "completed",
+                                   "quota-rejected", "SLO (ms)", "p50 (ms)",
+                                   "p99 (ms)", "violations"});
+  for (const serve::TenantStats& tenant : report.service.tenants) {
+    tenants_table.add_row(
+        {tenant.name.empty() ? "(default)" : tenant.name,
+         std::to_string(tenant.submitted), std::to_string(tenant.completed),
+         std::to_string(tenant.rejected_quota),
+         format_fixed(tenant.slo_seconds * 1e3, 1),
+         format_fixed(tenant.latency.p50 * 1e3, 3),
+         format_fixed(tenant.latency.p99 * 1e3, 3),
+         format_percent(tenant.slo_violation_rate())});
+  }
+  tenants_table.print(std::cout);
+
+  wsim::util::Table devices({"id", "device", "state", "batches", "cells",
+                             "busy (ms)", "quarantines", "joined (ms)"});
+  for (const fleet::DeviceStats& d : report.fleet.devices) {
+    devices.add_row({std::to_string(d.id), d.name,
+                     std::string(fleet::to_string(d.state)),
+                     std::to_string(d.batches), std::to_string(d.cells),
+                     format_fixed(d.busy_seconds * 1e3, 3),
+                     std::to_string(d.quarantines),
+                     format_fixed(d.joined_at * 1e3, 3)});
+  }
+  devices.print(std::cout);
+
+  const std::string path = args.get("json", "");
+  if (!path.empty()) {
+    std::ofstream os(path);
+    wsim::util::require(static_cast<bool>(os), "cannot open json file " + path);
+    cluster::write_cluster_json(os, report);
+    os << '\n';
+    std::cout << "report written to " << path << "\n";
+  }
   return 0;
 }
 
@@ -838,6 +1018,7 @@ const std::map<std::string, Handler>& handlers() {
       {"pipeline", cmd_pipeline},
       {"serve-sim", cmd_serve_sim},
       {"fleet-sim", cmd_fleet_sim},
+      {"cluster-sim", cmd_cluster_sim},
       {"guard-sim", cmd_guard_sim},
   };
   return table;
