@@ -26,24 +26,27 @@ const std::vector<CommandInfo>& commands() {
       {"serve-sim",
        "  serve-sim [--in F] [--rate R] [--delay US] [--deadline US] [--queue N]\n"
        "            [--target-cells C] [--max-batch N] [--outputs ''] [--json F]\n"
+       "            [--trace-out F] [--metrics-out F]\n"
        "           replay a dataset as an open-loop arrival process (R requests\n"
        "           per simulated second) through the async alignment service\n"},
       {"fleet-sim",
        "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
        "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
-       "            [--fault-seed S] [--json F] [+ serve-sim options]\n"
+       "            [--fault-seed S] [--json F] [--trace-out F]\n"
+       "            [--metrics-out F] [+ serve-sim options]\n"
        "           the serve-sim replay over a heterogeneous multi-device fleet\n"
        "           with model-guided placement, fault injection, and retry;\n"
        "           prints per-device utilization and dispatch accounting\n"},
       {"cluster-sim",
-       "  cluster-sim [--trace F | --shape steady|diurnal|bursty] [--trace-out F]\n"
+       "  cluster-sim [--trace F | --shape steady|diurnal|bursty] [--save-trace F]\n"
        "            [--duration S] [--rate R] [--tenants N] [--slo MS]\n"
        "            [--quota N] [--fleet-device D] [--min N] [--max N]\n"
        "            [--autoscaler on|off] [--interval US] [--warmup US]\n"
        "            [--target-backlog US] [--cost-hour C] [--json F]\n"
+       "            [--trace-out F] [--metrics-out F]\n"
        "           multi-tenant cluster-scale serving on a dynamically-scaled\n"
        "           fleet: replay (or generate, optionally saving with\n"
-       "           --trace-out) a traffic trace through the admission-controlled\n"
+       "           --save-trace) a traffic trace through the admission-controlled\n"
        "           service while the queue-depth autoscaler joins and drains\n"
        "           workers; reports per-tenant latency percentiles, SLO\n"
        "           violations, goodput, device-hours, and cost per million\n"
@@ -51,7 +54,7 @@ const std::vector<CommandInfo>& commands() {
       {"guard-sim",
        "  guard-sim [--flip-prob \"3e-7,3e-6\"] [--detect none|abft|dual|all]\n"
        "            [--regions N] [--batch N] [--fleet \"K1200,Titan X\"]\n"
-       "            [--sdc-seed S] [--json F]\n"
+       "            [--sdc-seed S] [--json F] [--trace-out F] [--metrics-out F]\n"
        "           sweep silent-data-corruption injection rate x detection mode\n"
        "           over an output-collecting fleet run: every delivered batch is\n"
        "           compared bit-for-bit against a fault-free baseline and escaped\n"
@@ -85,6 +88,13 @@ std::string usage_text() {
       "                --interp fast|legacy  interpreter path: predecoded fast\n"
       "                             dispatch (default) or the legacy switch\n"
       "                             interpreter (results are bit-identical)\n"
+      "observability:  --trace-out F   write a Chrome trace-event JSON of the\n"
+      "                             run (simulated clock; open in Perfetto or\n"
+      "                             chrome://tracing)\n"
+      "                --metrics-out F  write the flat obs metrics dump\n"
+      "                             (counters/gauges/histograms, versioned\n"
+      "                             schema); both flags default the run to the\n"
+      "                             otherwise-free disabled level\n"
       "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
       "                             engine, used whenever --threads is absent or\n"
       "                             <= 0 (pipeline, benches, library default)\n"

@@ -1,12 +1,13 @@
 #include "wsim/cluster/cluster.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <ostream>
-#include <sstream>
 #include <utility>
 
 #include "wsim/fleet/router.hpp"
+#include "wsim/obs/json.hpp"
+#include "wsim/obs/metrics.hpp"
+#include "wsim/obs/obs.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::cluster {
@@ -32,14 +33,7 @@ TaskPools flatten(const workload::Dataset& dataset) {
   return pools;
 }
 
-std::string json_number(double value) {
-  if (!std::isfinite(value)) {
-    return "0";
-  }
-  std::ostringstream os;
-  os << value;
-  return os.str();
-}
+using obs::json_number;
 
 }  // namespace
 
@@ -105,6 +99,10 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
   };
 
   const auto control_tick = [&](double t) {
+    obs::set_sim_time(t);
+    obs::Span tick_span(obs::Layer::kCluster, "cluster.tick");
+    static obs::Counter c_ticks("cluster.ticks");
+    c_ticks.add();
     // Retire draining members whose timelines have drained: nothing is
     // queued on them (dispatches resolve against the timeline, so
     // free_at <= t means every batch placed there has completed).
@@ -136,9 +134,21 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
         outstanding += residual * device_gcups * 1e9;
       }
     }
+    static obs::Gauge g_workers("cluster.serving_workers");
+    static obs::Gauge g_backlog("cluster.outstanding_cells");
+    g_workers.set(static_cast<double>(serving));
+    g_backlog.set(outstanding);
+    obs::counter(t, obs::Layer::kCluster, "cluster.serving_workers",
+                 static_cast<double>(serving));
+    obs::counter(t, obs::Layer::kCluster, "cluster.outstanding_cells",
+                 outstanding);
     const ScaleDecision decision = autoscaler.decide(
         t, static_cast<std::size_t>(outstanding), serving);
     if (decision.delta > 0) {
+      static obs::Counter c_up("cluster.scale_ups");
+      c_up.add();
+      obs::instant(t, obs::Layer::kCluster, "cluster.scale_up", -1, 0,
+                   static_cast<double>(decision.delta));
       for (int i = 0; i < decision.delta; ++i) {
         MemberRecord member;
         member.id = fleet.join(config.worker, t);
@@ -147,6 +157,10 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
       }
       report.peak_workers = std::max(report.peak_workers, serving_count(t));
     } else if (decision.delta < 0) {
+      static obs::Counter c_down("cluster.scale_downs");
+      c_down.add();
+      obs::instant(t, obs::Layer::kCluster, "cluster.scale_down", -1, 0,
+                   static_cast<double>(-decision.delta));
       // Drain newest-first so the longest-lived members stay — their
       // dispatch history (and so the fault plan's draws) is stable.
       int to_drain = -decision.delta;
@@ -233,7 +247,8 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
 }
 
 void write_cluster_json(std::ostream& os, const ClusterReport& report) {
-  os << "{\n  \"cluster\": {"
+  os << "{\n  \"schema_version\": " << obs::kStatsSchemaVersion
+     << ",\n  \"cluster\": {"
      << "\"duration_s\": " << json_number(report.duration_seconds)
      << ", \"device_hours\": " << json_number(report.device_hours)
      << ", \"peak_workers\": " << report.peak_workers

@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "wsim/obs/metrics.hpp"
+#include "wsim/obs/obs.hpp"
 #include "wsim/simt/engine.hpp"
 #include "wsim/simt/watchdog.hpp"
 #include "wsim/util/check.hpp"
@@ -144,6 +146,9 @@ DeviceId FleetExecutor::join(const WorkerConfig& worker, SimTime now) {
   const DeviceId id =
       add_worker(worker, now, now + config_.join_warmup_seconds);
   ++joins_;
+  static obs::Counter c_joins("fleet.joins");
+  c_joins.add();
+  obs::instant(now, obs::Layer::kFleet, "fleet.join", static_cast<int>(id));
   return id;
 }
 
@@ -157,6 +162,9 @@ void FleetExecutor::drain(DeviceId id, SimTime now) {
   }
   w.draining = true;
   ++drains_;
+  static obs::Counter c_drains("fleet.drains");
+  c_drains.add();
+  obs::instant(now, obs::Layer::kFleet, "fleet.drain", static_cast<int>(id));
 }
 
 void FleetExecutor::retire(DeviceId id, SimTime now) {
@@ -166,6 +174,9 @@ void FleetExecutor::retire(DeviceId id, SimTime now) {
   last_time_ = std::max(last_time_, now);
   w.retired = true;
   ++retires_;
+  static obs::Counter c_retires("fleet.retires");
+  c_retires.add();
+  obs::instant(now, obs::Layer::kFleet, "fleet.retire", static_cast<int>(id));
 }
 
 WorkerState FleetExecutor::worker_state(const DeviceWorker& w,
@@ -246,6 +257,14 @@ long long FleetExecutor::effective_budget(
 void FleetExecutor::quarantine(DeviceWorker& w, SimTime t) {
   if (w.health.healthy_at(t)) {
     ++w.stats.quarantines;
+    static obs::Counter c_quarantines("fleet.quarantines");
+    c_quarantines.add();
+    obs::instant(t, obs::Layer::kFleet, "fleet.quarantine",
+                 static_cast<int>(w.stats.id), w.dispatch_seq);
+    obs::dump_flight("fleet quarantine: device " +
+                         std::string(w.stats.name) + " (id " +
+                         std::to_string(w.stats.id) + ")",
+                     static_cast<int>(w.stats.id), w.dispatch_seq, t);
   }
   w.health.unhealthy_until =
       std::max(w.health.unhealthy_until, t + config_.retry.quarantine_seconds);
@@ -254,6 +273,10 @@ void FleetExecutor::quarantine(DeviceWorker& w, SimTime t) {
 void FleetExecutor::note_sdc(std::size_t w, SimTime t) {
   DeviceWorker& worker = workers_[w];
   ++worker.stats.sdc_detected;
+  static obs::Counter c_sdc("guard.sdc_detected");
+  c_sdc.add();
+  obs::instant(t, obs::Layer::kGuard, "guard.sdc_detected",
+               static_cast<int>(w));
   ++worker.health.consecutive_sdc;
   if (config_.retry.unhealthy_after > 0 &&
       worker.health.consecutive_sdc >=
@@ -403,11 +426,17 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
             " attempts (last failure: " + why + ")");
       }
       ++retries_;
+      static obs::Counter c_retries("fleet.retries");
+      c_retries.add();
+      obs::instant(t, obs::Layer::kFleet, "fleet.retry", static_cast<int>(w),
+                   seq, static_cast<double>(attempt));
       t += config_.retry.backoff(attempt - 1);
       excluded = static_cast<int>(w);
     };
     if (config_.faults.launch_fails(static_cast<int>(w), seq)) {
       ++worker.stats.launch_failures;
+      obs::instant(t, obs::Layer::kFleet, "fleet.launch_failure",
+                   static_cast<int>(w), seq);
       fail_attempt(
           "injected transient launch failure; raise RetryPolicy::max_attempts "
           "or lower FaultPlan::launch_failure_prob");
@@ -420,6 +449,13 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     } catch (const simt::LaunchTimeout& timeout) {
       ++worker.stats.timeouts;
       ++guard_stats_.watchdog_timeouts;
+      static obs::Counter c_timeouts("fleet.watchdog_timeouts");
+      c_timeouts.add();
+      obs::instant(t, obs::Layer::kFleet, "fleet.watchdog_timeout",
+                   static_cast<int>(w), seq);
+      obs::dump_flight(std::string("fleet watchdog timeout: ") +
+                           timeout.what(),
+                       static_cast<int>(w), seq, t);
       fail_attempt(timeout.what());
       continue;
     } catch (const util::CheckError& error) {
@@ -456,6 +492,15 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     worker.stats.tasks += tasks;
     worker.stats.cells += cells;
     ++dispatches_;
+    static obs::Counter c_dispatches("fleet.dispatches");
+    static obs::Histogram h_batch_seconds("fleet.batch_seconds");
+    c_dispatches.add();
+    h_batch_seconds.observe(exec.service_seconds);
+    obs::span_begin(exec.start_time, obs::Layer::kFleet, "fleet.batch",
+                    static_cast<int>(w), seq, static_cast<double>(tasks),
+                    static_cast<double>(cells));
+    obs::span_end(exec.completion_time, obs::Layer::kFleet, "fleet.batch",
+                  static_cast<int>(w), seq);
     last_time_ = std::max(last_time_, exec.completion_time);
     if (attempt > 0 && excluded != static_cast<int>(w)) {
       ++requeues_;
@@ -495,11 +540,14 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
       Exec rerun = run_once(flagged.exec.completion_time,
                             redo == 0 ? device : -1, redo == 0 ? -1 : device);
       ++guard_stats_.reexecutions;
+      { static obs::Counter c_redo("guard.reexecutions"); c_redo.add(); }
       guard_stats_.sdc_flips += flips_of(rerun);
       rerun.exec.reexecutions = flagged.exec.reexecutions + 1;
       verdict = validate(rerun);
       if (!verdict.has_value()) {
         ++guard_stats_.sdc_corrected;
+        obs::instant(rerun.exec.completion_time, obs::Layer::kGuard,
+                     "guard.sdc_corrected", rerun.exec.device_index);
         workers_[static_cast<std::size_t>(rerun.exec.device_index)]
             .health.consecutive_sdc = 0;
         if (flips_of(rerun) > 0) {
@@ -520,6 +568,8 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
     cpu_substitute(flagged);
     flagged.exec.cpu_fallback = true;
     ++guard_stats_.cpu_fallbacks;
+    obs::instant(flagged.exec.completion_time, obs::Layer::kGuard,
+                 "guard.cpu_fallback", flagged.exec.device_index);
     return flagged;
   }
 
@@ -529,6 +579,7 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
   Exec second =
       run_once(first.exec.completion_time, /*force=*/-1, first.exec.device_index);
   ++guard_stats_.reexecutions;
+  { static obs::Counter c_redo("guard.reexecutions"); c_redo.add(); }
   guard_stats_.sdc_flips += flips_of(second);
   const std::uint64_t print1 = fingerprint_of(first);
   const std::uint64_t print2 = fingerprint_of(second);
@@ -548,6 +599,7 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
   ++guard_stats_.sdc_detected;
   Exec third = run_once(second.exec.completion_time, /*force=*/-1, /*excluded=*/-1);
   ++guard_stats_.reexecutions;
+  { static obs::Counter c_redo("guard.reexecutions"); c_redo.add(); }
   guard_stats_.sdc_flips += flips_of(third);
   const std::uint64_t print3 = fingerprint_of(third);
   if (print3 == print1 || print3 == print2) {
@@ -556,6 +608,8 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
              loser.exec.completion_time);
     Exec winner = print3 == print1 ? std::move(first) : std::move(second);
     ++guard_stats_.sdc_corrected;
+    obs::instant(third.exec.completion_time, obs::Layer::kGuard,
+                 "guard.sdc_corrected", winner.exec.device_index);
     winner.exec.reexecutions += 2;
     winner.exec.completion_time = third.exec.completion_time;
     return winner;
@@ -568,6 +622,8 @@ Exec FleetExecutor::guarded_execute(SimTime now, RunOnce&& run_once,
   third.exec.cpu_fallback = true;
   third.exec.reexecutions += 2;
   ++guard_stats_.cpu_fallbacks;
+  obs::instant(third.exec.completion_time, obs::Layer::kGuard,
+               "guard.cpu_fallback", third.exec.device_index);
   return third;
 }
 
@@ -638,6 +694,8 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
     out.result.outputs = guard::cpu_sw(batch, params);
     out.exec.cpu_fallback = true;
     ++guard_stats_.cpu_fallbacks;
+    obs::instant(out.exec.completion_time, obs::Layer::kGuard,
+                 "guard.cpu_fallback", out.exec.device_index);
     return out;
   }
 }
@@ -706,6 +764,8 @@ PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
     out.result.log10 = guard::cpu_ph(batch);
     out.exec.cpu_fallback = true;
     ++guard_stats_.cpu_fallbacks;
+    obs::instant(out.exec.completion_time, obs::Layer::kGuard,
+                 "guard.cpu_fallback", out.exec.device_index);
     return out;
   }
 }

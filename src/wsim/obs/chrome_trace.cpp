@@ -1,0 +1,125 @@
+#include "wsim/obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+#include <string>
+
+#include "wsim/obs/json.hpp"
+
+namespace wsim::obs {
+
+namespace {
+
+constexpr std::uint32_t kDeviceTidBase = 100;
+
+std::uint32_t layer_tid(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kEngine: return 1;
+    case Layer::kServe: return 2;
+    case Layer::kFleet: return 3;
+    case Layer::kGuard: return 4;
+    case Layer::kCluster: return 5;
+    case Layer::kWorkload: return 6;
+  }
+  return 0;
+}
+
+void write_args(std::ostream& os, const Event& e) {
+  os << "\"args\":{\"id\":" << e.id << ",\"a0\":" << json_number(e.a0)
+     << ",\"a1\":" << json_number(e.a1);
+  if (e.tenant >= 0) {
+    os << ",\"tenant\":" << e.tenant;
+  }
+  os << "}";
+}
+
+}  // namespace
+
+std::uint32_t chrome_tid(const Event& event) noexcept {
+  if (event.device >= 0) {
+    return kDeviceTidBase + static_cast<std::uint32_t>(event.device);
+  }
+  return layer_tid(event.layer);
+}
+
+std::string chrome_track_name(std::uint32_t tid) {
+  if (tid >= kDeviceTidBase) {
+    return "device-" + std::to_string(tid - kDeviceTidBase);
+  }
+  switch (tid) {
+    case 1: return "engine";
+    case 2: return "serve";
+    case 3: return "fleet";
+    case 4: return "guard";
+    case 5: return "autoscaler";
+    case 6: return "workload";
+  }
+  return "track-" + std::to_string(tid);
+}
+
+std::vector<Event> chrome_sorted(std::vector<Event> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& x, const Event& y) {
+                     const std::uint32_t tx = chrome_tid(x);
+                     const std::uint32_t ty = chrome_tid(y);
+                     if (tx != ty) {
+                       return tx < ty;
+                     }
+                     if (x.ts != y.ts) {
+                       return x.ts < y.ts;
+                     }
+                     return x.seq < y.seq;
+                   });
+  return events;
+}
+
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events) {
+  const std::vector<Event> sorted = chrome_sorted(events);
+  std::set<std::uint32_t> tids;
+  for (const Event& e : sorted) {
+    tids.insert(chrome_tid(e));
+  }
+  os << "[\n";
+  bool first = true;
+  for (const std::uint32_t tid : tids) {
+    os << (first ? "" : ",\n")
+       << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":"
+       << json_quote(chrome_track_name(tid)) << "}}";
+    first = false;
+  }
+  for (const Event& e : sorted) {
+    const double us = e.ts * 1e6;
+    os << (first ? "" : ",\n") << "{\"ph\":\"";
+    first = false;
+    switch (e.kind) {
+      case Kind::kSpanBegin:
+      case Kind::kSpanEnd:
+        os << (e.kind == Kind::kSpanBegin ? 'B' : 'E')
+           << "\",\"pid\":1,\"tid\":" << chrome_tid(e)
+           << ",\"ts\":" << json_number(us) << ",\"name\":" << json_quote(e.name)
+           << ",\"cat\":" << json_quote(to_string(e.layer)) << ",";
+        write_args(os, e);
+        os << "}";
+        break;
+      case Kind::kInstant:
+        os << "i\",\"s\":\"t\",\"pid\":1,\"tid\":" << chrome_tid(e)
+           << ",\"ts\":" << json_number(us) << ",\"name\":" << json_quote(e.name)
+           << ",\"cat\":" << json_quote(to_string(e.layer)) << ",";
+        write_args(os, e);
+        os << "}";
+        break;
+      case Kind::kCounter:
+        os << "C\",\"pid\":1,\"tid\":" << chrome_tid(e)
+           << ",\"ts\":" << json_number(us) << ",\"name\":" << json_quote(e.name)
+           << ",\"args\":{\"value\":" << json_number(e.a0) << "}}";
+        break;
+    }
+  }
+  os << "\n]\n";
+}
+
+void write_chrome_trace(std::ostream& os) { write_chrome_trace(os, collect()); }
+
+}  // namespace wsim::obs

@@ -1,0 +1,34 @@
+#pragma once
+
+// Chrome trace-event exporter: renders the collected event stream as a
+// trace-event JSON array loadable in Perfetto / chrome://tracing, one
+// track (tid) per device worker plus one per layer (serve queue,
+// fleet control, guard, autoscaler, workload).
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "wsim/obs/obs.hpp"
+
+namespace wsim::obs {
+
+/// The Chrome track an event renders on: devices get their own tracks
+/// (100 + device id), everything else lands on its layer's track.
+std::uint32_t chrome_tid(const Event& event) noexcept;
+
+/// Display name of a track id ("device-3", "serve", "autoscaler", ...).
+std::string chrome_track_name(std::uint32_t tid);
+
+/// `events` re-sorted for export: by (track, ts, seq), stable — so each
+/// track's timestamps are non-decreasing by construction.
+std::vector<Event> chrome_sorted(std::vector<Event> events);
+
+/// Writes `events` as a Chrome trace-event JSON array (timestamps are
+/// simulated seconds scaled to microseconds).
+void write_chrome_trace(std::ostream& os, const std::vector<Event>& events);
+
+/// Convenience: collect() + write_chrome_trace.
+void write_chrome_trace(std::ostream& os);
+
+}  // namespace wsim::obs

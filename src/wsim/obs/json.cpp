@@ -1,0 +1,29 @@
+#include "wsim/obs/json.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace wsim::obs {
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) {
+    return "0";
+  }
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+std::string json_quote(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace wsim::obs

@@ -1,0 +1,24 @@
+#pragma once
+
+// Shared JSON primitives for every stats/metrics/trace writer in the
+// tree. One implementation of number formatting (non-finite values map
+// to 0 so a NaN latency can never corrupt a report) and string escaping,
+// plus the version stamp of the shared stats-record schema emitted by
+// serve::write_stats_json / cluster::write_cluster_json and the obs
+// metrics exporter.
+
+#include <string>
+
+namespace wsim::obs {
+
+/// Version of the shared stats/metrics JSON record schema. Version 1 was
+/// the unversioned schema PRs 3-6 emitted; version 2 added this field.
+inline constexpr int kStatsSchemaVersion = 2;
+
+/// Default-ostream formatting; non-finite values render as "0".
+std::string json_number(double value);
+
+/// `value` quoted and escaped (backslash and double quote).
+std::string json_quote(const std::string& value);
+
+}  // namespace wsim::obs

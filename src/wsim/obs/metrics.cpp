@@ -1,0 +1,142 @@
+#include "wsim/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "wsim/obs/json.hpp"
+
+namespace wsim::obs {
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+template <typename T>
+std::vector<T*> sorted_by_name(const std::vector<T*>& instruments) {
+  std::vector<T*> out = instruments;
+  std::sort(out.begin(), out.end(),
+            [](const T* x, const T* y) { return x->name() < y->name(); });
+  return out;
+}
+
+}  // namespace
+
+Counter::Counter(std::string name) : name_(std::move(name)) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.counters.push_back(this);
+}
+
+Gauge::Gauge(std::string name) : name_(std::move(name)) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.gauges.push_back(this);
+}
+
+Histogram::Histogram(std::string name) : name_(std::move(name)) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.histograms.push_back(this);
+}
+
+void Histogram::observe(double value) noexcept {
+  if (!metrics_enabled()) {
+    return;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+  int exp = 0;
+  if (value > 0.0 && std::isfinite(value)) {
+    std::frexp(value, &exp);
+  }
+  const long idx =
+      std::clamp(static_cast<long>(exp) + 32L, 0L,
+                 static_cast<long>(kBuckets) - 1L);
+  buckets_[static_cast<std::size_t>(idx)].fetch_add(1,
+                                                    std::memory_order_relaxed);
+}
+
+void Histogram::reset() noexcept {
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+}
+
+void write_metrics_json(std::ostream& os) {
+  Registry& r = registry();
+  std::vector<Counter*> counters;
+  std::vector<Gauge*> gauges;
+  std::vector<Histogram*> histograms;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    counters = sorted_by_name(r.counters);
+    gauges = sorted_by_name(r.gauges);
+    histograms = sorted_by_name(r.histograms);
+  }
+  os << "{\n";
+  os << "  \"schema_version\": " << kStatsSchemaVersion << ",\n";
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    "
+       << json_quote(counters[i]->name()) << ": " << counters[i]->value();
+  }
+  os << (counters.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < gauges.size(); ++i) {
+    os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(gauges[i]->name())
+       << ": " << json_number(gauges[i]->value());
+  }
+  os << (gauges.empty() ? "" : "\n  ") << "},\n";
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    const Histogram& h = *histograms[i];
+    os << (i == 0 ? "\n" : ",\n") << "    " << json_quote(h.name()) << ": {"
+       << "\"count\": " << h.count() << ", \"sum\": " << json_number(h.sum())
+       << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+      if (h.bucket(b) == 0) {
+        continue;
+      }
+      os << (first ? "" : ", ") << '[' << b << ", " << h.bucket(b) << ']';
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (histograms.empty() ? "" : "\n  ") << "}\n";
+  os << "}\n";
+}
+
+void reset_metrics() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  for (Counter* counter : r.counters) {
+    counter->reset();
+  }
+  for (Gauge* gauge : r.gauges) {
+    gauge->reset();
+  }
+  for (Histogram* histogram : r.histograms) {
+    histogram->reset();
+  }
+}
+
+}  // namespace wsim::obs

@@ -1,0 +1,291 @@
+#include "wsim/obs/obs.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "wsim/obs/json.hpp"
+#include "wsim/obs/metrics.hpp"
+
+namespace wsim::obs {
+
+namespace detail {
+std::atomic<int> g_level{static_cast<int>(Level::kOff)};
+}  // namespace detail
+
+namespace {
+
+/// Per-shard ring capacity. Events are ~64 bytes, so a full shard holds
+/// the last ~64k events in ~4 MB; older events are overwritten and
+/// counted in `dropped_`.
+constexpr std::size_t kShardCapacity = 1U << 16U;
+
+/// How many trailing events a flight dump snapshots, and how many dumps
+/// the recorder retains.
+constexpr std::size_t kFlightWindow = 96;
+constexpr std::size_t kFlightDumps = 16;
+
+struct Shard {
+  mutable std::mutex mu;
+  std::vector<Event> ring;      ///< grows to kShardCapacity, then wraps
+  std::uint64_t count = 0;      ///< total events ever pushed
+};
+
+struct Collector {
+  std::mutex registry_mu;
+  std::vector<std::shared_ptr<Shard>> shards;  ///< never shrinks
+  std::atomic<std::uint64_t> seq{0};
+  std::atomic<double> sim_time{0.0};
+  std::mutex flight_mu;
+  std::vector<FlightDump> dumps;
+};
+
+Collector& collector() {
+  static Collector instance;
+  return instance;
+}
+
+/// The emitting thread's shard. Registered once per thread; the shard is
+/// owned by the collector so it outlives the thread (drains and resets
+/// stay valid after workers exit).
+Shard& local_shard() {
+  thread_local Shard* shard = [] {
+    auto owned = std::make_shared<Shard>();
+    owned->ring.reserve(1024);
+    Shard* raw = owned.get();
+    Collector& c = collector();
+    std::lock_guard<std::mutex> lock(c.registry_mu);
+    c.shards.push_back(std::move(owned));
+    return raw;
+  }();
+  return *shard;
+}
+
+void push(Event event) {
+  event.seq = collector().seq.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.ring.size() < kShardCapacity) {
+    shard.ring.push_back(event);
+  } else {
+    shard.ring[shard.count % kShardCapacity] = event;
+  }
+  ++shard.count;
+}
+
+std::vector<Event> collect_locked() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(c.registry_mu);
+    shards = c.shards;
+  }
+  std::vector<Event> events;
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    events.insert(events.end(), shard->ring.begin(), shard->ring.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& x, const Event& y) { return x.seq < y.seq; });
+  return events;
+}
+
+}  // namespace
+
+const char* to_string(Layer layer) noexcept {
+  switch (layer) {
+    case Layer::kEngine: return "engine";
+    case Layer::kServe: return "serve";
+    case Layer::kFleet: return "fleet";
+    case Layer::kGuard: return "guard";
+    case Layer::kCluster: return "cluster";
+    case Layer::kWorkload: return "workload";
+  }
+  return "?";
+}
+
+const char* to_string(Kind kind) noexcept {
+  switch (kind) {
+    case Kind::kSpanBegin: return "B";
+    case Kind::kSpanEnd: return "E";
+    case Kind::kInstant: return "I";
+    case Kind::kCounter: return "C";
+  }
+  return "?";
+}
+
+Level level() noexcept {
+  return static_cast<Level>(detail::g_level.load(std::memory_order_relaxed));
+}
+
+void set_level(Level level) noexcept {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_sim_time(double t) noexcept {
+  collector().sim_time.store(t, std::memory_order_relaxed);
+}
+
+double sim_time() noexcept {
+  return collector().sim_time.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+void emit(double ts, Layer layer, Kind kind, const char* name,
+          std::int32_t device, std::uint64_t id, double a0, double a1) {
+  Event event;
+  event.ts = ts;
+  event.layer = layer;
+  event.kind = kind;
+  event.device = device;
+  event.id = id;
+  event.name = name;
+  event.a0 = a0;
+  event.a1 = a1;
+  push(event);
+}
+
+}  // namespace
+
+void span_begin(double ts, Layer layer, const char* name, std::int32_t device,
+                std::uint64_t id, double a0, double a1) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  emit(ts, layer, Kind::kSpanBegin, name, device, id, a0, a1);
+}
+
+void span_end(double ts, Layer layer, const char* name, std::int32_t device,
+              std::uint64_t id, double a0, double a1) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  emit(ts, layer, Kind::kSpanEnd, name, device, id, a0, a1);
+}
+
+void instant(double ts, Layer layer, const char* name, std::int32_t device,
+             std::uint64_t id, double a0, double a1) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  emit(ts, layer, Kind::kInstant, name, device, id, a0, a1);
+}
+
+void counter(double ts, Layer layer, const char* name, double value,
+             std::int32_t device) {
+  if (!tracing_enabled()) {
+    return;
+  }
+  emit(ts, layer, Kind::kCounter, name, device, 0, value, 0.0);
+}
+
+Span::Span(Layer layer, const char* name, std::int32_t device,
+           std::uint64_t id)
+    : layer_(layer), name_(name), device_(device), id_(id),
+      active_(tracing_enabled()) {
+  if (active_) {
+    emit(sim_time(), layer_, Kind::kSpanBegin, name_, device_, id_, 0.0, 0.0);
+  }
+}
+
+Span::~Span() {
+  if (active_) {
+    emit(sim_time(), layer_, Kind::kSpanEnd, name_, device_, id_, 0.0, 0.0);
+  }
+}
+
+std::vector<Event> collect() { return collect_locked(); }
+
+std::uint64_t dropped() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(c.registry_mu);
+    shards = c.shards;
+  }
+  std::uint64_t total = 0;
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    if (shard->count > shard->ring.size()) {
+      total += shard->count - shard->ring.size();
+    }
+  }
+  return total;
+}
+
+std::string format_events(const std::vector<Event>& events) {
+  std::ostringstream os;
+  for (const Event& e : events) {
+    os << e.seq << ' ' << json_number(e.ts) << ' ' << to_string(e.layer) << ' '
+       << to_string(e.kind) << ' ' << e.name << " device=" << e.device
+       << " tenant=" << e.tenant << " id=" << e.id
+       << " a0=" << json_number(e.a0) << " a1=" << json_number(e.a1) << '\n';
+  }
+  return os.str();
+}
+
+void dump_flight(const std::string& reason, std::int32_t device,
+                 std::uint64_t id, double ts) {
+  FlightDump dump;
+  dump.reason = reason;
+  dump.device = device;
+  dump.id = id;
+  dump.ts = ts;
+  std::vector<Event> events = collect_locked();
+  if (events.size() > kFlightWindow) {
+    events.erase(events.begin(),
+                 events.end() - static_cast<std::ptrdiff_t>(kFlightWindow));
+  }
+  dump.events = std::move(events);
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.flight_mu);
+  if (c.dumps.size() >= kFlightDumps) {
+    c.dumps.erase(c.dumps.begin());
+  }
+  c.dumps.push_back(std::move(dump));
+}
+
+std::vector<FlightDump> flight_dumps() {
+  Collector& c = collector();
+  std::lock_guard<std::mutex> lock(c.flight_mu);
+  return c.dumps;
+}
+
+std::string format_flight(const FlightDump& dump) {
+  std::ostringstream os;
+  os << "flight recorder dump: " << dump.reason << '\n'
+     << "  failing device=" << dump.device << " id=" << dump.id
+     << " t=" << json_number(dump.ts) << "s\n"
+     << "  last " << dump.events.size() << " event(s):\n";
+  std::istringstream lines(format_events(dump.events));
+  std::string line;
+  while (std::getline(lines, line)) {
+    os << "    " << line << '\n';
+  }
+  return os.str();
+}
+
+void reset() {
+  Collector& c = collector();
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    std::lock_guard<std::mutex> lock(c.registry_mu);
+    shards = c.shards;
+  }
+  for (const auto& shard : shards) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->ring.clear();
+    shard->count = 0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(c.flight_mu);
+    c.dumps.clear();
+  }
+  c.seq.store(0, std::memory_order_relaxed);
+  c.sim_time.store(0.0, std::memory_order_relaxed);
+  reset_metrics();
+}
+
+}  // namespace wsim::obs

@@ -1,0 +1,162 @@
+#pragma once
+
+// Cross-layer observability: a deterministic span/event collector and a
+// crash flight recorder shared by every layer of the stack (engine, serve,
+// fleet, guard, cluster).
+//
+// Events carry simulated timestamps — the same deterministic clock the
+// serving and cluster layers run on — plus a global emission sequence
+// number, so a replayed run produces a byte-identical event stream and
+// trace determinism is an extension of the existing replay-determinism
+// contract. Collection is sharded per emitting thread (lock-free in the
+// common single-driver case; each shard is a bounded ring that overwrites
+// its oldest events under pressure and counts the drops).
+//
+// The default level is kOff: every instrumentation site costs one relaxed
+// atomic load and a predictable branch, nothing else. kMetrics arms the
+// counters/gauges/histograms in metrics.hpp; kTrace additionally records
+// events for the Chrome-trace exporter and the flight recorder.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wsim::obs {
+
+/// Collection level, ordered: each level includes the previous one.
+enum class Level : int { kOff = 0, kMetrics = 1, kTrace = 2 };
+
+/// Which layer of the stack emitted an event (also the fallback track in
+/// the Chrome exporter when the event names no device).
+enum class Layer : std::uint8_t {
+  kEngine,
+  kServe,
+  kFleet,
+  kGuard,
+  kCluster,
+  kWorkload,
+};
+
+enum class Kind : std::uint8_t { kSpanBegin, kSpanEnd, kInstant, kCounter };
+
+const char* to_string(Layer layer) noexcept;
+const char* to_string(Kind kind) noexcept;
+
+/// One structured event. `name` must be a string literal (events are
+/// copied around by value and never own memory).
+struct Event {
+  std::uint64_t seq = 0;  ///< global emission order — the determinism key
+  double ts = 0.0;        ///< simulated seconds
+  Layer layer = Layer::kEngine;
+  Kind kind = Kind::kInstant;
+  std::int32_t device = -1;  ///< fleet DeviceId / serve device, -1 = none
+  std::int32_t tenant = -1;  ///< serve tenant index, -1 = none
+  std::uint64_t id = 0;      ///< launch / batch / dispatch sequence number
+  const char* name = "";     ///< static event name, e.g. "fleet.batch"
+  double a0 = 0.0;           ///< payload (tasks, cells, seconds, value, ...)
+  double a1 = 0.0;
+};
+
+namespace detail {
+extern std::atomic<int> g_level;
+}  // namespace detail
+
+/// Hot-path guards: one relaxed load, branch-predictable when off.
+inline bool tracing_enabled() noexcept {
+  return detail::g_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(Level::kTrace);
+}
+inline bool metrics_enabled() noexcept {
+  return detail::g_level.load(std::memory_order_relaxed) >=
+         static_cast<int>(Level::kMetrics);
+}
+
+Level level() noexcept;
+void set_level(Level level) noexcept;
+
+/// The simulated clock, published by whichever driver owns it (serve's
+/// event loop, cluster's control loop). Layers without a simulated
+/// duration of their own (the engine) stamp events with it.
+void set_sim_time(double t) noexcept;
+double sim_time() noexcept;
+
+// --- emission ---------------------------------------------------------------
+// All emitters take the event timestamp explicitly: call sites hold the
+// simulated times their events describe (batch start/completion, tick
+// time, the service clock). Every emitter is a no-op below kTrace.
+
+void span_begin(double ts, Layer layer, const char* name,
+                std::int32_t device = -1, std::uint64_t id = 0, double a0 = 0.0,
+                double a1 = 0.0);
+void span_end(double ts, Layer layer, const char* name,
+              std::int32_t device = -1, std::uint64_t id = 0, double a0 = 0.0,
+              double a1 = 0.0);
+void instant(double ts, Layer layer, const char* name, std::int32_t device = -1,
+             std::uint64_t id = 0, double a0 = 0.0, double a1 = 0.0);
+void counter(double ts, Layer layer, const char* name, double value,
+             std::int32_t device = -1);
+
+/// RAII span scope on the published simulated clock: begin at
+/// construction, end at destruction (both read sim_time(), so a scope
+/// that does not advance the clock records a zero-duration span).
+class Span {
+ public:
+  Span(Layer layer, const char* name, std::int32_t device = -1,
+       std::uint64_t id = 0);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  Layer layer_;
+  const char* name_;
+  std::int32_t device_;
+  std::uint64_t id_;
+  bool active_;
+};
+
+// --- collection -------------------------------------------------------------
+
+/// Snapshot of every recorded event in emission (seq) order. Does not
+/// clear the buffers; reset() does.
+std::vector<Event> collect();
+
+/// Events overwritten by ring-buffer pressure since the last reset().
+std::uint64_t dropped();
+
+/// One line per event — the canonical serialization the determinism test
+/// compares byte-for-byte across replays.
+std::string format_events(const std::vector<Event>& events);
+
+// --- flight recorder --------------------------------------------------------
+// A bounded last-N-events snapshot captured at the moment something went
+// wrong, so the post-mortem carries the exact event sequence that led up
+// to the failure. Dumps are captured at every level (below kTrace the
+// event window is empty, but the dump still names the failing site).
+
+struct FlightDump {
+  std::string reason;        ///< what triggered the dump (incl. error text)
+  std::int32_t device = -1;  ///< the failing device, -1 when unknown
+  std::uint64_t id = 0;      ///< the failing launch/batch/dispatch id
+  double ts = 0.0;           ///< simulated time of the trigger
+  std::vector<Event> events; ///< the final events before the trigger
+};
+
+/// Captures a dump. Cheap when nothing was recorded; bounded history (the
+/// oldest dumps fall off).
+void dump_flight(const std::string& reason, std::int32_t device,
+                 std::uint64_t id, double ts);
+
+/// Snapshot of the captured dumps, oldest first.
+std::vector<FlightDump> flight_dumps();
+
+/// Human-readable rendering of one dump (reason, failing site, events).
+std::string format_flight(const FlightDump& dump);
+
+/// Clears events, drops, flight dumps, metric values, and the published
+/// sim clock. The collection level is left untouched. Not thread-safe
+/// against concurrent emitters — call between runs, not during one.
+void reset();
+
+}  // namespace wsim::obs

@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "wsim/fleet/fleet.hpp"
+#include "wsim/obs/metrics.hpp"
+#include "wsim/obs/obs.hpp"
 #include "wsim/simt/engine.hpp"
 #include "wsim/simt/watchdog.hpp"
 #include "wsim/util/check.hpp"
@@ -114,6 +116,13 @@ Result guarded_single(const guard::GuardConfig& cfg, ServiceStats& totals,
   return third;
 }
 
+void note_reject(SimTime ts, RejectReason reason) {
+  static obs::Counter c_rejected("serve.rejected");
+  c_rejected.add();
+  obs::instant(ts, obs::Layer::kServe, "serve.reject", -1, 0,
+               static_cast<double>(static_cast<int>(reason)));
+}
+
 }  // namespace
 
 AlignmentService::AlignmentService(ServiceConfig config)
@@ -195,6 +204,7 @@ SwSubmit AlignmentService::submit(SwRequest request) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopped_) {
     ++totals_.rejected_stopped;
+    note_reject(clock_, RejectReason::kStopped);
     result.rejected = RejectReason::kStopped;
     return result;
   }
@@ -206,6 +216,7 @@ SwSubmit AlignmentService::submit(SwRequest request) {
   entry.submit_time = clock_;
   const RejectReason quota = admit_tenant(request.tenant, entry);
   if (quota != RejectReason::kNone) {
+    note_reject(clock_, quota);
     result.rejected = quota;
     return result;
   }
@@ -218,6 +229,7 @@ SwSubmit AlignmentService::submit(SwRequest request) {
   if (reason != RejectReason::kNone) {
     reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
                                             : ++totals_.rejected_cells_full;
+    note_reject(clock_, reason);
     result.rejected = reason;
     return result;
   }
@@ -225,6 +237,10 @@ SwSubmit AlignmentService::submit(SwRequest request) {
     totals_.first_submit_time = clock_;
   }
   ++totals_.sw_submitted;
+  static obs::Counter c_submitted("serve.sw_submitted");
+  c_submitted.add();
+  obs::instant(clock_, obs::Layer::kServe, "serve.submit_sw", -1, 0,
+               static_cast<double>(tenant_idx), static_cast<double>(cells));
   TenantState& tenant = tenants_[tenant_idx];
   ++tenant.submitted;
   ++tenant.queued_tasks;
@@ -248,6 +264,7 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
   std::lock_guard<std::mutex> lock(mu_);
   if (stopped_) {
     ++totals_.rejected_stopped;
+    note_reject(clock_, RejectReason::kStopped);
     result.rejected = RejectReason::kStopped;
     return result;
   }
@@ -259,6 +276,7 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
   entry.submit_time = clock_;
   const RejectReason quota = admit_tenant(request.tenant, entry);
   if (quota != RejectReason::kNone) {
+    note_reject(clock_, quota);
     result.rejected = quota;
     return result;
   }
@@ -271,6 +289,7 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
   if (reason != RejectReason::kNone) {
     reason == RejectReason::kQueueTasksFull ? ++totals_.rejected_tasks_full
                                             : ++totals_.rejected_cells_full;
+    note_reject(clock_, reason);
     result.rejected = reason;
     return result;
   }
@@ -278,6 +297,10 @@ PairHmmSubmit AlignmentService::submit(PairHmmRequest request) {
     totals_.first_submit_time = clock_;
   }
   ++totals_.ph_submitted;
+  static obs::Counter c_submitted("serve.ph_submitted");
+  c_submitted.add();
+  obs::instant(clock_, obs::Layer::kServe, "serve.submit_ph", -1, 0,
+               static_cast<double>(tenant_idx), static_cast<double>(cells));
   TenantState& tenant = tenants_[tenant_idx];
   ++tenant.submitted;
   ++tenant.queued_tasks;
@@ -298,6 +321,7 @@ void AlignmentService::advance_to(SimTime t) {
     std::lock_guard<std::mutex> lock(mu_);
     process_until(t, callbacks);
     clock_ = std::max(clock_, t);
+    obs::set_sim_time(clock_);
   }
   for (auto& callback : callbacks) {
     callback();
@@ -412,6 +436,7 @@ void AlignmentService::process_until(SimTime limit, Callbacks& callbacks) {
       return;
     }
     clock_ = effective;
+    obs::set_sim_time(clock_);
     switch (kind) {
       case 0: deliver_in_flight(flight_index, callbacks); break;
       case 1: flush_sw(); break;
@@ -421,6 +446,8 @@ void AlignmentService::process_until(SimTime limit, Callbacks& callbacks) {
 }
 
 void AlignmentService::deliver_in_flight(std::size_t index, Callbacks& callbacks) {
+  obs::instant(clock_, obs::Layer::kServe, "serve.deliver", -1,
+               in_flight_[index].order);
   auto ready = in_flight_[index].deliver();
   callbacks.insert(callbacks.end(), std::make_move_iterator(ready.begin()),
                    std::make_move_iterator(ready.end()));
@@ -467,6 +494,13 @@ void AlignmentService::flush_sw() {
 
   kernels::SwBatchResult result;
   const SimTime formed = clock_;
+  static obs::Counter c_flushes_sw("serve.sw_batches");
+  static obs::Histogram h_batch_cells_sw("serve.sw_batch_cells");
+  c_flushes_sw.add();
+  h_batch_cells_sw.observe(static_cast<double>(batch_cells));
+  obs::instant(formed, obs::Layer::kServe, "serve.flush_sw", -1, batch_order_,
+               static_cast<double>(entries.size()),
+               static_cast<double>(batch_cells));
   SimTime start = 0.0;
   SimTime completion = 0.0;
   double seconds = 0.0;
@@ -525,12 +559,29 @@ void AlignmentService::flush_sw() {
       start = std::max(formed, device_free_at_);
       completion = start + seconds;
       device_free_at_ = completion;
+      obs::span_begin(start, obs::Layer::kServe, "serve.batch", 0, batch_order_,
+                      static_cast<double>(entries.size()),
+                      static_cast<double>(batch_cells));
+      obs::span_end(completion, obs::Layer::kServe, "serve.batch", 0,
+                    batch_order_);
     }
   } catch (const simt::LaunchTimeout& e) {
     ++totals_.watchdog_timeouts;
+    static obs::Counter c_timeouts("serve.watchdog_timeouts");
+    c_timeouts.add();
+    obs::instant(formed, obs::Layer::kServe, "serve.watchdog_timeout", -1,
+                 batch_order_);
+    obs::dump_flight(std::string("serve watchdog timeout: ") + e.what(),
+                     fleet_ == nullptr ? 0 : -1, batch_order_, formed);
     totals_.failed += fail_entries(entries, e.what());
     return;
   } catch (const util::CheckError& e) {
+    static obs::Counter c_failed("serve.batch_failures");
+    c_failed.add();
+    obs::instant(formed, obs::Layer::kServe, "serve.batch_failure", -1,
+                 batch_order_);
+    obs::dump_flight(std::string("serve ticket failure: ") + e.what(),
+                     fleet_ == nullptr ? 0 : -1, batch_order_, formed);
     totals_.failed += fail_entries(entries, e.what());
     return;
   }
@@ -612,6 +663,13 @@ void AlignmentService::flush_ph() {
 
   kernels::PhBatchResult result;
   const SimTime formed = clock_;
+  static obs::Counter c_flushes_ph("serve.ph_batches");
+  static obs::Histogram h_batch_cells_ph("serve.ph_batch_cells");
+  c_flushes_ph.add();
+  h_batch_cells_ph.observe(static_cast<double>(batch_cells));
+  obs::instant(formed, obs::Layer::kServe, "serve.flush_ph", -1, batch_order_,
+               static_cast<double>(entries.size()),
+               static_cast<double>(batch_cells));
   SimTime start = 0.0;
   SimTime completion = 0.0;
   double seconds = 0.0;
@@ -672,12 +730,29 @@ void AlignmentService::flush_ph() {
       start = std::max(formed, device_free_at_);
       completion = start + seconds;
       device_free_at_ = completion;
+      obs::span_begin(start, obs::Layer::kServe, "serve.batch", 0, batch_order_,
+                      static_cast<double>(entries.size()),
+                      static_cast<double>(batch_cells));
+      obs::span_end(completion, obs::Layer::kServe, "serve.batch", 0,
+                    batch_order_);
     }
   } catch (const simt::LaunchTimeout& e) {
     ++totals_.watchdog_timeouts;
+    static obs::Counter c_timeouts("serve.watchdog_timeouts");
+    c_timeouts.add();
+    obs::instant(formed, obs::Layer::kServe, "serve.watchdog_timeout", -1,
+                 batch_order_);
+    obs::dump_flight(std::string("serve watchdog timeout: ") + e.what(),
+                     fleet_ == nullptr ? 0 : -1, batch_order_, formed);
     totals_.failed += fail_entries(entries, e.what());
     return;
   } catch (const util::CheckError& e) {
+    static obs::Counter c_failed("serve.batch_failures");
+    c_failed.add();
+    obs::instant(formed, obs::Layer::kServe, "serve.batch_failure", -1,
+                 batch_order_);
+    obs::dump_flight(std::string("serve ticket failure: ") + e.what(),
+                     fleet_ == nullptr ? 0 : -1, batch_order_, formed);
     totals_.failed += fail_entries(entries, e.what());
     return;
   }

@@ -1,11 +1,10 @@
 #include "wsim/serve/stats.hpp"
 
 #include <algorithm>
-#include <cmath>
 #include <ostream>
-#include <sstream>
 
 #include "wsim/fleet/fleet.hpp"
+#include "wsim/obs/json.hpp"
 #include "wsim/util/stats.hpp"
 
 namespace wsim::serve {
@@ -85,14 +84,8 @@ double ServiceStats::device_utilization() const noexcept {
 
 namespace {
 
-std::string json_number(double value) {
-  if (!std::isfinite(value)) {
-    return "0";
-  }
-  std::ostringstream os;
-  os << value;
-  return os.str();
-}
+using obs::json_number;
+using obs::json_quote;
 
 void write_latency_json(std::ostream& os, const LatencySummary& summary) {
   os << "{\"count\": " << summary.count
@@ -103,20 +96,8 @@ void write_latency_json(std::ostream& os, const LatencySummary& summary) {
      << ", \"max_s\": " << json_number(summary.max) << "}";
 }
 
-std::string json_string(const std::string& value) {
-  std::string out = "\"";
-  for (const char c : value) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  out += '"';
-  return out;
-}
-
 void write_tenant_json(std::ostream& os, const TenantStats& tenant) {
-  os << "{\"name\": " << json_string(tenant.name)
+  os << "{\"name\": " << json_quote(tenant.name)
      << ", \"submitted\": " << tenant.submitted
      << ", \"completed\": " << tenant.completed
      << ", \"rejected_quota\": " << tenant.rejected_quota
@@ -134,7 +115,7 @@ void write_tenant_json(std::ostream& os, const TenantStats& tenant) {
 /// The shared device-record schema emitted by both `fleet-sim --json` and
 /// `cluster-sim --json`.
 void write_device_json(std::ostream& os, const fleet::DeviceStats& d) {
-  os << "{\"id\": " << d.id << ", \"device\": " << json_string(d.name)
+  os << "{\"id\": " << d.id << ", \"device\": " << json_quote(d.name)
      << ", \"state\": \"" << fleet::to_string(d.state) << "\""
      << ", \"batches\": " << d.batches << ", \"tasks\": " << d.tasks
      << ", \"cells\": " << d.cells
@@ -152,6 +133,7 @@ void write_device_json(std::ostream& os, const fleet::DeviceStats& d) {
 /// its membership and device records to the same object.
 void write_stats_json_body(std::ostream& os, const ServiceStats& stats) {
   os << "{\n"
+     << "  \"schema_version\": " << obs::kStatsSchemaVersion << ",\n"
      << "  \"submitted\": " << stats.submitted()
      << ", \"completed\": " << stats.completed()
      << ", \"rejected\": " << stats.rejected() << ",\n"

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "wsim/obs/metrics.hpp"
+#include "wsim/obs/obs.hpp"
 #include "wsim/simt/decode.hpp"
 #include "wsim/simt/interpreter.hpp"
 #include "wsim/simt/sdc.hpp"
@@ -92,7 +94,17 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   const InterpPath path = resolve_interp_path(options.interp);
   std::shared_ptr<const DecodedProgram> decoded;
   if (path == InterpPath::kFast) {
-    decoded = shared_decoded_cache().get(kernel, device);
+    static obs::Counter c_decode_misses("engine.decode_misses");
+    if (obs::tracing_enabled() || obs::metrics_enabled()) {
+      const std::size_t before = shared_decoded_cache().size();
+      decoded = shared_decoded_cache().get(kernel, device);
+      if (shared_decoded_cache().size() != before) {
+        c_decode_misses.add();
+        obs::instant(obs::sim_time(), obs::Layer::kEngine, "engine.decode_miss");
+      }
+    } else {
+      decoded = shared_decoded_cache().get(kernel, device);
+    }
   }
 
   const std::size_t n = blocks.size();
@@ -241,6 +253,16 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   result.transfer_seconds = result.h2d_seconds + result.d2h_seconds;
   result.overhead_seconds = device.kernel_launch_overhead_us * 1e-6;
   result.transfers_overlapped = options.overlap_transfers;
+
+  static obs::Counter c_launches("engine.launches");
+  static obs::Counter c_blocks("engine.blocks_executed");
+  static obs::Histogram h_kernel_seconds("engine.kernel_seconds");
+  c_launches.add();
+  c_blocks.add(result.blocks_executed);
+  h_kernel_seconds.observe(result.kernel_seconds);
+  obs::instant(obs::sim_time(), obs::Layer::kEngine, "engine.launch", -1, 0,
+               static_cast<double>(result.blocks_executed),
+               result.kernel_seconds);
   return result;
 }
 

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON produced by `wsim ... --trace-out`.
+
+Checks the invariants the obs exporter guarantees:
+  * the file is well-formed JSON (a trace-event array);
+  * every event carries ph/pid/tid, and non-metadata events carry ts;
+  * per (pid, tid) track, timestamps are non-decreasing in file order;
+  * B/E span events balance as a stack per track (strict nesting);
+  * every track named by --require-track exists (via thread_name metadata).
+
+Exit status 0 when all checks pass, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="trace-event JSON file")
+    parser.add_argument(
+        "--require-track",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless a track with this thread_name exists (repeatable)",
+    )
+    parser.add_argument(
+        "--min-events",
+        type=int,
+        default=1,
+        help="minimum number of non-metadata events (default 1)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            events = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {args.trace}: {e}")
+    if not isinstance(events, list):
+        return fail("top-level JSON value must be a trace-event array")
+
+    track_names = {}  # (pid, tid) -> thread_name
+    last_ts = {}  # (pid, tid) -> last seen ts
+    span_stack = {}  # (pid, tid) -> [open span names]
+    counted = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            return fail(f"event {i} is not an object")
+        for key in ("ph", "pid", "tid"):
+            if key not in event:
+                return fail(f"event {i} is missing '{key}': {event}")
+        ph = event["ph"]
+        track = (event["pid"], event["tid"])
+        if ph == "M":
+            if event.get("name") == "thread_name":
+                track_names[track] = event["args"]["name"]
+            continue
+        counted += 1
+        if "ts" not in event:
+            return fail(f"event {i} ({ph}) is missing 'ts'")
+        ts = event["ts"]
+        if not isinstance(ts, (int, float)):
+            return fail(f"event {i} has a non-numeric ts: {ts!r}")
+        if track in last_ts and ts < last_ts[track]:
+            return fail(
+                f"event {i}: ts {ts} goes backwards on track {track} "
+                f"(previous {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        if ph == "B":
+            span_stack.setdefault(track, []).append(event.get("name", ""))
+        elif ph == "E":
+            stack = span_stack.get(track, [])
+            if not stack:
+                return fail(f"event {i}: span end with no open span on {track}")
+            opened = stack.pop()
+            name = event.get("name", "")
+            if name and opened and name != opened:
+                return fail(
+                    f"event {i}: span end '{name}' does not match open "
+                    f"span '{opened}' on {track} — spans must nest"
+                )
+        elif ph not in ("i", "I", "C"):
+            return fail(f"event {i}: unexpected phase '{ph}'")
+
+    for track, stack in span_stack.items():
+        if stack:
+            return fail(f"track {track} ends with unclosed spans: {stack}")
+    if counted < args.min_events:
+        return fail(f"only {counted} events (< --min-events {args.min_events})")
+
+    names = set(track_names.values())
+    for required in args.require_track:
+        if required not in names:
+            return fail(
+                f"required track '{required}' not found "
+                f"(tracks: {sorted(names)})"
+            )
+
+    print(
+        f"check_trace: OK: {counted} events on {len(last_ts)} tracks "
+        f"({', '.join(sorted(names))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,6 +39,9 @@
 
 #include "wsim/cli/commands.hpp"
 #include "wsim/cluster/cluster.hpp"
+#include "wsim/obs/chrome_trace.hpp"
+#include "wsim/obs/metrics.hpp"
+#include "wsim/obs/obs.hpp"
 #include "wsim/fleet/fleet.hpp"
 #include "wsim/guard/guard.hpp"
 #include "wsim/kernels/nw_kernels.hpp"
@@ -410,6 +413,42 @@ void apply_service_args(const Args& args, const ReplaySetup& setup,
   cfg.collect_outputs = args.options.count("outputs") != 0;
 }
 
+/// Arms the obs subsystem for this run when --trace-out / --metrics-out
+/// is present: full tracing when a Chrome trace was requested, metrics
+/// only when just the flat dump was. Without either flag the default
+/// kOff level keeps every instrumentation site a no-op.
+void configure_obs(const Args& args) {
+  const bool want_trace = !args.get("trace-out", "").empty();
+  const bool want_metrics = !args.get("metrics-out", "").empty();
+  if (want_trace) {
+    wsim::obs::set_level(wsim::obs::Level::kTrace);
+  } else if (want_metrics) {
+    wsim::obs::set_level(wsim::obs::Level::kMetrics);
+  }
+}
+
+/// Writes the Chrome trace and/or metrics dump the run recorded.
+void write_obs_outputs(const Args& args) {
+  const std::string trace_path = args.get("trace-out", "");
+  if (!trace_path.empty()) {
+    std::ofstream os(trace_path);
+    wsim::util::require(static_cast<bool>(os),
+                        "cannot open trace file " + trace_path);
+    wsim::obs::write_chrome_trace(os);
+    std::cout << "trace (" << wsim::obs::collect().size()
+              << " events) written to " << trace_path
+              << " — load in chrome://tracing or Perfetto\n";
+  }
+  const std::string metrics_path = args.get("metrics-out", "");
+  if (!metrics_path.empty()) {
+    std::ofstream os(metrics_path);
+    wsim::util::require(static_cast<bool>(os),
+                        "cannot open metrics file " + metrics_path);
+    wsim::obs::write_metrics_json(os);
+    std::cout << "metrics written to " << metrics_path << "\n";
+  }
+}
+
 struct ReplayOutcome {
   std::size_t rejected = 0;
   double end = 0.0;  ///< simulated time after drain
@@ -533,6 +572,7 @@ void maybe_write_stats_json(const Args& args,
 
 int cmd_serve_sim(const Args& args) {
   namespace serve = wsim::serve;
+  configure_obs(args);
   const auto ds = dataset_from(args, /*default_regions=*/8);
   const ReplaySetup setup = replay_setup_from(args);
 
@@ -560,6 +600,7 @@ int cmd_serve_sim(const Args& args) {
             << "\n";
   print_service_stats(stats, outcome, setup.deadline_us);
   maybe_write_stats_json(args, stats);
+  write_obs_outputs(args);
   return 0;
 }
 
@@ -596,6 +637,7 @@ std::vector<wsim::fleet::WorkerConfig> workers_from(const Args& args,
 int cmd_fleet_sim(const Args& args) {
   namespace fleet = wsim::fleet;
   namespace serve = wsim::serve;
+  configure_obs(args);
   const auto ds = dataset_from(args, /*default_regions=*/8);
   const ReplaySetup setup = replay_setup_from(args);
 
@@ -661,12 +703,13 @@ int cmd_fleet_sim(const Args& args) {
             << ", busy skew " << format_fixed(fleet_stats.busy_skew(), 3)
             << "\n";
   maybe_write_stats_json(args, stats, fleet_stats);
+  write_obs_outputs(args);
   return 0;
 }
 
 /// Builds the trace cluster-sim replays: loaded from --trace when given,
 /// otherwise generated from --shape/--duration/--rate/--tenants/--seed
-/// (the total rate splits evenly across tenants). --trace-out saves the
+/// (the total rate splits evenly across tenants). --save-trace saves the
 /// trace either way, so a generated run can be replayed bit-identically.
 wsim::workload::Trace cluster_trace_from(const Args& args) {
   namespace workload = wsim::workload;
@@ -692,7 +735,7 @@ wsim::workload::Trace cluster_trace_from(const Args& args) {
     }
     trace = workload::generate_trace(cfg);
   }
-  const std::string trace_out = args.get("trace-out", "");
+  const std::string trace_out = args.get("save-trace", "");
   if (!trace_out.empty()) {
     workload::save_trace(trace_out, trace);
     std::cout << "trace written to " << trace_out << " (" << trace.events.size()
@@ -705,6 +748,7 @@ int cmd_cluster_sim(const Args& args) {
   namespace cluster = wsim::cluster;
   namespace fleet = wsim::fleet;
   namespace serve = wsim::serve;
+  configure_obs(args);
   const auto ds = dataset_from(args, /*default_regions=*/4);
   const wsim::workload::Trace trace = cluster_trace_from(args);
 
@@ -820,6 +864,7 @@ int cmd_cluster_sim(const Args& args) {
     os << '\n';
     std::cout << "report written to " << path << "\n";
   }
+  write_obs_outputs(args);
   return 0;
 }
 
@@ -838,6 +883,7 @@ struct GuardCell {
 int cmd_guard_sim(const Args& args) {
   namespace fleet = wsim::fleet;
   namespace guard = wsim::guard;
+  configure_obs(args);
   const auto ds = dataset_from(args, /*default_regions=*/2);
   const auto batch_size = static_cast<std::size_t>(args.get_int("batch", 64));
   const auto sw_batches = wsim::workload::sw_rebatch(ds, batch_size);
@@ -987,6 +1033,7 @@ int cmd_guard_sim(const Args& args) {
     os << "\n  ],\n  \"escaped_total\": " << escaped_total << "\n}\n";
     std::cout << "sweep written to " << path << "\n";
   }
+  write_obs_outputs(args);
   return 0;
 }
 
