@@ -16,6 +16,16 @@ const std::vector<CommandInfo>& commands() {
        "  nw       QUERY TARGET        Needleman-Wunsch global score\n"},
       {"pairhmm",
        "  pairhmm  READ HAP [--qual N] PairHMM log10 likelihood\n"},
+      {"sw-run",
+       "  sw-run   [--kernel shared|shuffle|wf-shared|wf-shuffle|wf-naive]\n"
+       "           [--profile short-read|long-read|contig] [--tasks N]\n"
+       "           [--verify ''] [--device D] [--seed S]\n"
+       "           run one SW batch through a named kernel subsystem: plain\n"
+       "           names pick the task-per-block (inter-task) designs, wf-*\n"
+       "           the intra-task wavefront tiles (one warp per 256x32 tile,\n"
+       "           one launch per tile wave; wf-naive is the host-synchronized\n"
+       "           kernel-per-diagonal anti-pattern, kept to be measured);\n"
+       "           --verify re-scores every CIGAR against the scoring scheme\n"},
       {"workload",
        "  workload [--regions N] [--in F] [--out F]  dataset stats / convert\n"},
       {"sweep",
@@ -31,12 +41,17 @@ const std::vector<CommandInfo>& commands() {
        "           per simulated second) through the async alignment service\n"},
       {"fleet-sim",
        "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
+       "            [--parallelism auto|inter|intra] [--kernel NAME]\n"
+       "            [--profile short-read|long-read|contig]\n"
        "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
        "            [--fault-seed S] [--json F] [--trace-out F]\n"
        "            [--metrics-out F] [+ serve-sim options]\n"
        "           the serve-sim replay over a heterogeneous multi-device fleet\n"
        "           with model-guided placement, fault injection, and retry;\n"
-       "           prints per-device utilization and dispatch accounting\n"},
+       "           prints per-device utilization and dispatch accounting.\n"
+       "           --parallelism auto lets the Eq. 7/8 regime model route each\n"
+       "           SW batch inter- vs intra-task per device; --kernel pins one\n"
+       "           subsystem fleet-wide (wf-* names force the wavefront path)\n"},
       {"cluster-sim",
        "  cluster-sim [--trace F | --shape steady|diurnal|bursty] [--save-trace F]\n"
        "            [--duration S] [--rate R] [--tenants N] [--slo MS]\n"

@@ -111,14 +111,39 @@ DeviceId FleetExecutor::add_worker(const WorkerConfig& wc, SimTime now,
   const VariantChoice choice = pick_variants(wc.device);
   const kernels::CommMode sw = wc.sw_design.value_or(choice.sw_design);
   const kernels::PhDesign ph = wc.ph_design.value_or(choice.ph_design);
+  // The per-device regime model, honouring pinned designs so predicted
+  // seconds describe the kernels this worker will actually run.
+  IntraTaskModel intra = build_intra_task_model(wc.device);
+  if (wc.sw_design.has_value() && intra.sw_design != sw) {
+    intra.sw_design = sw;
+    intra.sw_latency = sw_iteration_latency(wc.device, sw);
+    const simt::Kernel sw_kernel = kernels::build_sw_kernel(sw, {});
+    intra.sw_occupancy = simt::compute_occupancy(wc.device, sw_kernel);
+    intra.sw_threads_per_block = sw_kernel.threads_per_block;
+  }
+  const kernels::WfVariant wf = wc.wf_variant.value_or(intra.wf_variant);
+  if (intra.wf_variant != wf) {
+    intra.wf_variant = wf;
+    intra.wf_latency = wf_iteration_latency(wc.device, wf);
+    const simt::Kernel wf_kernel =
+        wf == kernels::WfVariant::kHostSyncNaive
+            ? kernels::build_wf_naive_sw_kernel({})
+            : kernels::build_wf_sw_kernel(wf, {});
+    intra.wf_occupancy = simt::compute_occupancy(wc.device, wf_kernel);
+    intra.wf_threads_per_block = wf_kernel.threads_per_block;
+  }
   const DeviceId id = static_cast<DeviceId>(workers_.size());
   DeviceWorker worker{wc,
                       sw,
                       ph,
+                      wf,
                       predicted_sw_gcups(wc.device, sw),
                       predicted_ph_gcups(wc.device, ph),
+                      predicted_wf_gcups(wc.device, wf),
+                      intra,
                       kernels::SwRunner(sw),
                       kernels::PhRunner(ph),
+                      kernels::WavefrontSwRunner(wf),
                       now,
                       active_at,
                       /*draining=*/false,
@@ -135,6 +160,7 @@ DeviceId FleetExecutor::add_worker(const WorkerConfig& wc, SimTime now,
   worker.stats.name = wc.device.name;
   worker.stats.sw_design = sw;
   worker.stats.ph_design = ph;
+  worker.stats.wf_variant = wf;
   worker.stats.id = id;
   worker.stats.joined_at = now;
   workers_.push_back(std::move(worker));
@@ -219,6 +245,11 @@ kernels::CommMode FleetExecutor::sw_design(std::size_t index) const {
 kernels::PhDesign FleetExecutor::ph_design(std::size_t index) const {
   util::require(index < workers_.size(), "FleetExecutor: device index out of range");
   return workers_[index].ph_design;
+}
+
+kernels::WfVariant FleetExecutor::wf_variant(std::size_t index) const {
+  util::require(index < workers_.size(), "FleetExecutor: device index out of range");
+  return workers_[index].wf_variant;
 }
 
 SimTime FleetExecutor::all_free_at() const noexcept {
@@ -631,28 +662,80 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
                                       SimTime now, const ExecOptions& options) {
   util::require(!batch.empty(), "FleetExecutor::execute_sw: empty batch");
   const std::size_t cells = workload::batch_cells(batch);
+  // The 2-D regime decision works on the batch's mean task shape — batches
+  // formed by length grouping are near-uniform, and region batches mix
+  // lengths narrowly enough for the mean to be representative.
+  std::size_t sum_m = 0;
+  std::size_t sum_n = 0;
+  for (const workload::SwTask& task : batch) {
+    sum_m += task.query.size();
+    sum_n += task.target.size();
+  }
+  const std::size_t mean_m = std::max<std::size_t>(1, sum_m / batch.size());
+  const std::size_t mean_n = std::max<std::size_t>(1, sum_n / batch.size());
+  const auto routes_intra = [&](const DeviceWorker& worker) {
+    switch (config_.parallelism) {
+      case ParallelismPolicy::kInterTask:
+        return false;
+      case ParallelismPolicy::kIntraTask:
+        return true;
+      case ParallelismPolicy::kAuto:
+        return pick_parallelism(worker.cfg.device, worker.intra, mean_m,
+                                mean_n, batch.size()) ==
+               ParallelMode::kIntraTask;
+    }
+    return false;
+  };
+  // Shared by the guarded path and the timing-only fallback below. Both
+  // subsystems produce bit-identical outputs, so routing is invisible to
+  // the guard's validation and fingerprinting.
+  const auto run_sw_on = [&](DeviceWorker& worker, bool collect,
+                             kernels::SwBatchResult& result) {
+    if (routes_intra(worker)) {
+      kernels::WfRunOptions opt;
+      opt.engine = engine_;
+      opt.overlap_transfers = options.overlap_transfers;
+      opt.max_block_cycles = effective_budget(worker);
+      if (collect) {
+        opt.collect_outputs = true;
+        if (config_.guard.sdc.enabled()) {
+          opt.sdc = config_.guard.sdc;
+          opt.sdc_launch_id = sdc_launch_seq_++;
+        }
+      } else {
+        opt.mode = simt::ExecMode::kCachedByShape;
+        opt.use_engine_cache = true;
+      }
+      kernels::WfSwBatchResult wf =
+          worker.wf_runner.run_batch(worker.cfg.device, batch, opt);
+      result.run = std::move(wf.run);
+      result.outputs = std::move(wf.outputs);
+      ++worker.stats.intra_batches;
+      return result.run.launch.total_seconds();
+    }
+    kernels::SwRunOptions opt;
+    opt.engine = engine_;
+    opt.overlap_transfers = options.overlap_transfers;
+    opt.max_block_cycles = effective_budget(worker);
+    if (collect) {
+      opt.collect_outputs = true;
+      if (config_.guard.sdc.enabled()) {
+        opt.sdc = config_.guard.sdc;
+        opt.sdc_launch_id = sdc_launch_seq_++;
+      }
+    } else {
+      opt.mode = simt::ExecMode::kCachedByShape;
+      opt.use_engine_cache = true;
+    }
+    result = worker.sw_runner.run_batch(worker.cfg.device, batch, opt);
+    return result.run.launch.total_seconds();
+  };
   const auto run_once = [&](SimTime when, int force, int excluded) {
     SwExecution out;
     out.exec =
         dispatch(batch.size(), cells, /*is_sw=*/true, when, force, excluded,
                  [&](DeviceWorker& worker) {
-                   kernels::SwRunOptions opt;
-                   opt.engine = engine_;
-                   opt.overlap_transfers = options.overlap_transfers;
-                   opt.max_block_cycles = effective_budget(worker);
-                   if (options.collect_outputs) {
-                     opt.collect_outputs = true;
-                     if (config_.guard.sdc.enabled()) {
-                       opt.sdc = config_.guard.sdc;
-                       opt.sdc_launch_id = sdc_launch_seq_++;
-                     }
-                   } else {
-                     opt.mode = simt::ExecMode::kCachedByShape;
-                     opt.use_engine_cache = true;
-                   }
-                   out.result =
-                       worker.sw_runner.run_batch(worker.cfg.device, batch, opt);
-                   return out.result.run.launch.total_seconds();
+                   return run_sw_on(worker, options.collect_outputs, out.result);
                  });
     return out;
   };
@@ -682,14 +765,8 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
     SwExecution out;
     out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now, -1, -1,
                         [&](DeviceWorker& worker) {
-                          kernels::SwRunOptions opt;
-                          opt.engine = engine_;
-                          opt.overlap_transfers = options.overlap_transfers;
-                          opt.mode = simt::ExecMode::kCachedByShape;
-                          opt.use_engine_cache = true;
-                          out.result = worker.sw_runner.run_batch(
-                              worker.cfg.device, batch, opt);
-                          return out.result.run.launch.total_seconds();
+                          return run_sw_on(worker, /*collect=*/false,
+                                           out.result);
                         });
     out.result.outputs = guard::cpu_sw(batch, params);
     out.exec.cpu_fallback = true;

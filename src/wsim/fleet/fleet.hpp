@@ -83,6 +83,10 @@ struct WorkerConfig {
   simt::DeviceSpec device;
   std::optional<kernels::CommMode> sw_design;
   std::optional<kernels::PhDesign> ph_design;
+  /// Pinned wavefront (intra-task) variant; by default the model picks the
+  /// faster of wf-shuffle / wf-shared for this device. Only consulted when
+  /// a batch is routed intra-task.
+  std::optional<kernels::WfVariant> wf_variant;
   /// Bound on batches waiting behind the executing one. A device whose
   /// queue is full is skipped by placement while any other device has
   /// room; when every queue is full the dispatch stalls until the
@@ -98,6 +102,11 @@ struct WorkerConfig {
 struct FleetConfig {
   std::vector<WorkerConfig> workers;
   PlacementPolicy policy = PlacementPolicy::kModelGuided;
+  /// Inter- vs intra-task routing of SW batches: kAuto asks
+  /// pick_parallelism per (mean length, batch size, device) — the 2-D
+  /// regime decision — while kInterTask / kIntraTask pin the subsystem.
+  /// PairHMM batches always run inter-task (reads are < 128 bp).
+  ParallelismPolicy parallelism = ParallelismPolicy::kAuto;
   FaultPlan faults;
   RetryPolicy retry;
   /// SDC injection, detection mode, watchdog budget, and escalation knobs
@@ -127,7 +136,9 @@ struct DeviceStats {
   std::string name;
   kernels::CommMode sw_design = kernels::CommMode::kShuffle;
   kernels::PhDesign ph_design = kernels::PhDesign::kShuffle;
+  kernels::WfVariant wf_variant = kernels::WfVariant::kShuffle;
   std::size_t batches = 0;
+  std::size_t intra_batches = 0;  ///< SW batches routed to the wavefront path
   std::size_t tasks = 0;
   std::size_t cells = 0;
   double busy_seconds = 0.0;
@@ -226,6 +237,7 @@ class FleetExecutor {
   const simt::DeviceSpec& device(std::size_t index) const;
   kernels::CommMode sw_design(std::size_t index) const;
   kernels::PhDesign ph_design(std::size_t index) const;
+  kernels::WfVariant wf_variant(std::size_t index) const;
 
   /// Adds a worker to the running fleet at simulated time `now`. The
   /// worker is kJoining until now + join_warmup_seconds, then kActive.
@@ -271,10 +283,16 @@ class FleetExecutor {
     WorkerConfig cfg;
     kernels::CommMode sw_design;
     kernels::PhDesign ph_design;
+    kernels::WfVariant wf_variant;
     double sw_gcups = 0.0;  ///< model prediction for the chosen SW design
     double ph_gcups = 0.0;  ///< model prediction for the chosen PH design
+    double wf_gcups = 0.0;  ///< model prediction for the chosen wavefront variant
+    /// Per-device regime model: occupancies and latencies of both SW
+    /// subsystems, precomputed once so pick_parallelism per batch is cheap.
+    IntraTaskModel intra;
     kernels::SwRunner sw_runner;
     kernels::PhRunner ph_runner;
+    kernels::WavefrontSwRunner wf_runner;
     SimTime joined_at = 0.0;
     SimTime active_at = 0.0;  ///< warmup end; placeable from here
     bool draining = false;

@@ -1,5 +1,8 @@
 #include "wsim/fleet/router.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "wsim/kernels/sw_kernels.hpp"
 #include "wsim/model/perf_model.hpp"
 #include "wsim/simt/occupancy.hpp"
@@ -100,6 +103,185 @@ double predicted_batch_seconds(const simt::DeviceSpec& device, double gcups,
   const double fixed =
       (device.kernel_launch_overhead_us + 2.0 * device.pcie_latency_us) * 1e-6;
   return static_cast<double>(cells) / (gcups * 1e9) + fixed;
+}
+
+// ---------------------------------------------------------------------------
+// Intra- vs inter-task regime model
+// ---------------------------------------------------------------------------
+
+std::string_view to_string(ParallelismPolicy policy) noexcept {
+  switch (policy) {
+    case ParallelismPolicy::kAuto:
+      return "auto";
+    case ParallelismPolicy::kInterTask:
+      return "inter";
+    case ParallelismPolicy::kIntraTask:
+      return "intra";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& parallelism_policy_names() {
+  static const std::vector<std::string> names = {"auto", "inter", "intra"};
+  return names;
+}
+
+ParallelismPolicy parallelism_policy_by_name(std::string_view name) {
+  if (name == "auto") {
+    return ParallelismPolicy::kAuto;
+  }
+  if (name == "inter") {
+    return ParallelismPolicy::kInterTask;
+  }
+  if (name == "intra") {
+    return ParallelismPolicy::kIntraTask;
+  }
+  std::string valid;
+  for (const std::string& n : parallelism_policy_names()) {
+    if (!valid.empty()) {
+      valid += ", ";
+    }
+    valid += n;
+  }
+  throw util::CheckError("unknown parallelism policy '" + std::string(name) +
+                         "' (valid policies: " + valid + ")");
+}
+
+std::string_view to_string(ParallelMode mode) noexcept {
+  return mode == ParallelMode::kIntraTask ? "intra" : "inter";
+}
+
+double wf_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::WfVariant variant) {
+  const auto& lat = device.lat;
+  switch (variant) {
+    case kernels::WfVariant::kShuffle:
+      // Four shfl_up hops per step (H left, H diagonal, E, gap-run length)
+      // plus the register rotation — twice the boundary traffic of the
+      // task-per-block SW2 design, because a tile imports the full left
+      // *and* diagonal state instead of keeping it lane-local.
+      return 4.0 * lat.shfl_up + 4.0 * lat.reg_access;
+    case kernels::WfVariant::kSharedMemory:
+      // Four line-buffer loads, three stores, and the per-step barrier.
+      return 4.0 * lat.smem_load + 3.0 * lat.smem_store + lat.sync_barrier;
+    case kernels::WfVariant::kHostSyncNaive:
+      // Every H/E/F neighbour read and every state write round-trips
+      // global memory (best case: warm 128 B segments). The per-diagonal
+      // relaunch cost is charged separately, per launch, by
+      // predicted_intra_batch_seconds — this is only the in-kernel path.
+      return 7.0 * lat.gmem_load_cached + 6.0 * lat.gmem_store;
+  }
+  throw util::CheckError("wf_iteration_latency: unknown WfVariant");
+}
+
+double predicted_wf_gcups(const simt::DeviceSpec& device,
+                          kernels::WfVariant variant) {
+  const simt::Kernel kernel =
+      variant == kernels::WfVariant::kHostSyncNaive
+          ? kernels::build_wf_naive_sw_kernel({})
+          : kernels::build_wf_sw_kernel(variant, {});
+  const simt::Occupancy occupancy = simt::compute_occupancy(device, kernel);
+  return model::predict_gcups(device, occupancy,
+                              wf_iteration_latency(device, variant));
+}
+
+IntraTaskModel build_intra_task_model(const simt::DeviceSpec& device,
+                                      int tile_rows) {
+  util::require(tile_rows >= 1, "build_intra_task_model: tile_rows must be >= 1");
+  IntraTaskModel model;
+  model.tile_rows = tile_rows;
+
+  const VariantChoice inter = pick_variants(device);
+  model.sw_design = inter.sw_design;
+  model.sw_latency = sw_iteration_latency(device, inter.sw_design);
+  const simt::Kernel sw_kernel = kernels::build_sw_kernel(inter.sw_design, {});
+  model.sw_occupancy = simt::compute_occupancy(device, sw_kernel);
+  model.sw_threads_per_block = sw_kernel.threads_per_block;
+
+  // The naive variant is never a candidate: it exists to be beaten.
+  const double wf_shuffle =
+      predicted_wf_gcups(device, kernels::WfVariant::kShuffle);
+  const double wf_shared =
+      predicted_wf_gcups(device, kernels::WfVariant::kSharedMemory);
+  model.wf_variant = wf_shuffle >= wf_shared ? kernels::WfVariant::kShuffle
+                                             : kernels::WfVariant::kSharedMemory;
+  model.wf_latency = wf_iteration_latency(device, model.wf_variant);
+  const simt::Kernel wf_kernel =
+      kernels::build_wf_sw_kernel(model.wf_variant, {});
+  model.wf_occupancy = simt::compute_occupancy(device, wf_kernel);
+  model.wf_threads_per_block = wf_kernel.threads_per_block;
+  return model;
+}
+
+namespace {
+
+double fixed_overhead_seconds(const simt::DeviceSpec& device,
+                              std::size_t launches) {
+  return (static_cast<double>(launches) * device.kernel_launch_overhead_us +
+          2.0 * device.pcie_latency_us) *
+         1e-6;
+}
+
+}  // namespace
+
+double predicted_inter_batch_seconds(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t batch) {
+  util::require(m >= 1 && n >= 1 && batch >= 1,
+                "predicted_inter_batch_seconds: need m, n, batch >= 1");
+  // Eq. 8 occupancy bound clamped by what the batch actually launches: one
+  // block per task, so a 4-task batch of long reads exposes 128 threads no
+  // matter how many SMs the device has.
+  const auto parallelism =
+      static_cast<double>(model::effective_parallelism(
+          device, model.sw_occupancy, batch, model.sw_threads_per_block));
+  const double cups =
+      parallelism * device.clock_ghz * 1e9 / model.sw_latency;
+  const double cells =
+      static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(batch);
+  return cells / cups + fixed_overhead_seconds(device, 1);
+}
+
+double predicted_intra_batch_seconds(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t batch) {
+  util::require(m >= 1 && n >= 1 && batch >= 1,
+                "predicted_intra_batch_seconds: need m, n, batch >= 1");
+  const kernels::WfGeometry geom = kernels::wf_geometry(m, n, model.tile_rows);
+  // Wave-level block parallelism: every task contributes its independent
+  // tiles of the current wave, 32 lanes each.
+  const double wave_threads = static_cast<double>(batch) *
+                              geom.avg_wave_tiles() * 32.0;
+  const double occupancy_bound =
+      static_cast<double>(model.wf_occupancy.parallelism(device));
+  const double parallelism = std::min(occupancy_bound, wave_threads);
+  // Pipeline fill/drain derating: a tile of `rows` rows runs rows + 31
+  // steps, so only rows / (rows + 31) of lane-steps update cells.
+  const double rows = static_cast<double>(
+      std::min<std::size_t>(static_cast<std::size_t>(model.tile_rows), m));
+  const double pipeline_eff = rows / (rows + 31.0);
+  const double cups =
+      parallelism * pipeline_eff * device.clock_ghz * 1e9 / model.wf_latency;
+  const double cells =
+      static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(batch);
+  // One launch per wave: the host-side cost that keeps intra-task out of
+  // the short-read regime even where its parallelism looks competitive.
+  return cells / cups + fixed_overhead_seconds(device, geom.waves);
+}
+
+ParallelMode pick_parallelism(const simt::DeviceSpec& device,
+                              const IntraTaskModel& model, std::size_t m,
+                              std::size_t n, std::size_t batch) {
+  const double inter = predicted_inter_batch_seconds(device, model, m, n, batch);
+  const double intra = predicted_intra_batch_seconds(device, model, m, n, batch);
+  return intra < inter ? ParallelMode::kIntraTask : ParallelMode::kInterTask;
+}
+
+ParallelMode pick_parallelism(const simt::DeviceSpec& device, std::size_t m,
+                              std::size_t n, std::size_t batch) {
+  return pick_parallelism(device, build_intra_task_model(device), m, n, batch);
 }
 
 }  // namespace wsim::fleet

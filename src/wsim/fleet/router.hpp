@@ -1,10 +1,15 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "wsim/kernels/common.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/wavefront_kernels.hpp"
 #include "wsim/simt/device.hpp"
+#include "wsim/simt/occupancy.hpp"
 
 namespace wsim::fleet {
 
@@ -48,5 +53,94 @@ VariantChoice pick_variants(const simt::DeviceSpec& device);
 /// times; the reported timings always come from the simulator itself.
 double predicted_batch_seconds(const simt::DeviceSpec& device, double gcups,
                                std::size_t cells);
+
+// ---------------------------------------------------------------------------
+// Intra- vs inter-task regime model (the 2-D router)
+// ---------------------------------------------------------------------------
+
+/// How the fleet parallelizes SW batches: task-per-block (inter-task), the
+/// wavefront tile subsystem (intra-task), or the model's per-batch choice.
+enum class ParallelismPolicy {
+  kAuto,       ///< pick_parallelism decides per (length, batch, device)
+  kInterTask,  ///< always task-per-block
+  kIntraTask,  ///< always wavefront tiles
+};
+
+std::string_view to_string(ParallelismPolicy policy) noexcept;
+
+/// {"auto", "inter", "intra"}.
+const std::vector<std::string>& parallelism_policy_names();
+
+/// Lookup by CLI name; throws util::CheckError listing the valid names.
+ParallelismPolicy parallelism_policy_by_name(std::string_view name);
+
+/// The concrete decision pick_parallelism makes for one batch.
+enum class ParallelMode { kInterTask, kIntraTask };
+
+std::string_view to_string(ParallelMode mode) noexcept;
+
+/// Critical-path latency (cycles) of one wavefront anti-diagonal step, read
+/// off the device latency table the same way sw_iteration_latency reads the
+/// task-per-block designs: the shuffle tile moves four lane-boundary values
+/// (H left, H diagonal, E, gap-run length) per step plus register traffic;
+/// the shared-memory tile replaces them with line-buffer loads/stores and a
+/// barrier; the naive host-sync loop touches every operand in global memory.
+double wf_iteration_latency(const simt::DeviceSpec& device,
+                            kernels::WfVariant variant);
+
+/// Eq. 7/8 prediction for one wavefront variant: occupancy from the compiled
+/// tile (or per-diagonal) kernel's footprint, latency from the table above.
+double predicted_wf_gcups(const simt::DeviceSpec& device,
+                          kernels::WfVariant variant);
+
+/// Per-device precomputation for the regime decision: the winning design of
+/// each subsystem with its occupancy and critical-path latency. Building one
+/// compiles four kernels, so the fleet caches it per worker.
+struct IntraTaskModel {
+  kernels::CommMode sw_design = kernels::CommMode::kShuffle;
+  kernels::WfVariant wf_variant = kernels::WfVariant::kShuffle;
+  int tile_rows = kernels::kWfTileRows;
+  double sw_latency = 0.0;  ///< cycles per anti-diagonal, task-per-block
+  double wf_latency = 0.0;  ///< cycles per anti-diagonal, wavefront tile
+  simt::Occupancy sw_occupancy;
+  simt::Occupancy wf_occupancy;
+  int sw_threads_per_block = 32;
+  int wf_threads_per_block = 32;
+};
+
+IntraTaskModel build_intra_task_model(const simt::DeviceSpec& device,
+                                      int tile_rows = kernels::kWfTileRows);
+
+/// Predicted seconds for a batch of `batch` M x N tasks under each regime.
+///
+/// Inter-task: parallelism is the Eq. 8 occupancy bound clamped by the
+/// launched threads (batch blocks x 32 threads) — a batch of four long reads
+/// can only ever update 128 cells per cycle no matter the device.
+///
+/// Intra-task: parallelism is the occupancy bound clamped by
+/// batch x avg_wave_tiles x 32 (tiles independent within a wave), derated by
+/// the tile pipeline fill/drain factor rows / (rows + 31), and the fixed
+/// overhead is paid once per *wave* launch rather than once per batch.
+double predicted_inter_batch_seconds(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t batch);
+double predicted_intra_batch_seconds(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t batch);
+
+/// The 2-D regime decision (paper Eq. 7/8 applied to both decompositions):
+/// short-read / large-batch points keep task-per-block, long-read /
+/// small-batch points flip to the wavefront subsystem. Ties keep inter-task
+/// (the battle-tested path).
+ParallelMode pick_parallelism(const simt::DeviceSpec& device,
+                              const IntraTaskModel& model, std::size_t m,
+                              std::size_t n, std::size_t batch);
+
+/// Convenience overload that builds the model on the spot (compiles kernels
+/// — prefer the cached-model overload in hot paths).
+ParallelMode pick_parallelism(const simt::DeviceSpec& device, std::size_t m,
+                              std::size_t n, std::size_t batch);
 
 }  // namespace wsim::fleet

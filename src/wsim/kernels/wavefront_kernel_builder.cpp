@@ -1,0 +1,661 @@
+#include <string>
+
+#include "wsim/kernels/wavefront_kernels.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/util/check.hpp"
+
+namespace wsim::kernels {
+
+using simt::Cmp;
+using simt::DType;
+using simt::imm_i64;
+using simt::KernelBuilder;
+using simt::MemWidth;
+using simt::Op;
+using simt::SReg;
+using simt::VReg;
+
+namespace {
+
+constexpr std::int64_t kStop = align::kBtrackStop;
+
+/// gap_cost(len) = 0 when len <= 0 else open + (len - 1) * extend — the
+/// global-alignment boundary of the NW reference.
+VReg emit_gap_cost(KernelBuilder& kb, simt::Operand len, const align::SwParams& p) {
+  const VReg cost = kb.iadd(imm_i64(p.gap_open),
+                            kb.imul(kb.isub(len, imm_i64(1)), imm_i64(p.gap_extend)));
+  const VReg zero = kb.setp(Cmp::kLe, DType::kI64, len, imm_i64(0));
+  return kb.selp(zero, imm_i64(0), cost);
+}
+
+/// Substitution score s(query[r], target[c]) with the reference's 'N'
+/// handling (any 'N' scores as a mismatch).
+VReg emit_sub_score(KernelBuilder& kb, VReg qchar, VReg tchar,
+                    const align::SwParams& params) {
+  const VReg q_is_n = kb.setp(Cmp::kEq, DType::kI64, qchar, imm_i64('N'));
+  const VReg t_is_n = kb.setp(Cmp::kEq, DType::kI64, tchar, imm_i64('N'));
+  const VReg no_n =
+      kb.setp(Cmp::kEq, DType::kI64, kb.ior(q_is_n, t_is_n), imm_i64(0));
+  const VReg chars_eq = kb.setp(Cmp::kEq, DType::kI64, qchar, tchar);
+  return kb.selp(kb.iand(chars_eq, no_n), imm_i64(params.match),
+                 imm_i64(params.mismatch));
+}
+
+}  // namespace
+
+std::string_view to_string(WfVariant variant) noexcept {
+  switch (variant) {
+    case WfVariant::kShuffle:
+      return "wf-shuffle";
+    case WfVariant::kSharedMemory:
+      return "wf-shared";
+    case WfVariant::kHostSyncNaive:
+      return "wf-naive";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Tile kernels (kShuffle / kSharedMemory)
+//
+// One warp per (tile_rows x 32) tile; lane i owns tile column i. At step s
+// lane i computes row s - i of the tile, so the 32 lanes march one cell
+// anti-diagonal of the moving front. This is the transpose of the
+// task-per-block kernels: the target character is loop-invariant per lane
+// (column reuse), the query character streams; the horizontal gap state E
+// crosses lanes while the vertical state F stays lane-local.
+//
+// Inter-lane communication per step (the H/E dependencies of lane i-1):
+//   * kShuffle: shfl_up of the previous-step registers — lane i-1's h_last
+//     is H(r, c-1), its h_prev is H(r-1, c-1), giving left and diagonal in
+//     two shuffles, plus E/len in two more.
+//   * kSharedMemory: rotating line buffers exactly like design A — three H
+//     buffers (left = buf2, diag = buf3) and double-buffered E/len, one
+//     barrier per step.
+//
+// Tile boundaries travel through global memory between waves: the bottom
+// row into a per-task row-boundary buffer (read by the tile below, next
+// wave), the right column into a column-boundary buffer (read by the right
+// neighbour), and the bottom-right H into a 3-slot parity-rotated corner
+// buffer (read by the diagonal neighbour TWO waves later — three slots so
+// the wave in between, which writes the same tile column, never touches
+// the slot still being read).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+simt::Kernel build_wf_tile_kernel(bool is_sw, WfVariant variant,
+                                  const align::SwParams& params) {
+  util::require(variant != WfVariant::kHostSyncNaive,
+                "build_wf_tile_kernel: the naive variant has its own builder");
+  const bool shared = variant == WfVariant::kSharedMemory;
+  const std::string name = std::string(is_sw ? "wf_sw_" : "wf_nw_") +
+                           (shared ? "shared" : "shuffle");
+  KernelBuilder kb(name, kSwBsize);
+
+  // --- scalar launch parameters (one tile per block) ----------------------
+  const SReg p_query = kb.param();      // s0: query chars (u8), M rows
+  const SReg p_target = kb.param();     // s1: target chars (u8), N cols
+  const SReg p_m = kb.param();          // s2: M
+  const SReg p_n = kb.param();          // s3: N
+  const SReg p_out = kb.param();        // s4: SW: btrack (M*N i32); NW: score cell
+  const SReg p_rb_h = kb.param();       // s5: row-boundary H, indexed by column
+  const SReg p_rb_f = kb.param();       // s6: row-boundary F
+  const SReg p_rb_kv = kb.param();      // s7: row-boundary kv (SW) / unused (NW)
+  const SReg p_cb_h = kb.param();       // s8: column-boundary H, indexed by row
+  const SReg p_cb_e = kb.param();       // s9: column-boundary E
+  const SReg p_cb_lh = kb.param();      // s10: column-boundary len-h (SW) / unused
+  const SReg p_corner_rd = kb.param();  // s11: exact address of the corner H
+  const SReg p_corner_wr = kb.param();  // s12: exact address to publish ours
+  const SReg p_lastcol = kb.param();    // s13: H of last column (SW) / unused
+  const SReg p_lastrow = kb.param();    // s14: H of last row (SW) / unused
+  const SReg p_row_base = kb.param();   // s15: first row of this tile
+  const SReg p_col_base = kb.param();   // s16: first column of this tile
+  const SReg p_rows = kb.param();       // s17: rows in this tile
+  const SReg p_steps = kb.param();      // s18: rows + 31 (fill + drain)
+  const SReg p_has_up = kb.param();     // s19: 1 when a tile row sits above
+  const SReg p_has_left = kb.param();   // s20: 1 when a tile column sits left
+
+  // --- shared memory (kSharedMemory only) ---------------------------------
+  int h1_off = 0;
+  int h2_off = 0;
+  int h3_off = 0;
+  int e1_off = 0;
+  int e2_off = 0;
+  int l1_off = 0;
+  int l2_off = 0;
+  if (shared) {
+    h1_off = kb.alloc_smem(kSwBsize * 4);
+    h2_off = kb.alloc_smem(kSwBsize * 4);
+    h3_off = kb.alloc_smem(kSwBsize * 4);
+    e1_off = kb.alloc_smem(kSwBsize * 4);
+    e2_off = kb.alloc_smem(kSwBsize * 4);
+    if (is_sw) {
+      l1_off = kb.alloc_smem(kSwBsize * 4);
+      l2_off = kb.alloc_smem(kSwBsize * 4);
+    }
+  }
+
+  // --- block-invariant values ---------------------------------------------
+  const VReg tid = kb.tid();
+  const VReg own_off = kb.imul(tid, imm_i64(4));
+  const VReg nb_off = kb.imul(kb.isub(tid, imm_i64(1)), imm_i64(4));
+  const VReg is_t0 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(0));
+  const VReg not_t0 = kb.setp(Cmp::kGt, DType::kI64, tid, imm_i64(0));
+  const VReg is_t31 = kb.setp(Cmp::kEq, DType::kI64, tid, imm_i64(kSwBsize - 1));
+  const VReg c = kb.iadd(p_col_base, tid);  // this lane's (global) column
+  const VReg c4 = kb.imul(c, imm_i64(4));
+  const VReg col_valid = kb.setp(Cmp::kLt, DType::kI64, c, p_n);
+  const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, c, imm_i64(0));
+  const VReg has_up = kb.setp(Cmp::kGt, DType::kI64, p_has_up, imm_i64(0));
+  const VReg has_left = kb.setp(Cmp::kGt, DType::kI64, p_has_left, imm_i64(0));
+  const SReg m1 = kb.ssub(p_m, imm_i64(1));
+  const SReg n1 = kb.ssub(p_n, imm_i64(1));
+  const SReg rows1 = kb.ssub(p_rows, imm_i64(1));
+
+  // Target character: loop-invariant per lane (the column-reuse dual of the
+  // task-per-block kernels' per-band query reuse).
+  const VReg tchar = kb.mov(imm_i64(0));
+  kb.begin_pred(col_valid);
+  kb.ldg_to(tchar, kb.iadd(p_target, c), 0, MemWidth::kB1);
+  kb.end_pred();
+
+  // Vertical state enters from the tile above through the row boundary; the
+  // top tile row uses the DP init (SW: 0 / NW: gap_cost of the top row).
+  VReg h_last{};
+  VReg f_last{};
+  if (is_sw) {
+    h_last = kb.mov(imm_i64(0));
+    f_last = kb.mov(imm_i64(kNegInf));
+  } else {
+    h_last = kb.mov(emit_gap_cost(kb, kb.iadd(c, imm_i64(1)), params));
+    f_last = kb.mov(imm_i64(kNegInf));
+  }
+  VReg kv_last{};
+  if (is_sw) {
+    kv_last = kb.mov(imm_i64(0));
+  }
+  const VReg init_p = kb.iand(col_valid, has_up);
+  kb.begin_pred(init_p);
+  kb.ldg_to(h_last, kb.iadd(p_rb_h, c4));
+  kb.ldg_to(f_last, kb.iadd(p_rb_f, c4));
+  if (is_sw) {
+    kb.ldg_to(kv_last, kb.iadd(p_rb_kv, c4));
+  }
+  kb.end_pred();
+
+  // Pipeline registers. h_prev only matters after a lane's first rotation
+  // (the neighbour's first diagonal read sees the *rotated* init h_last),
+  // so its init value is never consumed.
+  VReg h_prev{};
+  if (!shared) {
+    h_prev = kb.mov(imm_i64(0));
+  }
+  VReg e_last{};
+  VReg lh_last{};
+  if (!shared) {
+    e_last = kb.mov(imm_i64(kNegInf));
+    if (is_sw) {
+      lh_last = kb.mov(imm_i64(0));
+    }
+  }
+
+  SReg sh1{};
+  SReg sh2{};
+  SReg sh3{};
+  SReg se1{};
+  SReg se2{};
+  SReg sl1{};
+  SReg sl2{};
+  if (shared) {
+    sh1 = kb.smov(imm_i64(h1_off));
+    sh2 = kb.smov(imm_i64(h2_off));
+    sh3 = kb.smov(imm_i64(h3_off));
+    se1 = kb.smov(imm_i64(e1_off));
+    se2 = kb.smov(imm_i64(e2_off));
+    if (is_sw) {
+      sl1 = kb.smov(imm_i64(l1_off));
+      sl2 = kb.smov(imm_i64(l2_off));
+    }
+    // Seed every H buffer with the boundary init: a lane's first diagonal
+    // read (buf3 of the left neighbour) lands on a slot that neighbour has
+    // not written yet — it must read H(row_base - 1, c - 1), i.e. the init.
+    kb.begin_pred(col_valid);
+    kb.sts(kb.iadd(sh1, own_off), h_last);
+    kb.sts(kb.iadd(sh2, own_off), h_last);
+    kb.sts(kb.iadd(sh3, own_off), h_last);
+    kb.end_pred();
+    kb.bar();
+  }
+
+  const SReg step = kb.smov(imm_i64(0));
+
+  // =========================== anti-diagonal steps =========================
+  kb.loop(p_steps);
+  {
+    const VReg local_r = kb.isub(step, tid);  // this lane's tile row at this step
+    const VReg r = kb.iadd(p_row_base, local_r);
+    const VReg r4 = kb.imul(r, imm_i64(4));
+    const VReg r_ok = kb.iand(kb.setp(Cmp::kGe, DType::kI64, local_r, imm_i64(0)),
+                              kb.setp(Cmp::kLt, DType::kI64, local_r, p_rows));
+    const VReg valid = kb.iand(r_ok, col_valid);
+    const VReg first_r = kb.setp(Cmp::kEq, DType::kI64, local_r, imm_i64(0));
+
+    const VReg qchar = kb.mov(imm_i64(0));
+    kb.begin_pred(valid);
+    kb.ldg_to(qchar, kb.iadd(p_query, r), 0, MemWidth::kB1);
+    kb.end_pred();
+    const VReg sub = emit_sub_score(kb, qchar, tchar, params);
+
+    // ------- LOAD phase: left / diagonal / E (and len-h) from lane - 1 ----
+    VReg left_raw{};
+    VReg diag_raw{};
+    VReg e_raw{};
+    VReg lh_raw{};
+    if (shared) {
+      left_raw = kb.mov(imm_i64(0));
+      diag_raw = kb.mov(imm_i64(0));
+      e_raw = kb.mov(imm_i64(kNegInf));
+      if (is_sw) {
+        lh_raw = kb.mov(imm_i64(0));
+      }
+      const VReg valid_nb = kb.iand(valid, not_t0);
+      kb.begin_pred(valid_nb);
+      kb.lds_to(left_raw, kb.iadd(sh2, nb_off));
+      kb.lds_to(diag_raw, kb.iadd(sh3, nb_off));
+      kb.lds_to(e_raw, kb.iadd(se2, nb_off));
+      if (is_sw) {
+        kb.lds_to(lh_raw, kb.iadd(sl2, nb_off));
+      }
+      kb.end_pred();
+    } else {
+      left_raw = kb.shfl_up(h_last, imm_i64(1));
+      diag_raw = kb.shfl_up(h_prev, imm_i64(1));
+      e_raw = kb.shfl_up(e_last, imm_i64(1));
+      if (is_sw) {
+        lh_raw = kb.shfl_up(lh_last, imm_i64(1));
+      }
+    }
+
+    // ------- lane-0 boundary: the left tile's right column ----------------
+    // Carried through the per-task column-boundary buffer; the diagonal of
+    // the tile's FIRST row is the corner published by the upper-left
+    // neighbour two waves ago.
+    const VReg vt0 = kb.iand(valid, kb.iand(is_t0, has_left));
+    const VReg left_b = kb.mov(imm_i64(0));
+    const VReg e_b = kb.mov(imm_i64(kNegInf));
+    VReg lh_b{};
+    if (is_sw) {
+      lh_b = kb.mov(imm_i64(0));
+    }
+    VReg diag_b{};
+    if (is_sw) {
+      diag_b = kb.mov(imm_i64(0));
+    } else {
+      // NW top tile row: H(-1, col_base - 1) = gap_cost(col_base).
+      diag_b = kb.mov(emit_gap_cost(kb, c, params));
+    }
+    kb.begin_pred(vt0);
+    kb.ldg_to(left_b, kb.iadd(p_cb_h, r4));
+    kb.ldg_to(e_b, kb.iadd(p_cb_e, r4));
+    if (is_sw) {
+      kb.ldg_to(lh_b, kb.iadd(p_cb_lh, r4));
+    }
+    kb.end_pred();
+    const VReg vt0_first = kb.iand(vt0, kb.iand(first_r, has_up));
+    kb.begin_pred(vt0_first);
+    kb.ldg_to(diag_b, p_corner_rd);
+    kb.end_pred();
+    const VReg vt0_rest =
+        kb.iand(vt0, kb.setp(Cmp::kGt, DType::kI64, local_r, imm_i64(0)));
+    kb.begin_pred(vt0_rest);
+    kb.ldg_to(diag_b, kb.iadd(p_cb_h, kb.imul(kb.isub(r, imm_i64(1)), imm_i64(4))));
+    kb.end_pred();
+
+    VReg left = kb.selp(is_t0, left_b, left_raw);
+    VReg diag = kb.selp(is_t0, diag_b, diag_raw);
+    const VReg e_in = kb.selp(is_t0, e_b, e_raw);
+    VReg lh_in{};
+    if (is_sw) {
+      lh_in = kb.selp(is_t0, lh_b, lh_raw);
+    }
+    if (!is_sw) {
+      // NW DP column 0: left and diagonal come from the global-alignment
+      // row boundary (only reachable for lane 0 of the leftmost tiles).
+      const VReg row_bound = emit_gap_cost(kb, kb.iadd(r, imm_i64(1)), params);
+      const VReg diag_row_bound = emit_gap_cost(kb, r, params);
+      left = kb.selp(is_c0, row_bound, left);
+      diag = kb.selp(is_c0, diag_row_bound, diag);
+    }
+
+    // up / F / kv are this lane's own previous-row state.
+    const VReg up = h_last;
+    const VReg f_up = f_last;
+
+    // ------- COMPUTE phase: identical formulas and tie-breaks to the
+    // task-per-block kernels (and therefore to the host references) -------
+    const VReg open_h = kb.iadd(left, imm_i64(params.gap_open));
+    const VReg ext_h = kb.iadd(e_in, imm_i64(params.gap_extend));
+    const VReg pe = kb.setp(Cmp::kGt, DType::kI64, ext_h, open_h);
+    const VReg e_cand = kb.selp(pe, ext_h, open_h);
+    const VReg e_cur = kb.selp(is_c0, open_h, e_cand);
+
+    const VReg open_v = kb.iadd(up, imm_i64(params.gap_open));
+    const VReg ext_v = kb.iadd(f_up, imm_i64(params.gap_extend));
+
+    VReg h_cur{};
+    VReg f_cur{};
+    VReg kv_cur{};
+    VReg lh_cur{};
+    VReg bt{};
+    if (is_sw) {
+      const VReg lh_cand = kb.selp(pe, kb.iadd(lh_in, imm_i64(1)), imm_i64(1));
+      lh_cur = kb.selp(is_c0, imm_i64(1), lh_cand);
+      const VReg pv = kb.setp(Cmp::kGt, DType::kI64, ext_v, open_v);
+      f_cur = kb.selp(pv, ext_v, open_v);
+      kv_cur = kb.selp(pv, kb.iadd(kv_last, imm_i64(1)), imm_i64(1));
+
+      const VReg diag_score = kb.iadd(diag, sub);
+      const VReg p1 = kb.setp(Cmp::kGt, DType::kI64, f_cur, diag_score);
+      const VReg best1 = kb.selp(p1, f_cur, diag_score);
+      const VReg bt1 = kb.selp(p1, kv_cur, imm_i64(0));
+      const VReg p2 = kb.setp(Cmp::kGt, DType::kI64, e_cur, best1);
+      const VReg best2 = kb.selp(p2, e_cur, best1);
+      const VReg bt2 = kb.selp(p2, kb.isub(imm_i64(0), lh_cur), bt1);
+      const VReg p3 = kb.setp(Cmp::kLe, DType::kI64, best2, imm_i64(0));
+      h_cur = kb.selp(p3, imm_i64(0), best2);
+      bt = kb.selp(p3, imm_i64(kStop), bt2);
+    } else {
+      f_cur = kb.imax(open_v, ext_v);
+      const VReg diag_score = kb.iadd(diag, sub);
+      h_cur = kb.imax(kb.imax(diag_score, f_cur), e_cur);
+    }
+
+    // ------- WRITE phase ---------------------------------------------------
+    if (is_sw) {
+      const VReg baddr = kb.iadd(
+          p_out, kb.imul(kb.iadd(kb.imul(r, p_n), c), imm_i64(4)));
+      kb.begin_pred(valid);
+      kb.stg(baddr, bt);
+      kb.end_pred();
+      const VReg at_lastcol =
+          kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, c, n1));
+      kb.begin_pred(at_lastcol);
+      kb.stg(kb.iadd(p_lastcol, r4), h_cur);
+      kb.end_pred();
+      const VReg at_lastrow =
+          kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, r, m1));
+      kb.begin_pred(at_lastrow);
+      kb.stg(kb.iadd(p_lastrow, c4), h_cur);
+      kb.end_pred();
+    } else {
+      const VReg at_result = kb.iand(
+          kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, r, m1)),
+          kb.setp(Cmp::kEq, DType::kI64, c, n1));
+      kb.begin_pred(at_result);
+      kb.stg(p_out, h_cur);
+      kb.end_pred();
+    }
+
+    // Boundaries for the tiles of later waves.
+    const VReg at_bottom =
+        kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, local_r, rows1));
+    kb.begin_pred(at_bottom);
+    kb.stg(kb.iadd(p_rb_h, c4), h_cur);
+    kb.stg(kb.iadd(p_rb_f, c4), f_cur);
+    if (is_sw) {
+      kb.stg(kb.iadd(p_rb_kv, c4), kv_cur);
+    }
+    kb.end_pred();
+    const VReg at_right = kb.iand(valid, is_t31);
+    kb.begin_pred(at_right);
+    kb.stg(kb.iadd(p_cb_h, r4), h_cur);
+    kb.stg(kb.iadd(p_cb_e, r4), e_cur);
+    if (is_sw) {
+      kb.stg(kb.iadd(p_cb_lh, r4), lh_cur);
+    }
+    kb.end_pred();
+    const VReg at_corner = kb.iand(at_bottom, is_t31);
+    kb.begin_pred(at_corner);
+    kb.stg(p_corner_wr, h_cur);
+    kb.end_pred();
+
+    // ------- ROTATE / SYNC -------------------------------------------------
+    if (shared) {
+      kb.begin_pred(valid);
+      kb.sts(kb.iadd(sh1, own_off), h_cur);
+      kb.sts(kb.iadd(se1, own_off), e_cur);
+      if (is_sw) {
+        kb.sts(kb.iadd(sl1, own_off), lh_cur);
+      }
+      kb.assign(h_last, h_cur);
+      kb.assign(f_last, f_cur);
+      if (is_sw) {
+        kb.assign(kv_last, kv_cur);
+      }
+      kb.end_pred();
+      const SReg tmp_h = kb.smov(sh3);
+      kb.sassign(sh3, sh2);
+      kb.sassign(sh2, sh1);
+      kb.sassign(sh1, tmp_h);
+      const SReg tmp_e = kb.smov(se2);
+      kb.sassign(se2, se1);
+      kb.sassign(se1, tmp_e);
+      if (is_sw) {
+        const SReg tmp_l = kb.smov(sl2);
+        kb.sassign(sl2, sl1);
+        kb.sassign(sl1, tmp_l);
+      }
+      kb.bar();
+    } else {
+      kb.begin_pred(valid);
+      kb.assign(h_prev, h_last);
+      kb.assign(h_last, h_cur);
+      kb.assign(f_last, f_cur);
+      kb.assign(e_last, e_cur);
+      if (is_sw) {
+        kb.assign(kv_last, kv_cur);
+        kb.assign(lh_last, lh_cur);
+      }
+      kb.end_pred();
+    }
+    kb.sassign(step, kb.sadd(step, imm_i64(1)));
+  }
+  kb.endloop();
+
+  return kb.build();
+}
+
+// ---------------------------------------------------------------------------
+// Naive per-diagonal kernels (kHostSyncNaive)
+//
+// Every launch computes ONE cell anti-diagonal d: block lanes cover 32
+// consecutive rows of the diagonal (r = seg_base + tid, c = d - r), and
+// every dependency is read from full M x N global-memory matrices written
+// by the two previous launches. The host loop synchronizes M + N - 1
+// times — the anti-pattern the wavefront tiles exist to beat.
+// ---------------------------------------------------------------------------
+
+simt::Kernel build_wf_naive_kernel(bool is_sw, const align::SwParams& params) {
+  KernelBuilder kb(is_sw ? "wf_sw_naive" : "wf_nw_naive", kSwBsize);
+
+  const SReg p_query = kb.param();     // s0
+  const SReg p_target = kb.param();    // s1
+  const SReg p_m = kb.param();         // s2
+  const SReg p_n = kb.param();         // s3
+  const SReg p_h = kb.param();         // s4: H matrix, M*N i32
+  const SReg p_e = kb.param();         // s5: E matrix
+  const SReg p_f = kb.param();         // s6: F matrix
+  const SReg p_kv = kb.param();        // s7: kv matrix (SW) / unused
+  const SReg p_lh = kb.param();        // s8: lh matrix (SW) / unused
+  const SReg p_out = kb.param();       // s9: SW: btrack; NW: score cell
+  const SReg p_lastcol = kb.param();   // s10 (SW) / unused
+  const SReg p_lastrow = kb.param();   // s11 (SW) / unused
+  const SReg p_d = kb.param();         // s12: the cell anti-diagonal
+  const SReg p_seg_base = kb.param();  // s13: first row of this block
+
+  const VReg tid = kb.tid();
+  const VReg r = kb.iadd(p_seg_base, tid);
+  const VReg c = kb.isub(p_d, r);
+  const VReg valid = kb.iand(
+      kb.iand(kb.setp(Cmp::kLt, DType::kI64, r, p_m),
+              kb.setp(Cmp::kGe, DType::kI64, c, imm_i64(0))),
+      kb.setp(Cmp::kLt, DType::kI64, c, p_n));
+  const VReg is_c0 = kb.setp(Cmp::kEq, DType::kI64, c, imm_i64(0));
+  const SReg m1 = kb.ssub(p_m, imm_i64(1));
+  const SReg n1 = kb.ssub(p_n, imm_i64(1));
+
+  const VReg idx = kb.iadd(kb.imul(r, p_n), c);
+  const VReg idx4 = kb.imul(idx, imm_i64(4));
+  const VReg up_idx4 = kb.imul(kb.isub(idx, p_n), imm_i64(4));
+  const VReg left_idx4 = kb.imul(kb.isub(idx, imm_i64(1)), imm_i64(4));
+  const VReg diag_idx4 =
+      kb.imul(kb.isub(idx, kb.sadd(p_n, imm_i64(1))), imm_i64(4));
+
+  const VReg qchar = kb.mov(imm_i64(0));
+  const VReg tchar = kb.mov(imm_i64(0));
+  kb.begin_pred(valid);
+  kb.ldg_to(qchar, kb.iadd(p_query, r), 0, MemWidth::kB1);
+  kb.ldg_to(tchar, kb.iadd(p_target, c), 0, MemWidth::kB1);
+  kb.end_pred();
+  const VReg sub = emit_sub_score(kb, qchar, tchar, params);
+
+  // Neighbour loads, all from global memory. DP-boundary defaults: SW uses
+  // zeros, NW the gap-cost borders.
+  VReg left{};
+  VReg up{};
+  VReg diag{};
+  if (is_sw) {
+    left = kb.mov(imm_i64(0));
+    up = kb.mov(imm_i64(0));
+    diag = kb.mov(imm_i64(0));
+  } else {
+    left = kb.mov(emit_gap_cost(kb, kb.iadd(r, imm_i64(1)), params));
+    up = kb.mov(emit_gap_cost(kb, kb.iadd(c, imm_i64(1)), params));
+    const VReg diag_r = emit_gap_cost(kb, r, params);
+    const VReg diag_c = emit_gap_cost(kb, c, params);
+    diag = kb.mov(kb.selp(is_c0, diag_r, diag_c));
+  }
+  const VReg e_in = kb.mov(imm_i64(kNegInf));
+  const VReg f_up = kb.mov(imm_i64(kNegInf));
+  VReg kv_up{};
+  VReg lh_in{};
+  if (is_sw) {
+    kv_up = kb.mov(imm_i64(0));
+    lh_in = kb.mov(imm_i64(0));
+  }
+
+  const VReg not_c0 = kb.setp(Cmp::kNe, DType::kI64, c, imm_i64(0));
+  const VReg not_r0 = kb.setp(Cmp::kNe, DType::kI64, r, imm_i64(0));
+  const VReg v_nc0 = kb.iand(valid, not_c0);
+  kb.begin_pred(v_nc0);
+  kb.ldg_to(left, kb.iadd(p_h, left_idx4));
+  kb.ldg_to(e_in, kb.iadd(p_e, left_idx4));
+  if (is_sw) {
+    kb.ldg_to(lh_in, kb.iadd(p_lh, left_idx4));
+  }
+  kb.end_pred();
+  const VReg v_nr0 = kb.iand(valid, not_r0);
+  kb.begin_pred(v_nr0);
+  kb.ldg_to(up, kb.iadd(p_h, up_idx4));
+  kb.ldg_to(f_up, kb.iadd(p_f, up_idx4));
+  if (is_sw) {
+    kb.ldg_to(kv_up, kb.iadd(p_kv, up_idx4));
+  }
+  kb.end_pred();
+  const VReg v_interior = kb.iand(v_nc0, not_r0);
+  kb.begin_pred(v_interior);
+  kb.ldg_to(diag, kb.iadd(p_h, diag_idx4));
+  kb.end_pred();
+
+  // Cell update — same formulas/tie-breaks as everywhere else.
+  const VReg open_h = kb.iadd(left, imm_i64(params.gap_open));
+  const VReg ext_h = kb.iadd(e_in, imm_i64(params.gap_extend));
+  const VReg pe = kb.setp(Cmp::kGt, DType::kI64, ext_h, open_h);
+  const VReg e_cur = kb.selp(is_c0, open_h, kb.selp(pe, ext_h, open_h));
+  const VReg open_v = kb.iadd(up, imm_i64(params.gap_open));
+  const VReg ext_v = kb.iadd(f_up, imm_i64(params.gap_extend));
+
+  VReg h_cur{};
+  VReg f_cur{};
+  VReg kv_cur{};
+  VReg lh_cur{};
+  VReg bt{};
+  if (is_sw) {
+    lh_cur = kb.selp(is_c0, imm_i64(1),
+                     kb.selp(pe, kb.iadd(lh_in, imm_i64(1)), imm_i64(1)));
+    const VReg pv = kb.setp(Cmp::kGt, DType::kI64, ext_v, open_v);
+    f_cur = kb.selp(pv, ext_v, open_v);
+    kv_cur = kb.selp(pv, kb.iadd(kv_up, imm_i64(1)), imm_i64(1));
+    const VReg diag_score = kb.iadd(diag, sub);
+    const VReg p1 = kb.setp(Cmp::kGt, DType::kI64, f_cur, diag_score);
+    const VReg best1 = kb.selp(p1, f_cur, diag_score);
+    const VReg bt1 = kb.selp(p1, kv_cur, imm_i64(0));
+    const VReg p2 = kb.setp(Cmp::kGt, DType::kI64, e_cur, best1);
+    const VReg best2 = kb.selp(p2, e_cur, best1);
+    const VReg bt2 = kb.selp(p2, kb.isub(imm_i64(0), lh_cur), bt1);
+    const VReg p3 = kb.setp(Cmp::kLe, DType::kI64, best2, imm_i64(0));
+    h_cur = kb.selp(p3, imm_i64(0), best2);
+    bt = kb.selp(p3, imm_i64(kStop), bt2);
+  } else {
+    f_cur = kb.imax(open_v, ext_v);
+    const VReg diag_score = kb.iadd(diag, sub);
+    h_cur = kb.imax(kb.imax(diag_score, f_cur), e_cur);
+  }
+
+  kb.begin_pred(valid);
+  kb.stg(kb.iadd(p_h, idx4), h_cur);
+  kb.stg(kb.iadd(p_e, idx4), e_cur);
+  kb.stg(kb.iadd(p_f, idx4), f_cur);
+  if (is_sw) {
+    kb.stg(kb.iadd(p_kv, idx4), kv_cur);
+    kb.stg(kb.iadd(p_lh, idx4), lh_cur);
+    kb.stg(kb.iadd(p_out, idx4), bt);
+  }
+  kb.end_pred();
+  if (is_sw) {
+    const VReg at_lastcol = kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, c, n1));
+    kb.begin_pred(at_lastcol);
+    kb.stg(kb.iadd(p_lastcol, kb.imul(r, imm_i64(4))), h_cur);
+    kb.end_pred();
+    const VReg at_lastrow = kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, r, m1));
+    kb.begin_pred(at_lastrow);
+    kb.stg(kb.iadd(p_lastrow, kb.imul(c, imm_i64(4))), h_cur);
+    kb.end_pred();
+  } else {
+    const VReg at_result = kb.iand(
+        kb.iand(valid, kb.setp(Cmp::kEq, DType::kI64, r, m1)),
+        kb.setp(Cmp::kEq, DType::kI64, c, n1));
+    kb.begin_pred(at_result);
+    kb.stg(p_out, h_cur);
+    kb.end_pred();
+  }
+
+  return kb.build();
+}
+
+}  // namespace
+
+simt::Kernel build_wf_sw_kernel(WfVariant variant, const align::SwParams& params) {
+  if (variant == WfVariant::kHostSyncNaive) {
+    return build_wf_naive_kernel(/*is_sw=*/true, params);
+  }
+  return build_wf_tile_kernel(/*is_sw=*/true, variant, params);
+}
+
+simt::Kernel build_wf_nw_kernel(WfVariant variant, const align::SwParams& params) {
+  if (variant == WfVariant::kHostSyncNaive) {
+    return build_wf_naive_kernel(/*is_sw=*/false, params);
+  }
+  return build_wf_tile_kernel(/*is_sw=*/false, variant, params);
+}
+
+simt::Kernel build_wf_naive_sw_kernel(const align::SwParams& params) {
+  return build_wf_naive_kernel(/*is_sw=*/true, params);
+}
+
+simt::Kernel build_wf_naive_nw_kernel(const align::SwParams& params) {
+  return build_wf_naive_kernel(/*is_sw=*/false, params);
+}
+
+}  // namespace wsim::kernels

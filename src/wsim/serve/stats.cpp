@@ -117,6 +117,8 @@ void write_tenant_json(std::ostream& os, const TenantStats& tenant) {
 void write_device_json(std::ostream& os, const fleet::DeviceStats& d) {
   os << "{\"id\": " << d.id << ", \"device\": " << json_quote(d.name)
      << ", \"state\": \"" << fleet::to_string(d.state) << "\""
+     << ", \"wf_variant\": \"" << kernels::to_string(d.wf_variant) << "\""
+     << ", \"intra_batches\": " << d.intra_batches
      << ", \"batches\": " << d.batches << ", \"tasks\": " << d.tasks
      << ", \"cells\": " << d.cells
      << ", \"busy_s\": " << json_number(d.busy_seconds)

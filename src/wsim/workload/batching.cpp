@@ -116,12 +116,17 @@ std::vector<std::vector<Task>> group_by_bucket(const std::vector<Task>& tasks,
 
 std::size_t length_bucket(const SwTask& task, std::size_t granularity) {
   util::require(granularity >= 1, "length_bucket: granularity must be at least 1");
-  return task.query.size() / granularity;
+  // Ceil, not floor: the bucket must equal the kernel's band/tile count so
+  // grouped tasks share a cost shape. Floor division put a length of g*k+1
+  // (k+1 bands) in the same bucket as g*k (k bands) — harmless below the
+  // 128-bp PH1 regime where callers used small batches, wrong for the
+  // long-read profiles where one extra 32-row band is a real cost step.
+  return (task.query.size() + granularity - 1) / granularity;
 }
 
 std::size_t length_bucket(const align::PairHmmTask& task, std::size_t granularity) {
   util::require(granularity >= 1, "length_bucket: granularity must be at least 1");
-  return task.read.size() / granularity;
+  return (task.read.size() + granularity - 1) / granularity;
 }
 
 std::vector<SwBatch> sw_length_grouped(const SwBatch& tasks,

@@ -38,8 +38,10 @@ PhBatch ph_biggest_batch(const Dataset& dataset);
 
 /// Quantized primary-length bucket of a task — the dimension that picks
 /// the kernel cost shape (SW: query rows, i.e. bands; PairHMM: read rows,
-/// i.e. the length-specialized variant). gpuPairHMM groups incoming pairs
-/// by this key so blocks launched together stay cost-convergent; the
+/// i.e. the length-specialized variant). The bucket is the *ceil* of
+/// length / granularity, matching the kernels' band/tile counts exactly
+/// (length g*k+1 occupies k+1 bands, not k). gpuPairHMM groups incoming
+/// pairs by this key so blocks launched together stay cost-convergent; the
 /// serving layer sorts each dynamic batch by it. Requires granularity >= 1.
 std::size_t length_bucket(const SwTask& task, std::size_t granularity);
 std::size_t length_bucket(const align::PairHmmTask& task, std::size_t granularity);

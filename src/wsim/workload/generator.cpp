@@ -164,4 +164,67 @@ Dataset generate_dataset(const GeneratorConfig& config) {
   return dataset;
 }
 
+std::string_view to_string(LengthProfile profile) noexcept {
+  switch (profile) {
+    case LengthProfile::kShortRead:
+      return "short-read";
+    case LengthProfile::kLongRead:
+      return "long-read";
+    case LengthProfile::kContig:
+      return "contig";
+  }
+  return "?";
+}
+
+const std::vector<std::string>& length_profile_names() {
+  static const std::vector<std::string> names = {"short-read", "long-read",
+                                                 "contig"};
+  return names;
+}
+
+LengthProfile length_profile_by_name(std::string_view name) {
+  if (name == "short-read") {
+    return LengthProfile::kShortRead;
+  }
+  if (name == "long-read") {
+    return LengthProfile::kLongRead;
+  }
+  if (name == "contig") {
+    return LengthProfile::kContig;
+  }
+  std::string valid;
+  for (const std::string& n : length_profile_names()) {
+    if (!valid.empty()) {
+      valid += ", ";
+    }
+    valid += n;
+  }
+  throw util::CheckError("unknown length profile '" + std::string(name) +
+                         "' (valid profiles: " + valid + ")");
+}
+
+GeneratorConfig profile_config(LengthProfile profile, std::uint64_t seed) {
+  GeneratorConfig cfg;
+  cfg.seed = seed;
+  switch (profile) {
+    case LengthProfile::kShortRead:
+      break;  // the defaults ARE the paper's short-read regime
+    case LengthProfile::kLongRead:
+      cfg.sw_query_len_min = 256;
+      cfg.sw_query_len_max = 2048;
+      cfg.sw_target_len_min = 320;
+      cfg.sw_target_len_max = 2304;
+      cfg.sw_tasks_per_region_mean = 2.0;
+      break;
+    case LengthProfile::kContig:
+      cfg.sw_query_len_min = 2048;
+      cfg.sw_query_len_max = 8192;
+      cfg.sw_target_len_min = 2304;
+      cfg.sw_target_len_max = 8448;
+      cfg.sw_tasks_per_region_mean = 1.0;
+      break;
+  }
+  return cfg;
+}
+
 }  // namespace wsim::workload

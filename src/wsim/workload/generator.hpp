@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "wsim/workload/task.hpp"
 
@@ -43,5 +46,28 @@ struct GeneratorConfig {
 /// alignments are biologically shaped, not random-vs-random), and reads
 /// are sampled from haplotypes with sequencing errors and quality tracks.
 Dataset generate_dataset(const GeneratorConfig& config);
+
+/// Named SW length families. kShortRead is the paper's HaplotypeCaller
+/// regime (the GeneratorConfig defaults); the long families open the
+/// intra-task wavefront regime (AnySeq/GPU, SaLoBa length scales).
+enum class LengthProfile {
+  kShortRead,  ///< 96-320 bp queries vs 160-416 bp windows (paper dataset)
+  kLongRead,   ///< 256-2048 bp reads vs up to ~2.3 kbp windows
+  kContig,     ///< 2048-8192 bp contigs vs up to ~8.4 kbp windows
+};
+
+std::string_view to_string(LengthProfile profile) noexcept;
+
+/// {"short-read", "long-read", "contig"}.
+const std::vector<std::string>& length_profile_names();
+
+/// Lookup by CLI name; throws util::CheckError listing the valid profile
+/// names on anything else.
+LengthProfile length_profile_by_name(std::string_view name);
+
+/// GeneratorConfig preset for a profile: the SW length ranges are swapped
+/// for the family's, everything else keeps the defaults. Long profiles
+/// also thin tasks-per-region so default datasets stay tractable.
+GeneratorConfig profile_config(LengthProfile profile, std::uint64_t seed = 42);
 
 }  // namespace wsim::workload

@@ -35,9 +35,9 @@ wsim::workload::Dataset small_dataset(std::uint64_t seed = 11) {
 
 FleetConfig heterogeneous_config() {
   FleetConfig cfg;
-  cfg.workers.push_back({wsim::simt::make_k40(), {}, {}, 8});
-  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, 8});
-  cfg.workers.push_back({wsim::simt::make_titan_x(), {}, {}, 8});
+  cfg.workers.push_back({wsim::simt::make_k40(), {}, {}, {}, 8});
+  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, {}, 8});
+  cfg.workers.push_back({wsim::simt::make_titan_x(), {}, {}, {}, 8});
   return cfg;
 }
 
@@ -277,8 +277,8 @@ TEST(Fleet, LeastCellsBalancesHomogeneousFleet) {
   ASSERT_GE(ph_batches.size(), 2U);
 
   FleetConfig cfg;
-  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, 1U << 20U});
-  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, 1U << 20U});
+  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, {}, 1U << 20U});
+  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, {}, 1U << 20U});
   cfg.policy = PlacementPolicy::kLeastOutstandingCells;
   FleetExecutor executor(std::move(cfg));
   fleet::ExecOptions opt;

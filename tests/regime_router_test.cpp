@@ -1,0 +1,330 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "wsim/fleet/fleet.hpp"
+#include "wsim/fleet/router.hpp"
+#include "wsim/kernels/wavefront_kernels.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+using namespace wsim;
+
+std::vector<simt::DeviceSpec> all_devices() {
+  return {simt::make_k40(), simt::make_k1200(), simt::make_titan_x()};
+}
+
+workload::SwTask sw_task_of_len(std::size_t query_len, std::size_t target_len) {
+  workload::SwTask task;
+  task.query.assign(query_len, 'A');
+  task.target.assign(target_len, 'C');
+  return task;
+}
+
+// ---------------------------------------------------------------------------
+// length_bucket: ceil semantics at the bucket boundaries
+// ---------------------------------------------------------------------------
+
+TEST(LengthBucket, CeilAtBandBoundaries) {
+  // The bucket must equal the number of 32-row bands the kernel runs, so
+  // g*k lands in bucket k and g*k + 1 in bucket k + 1.
+  const std::size_t g = 32;
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(1, 64), g), 1u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(32, 64), g), 1u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(33, 64), g), 2u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(96, 64), g), 3u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(97, 64), g), 4u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(128, 64), g), 4u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(129, 64), g), 5u);
+  EXPECT_EQ(workload::length_bucket(sw_task_of_len(8192, 64), g), 256u);
+}
+
+TEST(LengthBucket, PairHmmReadsUseSameCeil) {
+  align::PairHmmTask task;
+  task.hap.assign(128, 'A');
+  task.read.assign(96, 'C');
+  EXPECT_EQ(workload::length_bucket(task, 32), 3u);
+  task.read.assign(97, 'C');
+  EXPECT_EQ(workload::length_bucket(task, 32), 4u);
+}
+
+TEST(LengthBucket, GroupingSeparatesBoundaryStraddlers) {
+  // 96 bp (3 bands) and 97 bp (4 bands) must not share a batch: one extra
+  // band is a real cost step for every block launched with the group.
+  workload::SwBatch tasks = {sw_task_of_len(96, 128), sw_task_of_len(97, 128),
+                             sw_task_of_len(96, 128), sw_task_of_len(129, 128)};
+  const auto batches = workload::sw_length_grouped(tasks, 32, 64);
+  ASSERT_EQ(batches.size(), 3u);
+  EXPECT_EQ(batches[0].size(), 2u);  // both 96 bp tasks, original order
+  EXPECT_EQ(batches[0][0].query.size(), 96u);
+  EXPECT_EQ(batches[1].size(), 1u);
+  EXPECT_EQ(batches[1][0].query.size(), 97u);
+  EXPECT_EQ(batches[2][0].query.size(), 129u);
+}
+
+// ---------------------------------------------------------------------------
+// Length profiles
+// ---------------------------------------------------------------------------
+
+TEST(LengthProfiles, NamesRoundTrip) {
+  for (const std::string& name : workload::length_profile_names()) {
+    EXPECT_EQ(to_string(workload::length_profile_by_name(name)), name);
+  }
+}
+
+TEST(LengthProfiles, UnknownNameListsValidProfiles) {
+  try {
+    workload::length_profile_by_name("nanopore");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("nanopore"), std::string::npos) << what;
+    EXPECT_NE(what.find("short-read"), std::string::npos) << what;
+    EXPECT_NE(what.find("long-read"), std::string::npos) << what;
+    EXPECT_NE(what.find("contig"), std::string::npos) << what;
+  }
+}
+
+TEST(LengthProfiles, GeneratedLengthsStayInsideProfileRanges) {
+  auto cfg = workload::profile_config(workload::LengthProfile::kLongRead, 7);
+  cfg.regions = 6;
+  const auto tasks = workload::sw_all_tasks(workload::generate_dataset(cfg));
+  ASSERT_FALSE(tasks.empty());
+  for (const auto& task : tasks) {
+    EXPECT_GE(task.query.size(), 256u);
+    EXPECT_LE(task.query.size(), 2048u);
+    EXPECT_GE(task.target.size(), 320u);
+    EXPECT_LE(task.target.size(), 2304u);
+  }
+
+  auto contig = workload::profile_config(workload::LengthProfile::kContig, 7);
+  contig.regions = 2;
+  const auto big = workload::sw_all_tasks(workload::generate_dataset(contig));
+  ASSERT_FALSE(big.empty());
+  for (const auto& task : big) {
+    EXPECT_GE(task.query.size(), 2048u);
+    EXPECT_LE(task.query.size(), 8192u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Router: policies, latencies, and the 2-D regime decision
+// ---------------------------------------------------------------------------
+
+TEST(RegimeRouter, PolicyNamesRoundTrip) {
+  for (const std::string& name : fleet::parallelism_policy_names()) {
+    EXPECT_EQ(to_string(fleet::parallelism_policy_by_name(name)), name);
+  }
+}
+
+TEST(RegimeRouter, UnknownPolicyListsValidNames) {
+  try {
+    fleet::parallelism_policy_by_name("hybrid");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("hybrid"), std::string::npos) << what;
+    EXPECT_NE(what.find("auto"), std::string::npos) << what;
+    EXPECT_NE(what.find("inter"), std::string::npos) << what;
+    EXPECT_NE(what.find("intra"), std::string::npos) << what;
+  }
+}
+
+TEST(RegimeRouter, NaiveLatencyDwarfsPipelinedVariants) {
+  for (const auto& device : all_devices()) {
+    const double shuffle =
+        fleet::wf_iteration_latency(device, kernels::WfVariant::kShuffle);
+    const double shared =
+        fleet::wf_iteration_latency(device, kernels::WfVariant::kSharedMemory);
+    const double naive =
+        fleet::wf_iteration_latency(device, kernels::WfVariant::kHostSyncNaive);
+    EXPECT_GT(shuffle, 0.0);
+    EXPECT_GT(shared, 0.0);
+    // Global-memory round trips lose to on-chip communication even with
+    // every segment warm — by ~8-20x against shuffles, ~2-4x against the
+    // (barrier-heavy) shared-memory tile depending on the architecture.
+    EXPECT_GT(naive, 5.0 * shuffle);
+    EXPECT_GT(naive, 2.0 * shared);
+  }
+}
+
+TEST(RegimeRouter, ModelPicksAPipelinedWavefrontVariant) {
+  for (const auto& device : all_devices()) {
+    const auto model = fleet::build_intra_task_model(device);
+    EXPECT_NE(model.wf_variant, kernels::WfVariant::kHostSyncNaive);
+    EXPECT_GT(model.sw_latency, 0.0);
+    EXPECT_GT(model.wf_latency, 0.0);
+    EXPECT_GT(model.sw_occupancy.parallelism(device), 0);
+    EXPECT_GT(model.wf_occupancy.parallelism(device), 0);
+    EXPECT_GT(fleet::predicted_wf_gcups(device, model.wf_variant), 0.0);
+  }
+}
+
+TEST(RegimeRouter, LongReadSmallBatchGoesIntraTask) {
+  // A handful of 2 kbp alignments leaves a task-per-block launch with a few
+  // warps of parallelism; the wavefront decomposition fills the device.
+  for (const auto& device : all_devices()) {
+    const auto model = fleet::build_intra_task_model(device);
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 2048, 2048, 1),
+              fleet::ParallelMode::kIntraTask)
+        << device.name;
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 2048, 2048, 4),
+              fleet::ParallelMode::kIntraTask)
+        << device.name;
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 8192, 4096, 1),
+              fleet::ParallelMode::kIntraTask)
+        << device.name;
+  }
+}
+
+TEST(RegimeRouter, ShortReadLargeBatchStaysInterTask) {
+  // The paper's HaplotypeCaller regime: hundreds of <320 bp tasks saturate
+  // the occupancy bound on their own, and the wavefront subsystem would pay
+  // a launch per wave for nothing.
+  for (const auto& device : all_devices()) {
+    const auto model = fleet::build_intra_task_model(device);
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 200, 280, 256),
+              fleet::ParallelMode::kInterTask)
+        << device.name;
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 128, 160, 1024),
+              fleet::ParallelMode::kInterTask)
+        << device.name;
+  }
+}
+
+TEST(RegimeRouter, LargeBatchOfLongReadsStaysInterTask) {
+  // Once the batch alone saturates occupancy, task-per-block's cheaper
+  // per-step communication and single launch win even at long lengths.
+  for (const auto& device : all_devices()) {
+    const auto model = fleet::build_intra_task_model(device);
+    EXPECT_EQ(fleet::pick_parallelism(device, model, 2048, 2048, 1024),
+              fleet::ParallelMode::kInterTask)
+        << device.name;
+  }
+}
+
+TEST(RegimeRouter, PredictedSecondsReflectBatchClamping) {
+  // Per-task inter-task latency should collapse as the batch grows (the
+  // clamp releases); intra-task should be far less batch-sensitive.
+  const auto device = simt::make_titan_x();
+  const auto model = fleet::build_intra_task_model(device);
+  const double inter_1 =
+      fleet::predicted_inter_batch_seconds(device, model, 2048, 2048, 1);
+  const double inter_64 =
+      fleet::predicted_inter_batch_seconds(device, model, 2048, 2048, 64) / 64.0;
+  EXPECT_GT(inter_1, 10.0 * inter_64);
+
+  const double intra_1 =
+      fleet::predicted_intra_batch_seconds(device, model, 2048, 2048, 1);
+  EXPECT_LT(intra_1, inter_1);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet integration: the executor actually routes by the model
+// ---------------------------------------------------------------------------
+
+workload::SwBatch long_read_batch(std::size_t tasks) {
+  auto cfg = workload::profile_config(workload::LengthProfile::kLongRead, 11);
+  cfg.regions = static_cast<int>(tasks);
+  cfg.sw_tasks_per_region_mean = 1.0;
+  // Clamp lengths so the test stays fast while staying firmly long-read.
+  cfg.sw_query_len_min = 700;
+  cfg.sw_query_len_max = 900;
+  cfg.sw_target_len_min = 700;
+  cfg.sw_target_len_max = 900;
+  auto batch = workload::sw_all_tasks(workload::generate_dataset(cfg));
+  batch.resize(std::min(batch.size(), tasks));
+  return batch;
+}
+
+fleet::FleetConfig one_device_fleet(fleet::ParallelismPolicy parallelism) {
+  fleet::FleetConfig cfg;
+  cfg.workers.push_back({simt::make_k1200(), {}, {}, {}, 8});
+  cfg.parallelism = parallelism;
+  return cfg;
+}
+
+TEST(RegimeFleet, AutoRoutesLongReadBatchIntraTask) {
+  const auto batch = long_read_batch(3);
+  fleet::FleetExecutor executor(
+      one_device_fleet(fleet::ParallelismPolicy::kAuto));
+  const auto exec = executor.execute_sw(batch, 0.0);
+  const auto stats = executor.stats();
+  EXPECT_EQ(stats.devices[0].intra_batches, 1u);
+  EXPECT_NE(executor.wf_variant(0), kernels::WfVariant::kHostSyncNaive);
+  ASSERT_EQ(exec.result.outputs.size(), batch.size());
+
+  // Bit-identical to the inter-task pinned fleet: routing moves time only.
+  fleet::FleetExecutor pinned(
+      one_device_fleet(fleet::ParallelismPolicy::kInterTask));
+  const auto inter = pinned.execute_sw(batch, 0.0);
+  EXPECT_EQ(pinned.stats().devices[0].intra_batches, 0u);
+  ASSERT_EQ(inter.result.outputs.size(), batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(exec.result.outputs[i].best_score,
+              inter.result.outputs[i].best_score);
+    EXPECT_EQ(exec.result.outputs[i].alignment.cigar,
+              inter.result.outputs[i].alignment.cigar);
+  }
+}
+
+TEST(RegimeFleet, AutoKeepsShortReadBatchInterTask) {
+  auto cfg = workload::profile_config(workload::LengthProfile::kShortRead, 5);
+  cfg.regions = 16;
+  auto batch = workload::sw_all_tasks(workload::generate_dataset(cfg));
+  ASSERT_GE(batch.size(), 32u);
+  fleet::FleetExecutor executor(
+      one_device_fleet(fleet::ParallelismPolicy::kAuto));
+  executor.execute_sw(batch, 0.0);
+  EXPECT_EQ(executor.stats().devices[0].intra_batches, 0u);
+}
+
+TEST(RegimeFleet, IntraPolicyForcesWavefrontEvenOnShortReads) {
+  auto cfg = workload::profile_config(workload::LengthProfile::kShortRead, 5);
+  cfg.regions = 2;
+  auto batch = workload::sw_all_tasks(workload::generate_dataset(cfg));
+  ASSERT_FALSE(batch.empty());
+  fleet::FleetExecutor executor(
+      one_device_fleet(fleet::ParallelismPolicy::kIntraTask));
+  const auto exec = executor.execute_sw(batch, 0.0);
+  EXPECT_EQ(executor.stats().devices[0].intra_batches, 1u);
+  ASSERT_EQ(exec.result.outputs.size(), batch.size());
+}
+
+TEST(RegimeFleet, PinnedWfVariantIsHonoured) {
+  fleet::FleetConfig cfg = one_device_fleet(fleet::ParallelismPolicy::kIntraTask);
+  cfg.workers[0].wf_variant = kernels::WfVariant::kSharedMemory;
+  fleet::FleetExecutor executor(std::move(cfg));
+  EXPECT_EQ(executor.wf_variant(0), kernels::WfVariant::kSharedMemory);
+  const auto batch = long_read_batch(1);
+  const auto exec = executor.execute_sw(batch, 0.0);
+  ASSERT_EQ(exec.result.outputs.size(), batch.size());
+  EXPECT_EQ(executor.stats().devices[0].intra_batches, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-name lookup shared by sw-run / fleet-sim
+// ---------------------------------------------------------------------------
+
+TEST(SwKernelNames, RoundTripAndErrorListing) {
+  for (const std::string& name : kernels::sw_kernel_names()) {
+    EXPECT_EQ(kernels::sw_kernel_name(kernels::sw_kernel_by_name(name)), name);
+  }
+  try {
+    kernels::sw_kernel_by_name("diag-sync");
+    FAIL() << "expected CheckError";
+  } catch (const util::CheckError& err) {
+    const std::string what = err.what();
+    EXPECT_NE(what.find("diag-sync"), std::string::npos) << what;
+    for (const std::string& name : kernels::sw_kernel_names()) {
+      EXPECT_NE(what.find(name), std::string::npos) << what << " missing " << name;
+    }
+  }
+}
+
+}  // namespace

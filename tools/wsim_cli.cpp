@@ -5,6 +5,9 @@
 //   wsim sw       Q T [opts]             Smith-Waterman alignment
 //   wsim nw       Q T [opts]             Needleman-Wunsch score
 //   wsim pairhmm  READ HAP [opts]        PairHMM log10 likelihood
+//   wsim sw-run   [--kernel K --profile P] one SW batch through a named
+//                                        kernel subsystem (task-per-block
+//                                        or wavefront tiles)
 //   wsim workload [--regions N --seed S] dataset statistics
 //   wsim sweep    [opts]                 GCUPS of all four kernels
 //   wsim pipeline [opts]                 two-stage HaplotypeCaller pipeline
@@ -47,6 +50,7 @@
 #include "wsim/kernels/nw_kernels.hpp"
 #include "wsim/kernels/ph_kernels.hpp"
 #include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/kernels/wavefront_kernels.hpp"
 #include "wsim/micro/microbench.hpp"
 #include "wsim/pipeline/pipeline.hpp"
 #include "wsim/serve/service.hpp"
@@ -375,10 +379,105 @@ wsim::workload::Dataset dataset_from(const Args& args, int default_regions) {
   if (!in.empty()) {
     return wsim::workload::load_dataset(in);
   }
-  wsim::workload::GeneratorConfig cfg;
+  // --profile swaps the SW length family (short-read is the generator
+  // default; long-read/contig open the intra-task wavefront regime).
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string profile = args.get("profile", "");
+  wsim::workload::GeneratorConfig cfg =
+      profile.empty()
+          ? wsim::workload::GeneratorConfig{}
+          : wsim::workload::profile_config(
+                wsim::workload::length_profile_by_name(profile), seed);
   cfg.regions = static_cast<int>(args.get_int("regions", default_regions));
-  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  cfg.seed = seed;
   return wsim::workload::generate_dataset(cfg);
+}
+
+int cmd_sw_run(const Args& args) {
+  const auto dev = device_from(args);
+  const wsim::kernels::SwKernelChoice choice =
+      wsim::kernels::sw_kernel_by_name(args.get("kernel", "wf-shuffle"));
+  const auto profile = wsim::workload::length_profile_by_name(
+      args.get("profile", "long-read"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto want = static_cast<std::size_t>(args.get_int("tasks", 4));
+  wsim::util::require(want >= 1, "sw-run: --tasks must be >= 1");
+
+  wsim::workload::GeneratorConfig cfg =
+      wsim::workload::profile_config(profile, seed);
+  cfg.regions = static_cast<int>(want);  // >= one SW task per region
+  auto batch =
+      wsim::workload::sw_all_tasks(wsim::workload::generate_dataset(cfg));
+  if (batch.size() > want) {
+    batch.resize(want);
+  }
+
+  wsim::simt::ExecutionEngine engine(engine_options_from(args));
+  const bool verify = args.options.count("verify") != 0;
+  const wsim::align::SwParams params;
+
+  wsim::kernels::KernelRunResult run;
+  std::vector<wsim::kernels::SwTaskOutput> outputs;
+  std::size_t launches = 1;
+  std::size_t blocks = batch.size();
+  std::string kernel_name;
+  if (choice.intra) {
+    const wsim::kernels::WavefrontSwRunner runner(choice.wf_variant, params);
+    wsim::kernels::WfRunOptions opt;
+    opt.engine = &engine;
+    if (verify) {
+      opt.collect_outputs = true;
+    } else {
+      opt.mode = wsim::simt::ExecMode::kCachedByShape;
+      opt.use_engine_cache = true;
+    }
+    auto result = runner.run_batch(dev, batch, opt);
+    run = std::move(result.run);
+    outputs = std::move(result.outputs);
+    launches = result.launches;
+    blocks = result.blocks;
+    kernel_name = runner.kernel().name;
+  } else {
+    const wsim::kernels::SwRunner runner(choice.inter_mode, params);
+    wsim::kernels::SwRunOptions opt;
+    opt.engine = &engine;
+    if (verify) {
+      opt.collect_outputs = true;
+    } else {
+      opt.mode = wsim::simt::ExecMode::kCachedByShape;
+      opt.use_engine_cache = true;
+    }
+    auto result = runner.run_batch(dev, batch, opt);
+    run = std::move(result.run);
+    outputs = std::move(result.outputs);
+    kernel_name = runner.kernel().name;
+  }
+
+  wsim::util::Table table({"metric", "value"});
+  table.add_row({"kernel", wsim::kernels::sw_kernel_name(choice) + " (" +
+                               kernel_name + ")"});
+  table.add_row({"device", dev.name});
+  table.add_row({"profile", std::string(wsim::workload::to_string(profile))});
+  table.add_row({"tasks", std::to_string(batch.size())});
+  table.add_row({"cells", std::to_string(run.cells)});
+  table.add_row({"launches", std::to_string(launches)});
+  table.add_row({"blocks", std::to_string(blocks)});
+  table.add_row({"kernel time", format_fixed(run.launch.kernel_seconds * 1e3, 3) + " ms"});
+  table.add_row({"total time", format_fixed(run.launch.total_seconds() * 1e3, 3) + " ms"});
+  table.add_row({"GCUPS (kernel)", format_fixed(run.gcups_kernel(), 2)});
+  table.add_row({"GCUPS (total)", format_fixed(run.gcups_total(), 2)});
+  table.add_row({"occupancy", format_percent(run.launch.occupancy.fraction)});
+  table.print(std::cout);
+  if (verify) {
+    const auto verdict = wsim::guard::validate_sw(batch, outputs, params);
+    if (verdict.has_value()) {
+      std::cout << "verify: FAILED — " << *verdict << "\n";
+      return 1;
+    }
+    std::cout << "verify: OK (" << batch.size()
+              << " CIGARs re-scored against the scoring scheme)\n";
+  }
+  return 0;
 }
 
 /// Knobs shared by serve-sim and fleet-sim.
@@ -644,6 +743,28 @@ int cmd_fleet_sim(const Args& args) {
   fleet::FleetConfig fleet_cfg;
   fleet_cfg.workers = workers_from(args, "K40,K1200,Titan X");
   fleet_cfg.policy = fleet::placement_policy_by_name(args.get("policy", "model"));
+  fleet_cfg.parallelism =
+      fleet::parallelism_policy_by_name(args.get("parallelism", "auto"));
+  // --kernel pins one SW subsystem fleet-wide: wf-* names force every SW
+  // batch through that wavefront variant, plain names force task-per-block
+  // with that communication design. Unknown names error listing the valid
+  // vocabulary (sw_kernel_by_name).
+  const std::string kernel = args.get("kernel", "");
+  if (!kernel.empty()) {
+    const wsim::kernels::SwKernelChoice choice =
+        wsim::kernels::sw_kernel_by_name(kernel);
+    if (choice.intra) {
+      fleet_cfg.parallelism = fleet::ParallelismPolicy::kIntraTask;
+      for (auto& wc : fleet_cfg.workers) {
+        wc.wf_variant = choice.wf_variant;
+      }
+    } else {
+      fleet_cfg.parallelism = fleet::ParallelismPolicy::kInterTask;
+      for (auto& wc : fleet_cfg.workers) {
+        wc.sw_design = choice.inter_mode;
+      }
+    }
+  }
   fleet_cfg.faults.seed = static_cast<std::uint64_t>(args.get_int("fault-seed", 1));
   fleet_cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
   fleet_cfg.faults.slowdown_prob = std::stod(args.get("slow-prob", "0"));
@@ -685,13 +806,16 @@ int cmd_fleet_sim(const Args& args) {
     return "?";
   };
   const double duration = stats.duration_seconds();
-  wsim::util::Table devices({"device", "SW", "PH", "batches", "tasks", "cells",
-                             "busy (ms)", "util", "failures", "slowdowns"});
+  wsim::util::Table devices({"device", "SW", "WF", "PH", "batches", "intra",
+                             "tasks", "cells", "busy (ms)", "util", "failures",
+                             "slowdowns"});
   for (std::size_t i = 0; i < fleet_stats.devices.size(); ++i) {
     const auto& d = fleet_stats.devices[i];
     devices.add_row({d.name, std::string(wsim::kernels::to_string(d.sw_design)),
+                     std::string(wsim::kernels::to_string(d.wf_variant)),
                      ph_design_name(d.ph_design), std::to_string(d.batches),
-                     std::to_string(d.tasks), std::to_string(d.cells),
+                     std::to_string(d.intra_batches), std::to_string(d.tasks),
+                     std::to_string(d.cells),
                      format_fixed(d.busy_seconds * 1e3, 3),
                      format_percent(fleet_stats.utilization(i, duration)),
                      std::to_string(d.launch_failures),
@@ -1060,6 +1184,7 @@ const std::map<std::string, Handler>& handlers() {
       {"sw", cmd_sw},
       {"nw", cmd_nw},
       {"pairhmm", cmd_pairhmm},
+      {"sw-run", cmd_sw_run},
       {"workload", cmd_workload},
       {"sweep", cmd_sweep},
       {"pipeline", cmd_pipeline},
