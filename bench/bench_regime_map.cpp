@@ -55,9 +55,13 @@ struct RegimePoint {
   double wf_shuffle_s = 0.0; ///< wavefront, shuffle-pipelined diagonal
   double model_inter_s = 0.0;
   double model_intra_s = 0.0;
+  double cal_inter_s = 0.0;  ///< prediction after calibrate_intra_model
+  double cal_intra_s = 0.0;
   std::string winner;  ///< "inter" | "intra" from measurement (empty if not)
   std::string router;  ///< "inter" | "intra" from pick_parallelism
+  std::string cal_router;  ///< routing under the calibrated model
   bool router_agrees = false;
+  bool cal_router_agrees = false;
 };
 
 /// The measured wf-naive anti-pattern point (one per run).
@@ -124,15 +128,37 @@ std::string json_number(double value) {
   return os.str();
 }
 
+/// The scales calibrate_intra_model fitted for one device.
+struct FitRecord {
+  std::string device;
+  double inter_cell_scale = 1.0;
+  double intra_cell_scale = 1.0;
+  double wave_overhead_scale = 1.0;
+  double inter_fill_scale = 1.0;
+  double intra_fill_scale = 1.0;
+};
+
 void write_json(const std::string& path, const std::vector<RegimePoint>& points,
-                const std::vector<NaivePoint>& naive) {
+                const std::vector<NaivePoint>& naive,
+                const std::vector<FitRecord>& fits) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "warning: cannot write " << path << '\n';
     return;
   }
-  out << "{\n  \"bench\": \"regime_map\",\n  \"schema_version\": 1,\n"
-      << "  \"naive_points\": [\n";
+  out << "{\n  \"bench\": \"regime_map\",\n  \"schema_version\": 2,\n"
+      << "  \"calibration\": [\n";
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    const auto& f = fits[i];
+    out << "    {\"device\": \"" << f.device
+        << "\", \"inter_cell_scale\": " << json_number(f.inter_cell_scale)
+        << ", \"intra_cell_scale\": " << json_number(f.intra_cell_scale)
+        << ", \"wave_overhead_scale\": " << json_number(f.wave_overhead_scale)
+        << ", \"inter_fill_scale\": " << json_number(f.inter_fill_scale)
+        << ", \"intra_fill_scale\": " << json_number(f.intra_fill_scale)
+        << "}" << (i + 1 < fits.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"naive_points\": [\n";
   for (std::size_t i = 0; i < naive.size(); ++i) {
     const auto& p = naive[i];
     out << "    {\"device\": \"" << p.device << "\", \"m\": " << p.m
@@ -154,9 +180,14 @@ void write_json(const std::string& path, const std::vector<RegimePoint>& points,
         << ", \"wf_shuffle_s\": " << json_number(p.wf_shuffle_s)
         << ", \"model_inter_s\": " << json_number(p.model_inter_s)
         << ", \"model_intra_s\": " << json_number(p.model_intra_s)
+        << ", \"cal_model_inter_s\": " << json_number(p.cal_inter_s)
+        << ", \"cal_model_intra_s\": " << json_number(p.cal_intra_s)
         << ", \"winner\": \"" << p.winner << "\""
         << ", \"router\": \"" << p.router << "\""
+        << ", \"cal_router\": \"" << p.cal_router << "\""
         << ", \"router_agrees\": " << (p.router_agrees ? "true" : "false")
+        << ", \"cal_router_agrees\": "
+        << (p.cal_router_agrees ? "true" : "false")
         << "}" << (i + 1 < points.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -182,8 +213,11 @@ int main(int argc, char** argv) {
   // The measured grid. 8192 stays model-only: a single task-per-block DP of
   // 8192 x 9216 cells is one interpreted block — minutes of host time for a
   // point the model already covers.
+  // 512 stays in the smoke grid: it is the corner the static model
+  // over-charges (partial tiles pipeline better than whole-tile derating
+  // predicts) and the calibrated-model contract below re-checks it.
   const std::vector<std::size_t> lengths =
-      smoke ? std::vector<std::size_t>{256, 2048}
+      smoke ? std::vector<std::size_t>{256, 512, 2048}
             : std::vector<std::size_t>{256, 512, 1024, 2048, 4096};
   const std::vector<std::size_t> batches =
       smoke ? std::vector<std::size_t>{1, 256}
@@ -192,8 +226,11 @@ int main(int argc, char** argv) {
 
   std::vector<RegimePoint> points;
   std::vector<NaivePoint> naive_points;
+  std::vector<FitRecord> fits;
 
   for (const auto& device : devices) {
+    const std::size_t device_points_begin = points.size();
+    std::vector<fleet::RegimeSample> samples;
     const auto model = fleet::build_intra_task_model(device);
     const kernels::SwRunner inter_runner(model.sw_design);
     const kernels::WavefrontSwRunner wf_shared(kernels::WfVariant::kSharedMemory);
@@ -229,6 +266,7 @@ int main(int argc, char** argv) {
                        ? "intra"
                        : "inter";
         p.router_agrees = p.winner == p.router;
+        samples.push_back({m, n, batch, p.inter_s, wf_best});
         points.push_back(std::move(p));
       }
     }
@@ -253,6 +291,38 @@ int main(int argc, char** argv) {
       points.push_back(std::move(p));
     }
 
+    // Offline calibration: fit the model's per-regime scales to the
+    // measured grid and re-evaluate every prediction and routing decision
+    // under the calibrated model — the regime-map counterpart of the
+    // fleet's online Calibrator.
+    const auto calibrated = fleet::calibrate_intra_model(device, model, samples);
+    fits.push_back({device.name, calibrated.inter_cell_scale,
+                    calibrated.intra_cell_scale,
+                    calibrated.wave_overhead_scale,
+                    calibrated.inter_fill_scale,
+                    calibrated.intra_fill_scale});
+    std::cout << "  calibrated scales: inter-cell "
+              << format_fixed(calibrated.inter_cell_scale, 3) << " (fill "
+              << format_fixed(calibrated.inter_fill_scale, 3)
+              << "), intra-cell "
+              << format_fixed(calibrated.intra_cell_scale, 3) << " (fill "
+              << format_fixed(calibrated.intra_fill_scale, 3)
+              << "), wave-overhead "
+              << format_fixed(calibrated.wave_overhead_scale, 3) << "\n";
+    for (std::size_t i = device_points_begin; i < points.size(); ++i) {
+      RegimePoint& p = points[i];
+      p.cal_inter_s = fleet::predicted_inter_batch_seconds(device, calibrated,
+                                                           p.m, p.n, p.batch);
+      p.cal_intra_s = fleet::predicted_intra_batch_seconds(device, calibrated,
+                                                           p.m, p.n, p.batch);
+      p.cal_router = fleet::pick_parallelism(device, calibrated, p.m, p.n,
+                                             p.batch) ==
+                             fleet::ParallelMode::kIntraTask
+                         ? "intra"
+                         : "inter";
+      p.cal_router_agrees = p.measured ? p.winner == p.cal_router : true;
+    }
+
     // The anti-pattern on record: kernel-per-diagonal with all state in
     // global memory, one host sync per anti-diagonal.
     {
@@ -274,7 +344,8 @@ int main(int argc, char** argv) {
 
   wsim::util::Table table({"device", "len", "batch", "inter (ms)",
                            "wf-shared (ms)", "wf-shuffle (ms)", "model inter",
-                           "model intra", "winner", "router", "agree"});
+                           "model intra", "cal intra", "winner", "router",
+                           "agree", "cal agree"});
   for (const auto& p : points) {
     table.add_row({p.device, std::to_string(p.m), std::to_string(p.batch),
                    p.measured ? format_fixed(p.inter_s * 1e3, 3) : "-",
@@ -282,8 +353,10 @@ int main(int argc, char** argv) {
                    p.measured ? format_fixed(p.wf_shuffle_s * 1e3, 3) : "-",
                    format_fixed(p.model_inter_s * 1e3, 3),
                    format_fixed(p.model_intra_s * 1e3, 3),
+                   format_fixed(p.cal_intra_s * 1e3, 3),
                    p.measured ? p.winner : "-", p.router,
-                   p.measured ? (p.router_agrees ? "yes" : "NO") : "-"});
+                   p.measured ? (p.router_agrees ? "yes" : "NO") : "-",
+                   p.measured ? (p.cal_router_agrees ? "yes" : "NO") : "-"});
   }
   table.print(std::cout);
   wsim::bench::maybe_write_csv("regime_map", table);
@@ -298,7 +371,7 @@ int main(int argc, char** argv) {
               << format_fixed(np.naive_s / np.wf_shuffle_s, 1) << "x slower\n";
   }
 
-  write_json("BENCH_regime.json", points, naive_points);
+  write_json("BENCH_regime.json", points, naive_points, fits);
 
   // Contract checks — these gate CI in --smoke mode and also hold on the
   // full grid. The two corners come straight from the issue: the wavefront
@@ -342,6 +415,38 @@ int main(int argc, char** argv) {
       ++failures;
     }
   }
+  // The calibrated model must not lose routing accuracy anywhere, and it
+  // must fix the 512 bp / small-batch corner: there the raw model's
+  // per-wave overhead and fill/drain terms over-charge the wavefront so
+  // the router keeps task-per-block even though the measurement says the
+  // wavefront wins. Routing rides the inter/intra *ratio*, which the
+  // fitted scales correct even where a global 2-parameter fit cannot pin
+  // every absolute time.
+  std::size_t raw_agree = 0;
+  std::size_t cal_agree = 0;
+  for (const auto& p : points) {
+    if (!p.measured) {
+      continue;
+    }
+    raw_agree += p.router_agrees ? 1 : 0;
+    cal_agree += p.cal_router_agrees ? 1 : 0;
+    if (p.m == 512 && p.batch == small_batch && !p.cal_router_agrees) {
+      std::cerr << "FAIL: calibrated router still mis-routes the 512 bp/"
+                << "small-batch corner on " << p.device << " (measured "
+                << p.winner << ", routed " << p.cal_router << ")\n";
+      ++failures;
+    }
+  }
+  if (cal_agree < raw_agree) {
+    std::cerr << "FAIL: calibrated routing agreement dropped (" << cal_agree
+              << " < " << raw_agree << " of the measured grid)\n";
+    ++failures;
+  }
+  std::cout << "router agreement: raw " << raw_agree << ", calibrated "
+            << cal_agree << " of "
+            << std::count_if(points.begin(), points.end(),
+                             [](const RegimePoint& p) { return p.measured; })
+            << " measured points\n";
   if (failures > 0) {
     std::cerr << failures << " regime contract violation(s)\n";
     return 1;

@@ -40,10 +40,13 @@ const std::vector<CommandInfo>& commands() {
        "           replay a dataset as an open-loop arrival process (R requests\n"
        "           per simulated second) through the async alignment service\n"},
       {"fleet-sim",
-       "  fleet-sim [--fleet \"K40,K1200,Titan X\"] [--policy model|rr|least-cells]\n"
+       "  fleet-sim [--fleet \"K40,K1200,Titan X\"]\n"
+       "            [--policy model|rr|least-cells|calibrated]\n"
        "            [--parallelism auto|inter|intra] [--kernel NAME]\n"
        "            [--profile short-read|long-read|contig]\n"
        "            [--fail-prob P] [--slow-prob P] [--slow-factor X]\n"
+       "            [--degrade \"DEV@FACTOR[:stuck|ramp|flap[:ONSET[:PARAM]]]\"]\n"
+       "            [--calibrate on|off]\n"
        "            [--fault-seed S] [--json F] [--trace-out F]\n"
        "            [--metrics-out F] [+ serve-sim options]\n"
        "           the serve-sim replay over a heterogeneous multi-device fleet\n"
@@ -51,13 +54,20 @@ const std::vector<CommandInfo>& commands() {
        "           prints per-device utilization and dispatch accounting.\n"
        "           --parallelism auto lets the Eq. 7/8 regime model route each\n"
        "           SW batch inter- vs intra-task per device; --kernel pins one\n"
-       "           subsystem fleet-wide (wf-* names force the wavefront path)\n"},
+       "           subsystem fleet-wide (wf-* names force the wavefront path).\n"
+       "           --degrade silently slows a device (no fault counters) in\n"
+       "           per-device dispatch-sequence space; --calibrate (default on\n"
+       "           for --policy calibrated) runs the online model calibration\n"
+       "           and drift ladder that detects and derates such devices\n"},
       {"cluster-sim",
        "  cluster-sim [--trace F | --shape steady|diurnal|bursty] [--save-trace F]\n"
        "            [--duration S] [--rate R] [--tenants N] [--slo MS]\n"
        "            [--quota N] [--fleet-device D] [--min N] [--max N]\n"
        "            [--autoscaler on|off] [--interval US] [--warmup US]\n"
-       "            [--target-backlog US] [--cost-hour C] [--json F]\n"
+       "            [--target-backlog US] [--cost-hour C]\n"
+       "            [--policy model|rr|least-cells|calibrated]\n"
+       "            [--degrade \"DEV@FACTOR[:stuck|ramp|flap[:ONSET[:PARAM]]]\"]\n"
+       "            [--calibrate on|off] [--json F]\n"
        "            [--trace-out F] [--metrics-out F]\n"
        "           multi-tenant cluster-scale serving on a dynamically-scaled\n"
        "           fleet: replay (or generate, optionally saving with\n"
@@ -65,7 +75,9 @@ const std::vector<CommandInfo>& commands() {
        "           service while the queue-depth autoscaler joins and drains\n"
        "           workers; reports per-tenant latency percentiles, SLO\n"
        "           violations, goodput, device-hours, and cost per million\n"
-       "           requests\n"},
+       "           requests. With --calibrate on the autoscaler derates its\n"
+       "           Eq. 7/8 capacity by the fleet's calibrated correction, so a\n"
+       "           silently degraded (--degrade) pool scales out\n"},
       {"guard-sim",
        "  guard-sim [--flip-prob \"3e-7,3e-6\"] [--detect none|abft|dual|all]\n"
        "            [--regions N] [--batch N] [--fleet \"K1200,Titan X\"]\n"

@@ -23,9 +23,11 @@ Autoscaler::Autoscaler(const AutoscalerConfig& config, double device_gcups)
 }
 
 ScaleDecision Autoscaler::decide(double now, std::size_t outstanding_cells,
-                                 std::size_t serving_workers) {
+                                 std::size_t serving_workers,
+                                 double capacity_scale) {
   ScaleDecision decision;
-  const double cells_per_second = device_gcups_ * 1e9;
+  const double scale = capacity_scale > 0.0 ? capacity_scale : 1.0;
+  const double cells_per_second = device_gcups_ * 1e9 * scale;
   const std::size_t serving = std::max<std::size_t>(serving_workers, 1);
   decision.backlog_seconds = static_cast<double>(outstanding_cells) /
                              (cells_per_second * static_cast<double>(serving));

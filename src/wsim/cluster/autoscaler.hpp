@@ -49,8 +49,13 @@ class Autoscaler {
   /// One control tick at simulated time `now`, observing the outstanding
   /// cell count (admission queues + in-flight device backlog) and the
   /// number of serving (non-draining, non-retired) workers.
+  /// `capacity_scale` derates the Eq. 7/8 capacity by the fleet's mean
+  /// calibrated correction (FleetExecutor::calibrated_capacity_scale): a
+  /// silently degraded fleet then sees a proportionally larger backlog in
+  /// seconds and scales out instead of trusting spec-sheet throughput.
   ScaleDecision decide(double now, std::size_t outstanding_cells,
-                       std::size_t serving_workers);
+                       std::size_t serving_workers,
+                       double capacity_scale = 1.0);
 
  private:
   AutoscalerConfig config_;

@@ -53,6 +53,7 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
   fleet_config.policy = config.policy;
   fleet_config.faults = config.faults;
   fleet_config.retry = config.retry;
+  fleet_config.calibration = config.calibration;
   fleet_config.join_warmup_seconds = config.join_warmup_seconds;
   fleet::FleetExecutor fleet(fleet_config);
 
@@ -142,8 +143,9 @@ ClusterReport run_cluster(const workload::Dataset& dataset,
                  static_cast<double>(serving));
     obs::counter(t, obs::Layer::kCluster, "cluster.outstanding_cells",
                  outstanding);
-    const ScaleDecision decision = autoscaler.decide(
-        t, static_cast<std::size_t>(outstanding), serving);
+    const ScaleDecision decision =
+        autoscaler.decide(t, static_cast<std::size_t>(outstanding), serving,
+                          fleet.calibrated_capacity_scale(t));
     if (decision.delta > 0) {
       static obs::Counter c_up("cluster.scale_ups");
       c_up.add();

@@ -22,6 +22,11 @@ struct ClusterConfig {
   fleet::PlacementPolicy policy = fleet::PlacementPolicy::kModelGuided;
   fleet::FaultPlan faults;
   fleet::RetryPolicy retry;
+  /// Online model calibration and drift detection (off by default). When
+  /// enabled, the autoscaler's Eq. 7/8 capacity is derated by the fleet's
+  /// mean calibrated correction every control tick, so a silently
+  /// degraded pool scales out instead of trusting spec-sheet throughput.
+  fleet::CalibrationConfig calibration;
   /// Simulated seconds a joining member spends warming up before it takes
   /// placements — the "cost" of elasticity the autoscaler must overcome.
   double join_warmup_seconds = 2e-3;

@@ -1,0 +1,435 @@
+#include "wsim/fleet/calibrator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "wsim/util/check.hpp"
+
+namespace wsim::fleet {
+
+std::string_view to_string(KernelClass cls) noexcept {
+  switch (cls) {
+    case KernelClass::kSwInter:
+      return "sw-inter";
+    case KernelClass::kSwIntra:
+      return "sw-intra";
+    case KernelClass::kPairHmm:
+      return "pairhmm";
+  }
+  return "?";
+}
+
+std::string_view to_string(DriftState state) noexcept {
+  switch (state) {
+    case DriftState::kNominal:
+      return "nominal";
+    case DriftState::kDriftSuspect:
+      return "drift-suspect";
+    case DriftState::kDerated:
+      return "derated";
+  }
+  return "?";
+}
+
+Calibrator::Calibrator(CalibrationConfig config) : config_(config) {
+  util::require(config_.alpha > 0.0 && config_.alpha <= 1.0,
+                "Calibrator: alpha must be in (0, 1]");
+  util::require(config_.min_samples >= 1,
+                "Calibrator: min_samples must be >= 1");
+  util::require(config_.window >= 1, "Calibrator: window must be >= 1");
+  util::require(config_.cusum_slack >= 0.0,
+                "Calibrator: cusum_slack must be >= 0");
+  util::require(config_.cusum_threshold > 0.0,
+                "Calibrator: cusum_threshold must be > 0");
+  util::require(config_.peer_ratio > 1.0, "Calibrator: peer_ratio must be > 1");
+  util::require(config_.derate_ratio > 1.0,
+                "Calibrator: derate_ratio must be > 1");
+  util::require(config_.requalify_band >= 1.0,
+                "Calibrator: requalify_band must be >= 1");
+  util::require(config_.quarantine_ratio > config_.derate_ratio,
+                "Calibrator: quarantine_ratio must exceed derate_ratio");
+  util::require(config_.probe_interval >= 1,
+                "Calibrator: probe_interval must be >= 1");
+  util::require(config_.requalify_after >= 1,
+                "Calibrator: requalify_after must be >= 1");
+}
+
+void Calibrator::resize(std::size_t devices) {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(devices >= devices_.size(),
+                "Calibrator: the device registry only grows");
+  devices_.resize(devices);
+}
+
+std::size_t Calibrator::devices() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return devices_.size();
+}
+
+double Calibrator::windowed_ratio(const Track& track) const {
+  if (track.recent.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  for (const double r : track.recent) {
+    sum += r;
+  }
+  return sum / static_cast<double>(track.recent.size());
+}
+
+double Calibrator::factor_locked(const DeviceCal& cal, KernelClass cls) const {
+  const Track& track = cal.tracks[static_cast<std::size_t>(cls)];
+  return track.warmed() ? track.factor : 1.0;
+}
+
+double Calibrator::reference_factor(int device, KernelClass cls) const {
+  // The device's own warm-up baseline, scaled by the median *drift*
+  // (factor / baseline) of its warmed peers for the class. Raw factors
+  // must never be compared across devices: the healthy per-device model
+  // biases of a heterogeneous fleet spread wider than the drift being
+  // hunted, so a raw-factor median would false-fire on healthy fleets.
+  // Peer drifts sit near 1.0 when the fleet is healthy and move together
+  // under common-mode shifts (a workload change biasing every device),
+  // which is exactly what should not count as one device drifting.
+  const Track& own =
+      devices_[static_cast<std::size_t>(device)].tracks[static_cast<std::size_t>(cls)];
+  if (!own.warmed()) {
+    return factor_locked(devices_[static_cast<std::size_t>(device)], cls);
+  }
+  std::vector<double> drifts;
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    if (static_cast<int>(i) == device) {
+      continue;
+    }
+    const Track& track = devices_[i].tracks[static_cast<std::size_t>(cls)];
+    if (track.warmed() && track.baseline > 0.0) {
+      drifts.push_back(track.factor / track.baseline);
+    }
+  }
+  if (drifts.empty()) {
+    return own.baseline;
+  }
+  std::sort(drifts.begin(), drifts.end());
+  const std::size_t mid = drifts.size() / 2;
+  const double median = drifts.size() % 2 == 1
+                            ? drifts[mid]
+                            : 0.5 * (drifts[mid - 1] + drifts[mid]);
+  return own.baseline * median;
+}
+
+std::vector<DriftTransition> Calibrator::observe(int device, KernelClass cls,
+                                                 std::uint64_t seq,
+                                                 double predicted_seconds,
+                                                 double observed_seconds,
+                                                 SimTime t) {
+  std::vector<DriftTransition> out;
+  if (!config_.enabled) {
+    return out;
+  }
+  util::require(predicted_seconds > 0.0 && observed_seconds > 0.0,
+                "Calibrator::observe: seconds must be > 0");
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::observe: unknown device");
+  DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+  PendingObs obs;
+  obs.cls = cls;
+  obs.predicted = predicted_seconds;
+  obs.observed = observed_seconds;
+  obs.time = t;
+  if (seq != cal.next_seq) {
+    util::require(seq > cal.next_seq,
+                  "Calibrator::observe: dispatch seq applied twice");
+    cal.pending.emplace(seq, obs);
+    return out;
+  }
+  apply(device, obs, out);
+  ++cal.next_seq;
+  // Drain any buffered successors the gap was hiding.
+  auto it = cal.pending.begin();
+  while (it != cal.pending.end() && it->first == cal.next_seq) {
+    if (!it->second.skipped) {
+      apply(device, it->second, out);
+    }
+    ++cal.next_seq;
+    it = cal.pending.erase(it);
+  }
+  return out;
+}
+
+std::vector<DriftTransition> Calibrator::skip(int device, std::uint64_t seq) {
+  std::vector<DriftTransition> out;
+  if (!config_.enabled) {
+    return out;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::skip: unknown device");
+  DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+  if (seq != cal.next_seq) {
+    util::require(seq > cal.next_seq,
+                  "Calibrator::skip: dispatch seq applied twice");
+    PendingObs obs;
+    obs.skipped = true;
+    cal.pending.emplace(seq, obs);
+    return out;
+  }
+  ++cal.next_seq;
+  auto it = cal.pending.begin();
+  while (it != cal.pending.end() && it->first == cal.next_seq) {
+    if (!it->second.skipped) {
+      apply(device, it->second, out);
+    }
+    ++cal.next_seq;
+    it = cal.pending.erase(it);
+  }
+  return out;
+}
+
+void Calibrator::apply(int device, const PendingObs& obs,
+                       std::vector<DriftTransition>& out) {
+  DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+  Track& track = cal.tracks[static_cast<std::size_t>(obs.cls)];
+  const double ratio = obs.observed / obs.predicted;
+  ++total_applied_;
+  cal.last_observed_dispatch = total_applied_;
+
+  // Warm-up: accumulate the mean, apply factor 1.0, no detectors.
+  ++track.count;
+  if (!track.factor_seeded) {
+    track.warmup_sum += ratio;
+    if (track.count >= static_cast<std::uint64_t>(config_.min_samples)) {
+      track.factor = track.warmup_sum / static_cast<double>(track.count);
+      track.baseline = track.factor;
+      track.factor_seeded = true;
+    }
+    return;
+  }
+  if (config_.freeze_after_warmup) {
+    return;  // calibrate-once-at-deploy: the seeded factor is final
+  }
+
+  // CUSUM residual against the factor *before* this observation updates
+  // it — a step the EWMA has not yet absorbed accumulates fast.
+  const double residual = std::log(ratio / track.factor) - config_.cusum_slack;
+  track.cusum = std::max(0.0, track.cusum + residual);
+  track.factor =
+      (1.0 - config_.alpha) * track.factor + config_.alpha * ratio;
+  if (track.recent.size() <
+      static_cast<std::size_t>(config_.window)) {
+    track.recent.push_back(ratio);
+  } else {
+    track.recent[track.recent_next] = ratio;
+    track.recent_next = (track.recent_next + 1) % track.recent.size();
+  }
+
+  const double reference = reference_factor(device, obs.cls);
+  const double windowed = windowed_ratio(track);
+  const double windowed_vs_ref = reference > 0.0 ? windowed / reference : 1.0;
+
+  const auto transition = [&](DriftState to, double drove, int evidence,
+                              bool escalate) {
+    DriftTransition tr;
+    tr.device = device;
+    tr.cls = obs.cls;
+    tr.from = cal.state;
+    tr.to = to;
+    tr.ratio = drove;
+    tr.window = evidence;
+    tr.time = obs.time;
+    tr.escalate_quarantine = escalate;
+    cal.state = to;
+    out.push_back(tr);
+  };
+
+  // Silent degradation (a dropped clock, a flaky link) slows every kernel
+  // class on the device, but only the suspect class accumulates direct
+  // evidence. On derate/requalify, rescale the *other* warmed classes by
+  // the same relative drift — otherwise they keep routing at stale factors
+  // until their own EWMAs crawl over, and the device soaks up misplaced
+  // work the whole time.
+  const auto scale_peers_of = [&](KernelClass cls, double drift) {
+    for (std::size_t c = 0; c < kKernelClasses; ++c) {
+      Track& other = cal.tracks[c];
+      if (c == static_cast<std::size_t>(cls) || !other.warmed()) {
+        continue;
+      }
+      other.factor = other.baseline * drift;
+      other.cusum = 0.0;
+    }
+  };
+
+  switch (cal.state) {
+    case DriftState::kNominal: {
+      const bool cusum_trip = track.cusum >= config_.cusum_threshold;
+      const bool peer_trip = track.factor >= config_.peer_ratio * reference;
+      if (cusum_trip || peer_trip) {
+        cal.suspect_class = static_cast<int>(obs.cls);
+        cal.suspect_evidence.clear();
+        cal.suspect_evidence.push_back(ratio);
+        transition(DriftState::kDriftSuspect, windowed_vs_ref, 1, false);
+      }
+      break;
+    }
+    case DriftState::kDriftSuspect: {
+      if (static_cast<int>(obs.cls) != cal.suspect_class) {
+        break;  // confirmation watches the class whose detector fired
+      }
+      cal.suspect_evidence.push_back(ratio);
+      double evidence = 0.0;
+      for (const double r : cal.suspect_evidence) {
+        evidence += r;
+      }
+      evidence /= static_cast<double>(cal.suspect_evidence.size());
+      const double evidence_vs_ref =
+          reference > 0.0 ? evidence / reference : 1.0;
+      if (cal.suspect_evidence.size() >= 2 &&
+          evidence_vs_ref >= config_.derate_ratio) {
+        // Persistent drift confirmed: snap the factor to the post-onset
+        // evidence mean so placement reacts now, not after the EWMA
+        // catches up, and propagate the drift to the device's other
+        // kernel classes.
+        track.factor = evidence;
+        track.cusum = 0.0;
+        cal.inband_streak = 0;
+        if (track.baseline > 0.0) {
+          scale_peers_of(obs.cls, evidence / track.baseline);
+        }
+        transition(DriftState::kDerated, evidence_vs_ref,
+                   static_cast<int>(cal.suspect_evidence.size()),
+                   evidence_vs_ref >= config_.quarantine_ratio);
+      } else if (track.cusum <
+                     config_.cusum_threshold * config_.suspect_decay &&
+                 track.factor < config_.peer_ratio * reference) {
+        // Both detectors quiet again: transient noise, stand down.
+        cal.suspect_class = -1;
+        cal.suspect_evidence.clear();
+        transition(DriftState::kNominal, windowed_vs_ref,
+                   static_cast<int>(track.recent.size()), false);
+      }
+      break;
+    }
+    case DriftState::kDerated: {
+      if (static_cast<int>(obs.cls) != cal.suspect_class) {
+        break;
+      }
+      if (windowed_vs_ref >= config_.quarantine_ratio) {
+        // Still derated, but sick enough to hand to the quarantine
+        // channel (re-entering kDerated marks the escalation).
+        cal.inband_streak = 0;
+        transition(DriftState::kDerated, windowed_vs_ref,
+                   static_cast<int>(track.recent.size()), true);
+        break;
+      }
+      if (ratio <= config_.requalify_band * reference) {
+        ++cal.inband_streak;
+        if (cal.inband_streak >= config_.requalify_after) {
+          track.factor = windowed;
+          track.cusum = 0.0;
+          if (track.baseline > 0.0) {
+            scale_peers_of(obs.cls, windowed / track.baseline);
+          }
+          cal.suspect_class = -1;
+          cal.suspect_evidence.clear();
+          cal.inband_streak = 0;
+          transition(DriftState::kNominal, windowed_vs_ref,
+                     static_cast<int>(track.recent.size()), false);
+        }
+      } else {
+        cal.inband_streak = 0;
+      }
+      break;
+    }
+  }
+}
+
+double Calibrator::factor(int device, KernelClass cls) const {
+  if (!config_.enabled) {
+    return 1.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::factor: unknown device");
+  return factor_locked(devices_[static_cast<std::size_t>(device)], cls);
+}
+
+double Calibrator::dominant_factor(int device) const {
+  if (!config_.enabled) {
+    return 1.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::dominant_factor: unknown device");
+  const DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+  std::size_t best = 0;
+  for (std::size_t c = 1; c < kKernelClasses; ++c) {
+    if (cal.tracks[c].count > cal.tracks[best].count) {
+      best = c;
+    }
+  }
+  return factor_locked(cal, static_cast<KernelClass>(best));
+}
+
+DriftState Calibrator::drift_state(int device) const {
+  if (!config_.enabled) {
+    return DriftState::kNominal;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::drift_state: unknown device");
+  return devices_[static_cast<std::size_t>(device)].state;
+}
+
+bool Calibrator::derated(int device) const {
+  return drift_state(device) == DriftState::kDerated;
+}
+
+double Calibrator::capacity_scale(const std::vector<int>& serving) const {
+  if (!config_.enabled || serving.empty()) {
+    return 1.0;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  double sum = 0.0;
+  std::size_t counted = 0;
+  for (const int device : serving) {
+    if (device < 0 || static_cast<std::size_t>(device) >= devices_.size()) {
+      continue;
+    }
+    const DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < kKernelClasses; ++c) {
+      if (cal.tracks[c].count > cal.tracks[best].count) {
+        best = c;
+      }
+    }
+    const double f = factor_locked(cal, static_cast<KernelClass>(best));
+    sum += f > 0.0 ? 1.0 / f : 1.0;
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 1.0;
+}
+
+bool Calibrator::probe_due(int device) const {
+  if (!config_.enabled) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (device < 0 || static_cast<std::size_t>(device) >= devices_.size()) {
+    return false;
+  }
+  const DeviceCal& cal = devices_[static_cast<std::size_t>(device)];
+  return cal.state == DriftState::kDerated &&
+         total_applied_ - cal.last_observed_dispatch >=
+             static_cast<std::uint64_t>(config_.probe_interval);
+}
+
+std::uint64_t Calibrator::samples(int device, KernelClass cls) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  util::require(device >= 0 && static_cast<std::size_t>(device) < devices_.size(),
+                "Calibrator::samples: unknown device");
+  return devices_[static_cast<std::size_t>(device)]
+      .tracks[static_cast<std::size_t>(cls)]
+      .count;
+}
+
+}  // namespace wsim::fleet

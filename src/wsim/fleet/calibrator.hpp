@@ -1,0 +1,253 @@
+#pragma once
+
+// Online calibration of the Eq. 7/8 performance model, plus drift
+// detection and the derate/probe/requalify recovery ladder.
+//
+// The static model predicts each batch's service seconds from occupancy
+// and critical-path latency; the simulator (like real hardware) disagrees
+// by a systematic per-(device, kernel-class) factor — and a silently
+// degraded device disagrees by much more, without tripping any fault
+// counter. The Calibrator regresses observed service seconds against the
+// prediction into one EWMA correction factor per (device, kernel class),
+// with deterministic warm-up (the factor stays exactly 1.0 until
+// `min_samples` observations, then seeds from their mean), and watches the
+// prediction residuals for drift:
+//
+//   * a one-sided CUSUM on log(observed / (factor x predicted)) catches
+//     step changes (a card dropping to half clock mid-run);
+//   * a relative-drift check — this device's factor vs its own warm-up
+//     baseline, normalized by the fleet-median drift of its warmed peers —
+//     catches slow ramps, which never present a step for the CUSUM to see.
+//     Judging against the device's *own* baseline matters: the healthy
+//     per-(device, class) model biases spread wider across a heterogeneous
+//     fleet than the drift being hunted, so comparing raw factors across
+//     devices would false-fire on every healthy fleet. The peer-median
+//     normalization keeps common-mode shifts (a workload change biasing
+//     every device's predictions together) from tripping anyone. The price
+//     is honest: a device degraded *before* its warm-up completes bakes
+//     the slowness into its baseline and is never flagged — but its factor
+//     still learns the true speed, so calibrated routing and autoscaling
+//     treat it correctly; only the drift label is missed.
+//
+// Either detector moves the device kNominal -> kSuspect. A suspect whose
+// windowed residual confirms persistent degradation is *derated*: its
+// factor snaps to the recent-window mean (so calibrated placement
+// immediately treats it at its true speed) instead of being hard
+// quarantined — capacity is reduced, not discarded. Placement keeps
+// probing a derated device; `requalify_after` consecutive in-band
+// observations requalify it back to kNominal. Only a windowed residual
+// beyond `quarantine_ratio` escalates to the executor's existing
+// quarantine channel.
+//
+// Determinism: observations are applied in per-device dispatch-sequence
+// order regardless of the order threads deliver them (late arrivals are
+// buffered, gaps left by failed attempts are closed with skip()), so the
+// factors — and every placement decision downstream of them — are a pure
+// function of the dispatch history.
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace wsim::fleet {
+
+using SimTime = double;
+
+/// The calibration key's kernel dimension: the three (kernel, regime)
+/// classes whose predictions the fleet places by. Per-class factors keep a
+/// device's wavefront bias from polluting its task-per-block correction.
+enum class KernelClass : std::uint8_t {
+  kSwInter = 0,  ///< task-per-block Smith-Waterman
+  kSwIntra = 1,  ///< wavefront-tile Smith-Waterman
+  kPairHmm = 2,
+};
+
+inline constexpr std::size_t kKernelClasses = 3;
+
+std::string_view to_string(KernelClass cls) noexcept;
+
+/// Drift status of one device, derived from its prediction residuals.
+enum class DriftState : std::uint8_t {
+  kNominal,      ///< residuals in band
+  kDriftSuspect, ///< a detector fired; awaiting windowed confirmation
+  kDerated,      ///< persistent drift confirmed; serving at calibrated capacity
+};
+
+std::string_view to_string(DriftState state) noexcept;
+
+struct CalibrationConfig {
+  /// Master switch. Off: factors stay 1.0, no drift detection, zero cost.
+  bool enabled = false;
+  /// Calibrate-once-at-deploy: factors seed from the warm-up mean and then
+  /// freeze — no EWMA tracking, no drift detection. This is the static
+  /// calibration real deployments ship with, and the baseline the online
+  /// mode is benchmarked against: a frozen factor keeps routing a silently
+  /// degraded device at its healthy rate forever.
+  bool freeze_after_warmup = false;
+  /// EWMA weight of the newest observed/predicted ratio after warm-up.
+  double alpha = 0.2;
+  /// Warm-up: the *applied* factor stays exactly 1.0 until this many
+  /// observations, then seeds from their mean — so short replays are
+  /// bit-identical whether calibration is on or off, and the first noisy
+  /// batches never whipsaw placement.
+  int min_samples = 8;
+  /// CUSUM allowance: per-sample log-residual slack absorbed before the
+  /// statistic accumulates (drift below this rate is the EWMA's job).
+  double cusum_slack = 0.10;
+  /// CUSUM threshold raising kDriftSuspect.
+  double cusum_threshold = 1.0;
+  /// Relative-drift check: suspect a device whose factor exceeds
+  /// peer_ratio x its own warm-up baseline x the peer-median drift
+  /// (catches slow ramps the CUSUM cannot see).
+  double peer_ratio = 1.5;
+  /// Residual window (observations) used to confirm suspicion and to snap
+  /// the derated factor to the device's current true speed.
+  int window = 8;
+  /// Windowed ratio vs the reference confirming kSuspect -> kDerated.
+  double derate_ratio = 1.3;
+  /// A suspect whose CUSUM decays below threshold x this fraction without
+  /// windowed confirmation returns to kNominal (transient noise).
+  double suspect_decay = 0.5;
+  /// Calibrated placement force-places a batch on a derated device that
+  /// has not been observed for this many fleet dispatches, so a starved
+  /// device can still prove recovery.
+  int probe_interval = 32;
+  /// Consecutive in-band observations that requalify a derated device.
+  int requalify_after = 6;
+  /// An observation within band x reference counts toward requalification.
+  double requalify_band = 1.15;
+  /// Windowed ratio vs the reference escalating a derated device to the
+  /// executor's hard quarantine channel (a device this sick is not worth
+  /// its residual capacity).
+  double quarantine_ratio = 6.0;
+};
+
+/// One drift-state transition, returned by observe() so the executor can
+/// emit events, flight-recorder dumps, and quarantine escalations at the
+/// layer that owns them. `ratio` is the windowed residual (observed over
+/// factor-corrected prediction vs the reference) that drove the move.
+struct DriftTransition {
+  int device = -1;
+  KernelClass cls = KernelClass::kSwInter;
+  DriftState from = DriftState::kNominal;
+  DriftState to = DriftState::kNominal;
+  double ratio = 1.0;
+  int window = 0;           ///< observations behind `ratio`
+  SimTime time = 0.0;
+  bool escalate_quarantine = false;
+};
+
+/// Thread-safe, order-deterministic calibration store. The FleetExecutor
+/// owns one; tests drive it directly.
+class Calibrator {
+ public:
+  explicit Calibrator(CalibrationConfig config);
+
+  const CalibrationConfig& config() const noexcept { return config_; }
+
+  /// Registers device ids [0, count). Growing is fine; shrinking is not.
+  void resize(std::size_t devices);
+  std::size_t devices() const;
+
+  /// Records that dispatch `seq` on `device` (class `cls`) was predicted
+  /// at `predicted_seconds` and actually took `observed_seconds`.
+  /// Observations are applied in per-device seq order: a call arriving
+  /// before its predecessors is buffered and applied when the gap closes,
+  /// so concurrent delivery cannot change the factors. Returns the drift
+  /// transitions the (re)ordered applications produced.
+  std::vector<DriftTransition> observe(int device, KernelClass cls,
+                                       std::uint64_t seq,
+                                       double predicted_seconds,
+                                       double observed_seconds, SimTime t);
+
+  /// Closes the seq gap left by a dispatch attempt that consumed `seq`
+  /// but never ran (launch failure, watchdog timeout). Returns any
+  /// transitions produced by buffered observations the gap was holding up.
+  std::vector<DriftTransition> skip(int device, std::uint64_t seq);
+
+  /// The correction factor calibrated placement multiplies into the
+  /// static prediction: exactly 1.0 while disabled or warming up.
+  double factor(int device, KernelClass cls) const;
+
+  /// The factor of the device's most-observed class — the single number
+  /// the stats/JSON schema reports per device.
+  double dominant_factor(int device) const;
+
+  DriftState drift_state(int device) const;
+  bool derated(int device) const;
+
+  /// Mean calibrated capacity (spec capacity x 1/factor, dominant class)
+  /// across `serving` device ids — the scale the autoscaler applies to its
+  /// Eq. 7/8 capacity model so a degraded fleet scales out.
+  double capacity_scale(const std::vector<int>& serving) const;
+
+  /// True when calibrated placement should force-place this batch on
+  /// `device` as a probe: the device is derated and has not produced an
+  /// observation within the last `probe_interval` fleet-wide applied
+  /// observations — a starved device must still get chances to prove
+  /// recovery.
+  bool probe_due(int device) const;
+
+  /// Observation count of one (device, class) — warm-up introspection.
+  std::uint64_t samples(int device, KernelClass cls) const;
+
+ private:
+  struct Track {
+    std::uint64_t count = 0;
+    double warmup_sum = 0.0;
+    double factor = 1.0;      ///< EWMA of observed/predicted, post warm-up
+    double baseline = 1.0;    ///< the factor at warm-up end: "healthy" bias
+    double cusum = 0.0;       ///< one-sided positive CUSUM on log residuals
+    std::vector<double> recent;  ///< ring of the last `window` ratios
+    std::size_t recent_next = 0;
+    bool warmed() const noexcept { return factor_seeded; }
+    bool factor_seeded = false;
+  };
+
+  struct PendingObs {
+    bool skipped = false;
+    KernelClass cls = KernelClass::kSwInter;
+    double predicted = 0.0;
+    double observed = 0.0;
+    SimTime time = 0.0;
+  };
+
+  struct DeviceCal {
+    std::array<Track, kKernelClasses> tracks;
+    DriftState state = DriftState::kNominal;
+    int suspect_class = -1;   ///< class whose detector fired
+    int inband_streak = 0;    ///< consecutive in-band obs while derated
+    /// Suspect-class ratios observed since the suspicion was raised — the
+    /// post-onset evidence the derate snaps the factor to. Snapping to the
+    /// window mean instead would blend in pre-onset ratios and under-derate.
+    std::vector<double> suspect_evidence;
+    std::uint64_t next_seq = 0;            ///< next dispatch seq to apply
+    std::map<std::uint64_t, PendingObs> pending;  ///< out-of-order arrivals
+    std::uint64_t last_observed_dispatch = 0;  ///< fleet dispatch counter
+  };
+
+  /// Applies one in-order observation; appends any transitions.
+  void apply(int device, const PendingObs& obs,
+             std::vector<DriftTransition>& out);
+
+  double windowed_ratio(const Track& track) const;
+  /// The healthy level a residual is judged against: the device's own
+  /// warm-up baseline scaled by the median drift (factor / baseline) of
+  /// its warmed peers for the class — 1.0-ish medians on a healthy fleet,
+  /// so this is effectively "what this device used to run at, adjusted
+  /// for fleet-wide shifts". Falls back to the bare baseline (or the
+  /// current factor pre-warm-up) when no peer has warmed.
+  double reference_factor(int device, KernelClass cls) const;
+  double factor_locked(const DeviceCal& cal, KernelClass cls) const;
+
+  CalibrationConfig config_;
+  mutable std::mutex mu_;
+  std::vector<DeviceCal> devices_;
+  std::uint64_t total_applied_ = 0;  ///< fleet-wide applied observations
+};
+
+}  // namespace wsim::fleet

@@ -1,5 +1,7 @@
 #include "wsim/fleet/fault.hpp"
 
+#include <algorithm>
+
 namespace wsim::fleet {
 
 namespace {
@@ -25,6 +27,46 @@ double draw(std::uint64_t seed, int device_index, std::uint64_t dispatch_seq,
 
 }  // namespace
 
+const char* to_string(DegradeKind kind) noexcept {
+  switch (kind) {
+    case DegradeKind::kStuckSlow:
+      return "stuck";
+    case DegradeKind::kProgressive:
+      return "ramp";
+    case DegradeKind::kFlapping:
+      return "flap";
+  }
+  return "?";
+}
+
+double DegradeSpec::multiplier_at(int device_index,
+                                  std::uint64_t seq) const noexcept {
+  if (device_index != device || factor <= 1.0 || seq < onset_seq) {
+    return 1.0;
+  }
+  const std::uint64_t since = seq - onset_seq;
+  switch (kind) {
+    case DegradeKind::kStuckSlow:
+      return factor;
+    case DegradeKind::kProgressive: {
+      if (ramp_batches == 0) {
+        return factor;
+      }
+      const double progress = std::min(
+          1.0, static_cast<double>(since + 1) /
+                   static_cast<double>(ramp_batches));
+      return 1.0 + (factor - 1.0) * progress;
+    }
+    case DegradeKind::kFlapping: {
+      if (period == 0) {
+        return factor;
+      }
+      return (since / period) % 2 == 0 ? factor : 1.0;
+    }
+  }
+  return 1.0;
+}
+
 bool FaultPlan::launch_fails(int device_index,
                              std::uint64_t dispatch_seq) const noexcept {
   if (launch_failure_prob <= 0.0) {
@@ -43,8 +85,13 @@ double FaultPlan::service_multiplier(int device_index,
              : 1.0;
 }
 
-double FaultPlan::degraded_multiplier(int device_index) const noexcept {
-  return device_index == degraded_device ? degraded_factor : 1.0;
+double FaultPlan::degraded_multiplier(
+    int device_index, std::uint64_t dispatch_seq) const noexcept {
+  double multiplier = device_index == degraded_device ? degraded_factor : 1.0;
+  for (const DegradeSpec& spec : degradations) {
+    multiplier *= spec.multiplier_at(device_index, dispatch_seq);
+  }
+  return multiplier;
 }
 
 double RetryPolicy::backoff(int attempt) const noexcept {

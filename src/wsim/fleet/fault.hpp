@@ -2,6 +2,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <vector>
 
 namespace wsim::fleet {
 
@@ -9,6 +10,43 @@ namespace wsim::fleet {
 /// serving layer uses (serve::SimTime): faults, backoffs, and quarantines
 /// move simulated time, never wall-clock time.
 using SimTime = double;
+
+/// How a silently degraded device's service-time inflation evolves over
+/// its dispatch sequence. All three families are deterministic functions
+/// of the per-device dispatch sequence number (not of simulated time), so
+/// a replay with the same dispatch order reproduces the same degradation
+/// curve — the property every drift-detection test leans on.
+enum class DegradeKind {
+  /// Full `factor` from `onset_seq` onward: the half-clocked card.
+  kStuckSlow,
+  /// Linear ramp from 1.0 at `onset_seq` to `factor` over `ramp_batches`
+  /// dispatches: creeping thermal throttling. Slow enough that a step
+  /// detector (CUSUM) never sees a jump — only a cross-device peer check
+  /// catches it.
+  kProgressive,
+  /// Alternates `period` degraded dispatches with `period` healthy ones
+  /// from `onset_seq`: the noisy-neighbour / oscillating-fan scenario that
+  /// exercises derate-then-probe-then-requalify rather than quarantine.
+  kFlapping,
+};
+
+const char* to_string(DegradeKind kind) noexcept;
+
+/// One silent-degradation injection: the named device's service seconds
+/// are stretched by the kind-specific multiplier without touching any
+/// fault counter — nothing for the health channel to see.
+struct DegradeSpec {
+  int device = -1;
+  DegradeKind kind = DegradeKind::kStuckSlow;
+  double factor = 2.0;
+  std::uint64_t onset_seq = 0;      ///< first affected dispatch on the device
+  std::uint64_t ramp_batches = 64;  ///< kProgressive: dispatches to full factor
+  std::uint64_t period = 32;        ///< kFlapping: half-period in dispatches
+
+  /// The multiplier this spec contributes at dispatch `seq` (1.0 when it
+  /// names another device or has not set in yet).
+  double multiplier_at(int device_index, std::uint64_t seq) const noexcept;
+};
 
 /// Deterministic, seeded fault injection for the fleet. Every decision is
 /// a pure function of (seed, device index, per-device dispatch sequence
@@ -45,9 +83,15 @@ struct FaultPlan {
   int degraded_device = -1;
   double degraded_factor = 2.0;
 
+  /// Generalized silent degradation: every spec contributes its
+  /// kind-specific multiplier (stuck-slow step, progressive ramp,
+  /// flapping square wave), combined multiplicatively with each other and
+  /// with the legacy degraded_device field above.
+  std::vector<DegradeSpec> degradations;
+
   bool enabled() const noexcept {
     return launch_failure_prob > 0.0 || slowdown_prob > 0.0 ||
-           degraded_device >= 0;
+           degraded_device >= 0 || !degradations.empty();
   }
 
   /// True when dispatch attempt `dispatch_seq` on `device_index` fails.
@@ -58,10 +102,13 @@ struct FaultPlan {
   double service_multiplier(int device_index,
                             std::uint64_t dispatch_seq) const noexcept;
 
-  /// Persistent silent-degradation multiplier for the device: 1.0 for
-  /// healthy devices, `degraded_factor` for `degraded_device`. Applied on
-  /// top of `service_multiplier`, invisible to every counter.
-  double degraded_multiplier(int device_index) const noexcept;
+  /// Persistent silent-degradation multiplier for dispatch `dispatch_seq`
+  /// on the device: 1.0 for healthy devices; the legacy degraded_device
+  /// step and every matching DegradeSpec otherwise, combined
+  /// multiplicatively. Applied on top of `service_multiplier`, invisible
+  /// to every counter.
+  double degraded_multiplier(int device_index,
+                             std::uint64_t dispatch_seq) const noexcept;
 };
 
 /// Retry-with-backoff policy for transient launch failures. Attempt k

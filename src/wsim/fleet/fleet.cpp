@@ -37,6 +37,8 @@ std::string_view to_string(PlacementPolicy policy) noexcept {
       return "least-cells";
     case PlacementPolicy::kModelGuided:
       return "model";
+    case PlacementPolicy::kCalibrated:
+      return "calibrated";
   }
   return "?";
 }
@@ -51,8 +53,11 @@ PlacementPolicy placement_policy_by_name(std::string_view name) {
   if (name == "model") {
     return PlacementPolicy::kModelGuided;
   }
+  if (name == "calibrated") {
+    return PlacementPolicy::kCalibrated;
+  }
   throw util::CheckError("unknown placement policy '" + std::string(name) +
-                         "' (valid: rr, least-cells, model)");
+                         "' (valid: rr, least-cells, model, calibrated)");
 }
 
 std::size_t FleetStats::total_cells() const noexcept {
@@ -94,7 +99,8 @@ double FleetStats::utilization(std::size_t device_index, double duration) const 
 FleetExecutor::FleetExecutor(FleetConfig config)
     : config_(std::move(config)),
       engine_(config_.engine != nullptr ? config_.engine
-                                        : &simt::shared_engine()) {
+                                        : &simt::shared_engine()),
+      calibrator_(config_.calibration) {
   util::require(!config_.workers.empty(),
                 "FleetExecutor: fleet needs at least one worker");
   util::require(config_.retry.max_attempts >= 1,
@@ -163,7 +169,11 @@ DeviceId FleetExecutor::add_worker(const WorkerConfig& wc, SimTime now,
   worker.stats.wf_variant = wf;
   worker.stats.id = id;
   worker.stats.joined_at = now;
+  // The model-believed timeline starts where the oracle one does: at the
+  // warmup end for a joining worker, at t=0 for the initial fleet.
+  worker.model_busy_until = active_at;
   workers_.push_back(std::move(worker));
+  calibrator_.resize(workers_.size());
   last_time_ = std::max(last_time_, now);
   return id;
 }
@@ -267,6 +277,9 @@ FleetStats FleetExecutor::stats() const {
     DeviceStats d = w.stats;
     d.free_at = w.free_at;
     d.state = worker_state(w, last_time_);
+    d.calibration_factor = calibrator_.dominant_factor(static_cast<int>(d.id));
+    d.drift_state = calibrator_.drift_state(static_cast<int>(d.id));
+    d.derated = calibrator_.derated(static_cast<int>(d.id));
     stats.devices.push_back(std::move(d));
   }
   stats.dispatches = dispatches_;
@@ -325,8 +338,121 @@ void FleetExecutor::prune_pending(SimTime t) {
   }
 }
 
-std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
-                                 int excluded) {
+bool FleetExecutor::routes_intra(const DeviceWorker& w, std::size_t mean_m,
+                                 std::size_t mean_n, std::size_t tasks) const {
+  switch (config_.parallelism) {
+    case ParallelismPolicy::kInterTask:
+      return false;
+    case ParallelismPolicy::kIntraTask:
+      return true;
+    case ParallelismPolicy::kAuto:
+      break;
+  }
+  if (config_.calibration.enabled) {
+    // The online form of a calibrated regime map: compare the regimes after
+    // multiplying each prediction by its learned per-class factor, so a
+    // device whose wavefront path runs biased against the model still flips
+    // to the subsystem that is actually faster. During warm-up both factors
+    // are exactly 1.0 and this reduces to pick_parallelism.
+    const int dev = static_cast<int>(w.stats.id);
+    const double inter = calibrator_.factor(dev, KernelClass::kSwInter) *
+                         predicted_inter_batch_seconds(w.cfg.device, w.intra,
+                                                       mean_m, mean_n, tasks);
+    const double intra = calibrator_.factor(dev, KernelClass::kSwIntra) *
+                         predicted_intra_batch_seconds(w.cfg.device, w.intra,
+                                                       mean_m, mean_n, tasks);
+    return intra < inter;
+  }
+  return pick_parallelism(w.cfg.device, w.intra, mean_m, mean_n, tasks) ==
+         ParallelMode::kIntraTask;
+}
+
+KernelClass FleetExecutor::kernel_class(const DeviceWorker& w, bool is_sw,
+                                        std::size_t mean_m, std::size_t mean_n,
+                                        std::size_t tasks) const {
+  if (!is_sw) {
+    return KernelClass::kPairHmm;
+  }
+  return routes_intra(w, mean_m, mean_n, tasks) ? KernelClass::kSwIntra
+                                                : KernelClass::kSwInter;
+}
+
+double FleetExecutor::predicted_seconds_for(const DeviceWorker& w,
+                                            KernelClass cls, std::size_t cells,
+                                            std::size_t mean_m,
+                                            std::size_t mean_n,
+                                            std::size_t tasks) const {
+  switch (cls) {
+    case KernelClass::kSwInter:
+      return predicted_batch_seconds(w.cfg.device, w.sw_gcups, cells);
+    case KernelClass::kSwIntra:
+      return predicted_intra_batch_seconds(w.cfg.device, w.intra, mean_m,
+                                           mean_n, tasks);
+    case KernelClass::kPairHmm:
+      return predicted_batch_seconds(w.cfg.device, w.ph_gcups, cells);
+  }
+  return predicted_batch_seconds(w.cfg.device, w.sw_gcups, cells);
+}
+
+void FleetExecutor::handle_drift(
+    const std::vector<DriftTransition>& transitions) {
+  for (const DriftTransition& tr : transitions) {
+    DeviceWorker& w = workers_[static_cast<std::size_t>(tr.device)];
+    if (tr.to == DriftState::kDriftSuspect) {
+      ++w.stats.drift_suspects;
+      static obs::Counter c_suspects("fleet.drift_suspects");
+      c_suspects.add();
+      obs::instant(tr.time, obs::Layer::kFleet, "fleet.drift_suspect",
+                   tr.device, static_cast<std::uint64_t>(tr.window), tr.ratio);
+    } else if (tr.to == DriftState::kDerated &&
+               tr.from != DriftState::kDerated) {
+      ++w.stats.derates;
+      static obs::Counter c_derates("fleet.derates");
+      c_derates.add();
+      obs::instant(tr.time, obs::Layer::kFleet, "fleet.derate", tr.device,
+                   static_cast<std::uint64_t>(tr.window), tr.ratio);
+      obs::dump_flight("fleet drift derate: device " +
+                           std::string(w.stats.name) + " (id " +
+                           std::to_string(w.stats.id) + ", " +
+                           std::string(to_string(tr.cls)) +
+                           ") residual ratio " + std::to_string(tr.ratio) +
+                           " over " + std::to_string(tr.window) +
+                           " observations",
+                       tr.device, static_cast<std::uint64_t>(tr.window),
+                       tr.time);
+    } else if (tr.from == DriftState::kDerated &&
+               tr.to == DriftState::kNominal) {
+      ++w.stats.requalifications;
+      static obs::Counter c_requal("fleet.requalifications");
+      c_requal.add();
+      obs::instant(tr.time, obs::Layer::kFleet, "fleet.requalify", tr.device,
+                   static_cast<std::uint64_t>(tr.window), tr.ratio);
+    } else if (tr.to == DriftState::kNominal) {
+      obs::instant(tr.time, obs::Layer::kFleet, "fleet.drift_cleared",
+                   tr.device, static_cast<std::uint64_t>(tr.window), tr.ratio);
+    }
+    if (tr.escalate_quarantine) {
+      quarantine(w, tr.time);
+    }
+  }
+}
+
+double FleetExecutor::calibrated_capacity_scale(SimTime now) const {
+  std::vector<int> serving;
+  serving.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const WorkerState s = worker_state(workers_[i], now);
+    if (s == WorkerState::kRetired || s == WorkerState::kDraining) {
+      continue;
+    }
+    serving.push_back(static_cast<int>(i));
+  }
+  return calibrator_.capacity_scale(serving);
+}
+
+std::size_t FleetExecutor::place(std::size_t tasks, std::size_t cells,
+                                 bool is_sw, std::size_t mean_m,
+                                 std::size_t mean_n, SimTime t, int excluded) {
   // Eligibility, relaxed in lifecycle rounds: active + not excluded +
   // queue room; then active ignoring queue bounds; then quarantined and
   // warming-up members (including the excluded device); then draining
@@ -416,14 +542,51 @@ std::size_t FleetExecutor::place(std::size_t cells, bool is_sw, SimTime t,
       }
       return best;
     }
+    case PlacementPolicy::kCalibrated: {
+      // A derated device would never win the finish-time race below, so
+      // placement force-probes one that has gone unobserved too long —
+      // otherwise it could never prove recovery and requalify.
+      for (const std::size_t i : eligible) {
+        if (calibrator_.probe_due(static_cast<int>(i))) {
+          ++workers_[i].stats.probes;
+          static obs::Counter c_probes("fleet.drift_probes");
+          c_probes.add();
+          obs::instant(t, obs::Layer::kFleet, "fleet.drift_probe",
+                       static_cast<int>(i));
+          return i;
+        }
+      }
+      // Earliest *believed* finish: model-predicted backlog plus this
+      // batch's calibrated prediction. Unlike kModelGuided this never reads
+      // the oracle free_at, so with calibration off a silently degraded
+      // device keeps its spec-rate share — the honest disaster the
+      // calibration factors exist to prevent.
+      std::size_t best = eligible.front();
+      double best_finish = std::numeric_limits<double>::infinity();
+      for (const std::size_t i : eligible) {
+        const DeviceWorker& w = workers_[i];
+        const KernelClass cls = kernel_class(w, is_sw, mean_m, mean_n, tasks);
+        const double predicted =
+            calibrator_.factor(static_cast<int>(i), cls) *
+            predicted_seconds_for(w, cls, cells, mean_m, mean_n, tasks);
+        const double finish = std::max(t, w.model_busy_until) + predicted;
+        if (finish < best_finish) {
+          best_finish = finish;
+          best = i;
+        }
+      }
+      return best;
+    }
   }
   return eligible.front();
 }
 
 template <typename RunBatch>
 Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
-                                  bool is_sw, SimTime now, int force_device,
-                                  int excluded_initial, RunBatch&& run) {
+                                  bool is_sw, std::size_t mean_m,
+                                  std::size_t mean_n, SimTime now,
+                                  int force_device, int excluded_initial,
+                                  RunBatch&& run) {
   SimTime t = now;
   int attempt = 0;
   int excluded = excluded_initial;
@@ -434,7 +597,7 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
       w = static_cast<std::size_t>(force_device);
       force_device = -1;  // a failed pinned attempt retries by placement
     } else {
-      w = place(cells, is_sw, t, excluded);
+      w = place(tasks, cells, is_sw, mean_m, mean_n, t, excluded);
     }
     DeviceWorker& worker = workers_[w];
     const std::uint64_t seq = worker.dispatch_seq++;
@@ -443,6 +606,9 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     // with the last failure's text, so callers (and serve tickets) see
     // what actually went wrong.
     const auto fail_attempt = [&](const std::string& why) {
+      // Close the calibration seq gap this consumed-but-unobserved
+      // dispatch leaves, so buffered successors are not held up forever.
+      handle_drift(calibrator_.skip(static_cast<int>(w), seq));
       ++worker.health.launch_failures;
       ++worker.health.consecutive_failures;
       if (config_.retry.unhealthy_after > 0 &&
@@ -505,10 +671,10 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     }
     // Silent degradation stretches service time on top of any slowdown
     // fault without touching a single counter — nothing for the health
-    // channel or the stats to see.
+    // channel or the stats to see. Only the calibration residuals can.
     const double multiplier =
         fault_multiplier *
-        config_.faults.degraded_multiplier(static_cast<int>(w));
+        config_.faults.degraded_multiplier(static_cast<int>(w), seq);
     Execution exec;
     exec.device_index = static_cast<int>(w);
     exec.attempts = attempt + 1;
@@ -516,6 +682,30 @@ Execution FleetExecutor::dispatch(std::size_t tasks, std::size_t cells,
     exec.start_time = std::max(t, worker.free_at);
     exec.completion_time = exec.start_time + exec.service_seconds;
     worker.free_at = exec.completion_time;
+    const bool calibrated_policy =
+        config_.policy == PlacementPolicy::kCalibrated;
+    if (calibrated_policy || config_.calibration.enabled) {
+      const KernelClass cls = kernel_class(worker, is_sw, mean_m, mean_n, tasks);
+      const double predicted =
+          predicted_seconds_for(worker, cls, cells, mean_m, mean_n, tasks);
+      if (calibrated_policy) {
+        // Extend the believed timeline with the factor placement used —
+        // the backlog model must reflect what the dispatcher knew, not
+        // what this observation is about to teach it. Maintained even with
+        // calibration off (factor pinned at 1.0): the backlog model is the
+        // policy's, only the correction factors are the calibrator's.
+        worker.model_busy_until =
+            std::max(t, worker.model_busy_until) +
+            calibrator_.factor(static_cast<int>(w), cls) * predicted;
+      }
+      if (config_.calibration.enabled) {
+        handle_drift(calibrator_.observe(static_cast<int>(w), cls, seq,
+                                         predicted, exec.service_seconds,
+                                         exec.completion_time));
+        static obs::Gauge g_factor("fleet.calibration_factor");
+        g_factor.set(calibrator_.dominant_factor(static_cast<int>(w)));
+      }
+    }
     worker.pending.emplace_back(exec.completion_time, cells);
     worker.pending_cells += cells;
     worker.stats.busy_seconds += exec.service_seconds;
@@ -673,25 +863,12 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
   }
   const std::size_t mean_m = std::max<std::size_t>(1, sum_m / batch.size());
   const std::size_t mean_n = std::max<std::size_t>(1, sum_n / batch.size());
-  const auto routes_intra = [&](const DeviceWorker& worker) {
-    switch (config_.parallelism) {
-      case ParallelismPolicy::kInterTask:
-        return false;
-      case ParallelismPolicy::kIntraTask:
-        return true;
-      case ParallelismPolicy::kAuto:
-        return pick_parallelism(worker.cfg.device, worker.intra, mean_m,
-                                mean_n, batch.size()) ==
-               ParallelMode::kIntraTask;
-    }
-    return false;
-  };
   // Shared by the guarded path and the timing-only fallback below. Both
   // subsystems produce bit-identical outputs, so routing is invisible to
   // the guard's validation and fingerprinting.
   const auto run_sw_on = [&](DeviceWorker& worker, bool collect,
                              kernels::SwBatchResult& result) {
-    if (routes_intra(worker)) {
+    if (routes_intra(worker, mean_m, mean_n, batch.size())) {
       kernels::WfRunOptions opt;
       opt.engine = engine_;
       opt.overlap_transfers = options.overlap_transfers;
@@ -733,8 +910,8 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
   const auto run_once = [&](SimTime when, int force, int excluded) {
     SwExecution out;
     out.exec =
-        dispatch(batch.size(), cells, /*is_sw=*/true, when, force, excluded,
-                 [&](DeviceWorker& worker) {
+        dispatch(batch.size(), cells, /*is_sw=*/true, mean_m, mean_n, when,
+                 force, excluded, [&](DeviceWorker& worker) {
                    return run_sw_on(worker, options.collect_outputs, out.result);
                  });
     return out;
@@ -763,8 +940,8 @@ SwExecution FleetExecutor::execute_sw(const workload::SwBatch& batch,
     // fail-stop, not silent. Timing comes from a clean shape-cached
     // dispatch; the values from the bit-identical CPU reference.
     SwExecution out;
-    out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, now, -1, -1,
-                        [&](DeviceWorker& worker) {
+    out.exec = dispatch(batch.size(), cells, /*is_sw=*/true, mean_m, mean_n,
+                        now, -1, -1, [&](DeviceWorker& worker) {
                           return run_sw_on(worker, /*collect=*/false,
                                            out.result);
                         });
@@ -784,7 +961,8 @@ PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
   const auto run_once = [&](SimTime when, int force, int excluded) {
     PhExecution out;
     out.exec =
-        dispatch(batch.size(), cells, /*is_sw=*/false, when, force, excluded,
+        dispatch(batch.size(), cells, /*is_sw=*/false, /*mean_m=*/1,
+                 /*mean_n=*/1, when, force, excluded,
                  [&](DeviceWorker& worker) {
                    kernels::PhRunOptions opt;
                    opt.engine = engine_;
@@ -827,8 +1005,8 @@ PhExecution FleetExecutor::execute_ph(const workload::PhBatch& batch,
     // As in execute_sw: crashes exhausted every attempt, so answer from
     // the CPU reference (accurate, though not bit-identical for PairHMM).
     PhExecution out;
-    out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, now, -1, -1,
-                        [&](DeviceWorker& worker) {
+    out.exec = dispatch(batch.size(), cells, /*is_sw=*/false, /*mean_m=*/1,
+                        /*mean_n=*/1, now, -1, -1, [&](DeviceWorker& worker) {
                           kernels::PhRunOptions opt;
                           opt.engine = engine_;
                           opt.overlap_transfers = options.overlap_transfers;

@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "wsim/fleet/calibrator.hpp"
 #include "wsim/fleet/fault.hpp"
 #include "wsim/fleet/router.hpp"
 #include "wsim/guard/guard.hpp"
@@ -67,12 +68,22 @@ enum class PlacementPolicy {
   /// on a heterogeneous fleet this is what routes proportionally more
   /// work to a Titan X than to a K1200.
   kModelGuided,
+  /// Like kModelGuided, but *production-realistic*: the finish estimate is
+  /// built entirely from the model — each device's backlog is the sum of
+  /// its still-predicted-outstanding batch times, not the simulator's
+  /// oracle free_at — and both the backlog and this batch's prediction are
+  /// multiplied by the Calibrator's per-(device, kernel-class) correction
+  /// factor. With calibration off this reproduces the silent-degradation
+  /// disaster honestly (a half-speed device keeps receiving its spec-rate
+  /// share to the end); with calibration on the learned factors steer work
+  /// away at the device's true speed. Derated devices are still probed.
+  kCalibrated,
 };
 
 std::string_view to_string(PlacementPolicy policy) noexcept;
 
-/// Lookup by CLI name: "rr" | "least-cells" | "model". Throws
-/// util::CheckError listing the valid names on anything else.
+/// Lookup by CLI name: "rr" | "least-cells" | "model" | "calibrated".
+/// Throws util::CheckError listing the valid names on anything else.
 PlacementPolicy placement_policy_by_name(std::string_view name);
 
 /// One simulated device in the fleet. Kernel designs may be pinned
@@ -122,6 +133,11 @@ struct FleetConfig {
   /// before it becomes placeable (driver load, clock ramp, cache warm).
   /// The initial fleet from `workers` is active at t=0 regardless.
   double join_warmup_seconds = 0.0;
+  /// Online model calibration + drift detection (see calibrator.hpp).
+  /// kCalibrated placement consults the factors whenever enabled; the
+  /// other policies still run the detectors, so drift surfaces in the
+  /// stats and the health channel regardless of routing.
+  CalibrationConfig calibration;
 };
 
 /// Execution knobs of one dispatch, mirroring the single-device runners.
@@ -151,6 +167,16 @@ struct DeviceStats {
   WorkerState state = WorkerState::kActive;  ///< lifecycle at snapshot time
   std::size_t quarantines = 0;      ///< times this device entered quarantine
   SimTime joined_at = 0.0;          ///< when the worker joined the fleet
+  /// Calibration/drift snapshot (defaults when calibration is disabled):
+  /// the dominant-class correction factor, the drift-state machine's
+  /// position, and the recovery-ladder counters.
+  double calibration_factor = 1.0;
+  DriftState drift_state = DriftState::kNominal;
+  bool derated = false;
+  std::size_t drift_suspects = 0;      ///< kNominal -> kDriftSuspect raises
+  std::size_t derates = 0;             ///< confirmed derate transitions
+  std::size_t probes = 0;              ///< forced placements while derated
+  std::size_t requalifications = 0;    ///< derated -> nominal recoveries
 };
 
 /// Fleet-wide snapshot: per-device counters plus dispatch/retry and
@@ -275,6 +301,17 @@ class FleetExecutor {
   PhExecution execute_ph(const workload::PhBatch& batch, SimTime now,
                          const ExecOptions& options = {});
 
+  /// The online calibration store (always constructed; inert unless
+  /// config().calibration.enabled).
+  const Calibrator& calibrator() const noexcept { return calibrator_; }
+
+  /// Mean calibrated-capacity scale of the serving (non-draining,
+  /// non-retired) members: 1.0 when calibration is off, < 1.0 when the
+  /// fleet is running slower than spec. The autoscaler multiplies its
+  /// Eq. 7/8 capacity model by this, so a silently degraded fleet scales
+  /// out instead of blowing its SLO.
+  double calibrated_capacity_scale(SimTime now) const;
+
  private:
   /// One registry entry: a simulated device plus its timeline, health,
   /// lifecycle flags, and lifetime counters. Never erased — `retired`
@@ -305,6 +342,10 @@ class FleetExecutor {
     DeviceHealth health;
     DeviceStats stats;
     std::uint64_t dispatch_seq = 0;  ///< feeds the FaultPlan hash
+    /// Model-predicted backlog end, maintained by kCalibrated placement:
+    /// what the dispatcher *believes* about this device's timeline, built
+    /// only from calibrated predictions — never from the oracle free_at.
+    SimTime model_busy_until = 0.0;
   };
 
   /// Registry append shared by the constructor (no warmup, no join count)
@@ -321,13 +362,42 @@ class FleetExecutor {
   /// Drops pending entries completed by `t` from every worker.
   void prune_pending(SimTime t);
 
+  /// Whether an SW batch of `tasks` mean-(m, n) tasks runs on the
+  /// wavefront subsystem on this worker — the 2-D regime decision, made
+  /// with calibrated per-class factors when calibration is enabled (the
+  /// online form of feeding calibrated terms into IntraTaskModel).
+  bool routes_intra(const DeviceWorker& w, std::size_t mean_m,
+                    std::size_t mean_n, std::size_t tasks) const;
+
+  /// The calibration key of this batch on this worker: PairHMM, or SW
+  /// split by the regime routing above.
+  KernelClass kernel_class(const DeviceWorker& w, bool is_sw,
+                           std::size_t mean_m, std::size_t mean_n,
+                           std::size_t tasks) const;
+
+  /// Uncalibrated Eq. 7/8 prediction of this batch on this worker for the
+  /// given class — the baseline the Calibrator regresses against and the
+  /// quantity kCalibrated placement scales by the learned factor.
+  double predicted_seconds_for(const DeviceWorker& w, KernelClass cls,
+                               std::size_t cells, std::size_t mean_m,
+                               std::size_t mean_n, std::size_t tasks) const;
+
+  /// Applies drift transitions returned by the Calibrator: stats,
+  /// counters, trace events, flight-recorder dumps, and quarantine
+  /// escalation.
+  void handle_drift(const std::vector<DriftTransition>& transitions);
+
   /// Picks the worker for a batch of `cells` cells at time `t` under the
   /// configured policy. Eligibility relaxes in lifecycle rounds: kActive
   /// workers with queue room, then kActive ignoring bounds, then
   /// quarantined/joining members, then draining ones. Retired workers are
   /// never placed; `excluded` (the device of the failed attempt) is only
-  /// reconsidered once the strict rounds come up empty.
-  std::size_t place(std::size_t cells, bool is_sw, SimTime t, int excluded);
+  /// reconsidered once the strict rounds come up empty. `tasks`/`mean_m`/
+  /// `mean_n` describe the batch shape for the calibrated policy's
+  /// per-class predictions.
+  std::size_t place(std::size_t tasks, std::size_t cells, bool is_sw,
+                    std::size_t mean_m, std::size_t mean_n, SimTime t,
+                    int excluded);
 
   /// Shared dispatch loop: placement, fault check, retry/backoff, then
   /// `run(worker)` which executes the batch and returns its simulated
@@ -338,8 +408,8 @@ class FleetExecutor {
   /// steers the first attempt away from one (re-execution elsewhere).
   template <typename RunBatch>
   Execution dispatch(std::size_t tasks, std::size_t cells, bool is_sw,
-                     SimTime now, int force_device, int excluded_initial,
-                     RunBatch&& run);
+                     std::size_t mean_m, std::size_t mean_n, SimTime now,
+                     int force_device, int excluded_initial, RunBatch&& run);
 
   /// Detection + escalation around `run_once`: screen the outputs per the
   /// configured DetectMode, re-execute flagged batches (same device, then
@@ -372,6 +442,7 @@ class FleetExecutor {
   SimTime last_time_ = 0.0;  ///< latest simulated time observed (for stats)
   guard::GuardStats guard_stats_;
   std::uint64_t sdc_launch_seq_ = 0;  ///< fresh SDC launch id per device run
+  Calibrator calibrator_;
 };
 
 }  // namespace wsim::fleet

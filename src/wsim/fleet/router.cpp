@@ -1,6 +1,7 @@
 #include "wsim/fleet/router.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 #include "wsim/kernels/sw_kernels.hpp"
@@ -240,15 +241,19 @@ double predicted_inter_batch_seconds(const simt::DeviceSpec& device,
       parallelism * device.clock_ghz * 1e9 / model.sw_latency;
   const double cells =
       static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(batch);
-  return cells / cups + fixed_overhead_seconds(device, 1);
+  const bool saturated =
+      parallelism >=
+      static_cast<double>(model.sw_occupancy.parallelism(device));
+  const double scale =
+      saturated ? model.inter_cell_scale : model.inter_fill_scale;
+  return scale * (cells / cups) + fixed_overhead_seconds(device, 1);
 }
 
-double predicted_intra_batch_seconds(const simt::DeviceSpec& device,
-                                     const IntraTaskModel& model,
-                                     std::size_t m, std::size_t n,
-                                     std::size_t batch) {
+IntraBatchTerms intra_batch_terms(const simt::DeviceSpec& device,
+                                  const IntraTaskModel& model, std::size_t m,
+                                  std::size_t n, std::size_t batch) {
   util::require(m >= 1 && n >= 1 && batch >= 1,
-                "predicted_intra_batch_seconds: need m, n, batch >= 1");
+                "intra_batch_terms: need m, n, batch >= 1");
   const kernels::WfGeometry geom = kernels::wf_geometry(m, n, model.tile_rows);
   // Wave-level block parallelism: every task contributes its independent
   // tiles of the current wave, 32 lanes each.
@@ -268,7 +273,155 @@ double predicted_intra_batch_seconds(const simt::DeviceSpec& device,
       static_cast<double>(m) * static_cast<double>(n) * static_cast<double>(batch);
   // One launch per wave: the host-side cost that keeps intra-task out of
   // the short-read regime even where its parallelism looks competitive.
-  return cells / cups + fixed_overhead_seconds(device, geom.waves);
+  return {cells / cups, fixed_overhead_seconds(device, geom.waves),
+          wave_threads >= occupancy_bound};
+}
+
+double predicted_intra_batch_seconds(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     std::size_t m, std::size_t n,
+                                     std::size_t batch) {
+  const IntraBatchTerms terms = intra_batch_terms(device, model, m, n, batch);
+  const double cell_scale =
+      terms.saturated ? model.intra_cell_scale : model.intra_fill_scale;
+  return cell_scale * terms.cell_seconds +
+         model.wave_overhead_scale * terms.overhead_seconds;
+}
+
+IntraTaskModel calibrate_intra_model(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     const std::vector<RegimeSample>& samples) {
+  util::require(!samples.empty(), "calibrate_intra_model: need samples");
+  IntraTaskModel fitted = model;
+  fitted.inter_cell_scale = 1.0;
+  fitted.intra_cell_scale = 1.0;
+  fitted.wave_overhead_scale = 1.0;
+  fitted.inter_fill_scale = 1.0;
+  fitted.intra_fill_scale = 1.0;
+
+  // Inter-task: one scale on the compute term per saturation regime, fit
+  // as the mean ratio of (measured - overhead) to the predicted cell
+  // seconds. A saturated device shows a several-fold larger compute bias
+  // than an under-filled one, so pooling the regimes would split the
+  // difference and mis-route both corners of the map.
+  const double inter_bound =
+      static_cast<double>(model.sw_occupancy.parallelism(device));
+  double inter_ratio_sum[2] = {0.0, 0.0};
+  std::size_t inter_count[2] = {0, 0};
+  for (const RegimeSample& s : samples) {
+    if (s.inter_seconds <= 0.0) {
+      continue;
+    }
+    const double predicted =
+        predicted_inter_batch_seconds(device, fitted, s.m, s.n, s.batch);
+    const double overhead = fixed_overhead_seconds(device, 1);
+    const double cell_pred = predicted - overhead;
+    const double cell_meas = s.inter_seconds - overhead;
+    if (cell_pred > 0.0 && cell_meas > 0.0) {
+      const double launched = static_cast<double>(s.batch) *
+                              static_cast<double>(model.sw_threads_per_block);
+      const std::size_t regime = launched >= inter_bound ? 0 : 1;
+      inter_ratio_sum[regime] += cell_meas / cell_pred;
+      ++inter_count[regime];
+    }
+  }
+  const auto inter_mean = [&](std::size_t regime, double fallback) {
+    return inter_count[regime] > 0
+               ? inter_ratio_sum[regime] /
+                     static_cast<double>(inter_count[regime])
+               : fallback;
+  };
+  // A regime with no samples inherits the other's scale.
+  fitted.inter_cell_scale = inter_mean(0, inter_mean(1, 1.0));
+  fitted.inter_fill_scale = inter_mean(1, fitted.inter_cell_scale);
+
+  // Intra-task: least squares with three regressors — the cell term split
+  // by saturation regime plus the shared per-wave overhead term:
+  //   measured ~ a*cell_saturated + a_fill*cell_fill + b*overhead.
+  // This is where the static model errs twice over: the per-wave overhead
+  // it charges is too coarse, and the compute bias of a saturated device
+  // is ~5x that of an under-filled one (partial waves pipeline far better
+  // than the whole-device derating assumes). Each sample is weighted by
+  // 1/measured^2 — relative error — so the microsecond small-batch corner
+  // counts as much as the hundreds-of-milliseconds large-batch one; an
+  // unweighted or pooled fit is dominated by the big saturated points and
+  // routes the 512 bp / batch-1 corner wrong.
+  double gram[3][3] = {{0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}, {0.0, 0.0, 0.0}};
+  double rhs[3] = {0.0, 0.0, 0.0};
+  double suu = 0.0, suv = 0.0, svv = 0.0, suy = 0.0, svy = 0.0;
+  std::size_t intra_count = 0;
+  for (const RegimeSample& s : samples) {
+    if (s.intra_seconds <= 0.0) {
+      continue;
+    }
+    const IntraBatchTerms terms =
+        intra_batch_terms(device, fitted, s.m, s.n, s.batch);
+    const double u = terms.cell_seconds / s.intra_seconds;
+    const double v = terms.overhead_seconds / s.intra_seconds;
+    const double r[3] = {terms.saturated ? u : 0.0,
+                         terms.saturated ? 0.0 : u, v};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        gram[i][j] += r[i] * r[j];
+      }
+      rhs[i] += r[i];
+    }
+    // Pooled 2-parameter accumulators, the fallback when one regime has
+    // no samples and the 3-parameter system is singular.
+    suu += u * u;
+    suv += u * v;
+    svv += v * v;
+    suy += u;
+    svy += v;
+    ++intra_count;
+  }
+  // Clamp to a sane positive range: a fit driven by a degenerate sample
+  // set must not turn a cost term negative. The upper bound leaves room
+  // for the ~20x compute biases these devices really show.
+  const auto clamp_scale = [](double x) { return std::clamp(x, 0.02, 50.0); };
+  const double det3 =
+      gram[0][0] * (gram[1][1] * gram[2][2] - gram[1][2] * gram[1][2]) -
+      gram[0][1] * (gram[0][1] * gram[2][2] - gram[1][2] * gram[0][2]) +
+      gram[0][2] * (gram[0][1] * gram[1][2] - gram[1][1] * gram[0][2]);
+  if (intra_count >= 3 && std::abs(det3) > 1e-30) {
+    const auto cramer = [&](int col) {
+      double a[3][3];
+      for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+          a[i][j] = j == col ? rhs[i] : gram[i][j];
+        }
+      }
+      return (a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+              a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+              a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0])) /
+             det3;
+    };
+    fitted.intra_cell_scale = clamp_scale(cramer(0));
+    fitted.intra_fill_scale = clamp_scale(cramer(1));
+    fitted.wave_overhead_scale = clamp_scale(cramer(2));
+  } else if (intra_count >= 2) {
+    const double det = suu * svv - suv * suv;
+    if (std::abs(det) > 1e-30) {
+      const double a = (suy * svv - svy * suv) / det;
+      const double b = (svy * suu - suy * suv) / det;
+      fitted.intra_cell_scale = clamp_scale(a);
+      fitted.wave_overhead_scale = clamp_scale(b);
+      fitted.intra_fill_scale = fitted.intra_cell_scale;
+    }
+  } else if (intra_count == 1) {
+    for (const RegimeSample& s : samples) {
+      if (s.intra_seconds > 0.0) {
+        const double predicted =
+            predicted_intra_batch_seconds(device, fitted, s.m, s.n, s.batch);
+        const double scale = s.intra_seconds / predicted;
+        fitted.intra_cell_scale = std::clamp(scale, 0.05, 20.0);
+        fitted.wave_overhead_scale = fitted.intra_cell_scale;
+        fitted.intra_fill_scale = fitted.intra_cell_scale;
+        break;
+      }
+    }
+  }
+  return fitted;
 }
 
 ParallelMode pick_parallelism(const simt::DeviceSpec& device,

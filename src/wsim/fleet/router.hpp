@@ -106,10 +106,68 @@ struct IntraTaskModel {
   simt::Occupancy wf_occupancy;
   int sw_threads_per_block = 32;
   int wf_threads_per_block = 32;
+  /// Calibration scales (all 1.0 = the raw analytic model). The cell
+  /// scales multiply each regime's compute term; the wave-overhead scale
+  /// multiplies the intra-task per-wave launch cost — the term the static
+  /// model over-charges at the 512 bp / small-batch corner, where partial
+  /// tiles pipeline better than whole-tile derating predicts. The model's
+  /// bias is saturation-dependent — an under-filled device (launched
+  /// threads below the Eq. 8 occupancy bound) runs far closer to the
+  /// analytic prediction than a saturated one — so each decomposition
+  /// carries a separate fill-regime scale; the plain cell scales apply
+  /// only once the occupancy bound is the binding limit. Set offline by
+  /// calibrate_intra_model (fit to a measured regime map) or online by
+  /// the fleet's Calibrator factors.
+  double inter_cell_scale = 1.0;
+  double intra_cell_scale = 1.0;
+  double wave_overhead_scale = 1.0;
+  double inter_fill_scale = 1.0;
+  double intra_fill_scale = 1.0;
 };
 
 IntraTaskModel build_intra_task_model(const simt::DeviceSpec& device,
                                       int tile_rows = kernels::kWfTileRows);
+
+/// The two unscaled components of the intra-task prediction, split so the
+/// calibration fit can weight them independently: `cell_seconds` is the
+/// pipeline-derated compute term, `overhead_seconds` the per-wave launch
+/// plus PCIe cost.
+struct IntraBatchTerms {
+  double cell_seconds = 0.0;
+  double overhead_seconds = 0.0;
+  /// True when the wave exposes at least the occupancy bound's threads —
+  /// the regime where intra_cell_scale (not intra_fill_scale) applies.
+  bool saturated = false;
+};
+
+IntraBatchTerms intra_batch_terms(const simt::DeviceSpec& device,
+                                  const IntraTaskModel& model, std::size_t m,
+                                  std::size_t n, std::size_t batch);
+
+/// One measured regime-map point used by calibrate_intra_model.
+struct RegimeSample {
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t batch = 0;
+  double inter_seconds = 0.0;  ///< measured task-per-block batch time
+  double intra_seconds = 0.0;  ///< measured best-wavefront batch time
+};
+
+/// Fits the model's calibration scales to measured batch times. The
+/// samples are split by saturation regime (launched threads vs the Eq. 8
+/// occupancy bound) because the analytic model's bias differs sharply
+/// between an under-filled and a saturated device: the inter-task scales
+/// are per-regime mean measured/predicted ratios of the compute term, and
+/// the intra-task scales solve the relative (1/measured^2-weighted)
+/// least-squares fit  measured ~ a*cell_sat + a_fill*cell_fill +
+/// b*overhead  over all samples (normal equations; scales clamped to a
+/// sane positive range). This is the offline counterpart of the fleet's
+/// online Calibrator: it closes exactly the regime-map corners where the
+/// static pipeline fill/drain and per-wave overhead terms are wrong.
+/// Returns `model` with the five scales replaced.
+IntraTaskModel calibrate_intra_model(const simt::DeviceSpec& device,
+                                     const IntraTaskModel& model,
+                                     const std::vector<RegimeSample>& samples);
 
 /// Predicted seconds for a batch of `batch` M x N tasks under each regime.
 ///

@@ -32,6 +32,14 @@ void ServiceTimeEstimator::observe(std::size_t cells, double seconds) noexcept {
   }
   const double variable = seconds > fixed_seconds_ ? seconds - fixed_seconds_ : 0.0;
   const double observed = variable / static_cast<double>(cells);
+  if (!seeded_) {
+    warmup_sum_ += observed;
+    if (++warmup_count_ >= kWarmupWindow) {
+      seconds_per_cell_ = warmup_sum_ / static_cast<double>(warmup_count_);
+      seeded_ = true;
+    }
+    return;
+  }
   seconds_per_cell_ = (1.0 - kAlpha) * seconds_per_cell_ + kAlpha * observed;
 }
 

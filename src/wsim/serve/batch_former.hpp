@@ -31,21 +31,36 @@ struct BatchPolicy {
 
 /// Online estimate of a batch's simulated service time (kernel +
 /// transfers), modeled as fixed overhead + seconds/cell and updated from
-/// every completed batch (EWMA). Used only for deadline-at-risk policy
-/// decisions — never for the reported timings, which always come from the
-/// simulator itself.
+/// every completed batch. Used only for deadline-at-risk policy decisions
+/// — never for the reported timings, which always come from the simulator
+/// itself.
+///
+/// Warm-up mirrors the fleet Calibrator: the configured prior is served
+/// unchanged until `kWarmupWindow` observations have accumulated, then the
+/// rate seeds from their mean and tracks by EWMA. Blending the prior with
+/// the first noisy observation instead would let a single early outlier
+/// steer deadline decisions for many batches.
 class ServiceTimeEstimator {
  public:
+  /// Observations the warm-up mean is taken over before the prior is
+  /// replaced.
+  static constexpr int kWarmupWindow = 4;
+
   explicit ServiceTimeEstimator(double initial_seconds_per_cell = 1e-9,
                                 double fixed_seconds = 20e-6);
 
   double estimate(std::size_t cells) const noexcept;
   void observe(std::size_t cells, double seconds) noexcept;
   double seconds_per_cell() const noexcept { return seconds_per_cell_; }
+  /// False until the warm-up mean has replaced the configured prior.
+  bool warmed_up() const noexcept { return seeded_; }
 
  private:
   double seconds_per_cell_;
   double fixed_seconds_;
+  double warmup_sum_ = 0.0;
+  int warmup_count_ = 0;
+  bool seeded_ = false;
 };
 
 /// Earliest simulated time at which the queue must flush: the oldest

@@ -127,6 +127,12 @@ void write_device_json(std::ostream& os, const fleet::DeviceStats& d) {
      << ", \"sdc_detected\": " << d.sdc_detected
      << ", \"timeouts\": " << d.timeouts
      << ", \"quarantines\": " << d.quarantines
+     << ", \"calibration_factor\": " << json_number(d.calibration_factor)
+     << ", \"drift_state\": \"" << fleet::to_string(d.drift_state) << "\""
+     << ", \"derated\": " << (d.derated ? "true" : "false")
+     << ", \"drift_suspects\": " << d.drift_suspects
+     << ", \"derates\": " << d.derates
+     << ", \"requalifications\": " << d.requalifications
      << ", \"joined_at_s\": " << json_number(d.joined_at)
      << ", \"free_at_s\": " << json_number(d.free_at) << "}";
 }

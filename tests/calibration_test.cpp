@@ -1,0 +1,472 @@
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "wsim/fleet/calibrator.hpp"
+#include "wsim/fleet/fault.hpp"
+#include "wsim/fleet/fleet.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+namespace fleet = wsim::fleet;
+using fleet::CalibrationConfig;
+using fleet::Calibrator;
+using fleet::DegradeKind;
+using fleet::DegradeSpec;
+using fleet::DriftState;
+using fleet::DriftTransition;
+using fleet::KernelClass;
+
+CalibrationConfig quick_config() {
+  CalibrationConfig cfg;
+  cfg.enabled = true;
+  cfg.min_samples = 4;
+  return cfg;
+}
+
+/// Feeds `count` in-order observations of one ratio and returns every
+/// transition produced.
+std::vector<DriftTransition> feed(Calibrator& cal, int device,
+                                  KernelClass cls, std::uint64_t& seq,
+                                  double ratio, int count) {
+  std::vector<DriftTransition> all;
+  for (int i = 0; i < count; ++i) {
+    const double t = static_cast<double>(seq + 1) * 1e-4;
+    auto out = cal.observe(device, cls, seq, 1e-3, ratio * 1e-3, t);
+    ++seq;
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  return all;
+}
+
+int count_transitions(const std::vector<DriftTransition>& transitions,
+                      DriftState from, DriftState to) {
+  int n = 0;
+  for (const auto& tr : transitions) {
+    if (tr.from == from && tr.to == to) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Warm-up: the applied factor is exactly 1.0 until min_samples, then seeds
+// from the warm-up mean — short replays are bit-identical with calibration
+// on or off.
+
+TEST(Calibrator, WarmupFactorStaysOneThenSeedsFromMean) {
+  Calibrator cal(quick_config());
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 3; ++i) {
+    feed(cal, 0, KernelClass::kSwInter, seq, 2.0 + 0.2 * i, 1);
+    EXPECT_DOUBLE_EQ(cal.factor(0, KernelClass::kSwInter), 1.0) << i;
+  }
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.6, 1);
+  EXPECT_EQ(cal.samples(0, KernelClass::kSwInter), 4u);
+  // Mean of {2.0, 2.2, 2.4, 2.6}.
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter), 2.3, 1e-12);
+}
+
+TEST(Calibrator, EwmaTracksAfterWarmup) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.0, cfg.min_samples);
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.2, 1);
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter),
+              (1.0 - cfg.alpha) * 2.0 + cfg.alpha * 2.2, 1e-12);
+}
+
+TEST(Calibrator, DisabledIsInertAndFree) {
+  CalibrationConfig cfg;
+  cfg.enabled = false;
+  Calibrator cal(cfg);
+  cal.resize(1);
+  const auto out = cal.observe(0, KernelClass::kSwInter, 0, 1e-3, 8e-3, 0.0);
+  EXPECT_TRUE(out.empty());
+  EXPECT_DOUBLE_EQ(cal.factor(0, KernelClass::kSwInter), 1.0);
+  EXPECT_EQ(cal.drift_state(0), DriftState::kNominal);
+}
+
+TEST(Calibrator, FreezeAfterWarmupPinsTheFactorAndDisablesDetectors) {
+  CalibrationConfig cfg = quick_config();
+  cfg.freeze_after_warmup = true;
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.0, cfg.min_samples);
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter), 2.0, 1e-12);
+  // A 4x silent degradation after the freeze: the static factor must not
+  // move and no drift transition may fire — that is exactly the disaster
+  // mode the online calibrator exists to fix.
+  const auto transitions = feed(cal, 0, KernelClass::kSwInter, seq, 8.0, 20);
+  EXPECT_TRUE(transitions.empty());
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter), 2.0, 1e-12);
+  EXPECT_EQ(cal.drift_state(0), DriftState::kNominal);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: factors are a pure function of the per-device dispatch
+// sequence, independent of delivery order and threading.
+
+TEST(Calibrator, OutOfOrderDeliveryMatchesInOrder) {
+  const auto ratios = [](std::uint64_t k) {
+    return 1.4 + 0.04 * static_cast<double>(k % 6);
+  };
+  Calibrator in_order(quick_config());
+  in_order.resize(1);
+  for (std::uint64_t k = 0; k < 32; ++k) {
+    in_order.observe(0, KernelClass::kSwInter, k, 1e-3, ratios(k) * 1e-3, 0.0);
+  }
+  Calibrator reversed(quick_config());
+  reversed.resize(1);
+  // Everything but seq 0 arrives first and must be buffered; seq 0 then
+  // releases the whole backlog in one drain.
+  for (std::uint64_t k = 31; k >= 1; --k) {
+    reversed.observe(0, KernelClass::kSwInter, k, 1e-3, ratios(k) * 1e-3, 0.0);
+    EXPECT_DOUBLE_EQ(reversed.factor(0, KernelClass::kSwInter), 1.0);
+  }
+  reversed.observe(0, KernelClass::kSwInter, 0, 1e-3, ratios(0) * 1e-3, 0.0);
+  EXPECT_DOUBLE_EQ(in_order.factor(0, KernelClass::kSwInter),
+                   reversed.factor(0, KernelClass::kSwInter));
+  EXPECT_EQ(in_order.samples(0, KernelClass::kSwInter),
+            reversed.samples(0, KernelClass::kSwInter));
+}
+
+TEST(Calibrator, ConcurrentDeliveryMatchesSequential) {
+  const auto ratios = [](std::uint64_t k) {
+    return 1.4 + 0.04 * static_cast<double>(k % 6);
+  };
+  constexpr std::uint64_t kObs = 128;
+  Calibrator sequential(quick_config());
+  sequential.resize(1);
+  for (std::uint64_t k = 0; k < kObs; ++k) {
+    sequential.observe(0, KernelClass::kSwInter, k, 1e-3, ratios(k) * 1e-3,
+                       0.0);
+  }
+  Calibrator concurrent(quick_config());
+  concurrent.resize(1);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Striped delivery: each thread races its stripe in; the calibrator
+      // buffers whatever arrives ahead of the per-device seq cursor.
+      for (std::uint64_t k = static_cast<std::uint64_t>(t); k < kObs;
+           k += kThreads) {
+        concurrent.observe(0, KernelClass::kSwInter, k, 1e-3,
+                           ratios(k) * 1e-3, 0.0);
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  EXPECT_DOUBLE_EQ(sequential.factor(0, KernelClass::kSwInter),
+                   concurrent.factor(0, KernelClass::kSwInter));
+  EXPECT_EQ(sequential.samples(0, KernelClass::kSwInter),
+            concurrent.samples(0, KernelClass::kSwInter));
+  EXPECT_EQ(sequential.drift_state(0), concurrent.drift_state(0));
+}
+
+TEST(Calibrator, SkipClosesGapsLikeTheObservationNeverExisted) {
+  const double ratios[6] = {1.5, 1.6, 1.4, 1.7, 1.5, 1.6};
+  Calibrator with_gap(quick_config());
+  with_gap.resize(1);
+  // Seqs 4 and 5 arrive early, then 0..2; the factor must not move until
+  // skip(3) closes the gap left by a failed attempt.
+  for (std::uint64_t k : {4u, 5u, 0u, 1u, 2u}) {
+    with_gap.observe(0, KernelClass::kSwInter, k, 1e-3, ratios[k] * 1e-3, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(with_gap.factor(0, KernelClass::kSwInter), 1.0);
+  with_gap.skip(0, 3);
+  Calibrator contiguous(quick_config());
+  contiguous.resize(1);
+  std::uint64_t seq = 0;
+  for (std::uint64_t k : {0u, 1u, 2u, 4u, 5u}) {
+    contiguous.observe(0, KernelClass::kSwInter, seq++, 1e-3,
+                       ratios[k] * 1e-3, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(with_gap.factor(0, KernelClass::kSwInter),
+                   contiguous.factor(0, KernelClass::kSwInter));
+}
+
+// ---------------------------------------------------------------------------
+// The drift ladder: CUSUM step -> suspect -> evidence-confirmed derate ->
+// in-band requalification; quarantine only beyond quarantine_ratio.
+
+TEST(Calibrator, StepDegradationSuspectsThenDeratesOnEvidence) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.0, cfg.min_samples);
+  // A 4x step: log(8.0 / 2.0) - slack > cusum_threshold, so the very
+  // first post-onset observation raises suspicion.
+  const auto first = feed(cal, 0, KernelClass::kSwInter, seq, 8.0, 1);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].from, DriftState::kNominal);
+  EXPECT_EQ(first[0].to, DriftState::kDriftSuspect);
+  EXPECT_EQ(cal.drift_state(0), DriftState::kDriftSuspect);
+  // The second sick observation completes the post-onset evidence; the
+  // factor snaps to the evidence mean, not the pre-onset-diluted window.
+  const auto second = feed(cal, 0, KernelClass::kSwInter, seq, 8.0, 1);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].to, DriftState::kDerated);
+  EXPECT_FALSE(second[0].escalate_quarantine);  // 4x < quarantine_ratio
+  EXPECT_TRUE(cal.derated(0));
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter), 8.0, 1e-12);
+}
+
+TEST(Calibrator, ExtremeDegradationEscalatesToQuarantine) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.0, cfg.min_samples);
+  // 10x the reference, beyond quarantine_ratio = 6: the derate transition
+  // carries the escalation flag for the executor's quarantine channel.
+  const auto transitions = feed(cal, 0, KernelClass::kSwInter, seq, 20.0, 2);
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[1].to, DriftState::kDerated);
+  EXPECT_TRUE(transitions[1].escalate_quarantine);
+}
+
+TEST(Calibrator, SlowRampTripsThePeerRelativeDetector) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(2);
+  std::uint64_t seq0 = 0;
+  std::uint64_t seq1 = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq0, 2.0, cfg.min_samples);
+  feed(cal, 1, KernelClass::kSwInter, seq1, 2.0, cfg.min_samples);
+  // 2% growth per dispatch: the EWMA tracks closely enough that the
+  // per-sample log residual stays under the CUSUM slack — only the
+  // factor-vs-own-baseline check (normalized by the healthy peer's drift)
+  // can see this.
+  std::vector<DriftTransition> all;
+  double ratio = 2.0;
+  for (int i = 0; i < 80 && cal.drift_state(0) != DriftState::kDerated; ++i) {
+    ratio *= 1.02;
+    const auto out = feed(cal, 0, KernelClass::kSwInter, seq0, ratio, 1);
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  EXPECT_GE(count_transitions(all, DriftState::kNominal,
+                              DriftState::kDriftSuspect), 1);
+  EXPECT_EQ(cal.drift_state(0), DriftState::kDerated);
+  // The healthy peer must not be dragged along.
+  EXPECT_EQ(cal.drift_state(1), DriftState::kNominal);
+}
+
+TEST(Calibrator, FlappingDeratesThenRequalifies) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  feed(cal, 0, KernelClass::kSwInter, seq, 2.0, cfg.min_samples);
+  std::vector<DriftTransition> all;
+  for (int phase = 0; phase < 4; ++phase) {
+    const double ratio = phase % 2 == 0 ? 8.0 : 2.0;
+    const auto out = feed(cal, 0, KernelClass::kSwInter, seq, ratio, 10);
+    all.insert(all.end(), out.begin(), out.end());
+  }
+  EXPECT_GE(count_transitions(all, DriftState::kDriftSuspect,
+                              DriftState::kDerated), 1);
+  // The healthy half-periods must win the device back — flapping is the
+  // derate-then-requalify scenario, never the quarantine one.
+  EXPECT_GE(count_transitions(all, DriftState::kDerated,
+                              DriftState::kNominal), 1);
+  for (const auto& tr : all) {
+    EXPECT_FALSE(tr.escalate_quarantine);
+  }
+}
+
+TEST(Calibrator, DerateRescalesTheDeviceOtherKernelClasses) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(1);
+  std::uint64_t seq = 0;
+  // Warm both classes at different healthy biases (interleaved on one
+  // dispatch sequence, as a real device would see them).
+  for (int i = 0; i < cfg.min_samples; ++i) {
+    feed(cal, 0, KernelClass::kSwInter, seq, 2.0, 1);
+    feed(cal, 0, KernelClass::kPairHmm, seq, 3.0, 1);
+  }
+  EXPECT_NEAR(cal.factor(0, KernelClass::kPairHmm), 3.0, 1e-12);
+  // Degradation is device-wide (a dropped clock), but only the SW class
+  // collects direct evidence here; the derate must propagate the relative
+  // drift (8/2 = 4x) onto the PairHMM factor instead of leaving it stale.
+  feed(cal, 0, KernelClass::kSwInter, seq, 8.0, 2);
+  ASSERT_TRUE(cal.derated(0));
+  EXPECT_NEAR(cal.factor(0, KernelClass::kSwInter), 8.0, 1e-12);
+  EXPECT_NEAR(cal.factor(0, KernelClass::kPairHmm), 12.0, 1e-12);
+}
+
+TEST(Calibrator, CapacityScaleAveragesInverseFactors) {
+  const CalibrationConfig cfg = quick_config();
+  Calibrator cal(cfg);
+  cal.resize(2);
+  std::uint64_t seq0 = 0;
+  std::uint64_t seq1 = 0;
+  feed(cal, 0, KernelClass::kPairHmm, seq0, 2.0, cfg.min_samples);
+  feed(cal, 1, KernelClass::kPairHmm, seq1, 4.0, cfg.min_samples);
+  // Mean of 1/2 and 1/4: the autoscaler derates its Eq. 7/8 capacity by
+  // this, so a degraded pool scales out instead of missing deadlines.
+  EXPECT_NEAR(cal.capacity_scale({0, 1}), 0.375, 1e-12);
+  // Pre-warm-up devices contribute factor 1.0.
+  Calibrator cold(quick_config());
+  cold.resize(1);
+  EXPECT_DOUBLE_EQ(cold.capacity_scale({0}), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// DegradeSpec: the deterministic silent-degradation families.
+
+TEST(DegradeSpec, StuckSlowStepsAtOnset) {
+  DegradeSpec spec;
+  spec.device = 1;
+  spec.kind = DegradeKind::kStuckSlow;
+  spec.factor = 4.0;
+  spec.onset_seq = 10;
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(1, 9), 1.0);
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(1, 10), 4.0);
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(1, 1000), 4.0);
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(0, 50), 1.0);  // other device
+}
+
+TEST(DegradeSpec, ProgressiveRampsLinearlyToFullFactor) {
+  DegradeSpec spec;
+  spec.device = 0;
+  spec.kind = DegradeKind::kProgressive;
+  spec.factor = 5.0;
+  spec.onset_seq = 0;
+  spec.ramp_batches = 100;
+  EXPECT_LT(spec.multiplier_at(0, 0), 1.1);
+  EXPECT_NEAR(spec.multiplier_at(0, 49), 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(0, 99), 5.0);
+  EXPECT_DOUBLE_EQ(spec.multiplier_at(0, 500), 5.0);
+}
+
+TEST(DegradeSpec, FlappingAlternatesHalfPeriods) {
+  DegradeSpec spec;
+  spec.device = 0;
+  spec.kind = DegradeKind::kFlapping;
+  spec.factor = 3.0;
+  spec.onset_seq = 0;
+  spec.period = 4;
+  for (std::uint64_t s = 0; s < 4; ++s) {
+    EXPECT_DOUBLE_EQ(spec.multiplier_at(0, s), 3.0) << s;
+    EXPECT_DOUBLE_EQ(spec.multiplier_at(0, s + 4), 1.0) << s;
+    EXPECT_DOUBLE_EQ(spec.multiplier_at(0, s + 8), 3.0) << s;
+  }
+}
+
+TEST(DegradeSpec, CombinesMultiplicativelyInThePlan) {
+  fleet::FaultPlan plan;
+  DegradeSpec a;
+  a.device = 0;
+  a.factor = 2.0;
+  DegradeSpec b;
+  b.device = 0;
+  b.factor = 3.0;
+  plan.degradations = {a, b};
+  EXPECT_TRUE(plan.enabled());
+  EXPECT_DOUBLE_EQ(plan.degraded_multiplier(0, 5), 6.0);
+  EXPECT_DOUBLE_EQ(plan.degraded_multiplier(1, 5), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Fleet integration: the full loop — calibrated placement, silent
+// degradation, detection, derate — over real batches.
+
+wsim::workload::Dataset fleet_dataset() {
+  wsim::workload::GeneratorConfig cfg;
+  cfg.seed = 23;
+  cfg.regions = 32;
+  cfg.ph_tasks_per_region_mean = 6.0;
+  cfg.sw_query_len_min = 40;
+  cfg.sw_query_len_max = 90;
+  cfg.sw_target_len_min = 60;
+  cfg.sw_target_len_max = 120;
+  return wsim::workload::generate_dataset(cfg);
+}
+
+fleet::FleetStats run_calibrated_fleet(bool degrade) {
+  fleet::FleetConfig cfg;
+  cfg.workers.push_back({wsim::simt::make_k40(), {}, {}, {}, 8});
+  cfg.workers.push_back({wsim::simt::make_k1200(), {}, {}, {}, 8});
+  cfg.workers.push_back({wsim::simt::make_titan_x(), {}, {}, {}, 8});
+  cfg.policy = fleet::PlacementPolicy::kCalibrated;
+  cfg.calibration.enabled = true;
+  cfg.calibration.min_samples = 4;
+  if (degrade) {
+    DegradeSpec spec;
+    spec.device = 0;
+    spec.kind = DegradeKind::kStuckSlow;
+    spec.factor = 4.0;
+    spec.onset_seq = 10;
+    cfg.faults.degradations.push_back(spec);
+  }
+  fleet::FleetExecutor executor(std::move(cfg));
+  const auto dataset = fleet_dataset();
+  // Small batches: enough per-device dispatches for every class to warm
+  // up before onset_seq and for the detectors to see the sick tail.
+  const auto sw_batches = wsim::workload::sw_rebatch(dataset, 4);
+  const auto ph_batches = wsim::workload::ph_rebatch(dataset, 4);
+  fleet::ExecOptions opt;
+  opt.collect_outputs = false;
+  double t = 0.0;
+  for (const auto& batch : sw_batches) {
+    executor.execute_sw(batch, t, opt);
+    t += 40e-6;
+  }
+  for (const auto& batch : ph_batches) {
+    executor.execute_ph(batch, t, opt);
+    t += 40e-6;
+  }
+  return executor.stats();
+}
+
+TEST(CalibratedFleet, HealthyFleetRaisesNoDriftAlarms) {
+  const auto stats = run_calibrated_fleet(/*degrade=*/false);
+  for (const auto& device : stats.devices) {
+    EXPECT_EQ(device.drift_suspects, 0u) << device.name;
+    EXPECT_EQ(device.derates, 0u) << device.name;
+    EXPECT_EQ(device.quarantines, 0u) << device.name;
+    EXPECT_EQ(device.drift_state, DriftState::kNominal) << device.name;
+  }
+}
+
+TEST(CalibratedFleet, SilentlyDegradedDeviceIsDeratedNotQuarantined) {
+  const auto stats = run_calibrated_fleet(/*degrade=*/true);
+  ASSERT_EQ(stats.devices.size(), 3u);
+  EXPECT_GE(stats.devices[0].drift_suspects, 1u);
+  EXPECT_GE(stats.devices[0].derates, 1u);
+  EXPECT_EQ(stats.devices[0].quarantines, 0u);
+  EXPECT_TRUE(stats.devices[0].derated);
+  // The learned factor reflects the 4x stretch on top of the healthy
+  // model bias: it must clearly exceed every healthy peer's factor (the
+  // healthy per-device biases sit within ~2x of each other, the
+  // degradation adds 4x on top).
+  EXPECT_GT(stats.devices[0].calibration_factor,
+            2.0 * stats.devices[1].calibration_factor);
+  EXPECT_GT(stats.devices[0].calibration_factor,
+            2.0 * stats.devices[2].calibration_factor);
+  // Healthy peers stay quiet.
+  for (std::size_t d = 1; d < stats.devices.size(); ++d) {
+    EXPECT_EQ(stats.devices[d].drift_suspects, 0u) << d;
+    EXPECT_EQ(stats.devices[d].derates, 0u) << d;
+  }
+}
+
+}  // namespace

@@ -570,6 +570,45 @@ TEST(BatchFormer, EstimatorLearnsFromObservations) {
   EXPECT_GT(estimator.estimate(1000000), before);
 }
 
+TEST(BatchFormer, EstimatorFirstObservationDoesNotMoveThePrior) {
+  // A single early outlier must not steer deadline decisions: the prior
+  // is served unchanged until the warm-up window fills.
+  wsim::serve::ServiceTimeEstimator estimator(1e-9, 10e-6);
+  const double before = estimator.estimate(1000000);
+  estimator.observe(1000000, 10e-6 + 5e-3);  // 5000x the prior rate
+  EXPECT_FALSE(estimator.warmed_up());
+  EXPECT_DOUBLE_EQ(estimator.estimate(1000000), before);
+  EXPECT_DOUBLE_EQ(estimator.seconds_per_cell(), 1e-9);
+}
+
+TEST(BatchFormer, EstimatorWarmupWindowSeedsFromTheMean) {
+  wsim::serve::ServiceTimeEstimator estimator(1e-9, 10e-6);
+  const int window = wsim::serve::ServiceTimeEstimator::kWarmupWindow;
+  // Observations at 2e-9 and 4e-9 seconds/cell in equal number: the seed
+  // must be their mean, not an EWMA blend with the 1e-9 prior.
+  for (int i = 0; i < window; ++i) {
+    const double rate = (i % 2 == 0) ? 2e-9 : 4e-9;
+    EXPECT_FALSE(estimator.warmed_up());
+    estimator.observe(1000000, 10e-6 + rate * 1e6);
+  }
+  EXPECT_TRUE(estimator.warmed_up());
+  EXPECT_NEAR(estimator.seconds_per_cell(), 3e-9, 1e-15);
+}
+
+TEST(BatchFormer, EstimatorAllIdenticalSamplesConvergeExactly) {
+  // A perfectly steady workload must pin the estimate to the observed
+  // rate — warm-up seeds it there and the EWMA must not drift off it.
+  wsim::serve::ServiceTimeEstimator estimator(1e-9, 10e-6);
+  for (int i = 0; i < 50; ++i) {
+    estimator.observe(500000, 10e-6 + 2e-9 * 500000);
+  }
+  EXPECT_TRUE(estimator.warmed_up());
+  EXPECT_NEAR(estimator.seconds_per_cell(), 2e-9, 1e-15);
+  // Zero-cell observations are ignored, not folded in as zero rate.
+  estimator.observe(0, 123.0);
+  EXPECT_NEAR(estimator.seconds_per_cell(), 2e-9, 1e-15);
+}
+
 TEST(ServeStats, HistogramAndSummaryBehave) {
   wsim::serve::BatchSizeHistogram histogram;
   histogram.record(1);

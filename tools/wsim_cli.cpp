@@ -733,6 +733,87 @@ std::vector<wsim::fleet::WorkerConfig> workers_from(const Args& args,
   return workers;
 }
 
+/// Parses --degrade "DEV@FACTOR[:KIND[:ONSET[:PARAM]]]" (comma-separated
+/// for several injections): deterministic silent degradation of device
+/// DEV by FACTOR in per-device dispatch-sequence space. KIND is stuck
+/// (default), ramp (PARAM = dispatches to full factor), or flap (PARAM =
+/// half-period in dispatches); ONSET is the first affected dispatch.
+std::vector<wsim::fleet::DegradeSpec> degradations_from(const Args& args) {
+  std::vector<wsim::fleet::DegradeSpec> specs;
+  const std::string arg = args.get("degrade", "");
+  std::size_t begin = 0;
+  while (begin < arg.size()) {
+    std::size_t end = arg.find(',', begin);
+    if (end == std::string::npos) {
+      end = arg.size();
+    }
+    const std::string item = arg.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) {
+      continue;
+    }
+    const std::size_t at = item.find('@');
+    wsim::util::require(at != std::string::npos && at > 0,
+                        "--degrade expects DEV@FACTOR[:KIND[:ONSET[:PARAM]]], "
+                        "got '" + item + "'");
+    wsim::fleet::DegradeSpec spec;
+    spec.device = static_cast<int>(std::stol(item.substr(0, at)));
+    std::vector<std::string> fields;
+    std::size_t f = at + 1;
+    while (f <= item.size()) {
+      std::size_t colon = item.find(':', f);
+      if (colon == std::string::npos) {
+        colon = item.size();
+      }
+      fields.push_back(item.substr(f, colon - f));
+      f = colon + 1;
+    }
+    wsim::util::require(!fields.empty() && !fields[0].empty(),
+                        "--degrade '" + item + "' names no factor");
+    spec.factor = std::stod(fields[0]);
+    wsim::util::require(spec.factor > 1.0,
+                        "--degrade factor must be > 1 (a slowdown)");
+    if (fields.size() > 1 && !fields[1].empty()) {
+      const std::string& kind = fields[1];
+      if (kind == "stuck") {
+        spec.kind = wsim::fleet::DegradeKind::kStuckSlow;
+      } else if (kind == "ramp") {
+        spec.kind = wsim::fleet::DegradeKind::kProgressive;
+      } else if (kind == "flap") {
+        spec.kind = wsim::fleet::DegradeKind::kFlapping;
+      } else {
+        throw wsim::util::CheckError("unknown --degrade kind '" + kind +
+                                     "' (stuck|ramp|flap)");
+      }
+    }
+    if (fields.size() > 2 && !fields[2].empty()) {
+      spec.onset_seq = static_cast<std::uint64_t>(std::stoul(fields[2]));
+    }
+    if (fields.size() > 3 && !fields[3].empty()) {
+      const auto param = static_cast<std::uint64_t>(std::stoul(fields[3]));
+      wsim::util::require(param >= 1, "--degrade PARAM must be >= 1");
+      if (spec.kind == wsim::fleet::DegradeKind::kProgressive) {
+        spec.ramp_batches = param;
+      } else {
+        spec.period = param;
+      }
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+/// --calibrate on|off. Defaults to on under the calibrated placement
+/// policy (which is built around the factors) and off otherwise.
+bool calibration_from(const Args& args, wsim::fleet::PlacementPolicy policy) {
+  const std::string fallback =
+      policy == wsim::fleet::PlacementPolicy::kCalibrated ? "on" : "off";
+  const std::string value = args.get("calibrate", fallback);
+  wsim::util::require(value == "on" || value == "off",
+                      "--calibrate must be 'on' or 'off'");
+  return value == "on";
+}
+
 int cmd_fleet_sim(const Args& args) {
   namespace fleet = wsim::fleet;
   namespace serve = wsim::serve;
@@ -769,6 +850,8 @@ int cmd_fleet_sim(const Args& args) {
   fleet_cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
   fleet_cfg.faults.slowdown_prob = std::stod(args.get("slow-prob", "0"));
   fleet_cfg.faults.slowdown_factor = std::stod(args.get("slow-factor", "4"));
+  fleet_cfg.faults.degradations = degradations_from(args);
+  fleet_cfg.calibration.enabled = calibration_from(args, fleet_cfg.policy);
   wsim::simt::ExecutionEngine engine(engine_options_from(args));
   fleet_cfg.engine = &engine;
   fleet::FleetExecutor executor(std::move(fleet_cfg));
@@ -808,7 +891,7 @@ int cmd_fleet_sim(const Args& args) {
   const double duration = stats.duration_seconds();
   wsim::util::Table devices({"device", "SW", "WF", "PH", "batches", "intra",
                              "tasks", "cells", "busy (ms)", "util", "failures",
-                             "slowdowns"});
+                             "slowdowns", "cal factor", "drift"});
   for (std::size_t i = 0; i < fleet_stats.devices.size(); ++i) {
     const auto& d = fleet_stats.devices[i];
     devices.add_row({d.name, std::string(wsim::kernels::to_string(d.sw_design)),
@@ -819,7 +902,9 @@ int cmd_fleet_sim(const Args& args) {
                      format_fixed(d.busy_seconds * 1e3, 3),
                      format_percent(fleet_stats.utilization(i, duration)),
                      std::to_string(d.launch_failures),
-                     std::to_string(d.slowdowns)});
+                     std::to_string(d.slowdowns),
+                     format_fixed(d.calibration_factor, 2),
+                     std::string(fleet::to_string(d.drift_state))});
   }
   devices.print(std::cout);
   std::cout << "dispatches " << fleet_stats.dispatches << ", retries "
@@ -906,6 +991,9 @@ int cmd_cluster_sim(const Args& args) {
   cfg.faults.launch_failure_prob = std::stod(args.get("fail-prob", "0"));
   cfg.faults.slowdown_prob = std::stod(args.get("slow-prob", "0"));
   cfg.faults.slowdown_factor = std::stod(args.get("slow-factor", "4"));
+  cfg.faults.degradations = degradations_from(args);
+  cfg.policy = fleet::placement_policy_by_name(args.get("policy", "model"));
+  cfg.calibration.enabled = calibration_from(args, cfg.policy);
 
   // Every trace tenant gets the same contract: an SLO class (--slo, in
   // milliseconds, 0 = none) and a queued-task quota (--quota, 0 = none).
@@ -969,13 +1057,16 @@ int cmd_cluster_sim(const Args& args) {
   tenants_table.print(std::cout);
 
   wsim::util::Table devices({"id", "device", "state", "batches", "cells",
-                             "busy (ms)", "quarantines", "joined (ms)"});
+                             "busy (ms)", "quarantines", "cal factor", "drift",
+                             "joined (ms)"});
   for (const fleet::DeviceStats& d : report.fleet.devices) {
     devices.add_row({std::to_string(d.id), d.name,
                      std::string(fleet::to_string(d.state)),
                      std::to_string(d.batches), std::to_string(d.cells),
                      format_fixed(d.busy_seconds * 1e3, 3),
                      std::to_string(d.quarantines),
+                     format_fixed(d.calibration_factor, 2),
+                     std::string(fleet::to_string(d.drift_state)),
                      format_fixed(d.joined_at * 1e3, 3)});
   }
   devices.print(std::cout);
