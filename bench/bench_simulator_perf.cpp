@@ -1,23 +1,27 @@
 // Host-side performance of the simulation infrastructure itself: the
-// committed interpreter-throughput trajectory of the predecoded fast
-// path. Every case runs the SAME work through both interpreters
-// (InterpPath::kLegacy vs kFast) and reports the speedup:
+// committed interpreter-throughput trajectory of the predecoded engines.
+// Every case runs the SAME work through all three interpreters
+// (InterpPath::kLegacy vs kFast vs kVector) and reports the speedups:
 //
 //   * micro — the paper's Listing-1 dependence-chain kernels executed as
 //     single blocks via run_block. Kernels are built once and predecoded
 //     once OUTSIDE the timed region, so the loop measures interpreter
 //     throughput and nothing else (an earlier revision mixed kernel
 //     build time into these loops, flattening every reported ratio).
+//     Trials interleave across the engines so thermal / scheduler drift
+//     cannot systematically favor whichever column ran last.
 //   * e2e — SW and PairHMM batches through the real runners (packing,
 //     launch, readback): the block-throughput number a sweep actually
 //     experiences.
 //   * compile — kernel build + predecode cost, timed separately so the
-//     one-time cost the fast path adds is visible and bounded.
+//     one-time cost the predecoded paths add is visible and bounded.
 //
 // Results land in BENCH_simperf.json in the working directory. `--smoke`
 // shrinks repetitions for CI. Exit status is non-zero when any case runs
-// the fast path slower than the legacy path (the CI sanity floor) — by
-// construction the fast path should never lose.
+// the fast path slower than legacy, or the vector path slower than fast
+// on any micro chain (the CI sanity floors — by construction neither
+// should ever lose). Full runs additionally enforce the committed
+// vector-vs-fast micro geomean target (>= 3x).
 
 #include <algorithm>
 #include <chrono>
@@ -52,28 +56,54 @@ struct CaseResult {
   std::string device;
   double legacy_seconds = 0.0;
   double fast_seconds = 0.0;
+  double vector_seconds = 0.0;
   double work = 0.0;  ///< instructions (micro) or blocks (e2e) per rep
 
   double speedup() const { return legacy_seconds / fast_seconds; }
+  double vector_speedup() const { return legacy_seconds / vector_seconds; }
+  double vector_vs_fast() const { return fast_seconds / vector_seconds; }
   double legacy_rate() const { return work / legacy_seconds; }
   double fast_rate() const { return work / fast_seconds; }
+  double vector_rate() const { return work / vector_seconds; }
 };
 
-/// Best-of-`trials` wall time of `reps` calls to `body` — the min damps
-/// scheduler noise, which matters because the CI floor compares ratios.
+/// Wall time of `reps` calls to `body` (one trial).
+template <typename F>
+double time_once(int reps, F&& body) {
+  const auto begin = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    body();
+  }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - begin;
+  return elapsed.count();
+}
+
+/// Best-of-`trials` wall time — the min damps scheduler noise, which
+/// matters because the CI floor compares ratios.
 template <typename F>
 double time_best(int trials, int reps, F&& body) {
   double best = 1e300;
   for (int t = 0; t < trials; ++t) {
-    const auto begin = std::chrono::steady_clock::now();
-    for (int r = 0; r < reps; ++r) {
-      body();
-    }
-    const std::chrono::duration<double> elapsed =
-        std::chrono::steady_clock::now() - begin;
-    best = std::min(best, elapsed.count());
+    best = std::min(best, time_once(reps, body));
   }
   return best;
+}
+
+/// Best-of-`trials` for the three engines with the trials interleaved
+/// (legacy, fast, vector, legacy, ...), so slow machine-state drift hits
+/// every column equally instead of whichever ran last.
+template <typename L, typename F, typename V>
+void time_interleaved(int trials, int reps, CaseResult& result, L&& legacy,
+                      F&& fast, V&& vec) {
+  result.legacy_seconds = 1e300;
+  result.fast_seconds = 1e300;
+  result.vector_seconds = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    result.legacy_seconds = std::min(result.legacy_seconds, time_once(reps, legacy));
+    result.fast_seconds = std::min(result.fast_seconds, time_once(reps, fast));
+    result.vector_seconds = std::min(result.vector_seconds, time_once(reps, vec));
+  }
 }
 
 /// One micro chain: a prebuilt arena and a prebuilt (and predecoded)
@@ -105,21 +135,24 @@ CaseResult run_micro_case(wsim::micro::MicroKernel which,
   simt::BlockRunOptions fast_opt;
   fast_opt.interp = simt::InterpPath::kFast;
   fast_opt.decoded = decoded.get();
+  simt::BlockRunOptions vector_opt;
+  vector_opt.interp = simt::InterpPath::kVector;
+  vector_opt.decoded = decoded.get();
 
   const simt::BlockResult probe = run_block(kernel, device, gmem, args, legacy_opt);
-  run_block(kernel, device, gmem, args, fast_opt);  // warm-up
+  run_block(kernel, device, gmem, args, fast_opt);    // warm-up
+  run_block(kernel, device, gmem, args, vector_opt);  // warm-up
 
   CaseResult result;
   result.section = "micro";
   result.name = std::string(wsim::micro::to_string(which));
   result.device = device.name;
   result.work = static_cast<double>(probe.instructions) * reps;
-  result.legacy_seconds = time_best(trials, reps, [&] {
-    run_block(kernel, device, gmem, args, legacy_opt);
-  });
-  result.fast_seconds = time_best(trials, reps, [&] {
-    run_block(kernel, device, gmem, args, fast_opt);
-  });
+  time_interleaved(
+      trials, reps, result,
+      [&] { run_block(kernel, device, gmem, args, legacy_opt); },
+      [&] { run_block(kernel, device, gmem, args, fast_opt); },
+      [&] { run_block(kernel, device, gmem, args, vector_opt); });
   return result;
 }
 
@@ -134,30 +167,32 @@ CaseResult run_e2e_case(const std::string& name, const Runner& runner,
   legacy_opt.interp = simt::InterpPath::kLegacy;
   Options fast_opt = options;
   fast_opt.interp = simt::InterpPath::kFast;
+  Options vector_opt = options;
+  vector_opt.interp = simt::InterpPath::kVector;
 
-  runner.run_batch(device, batch, fast_opt);  // warm-up (arenas + decode)
+  runner.run_batch(device, batch, fast_opt);    // warm-up (arenas + decode)
+  runner.run_batch(device, batch, vector_opt);  // warm-up
 
   CaseResult result;
   result.section = "e2e";
   result.name = name;
   result.device = device.name;
   result.work = static_cast<double>(batch.size()) * reps;
-  result.legacy_seconds = time_best(trials, reps, [&] {
-    runner.run_batch(device, batch, legacy_opt);
-  });
-  result.fast_seconds = time_best(trials, reps, [&] {
-    runner.run_batch(device, batch, fast_opt);
-  });
+  time_interleaved(
+      trials, reps, result,
+      [&] { runner.run_batch(device, batch, legacy_opt); },
+      [&] { runner.run_batch(device, batch, fast_opt); },
+      [&] { runner.run_batch(device, batch, vector_opt); });
   return result;
 }
 
-double geomean_speedup(const std::vector<CaseResult>& results,
-                       const std::string& section) {
+double geomean(const std::vector<CaseResult>& results, const std::string& section,
+               double (CaseResult::*ratio)() const) {
   double log_sum = 0.0;
   std::size_t n = 0;
   for (const CaseResult& r : results) {
     if (r.section == section) {
-      log_sum += std::log(r.speedup());
+      log_sum += std::log((r.*ratio)());
       ++n;
     }
   }
@@ -175,25 +210,37 @@ std::string json_number(double value) {
 
 void write_json(const std::string& path, const std::vector<CaseResult>& results,
                 double micro_geomean, double e2e_geomean,
-                double compile_seconds, double decode_seconds, bool smoke) {
+                double micro_vector_geomean, double e2e_vector_geomean,
+                double micro_vector_vs_fast, double compile_seconds,
+                double decode_seconds, bool smoke) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "warning: cannot write " << path << '\n';
     return;
   }
   out << "{\n  \"bench\": \"simulator_perf\",\n  \"smoke\": "
-      << (smoke ? "true" : "false") << ",\n  \"cases\": [\n";
+      << (smoke ? "true" : "false") << ",\n  \"vector_isa\": \""
+      << simt::vector_isa_name() << "\",\n  \"cases\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
     out << "    {\"section\": \"" << r.section << "\", \"case\": \"" << r.name
         << "\", \"device\": \"" << r.device
         << "\", \"legacy_per_sec\": " << json_number(r.legacy_rate())
         << ", \"fast_per_sec\": " << json_number(r.fast_rate())
-        << ", \"speedup\": " << json_number(r.speedup()) << "}"
+        << ", \"vector_per_sec\": " << json_number(r.vector_rate())
+        << ", \"speedup\": " << json_number(r.speedup())
+        << ", \"vector_speedup\": " << json_number(r.vector_speedup())
+        << ", \"vector_vs_fast\": " << json_number(r.vector_vs_fast()) << "}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  ],\n  \"micro_geomean_speedup\": " << json_number(micro_geomean)
       << ",\n  \"e2e_geomean_speedup\": " << json_number(e2e_geomean)
+      << ",\n  \"micro_geomean_vector_speedup\": "
+      << json_number(micro_vector_geomean)
+      << ",\n  \"e2e_geomean_vector_speedup\": "
+      << json_number(e2e_vector_geomean)
+      << ",\n  \"micro_geomean_vector_vs_fast\": "
+      << json_number(micro_vector_vs_fast)
       << ",\n  \"sw_kernel_build_seconds\": " << json_number(compile_seconds)
       << ",\n  \"sw_kernel_decode_seconds\": " << json_number(decode_seconds)
       << "\n}\n";
@@ -210,7 +257,8 @@ int main(int argc, char** argv) {
     }
   }
   wsim::bench::banner("the simulator-perf trajectory",
-                      "predecoded fast path vs legacy interpreter");
+                      "legacy vs predecoded fast path vs lane-vector engine");
+  std::cout << "lane-vector SIMD tier: " << simt::vector_isa_name() << "\n";
 
   const int micro_iters = smoke ? 256 : 512;
   const int micro_trials = smoke ? 3 : 5;
@@ -274,31 +322,46 @@ int main(int argc, char** argv) {
 
   // --- report ----------------------------------------------------------
   wsim::util::Table table({"section", "case", "device", "legacy/s", "fast/s",
-                           "speedup"});
+                           "vector/s", "fast", "vector", "vec/fast"});
   for (const CaseResult& r : results) {
     table.add_row({r.section, r.name, r.device,
                    format_fixed(r.legacy_rate(), 0),
                    format_fixed(r.fast_rate(), 0),
-                   format_fixed(r.speedup(), 2) + "x"});
+                   format_fixed(r.vector_rate(), 0),
+                   format_fixed(r.speedup(), 2) + "x",
+                   format_fixed(r.vector_speedup(), 2) + "x",
+                   format_fixed(r.vector_vs_fast(), 2) + "x"});
   }
   table.print(std::cout);
   wsim::bench::maybe_write_csv("simulator_perf", table);
 
-  const double micro_geomean = geomean_speedup(results, "micro");
-  const double e2e_geomean = geomean_speedup(results, "e2e");
-  std::cout << "micro geomean speedup: " << format_fixed(micro_geomean, 2)
-            << "x   (micro rates are warp-instructions/s; e2e rates are "
+  const double micro_geomean = geomean(results, "micro", &CaseResult::speedup);
+  const double e2e_geomean = geomean(results, "e2e", &CaseResult::speedup);
+  const double micro_vector_geomean =
+      geomean(results, "micro", &CaseResult::vector_speedup);
+  const double e2e_vector_geomean =
+      geomean(results, "e2e", &CaseResult::vector_speedup);
+  const double micro_vector_vs_fast =
+      geomean(results, "micro", &CaseResult::vector_vs_fast);
+  std::cout << "micro geomean speedup:  fast " << format_fixed(micro_geomean, 2)
+            << "x, vector " << format_fixed(micro_vector_geomean, 2)
+            << "x over legacy (vector/fast "
+            << format_fixed(micro_vector_vs_fast, 2)
+            << "x)   (micro rates are warp-instructions/s; e2e rates are "
                "blocks/s)\n"
-            << "e2e geomean speedup:   " << format_fixed(e2e_geomean, 2)
-            << "x\n"
+            << "e2e geomean speedup:    fast " << format_fixed(e2e_geomean, 2)
+            << "x, vector " << format_fixed(e2e_vector_geomean, 2) << "x\n"
             << "SW kernel build: " << format_fixed(compile_seconds * 1e3, 2)
             << " ms, predecode: " << format_fixed(decode_seconds * 1e3, 3)
             << " ms (one-time, cached per (kernel, device))\n";
 
   write_json("BENCH_simperf.json", results, micro_geomean, e2e_geomean,
+             micro_vector_geomean, e2e_vector_geomean, micro_vector_vs_fast,
              compile_seconds, decode_seconds, smoke);
 
-  // CI sanity floor: the fast path must never lose to the legacy path.
+  // CI sanity floors: the fast path must never lose to legacy, and the
+  // vector path must never lose to fast on the micro chains it exists to
+  // accelerate.
   bool ok = true;
   for (const CaseResult& r : results) {
     if (r.speedup() < 1.0) {
@@ -307,6 +370,19 @@ int main(int argc, char** argv) {
                 << "x)\n";
       ok = false;
     }
+    if (r.section == "micro" && r.vector_vs_fast() < 1.0) {
+      std::cerr << "FAIL: " << r.section << "/" << r.name << " on " << r.device
+                << ": vector path slower than fast ("
+                << format_fixed(r.vector_vs_fast(), 2) << "x)\n";
+      ok = false;
+    }
+  }
+  // Full runs also hold the committed vector-vs-fast micro target; smoke
+  // runs skip it (short loops are too noisy for a tight ratio gate).
+  if (!smoke && micro_vector_vs_fast < 3.0) {
+    std::cerr << "FAIL: micro vector-vs-fast geomean "
+              << format_fixed(micro_vector_vs_fast, 2) << "x < 3.00x target\n";
+    ok = false;
   }
   return ok ? 0 : 1;
 }

@@ -112,9 +112,10 @@ std::string usage_text() {
       "                --threads N  simulation worker threads for block execution\n"
       "                             (default: one per hardware thread; results\n"
       "                              are identical at any thread count)\n"
-      "                --interp fast|legacy  interpreter path: predecoded fast\n"
-      "                             dispatch (default) or the legacy switch\n"
-      "                             interpreter (results are bit-identical)\n"
+      "                --interp fast|legacy|vector  interpreter path: predecoded\n"
+      "                             fast dispatch (default), the legacy switch\n"
+      "                             interpreter, or the SIMD lane-vector engine\n"
+      "                             (results are bit-identical on all three)\n"
       "observability:  --trace-out F   write a Chrome trace-event JSON of the\n"
       "                             run (simulated clock; open in Perfetto or\n"
       "                             chrome://tracing)\n"
@@ -125,9 +126,20 @@ std::string usage_text() {
       "environment:    WSIM_THREADS=N  worker count of the process-wide shared\n"
       "                             engine, used whenever --threads is absent or\n"
       "                             <= 0 (pipeline, benches, library default)\n"
-      "                WSIM_INTERP=legacy  select the legacy interpreter when\n"
-      "                             --interp is absent (default: fast)\n";
+      "                WSIM_INTERP=legacy|vector  select the interpreter when\n"
+      "                             --interp is absent (default: fast)\n"
+      "                WSIM_VECTOR_ISA=generic|avx2|avx512  clamp the lane-vector\n"
+      "                             engine's SIMD tier (downgrade-only; default:\n"
+      "                             best the CPU supports)\n";
   return text;
+}
+
+std::string interp_error(std::string_view name) {
+  if (name == "fast" || name == "legacy" || name == "vector") {
+    return {};
+  }
+  return "error: unknown interpreter '" + std::string(name) +
+         "' for --interp; valid names: fast, legacy, vector";
 }
 
 }  // namespace wsim::cli

@@ -28,4 +28,11 @@ bool has_command(std::string_view name);
 /// common-options footer.
 std::string usage_text();
 
+/// Validates a --interp / WSIM_INTERP interpreter name. Returns the empty
+/// string when `name` is a known engine ("fast", "legacy", "vector");
+/// otherwise the exact one-line error the driver prints, which lists the
+/// valid names. Shared between the binary and cli_usage_test so the error
+/// surface cannot drift from the documented set.
+std::string interp_error(std::string_view name);
+
 }  // namespace wsim::cli

@@ -1,7 +1,9 @@
 #include "wsim/simt/decode.hpp"
 
+#include <algorithm>
 #include <utility>
 
+#include "wsim/obs/metrics.hpp"
 #include "wsim/util/check.hpp"
 
 namespace wsim::simt {
@@ -208,6 +210,96 @@ void mark_fusion(DecodedProgram& prog, const std::vector<bool>& target) {
   }
 }
 
+/// Bakes the lane-vector engine's dispatch metadata (see vectorpath.cpp):
+/// which instructions execute 32 lanes at a time (DecodedInstr::vec), and
+/// which loops qualify for the steady-state fast-forward. Both are pure
+/// classification — the fast and legacy engines ignore these fields, so
+/// the decoded form stays one program shared by all three interpreters.
+void mark_vector_metadata(DecodedProgram& prog) {
+  auto& code = prog.code;
+  for (DecodedInstr& d : code) {
+    if (d.pred < 0 && ((d.cls == ExecClass::kSimple && d.lane != LaneOp::kNop) ||
+                       d.cls == ExecClass::kShuffle)) {
+      d.vec = true;
+      prog.vec_instrs += 1;
+    } else if (d.pred >= 0 && d.cls == ExecClass::kSimple &&
+               d.lane != LaneOp::kNop) {
+      // Every lane op is a pure elementwise function, so a predicated
+      // simple op can run full-width and blend under the predicate mask.
+      d.vec_masked = true;
+      prog.vec_instrs += 1;
+    }
+  }
+
+  const auto push_unique = [](std::vector<std::int16_t>& v, std::int16_t r) {
+    if (std::find(v.begin(), v.end(), r) == v.end()) {
+      v.push_back(r);
+    }
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    if (code[i].cls != ExecClass::kLoop) {
+      continue;
+    }
+    const std::size_t end = code[i].match;
+    bool eligible = true;
+    for (std::size_t j = i + 1; j < end && eligible; ++j) {
+      switch (code[j].cls) {
+        case ExecClass::kSimple:
+        case ExecClass::kShuffle:
+        case ExecClass::kScalar:
+        case ExecClass::kLds:
+        case ExecClass::kSts:
+          break;
+        case ExecClass::kBar:
+          // A single-warp barrier is a pure cursor bump (arrival == the
+          // warp's own cursor, no rendezvous), which is shift-invariant;
+          // with more warps the release cycle couples to the other warps'
+          // clocks and the body must stay exact.
+          eligible = prog.warps == 1;
+          break;
+        default:
+          // kLdg/kStg (global warm-set state) and nested loops keep the
+          // body on the exact path.
+          eligible = false;
+          break;
+      }
+    }
+    if (!eligible) {
+      continue;
+    }
+    DecodedProgram::AccelLoop al;
+    al.begin = static_cast<std::uint32_t>(i);
+    for (std::size_t j = i + 1; j < end; ++j) {
+      const DecodedInstr& d = code[j];
+      if (d.dst >= 0) {
+        push_unique(d.scalar_dst ? al.sregs_written : al.vregs_written, d.dst);
+      }
+    }
+    for (std::size_t j = i + 1; j < end; ++j) {
+      const DecodedInstr& d = code[j];
+      for (const std::int16_t r : d.rv) {
+        if (r >= 0 && std::find(al.vregs_written.begin(), al.vregs_written.end(), r) ==
+                          al.vregs_written.end()) {
+          push_unique(al.vregs_read, r);
+        }
+      }
+      for (const std::int16_t r : d.rs) {
+        if (r >= 0 && std::find(al.sregs_written.begin(), al.sregs_written.end(), r) ==
+                          al.sregs_written.end()) {
+          push_unique(al.sregs_read, r);
+        }
+      }
+      al.pred_stable.push_back(
+          d.pred >= 0 && std::find(al.vregs_written.begin(), al.vregs_written.end(),
+                                   d.pred) == al.vregs_written.end()
+              ? 1
+              : 0);
+    }
+    code[i].accel = static_cast<std::int16_t>(prog.accel_loops.size());
+    prog.accel_loops.push_back(std::move(al));
+  }
+}
+
 }  // namespace
 
 std::uint64_t kernel_identity(const Kernel& kernel, const DeviceSpec& device) {
@@ -317,24 +409,75 @@ std::shared_ptr<const DecodedProgram> decode_program(const Kernel& kernel,
   }
 
   mark_fusion(*prog, target);
+  mark_vector_metadata(*prog);
   return prog;
 }
+
+namespace {
+
+// Decoded-cache instrumentation (visible in --metrics-out dumps). Hits and
+// misses are counted per lookup; the occupancy gauges are refreshed on
+// every miss and clear — the only events that change them.
+obs::Counter& cache_hits() {
+  static obs::Counter c("simt.decode_cache.hits");
+  return c;
+}
+obs::Counter& cache_misses() {
+  static obs::Counter c("simt.decode_cache.misses");
+  return c;
+}
+obs::Gauge& cache_entries() {
+  static obs::Gauge g("simt.decode_cache.entries");
+  return g;
+}
+obs::Gauge& cache_shards_occupied() {
+  static obs::Gauge g("simt.decode_cache.shards_occupied");
+  return g;
+}
+
+}  // namespace
 
 std::shared_ptr<const DecodedProgram> DecodedProgramCache::get(
     const Kernel& kernel, const DeviceSpec& device) {
   const std::uint64_t key = kernel_identity(kernel, device);
   Shard& shard = shards_[shard_of(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  auto it = shard.map.find(key);
-  if (it != shard.map.end()) {
-    return it->second;
+  std::shared_ptr<const DecodedProgram> prog;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      hit = true;
+      prog = it->second;
+    } else {
+      // Decode under the shard lock: concurrent first uses of one identity
+      // must produce exactly one decode (other shards stay available).
+      prog = decode_program(kernel, device);
+      decodes_.fetch_add(1, std::memory_order_relaxed);
+      shard.map.emplace(key, prog);
+    }
   }
-  // Decode under the shard lock: concurrent first uses of one identity
-  // must produce exactly one decode (other shards stay available).
-  auto prog = decode_program(kernel, device);
-  decodes_.fetch_add(1, std::memory_order_relaxed);
-  shard.map.emplace(key, prog);
+  if (hit) {
+    cache_hits().add();
+  } else {
+    cache_misses().add();
+    if (obs::metrics_enabled()) {
+      refresh_occupancy_metrics();
+    }
+  }
   return prog;
+}
+
+void DecodedProgramCache::refresh_occupancy_metrics() const {
+  std::size_t entries = 0;
+  std::size_t occupied = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    entries += shard.map.size();
+    occupied += shard.map.empty() ? 0 : 1;
+  }
+  cache_entries().set(static_cast<double>(entries));
+  cache_shards_occupied().set(static_cast<double>(occupied));
 }
 
 std::size_t DecodedProgramCache::size() const {
@@ -350,6 +493,9 @@ void DecodedProgramCache::clear() {
   for (Shard& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.map.clear();
+  }
+  if (obs::metrics_enabled()) {
+    refresh_occupancy_metrics();
   }
 }
 

@@ -142,6 +142,19 @@ struct DecodedInstr {
   bool pred_negate = false;
   FusedKind fused = FusedKind::kNone;  ///< set on group leaders only
   std::uint8_t fuse_len = 1;           ///< instructions in the fused group
+  /// Lane-vectorizable: an unpredicated kSimple (lane != kNop) or
+  /// unpredicated kShuffle, i.e. the vector engine computes all 32 lanes
+  /// in SIMD form instead of a per-lane loop.
+  bool vec = false;
+  /// Masked-vectorizable: a predicated kSimple whose lane op is pure, so
+  /// the vector engine computes all 32 lanes in SIMD form and blends the
+  /// result into the destination under the predicate mask (inactive lanes
+  /// keep their old bits, exactly like the per-lane fallback).
+  bool vec_masked = false;
+  /// kLoop leaders only: index into DecodedProgram::accel_loops when the
+  /// loop body is eligible for the vector engine's steady-state
+  /// fast-forward; -1 otherwise.
+  std::int16_t accel = -1;
   std::int32_t latency = 0;    ///< baked base latency (kLdg resolves per access)
   std::uint32_t match = 0;     ///< matching kLoop/kEndLoop pc
   Operand a;
@@ -159,6 +172,35 @@ struct DecodedInstr {
 /// reused by every block, launch, engine worker, fleet worker, and serving
 /// loop that executes this (kernel, device) pair.
 struct DecodedProgram {
+  /// Register-usage summary of one loop whose body the vector engine may
+  /// fast-forward (see DecodedInstr::accel and vectorpath.cpp). A loop is
+  /// eligible when its body contains only kSimple/kShuffle/kScalar/kLds/
+  /// kSts instructions — plus kBar when the program has a single warp, in
+  /// which case the barrier degenerates to a fixed cursor bump (no nested
+  /// loops or global memory): for
+  /// such a body the per-iteration timing profile is a pure function of
+  /// the warp's timing state relative to its own cursor plus the
+  /// shared-memory replay cycles, so once two consecutive iterations
+  /// produce identical relative profiles, the remaining iterations can run
+  /// value-only with the timing deltas replayed — bit-identically.
+  struct AccelLoop {
+    std::uint32_t begin = 0;  ///< pc of the kLoop instruction
+    /// Vector/scalar registers written by a body instruction (finish()
+    /// rewrites their ready cells every iteration, so the fast-forward
+    /// shifts them by the steady per-iteration delta).
+    std::vector<std::int16_t> vregs_written;
+    std::vector<std::int16_t> sregs_written;
+    /// Registers the body reads but never writes: their ready cells stay
+    /// frozen, so they only gate issue while still in flight (the steady
+    /// check clamps them at "ready in the past").
+    std::vector<std::int16_t> vregs_read;
+    std::vector<std::int16_t> sregs_read;
+    /// Per body instruction (pc - begin - 1): true when the instruction's
+    /// predicate register is not written inside the body, i.e. the active
+    /// mask is loop-invariant during the fast-forwarded iterations.
+    std::vector<std::uint8_t> pred_stable;
+  };
+
   std::string name;
   int threads_per_block = 32;
   int warps = 1;
@@ -167,6 +209,8 @@ struct DecodedProgram {
   int smem_bytes = 1;
   std::uint64_t identity = 0;   ///< kernel_identity(kernel, device)
   std::size_t fused_groups = 0; ///< superinstructions formed (stats/tests)
+  std::size_t vec_instrs = 0;   ///< instructions with vec or vec_masked set
+  std::vector<AccelLoop> accel_loops;
   std::vector<DecodedInstr> code;
 };
 
@@ -201,6 +245,10 @@ class DecodedProgramCache {
   void clear();
 
  private:
+  /// Re-publishes the entry-count and shards-occupied obs gauges (called
+  /// on miss and clear, the only occupancy-changing events).
+  void refresh_occupancy_metrics() const;
+
   static constexpr std::size_t kShards = 16;
   struct Shard {
     mutable std::mutex mu;

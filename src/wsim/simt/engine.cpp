@@ -88,12 +88,13 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   LaunchResult result;
   result.occupancy = compute_occupancy(device, kernel);
 
-  // Resolve the interpreter path once per launch; on the fast path the
-  // (kernel, device) pair is predecoded here — through the process-wide
-  // cache — and every block below reuses the same DecodedProgram.
+  // Resolve the interpreter path once per launch; on the predecoded paths
+  // (fast and vector) the (kernel, device) pair is predecoded here —
+  // through the process-wide cache — and every block below reuses the
+  // same DecodedProgram.
   const InterpPath path = resolve_interp_path(options.interp);
   std::shared_ptr<const DecodedProgram> decoded;
-  if (path == InterpPath::kFast) {
+  if (path == InterpPath::kFast || path == InterpPath::kVector) {
     static obs::Counter c_decode_misses("engine.decode_misses");
     if (obs::tracing_enabled() || obs::metrics_enabled()) {
       const std::size_t before = shared_decoded_cache().size();
@@ -115,9 +116,13 @@ LaunchResult ExecutionEngine::launch(const Kernel& kernel, const DeviceSpec& dev
   if (cached_mode) {
     if (options.use_engine_cache) {
       // The decoded program already carries the content hash; only the
-      // legacy path recomputes it.
+      // legacy path recomputes it. The interpreter path salts the key:
+      // the engines are bit-identical by contract, but letting a cached
+      // fast-path cost stand in for a vector-path execution would mask
+      // any divergence from differential A/B runs.
       identity = decoded != nullptr ? decoded->identity
                                     : kernel_identity(kernel, device);
+      identity = mix(identity ^ (static_cast<std::uint64_t>(path) + 1));
     } else {
       plain_cache = options.cost_cache != nullptr ? options.cost_cache : &local_cache;
     }

@@ -798,13 +798,19 @@ BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemo
 BlockResult run_block(const Kernel& kernel, const DeviceSpec& device, GlobalMemory& gmem,
                       std::span<const std::uint64_t> scalar_args,
                       const BlockRunOptions& options) {
-  if (resolve_interp_path(options.interp) == InterpPath::kFast) {
+  const InterpPath path = resolve_interp_path(options.interp);
+  if (path == InterpPath::kFast || path == InterpPath::kVector) {
+    const auto dispatch = [&](const DecodedProgram& program) {
+      return path == InterpPath::kVector
+                 ? run_block_vector(program, device, gmem, scalar_args, options)
+                 : run_block_fast(program, device, gmem, scalar_args, options);
+    };
     if (options.decoded != nullptr) {
-      return run_block_fast(*options.decoded, device, gmem, scalar_args, options);
+      return dispatch(*options.decoded);
     }
     const std::shared_ptr<const DecodedProgram> program =
         shared_decoded_cache().get(kernel, device);
-    return run_block_fast(*program, device, gmem, scalar_args, options);
+    return dispatch(*program);
   }
   BlockEngine engine(kernel, device, gmem, scalar_args, options);
   return engine.run();

@@ -94,14 +94,28 @@ struct DecodedProgram;  // simt/decode.hpp
 /// kFast runs the predecoded fast path (per-(kernel, device) DecodedProgram
 /// from the shared cache, handler dispatch, superinstruction fusion); it is
 /// the default and is bit-identical to kLegacy in functional outputs,
-/// BlockResult counters, and SDC write-event numbering. kLegacy runs the
+/// BlockResult counters, and SDC write-event numbering. kVector runs the
+/// lane-vector engine: all 32 lanes of an unpredicated instruction in a
+/// handful of SIMD ops (AVX-512/AVX2/generic variants picked once at
+/// runtime, overridable via WSIM_VECTOR_ISA), with a masked per-lane
+/// fallback for divergent warps — also bit-identical. kLegacy runs the
 /// original switch interpreter — kept for A/B comparison and as the
 /// differential-testing reference. kDefault defers to the WSIM_INTERP
-/// environment variable ("legacy" selects kLegacy; anything else kFast).
-enum class InterpPath : std::uint8_t { kDefault, kFast, kLegacy };
+/// environment variable ("legacy" selects kLegacy, "vector" kVector;
+/// anything else kFast).
+enum class InterpPath : std::uint8_t { kDefault, kFast, kLegacy, kVector };
 
-/// Resolves kDefault against WSIM_INTERP; returns kFast or kLegacy.
+/// Resolves kDefault against WSIM_INTERP; returns kFast, kLegacy, or
+/// kVector.
 InterpPath resolve_interp_path(InterpPath requested) noexcept;
+
+/// Name of the SIMD tier the lane-vector engine resolved to for this
+/// process: "avx512", "avx2", or "generic". Detection runs once (CPU
+/// features clamped by the WSIM_VECTOR_ISA environment variable: a
+/// requested tier the CPU lacks falls back to the detected one; requesting
+/// a lower tier — e.g. WSIM_VECTOR_ISA=generic on an AVX-512 machine —
+/// always works, which is how the no-AVX CI job pins the fallback path).
+const char* vector_isa_name() noexcept;
 
 /// Extended per-block execution knobs (the engine's dispatch path).
 struct BlockRunOptions {
@@ -145,5 +159,17 @@ BlockResult run_block_fast(const DecodedProgram& program, const DeviceSpec& devi
                            GlobalMemory& gmem,
                            std::span<const std::uint64_t> scalar_args,
                            const BlockRunOptions& options);
+
+/// The lane-vector engine (vectorpath.cpp): same contract as
+/// run_block_fast, executing unpredicated instructions 32 lanes at a time
+/// with the SIMD tier reported by vector_isa_name(). Blocks with SDC
+/// injection enabled delegate to run_block_fast wholesale (injection
+/// numbers per-lane write events sequentially, which pins the scalar
+/// execution order), so injection parity is inherited rather than
+/// re-implemented.
+BlockResult run_block_vector(const DecodedProgram& program, const DeviceSpec& device,
+                             GlobalMemory& gmem,
+                             std::span<const std::uint64_t> scalar_args,
+                             const BlockRunOptions& options);
 
 }  // namespace wsim::simt

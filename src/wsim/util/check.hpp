@@ -22,11 +22,31 @@ inline void require(bool condition, const std::string& what,
   }
 }
 
+/// String-literal overload: overload resolution prefers this exact match
+/// over the std::string conversion, so hot-path checks with literal
+/// messages build no std::string on the success path.
+inline void require(bool condition, const char* what,
+                    std::source_location loc = std::source_location::current()) {
+  if (!condition) [[unlikely]] {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": requirement failed: " + what);
+  }
+}
+
 /// Internal invariant check: same behaviour as require(), separate name so
 /// call sites document whether a failure blames the caller or the library.
 inline void ensure(bool condition, const std::string& what,
                    std::source_location loc = std::source_location::current()) {
   if (!condition) {
+    throw CheckError(std::string(loc.file_name()) + ":" +
+                     std::to_string(loc.line()) + ": invariant violated: " + what);
+  }
+}
+
+/// String-literal overload of ensure(); see the require() counterpart.
+inline void ensure(bool condition, const char* what,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) [[unlikely]] {
     throw CheckError(std::string(loc.file_name()) + ":" +
                      std::to_string(loc.line()) + ": invariant violated: " + what);
   }

@@ -52,6 +52,28 @@ TEST(CliUsage, HasCommandMatchesRegistry) {
   EXPECT_FALSE(cli::has_command("guard"));  // prefix of guard-sim, not a command
 }
 
+TEST(CliUsage, InterpreterKnobDocumentsAllThreeEngines) {
+  const std::string usage = cli::usage_text();
+  EXPECT_NE(usage.find("--interp fast|legacy|vector"), std::string::npos);
+  EXPECT_NE(usage.find("WSIM_INTERP=legacy|vector"), std::string::npos);
+  EXPECT_NE(usage.find("WSIM_VECTOR_ISA=generic|avx2|avx512"), std::string::npos);
+}
+
+TEST(CliUsage, InterpErrorAcceptsKnownEnginesOnly) {
+  EXPECT_TRUE(cli::interp_error("fast").empty());
+  EXPECT_TRUE(cli::interp_error("legacy").empty());
+  EXPECT_TRUE(cli::interp_error("vector").empty());
+  // Unknown names produce the one-line error naming the offender and
+  // listing every valid engine, exactly as the driver prints it.
+  const std::string err = cli::interp_error("turbo");
+  EXPECT_EQ(err,
+            "error: unknown interpreter 'turbo' for --interp; "
+            "valid names: fast, legacy, vector");
+  EXPECT_FALSE(cli::interp_error("").empty());
+  EXPECT_FALSE(cli::interp_error("FAST").empty());
+  EXPECT_FALSE(cli::interp_error("vector ").empty());
+}
+
 TEST(CliUsage, ResilienceCommandsAreDocumented) {
   EXPECT_TRUE(cli::has_command("guard-sim"));
   EXPECT_TRUE(cli::has_command("fleet-sim"));

@@ -1,0 +1,278 @@
+// Divergence-ratio fuzz: the lane-vector interpreter must match the
+// fast path bit for bit at every predicate density, not just the fully
+// converged warps its SIMD handlers like best. Random active masks from
+// 0% to 100% — drawn with per-warp seeds so no two warps in a block
+// diverge the same way — drive a kernel mixing masked simple ops,
+// predicated shared-memory traffic, and shuffles; and every SW/NW/PairHMM
+// runner variant is swept vector-vs-fast on a randomized dataset.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "wsim/guard/guard.hpp"
+#include "wsim/kernels/nw_kernels.hpp"
+#include "wsim/kernels/ph_kernels.hpp"
+#include "wsim/kernels/sw_kernels.hpp"
+#include "wsim/simt/builder.hpp"
+#include "wsim/simt/device.hpp"
+#include "wsim/simt/interpreter.hpp"
+#include "wsim/simt/memory.hpp"
+#include "wsim/simt/trace.hpp"
+#include "wsim/util/check.hpp"
+#include "wsim/util/rng.hpp"
+#include "wsim/workload/batching.hpp"
+#include "wsim/workload/generator.hpp"
+
+namespace {
+
+namespace guard = wsim::guard;
+using wsim::kernels::CommMode;
+using wsim::simt::BlockResult;
+using wsim::simt::BlockRunOptions;
+using wsim::simt::Cmp;
+using wsim::simt::DeviceSpec;
+using wsim::simt::DType;
+using wsim::simt::GlobalMemory;
+using wsim::simt::imm_f32;
+using wsim::simt::imm_i64;
+using wsim::simt::InterpPath;
+using wsim::simt::Kernel;
+using wsim::simt::KernelBuilder;
+using wsim::simt::SReg;
+using wsim::simt::VReg;
+using wsim::util::CheckError;
+
+constexpr int kThreads = 128;  // four warps per block
+
+/// Four-warp kernel whose active mask comes from a per-lane word of
+/// global memory, so the test controls the divergence pattern exactly.
+/// The loop body is accel-eligible (no barriers, no global memory), so at
+/// high trip counts the vector engine's steady-state fast-forward and its
+/// precompiled plan both engage on divergent warps.
+Kernel build_fuzz_kernel() {
+  KernelBuilder kb("divergence_fuzz", kThreads);
+  const SReg out = kb.param();
+  const SReg preds = kb.param();  // kThreads B4 words, nonzero = active
+  const SReg trips = kb.param();
+  kb.alloc_smem(kThreads * 4);
+  const VReg t = kb.tid();
+  const VReg pword = kb.ldg(kb.iadd(preds, kb.imul(t, imm_i64(4))));
+  const VReg p = kb.setp(Cmp::kNe, DType::kI64, pword, imm_i64(0));
+  VReg acc = kb.mov(t);
+  VReg f = kb.mov(imm_f32(1.5F));
+  kb.sts(kb.imul(t, imm_i64(4)), t);
+  kb.bar();
+  kb.loop(trips);
+  kb.begin_pred(p);
+  kb.assign(acc, kb.iadd(acc, imm_i64(5)));
+  kb.assign(f, kb.ffma(f, imm_f32(1.0002F), imm_f32(0.0001F)));
+  kb.sts(kb.imul(t, imm_i64(4)), acc);
+  kb.end_pred();
+  kb.begin_pred(p, /*negate=*/true);
+  kb.lds_to(acc, kb.imul(kb.ixor(t, imm_i64(3)), imm_i64(4)));
+  kb.end_pred();
+  kb.assign(f, kb.fmax(f, kb.shfl_down(f, imm_i64(2))));
+  kb.endloop();
+  kb.bar();
+  const VReg nb = kb.lds(kb.imul(kb.ixor(t, imm_i64(1)), imm_i64(4)));
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), kb.iadd(acc, nb));
+  kb.stg(kb.iadd(out, kb.iadd(imm_i64(kThreads * 4), kb.imul(t, imm_i64(4)))),
+         f);
+  return kb.build();
+}
+
+/// Active-mask words for one block: warp w draws from its own generator
+/// seeded (seed, w), so each warp sees an independent pattern at the
+/// requested density.
+std::vector<std::int32_t> draw_predicates(std::uint64_t seed, double density) {
+  std::vector<std::int32_t> words(kThreads, 0);
+  for (int warp = 0; warp < kThreads / 32; ++warp) {
+    wsim::util::Rng rng(seed * 1315423911ULL +
+                        static_cast<std::uint64_t>(warp) * 2654435761ULL + 1);
+    for (int lane = 0; lane < 32; ++lane) {
+      words[static_cast<std::size_t>(warp * 32 + lane)] =
+          rng.uniform01() < density ? 1 : 0;
+    }
+  }
+  return words;
+}
+
+struct FuzzOutcome {
+  bool threw = false;
+  std::string error;
+  BlockResult result;
+  std::vector<std::uint8_t> memory;
+};
+
+FuzzOutcome run_fuzz(const Kernel& kernel, const DeviceSpec& device,
+                     InterpPath path, const std::vector<std::int32_t>& preds,
+                     std::int64_t trips) {
+  GlobalMemory gmem;
+  const std::int64_t out = gmem.alloc(kThreads * 4 * 2);
+  const std::int64_t pred_buf = gmem.alloc(kThreads * 4);
+  gmem.write_i32(pred_buf, preds);
+  const std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(out),
+                                           static_cast<std::uint64_t>(pred_buf),
+                                           static_cast<std::uint64_t>(trips)};
+  FuzzOutcome outcome;
+  BlockRunOptions options;
+  options.interp = path;
+  try {
+    outcome.result = run_block(kernel, device, gmem, args, options);
+  } catch (const CheckError& e) {
+    outcome.threw = true;
+    outcome.error = e.what();
+  }
+  outcome.memory = gmem.read_u8(0, gmem.size());
+  return outcome;
+}
+
+void expect_equal(const FuzzOutcome& a, const FuzzOutcome& b,
+                  const std::string& label) {
+  ASSERT_EQ(a.threw, b.threw) << label;
+  EXPECT_EQ(a.result.cycles, b.result.cycles) << label;
+  EXPECT_EQ(a.result.instructions, b.result.instructions) << label;
+  EXPECT_EQ(a.result.smem_transactions, b.result.smem_transactions) << label;
+  EXPECT_EQ(a.result.gmem_transactions, b.result.gmem_transactions) << label;
+  EXPECT_EQ(a.result.barriers, b.result.barriers) << label;
+  for (std::size_t op = 0; op < a.result.op_counts.size(); ++op) {
+    EXPECT_EQ(a.result.op_counts[op], b.result.op_counts[op])
+        << label << " op " << op;
+  }
+  EXPECT_EQ(a.memory, b.memory) << label;
+}
+
+TEST(DivergenceFuzz, VectorMatchesFastAtEveryDensity) {
+  const Kernel kernel = build_fuzz_kernel();
+  const auto device = wsim::simt::make_k1200();
+  for (const double density : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0}) {
+    for (const std::uint64_t seed : {11ULL, 29ULL, 73ULL}) {
+      const auto preds = draw_predicates(seed, density);
+      for (const std::int64_t trips : {1LL, 3LL, 250LL}) {
+        const std::string label = "density=" + std::to_string(density) +
+                                  " seed=" + std::to_string(seed) +
+                                  " trips=" + std::to_string(trips);
+        const FuzzOutcome fast =
+            run_fuzz(kernel, device, InterpPath::kFast, preds, trips);
+        const FuzzOutcome vec =
+            run_fuzz(kernel, device, InterpPath::kVector, preds, trips);
+        ASSERT_FALSE(fast.threw) << label << ": " << fast.error;
+        expect_equal(fast, vec, label);
+      }
+    }
+  }
+}
+
+TEST(DivergenceFuzz, LegacyAnchorsOneSample) {
+  // One density anchored to the legacy interpreter so the fast/vector
+  // agreement above cannot hide a shared drift.
+  const Kernel kernel = build_fuzz_kernel();
+  const auto device = wsim::simt::make_titan_x();
+  const auto preds = draw_predicates(5, 0.4);
+  const FuzzOutcome legacy =
+      run_fuzz(kernel, device, InterpPath::kLegacy, preds, 120);
+  const FuzzOutcome fast =
+      run_fuzz(kernel, device, InterpPath::kFast, preds, 120);
+  const FuzzOutcome vec =
+      run_fuzz(kernel, device, InterpPath::kVector, preds, 120);
+  ASSERT_FALSE(legacy.threw) << legacy.error;
+  expect_equal(legacy, fast, "legacy vs fast");
+  expect_equal(legacy, vec, "legacy vs vector");
+}
+
+wsim::workload::Dataset fuzz_dataset(std::uint64_t seed) {
+  wsim::workload::GeneratorConfig cfg;
+  cfg.seed = seed;
+  cfg.regions = 2;
+  cfg.ph_tasks_per_region_mean = 4.0;
+  cfg.sw_query_len_min = 30;
+  cfg.sw_query_len_max = 80;
+  cfg.sw_target_len_min = 50;
+  cfg.sw_target_len_max = 110;
+  return wsim::workload::generate_dataset(cfg);
+}
+
+TEST(DivergenceFuzz, SwRunnerVariantsVectorMatchesFast) {
+  for (const std::uint64_t seed : {3ULL, 17ULL}) {
+    const auto dataset = fuzz_dataset(seed);
+    const auto batches = wsim::workload::sw_rebatch(dataset, 8);
+    ASSERT_FALSE(batches.empty());
+    for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+      const wsim::kernels::SwRunner runner(mode);
+      const auto device = wsim::simt::make_k1200();
+      wsim::kernels::SwRunOptions fast_opt;
+      fast_opt.collect_outputs = true;
+      fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::SwRunOptions vec_opt = fast_opt;
+      vec_opt.interp = InterpPath::kVector;
+      for (const auto& batch : batches) {
+        const auto fast = runner.run_batch(device, batch, fast_opt);
+        const auto vec = runner.run_batch(device, batch, vec_opt);
+        EXPECT_EQ(guard::fingerprint_sw(fast.outputs),
+                  guard::fingerprint_sw(vec.outputs))
+            << "seed " << seed;
+        EXPECT_EQ(fast.run.launch.instructions, vec.run.launch.instructions)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DivergenceFuzz, NwRunnerVariantsVectorMatchesFast) {
+  for (const std::uint64_t seed : {3ULL, 17ULL}) {
+    const auto dataset = fuzz_dataset(seed);
+    const auto batches = wsim::workload::sw_rebatch(dataset, 8);
+    ASSERT_FALSE(batches.empty());
+    for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+      const wsim::kernels::NwRunner runner(mode);
+      const auto device = wsim::simt::make_titan_x();
+      wsim::kernels::NwRunOptions fast_opt;
+      fast_opt.collect_outputs = true;
+      fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::NwRunOptions vec_opt = fast_opt;
+      vec_opt.interp = InterpPath::kVector;
+      for (const auto& batch : batches) {
+        const auto fast = runner.run_batch(device, batch, fast_opt);
+        const auto vec = runner.run_batch(device, batch, vec_opt);
+        EXPECT_EQ(guard::fingerprint_nw(fast.scores),
+                  guard::fingerprint_nw(vec.scores))
+            << "seed " << seed;
+        EXPECT_EQ(fast.run.launch.instructions, vec.run.launch.instructions)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DivergenceFuzz, PhRunnerVariantsVectorMatchesFast) {
+  for (const std::uint64_t seed : {3ULL, 17ULL}) {
+    const auto dataset = fuzz_dataset(seed);
+    const auto batches = wsim::workload::ph_rebatch(dataset, 8);
+    ASSERT_FALSE(batches.empty());
+    for (const CommMode mode : {CommMode::kSharedMemory, CommMode::kShuffle}) {
+      const wsim::kernels::PhRunner runner(mode);
+      const auto device = wsim::simt::make_k40();
+      wsim::kernels::PhRunOptions fast_opt;
+      fast_opt.collect_outputs = true;
+      fast_opt.double_fallback = true;
+      fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::PhRunOptions vec_opt = fast_opt;
+      vec_opt.interp = InterpPath::kVector;
+      for (const auto& batch : batches) {
+        const auto fast = runner.run_batch(device, batch, fast_opt);
+        const auto vec = runner.run_batch(device, batch, vec_opt);
+        EXPECT_EQ(guard::fingerprint_ph(fast.log10),
+                  guard::fingerprint_ph(vec.log10))
+            << "seed " << seed;
+        EXPECT_EQ(fast.run.launch.instructions, vec.run.launch.instructions)
+            << "seed " << seed;
+      }
+    }
+  }
+}
+
+}  // namespace

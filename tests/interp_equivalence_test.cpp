@@ -1,10 +1,10 @@
-// Differential tests pinning the predecoded fast-path interpreter to the
-// legacy switch interpreter: for every kernel variant, device, and SDC
-// setting the two paths must produce bit-identical memory, exactly equal
-// BlockResult counters, identical instruction traces and write sets,
-// identical guard fingerprints through the runners, and the same error
-// surface. The legacy path stays available precisely to keep this
-// contract checkable.
+// Differential tests pinning the predecoded fast-path interpreter AND the
+// lane-vector interpreter to the legacy switch interpreter: for every
+// kernel variant, device, and SDC setting all three paths must produce
+// bit-identical memory, exactly equal BlockResult counters, identical
+// instruction traces and write sets, identical guard fingerprints through
+// the runners, and the same error surface. The legacy path stays
+// available precisely to keep this contract checkable.
 
 #include <gtest/gtest.h>
 
@@ -221,6 +221,9 @@ TEST(InterpEquivalence, OmnibusKernelAllDevicesSdcOnOff) {
     // the fused handlers are not being exercised here.
     const auto program = wsim::simt::decode_program(kernel, device);
     EXPECT_GT(program->fused_groups, 0U) << device.name;
+    // Likewise the decoded form must contain SIMD-eligible instructions,
+    // or the vector comparison below degenerates to scalar-vs-scalar.
+    EXPECT_GT(program->vec_instrs, 0U) << device.name;
 
     SdcPlan sdc;
     sdc.seed = 77;
@@ -232,8 +235,11 @@ TEST(InterpEquivalence, OmnibusKernelAllDevicesSdcOnOff) {
       const RunOutcome legacy =
           run_omnibus(kernel, device, InterpPath::kLegacy, plan);
       const RunOutcome fast = run_omnibus(kernel, device, InterpPath::kFast, plan);
+      const RunOutcome vec =
+          run_omnibus(kernel, device, InterpPath::kVector, plan);
       EXPECT_FALSE(legacy.threw) << label << ": " << legacy.error;
-      expect_equal_outcomes(legacy, fast, label);
+      expect_equal_outcomes(legacy, fast, label + " fast");
+      expect_equal_outcomes(legacy, vec, label + " vector");
       if (plan != nullptr) {
         // The plan is hot enough that the run must actually flip bits, or
         // the event-numbering equivalence is vacuous.
@@ -267,15 +273,26 @@ TEST(InterpEquivalence, SwRunnerFingerprintsMatchOnEveryDevice) {
       legacy_opt.interp = InterpPath::kLegacy;
       wsim::kernels::SwRunOptions fast_opt = legacy_opt;
       fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::SwRunOptions vec_opt = legacy_opt;
+      vec_opt.interp = InterpPath::kVector;
       const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
       const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      const auto vec = runner.run_batch(device, batches.front(), vec_opt);
       EXPECT_EQ(guard::fingerprint_sw(legacy.outputs),
                 guard::fingerprint_sw(fast.outputs))
           << device.name;
+      EXPECT_EQ(guard::fingerprint_sw(legacy.outputs),
+                guard::fingerprint_sw(vec.outputs))
+          << device.name << " vector";
       EXPECT_EQ(legacy.run.launch.instructions, fast.run.launch.instructions)
           << device.name;
+      EXPECT_EQ(legacy.run.launch.instructions, vec.run.launch.instructions)
+          << device.name << " vector";
       expect_equal_results(legacy.run.launch.representative,
                            fast.run.launch.representative, device.name);
+      expect_equal_results(legacy.run.launch.representative,
+                           vec.run.launch.representative,
+                           device.name + " vector");
     }
   }
 }
@@ -293,13 +310,22 @@ TEST(InterpEquivalence, PhRunnerFingerprintsMatchOnEveryDevice) {
       legacy_opt.interp = InterpPath::kLegacy;
       wsim::kernels::PhRunOptions fast_opt = legacy_opt;
       fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::PhRunOptions vec_opt = legacy_opt;
+      vec_opt.interp = InterpPath::kVector;
       const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
       const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      const auto vec = runner.run_batch(device, batches.front(), vec_opt);
       EXPECT_EQ(guard::fingerprint_ph(legacy.log10),
                 guard::fingerprint_ph(fast.log10))
           << device.name;
+      EXPECT_EQ(guard::fingerprint_ph(legacy.log10),
+                guard::fingerprint_ph(vec.log10))
+          << device.name << " vector";
       expect_equal_results(legacy.run.launch.representative,
                            fast.run.launch.representative, device.name);
+      expect_equal_results(legacy.run.launch.representative,
+                           vec.run.launch.representative,
+                           device.name + " vector");
     }
   }
 }
@@ -316,13 +342,22 @@ TEST(InterpEquivalence, NwRunnerFingerprintsMatchOnEveryDevice) {
       legacy_opt.interp = InterpPath::kLegacy;
       wsim::kernels::NwRunOptions fast_opt = legacy_opt;
       fast_opt.interp = InterpPath::kFast;
+      wsim::kernels::NwRunOptions vec_opt = legacy_opt;
+      vec_opt.interp = InterpPath::kVector;
       const auto legacy = runner.run_batch(device, batches.front(), legacy_opt);
       const auto fast = runner.run_batch(device, batches.front(), fast_opt);
+      const auto vec = runner.run_batch(device, batches.front(), vec_opt);
       EXPECT_EQ(guard::fingerprint_nw(legacy.scores),
                 guard::fingerprint_nw(fast.scores))
           << device.name;
+      EXPECT_EQ(guard::fingerprint_nw(legacy.scores),
+                guard::fingerprint_nw(vec.scores))
+          << device.name << " vector";
       expect_equal_results(legacy.run.launch.representative,
                            fast.run.launch.representative, device.name);
+      expect_equal_results(legacy.run.launch.representative,
+                           vec.run.launch.representative,
+                           device.name + " vector");
     }
   }
 }
@@ -352,11 +387,16 @@ TEST(InterpEquivalence, SdcReplayIsIdenticalThroughTheRunner) {
   };
   const auto legacy = run_path(InterpPath::kLegacy);
   const auto fast = run_path(InterpPath::kFast);
+  const auto vec = run_path(InterpPath::kVector);
   ASSERT_EQ(legacy.has_value(), fast.has_value());
+  ASSERT_EQ(legacy.has_value(), vec.has_value());
   if (legacy.has_value()) {
     EXPECT_EQ(legacy->run.launch.sdc_flips, fast->run.launch.sdc_flips);
+    EXPECT_EQ(legacy->run.launch.sdc_flips, vec->run.launch.sdc_flips);
     EXPECT_EQ(guard::fingerprint_sw(legacy->outputs),
               guard::fingerprint_sw(fast->outputs));
+    EXPECT_EQ(guard::fingerprint_sw(legacy->outputs),
+              guard::fingerprint_sw(vec->outputs));
   }
 }
 
@@ -384,12 +424,18 @@ TEST(InterpEquivalence, CycleBudgetTimeoutMatchesExactly) {
   };
   const auto legacy = run_path(InterpPath::kLegacy);
   const auto fast = run_path(InterpPath::kFast);
+  const auto vec = run_path(InterpPath::kVector);
   ASSERT_TRUE(legacy.has_value());
   ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(vec.has_value());
   EXPECT_EQ(legacy->kind(), fast->kind());
   EXPECT_EQ(legacy->cycles(), fast->cycles());
   EXPECT_EQ(legacy->budget(), fast->budget());
   EXPECT_STREQ(legacy->what(), fast->what());
+  EXPECT_EQ(legacy->kind(), vec->kind());
+  EXPECT_EQ(legacy->cycles(), vec->cycles());
+  EXPECT_EQ(legacy->budget(), vec->budget());
+  EXPECT_STREQ(legacy->what(), vec->what());
 }
 
 TEST(InterpEquivalence, BarrierDeadlockMatchesExactly) {
@@ -419,11 +465,16 @@ TEST(InterpEquivalence, BarrierDeadlockMatchesExactly) {
   };
   const auto legacy = run_path(InterpPath::kLegacy);
   const auto fast = run_path(InterpPath::kFast);
+  const auto vec = run_path(InterpPath::kVector);
   ASSERT_TRUE(legacy.has_value());
   ASSERT_TRUE(fast.has_value());
+  ASSERT_TRUE(vec.has_value());
   EXPECT_EQ(legacy->kind(), fast->kind());
   EXPECT_EQ(legacy->cycles(), fast->cycles());
   EXPECT_STREQ(legacy->what(), fast->what());
+  EXPECT_EQ(legacy->kind(), vec->kind());
+  EXPECT_EQ(legacy->cycles(), vec->cycles());
+  EXPECT_STREQ(legacy->what(), vec->what());
 }
 
 TEST(InterpEquivalence, OutOfBoundsAndBadWidthThrowOnBothPaths) {
@@ -434,7 +485,8 @@ TEST(InterpEquivalence, OutOfBoundsAndBadWidthThrowOnBothPaths) {
     const VReg t = kb.tid();
     kb.sts(kb.imul(t, imm_i64(4)), t);
     const Kernel kernel = kb.build();
-    for (const InterpPath path : {InterpPath::kLegacy, InterpPath::kFast}) {
+    for (const InterpPath path :
+         {InterpPath::kLegacy, InterpPath::kFast, InterpPath::kVector}) {
       GlobalMemory gmem;
       BlockRunOptions options;
       options.interp = path;
@@ -453,7 +505,8 @@ TEST(InterpEquivalence, OutOfBoundsAndBadWidthThrowOnBothPaths) {
     const VReg t = kb.tid();
     kb.stg(kb.imul(t, imm_i64(4)), kb.shfl_down(t, imm_i64(1), 3));
     const Kernel kernel = kb.build();
-    for (const InterpPath path : {InterpPath::kLegacy, InterpPath::kFast}) {
+    for (const InterpPath path :
+         {InterpPath::kLegacy, InterpPath::kFast, InterpPath::kVector}) {
       GlobalMemory gmem;
       gmem.alloc(32 * 4);
       BlockRunOptions options;
@@ -465,6 +518,110 @@ TEST(InterpEquivalence, OutOfBoundsAndBadWidthThrowOnBothPaths) {
         EXPECT_NE(std::string(e.what()).find(
                       "shuffle width must be a power of two in [1, 32]"),
                   std::string::npos);
+      }
+    }
+  }
+}
+
+/// Single-warp kernel whose accel-eligible loop body mixes predicated
+/// simple ops (the masked SIMD blend), predicated shared-memory traffic,
+/// an unpredicated shuffle, and a barrier. `threshold` sets how many lanes
+/// are active (0..32), `negate` flips the polarity, and `shifting` rewrites
+/// the predicate register inside the body so the active set rotates every
+/// iteration — the case the vector engine must re-evaluate per iteration
+/// instead of baking into its steady-state plan.
+Kernel build_divergent_stress(int threshold, bool negate, bool shifting) {
+  KernelBuilder kb("divergent_stress", 32);
+  const SReg out = kb.param();
+  const SReg trips = kb.param();
+  kb.alloc_smem(32 * 4);
+  const VReg t = kb.tid();
+  const VReg p = kb.setp(Cmp::kLt, DType::kI64, t, imm_i64(threshold));
+  VReg acc = kb.mov(imm_i64(1));
+  VReg f = kb.mov(imm_f32(1.0F));
+  const VReg idx = kb.mov(t);
+  kb.sts(kb.imul(t, imm_i64(4)), t);
+  kb.loop(trips);
+  kb.begin_pred(p, negate);
+  kb.assign(acc, kb.iadd(acc, imm_i64(3)));
+  kb.assign(f, kb.fmul(f, imm_f32(1.0001F)));
+  kb.end_pred();
+  kb.assign(f, kb.fadd(f, kb.shfl_xor(f, imm_i64(1))));
+  if (shifting) {
+    kb.assign(idx, kb.iand(kb.iadd(idx, imm_i64(1)), imm_i64(31)));
+    kb.assign(p, kb.setp(Cmp::kLt, DType::kI64, idx, imm_i64(threshold)));
+  }
+  kb.begin_pred(p);
+  kb.sts(kb.imul(t, imm_i64(4)), acc);
+  kb.end_pred();
+  kb.begin_pred(p, /*negate=*/true);
+  kb.lds_to(acc, kb.imul(kb.ixor(t, imm_i64(1)), imm_i64(4)));
+  kb.end_pred();
+  kb.bar();
+  kb.endloop();
+  const VReg nb = kb.lds(kb.imul(kb.ixor(t, imm_i64(1)), imm_i64(4)));
+  kb.stg(kb.iadd(out, kb.imul(t, imm_i64(4))), kb.iadd(acc, nb));
+  kb.stg(kb.iadd(out, kb.iadd(imm_i64(32 * 4), kb.imul(t, imm_i64(4)))), f);
+  return kb.build();
+}
+
+RunOutcome run_stress(const Kernel& kernel, const DeviceSpec& device,
+                      InterpPath path, std::int64_t trips, bool with_trace) {
+  GlobalMemory gmem;
+  const std::int64_t out = gmem.alloc(32 * 4 * 2);
+  const std::vector<std::uint64_t> args = {static_cast<std::uint64_t>(out),
+                                           static_cast<std::uint64_t>(trips)};
+  RunOutcome outcome;
+  Trace trace;
+  GmemWriteSet writes;
+  BlockRunOptions options;
+  options.interp = path;
+  // Tracing pins the instruction-by-instruction schedule but also turns
+  // off the vector engine's loop fast-forward, so the stress runs both
+  // ways: traced (per-event equality) and untraced (the fast-forward and
+  // its precompiled plan actually engage).
+  if (with_trace) {
+    options.trace = &trace;
+    options.writes = &writes;
+  }
+  try {
+    outcome.result = run_block(kernel, device, gmem, args, options);
+  } catch (const CheckError& e) {
+    outcome.threw = true;
+    outcome.error = e.what();
+  }
+  outcome.memory = gmem.read_u8(0, gmem.size());
+  outcome.trace = trace.events();
+  outcome.writes = writes.spans();
+  return outcome;
+}
+
+TEST(InterpEquivalence, DivergentPredicateStress) {
+  const auto device = wsim::simt::make_k1200();
+  for (const int threshold : {0, 1, 16, 31, 32}) {
+    for (const bool negate : {false, true}) {
+      for (const bool shifting : {false, true}) {
+        const Kernel kernel =
+            build_divergent_stress(threshold, negate, shifting);
+        for (const std::int64_t trips : {0LL, 1LL, 2LL, 3LL, 400LL}) {
+          for (const bool with_trace : {true, false}) {
+            const std::string label =
+                "threshold=" + std::to_string(threshold) +
+                " negate=" + std::to_string(negate) +
+                " shifting=" + std::to_string(shifting) +
+                " trips=" + std::to_string(trips) +
+                (with_trace ? " traced" : " untraced");
+            const RunOutcome legacy =
+                run_stress(kernel, device, InterpPath::kLegacy, trips, with_trace);
+            const RunOutcome fast =
+                run_stress(kernel, device, InterpPath::kFast, trips, with_trace);
+            const RunOutcome vec =
+                run_stress(kernel, device, InterpPath::kVector, trips, with_trace);
+            EXPECT_FALSE(legacy.threw) << label << ": " << legacy.error;
+            expect_equal_outcomes(legacy, fast, label + " fast");
+            expect_equal_outcomes(legacy, vec, label + " vector");
+          }
+        }
       }
     }
   }
@@ -482,6 +639,9 @@ TEST(InterpEquivalence, EnvironmentKnobSelectsThePath) {
   ::setenv("WSIM_INTERP", "fast", 1);
   EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
             InterpPath::kFast);
+  ::setenv("WSIM_INTERP", "vector", 1);
+  EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
+            InterpPath::kVector);
   ::unsetenv("WSIM_INTERP");
   EXPECT_EQ(wsim::simt::resolve_interp_path(InterpPath::kDefault),
             InterpPath::kFast);

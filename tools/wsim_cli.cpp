@@ -1317,8 +1317,9 @@ int main(int argc, char** argv) {
   // library code — resolves the same path (simt::resolve_interp_path).
   const std::string interp = args.get("interp", "");
   if (!interp.empty()) {
-    if (interp != "fast" && interp != "legacy") {
-      std::cerr << "error: --interp must be 'fast' or 'legacy'\n";
+    const std::string interp_err = wsim::cli::interp_error(interp);
+    if (!interp_err.empty()) {
+      std::cerr << interp_err << '\n';
       return usage_error();
     }
     ::setenv("WSIM_INTERP", interp.c_str(), 1);
